@@ -1,0 +1,10 @@
+// Ablation: Eq. 8 literal vs corrected admission cost. See src/experiments/ablations.hpp for the experiment design.
+#include "experiments/ablations.hpp"
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return mbts::benchmain::run(argc, argv, "abl_eq8",
+                              "Ablation: Eq. 8 literal vs corrected admission cost",
+                              mbts::ablation_eq8,
+                              /*default_jobs=*/2000, /*default_reps=*/3);
+}

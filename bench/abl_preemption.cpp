@@ -1,0 +1,10 @@
+// Ablation: preemption on/off for FirstReward vs FirstPrice. See src/experiments/ablations.hpp for the experiment design.
+#include "experiments/ablations.hpp"
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return mbts::benchmain::run(argc, argv, "abl_preemption",
+                              "Ablation: preemption on/off for FirstReward vs FirstPrice",
+                              mbts::ablation_preemption,
+                              /*default_jobs=*/2000, /*default_reps=*/3);
+}

@@ -1,0 +1,10 @@
+// Ablation: stale (enqueue-time) vs fresh priorities. See src/experiments/ablations.hpp for the experiment design.
+#include "experiments/ablations.hpp"
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return mbts::benchmain::run(argc, argv, "abl_stale_keys",
+                              "Ablation: stale (enqueue-time) vs fresh priorities",
+                              mbts::ablation_stale_keys,
+                              /*default_jobs=*/2000, /*default_reps=*/3);
+}

@@ -1,0 +1,10 @@
+// Ablation: ranking-yield basis (completion vs now). See src/experiments/ablations.hpp for the experiment design.
+#include "experiments/ablations.hpp"
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return mbts::benchmain::run(argc, argv, "abl_yield_basis",
+                              "Ablation: ranking-yield basis (completion vs now)",
+                              mbts::ablation_yield_basis,
+                              /*default_jobs=*/2000, /*default_reps=*/3);
+}

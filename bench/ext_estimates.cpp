@@ -1,0 +1,10 @@
+// Extension: runtime misestimation sensitivity. See src/experiments/ablations.hpp for the experiment design.
+#include "experiments/ablations.hpp"
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return mbts::benchmain::run(argc, argv, "ext_estimates",
+                              "Extension: runtime misestimation sensitivity",
+                              mbts::extension_estimate_error,
+                              /*default_jobs=*/2000, /*default_reps=*/3);
+}

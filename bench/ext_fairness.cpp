@@ -1,0 +1,10 @@
+// Extension: per-value-class fairness under value-based scheduling. See src/experiments/ablations.hpp.
+#include "experiments/ablations.hpp"
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return mbts::benchmain::run(argc, argv, "ext_fairness",
+                              "Extension: per-value-class fairness under value-based scheduling",
+                              mbts::extension_fairness,
+                              /*default_jobs=*/2000, /*default_reps=*/3);
+}

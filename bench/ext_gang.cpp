@@ -1,0 +1,12 @@
+// Extension: gang-scheduled multi-processor tasks with backfilling — the
+// general model the paper simplifies to width 1 (§4). See
+// src/experiments/ablations.hpp.
+#include "experiments/ablations.hpp"
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return mbts::benchmain::run(
+      argc, argv, "ext_gang",
+      "Extension: gang scheduling and backfill vs task width",
+      mbts::extension_gang, /*default_jobs=*/2000, /*default_reps=*/3);
+}

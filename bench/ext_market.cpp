@@ -1,0 +1,10 @@
+// Extension: multi-site market negotiation. See src/experiments/ablations.hpp for the experiment design.
+#include "experiments/ablations.hpp"
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return mbts::benchmain::run(argc, argv, "ext_market",
+                              "Extension: multi-site market negotiation",
+                              mbts::extension_market,
+                              /*default_jobs=*/2000, /*default_reps=*/3);
+}

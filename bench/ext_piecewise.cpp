@@ -1,0 +1,10 @@
+// Extension: deadline-cliff (variable-rate) value functions. See src/experiments/ablations.hpp for the experiment design.
+#include "experiments/ablations.hpp"
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return mbts::benchmain::run(argc, argv, "ext_piecewise",
+                              "Extension: deadline-cliff (variable-rate) value functions",
+                              mbts::extension_piecewise,
+                              /*default_jobs=*/2000, /*default_reps=*/3);
+}

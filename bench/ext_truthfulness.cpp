@@ -1,0 +1,10 @@
+// Extension: bid-scaling incentives under bid-price vs second-price. See src/experiments/ablations.hpp.
+#include "experiments/ablations.hpp"
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return mbts::benchmain::run(argc, argv, "ext_truthfulness",
+                              "Extension: bid-scaling incentives under bid-price vs second-price",
+                              mbts::extension_truthfulness,
+                              /*default_jobs=*/2000, /*default_reps=*/3);
+}

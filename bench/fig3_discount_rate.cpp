@@ -1,0 +1,12 @@
+// Reproduces Figure 3: Present Value vs FirstPrice as the discount rate
+// sweeps 0.001%–10%, for value-skew ratios {1, 1.5, 2.15, 4, 9} on the
+// Millennium task mix (normal batched arrivals, uniform decay, penalties
+// bounded at zero, load factor 1, preemption enabled).
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return mbts::benchmain::run(
+      argc, argv, "fig3_discount_rate",
+      "Figure 3: PV yield improvement over FirstPrice vs discount rate",
+      mbts::figure3);
+}

@@ -1,0 +1,11 @@
+// Reproduces Figure 4: FirstReward vs FirstPrice as alpha sweeps [0, 0.9]
+// with penalties bounded at zero, for decay-skew ratios {3, 5, 7}
+// (value skew 2, discount rate 1%, load factor 1).
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return mbts::benchmain::run(
+      argc, argv, "fig4_alpha_bounded",
+      "Figure 4: FirstReward improvement over FirstPrice, bounded penalties",
+      mbts::figure4);
+}

@@ -1,0 +1,10 @@
+// Reproduces Figure 5: as Figure 4 but with unbounded penalties — the
+// regime where considering cost (low alpha) dominates considering gains.
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return mbts::benchmain::run(
+      argc, argv, "fig5_alpha_unbounded",
+      "Figure 5: FirstReward improvement over FirstPrice, unbounded penalties",
+      mbts::figure5);
+}

@@ -1,0 +1,12 @@
+// Reproduces Figure 6: average yield rate vs load factor 0.5–4.5 under
+// slack-threshold admission control (threshold 180) for FirstReward alpha in
+// {0, 0.2, 0.4, 0.6, 0.8, 1}, against FirstPrice without admission control.
+// Unbounded penalties, value skew 3, decay skew 5, discount 1%.
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return mbts::benchmain::run(
+      argc, argv, "fig6_admission_load",
+      "Figure 6: admission control yield rate vs load factor",
+      mbts::figure6);
+}

@@ -1,0 +1,11 @@
+// Reproduces Figure 7: yield-rate improvement over no admission control as
+// the slack threshold sweeps -200..700, for load factors
+// {0.5, 0.67, 0.89, 1.33, 2} (FirstReward alpha 0.2, discount 1%).
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return mbts::benchmain::run(
+      argc, argv, "fig7_slack_threshold",
+      "Figure 7: slack threshold vs improvement over no admission control",
+      mbts::figure7);
+}

@@ -1,0 +1,51 @@
+// Shared main() for the figure-reproduction benches: parses the standard
+// experiment flags, runs the figure, prints the paper-style table, and
+// writes the long-format CSV next to the binary (or to --out).
+#pragma once
+
+#include <filesystem>
+#include <functional>
+#include <iostream>
+
+#include "experiments/figures.hpp"
+#include "util/cli.hpp"
+
+namespace mbts::benchmain {
+
+inline int run(int argc, const char* const* argv, const std::string& name,
+               const std::string& description,
+               const std::function<FigureResult(const ExperimentOptions&)>&
+                   figure_fn,
+               std::size_t default_jobs = 5000,
+               std::size_t default_reps = 3) {
+  CliParser cli(name, description);
+  cli.add_flag("jobs", std::to_string(default_jobs),
+               "tasks per generated trace");
+  cli.add_flag("reps", std::to_string(default_reps),
+               "replications (independent seeds) per point");
+  cli.add_flag("seed", "42", "master seed");
+  cli.add_flag("threads", "0", "worker threads (0 = hardware)");
+  cli.add_flag("out", "bench_out/" + name + ".csv",
+               "CSV output path (empty to skip)");
+  if (!cli.parse(argc, argv)) return 1;
+
+  ExperimentOptions options;
+  options.num_jobs = static_cast<std::size_t>(cli.get_int("jobs"));
+  options.replications = static_cast<std::size_t>(cli.get_int("reps"));
+  options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  options.threads = static_cast<std::size_t>(cli.get_int("threads"));
+
+  const FigureResult figure = figure_fn(options);
+  print_figure(figure, std::cout);
+  const std::string out = cli.get_string("out");
+  if (!out.empty()) {
+    const std::filesystem::path path(out);
+    if (path.has_parent_path())
+      std::filesystem::create_directories(path.parent_path());
+    save_figure_csv(figure, out);
+    std::cout << "wrote " << out << '\n';
+  }
+  return 0;
+}
+
+}  // namespace mbts::benchmain

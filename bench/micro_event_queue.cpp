@@ -1,0 +1,51 @@
+// Microbenchmarks for the discrete-event engine: schedule/run throughput
+// and cancellation overhead.
+#include <benchmark/benchmark.h>
+
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void BM_ScheduleAndRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  mbts::Xoshiro256 rng(7);
+  std::vector<double> times(n);
+  for (auto& t : times) t = rng.uniform(0.0, 1e6);
+  for (auto _ : state) {
+    mbts::SimEngine engine;
+    std::uint64_t fired = 0;
+    for (double t : times)
+      engine.schedule_at(t, mbts::EventPriority::kControl,
+                         [&fired] { ++fired; });
+    engine.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_ScheduleAndRun)->Range(1 << 10, 1 << 16);
+
+void BM_ScheduleCancelHalf(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  mbts::Xoshiro256 rng(11);
+  std::vector<double> times(n);
+  for (auto& t : times) t = rng.uniform(0.0, 1e6);
+  for (auto _ : state) {
+    mbts::SimEngine engine;
+    std::uint64_t fired = 0;
+    std::vector<mbts::EventId> ids;
+    ids.reserve(n);
+    for (double t : times)
+      ids.push_back(engine.schedule_at(t, mbts::EventPriority::kControl,
+                                       [&fired] { ++fired; }));
+    for (std::size_t i = 0; i < n; i += 2) engine.cancel(ids[i]);
+    engine.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_ScheduleCancelHalf)->Range(1 << 10, 1 << 16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Microbenchmarks for policy scoring: the per-dispatch cost claims of §5.2 —
+// the unbounded (Eq. 5) cost path is O(1) per task from the maintained
+// aggregate, while the bounded (Eq. 4) path is O(n) per task.
+#include <benchmark/benchmark.h>
+
+#include "core/metrics.hpp"
+#include "core/policy.hpp"
+#include "workload/generator.hpp"
+#include "workload/presets.hpp"
+
+namespace {
+
+struct Fixture {
+  mbts::Trace trace;
+  std::vector<mbts::CompetitorInfo> infos;
+  mbts::MixView mix;
+
+  Fixture(std::size_t n, mbts::PenaltyModel penalty) {
+    mbts::WorkloadSpec spec = mbts::presets::decay_skew_mix(5.0, penalty, n);
+    mbts::Xoshiro256 rng(123);
+    trace = mbts::generate_trace(spec, rng);
+    const double now = trace.tasks.back().arrival;
+    bool any_bounded = false;
+    for (const mbts::Task& t : trace.tasks) {
+      mbts::CompetitorInfo info;
+      info.id = t.id;
+      info.decay = t.value.decay();
+      if (t.value.bounded() && info.decay > 0.0) {
+        any_bounded = true;
+        info.time_to_expire = std::max(0.0, t.expire_time() - now);
+      }
+      infos.push_back(info);
+    }
+    double total = 0.0;
+    for (const auto& c : infos)
+      if (c.time_to_expire > 0.0) total += c.decay;
+    mix.now = now;
+    mix.discount_rate = 0.01;
+    mix.total_live_decay = total;
+    mix.competitors = infos;
+    mix.any_bounded = any_bounded;
+  }
+};
+
+void score_all(benchmark::State& state, mbts::PenaltyModel penalty,
+               const mbts::PolicySpec& spec) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Fixture fixture(n, penalty);
+  const auto policy = mbts::make_policy(spec);
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (const mbts::Task& t : fixture.trace.tasks)
+      sum += policy->priority(t, t.runtime, fixture.mix);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+
+void BM_FirstPrice(benchmark::State& state) {
+  score_all(state, mbts::PenaltyModel::kUnbounded,
+            mbts::PolicySpec::first_price());
+}
+void BM_FirstRewardUnbounded(benchmark::State& state) {
+  score_all(state, mbts::PenaltyModel::kUnbounded,
+            mbts::PolicySpec::first_reward(0.3));
+}
+void BM_FirstRewardBounded(benchmark::State& state) {
+  score_all(state, mbts::PenaltyModel::kBoundedAtZero,
+            mbts::PolicySpec::first_reward(0.3));
+}
+
+BENCHMARK(BM_FirstPrice)->Range(64, 4096);
+BENCHMARK(BM_FirstRewardUnbounded)->Range(64, 4096);
+// Bounded cost is O(n) per task — expect quadratic total growth here.
+BENCHMARK(BM_FirstRewardBounded)->Range(64, 1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

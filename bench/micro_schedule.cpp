@@ -1,0 +1,58 @@
+// Microbenchmarks for candidate-schedule projection and end-to-end
+// single-site simulation throughput (tasks scheduled per second).
+#include <benchmark/benchmark.h>
+
+#include "core/schedule.hpp"
+#include "experiments/runner.hpp"
+#include "workload/presets.hpp"
+
+namespace {
+
+void BM_ListSchedule(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  mbts::Xoshiro256 rng(5);
+  std::vector<mbts::PendingItem> ordered(n);
+  for (std::size_t i = 0; i < n; ++i)
+    ordered[i] = {i, rng.uniform(1.0, 200.0)};
+  std::vector<double> proc_free(16, 0.0);
+  for (auto _ : state) {
+    auto entries = mbts::list_schedule(proc_free, ordered);
+    benchmark::DoNotOptimize(entries.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_ListSchedule)->Range(64, 1 << 14);
+
+void run_site(benchmark::State& state, const mbts::PolicySpec& policy,
+              bool admission) {
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  mbts::WorkloadSpec spec = mbts::presets::admission_mix(1.5, jobs);
+  mbts::Xoshiro256 rng(17);
+  const mbts::Trace trace = mbts::generate_trace(spec, rng);
+  mbts::SchedulerConfig config;
+  config.processors = mbts::presets::kProcessors;
+  config.preemption = true;
+  config.discount_rate = 0.01;
+  std::optional<mbts::SlackAdmissionConfig> admit;
+  if (admission) admit = mbts::SlackAdmissionConfig{180.0, false};
+  for (auto _ : state) {
+    auto stats = mbts::run_single_site(trace, config, policy, admit);
+    benchmark::DoNotOptimize(stats.total_yield);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(jobs) *
+                          state.iterations());
+}
+
+void BM_SiteFirstPrice(benchmark::State& state) {
+  run_site(state, mbts::PolicySpec::first_price(), false);
+}
+void BM_SiteFirstRewardAdmission(benchmark::State& state) {
+  run_site(state, mbts::PolicySpec::first_reward(0.2), true);
+}
+
+BENCHMARK(BM_SiteFirstPrice)->Arg(500)->Arg(2000)->Arg(5000);
+BENCHMARK(BM_SiteFirstRewardAdmission)->Arg(500)->Arg(2000)->Arg(5000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// Microbenchmarks for the RNG and trace generation substrate.
+#include <benchmark/benchmark.h>
+
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+#include "workload/presets.hpp"
+
+namespace {
+
+void BM_Xoshiro(benchmark::State& state) {
+  mbts::Xoshiro256 rng(99);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Xoshiro);
+
+void BM_GenerateTrace(benchmark::State& state) {
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  mbts::WorkloadSpec spec = mbts::presets::admission_mix(1.0, jobs);
+  std::uint64_t rep = 0;
+  for (auto _ : state) {
+    const mbts::Trace trace =
+        mbts::generate_trace(spec, mbts::SeedSequence(3), rep++);
+    benchmark::DoNotOptimize(trace.tasks.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(jobs) *
+                          state.iterations());
+}
+BENCHMARK(BM_GenerateTrace)->Arg(1000)->Arg(10000);
+
+void BM_MillenniumTrace(benchmark::State& state) {
+  mbts::WorkloadSpec spec = mbts::presets::millennium_mix(4.0, 5000);
+  std::uint64_t rep = 0;
+  for (auto _ : state) {
+    const mbts::Trace trace =
+        mbts::generate_trace(spec, mbts::SeedSequence(3), rep++);
+    benchmark::DoNotOptimize(trace.tasks.data());
+  }
+  state.SetItemsProcessed(5000 * state.iterations());
+}
+BENCHMARK(BM_MillenniumTrace);
+
+}  // namespace
+
+BENCHMARK_MAIN();

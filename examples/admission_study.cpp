@@ -1,0 +1,65 @@
+// Admission-control study: sweep the slack threshold at a fixed load and
+// show the risk/reward balance the paper's §6 describes — too low a
+// threshold over-commits the site into penalties, too high starves it.
+// A compact interactive companion to the fig7 bench.
+#include <iostream>
+
+#include "experiments/runner.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workload/presets.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mbts;
+
+  CliParser cli("admission_study",
+                "slack-threshold sweep at one load factor (paper §6)");
+  cli.add_flag("jobs", "2000", "tasks per trace");
+  cli.add_flag("load", "1.5", "offered load factor");
+  cli.add_flag("alpha", "0.2", "FirstReward alpha");
+  cli.add_flag("seed", "42", "master seed");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const double load = cli.get_double("load");
+  const double alpha = cli.get_double("alpha");
+  WorkloadSpec spec = presets::admission_mix(
+      load, static_cast<std::size_t>(cli.get_int("jobs")));
+  Xoshiro256 rng = SeedSequence(static_cast<std::uint64_t>(
+                                    cli.get_int("seed")))
+                       .stream(0xAD41);
+  const Trace trace = generate_trace(spec, rng);
+
+  SchedulerConfig config;
+  config.processors = presets::kProcessors;
+  config.preemption = true;
+  config.discount_rate = 0.01;
+
+  const RunStats no_admission = run_single_site(
+      trace, config, PolicySpec::first_reward(alpha), std::nullopt);
+
+  ConsoleTable table({"threshold", "accepted", "rejected", "yield_rate",
+                      "mean_delay", "improvement_%"});
+  table.row({"(none)", std::to_string(no_admission.accepted),
+             std::to_string(no_admission.rejected),
+             ConsoleTable::num(no_admission.yield_rate, 1),
+             ConsoleTable::num(no_admission.delay.mean(), 1), "0.00"});
+  for (double threshold : {-200.0, -100.0, 0.0, 100.0, 200.0, 300.0, 450.0,
+                           600.0}) {
+    const RunStats stats =
+        run_single_site(trace, config, PolicySpec::first_reward(alpha),
+                        SlackAdmissionConfig{threshold, false});
+    const double gain = no_admission.yield_rate == 0.0
+                            ? 0.0
+                            : 100.0 *
+                                  (stats.yield_rate - no_admission.yield_rate) /
+                                  std::abs(no_admission.yield_rate);
+    table.row({ConsoleTable::num(threshold, 0),
+               std::to_string(stats.accepted), std::to_string(stats.rejected),
+               ConsoleTable::num(stats.yield_rate, 1),
+               ConsoleTable::num(stats.delay.mean(), 1),
+               ConsoleTable::num(gain, 2)});
+  }
+  std::cout << "load factor " << load << ", alpha " << alpha << "\n\n"
+            << table.render();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Side-by-side policy comparison on one workload preset: total yield, yield
+// rate, delays, preemptions — the quickest way to see how FCFS, SRPT, SWPT,
+// FirstPrice, PV, and FirstReward rank on a given mix.
+#include <iostream>
+
+#include "experiments/runner.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workload/presets.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mbts;
+
+  CliParser cli("policy_compare",
+                "compare all scheduling policies on one preset workload");
+  cli.add_flag("preset", "decay-skew",
+               "millennium | decay-skew | admission");
+  cli.add_flag("jobs", "2000", "tasks per trace");
+  cli.add_flag("load", "1.0", "load factor (admission preset)");
+  cli.add_flag("skew", "5.0", "value or decay skew ratio, per preset");
+  cli.add_flag("penalty", "unbounded", "zero | unbounded (decay-skew preset)");
+  cli.add_flag("discount", "1.0", "discount rate in percent");
+  cli.add_flag("decay", "0", "override low-class decay rate (0 = preset)");
+  cli.add_flag("runtime-cv", "0", "override runtime normal cv (0 = preset)");
+  cli.add_flag("preempt", "true", "enable preemption");
+  cli.add_flag("basis", "completion",
+               "yield basis for value-aware policies: completion | now");
+  cli.add_flag("seed", "42", "master seed");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto jobs = static_cast<std::size_t>(cli.get_int("jobs"));
+  const double skew = cli.get_double("skew");
+  const std::string preset = cli.get_string("preset");
+  WorkloadSpec spec;
+  if (preset == "millennium") {
+    spec = presets::millennium_mix(skew, jobs);
+  } else if (preset == "decay-skew") {
+    const PenaltyModel penalty = cli.get_string("penalty") == "zero"
+                                     ? PenaltyModel::kBoundedAtZero
+                                     : PenaltyModel::kUnbounded;
+    spec = presets::decay_skew_mix(skew, penalty, jobs);
+  } else {
+    spec = presets::admission_mix(cli.get_double("load"), jobs);
+  }
+  if (const double decay = cli.get_double("decay"); decay > 0.0)
+    spec.decay.low_mean = decay;
+  if (const double cv = cli.get_double("runtime-cv"); cv > 0.0)
+    spec.runtime = DistSpec::normal(spec.runtime.mean(),
+                                    cv * spec.runtime.mean());
+  Xoshiro256 rng =
+      SeedSequence(static_cast<std::uint64_t>(cli.get_int("seed")))
+          .stream(0xC0);
+  const Trace trace = generate_trace(spec, rng);
+  std::cout << "spec: " << spec.to_string() << "\n\n";
+
+  SchedulerConfig config;
+  config.processors = presets::kProcessors;
+  config.preemption = cli.get_bool("preempt");
+  config.discount_rate = cli.get_double("discount") / 100.0;
+
+  const YieldBasis basis = cli.get_string("basis") == "now"
+                               ? YieldBasis::kAtNow
+                               : YieldBasis::kAtCompletion;
+  const std::vector<PolicySpec> policies{
+      PolicySpec::fcfs(),
+      PolicySpec::srpt(),
+      PolicySpec::swpt(),
+      PolicySpec::random(1),
+      PolicySpec::first_price().with_basis(basis),
+      PolicySpec::present_value().with_basis(basis),
+      PolicySpec::first_reward(0.0).with_basis(basis),
+      PolicySpec::first_reward(0.3).with_basis(basis),
+      PolicySpec::first_reward(0.7).with_basis(basis),
+      PolicySpec::first_reward(1.0).with_basis(basis),
+  };
+
+  ConsoleTable table({"policy", "total_yield", "yield_rate", "mean_delay",
+                      "p95_delay_max", "preempts", "util"});
+  for (const PolicySpec& policy : policies) {
+    const RunStats stats =
+        run_single_site(trace, config, policy, std::nullopt);
+    table.row({policy.to_string(), ConsoleTable::num(stats.total_yield, 0),
+               ConsoleTable::num(stats.yield_rate, 2),
+               ConsoleTable::num(stats.delay.mean(), 1),
+               ConsoleTable::num(stats.delay.max(), 0),
+               std::to_string(stats.preemptions),
+               ConsoleTable::num(stats.utilization, 3)});
+  }
+  std::cout << table.render();
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Observability demo: run one site under load and chart its queue dynamics
+// over simulated time with a periodic probe — pending depth, running tasks,
+// and an ASCII sparkline of the backlog. Shows how admission control keeps
+// the queue bounded where an open site's backlog grows without limit.
+#include <iostream>
+
+#include "core/scheduler.hpp"
+#include "sim/probe.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workload/presets.hpp"
+
+namespace {
+
+std::string sparkline(const mbts::SampledSeries& series, std::size_t width) {
+  static const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  if (series.size() == 0) return "";
+  double peak = 1.0;
+  for (std::size_t i = 0; i < series.size(); ++i)
+    peak = std::max(peak, series.value(i));
+  std::string out;
+  for (std::size_t c = 0; c < width; ++c) {
+    const std::size_t i = c * series.size() / width;
+    const double frac = series.value(i) / peak;
+    out += kLevels[static_cast<std::size_t>(frac * 7.0)];
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mbts;
+
+  CliParser cli("site_timeline",
+                "queue-depth timeline of one site, with/without admission");
+  cli.add_flag("jobs", "3000", "tasks per trace");
+  cli.add_flag("load", "2.0", "offered load factor");
+  cli.add_flag("threshold", "100", "slack admission threshold");
+  cli.add_flag("seed", "42", "master seed");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const double load = cli.get_double("load");
+  WorkloadSpec spec = presets::admission_mix(
+      load, static_cast<std::size_t>(cli.get_int("jobs")));
+  Xoshiro256 rng = SeedSequence(static_cast<std::uint64_t>(
+                                    cli.get_int("seed")))
+                       .stream(0x71);
+  const Trace trace = generate_trace(spec, rng);
+  const double probe_interval = spec.mean_gap() * 20.0;
+
+  struct Run {
+    std::string name;
+    RunStats stats;
+    SampledSeries queue;
+  };
+  std::vector<Run> runs;
+
+  for (const bool admission : {false, true}) {
+    SimEngine engine;
+    SchedulerConfig config;
+    config.processors = presets::kProcessors;
+    config.preemption = true;
+    config.discount_rate = 0.01;
+    std::unique_ptr<AdmissionPolicy> admit;
+    if (admission)
+      admit = std::make_unique<SlackAdmission>(SlackAdmissionConfig{
+          cli.get_double("threshold"), false});
+    else
+      admit = std::make_unique<AcceptAllAdmission>();
+    SiteScheduler site(engine, config,
+                       make_policy(PolicySpec::first_reward(0.2)),
+                       std::move(admit));
+    site.inject(trace.tasks);
+    PeriodicProbe probe(engine, probe_interval, [&site] {
+      return static_cast<double>(site.pending_count());
+    });
+    engine.run();
+    runs.push_back(
+        {admission ? "slack admission" : "accept all", site.stats(),
+         probe.series()});
+  }
+
+  std::cout << "load factor " << load << ", " << trace.size()
+            << " tasks, 16 processors\n\n";
+  ConsoleTable table({"site", "accepted", "rejected", "yield_rate",
+                      "mean_delay", "peak_queue"});
+  for (const Run& run : runs) {
+    double peak = 0.0;
+    for (std::size_t i = 0; i < run.queue.size(); ++i)
+      peak = std::max(peak, run.queue.value(i));
+    table.row({run.name, std::to_string(run.stats.accepted),
+               std::to_string(run.stats.rejected),
+               ConsoleTable::num(run.stats.yield_rate, 2),
+               ConsoleTable::num(run.stats.delay.mean(), 1),
+               ConsoleTable::num(peak, 0)});
+  }
+  std::cout << table.render() << '\n';
+
+  for (const Run& run : runs)
+    std::cout << "queue depth (" << run.name << "):\n  |"
+              << sparkline(run.queue, 72) << "|\n";
+  return 0;
+}

@@ -1,0 +1,28 @@
+#include "cluster/processor_pool.hpp"
+
+#include "util/check.hpp"
+
+namespace mbts {
+
+ProcessorPool::ProcessorPool(std::size_t capacity) : capacity_(capacity) {
+  MBTS_CHECK_MSG(capacity > 0, "a site needs at least one processor");
+}
+
+void ProcessorPool::acquire(SimTime now, std::size_t count) {
+  MBTS_CHECK_MSG(free_count() >= count, "acquire exceeds free processors");
+  busy_ += count;
+  busy_series_.set(now, static_cast<double>(busy_));
+}
+
+void ProcessorPool::release(SimTime now, std::size_t count) {
+  MBTS_CHECK_MSG(busy_ >= count, "release exceeds busy processors");
+  busy_ -= count;
+  busy_series_.set(now, static_cast<double>(busy_));
+}
+
+double ProcessorPool::utilization(SimTime now) const {
+  if (busy_series_.empty()) return 0.0;
+  return busy_series_.average(now) / static_cast<double>(capacity_);
+}
+
+}  // namespace mbts

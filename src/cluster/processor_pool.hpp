@@ -1,0 +1,40 @@
+// Processor pool for one task-service site (paper §4 assumptions).
+//
+// Processors are interchangeable, tasks are single-processor, and context
+// switches are free, so the pool only tracks how many processors are busy —
+// which processor a task occupies never matters. Utilization is integrated
+// over simulated time for the evaluation harness.
+#pragma once
+
+#include <cstddef>
+
+#include "core/types.hpp"
+#include "stats/timeseries.hpp"
+
+namespace mbts {
+
+class ProcessorPool {
+ public:
+  explicit ProcessorPool(std::size_t capacity);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t busy() const { return busy_; }
+  std::size_t free_count() const { return capacity_ - busy_; }
+  bool has_free() const { return busy_ < capacity_; }
+
+  /// Marks `count` processors busy; requires free_count() >= count.
+  void acquire(SimTime now, std::size_t count = 1);
+
+  /// Releases `count` processors; requires busy() >= count.
+  void release(SimTime now, std::size_t count = 1);
+
+  /// Time-averaged fraction of busy processors since the first transition.
+  double utilization(SimTime now) const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t busy_ = 0;
+  TimeWeighted busy_series_;
+};
+
+}  // namespace mbts

@@ -1,0 +1,112 @@
+#include "core/admission.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "util/check.hpp"
+
+namespace mbts {
+
+AdmissionDecision project_candidate(const Task& candidate,
+                                    const AdmissionContext& ctx) {
+  MBTS_CHECK(ctx.mix != nullptr && ctx.policy != nullptr);
+  MBTS_CHECK(ctx.pending_sorted.size() == ctx.pending_rpt.size());
+
+  // The site believes the bid: score and project with the declared runtime.
+  const double cand_priority =
+      ctx.policy->priority(candidate, candidate.estimate(), *ctx.mix);
+
+  // Pending tasks arrive already sorted by priority (descending). The
+  // candidate slots in front of the first strictly-lower-priority task;
+  // ties resolve behind existing tasks (they arrived earlier).
+  std::size_t position = ctx.pending_sorted.size();
+  for (std::size_t i = 0; i < ctx.pending_sorted.size(); ++i) {
+    const double p = ctx.policy->priority(*ctx.pending_sorted[i],
+                                          ctx.pending_rpt[i], *ctx.mix);
+    if (cand_priority > p) {
+      position = i;
+      break;
+    }
+  }
+
+  std::vector<PendingItem> ordered;
+  ordered.reserve(ctx.pending_sorted.size() + 1);
+  for (std::size_t i = 0; i < ctx.pending_sorted.size(); ++i) {
+    if (i == position)
+      ordered.push_back(
+          {candidate.id, candidate.estimate(), candidate.width});
+    ordered.push_back({ctx.pending_sorted[i]->id, ctx.pending_rpt[i],
+                       ctx.pending_sorted[i]->width});
+  }
+  if (position == ctx.pending_sorted.size())
+    ordered.push_back(
+        {candidate.id, candidate.estimate(), candidate.width});
+
+  AdmissionDecision decision;
+  decision.queue_position = position;
+  decision.expected_completion =
+      completion_of(ctx.proc_free, ordered, position);
+  decision.expected_yield =
+      candidate.yield_at_completion(decision.expected_completion);
+  return decision;
+}
+
+double admission_cost(const Task& candidate, const AdmissionContext& ctx,
+                      std::size_t position, bool literal_eq8) {
+  // Eq. 8: impact on the tasks behind the candidate in the pending order.
+  double cost = 0.0;
+  for (std::size_t i = position; i < ctx.pending_sorted.size(); ++i) {
+    const Task& behind = *ctx.pending_sorted[i];
+    const double window =
+        literal_eq8 ? behind.estimate() : candidate.estimate();
+    const double rate =
+        behind.value.decay_at_delay(behind.delay_at_completion(ctx.now));
+    cost += rate * window;
+  }
+  return cost;
+}
+
+double admission_slack(const Task& candidate, const AdmissionContext& ctx,
+                       const AdmissionDecision& projection, double cost) {
+  // Eq. 7 with the gain expressed as present value: the payoff matures when
+  // the task is expected to complete, not merely after its run time.
+  const double horizon =
+      std::max(0.0, projection.expected_completion - ctx.now);
+  const double pv = present_value(projection.expected_yield,
+                                  ctx.mix->discount_rate, horizon);
+  const double net = pv - cost;
+  const double decay = candidate.value.decay();
+  if (decay == 0.0) return net >= 0.0 ? kInf : -kInf;
+  return net / decay;
+}
+
+AdmissionDecision AcceptAllAdmission::evaluate(
+    const Task& candidate, const AdmissionContext& ctx) const {
+  AdmissionDecision decision = project_candidate(candidate, ctx);
+  decision.slack = kInf;
+  decision.accept = true;
+  return decision;
+}
+
+SlackAdmission::SlackAdmission(SlackAdmissionConfig config)
+    : config_(config) {}
+
+std::string SlackAdmission::name() const {
+  std::ostringstream os;
+  os << "Slack(threshold=" << config_.threshold << ')';
+  return os.str();
+}
+
+AdmissionDecision SlackAdmission::evaluate(const Task& candidate,
+                                           const AdmissionContext& ctx) const {
+  AdmissionDecision decision = project_candidate(candidate, ctx);
+  const double cost = admission_cost(candidate, ctx, decision.queue_position,
+                                     config_.literal_eq8);
+  decision.slack = admission_slack(candidate, ctx, decision, cost);
+  decision.accept = decision.slack >= config_.threshold;
+  return decision;
+}
+
+}  // namespace mbts

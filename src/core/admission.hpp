@@ -1,0 +1,108 @@
+// Admission control and bid evaluation (paper §6).
+//
+// When a bid arrives, the site tentatively ranks the task into its candidate
+// schedule, projects its expected completion and yield, and computes its
+// *slack* (Eq. 7): the additional delay the task could absorb before its
+// reward drops below zero,
+//
+//   slack_i = (PV_i - cost_i) / decay_i
+//
+// where cost_i charges the decay inflicted on every task behind i in the
+// candidate schedule (Eq. 8). Bids whose slack falls below a configurable
+// threshold are rejected; a low-slack task would constrain the site's
+// flexibility to accept higher-value work later.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "core/mix.hpp"
+#include "core/policy.hpp"
+#include "core/schedule.hpp"
+#include "core/task.hpp"
+
+namespace mbts {
+
+/// Everything an acceptance heuristic may inspect about the site's state at
+/// bid time. `pending_sorted`/`pending_rpt` are the queued tasks in policy
+/// priority order (highest first); `proc_free` is each processor's expected
+/// next free time. `mix` includes the candidate task itself.
+struct AdmissionContext {
+  SimTime now = 0.0;
+  const MixView* mix = nullptr;
+  const SchedulingPolicy* policy = nullptr;
+  std::span<const double> proc_free;
+  std::span<const Task* const> pending_sorted;
+  std::span<const double> pending_rpt;
+};
+
+/// Outcome of evaluating one bid. Expected fields are filled even on
+/// rejection so clients can log why a quote was refused.
+struct AdmissionDecision {
+  bool accept = false;
+  /// Candidate-schedule projection (Eq. 2).
+  SimTime expected_completion = 0.0;
+  double expected_yield = 0.0;
+  /// Slack per Eq. 7 (kInf when decay == 0 and the task is profitable).
+  double slack = 0.0;
+  /// Zero-based rank the task would take in the pending order.
+  std::size_t queue_position = 0;
+};
+
+class AdmissionPolicy {
+ public:
+  virtual ~AdmissionPolicy() = default;
+  virtual std::string name() const = 0;
+  virtual AdmissionDecision evaluate(const Task& candidate,
+                                     const AdmissionContext& ctx) const = 0;
+};
+
+/// Accepts every bid (the §5 regime: the scheduler must run all tasks).
+/// Still computes the projection so server quotes are available.
+class AcceptAllAdmission final : public AdmissionPolicy {
+ public:
+  std::string name() const override { return "AcceptAll"; }
+  AdmissionDecision evaluate(const Task& candidate,
+                             const AdmissionContext& ctx) const override;
+};
+
+struct SlackAdmissionConfig {
+  /// Minimum slack (in time units) a bid must retain to be accepted.
+  double threshold = 0.0;
+  /// Use the paper's Eq. 8 exactly as printed (decay_j * runtime_j). The
+  /// default charges decay_j * runtime_i — the delay task i actually
+  /// inflicts on each task j behind it; see DESIGN.md §4 item 1.
+  bool literal_eq8 = false;
+};
+
+/// The paper's slack-threshold acceptance heuristic (Eq. 7/8).
+class SlackAdmission final : public AdmissionPolicy {
+ public:
+  explicit SlackAdmission(SlackAdmissionConfig config);
+  std::string name() const override;
+  AdmissionDecision evaluate(const Task& candidate,
+                             const AdmissionContext& ctx) const override;
+
+  const SlackAdmissionConfig& config() const { return config_; }
+
+ private:
+  SlackAdmissionConfig config_;
+};
+
+/// Shared projection: ranks `candidate` into the pending order by policy
+/// priority (ties go behind equals — arrival order), list-schedules, and
+/// fills the expected completion/yield and queue position of the decision.
+/// Returns the projected decision with accept unset (false) and slack 0.
+AdmissionDecision project_candidate(const Task& candidate,
+                                    const AdmissionContext& ctx);
+
+/// Eq. 8 cost of accepting `candidate` at `position` in the pending order.
+double admission_cost(const Task& candidate, const AdmissionContext& ctx,
+                      std::size_t position, bool literal_eq8);
+
+/// Eq. 7 slack given the projection and cost.
+double admission_slack(const Task& candidate, const AdmissionContext& ctx,
+                       const AdmissionDecision& projection, double cost);
+
+}  // namespace mbts

@@ -1,0 +1,69 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace mbts {
+
+double expected_yield_if_started(const Task& task, SimTime now, double rpt) {
+  MBTS_DCHECK(rpt >= 0.0);
+  return task.yield_at_completion(now + rpt);
+}
+
+double yield_for_ranking(const Task& task, SimTime now, double rpt,
+                         YieldBasis basis) {
+  if (basis == YieldBasis::kAtCompletion)
+    return expected_yield_if_started(task, now, rpt);
+  // kAtNow: delay accrued so far; completing instantly from here.
+  return task.yield_at_completion(now);
+}
+
+double present_value(double yield, double discount_rate, double horizon) {
+  MBTS_DCHECK(horizon >= 0.0);
+  MBTS_DCHECK(discount_rate >= 0.0);
+  return yield / (1.0 + discount_rate * horizon);
+}
+
+double opportunity_cost(const Task& task, double rpt, const MixView& mix) {
+  MBTS_DCHECK(rpt >= 0.0);
+  if (!mix.any_bounded) {
+    // Eq. 5 fast path: with no expirable value functions in the mix, every
+    // competitor keeps decaying for the full RPT_i and the aggregate minus
+    // the task's own current rate is exact.
+    const double own =
+        task.value.decay_at_delay(task.delay_at_completion(mix.now));
+    const double others = mix.total_live_decay - own;
+    return std::max(others, 0.0) * rpt;
+  }
+  // Eq. 4: per-competitor, capped by each competitor's remaining decay time.
+  double cost = 0.0;
+  for (const auto& c : mix.competitors) {
+    if (c.id == task.id) continue;
+    const double window = std::min(rpt, c.time_to_expire);
+    if (window > 0.0) cost += c.decay * window;
+  }
+  return cost;
+}
+
+double unit_gain(const Task& task, SimTime now, double rpt,
+                 YieldBasis basis) {
+  MBTS_CHECK_MSG(rpt > 0.0, "unit gain needs positive remaining time");
+  // "Yield per unit of resource per unit of processing time" (§4): a
+  // width-w gang consumes w processor-seconds per second.
+  return yield_for_ranking(task, now, rpt, basis) /
+         (rpt * static_cast<double>(task.width));
+}
+
+double first_reward_index(const Task& task, double rpt, const MixView& mix,
+                          double alpha, YieldBasis basis) {
+  MBTS_CHECK_MSG(alpha >= 0.0 && alpha <= 1.0, "alpha must be in [0, 1]");
+  MBTS_CHECK_MSG(rpt > 0.0, "reward index needs positive remaining time");
+  const double yield = yield_for_ranking(task, mix.now, rpt, basis);
+  const double pv = present_value(yield, mix.discount_rate, rpt);
+  const double cost = opportunity_cost(task, rpt, mix);
+  return (alpha * pv - (1.0 - alpha) * cost) /
+         (rpt * static_cast<double>(task.width));
+}
+
+}  // namespace mbts

@@ -1,0 +1,58 @@
+// The paper's scheduling metrics as pure functions (Eqs. 1–6).
+//
+// Keeping these free of scheduler state makes every equation independently
+// unit-testable and lets policies, admission control, and the market layer
+// share one implementation.
+#pragma once
+
+#include "core/mix.hpp"
+#include "core/task.hpp"
+#include "core/types.hpp"
+
+namespace mbts {
+
+/// Which instant a ranking heuristic evaluates the value function at.
+/// Eq. 2 projects to the task's completion (kAtCompletion, the paper's
+/// formulation); kAtNow uses the value remaining at the present instant —
+/// a plausible reading of Millennium's "price" that drops the built-in
+/// length penalty. Kept as an ablation (see DESIGN.md).
+enum class YieldBasis { kAtCompletion, kAtNow };
+
+/// Expected yield if the task starts now and runs `rpt` more units:
+/// completion = now + rpt, then Eq. 1 + Eq. 2.
+double expected_yield_if_started(const Task& task, SimTime now, double rpt);
+
+/// Yield under the chosen basis: kAtCompletion as above; kAtNow evaluates
+/// the value function at the current instant (delay accrued so far only).
+double yield_for_ranking(const Task& task, SimTime now, double rpt,
+                         YieldBasis basis);
+
+/// Present value of a payoff `yield` that matures after `horizon` time at
+/// simple interest `discount_rate` (Eq. 3):
+///   PV = yield / (1 + discount_rate * horizon).
+/// For negative yields the magnitude is also discounted — a deferred penalty
+/// hurts less than an immediate one, consistent with the investment
+/// metaphor. horizon must be >= 0.
+double present_value(double yield, double discount_rate, double horizon);
+
+/// Opportunity cost of running `task` for `rpt` units starting at mix.now
+/// (Eq. 4): the aggregate yield decline of all competing tasks,
+///   cost_i = sum_{j != i} d_j * min(RPT_i, time_to_expire_j).
+/// When no competitor is bounded this reduces to (Eq. 5)
+///   cost_i = (total_live_decay - d_i) * RPT_i
+/// and is computed in O(1) from the aggregate.
+double opportunity_cost(const Task& task, double rpt, const MixView& mix);
+
+/// FirstPrice's unit gain: expected yield per unit of processing time.
+double unit_gain(const Task& task, SimTime now, double rpt,
+                 YieldBasis basis = YieldBasis::kAtCompletion);
+
+/// The FirstReward index (Eq. 6):
+///   reward_i = (alpha * PV_i - (1 - alpha) * cost_i) / RPT_i,
+/// with PV_i the discounted expected yield if started now and cost_i the
+/// opportunity cost above. alpha in [0, 1].
+double first_reward_index(const Task& task, double rpt, const MixView& mix,
+                          double alpha,
+                          YieldBasis basis = YieldBasis::kAtCompletion);
+
+}  // namespace mbts

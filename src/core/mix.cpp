@@ -1,0 +1,19 @@
+#include "core/mix.hpp"
+
+namespace mbts {
+
+void MixTracker::rebuild(SimTime now, std::vector<CompetitorInfo> infos,
+                         bool any_bounded) {
+  storage_ = std::move(infos);
+  double total = 0.0;
+  for (const auto& c : storage_) {
+    if (c.time_to_expire > 0.0) total += c.decay;
+  }
+  view_.now = now;
+  view_.discount_rate = discount_rate_;
+  view_.total_live_decay = total;
+  view_.competitors = storage_;
+  view_.any_bounded = any_bounded;
+}
+
+}  // namespace mbts

@@ -1,0 +1,66 @@
+// A point-in-time view of the task mix that scheduling heuristics score
+// against (paper §5).
+//
+// The opportunity-cost terms (Eq. 4/5) need two things about the competing
+// tasks: the aggregate decay of the live (unexpired) mix, maintained
+// incrementally so the unbounded path is O(1) per scored task, and — for the
+// bounded path — each competitor's decay and remaining time until its value
+// function expires.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace mbts {
+
+/// One competing task as seen by the cost computation.
+struct CompetitorInfo {
+  TaskId id = kInvalidTask;
+  double decay = 0.0;
+  /// Remaining time until this competitor's value function stops decaying
+  /// (kInf for unbounded penalties or zero decay; 0 when already expired).
+  double time_to_expire = kInf;
+};
+
+/// Immutable snapshot handed to policies when scoring a task.
+struct MixView {
+  SimTime now = 0.0;
+  /// Tunable risk-aversion knob for Present Value (Eq. 3), in value per
+  /// unit time (the paper quotes it in %; 1% == 0.01).
+  double discount_rate = 0.0;
+  /// Sum of decay rates over all *live* tasks in the mix, including the task
+  /// being scored (the caller subtracts its own decay as needed).
+  double total_live_decay = 0.0;
+  /// All competitors (including the scored task itself; filtered by id).
+  /// May be empty when every competitor is unbounded — then the aggregate
+  /// suffices and cost falls back to the O(1) Eq. 5 path.
+  std::span<const CompetitorInfo> competitors;
+  /// True when at least one task in the mix has a bounded penalty; selects
+  /// the Eq. 4 (per-competitor) cost path.
+  bool any_bounded = false;
+};
+
+/// Builds MixView snapshots from the scheduler's task mix and keeps the
+/// aggregate decay current as tasks arrive, expire, and complete.
+class MixTracker {
+ public:
+  void set_discount_rate(double rate) { discount_rate_ = rate; }
+  double discount_rate() const { return discount_rate_; }
+
+  /// Rebuilds the snapshot from scratch. `infos` describes every task in
+  /// the mix (pending and running) at time `now`. Expired competitors
+  /// (time_to_expire == 0) contribute nothing to aggregate decay.
+  void rebuild(SimTime now, std::vector<CompetitorInfo> infos,
+               bool any_bounded);
+
+  const MixView& view() const { return view_; }
+
+ private:
+  double discount_rate_ = 0.0;
+  std::vector<CompetitorInfo> storage_;
+  MixView view_;
+};
+
+}  // namespace mbts

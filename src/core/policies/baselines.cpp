@@ -1,0 +1,24 @@
+#include "core/policies/baselines.hpp"
+
+#include "util/rng.hpp"
+
+namespace mbts {
+
+double FcfsPolicy::priority(const Task& task, double /*rpt*/,
+                            const MixView& /*mix*/) const {
+  return -task.arrival;
+}
+
+double SrptPolicy::priority(const Task& /*task*/, double rpt,
+                            const MixView& /*mix*/) const {
+  return -rpt;
+}
+
+double RandomPolicy::priority(const Task& task, double /*rpt*/,
+                              const MixView& /*mix*/) const {
+  // A hash of (seed, id) gives a stable random permutation without state.
+  SplitMix64 sm(seed_ ^ (task.id * 0x9e3779b97f4a7c15ULL));
+  return static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace mbts

@@ -1,0 +1,39 @@
+// Value-oblivious baselines: FCFS, SRPT, and a seeded random order (§4).
+#pragma once
+
+#include <cstdint>
+
+#include "core/policy.hpp"
+
+namespace mbts {
+
+/// First Come First Served: orders by arrival time.
+class FcfsPolicy final : public SchedulingPolicy {
+ public:
+  std::string name() const override { return "FCFS"; }
+  double priority(const Task& task, double rpt,
+                  const MixView& mix) const override;
+};
+
+/// Shortest Remaining Processing Time.
+class SrptPolicy final : public SchedulingPolicy {
+ public:
+  std::string name() const override { return "SRPT"; }
+  double priority(const Task& task, double rpt,
+                  const MixView& mix) const override;
+};
+
+/// Uniform random order, stable per (seed, task id): a sanity floor for the
+/// evaluation — any value-aware heuristic should beat it.
+class RandomPolicy final : public SchedulingPolicy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed) : seed_(seed) {}
+  std::string name() const override { return "RANDOM"; }
+  double priority(const Task& task, double rpt,
+                  const MixView& mix) const override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace mbts

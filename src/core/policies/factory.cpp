@@ -1,0 +1,80 @@
+#include <cstdlib>
+#include <sstream>
+
+#include "core/policies/baselines.hpp"
+#include "core/policies/first_price.hpp"
+#include "core/policies/first_reward.hpp"
+#include "core/policies/present_value.hpp"
+#include "core/policies/swpt.hpp"
+#include "core/policy.hpp"
+#include "util/check.hpp"
+
+namespace mbts {
+
+std::string PolicySpec::to_string() const {
+  switch (kind) {
+    case Kind::kFcfs:
+      return "fcfs";
+    case Kind::kSrpt:
+      return "srpt";
+    case Kind::kSwpt:
+      return "swpt";
+    case Kind::kFirstPrice:
+      return "firstprice";
+    case Kind::kPresentValue:
+      return "pv";
+    case Kind::kFirstReward: {
+      std::ostringstream os;
+      os << "firstreward:" << alpha;
+      return os.str();
+    }
+    case Kind::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+std::unique_ptr<SchedulingPolicy> make_policy(const PolicySpec& spec) {
+  switch (spec.kind) {
+    case PolicySpec::Kind::kFcfs:
+      return std::make_unique<FcfsPolicy>();
+    case PolicySpec::Kind::kSrpt:
+      return std::make_unique<SrptPolicy>();
+    case PolicySpec::Kind::kSwpt:
+      return std::make_unique<SwptPolicy>();
+    case PolicySpec::Kind::kFirstPrice:
+      return std::make_unique<FirstPricePolicy>(spec.yield_basis);
+    case PolicySpec::Kind::kPresentValue:
+      return std::make_unique<PresentValuePolicy>(spec.yield_basis);
+    case PolicySpec::Kind::kFirstReward:
+      return std::make_unique<FirstRewardPolicy>(spec.alpha, spec.yield_basis);
+    case PolicySpec::Kind::kRandom:
+      return std::make_unique<RandomPolicy>(spec.seed);
+  }
+  MBTS_CHECK_MSG(false, "unhandled policy kind");
+  return nullptr;
+}
+
+PolicySpec parse_policy_spec(const std::string& text) {
+  if (text == "fcfs") return PolicySpec::fcfs();
+  if (text == "srpt") return PolicySpec::srpt();
+  if (text == "swpt") return PolicySpec::swpt();
+  if (text == "firstprice") return PolicySpec::first_price();
+  if (text == "pv") return PolicySpec::present_value();
+  if (text == "random") return PolicySpec::random(1);
+  const std::string prefix = "firstreward:";
+  if (text.rfind(prefix, 0) == 0) {
+    const std::string rest = text.substr(prefix.size());
+    char* end = nullptr;
+    const double alpha = std::strtod(rest.c_str(), &end);
+    MBTS_CHECK_MSG(end && *end == '\0' && alpha >= 0.0 && alpha <= 1.0,
+                   "bad firstreward alpha: " + rest);
+    return PolicySpec::first_reward(alpha);
+  }
+  MBTS_CHECK_MSG(false, "unknown policy: " + text +
+                            " (expected fcfs|srpt|swpt|firstprice|pv|"
+                            "firstreward:<alpha>|random)");
+  return {};
+}
+
+}  // namespace mbts

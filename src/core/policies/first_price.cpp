@@ -1,0 +1,12 @@
+#include "core/policies/first_price.hpp"
+
+#include "core/metrics.hpp"
+
+namespace mbts {
+
+double FirstPricePolicy::priority(const Task& task, double rpt,
+                                  const MixView& mix) const {
+  return unit_gain(task, mix.now, rpt, basis_);
+}
+
+}  // namespace mbts

@@ -1,0 +1,22 @@
+// Millennium's FirstPrice heuristic (§4): greedy by unit gain,
+// yield_i / RPT_i — the expected yield per unit of resource per unit time if
+// the task is started now. The paper's primary baseline for Figs. 3–7.
+#pragma once
+
+#include "core/policy.hpp"
+
+namespace mbts {
+
+class FirstPricePolicy final : public SchedulingPolicy {
+ public:
+  explicit FirstPricePolicy(YieldBasis basis = YieldBasis::kAtCompletion)
+      : basis_(basis) {}
+  std::string name() const override { return "FirstPrice"; }
+  double priority(const Task& task, double rpt,
+                  const MixView& mix) const override;
+
+ private:
+  YieldBasis basis_;
+};
+
+}  // namespace mbts

@@ -1,0 +1,26 @@
+#include "core/policies/first_reward.hpp"
+
+#include <sstream>
+
+#include "core/metrics.hpp"
+#include "util/check.hpp"
+
+namespace mbts {
+
+FirstRewardPolicy::FirstRewardPolicy(double alpha, YieldBasis basis)
+    : alpha_(alpha), basis_(basis) {
+  MBTS_CHECK_MSG(alpha >= 0.0 && alpha <= 1.0, "alpha must be in [0, 1]");
+}
+
+std::string FirstRewardPolicy::name() const {
+  std::ostringstream os;
+  os << "FirstReward(a=" << alpha_ << ')';
+  return os.str();
+}
+
+double FirstRewardPolicy::priority(const Task& task, double rpt,
+                                   const MixView& mix) const {
+  return first_reward_index(task, rpt, mix, alpha_, basis_);
+}
+
+}  // namespace mbts

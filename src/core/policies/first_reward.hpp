@@ -1,0 +1,30 @@
+// FirstReward (§5.3, Eq. 6): the paper's contribution. Balances discounted
+// expected gains (weight alpha) against opportunity cost (weight 1 - alpha):
+//
+//   reward_i = (alpha * PV_i - (1 - alpha) * cost_i) / RPT_i
+//
+// alpha = 1 with discount 0 reduces to FirstPrice; alpha = 0 reduces to the
+// cost-only variant the paper relates to SWPT.
+#pragma once
+
+#include "core/policy.hpp"
+
+namespace mbts {
+
+class FirstRewardPolicy final : public SchedulingPolicy {
+ public:
+  explicit FirstRewardPolicy(double alpha,
+                             YieldBasis basis = YieldBasis::kAtCompletion);
+
+  std::string name() const override;
+  double priority(const Task& task, double rpt,
+                  const MixView& mix) const override;
+
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  YieldBasis basis_;
+};
+
+}  // namespace mbts

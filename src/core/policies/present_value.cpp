@@ -1,0 +1,16 @@
+#include "core/policies/present_value.hpp"
+
+#include "core/metrics.hpp"
+#include "util/check.hpp"
+
+namespace mbts {
+
+double PresentValuePolicy::priority(const Task& task, double rpt,
+                                    const MixView& mix) const {
+  MBTS_DCHECK(rpt > 0.0);
+  const double yield = yield_for_ranking(task, mix.now, rpt, basis_);
+  return present_value(yield, mix.discount_rate, rpt) /
+         (rpt * static_cast<double>(task.width));
+}
+
+}  // namespace mbts

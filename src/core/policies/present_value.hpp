@@ -1,0 +1,23 @@
+// The Present Value heuristic (§5.1): FirstPrice with future gains
+// discounted at a configurable rate (Eq. 3), selecting by PV_i / RPT_i.
+// At discount rate 0 it is exactly FirstPrice; higher rates make the
+// scheduler more risk-averse, preferring tasks that pay off sooner.
+#pragma once
+
+#include "core/policy.hpp"
+
+namespace mbts {
+
+class PresentValuePolicy final : public SchedulingPolicy {
+ public:
+  explicit PresentValuePolicy(YieldBasis basis = YieldBasis::kAtCompletion)
+      : basis_(basis) {}
+  std::string name() const override { return "PV"; }
+  double priority(const Task& task, double rpt,
+                  const MixView& mix) const override;
+
+ private:
+  YieldBasis basis_;
+};
+
+}  // namespace mbts

@@ -1,0 +1,17 @@
+#include "core/policies/swpt.hpp"
+
+#include "util/check.hpp"
+
+namespace mbts {
+
+double SwptPolicy::priority(const Task& task, double rpt,
+                            const MixView& mix) const {
+  MBTS_DCHECK(rpt > 0.0);
+  // Instantaneous rate: equals the static weight for linear value functions
+  // and tracks the active segment of variable-rate profiles.
+  const double weight =
+      task.value.decay_at_delay(task.delay_at_completion(mix.now));
+  return weight / rpt;
+}
+
+}  // namespace mbts

@@ -1,0 +1,19 @@
+// Shortest Weighted Processing Time (§4): the classical TWCT heuristic.
+//
+// Orders by decay / RPT — optimal for Total Weighted Completion Time on one
+// processor when all tasks are released together. Value-blind: it minimizes
+// loss, never weighing the gain of completing a task.
+#pragma once
+
+#include "core/policy.hpp"
+
+namespace mbts {
+
+class SwptPolicy final : public SchedulingPolicy {
+ public:
+  std::string name() const override { return "SWPT"; }
+  double priority(const Task& task, double rpt,
+                  const MixView& mix) const override;
+};
+
+}  // namespace mbts

@@ -1,0 +1,80 @@
+// Scheduling-policy interface (paper §4–§5).
+//
+// A policy is a pure priority index: given a task, its remaining processing
+// time, and a snapshot of the competing mix, it returns a score; the
+// scheduler runs the highest-scored tasks. Statelessness keeps FCFS, SRPT,
+// SWPT, FirstPrice, PV, and FirstReward interchangeable and independently
+// testable, and makes one dispatch O(n) scoring + O(n log k) selection.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/metrics.hpp"
+#include "core/mix.hpp"
+#include "core/task.hpp"
+
+namespace mbts {
+
+class SchedulingPolicy {
+ public:
+  virtual ~SchedulingPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Priority of running `task` next; higher runs earlier. `rpt` is the
+  /// task's remaining processing time (> 0).
+  virtual double priority(const Task& task, double rpt,
+                          const MixView& mix) const = 0;
+};
+
+/// Declarative policy selection used by experiment configs and CLIs.
+struct PolicySpec {
+  enum class Kind {
+    kFcfs,
+    kSrpt,
+    kSwpt,
+    kFirstPrice,
+    kPresentValue,
+    kFirstReward,
+    kRandom,
+  };
+
+  Kind kind = Kind::kFirstPrice;
+  /// FirstReward's risk/reward weight (Eq. 6); ignored by other policies.
+  double alpha = 0.5;
+  /// Seed for kRandom; ignored by other policies.
+  std::uint64_t seed = 1;
+  /// Where the value-aware policies evaluate yield for ranking (ablation;
+  /// the paper's Eq. 2 formulation is kAtCompletion).
+  YieldBasis yield_basis = YieldBasis::kAtCompletion;
+
+  static PolicySpec fcfs() { return {.kind = Kind::kFcfs}; }
+  static PolicySpec srpt() { return {.kind = Kind::kSrpt}; }
+  static PolicySpec swpt() { return {.kind = Kind::kSwpt}; }
+  static PolicySpec first_price() { return {.kind = Kind::kFirstPrice}; }
+  static PolicySpec present_value() { return {.kind = Kind::kPresentValue}; }
+  static PolicySpec first_reward(double alpha) {
+    return {.kind = Kind::kFirstReward, .alpha = alpha};
+  }
+  static PolicySpec random(std::uint64_t seed) {
+    return {.kind = Kind::kRandom, .seed = seed};
+  }
+
+  PolicySpec with_basis(YieldBasis basis) const {
+    PolicySpec copy = *this;
+    copy.yield_basis = basis;
+    return copy;
+  }
+
+  std::string to_string() const;
+};
+
+/// Instantiates the policy named by the spec.
+std::unique_ptr<SchedulingPolicy> make_policy(const PolicySpec& spec);
+
+/// Parses "fcfs" | "srpt" | "swpt" | "firstprice" | "pv" |
+/// "firstreward:<alpha>" | "random". Throws CheckError on unknown names.
+PolicySpec parse_policy_spec(const std::string& text);
+
+}  // namespace mbts

@@ -1,0 +1,43 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace mbts {
+
+std::vector<ScheduleEntry> list_schedule(
+    std::span<const double> proc_free, std::span<const PendingItem> ordered) {
+  MBTS_CHECK_MSG(!proc_free.empty(), "need at least one processor");
+  std::priority_queue<double, std::vector<double>, std::greater<>> free_at(
+      proc_free.begin(), proc_free.end());
+  std::vector<ScheduleEntry> entries;
+  entries.reserve(ordered.size());
+  for (const PendingItem& item : ordered) {
+    MBTS_DCHECK(item.rpt > 0.0);
+    MBTS_CHECK_MSG(item.width >= 1 && item.width <= proc_free.size(),
+                   "task width exceeds site capacity");
+    // Gang start: claim the `width` earliest-free processors; the task
+    // starts when the last of them frees.
+    double start = 0.0;
+    for (std::size_t w = 0; w < item.width; ++w) {
+      start = free_at.top();  // monotone: the last popped is the max
+      free_at.pop();
+    }
+    const double completion = start + item.rpt;
+    for (std::size_t w = 0; w < item.width; ++w) free_at.push(completion);
+    entries.push_back({item.id, start, completion});
+  }
+  return entries;
+}
+
+double completion_of(std::span<const double> proc_free,
+                     std::span<const PendingItem> ordered, std::size_t index) {
+  MBTS_CHECK(index < ordered.size());
+  const auto entries =
+      list_schedule(proc_free, ordered.subspan(0, index + 1));
+  return entries.back().completion;
+}
+
+}  // namespace mbts

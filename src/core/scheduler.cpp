@@ -1,0 +1,414 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace mbts {
+
+namespace {
+// Running tasks whose remaining time has reached zero are about to see their
+// completion event; they must never be preempted or rescored.
+constexpr double kDoneEpsilon = 1e-9;
+}  // namespace
+
+SiteScheduler::SiteScheduler(SimEngine& engine, SchedulerConfig config,
+                             std::unique_ptr<SchedulingPolicy> policy,
+                             std::unique_ptr<AdmissionPolicy> admission)
+    : engine_(engine),
+      config_(config),
+      policy_(std::move(policy)),
+      admission_(std::move(admission)),
+      pool_(config.processors) {
+  MBTS_CHECK(policy_ != nullptr);
+  MBTS_CHECK(admission_ != nullptr);
+  MBTS_CHECK_MSG(config_.discount_rate >= 0.0,
+                 "discount rate must be non-negative");
+  mix_.set_discount_rate(config_.discount_rate);
+}
+
+double SiteScheduler::executed_now(const TaskState& ts) const {
+  if (!ts.running) return ts.executed;
+  return ts.executed + (engine_.now() - ts.segment_start);
+}
+
+double SiteScheduler::remaining(const TaskState& ts) const {
+  return ts.task.runtime - executed_now(ts);
+}
+
+double SiteScheduler::scoring_remaining(const TaskState& ts) const {
+  const double declared = ts.task.estimate();
+  const double left = declared - executed_now(ts);
+  // An exceeded estimate pins the belief at a small remainder rather than
+  // zero: the site thinks the task is perpetually "almost done".
+  const double floor = config_.exceeded_estimate_fraction * declared;
+  return std::max(left, std::max(floor, 1e-9));
+}
+
+double SiteScheduler::score_of(const TaskState& ts, const MixView& mix) const {
+  if (config_.rescore == RescorePolicy::kAtEnqueue) return ts.cached_score;
+  return policy_->priority(ts.task, scoring_remaining(ts), mix);
+}
+
+const MixView& SiteScheduler::build_mix(const Task* candidate) {
+  const SimTime now = engine_.now();
+  std::vector<CompetitorInfo> infos;
+  infos.reserve(pending_.size() + running_.size() + 1);
+  bool any_bounded = false;
+  auto add = [&](const Task& task) {
+    CompetitorInfo info;
+    info.id = task.id;
+    // Instantaneous rate at the current accrued delay — identical to the
+    // static decay for linear functions, but tracks the active segment of
+    // variable-rate profiles.
+    info.decay = task.value.decay_at_delay(task.delay_at_completion(now));
+    const SimTime expire = task.expire_time();
+    if (expire == kInf) {
+      info.time_to_expire = kInf;
+    } else {
+      // Any competitor that can stop decaying routes cost through the
+      // per-competitor Eq. 4 path.
+      any_bounded = true;
+      info.time_to_expire = std::max(0.0, expire - now);
+    }
+    infos.push_back(info);
+  };
+  for (const TaskState* ts : pending_) add(ts->task);
+  for (const TaskState* ts : running_) add(ts->task);
+  if (candidate != nullptr) add(*candidate);
+  mix_.rebuild(now, std::move(infos), any_bounded);
+  return mix_.view();
+}
+
+AdmissionContext SiteScheduler::build_admission_context(
+    const MixView& mix, std::vector<const Task*>& pending_sorted,
+    std::vector<double>& pending_rpt, std::vector<double>& proc_free) {
+  // Score every pending task once, then sort by (score desc, id asc) — the
+  // same order dispatch would use.
+  struct Scored {
+    const TaskState* ts;
+    double score;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(pending_.size());
+  for (const TaskState* ts : pending_)
+    scored.push_back(
+        {ts, policy_->priority(ts->task, scoring_remaining(*ts), mix)});
+  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.ts->task.id < b.ts->task.id;
+  });
+
+  pending_sorted.clear();
+  pending_rpt.clear();
+  for (const Scored& s : scored) {
+    pending_sorted.push_back(&s.ts->task);
+    pending_rpt.push_back(scoring_remaining(*s.ts));
+  }
+
+  const SimTime now = engine_.now();
+  proc_free.assign(pool_.capacity(), now);
+  std::size_t slot = 0;
+  for (const TaskState* ts : running_) {
+    // The site projects with what it believes, i.e. declared runtimes. A
+    // width-w task occupies w processor slots until its believed finish.
+    const double free_at = now + std::max(0.0, scoring_remaining(*ts));
+    for (std::size_t w = 0; w < ts->task.width; ++w) {
+      MBTS_DCHECK(slot < proc_free.size());
+      proc_free[slot++] = free_at;
+    }
+  }
+
+  AdmissionContext ctx;
+  ctx.now = now;
+  ctx.mix = &mix;
+  ctx.policy = policy_.get();
+  ctx.proc_free = proc_free;
+  ctx.pending_sorted = pending_sorted;
+  ctx.pending_rpt = pending_rpt;
+  return ctx;
+}
+
+AdmissionDecision SiteScheduler::quote(const Task& task) {
+  const std::string problem = validate_task(task);
+  MBTS_CHECK_MSG(problem.empty(), "invalid task: " + problem);
+  const MixView& mix = build_mix(&task);
+  std::vector<const Task*> pending_sorted;
+  std::vector<double> pending_rpt;
+  std::vector<double> proc_free;
+  const AdmissionContext ctx =
+      build_admission_context(mix, pending_sorted, pending_rpt, proc_free);
+  return admission_->evaluate(task, ctx);
+}
+
+AdmissionDecision SiteScheduler::submit(const Task& task) {
+  MBTS_CHECK_MSG(!by_id_.count(task.id),
+                 "duplicate task id submitted: " + task.to_string());
+  MBTS_CHECK_MSG(task.width <= pool_.capacity(),
+                 "task width exceeds site capacity: " + task.to_string());
+  const AdmissionDecision decision = quote(task);
+
+  if (!saw_arrival_ || task.arrival < first_arrival_)
+    first_arrival_ = task.arrival;
+  saw_arrival_ = true;
+
+  records_.push_back(TaskRecord{});
+  TaskRecord& record = records_.back();
+  record.task = task;
+  record.quoted_completion = decision.expected_completion;
+  record.quoted_yield = decision.expected_yield;
+  record.slack = decision.slack;
+
+  if (!decision.accept) {
+    record.outcome = TaskOutcome::kRejected;
+    return decision;
+  }
+
+  if (task.width > 1) any_wide_ = true;
+  states_.push_back(TaskState{});
+  TaskState& ts = states_.back();
+  ts.task = task;
+  ts.record = &record;
+  by_id_[task.id] = &ts;
+  if (config_.rescore == RescorePolicy::kAtEnqueue) {
+    // The quote above left the mix (including this task) in the tracker.
+    ts.cached_score =
+        policy_->priority(ts.task, scoring_remaining(ts), mix_.view());
+  }
+  pending_.push_back(&ts);
+  request_dispatch();
+  return decision;
+}
+
+void SiteScheduler::request_dispatch() {
+  if (dispatch_pending_) return;
+  dispatch_pending_ = true;
+  engine_.schedule_after(0.0, EventPriority::kDispatch, [this] {
+    dispatch_pending_ = false;
+    dispatch();
+  });
+}
+
+void SiteScheduler::inject(std::span<const Task> trace) {
+  for (const Task& task : trace) {
+    engine_.schedule_at(task.arrival, EventPriority::kArrival,
+                        [this, task] { submit(task); });
+  }
+}
+
+void SiteScheduler::start_task(TaskState& ts) {
+  MBTS_DCHECK(!ts.running);
+  pool_.acquire(engine_.now(), ts.task.width);
+  ts.running = true;
+  ts.segment_start = engine_.now();
+  if (ts.record->first_start < 0.0) ts.record->first_start = engine_.now();
+  const TaskId id = ts.task.id;
+  ts.completion_event =
+      engine_.schedule_after(remaining(ts), EventPriority::kCompletion,
+                             [this, id] { on_completion(id); });
+  pending_.erase(std::find(pending_.begin(), pending_.end(), &ts));
+  running_.push_back(&ts);
+  if (ts.record->outcome == TaskOutcome::kPending)
+    ts.record->outcome = TaskOutcome::kRunning;
+}
+
+void SiteScheduler::preempt_task(TaskState& ts) {
+  MBTS_DCHECK(ts.running);
+  MBTS_CHECK_MSG(remaining(ts) > kDoneEpsilon, "preempting a finished task");
+  engine_.cancel(ts.completion_event);
+  pool_.release(engine_.now(), ts.task.width);
+  ts.executed += engine_.now() - ts.segment_start;
+  ts.running = false;
+  if (config_.rescore == RescorePolicy::kAtEnqueue) {
+    // Re-entering the queue is an enqueue: refresh the cached priority
+    // against the current mix snapshot.
+    ts.cached_score =
+        policy_->priority(ts.task, scoring_remaining(ts), mix_.view());
+  }
+  ++preemptions_;
+  ++ts.record->preemptions;
+  ts.record->outcome = TaskOutcome::kPending;
+  running_.erase(std::find(running_.begin(), running_.end(), &ts));
+  pending_.push_back(&ts);
+}
+
+void SiteScheduler::finish_task(TaskState& ts, bool dropped) {
+  const SimTime now = engine_.now();
+  TaskRecord& record = *ts.record;
+  record.completion = now;
+  if (dropped) {
+    MBTS_DCHECK(!ts.running);
+    // A dropped task settles at its value-function floor (0 under the
+    // Millennium convention; -bound in general).
+    record.realized_yield = -ts.task.value.penalty_bound();
+    record.outcome = TaskOutcome::kDropped;
+    pending_.erase(std::find(pending_.begin(), pending_.end(), &ts));
+  } else {
+    MBTS_DCHECK(ts.running);
+    pool_.release(now, ts.task.width);
+    record.realized_yield = ts.task.yield_at_completion(now);
+    record.outcome = TaskOutcome::kCompleted;
+    running_.erase(std::find(running_.begin(), running_.end(), &ts));
+  }
+  last_completion_ = std::max(last_completion_, now);
+  by_id_.erase(ts.task.id);
+}
+
+void SiteScheduler::on_completion(TaskId id) {
+  auto it = by_id_.find(id);
+  MBTS_CHECK_MSG(it != by_id_.end(), "completion for unknown task");
+  finish_task(*it->second, /*dropped=*/false);
+  request_dispatch();
+}
+
+void SiteScheduler::dispatch() {
+  ++dispatches_;
+  const SimTime now = engine_.now();
+
+  if (config_.drop_expired) {
+    // Millennium extension: a task whose yield has decayed all the way to
+    // its penalty floor can be discarded with no further cost — completing
+    // it later would earn exactly the floor anyway. (Merely "expired" is
+    // not enough: a zero-decay or stabilized piecewise function may be
+    // pinned above its floor, where completion still beats discarding.)
+    std::vector<TaskState*> droppable;
+    for (TaskState* ts : pending_) {
+      const ValueFunction& vf = ts->task.value;
+      if (!vf.bounded()) continue;
+      const double delay =
+          ts->task.delay_at_completion(now + remaining(*ts));
+      if (vf.expired_at_delay(delay) &&
+          vf.yield_at_delay(delay) <= -vf.penalty_bound())
+        droppable.push_back(ts);
+    }
+    for (TaskState* ts : droppable) finish_task(*ts, /*dropped=*/true);
+  }
+
+  if (pending_.empty()) return;
+
+  const MixView& mix = build_mix(nullptr);
+
+  struct Scored {
+    TaskState* ts;
+    double score;
+    bool running;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(pending_.size() + running_.size());
+  for (TaskState* ts : pending_)
+    scored.push_back({ts, score_of(*ts, mix), false});
+
+  if (config_.preemption) {
+    for (TaskState* ts : running_) {
+      // A task at (or within epsilon of) true completion is immovable.
+      const double score =
+          remaining(*ts) <= kDoneEpsilon ? kInf : score_of(*ts, mix);
+      scored.push_back({ts, score, true});
+    }
+    const auto by_rank = [](const Scored& a, const Scored& b) {
+      if (a.score != b.score) return a.score > b.score;
+      if (a.running != b.running) return a.running;
+      return a.ts->task.id < b.ts->task.id;
+    };
+    if (!any_wide_) {
+      // Width-1 fast path: only *membership* in the top-`capacity` set
+      // matters (ties keep running tasks in place so dispatches never
+      // flap), so an O(n) partition replaces a full sort; the comparator
+      // is a strict weak order (ids break ties) and thus deterministic.
+      const std::size_t keep = std::min(pool_.capacity(), scored.size());
+      if (keep < scored.size())
+        std::nth_element(scored.begin(),
+                         scored.begin() + static_cast<std::ptrdiff_t>(keep),
+                         scored.end(), by_rank);
+      // Preempt displaced running tasks first to free their processors.
+      for (std::size_t i = keep; i < scored.size(); ++i)
+        if (scored[i].running) preempt_task(*scored[i].ts);
+      for (std::size_t i = 0; i < keep; ++i)
+        if (!scored[i].running) start_task(*scored[i].ts);
+    } else {
+      // Gang scheduling with aggressive backfill: walk the ranked list and
+      // admit each task into the target running set while its width fits
+      // the remaining capacity; narrower lower-ranked tasks may slot in
+      // around a wide task that does not fit (no reservation).
+      std::sort(scored.begin(), scored.end(), by_rank);
+      std::size_t free = pool_.capacity();
+      std::vector<TaskState*> to_start;
+      std::vector<TaskState*> to_preempt;
+      for (const Scored& entry : scored) {
+        if (entry.ts->task.width <= free) {
+          free -= entry.ts->task.width;
+          if (!entry.running) to_start.push_back(entry.ts);
+        } else if (entry.running) {
+          to_preempt.push_back(entry.ts);
+        }
+      }
+      for (TaskState* ts : to_preempt) preempt_task(*ts);
+      for (TaskState* ts : to_start) start_task(*ts);
+    }
+  } else {
+    // Non-preemptive: fill free processors with the best pending tasks.
+    const auto by_rank = [](const Scored& a, const Scored& b) {
+      if (a.score != b.score) return a.score > b.score;
+      return a.ts->task.id < b.ts->task.id;
+    };
+    if (!any_wide_) {
+      const std::size_t starts = std::min(pool_.free_count(), scored.size());
+      if (starts < scored.size())
+        std::nth_element(scored.begin(),
+                         scored.begin() + static_cast<std::ptrdiff_t>(starts),
+                         scored.end(), by_rank);
+      for (std::size_t i = 0; i < starts; ++i) start_task(*scored[i].ts);
+    } else {
+      std::sort(scored.begin(), scored.end(), by_rank);
+      std::size_t free = pool_.free_count();
+      for (const Scored& entry : scored) {
+        if (entry.ts->task.width <= free) {
+          free -= entry.ts->task.width;
+          start_task(*entry.ts);
+        }
+        // Narrower tasks behind a too-wide one may still backfill.
+      }
+    }
+  }
+}
+
+RunStats SiteScheduler::stats() const {
+  RunStats stats;
+  stats.submitted = records_.size();
+  stats.preemptions = preemptions_;
+  stats.dispatches = dispatches_;
+  stats.first_arrival = saw_arrival_ ? first_arrival_ : 0.0;
+  stats.last_completion = last_completion_;
+  for (const TaskRecord& record : records_) {
+    switch (record.outcome) {
+      case TaskOutcome::kRejected:
+        ++stats.rejected;
+        break;
+      case TaskOutcome::kCompleted:
+        ++stats.accepted;
+        ++stats.completed;
+        stats.total_yield += record.realized_yield;
+        stats.realized_yield.add(record.realized_yield);
+        stats.delay.add(record.task.delay_at_completion(record.completion));
+        break;
+      case TaskOutcome::kDropped:
+        ++stats.accepted;
+        ++stats.dropped;
+        stats.total_yield += record.realized_yield;
+        stats.realized_yield.add(record.realized_yield);
+        break;
+      case TaskOutcome::kPending:
+      case TaskOutcome::kRunning:
+        ++stats.accepted;
+        break;
+    }
+  }
+  const double span = stats.last_completion - stats.first_arrival;
+  stats.yield_rate = span > 0.0 ? stats.total_yield / span : 0.0;
+  stats.utilization = pool_.utilization(engine_.now());
+  return stats;
+}
+
+}  // namespace mbts

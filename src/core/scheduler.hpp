@@ -1,0 +1,190 @@
+// The task-service site scheduler (paper §4–§6).
+//
+// Event-driven: every arrival and completion triggers a dispatch that scores
+// the mix under the configured policy and runs the top tasks. With
+// preemption enabled a newly-scored pending task displaces the lowest-scored
+// running task when it ranks strictly higher (ties always favor the running
+// task, so dispatches never flap). Admission control is consulted once per
+// submission; accepted tasks always run to completion — the §5/§6 regime —
+// unless drop_expired is enabled (a Millennium-style extension).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/processor_pool.hpp"
+#include "core/admission.hpp"
+#include "core/mix.hpp"
+#include "core/policy.hpp"
+#include "core/task.hpp"
+#include "sim/engine.hpp"
+#include "stats/summary.hpp"
+
+namespace mbts {
+
+/// When priorities are (re)computed (§5.2). kFresh rescans the whole mix at
+/// every dispatch — priorities always reflect current yields. kAtEnqueue
+/// computes a task's priority once when it enters the queue (submission or
+/// preemption), the regime where a priority heap gives O(log n) dispatch;
+/// time-varying indices like FirstPrice's unit gain then go stale as the
+/// queue ages. Kept as an ablation of the paper's implicit design choice.
+enum class RescorePolicy { kFresh, kAtEnqueue };
+
+struct SchedulerConfig {
+  std::size_t processors = 16;
+  bool preemption = true;
+  RescorePolicy rescore = RescorePolicy::kFresh;
+  /// Discount rate for PV/FirstReward and admission slack (1% == 0.01).
+  double discount_rate = 0.0;
+  /// Extension: discard a task once its value function expires (only
+  /// meaningful with bounded penalties; the realized yield is the floor).
+  bool drop_expired = false;
+  /// Extension (runtime misestimation): once a task has consumed its whole
+  /// declared runtime without finishing, the scheduler keeps scoring it
+  /// with this fraction of the declared runtime as its remaining estimate —
+  /// "it must be almost done". Only reached when clients under-declare.
+  double exceeded_estimate_fraction = 0.05;
+};
+
+/// Final disposition of one submitted task.
+enum class TaskOutcome { kRejected, kPending, kRunning, kCompleted, kDropped };
+
+struct TaskRecord {
+  Task task;
+  TaskOutcome outcome = TaskOutcome::kPending;
+  /// Quote from the admission projection at submission time.
+  SimTime quoted_completion = 0.0;
+  double quoted_yield = 0.0;
+  double slack = 0.0;
+  /// Filled when the task finishes (or is dropped).
+  SimTime first_start = -1.0;
+  SimTime completion = -1.0;
+  double realized_yield = 0.0;
+  int preemptions = 0;
+};
+
+/// Aggregate results of one run, computed on demand.
+struct RunStats {
+  std::size_t submitted = 0;
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  std::size_t completed = 0;
+  std::size_t dropped = 0;
+  /// Sum of realized yields (penalties included) over finished tasks.
+  double total_yield = 0.0;
+  /// total_yield / (last completion - first arrival); 0 for empty runs.
+  double yield_rate = 0.0;
+  SimTime first_arrival = 0.0;
+  SimTime last_completion = 0.0;
+  double utilization = 0.0;
+  std::uint64_t preemptions = 0;
+  std::uint64_t dispatches = 0;
+  Summary delay;          // queueing delay of completed tasks
+  Summary realized_yield; // per-task realized yield
+};
+
+class SiteScheduler {
+ public:
+  /// The engine outlives the scheduler; policy and admission are owned.
+  SiteScheduler(SimEngine& engine, SchedulerConfig config,
+                std::unique_ptr<SchedulingPolicy> policy,
+                std::unique_ptr<AdmissionPolicy> admission);
+
+  /// Submits one bid at the current simulated time (task.arrival must equal
+  /// engine.now()). Returns the admission decision; accepted tasks are
+  /// queued and a dispatch is triggered.
+  AdmissionDecision submit(const Task& task);
+
+  /// Schedules arrival events for an entire trace (tasks need not be
+  /// sorted; arrivals must be >= engine.now()).
+  void inject(std::span<const Task> trace);
+
+  /// Evaluates a bid without committing it — the market layer's probe.
+  AdmissionDecision quote(const Task& task);
+
+  bool idle() const { return pending_.empty() && running_.empty(); }
+  std::size_t pending_count() const { return pending_.size(); }
+  std::size_t running_count() const { return running_.size(); }
+
+  const SchedulingPolicy& policy() const { return *policy_; }
+  const AdmissionPolicy& admission() const { return *admission_; }
+  const SchedulerConfig& config() const { return config_; }
+
+  /// Per-task records, in submission order (valid any time; final once the
+  /// engine drains).
+  const std::deque<TaskRecord>& records() const { return records_; }
+
+  RunStats stats() const;
+
+ private:
+  struct TaskState {
+    Task task;
+    TaskRecord* record = nullptr;
+    double executed = 0.0;     // service consumed so far (excl. live segment)
+    bool running = false;
+    SimTime segment_start = 0; // start of the current run segment
+    EventId completion_event = 0;
+    /// Priority cached at enqueue time (RescorePolicy::kAtEnqueue only).
+    double cached_score = 0.0;
+  };
+
+  /// Coalesces dispatch work: all arrivals and completions at one instant
+  /// settle first (kArrival/kCompletion events), then a single kDispatch
+  /// event ranks the whole mix. Without this, the first of a batch of
+  /// simultaneous arrivals would grab a processor before its peers are even
+  /// visible to the policy.
+  void request_dispatch();
+  void dispatch();
+  void start_task(TaskState& ts);
+  void preempt_task(TaskState& ts);
+  void finish_task(TaskState& ts, bool dropped);
+  void on_completion(TaskId id);
+  /// Service consumed including the live segment of a running task.
+  double executed_now(const TaskState& ts) const;
+  /// True remaining service demand — what execution actually takes.
+  double remaining(const TaskState& ts) const;
+  /// Remaining time as the site believes it to be — what policies, quotes,
+  /// and admission see. Differs from remaining() only when the client
+  /// misdeclared its runtime.
+  double scoring_remaining(const TaskState& ts) const;
+  /// Score under the configured rescore policy: fresh from `mix`, or the
+  /// enqueue-time cache.
+  double score_of(const TaskState& ts, const MixView& mix) const;
+
+  /// Rebuilds the mix snapshot over pending+running (+ optional candidate).
+  const MixView& build_mix(const Task* candidate);
+
+  /// Sorted pending view + processor free times for admission projection.
+  AdmissionContext build_admission_context(
+      const MixView& mix, std::vector<const Task*>& pending_sorted,
+      std::vector<double>& pending_rpt, std::vector<double>& proc_free);
+
+  SimEngine& engine_;
+  SchedulerConfig config_;
+  std::unique_ptr<SchedulingPolicy> policy_;
+  std::unique_ptr<AdmissionPolicy> admission_;
+  ProcessorPool pool_;
+  MixTracker mix_;
+
+  std::deque<TaskState> states_;  // stable storage
+  std::unordered_map<TaskId, TaskState*> by_id_;
+  std::vector<TaskState*> pending_;
+  std::vector<TaskState*> running_;
+  std::deque<TaskRecord> records_;
+
+  bool mix_any_bounded_ = false;
+  bool dispatch_pending_ = false;
+  /// Any accepted task with width > 1 switches dispatch to the
+  /// gang-scheduling/backfill path.
+  bool any_wide_ = false;
+  std::uint64_t preemptions_ = 0;
+  std::uint64_t dispatches_ = 0;
+  bool saw_arrival_ = false;
+  SimTime first_arrival_ = 0.0;
+  SimTime last_completion_ = 0.0;
+};
+
+}  // namespace mbts

@@ -1,0 +1,31 @@
+#include "core/task.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace mbts {
+
+std::string Task::to_string() const {
+  std::ostringstream os;
+  os << "task#" << id << " arrival=" << arrival << " runtime=" << runtime
+     << ' ' << value.to_string();
+  return os.str();
+}
+
+std::string validate_task(const Task& task) {
+  if (task.id == kInvalidTask) return "task id is unset";
+  if (!(task.runtime > 0.0) || !std::isfinite(task.runtime))
+    return "runtime must be positive and finite";
+  if (!(task.arrival >= 0.0) || !std::isfinite(task.arrival))
+    return "arrival must be non-negative and finite";
+  if (task.declared_runtime < 0.0 || !std::isfinite(task.declared_runtime))
+    return "declared runtime must be non-negative and finite";
+  if (task.width == 0) return "width must be at least one processor";
+  if (!std::isfinite(task.value.max_value()) || task.value.max_value() < 0.0)
+    return "max value must be non-negative and finite";
+  if (!std::isfinite(task.value.decay()))
+    return "decay must be finite";
+  return {};
+}
+
+}  // namespace mbts

@@ -1,0 +1,21 @@
+// Fundamental identifiers and time types shared across mbts libraries.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mbts {
+
+/// Simulated time; an abstract unit (the paper never names one). The bundled
+/// workloads use a mean task runtime of ~100 units for human-scale numbers.
+using SimTime = double;
+
+using TaskId = std::uint64_t;
+using SiteId = std::uint32_t;
+using ClientId = std::uint32_t;
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+inline constexpr TaskId kInvalidTask = std::numeric_limits<TaskId>::max();
+
+}  // namespace mbts

@@ -1,0 +1,135 @@
+#include "core/value_function.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace mbts {
+
+ValueFunction::ValueFunction(double max_value, double decay,
+                             double penalty_bound)
+    : ValueFunction(max_value, std::vector<DecaySegment>{{kInf, decay}},
+                    penalty_bound) {}
+
+ValueFunction::ValueFunction(double max_value,
+                             std::vector<DecaySegment> segments,
+                             double penalty_bound)
+    : max_value_(max_value),
+      penalty_bound_(penalty_bound),
+      segments_(std::move(segments)) {
+  MBTS_CHECK_MSG(penalty_bound >= 0.0, "penalty bound must be non-negative");
+  MBTS_CHECK_MSG(!segments_.empty(), "at least one decay segment required");
+  for (const DecaySegment& s : segments_) {
+    MBTS_CHECK_MSG(s.rate >= 0.0, "decay rate must be non-negative");
+    MBTS_CHECK_MSG(s.duration >= 0.0, "segment duration must be non-negative");
+  }
+  segments_.back().duration = kInf;  // last segment extends forever
+
+  // Precompute the expiry delay: the earliest delay beyond which no further
+  // decay can ever happen — either the bound is reached, or every remaining
+  // segment has rate zero.
+  if (bounded()) {
+    expire_delay_ = delay_for_drop(max_value_ + penalty_bound_);
+  }
+  if (segments_.back().rate == 0.0) {
+    // Decay stops at the start of the trailing all-zero run of segments.
+    double start = 0.0;
+    double zero_from = 0.0;
+    bool in_zero_run = false;
+    for (const DecaySegment& s : segments_) {
+      if (s.rate == 0.0) {
+        if (!in_zero_run) {
+          zero_from = start;
+          in_zero_run = true;
+        }
+      } else {
+        in_zero_run = false;
+      }
+      start += s.duration;
+    }
+    if (in_zero_run) expire_delay_ = std::min(expire_delay_, zero_from);
+  }
+}
+
+ValueFunction ValueFunction::piecewise(double max_value,
+                                       std::vector<DecaySegment> segments,
+                                       double penalty_bound) {
+  return ValueFunction(max_value, std::move(segments), penalty_bound);
+}
+
+ValueFunction ValueFunction::bounded_at_zero(double max_value, double decay) {
+  return ValueFunction(max_value, decay, 0.0);
+}
+
+ValueFunction ValueFunction::unbounded(double max_value, double decay) {
+  return ValueFunction(max_value, decay, kInf);
+}
+
+double ValueFunction::decay_at_delay(double delay) const {
+  delay = std::max(delay, 0.0);
+  if (expired_at_delay(delay)) return 0.0;
+  double start = 0.0;
+  for (const DecaySegment& s : segments_) {
+    if (delay < start + s.duration) return s.rate;
+    start += s.duration;
+  }
+  return segments_.back().rate;
+}
+
+double ValueFunction::yield_at_delay(double delay) const {
+  delay = std::max(delay, 0.0);
+  double drop = 0.0;
+  double remaining = delay;
+  for (const DecaySegment& s : segments_) {
+    const double span = std::min(remaining, s.duration);
+    drop += span * s.rate;
+    remaining -= span;
+    if (remaining <= 0.0) break;
+  }
+  return std::max(max_value_ - drop, -penalty_bound_);
+}
+
+double ValueFunction::delay_for_drop(double drop) const {
+  if (drop <= 0.0) return 0.0;
+  double spent = 0.0;
+  double start = 0.0;
+  for (const DecaySegment& s : segments_) {
+    if (s.rate > 0.0) {
+      const double capacity = s.duration * s.rate;  // inf * rate == inf
+      if (spent + capacity >= drop) return start + (drop - spent) / s.rate;
+      spent += capacity;
+    }
+    start += s.duration;
+    if (start == kInf) break;
+  }
+  return kInf;
+}
+
+double ValueFunction::delay_to_zero() const {
+  if (max_value_ <= 0.0) return 0.0;
+  return delay_for_drop(max_value_);
+}
+
+std::string ValueFunction::to_string() const {
+  std::ostringstream os;
+  os << "value=" << max_value_;
+  if (is_linear()) {
+    os << " decay=" << decay();
+  } else {
+    os << " decay=[";
+    for (std::size_t i = 0; i < segments_.size(); ++i) {
+      if (i) os << ", ";
+      os << segments_[i].rate << '@' << segments_[i].duration;
+    }
+    os << ']';
+  }
+  os << " bound=";
+  if (bounded())
+    os << penalty_bound_;
+  else
+    os << "inf";
+  return os.str();
+}
+
+}  // namespace mbts

@@ -1,0 +1,101 @@
+// Value functions (paper §3, Figure 2).
+//
+// The paper's primary formulation is linear decay: a task earns its maximum
+// value if it completes within its minimum run time, and every unit of
+// queueing delay erodes the value at a constant decay rate:
+//
+//   yield_i = value_i - delay_i * decay_i            (Eq. 1)
+//
+// The value may fall below zero — a penalty — and the penalty may be bounded
+// (the function stops decaying at -bound) or unbounded. Millennium's
+// convention, bound = 0, floors the function at zero: an expired task can be
+// discarded at no cost.
+//
+// §3 notes the framework "can generalize to value functions that decay at
+// variable rates"; this class implements that generalization as a
+// piecewise-linear decay profile — an ordered list of (duration, rate)
+// segments after the earliest completion, the last of which extends forever.
+// A single-segment profile reproduces Eq. 1 exactly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace mbts {
+
+/// One stretch of the decay profile: decay at `rate` for `duration` units of
+/// delay. The final segment's duration is ignored (extends to infinity).
+struct DecaySegment {
+  double duration = 0.0;
+  double rate = 0.0;
+
+  friend bool operator==(const DecaySegment&, const DecaySegment&) = default;
+};
+
+class ValueFunction {
+ public:
+  /// Classic linear decay (Eq. 1).
+  /// max_value: value at zero delay. decay: value lost per unit of delay
+  /// (>= 0). penalty_bound: the yield floor is -penalty_bound; kInf means
+  /// unbounded, 0 is the Millennium floor-at-zero convention.
+  ValueFunction(double max_value, double decay, double penalty_bound);
+
+  /// Variable-rate decay (§3's generalization): delay is charged against
+  /// `segments` in order; the last segment extends forever. Rates must be
+  /// non-negative; at least one segment is required.
+  static ValueFunction piecewise(double max_value,
+                                 std::vector<DecaySegment> segments,
+                                 double penalty_bound);
+
+  /// Convenience constructors matching the paper's two regimes.
+  static ValueFunction bounded_at_zero(double max_value, double decay);
+  static ValueFunction unbounded(double max_value, double decay);
+
+  double max_value() const { return max_value_; }
+  /// The *initial* decay rate — what Eq. 1's d_i means for linear functions
+  /// and the closest scalar summary for piecewise ones.
+  double decay() const { return segments_.front().rate; }
+  /// The instantaneous decay rate after `delay` units of waiting (0 once
+  /// the function has expired).
+  double decay_at_delay(double delay) const;
+  double penalty_bound() const { return penalty_bound_; }
+  bool bounded() const { return penalty_bound_ != kInf; }
+  bool is_linear() const { return segments_.size() == 1; }
+  const std::vector<DecaySegment>& segments() const { return segments_; }
+
+  /// Yield after `delay` units of queueing delay (delay < 0 clamps to 0).
+  double yield_at_delay(double delay) const;
+
+  /// Delay at which yield first reaches zero (kInf if it never does).
+  double delay_to_zero() const;
+
+  /// Delay at which the function stops decaying forever — the task
+  /// "expires" (kInf when it never stops).
+  double delay_to_expire() const { return expire_delay_; }
+
+  /// True if the function no longer decays at this delay.
+  bool expired_at_delay(double delay) const {
+    return delay >= expire_delay_;
+  }
+
+  std::string to_string() const;
+
+  friend bool operator==(const ValueFunction&, const ValueFunction&) = default;
+
+ private:
+  ValueFunction(double max_value, std::vector<DecaySegment> segments,
+                double penalty_bound);
+
+  /// Delay at which the raw (unfloored) decay reaches `drop` below max, or
+  /// kInf if it never accumulates that much.
+  double delay_for_drop(double drop) const;
+
+  double max_value_;
+  double penalty_bound_;
+  std::vector<DecaySegment> segments_;
+  double expire_delay_ = kInf;  // precomputed at construction
+};
+
+}  // namespace mbts

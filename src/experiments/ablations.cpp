@@ -1,0 +1,377 @@
+#include "experiments/ablations.hpp"
+
+#include <cstdlib>
+#include <mutex>
+
+#include "market/market.hpp"
+#include "stats/summary.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/presets.hpp"
+
+namespace mbts {
+
+namespace {
+
+SchedulerConfig base_config(double discount_rate, bool preemption = true) {
+  SchedulerConfig config;
+  config.processors = presets::kProcessors;
+  config.preemption = preemption;
+  config.discount_rate = discount_rate;
+  return config;
+}
+
+/// Generic sweep: one trace family, series = config variants, shared x
+/// grid, y computed per (variant, x, trace). Parallel over replications.
+struct Sweep {
+  std::function<Trace(std::uint64_t rep, Xoshiro256& rng)> make_trace;
+  std::vector<std::string> series_labels;
+  std::vector<double> xs;
+  /// y(series, x, trace)
+  std::function<double(std::size_t, double, const Trace&)> y;
+};
+
+FigureResult run_sweep(const ExperimentOptions& options, const Sweep& sweep) {
+  const SeedSequence seeds(options.seed);
+  std::vector<std::vector<Summary>> cells(
+      sweep.series_labels.size(), std::vector<Summary>(sweep.xs.size()));
+  std::mutex mutex;
+  ThreadPool pool(options.threads);
+  pool.parallel_for(options.replications, [&](std::size_t rep) {
+    Xoshiro256 rng = seeds.stream(0xAB1A, rep);
+    const Trace trace = sweep.make_trace(rep, rng);
+    std::vector<std::vector<double>> ys(
+        sweep.series_labels.size(), std::vector<double>(sweep.xs.size()));
+    for (std::size_t s = 0; s < sweep.series_labels.size(); ++s)
+      for (std::size_t i = 0; i < sweep.xs.size(); ++i)
+        ys[s][i] = sweep.y(s, sweep.xs[i], trace);
+    std::lock_guard<std::mutex> lock(mutex);
+    for (std::size_t s = 0; s < sweep.series_labels.size(); ++s)
+      for (std::size_t i = 0; i < sweep.xs.size(); ++i)
+        cells[s][i].add(ys[s][i]);
+  });
+
+  FigureResult figure;
+  for (std::size_t s = 0; s < sweep.series_labels.size(); ++s) {
+    Series series;
+    series.label = sweep.series_labels[s];
+    for (std::size_t i = 0; i < sweep.xs.size(); ++i)
+      series.points.push_back(
+          {sweep.xs[i], cells[s][i].mean(), cells[s][i].sem()});
+    figure.series.push_back(std::move(series));
+  }
+  return figure;
+}
+
+}  // namespace
+
+FigureResult ablation_yield_basis(const ExperimentOptions& options) {
+  Sweep sweep;
+  sweep.make_trace = [&](std::uint64_t, Xoshiro256& rng) {
+    WorkloadSpec spec = presets::millennium_mix(4.0, options.num_jobs);
+    return generate_trace(spec, rng);
+  };
+  sweep.series_labels = {"PV_at_completion", "PV_at_now",
+                         "FirstPrice_at_now"};
+  sweep.xs = {0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0};  // discount %
+  sweep.y = [](std::size_t s, double pct, const Trace& trace) {
+    const double base =
+        run_single_site(trace, base_config(0.0), PolicySpec::first_price(),
+                        std::nullopt)
+            .total_yield;
+    PolicySpec policy = PolicySpec::present_value();
+    double discount = pct / 100.0;
+    if (s == 1) policy = policy.with_basis(YieldBasis::kAtNow);
+    if (s == 2) {
+      policy = PolicySpec::first_price().with_basis(YieldBasis::kAtNow);
+      discount = 0.0;  // FirstPrice ignores the discount rate anyway
+    }
+    const double y = run_single_site(trace, base_config(discount), policy,
+                                     std::nullopt)
+                         .total_yield;
+    return improvement_pct(y, base);
+  };
+  FigureResult figure = run_sweep(options, sweep);
+  figure.id = "abl_yield_basis";
+  figure.title = "Ablation: ranking-yield basis (vs FirstPrice at Eq. 2)";
+  figure.xlabel = "discount_rate_%";
+  figure.ylabel = "yield improvement over FirstPrice (%)";
+  return figure;
+}
+
+FigureResult ablation_eq8(const ExperimentOptions& options) {
+  constexpr double kAlpha = 0.2;
+  constexpr double kDiscount = 0.01;
+  Sweep sweep;
+  sweep.make_trace = [&](std::uint64_t, Xoshiro256& rng) {
+    WorkloadSpec spec = presets::admission_mix(1.33, options.num_jobs);
+    return generate_trace(spec, rng);
+  };
+  sweep.series_labels = {"eq8_corrected", "eq8_literal"};
+  sweep.xs = {-200, -100, 0, 100, 200, 300, 400, 500, 600, 700};
+  sweep.y = [](std::size_t s, double threshold, const Trace& trace) {
+    const double base =
+        run_single_site(trace, base_config(kDiscount),
+                        PolicySpec::first_reward(kAlpha), std::nullopt)
+            .yield_rate;
+    const double y =
+        run_single_site(trace, base_config(kDiscount),
+                        PolicySpec::first_reward(kAlpha),
+                        SlackAdmissionConfig{threshold, /*literal=*/s == 1})
+            .yield_rate;
+    return improvement_pct(y, base);
+  };
+  FigureResult figure = run_sweep(options, sweep);
+  figure.id = "abl_eq8";
+  figure.title = "Ablation: Eq. 8 as printed vs corrected (load 1.33)";
+  figure.xlabel = "slack_threshold";
+  figure.ylabel = "yield-rate improvement over no admission (%)";
+  return figure;
+}
+
+FigureResult ablation_stale_keys(const ExperimentOptions& options) {
+  constexpr double kDiscount = 0.01;
+  Sweep sweep;
+  // Per x (load), per rep a fresh trace — fold load into make_trace by
+  // regenerating inside y instead (loads change the trace itself).
+  sweep.make_trace = [&](std::uint64_t rep, Xoshiro256&) {
+    Trace marker;
+    marker.description = std::to_string(rep);  // trace made per (x, rep)
+    return marker;
+  };
+  sweep.series_labels = {"FirstPrice_fresh", "FirstPrice_stale",
+                         "FirstReward0.3_fresh", "FirstReward0.3_stale"};
+  sweep.xs = {0.5, 0.75, 1.0, 1.25, 1.5, 2.0};
+  const SeedSequence seeds(options.seed);
+  const std::size_t jobs = options.num_jobs;
+  sweep.y = [seeds, jobs](std::size_t s, double load, const Trace& marker) {
+    const auto rep = static_cast<std::uint64_t>(
+        std::strtoull(marker.description.c_str(), nullptr, 10));
+    WorkloadSpec spec = presets::admission_mix(load, jobs);
+    Xoshiro256 rng = seeds.stream(static_cast<std::uint64_t>(load * 1000),
+                                  rep);
+    const Trace trace = generate_trace(spec, rng);
+    SchedulerConfig config = base_config(kDiscount);
+    config.rescore =
+        (s % 2 == 1) ? RescorePolicy::kAtEnqueue : RescorePolicy::kFresh;
+    const PolicySpec policy =
+        s < 2 ? PolicySpec::first_price() : PolicySpec::first_reward(0.3);
+    return run_single_site(trace, config, policy, std::nullopt).yield_rate;
+  };
+  FigureResult figure = run_sweep(options, sweep);
+  figure.id = "abl_stale_keys";
+  figure.title = "Ablation: enqueue-time (stale) vs fresh priorities";
+  figure.xlabel = "load_factor";
+  figure.ylabel = "average yield rate";
+  return figure;
+}
+
+FigureResult ablation_preemption(const ExperimentOptions& options) {
+  constexpr double kDiscount = 0.01;
+  Sweep sweep;
+  sweep.make_trace = [&](std::uint64_t, Xoshiro256& rng) {
+    WorkloadSpec spec = presets::decay_skew_mix(
+        5.0, PenaltyModel::kUnbounded, options.num_jobs);
+    return generate_trace(spec, rng);
+  };
+  sweep.series_labels = {"preemptive", "non_preemptive"};
+  sweep.xs = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+  sweep.y = [](std::size_t s, double alpha, const Trace& trace) {
+    const bool preemption = s == 0;
+    const double base =
+        run_single_site(trace, base_config(0.0, preemption),
+                        PolicySpec::first_price(), std::nullopt)
+            .total_yield;
+    const double y =
+        run_single_site(trace, base_config(kDiscount, preemption),
+                        PolicySpec::first_reward(alpha), std::nullopt)
+            .total_yield;
+    return improvement_pct(y, base);
+  };
+  FigureResult figure = run_sweep(options, sweep);
+  figure.id = "abl_preemption";
+  figure.title =
+      "Ablation: preemption (FirstReward vs FirstPrice, same mode)";
+  figure.xlabel = "alpha";
+  figure.ylabel = "yield improvement over FirstPrice (%)";
+  return figure;
+}
+
+FigureResult extension_estimate_error(const ExperimentOptions& options) {
+  constexpr double kDiscount = 0.01;
+  Sweep sweep;
+  const std::size_t jobs = options.num_jobs;
+  const SeedSequence seeds(options.seed);
+  sweep.make_trace = [](std::uint64_t rep, Xoshiro256&) {
+    Trace marker;
+    marker.description = std::to_string(rep);
+    return marker;
+  };
+  sweep.series_labels = {"FirstPrice", "FirstReward0.3",
+                         "FirstReward0.3_admission"};
+  sweep.xs = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0, 1.2};
+  sweep.y = [seeds, jobs](std::size_t s, double sigma, const Trace& marker) {
+    const auto rep = static_cast<std::uint64_t>(
+        std::strtoull(marker.description.c_str(), nullptr, 10));
+    WorkloadSpec spec = presets::admission_mix(1.2, jobs);
+    spec.estimate_error_sigma = sigma;
+    Xoshiro256 rng =
+        seeds.stream(static_cast<std::uint64_t>(sigma * 1000), rep);
+    const Trace trace = generate_trace(spec, rng);
+    std::optional<SlackAdmissionConfig> admission;
+    PolicySpec policy = PolicySpec::first_price();
+    if (s >= 1) policy = PolicySpec::first_reward(0.3);
+    if (s == 2) admission = SlackAdmissionConfig{0.0, false};
+    return run_single_site(trace, base_config(kDiscount), policy, admission)
+        .yield_rate;
+  };
+  FigureResult figure = run_sweep(options, sweep);
+  figure.id = "ext_estimates";
+  figure.title = "Extension: runtime misestimation (load 1.2, unbounded)";
+  figure.xlabel = "estimate_error_sigma";
+  figure.ylabel = "average yield rate";
+  return figure;
+}
+
+FigureResult extension_piecewise(const ExperimentOptions& options) {
+  constexpr double kDiscount = 0.01;
+  Sweep sweep;
+  const std::size_t jobs = options.num_jobs;
+  const SeedSequence seeds(options.seed);
+  sweep.make_trace = [](std::uint64_t rep, Xoshiro256&) {
+    Trace marker;
+    marker.description = std::to_string(rep);
+    return marker;
+  };
+  sweep.series_labels = {"FirstPrice", "PV", "FirstReward0.3", "SWPT"};
+  sweep.xs = {0.0, 0.2, 0.4, 0.6, 0.8};
+  sweep.y = [seeds, jobs](std::size_t s, double grace, const Trace& marker) {
+    const auto rep = static_cast<std::uint64_t>(
+        std::strtoull(marker.description.c_str(), nullptr, 10));
+    WorkloadSpec spec =
+        presets::decay_skew_mix(5.0, PenaltyModel::kUnbounded, jobs);
+    spec.cliff_grace = grace;
+    Xoshiro256 rng =
+        seeds.stream(static_cast<std::uint64_t>(grace * 1000), rep);
+    const Trace trace = generate_trace(spec, rng);
+    static const std::vector<PolicySpec> kPolicies{
+        PolicySpec::first_price(), PolicySpec::present_value(),
+        PolicySpec::first_reward(0.3), PolicySpec::swpt()};
+    return run_single_site(trace, base_config(kDiscount), kPolicies[s],
+                           std::nullopt)
+        .total_yield;
+  };
+  FigureResult figure = run_sweep(options, sweep);
+  figure.id = "ext_piecewise";
+  figure.title =
+      "Extension: deadline-cliff value functions (same time-to-zero)";
+  figure.xlabel = "cliff_grace_fraction";
+  figure.ylabel = "total yield";
+  return figure;
+}
+
+FigureResult extension_gang(const ExperimentOptions& options) {
+  constexpr double kDiscount = 0.01;
+  Sweep sweep;
+  const std::size_t jobs = options.num_jobs;
+  const SeedSequence seeds(options.seed);
+  sweep.make_trace = [](std::uint64_t rep, Xoshiro256&) {
+    Trace marker;
+    marker.description = std::to_string(rep);
+    return marker;
+  };
+  sweep.series_labels = {"FCFS", "FirstPrice", "FirstReward0.3",
+                         "FirstReward0.3_admission"};
+  sweep.xs = {1, 2, 4, 8, 12};
+  sweep.y = [seeds, jobs](std::size_t s, double max_width,
+                          const Trace& marker) {
+    const auto rep = static_cast<std::uint64_t>(
+        std::strtoull(marker.description.c_str(), nullptr, 10));
+    WorkloadSpec spec = presets::admission_mix(1.2, jobs);
+    if (max_width > 1.0)
+      spec.width = DistSpec::uniform(1.0, max_width + 1.0);
+    Xoshiro256 rng =
+        seeds.stream(4000 + static_cast<std::uint64_t>(max_width), rep);
+    const Trace trace = generate_trace(spec, rng);
+    std::optional<SlackAdmissionConfig> admission;
+    PolicySpec policy = PolicySpec::fcfs();
+    if (s == 1) policy = PolicySpec::first_price();
+    if (s >= 2) policy = PolicySpec::first_reward(0.3);
+    if (s == 3) admission = SlackAdmissionConfig{0.0, false};
+    SchedulerConfig config = base_config(kDiscount);
+    return run_single_site(trace, config, policy, admission).yield_rate;
+  };
+  FigureResult figure = run_sweep(options, sweep);
+  figure.id = "ext_gang";
+  figure.title = "Extension: gang scheduling (widths uniform [1, max])";
+  figure.xlabel = "max_width";
+  figure.ylabel = "average yield rate";
+  return figure;
+}
+
+FigureResult extension_market(const ExperimentOptions& options) {
+  Sweep sweep;
+  const std::size_t jobs = options.num_jobs;
+  const SeedSequence seeds(options.seed);
+  sweep.make_trace = [](std::uint64_t rep, Xoshiro256&) {
+    Trace marker;
+    marker.description = std::to_string(rep);
+    return marker;
+  };
+  sweep.series_labels = {"value_bidprice", "value_secondprice",
+                         "earliest_bidprice", "random_bidprice"};
+  sweep.xs = {1, 2, 3, 4, 6};  // number of sites; total capacity fixed at 48
+  sweep.y = [seeds, jobs](std::size_t s, double sites_d,
+                          const Trace& marker) {
+    const auto rep = static_cast<std::uint64_t>(
+        std::strtoull(marker.description.c_str(), nullptr, 10));
+    const auto n_sites = static_cast<std::size_t>(sites_d);
+    constexpr std::size_t kTotalProcs = 48;
+
+    MarketConfig config;
+    config.rng_seed = seeds.stream(s, rep).next();
+    config.strategy = s == 2 ? ClientStrategy::kEarliestCompletion
+                     : s == 3 ? ClientStrategy::kRandom
+                              : ClientStrategy::kMaxExpectedValue;
+    config.pricing =
+        s == 1 ? PricingModel::kSecondPrice : PricingModel::kBidPrice;
+    for (std::size_t i = 0; i < n_sites; ++i) {
+      SiteAgentConfig sc;
+      sc.id = static_cast<SiteId>(i);
+      sc.name = "site" + std::to_string(i);
+      sc.scheduler.processors = kTotalProcs / n_sites;
+      sc.scheduler.preemption = true;
+      sc.scheduler.discount_rate = 0.01;
+      sc.policy = PolicySpec::first_reward(0.2);
+      sc.use_slack_admission = true;
+      sc.admission.threshold = 0.0;
+      config.sites.push_back(sc);
+    }
+
+    WorkloadSpec spec = presets::admission_mix(1.2, jobs);
+    // Load is calibrated against the preset's 16 processors; rescale the
+    // arrival rate to the market's aggregate capacity.
+    spec.processors = kTotalProcs;
+    Xoshiro256 rng = seeds.stream(1000 + n_sites, rep);
+    const Trace trace = generate_trace(spec, rng);
+
+    Market market(config);
+    market.inject(trace);
+    const MarketStats stats = market.run();
+    double first = kInf, last = 0.0;
+    for (const RunStats& rs : stats.site_stats) {
+      if (rs.completed == 0) continue;
+      first = std::min(first, rs.first_arrival);
+      last = std::max(last, rs.last_completion);
+    }
+    return last > first ? stats.total_revenue / (last - first) : 0.0;
+  };
+  FigureResult figure = run_sweep(options, sweep);
+  figure.id = "ext_market";
+  figure.title = "Extension: multi-site market (48 processors total)";
+  figure.xlabel = "sites";
+  figure.ylabel = "settled revenue per unit time";
+  return figure;
+}
+
+}  // namespace mbts

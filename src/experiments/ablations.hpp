@@ -1,0 +1,71 @@
+// Ablation and extension experiments beyond the paper's five figures.
+//
+// Ablations probe implementation choices the paper leaves implicit (yield
+// basis for ranking, the Eq. 8 typo, stale-vs-fresh priorities, preemption);
+// extensions exercise the features the paper defers to future work (runtime
+// misestimation, variable-rate value functions, market-level pricing and
+// client strategies). Each returns the same FigureResult shape the paper
+// figures use, so the bench binaries share one rendering path.
+#pragma once
+
+#include "experiments/runner.hpp"
+#include "experiments/series.hpp"
+
+namespace mbts {
+
+/// Ablation A1 — yield basis. PV-vs-FirstPrice improvement as in Fig. 3,
+/// with the value-aware policies ranking either by yield projected to
+/// completion (Eq. 2, the paper's formulation) or by value remaining now
+/// (a plausible reading of Millennium's "price"). Millennium mix, skew 4.
+FigureResult ablation_yield_basis(const ExperimentOptions& options);
+
+/// Ablation A2 — Eq. 8 as printed vs corrected. Slack-threshold sweep at
+/// load 1.33 (as Fig. 7) charging admission cost either decay_j * runtime_i
+/// (corrected; the delay task i actually inflicts) or decay_j * runtime_j
+/// (the equation as printed). See DESIGN.md §4.
+FigureResult ablation_eq8(const ExperimentOptions& options);
+
+/// Ablation A3 — stale (enqueue-time) vs fresh priorities: yield rate vs
+/// load for FirstPrice and FirstReward under both rescore policies — the
+/// O(log n) heap regime of §5.2 against full rescans.
+FigureResult ablation_stale_keys(const ExperimentOptions& options);
+
+/// Ablation A4 — preemption. FirstReward-vs-FirstPrice improvement across
+/// alpha (as Fig. 5, decay skew 5) with preemption on and off; each variant
+/// is normalized against FirstPrice under the same preemption mode.
+FigureResult ablation_preemption(const ExperimentOptions& options);
+
+/// Extension E1 — runtime misestimation (§4 future work): yield rate vs
+/// lognormal estimate-error sigma for FirstPrice, FirstReward, and
+/// FirstReward with slack admission.
+FigureResult extension_estimate_error(const ExperimentOptions& options);
+
+/// Extension E2 — variable-rate value functions (§3): total yield vs the
+/// deadline-cliff grace fraction for the main policies; at grace 0 the mix
+/// is the paper's linear form.
+FigureResult extension_piecewise(const ExperimentOptions& options);
+
+/// Extension E5 — gang scheduling: yield rate vs the maximum task width in
+/// the mix (widths uniform over [1, max]) for the main policies, with and
+/// without admission control. Width 1 is the paper's model; wider mixes
+/// exercise the backfilling dispatch and width-normalized unit gains.
+FigureResult extension_gang(const ExperimentOptions& options);
+
+/// Extension E3 — market negotiation (Fig. 1 at scale): settled market
+/// revenue rate vs number of competing sites (fixed aggregate capacity) for
+/// each client strategy, under bid-price and second-price rules.
+FigureResult extension_market(const ExperimentOptions& options);
+
+/// Extension E6 — fairness: realized-yield fraction per value class (low /
+/// high unit value) vs load, for FCFS, FirstPrice, and FirstReward with and
+/// without admission control. Quantifies how much value-based scheduling
+/// starves the low class (§1's fairness tension).
+FigureResult extension_fairness(const ExperimentOptions& options);
+
+/// Extension E7 — truthfulness: one client scales its whole value function
+/// by k while the rest bid honestly; y is that client's *honest* net
+/// utility (true yield minus price paid) per unit time, under bid-price and
+/// second-price contracts. Tests §2's motivation for Vickrey pricing.
+FigureResult extension_truthfulness(const ExperimentOptions& options);
+
+}  // namespace mbts

@@ -1,0 +1,72 @@
+#include "experiments/analysis.hpp"
+
+#include "util/check.hpp"
+
+namespace mbts {
+
+std::vector<GroupOutcome> by_value_class(
+    const std::deque<TaskRecord>& records, double unit_value_split) {
+  std::vector<GroupOutcome> groups(2);
+  groups[0].name = "low";
+  groups[1].name = "high";
+  std::vector<double> max_value(2, 0.0);
+  for (const TaskRecord& record : records) {
+    const Task& task = record.task;
+    const double resource =
+        task.estimate() * static_cast<double>(task.width);
+    const double unit = resource > 0.0 ? task.value.max_value() / resource
+                                       : 0.0;
+    GroupOutcome& group = groups[unit >= unit_value_split ? 1 : 0];
+    double& attainable = max_value[unit >= unit_value_split ? 1 : 0];
+    ++group.submitted;
+    attainable += task.value.max_value();
+    switch (record.outcome) {
+      case TaskOutcome::kRejected:
+        ++group.rejected;
+        break;
+      case TaskOutcome::kCompleted:
+      case TaskOutcome::kDropped: {
+        ++group.completed;
+        group.total_yield += record.realized_yield;
+        const double delay = task.delay_at_completion(record.completion);
+        group.delay.add(delay);
+        group.stretch.add(delay / task.estimate());
+        break;
+      }
+      case TaskOutcome::kPending:
+      case TaskOutcome::kRunning:
+        break;
+    }
+  }
+  for (std::size_t g = 0; g < 2; ++g)
+    groups[g].yield_fraction =
+        max_value[g] > 0.0 ? groups[g].total_yield / max_value[g] : 0.0;
+  return groups;
+}
+
+Task scale_bid(const Task& true_task, double k) {
+  MBTS_CHECK_MSG(k > 0.0, "bid scale must be positive");
+  Task scaled = true_task;
+  const ValueFunction& vf = true_task.value;
+  if (vf.is_linear()) {
+    const double bound =
+        vf.bounded() ? vf.penalty_bound() * k : kInf;
+    scaled.value = ValueFunction(vf.max_value() * k, vf.decay() * k, bound);
+  } else {
+    std::vector<DecaySegment> segments = vf.segments();
+    for (DecaySegment& s : segments) s.rate *= k;
+    scaled.value = ValueFunction::piecewise(
+        vf.max_value() * k, std::move(segments),
+        vf.bounded() ? vf.penalty_bound() * k : kInf);
+  }
+  return scaled;
+}
+
+double client_net_utility(const Task& true_task, const TaskRecord& record,
+                          double price_paid) {
+  if (record.outcome == TaskOutcome::kRejected) return 0.0;
+  if (record.completion < 0.0) return 0.0;  // still in flight
+  return true_task.yield_at_completion(record.completion) - price_paid;
+}
+
+}  // namespace mbts

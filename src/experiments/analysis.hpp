@@ -1,0 +1,47 @@
+// Post-run analysis helpers over per-task records: class-conditional
+// breakdowns (the fairness question value-based scheduling raises — §1
+// notes users trade local control for "fairness, predictable performance")
+// and client-manipulation accounting (the truthfulness question §2's
+// Vickrey discussion raises).
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "stats/summary.hpp"
+
+namespace mbts {
+
+/// Outcomes of one group of tasks (e.g. a value class).
+struct GroupOutcome {
+  std::string name;
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t rejected = 0;
+  double total_yield = 0.0;
+  /// Realized yield over the group's maximum attainable value.
+  double yield_fraction = 0.0;
+  Summary delay;         // completed tasks' queueing delay
+  Summary stretch;       // delay / declared runtime (slowdown - 1)
+};
+
+/// Splits records into groups by unit value (value / (runtime * width))
+/// against `unit_value_split`: tasks at or above the split are "high".
+/// The paper's mixes put 20% of tasks in the high class.
+std::vector<GroupOutcome> by_value_class(const std::deque<TaskRecord>& records,
+                                         double unit_value_split);
+
+/// A bidder that scales its whole value function by `k` (value and decay
+/// alike — the function's zero crossing is preserved, its stakes are not).
+/// Returns the scaled bid; `true_task` stays the honest valuation.
+Task scale_bid(const Task& true_task, double k);
+
+/// Net utility of a (possibly manipulated) outcome from the client's
+/// honest perspective: true-value yield at the actual completion minus the
+/// price actually paid. For rejected tasks both terms are zero.
+double client_net_utility(const Task& true_task, const TaskRecord& record,
+                          double price_paid);
+
+}  // namespace mbts

@@ -1,0 +1,255 @@
+#include "experiments/figures.hpp"
+
+#include <cmath>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "stats/summary.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/presets.hpp"
+
+namespace mbts {
+
+namespace {
+
+/// Scheduler base config shared by all figures: the presets' 16-processor
+/// site with preemption enabled (§4/§5 methodology).
+SchedulerConfig base_config(double discount_rate) {
+  SchedulerConfig config;
+  config.processors = presets::kProcessors;
+  config.preemption = true;
+  config.discount_rate = discount_rate;
+  return config;
+}
+
+/// Shape shared by Figs. 3, 4, 5, 7: one workload per series, a shared
+/// x grid of policy parameters, y = % improvement of candidate(x) over a
+/// per-trace baseline. Replications are averaged; work fans out over
+/// (series, replication) pairs.
+FigureResult sweep_improvement(
+    const ExperimentOptions& options,
+    const std::vector<std::pair<std::string, WorkloadSpec>>& series_specs,
+    const std::vector<double>& xs,
+    const std::function<double(const Trace&)>& baseline,
+    const std::function<double(const Trace&, double)>& candidate) {
+  MBTS_CHECK(!series_specs.empty() && !xs.empty());
+  const SeedSequence seeds(options.seed);
+
+  std::vector<std::vector<Summary>> cells(
+      series_specs.size(), std::vector<Summary>(xs.size()));
+  std::mutex mutex;
+
+  ThreadPool pool(options.threads);
+  const std::size_t reps = options.replications;
+  pool.parallel_for(series_specs.size() * reps, [&](std::size_t index) {
+    const std::size_t s = index / reps;
+    const std::size_t r = index % reps;
+    WorkloadSpec spec = series_specs[s].second;
+    spec.num_jobs = options.num_jobs;
+    // Replication seed is shared across series so same-r traces differ only
+    // by the series' workload parameters.
+    Xoshiro256 rng = seeds.stream(s, r);
+    const Trace trace = generate_trace(spec, rng);
+    const double base = baseline(trace);
+    std::vector<double> ys(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i)
+      ys[i] = improvement_pct(candidate(trace, xs[i]), base);
+    std::lock_guard<std::mutex> lock(mutex);
+    for (std::size_t i = 0; i < xs.size(); ++i) cells[s][i].add(ys[i]);
+  });
+
+  FigureResult figure;
+  for (std::size_t s = 0; s < series_specs.size(); ++s) {
+    Series series;
+    series.label = series_specs[s].first;
+    for (std::size_t i = 0; i < xs.size(); ++i)
+      series.points.push_back(
+          {xs[i], cells[s][i].mean(), cells[s][i].sem()});
+    figure.series.push_back(std::move(series));
+  }
+  return figure;
+}
+
+std::string label(const std::string& prefix, double v) {
+  std::ostringstream os;
+  os << prefix << v;
+  return os.str();
+}
+
+}  // namespace
+
+FigureResult figure3(const ExperimentOptions& options) {
+  const std::vector<double> value_skews{1.0, 1.5, 2.15, 4.0, 9.0};
+  // x axis: discount rate in percent, log-spaced 0.001%..10% as in Fig. 3.
+  const std::vector<double> discount_pct{0.001, 0.003, 0.01, 0.03, 0.1,
+                                         0.3,   1.0,   3.0,  10.0};
+
+  std::vector<std::pair<std::string, WorkloadSpec>> series_specs;
+  for (double skew : value_skews)
+    series_specs.emplace_back(label("skew=", skew),
+                              presets::millennium_mix(skew));
+
+  auto baseline = [](const Trace& trace) {
+    return run_single_site(trace, base_config(0.0),
+                           PolicySpec::first_price(), std::nullopt)
+        .total_yield;
+  };
+  auto candidate = [](const Trace& trace, double pct) {
+    return run_single_site(trace, base_config(pct / 100.0),
+                           PolicySpec::present_value(), std::nullopt)
+        .total_yield;
+  };
+
+  FigureResult figure =
+      sweep_improvement(options, series_specs, discount_pct, baseline,
+                        candidate);
+  figure.id = "fig3";
+  figure.title = "Present Value vs FirstPrice (Millennium mix, load 1)";
+  figure.xlabel = "discount_rate_%";
+  figure.ylabel = "yield improvement over FirstPrice (%)";
+  return figure;
+}
+
+namespace {
+
+FigureResult alpha_sweep(const ExperimentOptions& options,
+                         PenaltyModel penalty) {
+  const std::vector<double> decay_skews{3.0, 5.0, 7.0};
+  const std::vector<double> alphas{0.0, 0.1, 0.2, 0.3, 0.4,
+                                   0.5, 0.6, 0.7, 0.8, 0.9};
+  constexpr double kDiscount = 0.01;  // 1% per the paper
+
+  std::vector<std::pair<std::string, WorkloadSpec>> series_specs;
+  for (double skew : decay_skews)
+    series_specs.emplace_back(label("decay_skew=", skew),
+                              presets::decay_skew_mix(skew, penalty));
+
+  auto baseline = [](const Trace& trace) {
+    return run_single_site(trace, base_config(0.0),
+                           PolicySpec::first_price(), std::nullopt)
+        .total_yield;
+  };
+  auto candidate = [](const Trace& trace, double alpha) {
+    return run_single_site(trace, base_config(kDiscount),
+                           PolicySpec::first_reward(alpha), std::nullopt)
+        .total_yield;
+  };
+
+  FigureResult figure =
+      sweep_improvement(options, series_specs, alphas, baseline, candidate);
+  figure.xlabel = "alpha";
+  figure.ylabel = "yield improvement over FirstPrice (%)";
+  return figure;
+}
+
+}  // namespace
+
+FigureResult figure4(const ExperimentOptions& options) {
+  FigureResult figure = alpha_sweep(options, PenaltyModel::kBoundedAtZero);
+  figure.id = "fig4";
+  figure.title = "FirstReward vs FirstPrice, bounded penalties";
+  return figure;
+}
+
+FigureResult figure5(const ExperimentOptions& options) {
+  FigureResult figure = alpha_sweep(options, PenaltyModel::kUnbounded);
+  figure.id = "fig5";
+  figure.title = "FirstReward vs FirstPrice, unbounded penalties";
+  return figure;
+}
+
+FigureResult figure6(const ExperimentOptions& options) {
+  const std::vector<double> loads{0.5, 1.0, 1.5, 2.0, 2.5,
+                                  3.0, 3.5, 4.0, 4.5};
+  const std::vector<double> alphas{0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+  constexpr double kDiscount = 0.01;
+  constexpr double kThreshold = 180.0;
+
+  struct Config {
+    std::string name;
+    PolicySpec policy;
+    std::optional<SlackAdmissionConfig> admission;
+    double discount;
+  };
+  std::vector<Config> configs;
+  for (double alpha : alphas)
+    configs.push_back({label("alpha=", alpha), PolicySpec::first_reward(alpha),
+                       SlackAdmissionConfig{kThreshold, false}, kDiscount});
+  configs.push_back({"FirstPrice_noAC", PolicySpec::first_price(),
+                     std::nullopt, 0.0});
+
+  const SeedSequence seeds(options.seed);
+  std::vector<std::vector<Summary>> cells(configs.size(),
+                                          std::vector<Summary>(loads.size()));
+  std::mutex mutex;
+  ThreadPool pool(options.threads);
+  const std::size_t reps = options.replications;
+  pool.parallel_for(loads.size() * reps, [&](std::size_t index) {
+    const std::size_t l = index / reps;
+    const std::size_t r = index % reps;
+    WorkloadSpec spec = presets::admission_mix(loads[l]);
+    spec.num_jobs = options.num_jobs;
+    Xoshiro256 rng = seeds.stream(l, r);
+    const Trace trace = generate_trace(spec, rng);
+    std::vector<double> ys(configs.size());
+    for (std::size_t c = 0; c < configs.size(); ++c)
+      ys[c] = run_single_site(trace, base_config(configs[c].discount),
+                              configs[c].policy, configs[c].admission)
+                  .yield_rate;
+    std::lock_guard<std::mutex> lock(mutex);
+    for (std::size_t c = 0; c < configs.size(); ++c) cells[c][l].add(ys[c]);
+  });
+
+  FigureResult figure;
+  figure.id = "fig6";
+  figure.title = "Admission control: yield rate vs load (threshold 180)";
+  figure.xlabel = "load_factor";
+  figure.ylabel = "average yield rate";
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    Series series;
+    series.label = configs[c].name;
+    for (std::size_t l = 0; l < loads.size(); ++l)
+      series.points.push_back(
+          {loads[l], cells[c][l].mean(), cells[c][l].sem()});
+    figure.series.push_back(std::move(series));
+  }
+  return figure;
+}
+
+FigureResult figure7(const ExperimentOptions& options) {
+  const std::vector<double> loads{0.5, 0.67, 0.89, 1.33, 2.0};
+  const std::vector<double> thresholds{-200, -100, 0,   100, 200,
+                                       300,  400,  500, 600, 700};
+  constexpr double kDiscount = 0.01;
+  constexpr double kAlpha = 0.2;
+
+  std::vector<std::pair<std::string, WorkloadSpec>> series_specs;
+  for (double load : loads)
+    series_specs.emplace_back(label("load=", load),
+                              presets::admission_mix(load));
+
+  auto baseline = [](const Trace& trace) {
+    return run_single_site(trace, base_config(kDiscount),
+                           PolicySpec::first_reward(kAlpha), std::nullopt)
+        .yield_rate;
+  };
+  auto candidate = [](const Trace& trace, double threshold) {
+    return run_single_site(trace, base_config(kDiscount),
+                           PolicySpec::first_reward(kAlpha),
+                           SlackAdmissionConfig{threshold, false})
+        .yield_rate;
+  };
+
+  FigureResult figure = sweep_improvement(options, series_specs, thresholds,
+                                          baseline, candidate);
+  figure.id = "fig7";
+  figure.title =
+      "Admission (slack) threshold vs improvement over no admission";
+  figure.xlabel = "slack_threshold";
+  figure.ylabel = "yield-rate improvement over no admission (%)";
+  return figure;
+}
+
+}  // namespace mbts

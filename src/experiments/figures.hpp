@@ -1,0 +1,33 @@
+// One function per paper figure (Figs. 3–7). Each returns the figure's
+// series averaged over seeded replications; bench binaries print the table
+// and write the CSV. Parameters mirror the paper; ExperimentOptions scales
+// job counts and replications for quick runs.
+#pragma once
+
+#include "experiments/runner.hpp"
+#include "experiments/series.hpp"
+
+namespace mbts {
+
+/// Fig. 3 — PV yield improvement over FirstPrice vs. discount rate (%),
+/// one series per value-skew ratio, Millennium mix (normal batched
+/// arrivals, uniform decay, penalties bounded at zero, load 1).
+FigureResult figure3(const ExperimentOptions& options);
+
+/// Fig. 4 — FirstReward improvement over FirstPrice vs. alpha, penalties
+/// bounded at zero, one series per decay-skew ratio, discount 1%.
+FigureResult figure4(const ExperimentOptions& options);
+
+/// Fig. 5 — as Fig. 4 with unbounded penalties (cost dominates).
+FigureResult figure5(const ExperimentOptions& options);
+
+/// Fig. 6 — average yield rate vs. load factor with slack-threshold
+/// admission control (threshold 180), one series per alpha, plus FirstPrice
+/// without admission control.
+FigureResult figure6(const ExperimentOptions& options);
+
+/// Fig. 7 — improvement over no-admission vs. slack threshold, one series
+/// per load factor, FirstReward alpha = 0.2.
+FigureResult figure7(const ExperimentOptions& options);
+
+}  // namespace mbts

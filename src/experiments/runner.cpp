@@ -1,0 +1,50 @@
+#include "experiments/runner.hpp"
+
+#include <mutex>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "stats/summary.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mbts {
+
+RunStats run_single_site(const Trace& trace, const SchedulerConfig& config,
+                         const PolicySpec& policy,
+                         std::optional<SlackAdmissionConfig> admission) {
+  SimEngine engine;
+  std::unique_ptr<AdmissionPolicy> admit;
+  if (admission)
+    admit = std::make_unique<SlackAdmission>(*admission);
+  else
+    admit = std::make_unique<AcceptAllAdmission>();
+  SiteScheduler site(engine, config, make_policy(policy), std::move(admit));
+  site.inject(trace.tasks);
+  engine.run();
+  MBTS_CHECK_MSG(site.idle(), "run did not drain the site");
+  return site.stats();
+}
+
+Replicated replicate(const ExperimentOptions& options,
+                     const WorkloadSpec& spec,
+                     const std::function<double(const Trace&)>& run) {
+  MBTS_CHECK_MSG(options.replications > 0, "need at least one replication");
+  const SeedSequence seeds(options.seed);
+  WorkloadSpec rep_spec = spec;
+  rep_spec.num_jobs = options.num_jobs;
+
+  Summary summary;
+  std::mutex mutex;
+  ThreadPool pool(options.threads);
+  pool.parallel_for(options.replications, [&](std::size_t r) {
+    const Trace trace = generate_trace(rep_spec, seeds, r);
+    const double y = run(trace);
+    std::lock_guard<std::mutex> lock(mutex);
+    summary.add(y);
+  });
+
+  return Replicated{summary.mean(), summary.sem()};
+}
+
+}  // namespace mbts

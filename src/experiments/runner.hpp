@@ -1,0 +1,40 @@
+// Single-site experiment runner: one (trace, policy, admission) simulation,
+// plus seeded replication helpers used by the figure sweeps.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "core/scheduler.hpp"
+#include "workload/generator.hpp"
+
+namespace mbts {
+
+/// Simulates one trace on one site to completion and returns its stats.
+/// admission == nullopt selects AcceptAll (the §5 "must run all" regime).
+RunStats run_single_site(const Trace& trace, const SchedulerConfig& config,
+                         const PolicySpec& policy,
+                         std::optional<SlackAdmissionConfig> admission);
+
+/// Global experiment knobs every figure honors; benches expose them as CLI
+/// flags so quick runs (fewer jobs/reps) and full runs share one code path.
+struct ExperimentOptions {
+  std::size_t num_jobs = 5000;
+  std::size_t replications = 3;
+  std::uint64_t seed = 42;
+  /// Worker threads for independent replications; 0 = hardware.
+  std::size_t threads = 0;
+};
+
+/// Mean (and SEM) of `metric` over replicated runs: for each replication r,
+/// a fresh trace is generated from (seed, r) and handed to `run`, which
+/// returns the metric value for that trace.
+struct Replicated {
+  double mean = 0.0;
+  double sem = 0.0;
+};
+Replicated replicate(const ExperimentOptions& options, const WorkloadSpec& spec,
+                     const std::function<double(const Trace&)>& run);
+
+}  // namespace mbts

@@ -1,0 +1,54 @@
+#include "experiments/series.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <ostream>
+
+#include "util/check.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace mbts {
+
+double improvement_pct(double a, double b) {
+  const double denom = std::abs(b);
+  if (denom == 0.0) return 0.0;
+  return 100.0 * (a - b) / denom;
+}
+
+void print_figure(const FigureResult& figure, std::ostream& out) {
+  out << figure.id << ": " << figure.title << '\n';
+  out << "x = " << figure.xlabel << ", y = " << figure.ylabel << "\n\n";
+  if (figure.series.empty()) return;
+
+  const Series& first = figure.series.front();
+  for (const Series& s : figure.series) {
+    MBTS_CHECK_MSG(s.points.size() == first.points.size(),
+                   "series must share one x grid");
+  }
+
+  std::vector<std::string> header{figure.xlabel};
+  for (const Series& s : figure.series) header.push_back(s.label);
+  ConsoleTable table(header);
+  for (std::size_t i = 0; i < first.points.size(); ++i) {
+    std::vector<std::string> row{ConsoleTable::num(first.points[i].x, 4)};
+    for (const Series& s : figure.series) {
+      MBTS_CHECK(s.points[i].x == first.points[i].x);
+      row.push_back(ConsoleTable::num(s.points[i].y, 2));
+    }
+    table.row(std::move(row));
+  }
+  out << table.render() << '\n';
+}
+
+void save_figure_csv(const FigureResult& figure, const std::string& path) {
+  std::ofstream out(path);
+  MBTS_CHECK_MSG(out.good(), "cannot write figure CSV: " + path);
+  CsvWriter writer(out, {"figure", "series", "x", "y", "y_sem"});
+  for (const Series& s : figure.series)
+    for (const SeriesPoint& p : s.points)
+      writer.row({figure.id, s.label, CsvWriter::field(p.x),
+                  CsvWriter::field(p.y), CsvWriter::field(p.y_sem)});
+}
+
+}  // namespace mbts

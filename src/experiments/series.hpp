@@ -1,0 +1,41 @@
+// Figure data model: labeled (x, y) series plus table/CSV rendering, shared
+// by every figure-reproduction bench.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mbts {
+
+struct SeriesPoint {
+  double x = 0.0;
+  double y = 0.0;
+  /// Std. error of y across replications (0 when reps == 1).
+  double y_sem = 0.0;
+};
+
+struct Series {
+  std::string label;
+  std::vector<SeriesPoint> points;
+};
+
+struct FigureResult {
+  std::string id;      // e.g. "fig3"
+  std::string title;
+  std::string xlabel;
+  std::string ylabel;
+  std::vector<Series> series;
+};
+
+/// Renders an aligned table: one row per x, one column per series.
+/// All series must share the same x grid (checked).
+void print_figure(const FigureResult& figure, std::ostream& out);
+
+/// Long-format CSV: id,series,x,y,y_sem.
+void save_figure_csv(const FigureResult& figure, const std::string& path);
+
+/// Percentage improvement of a over baseline b: 100 * (a - b) / |b|.
+double improvement_pct(double a, double b);
+
+}  // namespace mbts

@@ -1,0 +1,72 @@
+#include "experiments/tuner.hpp"
+
+#include <mutex>
+
+#include "stats/summary.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/presets.hpp"
+
+namespace mbts {
+
+TuneResult tune_first_reward(const ExperimentOptions& options,
+                             double load_factor, const TuneGrid& grid) {
+  MBTS_CHECK(!grid.alphas.empty() && !grid.thresholds.empty());
+  constexpr double kDiscount = 0.01;
+
+  const SeedSequence seeds(options.seed);
+  const std::size_t cells = grid.alphas.size() * grid.thresholds.size();
+  std::vector<Summary> cell_stats(cells);
+  std::vector<Summary> no_admission(grid.alphas.size());
+  std::mutex mutex;
+
+  SchedulerConfig config;
+  config.processors = presets::kProcessors;
+  config.preemption = true;
+  config.discount_rate = kDiscount;
+
+  ThreadPool pool(options.threads);
+  pool.parallel_for(options.replications, [&](std::size_t rep) {
+    WorkloadSpec spec = presets::admission_mix(load_factor, options.num_jobs);
+    Xoshiro256 rng = seeds.stream(0x70E, rep);
+    const Trace trace = generate_trace(spec, rng);
+
+    std::vector<double> rates(cells);
+    std::vector<double> base_rates(grid.alphas.size());
+    for (std::size_t a = 0; a < grid.alphas.size(); ++a) {
+      const PolicySpec policy = PolicySpec::first_reward(grid.alphas[a]);
+      base_rates[a] =
+          run_single_site(trace, config, policy, std::nullopt).yield_rate;
+      for (std::size_t t = 0; t < grid.thresholds.size(); ++t) {
+        rates[a * grid.thresholds.size() + t] =
+            run_single_site(trace, config, policy,
+                            SlackAdmissionConfig{grid.thresholds[t], false})
+                .yield_rate;
+      }
+    }
+    std::lock_guard<std::mutex> lock(mutex);
+    for (std::size_t i = 0; i < cells; ++i) cell_stats[i].add(rates[i]);
+    for (std::size_t a = 0; a < grid.alphas.size(); ++a)
+      no_admission[a].add(base_rates[a]);
+  });
+
+  TuneResult result;
+  result.grid.reserve(cells);
+  std::size_t best_alpha_index = 0;
+  for (std::size_t a = 0; a < grid.alphas.size(); ++a) {
+    for (std::size_t t = 0; t < grid.thresholds.size(); ++t) {
+      const Summary& cell = cell_stats[a * grid.thresholds.size() + t];
+      TunePoint point{grid.alphas[a], grid.thresholds[t], cell.mean(),
+                      cell.sem()};
+      if (result.grid.empty() || point.yield_rate > result.best.yield_rate) {
+        result.best = point;
+        best_alpha_index = a;
+      }
+      result.grid.push_back(point);
+    }
+  }
+  result.no_admission_rate = no_admission[best_alpha_index].mean();
+  return result;
+}
+
+}  // namespace mbts

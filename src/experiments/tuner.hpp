@@ -1,0 +1,39 @@
+// Grid-search tuner for FirstReward's (alpha, slack-threshold) pair.
+//
+// §8 concludes that the ideal parameters depend on the task mix — notably
+// that the best slack threshold grows with load (Fig. 7). The tuner makes
+// that operational: given a workload, it evaluates the full grid over
+// seeded replications and reports the best setting with its margin over
+// the worst and over no admission control.
+#pragma once
+
+#include <vector>
+
+#include "experiments/runner.hpp"
+
+namespace mbts {
+
+struct TuneGrid {
+  std::vector<double> alphas{0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+  std::vector<double> thresholds{-100, 0, 100, 200, 300, 450, 600};
+};
+
+struct TunePoint {
+  double alpha = 0.0;
+  double threshold = 0.0;
+  double yield_rate = 0.0;  // mean over replications
+  double sem = 0.0;
+};
+
+struct TuneResult {
+  std::vector<TunePoint> grid;  // row-major: alphas x thresholds
+  TunePoint best;
+  /// Yield rate of FirstReward(best alpha) without admission control.
+  double no_admission_rate = 0.0;
+};
+
+/// Evaluates the grid on the Fig. 6/7 admission mix at `load_factor`.
+TuneResult tune_first_reward(const ExperimentOptions& options,
+                             double load_factor, const TuneGrid& grid);
+
+}  // namespace mbts

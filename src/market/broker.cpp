@@ -1,0 +1,133 @@
+#include "market/broker.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace mbts {
+
+std::string to_string(ClientStrategy strategy) {
+  switch (strategy) {
+    case ClientStrategy::kMaxExpectedValue:
+      return "max-expected-value";
+    case ClientStrategy::kEarliestCompletion:
+      return "earliest-completion";
+    case ClientStrategy::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+std::optional<std::size_t> select_quote(const std::vector<Quote>& quotes,
+                                        ClientStrategy strategy,
+                                        Xoshiro256& rng) {
+  std::vector<std::size_t> accepted;
+  for (std::size_t i = 0; i < quotes.size(); ++i)
+    if (quotes[i].accepted) accepted.push_back(i);
+  if (accepted.empty()) return std::nullopt;
+
+  switch (strategy) {
+    case ClientStrategy::kMaxExpectedValue:
+      return *std::max_element(accepted.begin(), accepted.end(),
+                               [&](std::size_t a, std::size_t b) {
+                                 return quotes[a].expected_price <
+                                        quotes[b].expected_price;
+                               });
+    case ClientStrategy::kEarliestCompletion:
+      return *std::min_element(accepted.begin(), accepted.end(),
+                               [&](std::size_t a, std::size_t b) {
+                                 return quotes[a].expected_completion <
+                                        quotes[b].expected_completion;
+                               });
+    case ClientStrategy::kRandom:
+      return accepted[rng.below(accepted.size())];
+  }
+  return std::nullopt;
+}
+
+std::string to_string(PricingModel model) {
+  switch (model) {
+    case PricingModel::kBidPrice:
+      return "bid-price";
+    case PricingModel::kSecondPrice:
+      return "second-price";
+  }
+  return "?";
+}
+
+Broker::Broker(std::vector<SiteAgent*> sites, ClientStrategy strategy,
+               Xoshiro256 rng, PricingModel pricing, ClientLedger* ledger)
+    : sites_(std::move(sites)), strategy_(strategy), pricing_(pricing),
+      ledger_(ledger), rng_(rng) {
+  MBTS_CHECK_MSG(!sites_.empty(), "broker needs at least one site");
+  for (SiteAgent* site : sites_) MBTS_CHECK(site != nullptr);
+}
+
+NegotiationResult Broker::negotiate(const Bid& bid) {
+  NegotiationResult result;
+  result.bid = bid;
+  result.quotes.reserve(sites_.size());
+  for (SiteAgent* site : sites_) result.quotes.push_back(site->quote(bid));
+
+  // Award best first; on a (rare) state-change refusal, fall back to the
+  // next-best accepting quote.
+  std::vector<Quote> remaining = result.quotes;
+  while (true) {
+    const auto pick = select_quote(remaining, strategy_, rng_);
+    if (!pick) break;
+    const Quote& quote = remaining[*pick];
+    SiteAgent* site = nullptr;
+    for (SiteAgent* s : sites_)
+      if (s->id() == quote.site) site = s;
+    MBTS_CHECK(site != nullptr);
+    std::optional<double> price;
+    if (pricing_ == PricingModel::kSecondPrice) {
+      // Runner-up accepted price among the *other* sites still in play.
+      double second = -kInf;
+      bool found = false;
+      for (std::size_t i = 0; i < remaining.size(); ++i) {
+        if (i == *pick || !remaining[i].accepted) continue;
+        second = std::max(second, remaining[i].expected_price);
+        found = true;
+      }
+      if (found) price = second;
+    }
+    // Budget check: charge the agreed price before committing the award.
+    const double agreed = price.value_or(quote.expected_price);
+    if (ledger_ != nullptr &&
+        !ledger_->try_charge(bid.client, bid.task.arrival, agreed)) {
+      // Too expensive this interval — try a cheaper accepting quote.
+      result.unaffordable = true;
+      remaining[*pick].accepted = false;
+      continue;
+    }
+    if (site->award(bid, quote, price)) {
+      result.awarded_site = quote.site;
+      result.unaffordable = false;
+      break;
+    }
+    // Award refused (site state changed): undo the charge, try next best.
+    if (ledger_ != nullptr)
+      ledger_->try_charge(bid.client, bid.task.arrival, -agreed);
+    remaining[*pick].accepted = false;  // do not retry this site
+  }
+
+  history_.push_back(result);
+  return result;
+}
+
+std::size_t Broker::unaffordable_bids() const {
+  std::size_t count = 0;
+  for (const NegotiationResult& r : history_)
+    if (r.unaffordable && !r.awarded_site) ++count;
+  return count;
+}
+
+std::size_t Broker::rejected_everywhere() const {
+  std::size_t count = 0;
+  for (const NegotiationResult& r : history_)
+    if (!r.awarded_site) ++count;
+  return count;
+}
+
+}  // namespace mbts

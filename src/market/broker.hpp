@@ -1,0 +1,94 @@
+// Client-side selection among competing server quotes (paper §2, Fig. 1).
+//
+// The negotiation is two-phase and sealed-bid: the broker fans the client's
+// bid out to every site, collects quotes, picks a winner by the client's
+// strategy, and awards the contract. Since the bid is a full value function,
+// one exchange suffices.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "market/client.hpp"
+#include "market/contract.hpp"
+#include "market/site_agent.hpp"
+#include "util/rng.hpp"
+
+namespace mbts {
+
+/// How a client ranks the accepted quotes.
+enum class ClientStrategy {
+  /// Highest expected price — since the price equals the client's own value
+  /// function at the expected completion, this is also the client-optimal
+  /// choice under truthful bidding.
+  kMaxExpectedValue,
+  /// Earliest expected completion (latency-sensitive clients).
+  kEarliestCompletion,
+  /// Uniform random among accepting sites (load-spreading floor).
+  kRandom,
+};
+
+std::string to_string(ClientStrategy strategy);
+
+/// How the contract price is derived from the winning quote (§2).
+enum class PricingModel {
+  /// Price equals the winner's own quoted expected value ("client bid value
+  /// and price are equivalent").
+  kBidPrice,
+  /// Vickrey-style: the winner's price is set by the runner-up accepted
+  /// quote, giving sites an incentive to quote truthfully (as in Spawn).
+  /// With a single accepting site the winner's own quote binds.
+  kSecondPrice,
+};
+
+std::string to_string(PricingModel model);
+
+/// Result of one negotiation round for a bid.
+struct NegotiationResult {
+  Bid bid;
+  std::vector<Quote> quotes;          // one per site polled
+  std::optional<SiteId> awarded_site; // empty: every site rejected
+  /// True when a site would have taken the task but the client's budget
+  /// could not cover the agreed price (§2's per-interval budgets).
+  bool unaffordable = false;
+};
+
+/// Stateless selection: returns the index into `quotes` of the winner, or
+/// nullopt if no quote was accepted.
+std::optional<std::size_t> select_quote(const std::vector<Quote>& quotes,
+                                        ClientStrategy strategy,
+                                        Xoshiro256& rng);
+
+/// Runs one full negotiation for `bid` across `sites` (poll, select, award).
+/// On award failure (site state changed) falls through to the next-best
+/// quote. Appends the outcome to `results` history.
+class Broker {
+ public:
+  /// `ledger` (optional, not owned) enforces client budgets: the winning
+  /// quote's agreed price is charged at bid time, and an unaffordable award
+  /// falls through to cheaper quotes.
+  Broker(std::vector<SiteAgent*> sites, ClientStrategy strategy,
+         Xoshiro256 rng, PricingModel pricing = PricingModel::kBidPrice,
+         ClientLedger* ledger = nullptr);
+
+  /// Count of bids dropped because the client's budget was exhausted.
+  std::size_t unaffordable_bids() const;
+
+  NegotiationResult negotiate(const Bid& bid);
+
+  const std::vector<NegotiationResult>& history() const { return history_; }
+
+  /// Count of bids no site accepted.
+  std::size_t rejected_everywhere() const;
+
+ private:
+  std::vector<SiteAgent*> sites_;
+  ClientStrategy strategy_;
+  PricingModel pricing_;
+  ClientLedger* ledger_;
+  Xoshiro256 rng_;
+  std::vector<NegotiationResult> history_;
+};
+
+}  // namespace mbts

@@ -1,0 +1,58 @@
+#include "market/client.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace mbts {
+
+void ClientLedger::configure(ClientId client, ClientBudget budget) {
+  MBTS_CHECK_MSG(budget.budget_per_interval >= 0.0,
+                 "budget must be non-negative");
+  MBTS_CHECK_MSG(budget.interval > 0.0, "interval must be positive");
+  budgets_[client] = budget;
+}
+
+bool ClientLedger::is_constrained(ClientId client) const {
+  const auto it = budgets_.find(client);
+  return it != budgets_.end() && it->second.budget_per_interval != kInf;
+}
+
+std::int64_t ClientLedger::interval_index(const ClientBudget& budget,
+                                          SimTime now) const {
+  if (budget.interval == kInf) return 0;
+  return static_cast<std::int64_t>(std::floor(now / budget.interval));
+}
+
+double ClientLedger::remaining(ClientId client, SimTime now) const {
+  const auto it = budgets_.find(client);
+  if (it == budgets_.end()) return kInf;
+  const ClientBudget& budget = it->second;
+  if (budget.budget_per_interval == kInf) return kInf;
+  const auto key = std::make_pair(client, interval_index(budget, now));
+  const auto spent = spent_.find(key);
+  const double used = spent == spent_.end() ? 0.0 : spent->second;
+  return budget.budget_per_interval - used;
+}
+
+bool ClientLedger::try_charge(ClientId client, SimTime now, double amount) {
+  const auto it = budgets_.find(client);
+  if (it == budgets_.end()) return true;  // unconstrained
+  const ClientBudget& budget = it->second;
+  const auto key = std::make_pair(client, interval_index(budget, now));
+  if (amount > 0.0 && budget.budget_per_interval != kInf) {
+    const double used = spent_.count(key) ? spent_[key] : 0.0;
+    if (used + amount > budget.budget_per_interval) return false;
+  }
+  spent_[key] += amount;
+  return true;
+}
+
+double ClientLedger::total_spent(ClientId client) const {
+  double total = 0.0;
+  for (const auto& [key, amount] : spent_)
+    if (key.first == client) total += amount;
+  return total;
+}
+
+}  // namespace mbts

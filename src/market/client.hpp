@@ -1,0 +1,53 @@
+// Client budget accounting (paper §2).
+//
+// The paper assumes "each user or group is assigned a budget to spend on
+// computing service over each time interval" without modelling the currency
+// flow. The ledger implements exactly that: each client has a budget that
+// replenishes every interval; a contract's agreed price is charged against
+// the interval in which the bid is placed, and a bid the client cannot
+// cover is simply not placed. Unspent budget does not roll over
+// (use-it-or-lose-it, the common scheme in the cited economic managers).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/types.hpp"
+
+namespace mbts {
+
+struct ClientBudget {
+  /// Currency available per interval; kInf disables the constraint.
+  double budget_per_interval = kInf;
+  /// Interval length in simulated time; kInf makes one infinite interval.
+  double interval = kInf;
+};
+
+class ClientLedger {
+ public:
+  /// Clients without explicit configuration are unconstrained.
+  void configure(ClientId client, ClientBudget budget);
+
+  bool is_constrained(ClientId client) const;
+
+  /// Remaining budget in the interval containing `now`.
+  double remaining(ClientId client, SimTime now) const;
+
+  /// Attempts to charge `amount` against the interval containing `now`;
+  /// returns false (and charges nothing) if the remainder is insufficient.
+  /// Negative amounts (a site paying a penalty up front) always succeed and
+  /// credit the interval.
+  bool try_charge(ClientId client, SimTime now, double amount);
+
+  /// Total charged to a client across all intervals.
+  double total_spent(ClientId client) const;
+
+ private:
+  std::int64_t interval_index(const ClientBudget& budget, SimTime now) const;
+
+  std::map<ClientId, ClientBudget> budgets_;
+  std::map<std::pair<ClientId, std::int64_t>, double> spent_;
+};
+
+}  // namespace mbts

@@ -1,0 +1,18 @@
+#include "market/contract.hpp"
+
+#include <sstream>
+
+namespace mbts {
+
+std::string Contract::to_string() const {
+  std::ostringstream os;
+  os << "contract task#" << task << " client#" << client << " site#" << site
+     << " agreed(t=" << agreed_completion << ", price=" << agreed_price
+     << ')';
+  if (settled)
+    os << " settled(t=" << actual_completion << ", price=" << settled_price
+       << ')';
+  return os.str();
+}
+
+}  // namespace mbts

@@ -1,0 +1,59 @@
+// Bids, quotes, and contracts (paper §2, §6, Figure 1).
+//
+// A client (or broker acting for it) submits a bid — the task's value
+// function and service demand — to one or more task-service sites. Each
+// site that accepts responds with a server bid: the expected completion time
+// and expected price in its current candidate schedule. A contract binds
+// the chosen site to that quote; if the site later delays the task, the
+// value function determines the reduced price or penalty at settlement.
+#pragma once
+
+#include <string>
+
+#include "core/task.hpp"
+
+namespace mbts {
+
+/// The client bid: (runtime_i, value_i, decay_i, bound_i) plus identity.
+struct Bid {
+  ClientId client = 0;
+  Task task;
+};
+
+/// A site's response to a bid.
+struct Quote {
+  SiteId site = 0;
+  bool accepted = false;
+  SimTime expected_completion = 0.0;
+  /// Site policy: price equals the value function evaluated at the expected
+  /// completion (§2 — "client bid value and price are equivalent").
+  double expected_price = 0.0;
+  /// The admission slack behind the decision (diagnostic).
+  double slack = 0.0;
+};
+
+/// A formed agreement, settled when the task actually completes.
+struct Contract {
+  TaskId task = kInvalidTask;
+  ClientId client = 0;
+  SiteId site = 0;
+  SimTime agreed_completion = 0.0;
+  double agreed_price = 0.0;
+
+  bool settled = false;
+  SimTime actual_completion = 0.0;
+  /// Value function evaluated at the actual completion: the reduced price,
+  /// or a penalty when negative.
+  double settled_price = 0.0;
+
+  /// Price shortfall relative to the agreement (0 when on time).
+  double shortfall() const {
+    return settled ? agreed_price - settled_price : 0.0;
+  }
+  /// True when settlement ran past the agreed completion.
+  bool violated() const { return settled && actual_completion > agreed_completion; }
+
+  std::string to_string() const;
+};
+
+}  // namespace mbts

@@ -1,0 +1,58 @@
+#include "market/market.hpp"
+
+#include "util/check.hpp"
+
+namespace mbts {
+
+Market::Market(MarketConfig config) : config_(std::move(config)) {
+  MBTS_CHECK_MSG(!config_.sites.empty(), "market needs at least one site");
+  std::vector<SiteAgent*> raw;
+  for (const SiteAgentConfig& sc : config_.sites) {
+    sites_.push_back(std::make_unique<SiteAgent>(engine_, sc));
+    raw.push_back(sites_.back().get());
+  }
+  for (const auto& [client, budget] : config_.client_budgets)
+    ledger_.configure(client, budget);
+  broker_ = std::make_unique<Broker>(
+      std::move(raw), config_.strategy,
+      SeedSequence(config_.rng_seed).stream(0xB20CE2), config_.pricing,
+      &ledger_);
+}
+
+void Market::inject(const Trace& trace, ClientId client) {
+  for (const Task& task : trace.tasks) {
+    ++bids_;
+    engine_.schedule_at(task.arrival, EventPriority::kArrival,
+                        [this, task, client] {
+                          Bid bid;
+                          bid.client = client;
+                          bid.task = task;
+                          broker_->negotiate(bid);
+                        });
+  }
+}
+
+MarketStats Market::run() {
+  engine_.run();
+  MarketStats stats;
+  stats.bids = bids_;
+  stats.rejected_everywhere = broker_->rejected_everywhere();
+  stats.unaffordable = broker_->unaffordable_bids();
+  stats.rejected_everywhere -= stats.unaffordable;
+  stats.awarded = broker_->history().size() - stats.rejected_everywhere -
+                  stats.unaffordable;
+  for (const auto& site : sites_) {
+    site->settle();
+    const double revenue = site->revenue();
+    stats.site_revenue.push_back(revenue);
+    stats.site_stats.push_back(site->scheduler().stats());
+    stats.total_revenue += revenue;
+    for (const Contract& contract : site->contracts()) {
+      stats.total_agreed += contract.agreed_price;
+      if (contract.violated()) ++stats.violated_contracts;
+    }
+  }
+  return stats;
+}
+
+}  // namespace mbts

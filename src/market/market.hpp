@@ -1,0 +1,70 @@
+// The multi-site task-service economy (paper §2, Figure 1).
+//
+// Owns the simulation engine, a set of heterogeneous task-service sites, and
+// a broker; injects a bid stream (a trace), runs the economy to completion,
+// and settles every contract. This is the end-to-end system the paper's
+// framework describes; the single-site experiments of Figs. 3–7 are the
+// degenerate one-site case driven directly through SiteScheduler.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "market/broker.hpp"
+#include "market/site_agent.hpp"
+#include "sim/engine.hpp"
+#include "workload/trace.hpp"
+
+namespace mbts {
+
+struct MarketConfig {
+  std::vector<SiteAgentConfig> sites;
+  ClientStrategy strategy = ClientStrategy::kMaxExpectedValue;
+  PricingModel pricing = PricingModel::kBidPrice;
+  /// Per-client budgets (§2); clients absent from the map are
+  /// unconstrained.
+  std::map<ClientId, ClientBudget> client_budgets;
+  std::uint64_t rng_seed = 42;
+};
+
+/// Economy-level results after a run.
+struct MarketStats {
+  std::size_t bids = 0;
+  std::size_t awarded = 0;
+  std::size_t rejected_everywhere = 0;
+  std::size_t unaffordable = 0;
+  double total_revenue = 0.0;        // settled, across sites
+  double total_agreed = 0.0;         // sum of agreed prices
+  std::size_t violated_contracts = 0;
+  std::vector<double> site_revenue;  // aligned with sites()
+  std::vector<RunStats> site_stats;
+};
+
+class Market {
+ public:
+  explicit Market(MarketConfig config);
+
+  SimEngine& engine() { return engine_; }
+  const std::vector<std::unique_ptr<SiteAgent>>& sites() const {
+    return sites_;
+  }
+  Broker& broker() { return *broker_; }
+  const ClientLedger& ledger() const { return ledger_; }
+
+  /// Schedules every task in the trace as a bid negotiation at its arrival.
+  void inject(const Trace& trace, ClientId client = 0);
+
+  /// Runs the engine until all work drains, then settles all contracts.
+  MarketStats run();
+
+ private:
+  MarketConfig config_;
+  SimEngine engine_;
+  ClientLedger ledger_;
+  std::vector<std::unique_ptr<SiteAgent>> sites_;
+  std::unique_ptr<Broker> broker_;
+  std::size_t bids_ = 0;
+};
+
+}  // namespace mbts

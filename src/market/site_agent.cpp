@@ -1,0 +1,81 @@
+#include "market/site_agent.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace mbts {
+
+namespace {
+std::unique_ptr<AdmissionPolicy> make_admission(const SiteAgentConfig& cfg) {
+  if (cfg.use_slack_admission)
+    return std::make_unique<SlackAdmission>(cfg.admission);
+  return std::make_unique<AcceptAllAdmission>();
+}
+}  // namespace
+
+SiteAgent::SiteAgent(SimEngine& engine, SiteAgentConfig config)
+    : engine_(engine), config_(std::move(config)) {
+  scheduler_ = std::make_unique<SiteScheduler>(
+      engine_, config_.scheduler, make_policy(config_.policy),
+      make_admission(config_));
+}
+
+Quote SiteAgent::quote(const Bid& bid) {
+  const AdmissionDecision decision = scheduler_->quote(bid.task);
+  Quote q;
+  q.site = config_.id;
+  q.accepted = decision.accept;
+  q.expected_completion = decision.expected_completion;
+  q.expected_price = decision.expected_yield;
+  q.slack = decision.slack;
+  return q;
+}
+
+bool SiteAgent::award(const Bid& bid, const Quote& quoted,
+                      std::optional<double> agreed_price) {
+  MBTS_CHECK_MSG(quoted.site == config_.id, "quote belongs to another site");
+  const AdmissionDecision decision = scheduler_->submit(bid.task);
+  if (!decision.accept) return false;
+  Contract contract;
+  contract.task = bid.task.id;
+  contract.client = bid.client;
+  contract.site = config_.id;
+  contract.agreed_completion = decision.expected_completion;
+  contract.agreed_price = agreed_price.value_or(decision.expected_yield);
+  contracts_.push_back(contract);
+  return true;
+}
+
+void SiteAgent::settle() {
+  // Index completion data from the scheduler's records once, then settle.
+  std::unordered_map<TaskId, const TaskRecord*> finished;
+  finished.reserve(scheduler_->records().size());
+  for (const TaskRecord& record : scheduler_->records()) {
+    if (record.outcome == TaskOutcome::kCompleted ||
+        record.outcome == TaskOutcome::kDropped)
+      finished[record.task.id] = &record;
+  }
+  for (Contract& contract : contracts_) {
+    if (contract.settled) continue;
+    const auto it = finished.find(contract.task);
+    if (it == finished.end()) continue;
+    contract.settled = true;
+    contract.actual_completion = it->second->completion;
+    // The agreed price is a cap: finishing early never charges extra, and
+    // delays reduce the price (or turn it into a penalty) per the value
+    // function (§2/§3).
+    contract.settled_price =
+        std::min(contract.agreed_price, it->second->realized_yield);
+  }
+}
+
+double SiteAgent::revenue() const {
+  double total = 0.0;
+  for (const Contract& contract : contracts_)
+    if (contract.settled) total += contract.settled_price;
+  return total;
+}
+
+}  // namespace mbts

@@ -1,0 +1,66 @@
+// A task-service site participating in the market (paper §6).
+//
+// Wraps a SiteScheduler with the two-phase negotiation protocol: quote a
+// bid (evaluate admission without commitment), then award it (commit the
+// task and form a contract). Settlement evaluates the value function at the
+// actual completion once the run drains.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "market/contract.hpp"
+#include "sim/engine.hpp"
+
+namespace mbts {
+
+struct SiteAgentConfig {
+  SiteId id = 0;
+  std::string name = "site";
+  SchedulerConfig scheduler;
+  PolicySpec policy = PolicySpec::first_reward(0.2);
+  /// Negative threshold disables admission control (AcceptAll).
+  bool use_slack_admission = true;
+  SlackAdmissionConfig admission;
+};
+
+class SiteAgent {
+ public:
+  SiteAgent(SimEngine& engine, SiteAgentConfig config);
+
+  SiteId id() const { return config_.id; }
+  const std::string& name() const { return config_.name; }
+  const SiteAgentConfig& config() const { return config_; }
+
+  /// Phase 1: evaluate a bid against the current candidate schedule.
+  Quote quote(const Bid& bid);
+
+  /// Phase 2: the client chose this site — commit the task and form the
+  /// contract. Returns false if the site's state changed such that the bid
+  /// no longer clears admission (the contract is then not formed).
+  /// `agreed_price` overrides the contract price (e.g. a broker applying
+  /// second-price rules); by default the quote's own expected price binds.
+  bool award(const Bid& bid, const Quote& quoted,
+             std::optional<double> agreed_price = std::nullopt);
+
+  const SiteScheduler& scheduler() const { return *scheduler_; }
+  const std::vector<Contract>& contracts() const { return contracts_; }
+
+  /// Fills settlement fields from the scheduler's records; call after the
+  /// engine drains (or any time — unfinished contracts stay unsettled).
+  void settle();
+
+  /// Total settled revenue (sum of settled prices; penalties negative).
+  double revenue() const;
+
+ private:
+  SimEngine& engine_;
+  SiteAgentConfig config_;
+  std::unique_ptr<SiteScheduler> scheduler_;
+  std::vector<Contract> contracts_;
+};
+
+}  // namespace mbts

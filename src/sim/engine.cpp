@@ -1,0 +1,79 @@
+#include "sim/engine.hpp"
+
+#include "util/check.hpp"
+
+namespace mbts {
+
+EventId SimEngine::schedule_at(double t, EventPriority priority, Callback cb) {
+  MBTS_CHECK_MSG(t >= now_, "cannot schedule event in the past");
+  MBTS_CHECK_MSG(static_cast<bool>(cb), "event callback must be callable");
+  const EventId id = next_seq_++;
+  state_.push_back(EventState::kPending);
+  queue_.push(Event{t, static_cast<int>(priority), id, id, std::move(cb)});
+  ++live_count_;
+  return id;
+}
+
+EventId SimEngine::schedule_after(double delay, EventPriority priority,
+                                  Callback cb) {
+  MBTS_CHECK_MSG(delay >= 0.0, "negative delay");
+  return schedule_at(now_ + delay, priority, std::move(cb));
+}
+
+bool SimEngine::cancel(EventId id) {
+  if (id >= state_.size() || state_[id] != EventState::kPending) return false;
+  state_[id] = EventState::kCancelled;
+  // The event object stays in the heap; it is skipped when popped. We still
+  // decrement the live count so empty()/pending() reflect real work.
+  MBTS_DCHECK(live_count_ > 0);
+  --live_count_;
+  return true;
+}
+
+bool SimEngine::pop_next(Event& out) {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; we need to move the callback out, so
+    // const_cast is confined here. The element is popped immediately after.
+    Event& top = const_cast<Event&>(queue_.top());
+    if (state_[top.id] == EventState::kCancelled) {
+      state_[top.id] = EventState::kDone;
+      queue_.pop();
+      continue;
+    }
+    MBTS_DCHECK(state_[top.id] == EventState::kPending);
+    state_[top.id] = EventState::kDone;
+    out = std::move(top);
+    queue_.pop();
+    return true;
+  }
+  return false;
+}
+
+double SimEngine::run() {
+  Event ev;
+  while (pop_next(ev)) {
+    MBTS_DCHECK(ev.t >= now_);
+    now_ = ev.t;
+    --live_count_;
+    ++executed_;
+    ev.cb();
+  }
+  return now_;
+}
+
+double SimEngine::run_until(double t_end) {
+  MBTS_CHECK(t_end >= now_);
+  Event ev;
+  while (!queue_.empty()) {
+    if (queue_.top().t > t_end) break;
+    if (!pop_next(ev)) break;
+    now_ = ev.t;
+    --live_count_;
+    ++executed_;
+    ev.cb();
+  }
+  now_ = t_end;
+  return now_;
+}
+
+}  // namespace mbts

@@ -1,0 +1,87 @@
+// Deterministic discrete-event simulation engine.
+//
+// Events are (time, priority, sequence, callback) tuples ordered by time,
+// then priority (lower first), then insertion sequence, so simultaneous
+// events execute in a well-defined order and runs are bit-reproducible.
+//
+// Priorities matter for correctness of the task service: a completion at
+// time t must free its processor before an arrival at t is scheduled, or the
+// arrival would wrongly observe a full cluster.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace mbts {
+
+/// Canonical event priorities (lower runs first at equal time).
+enum class EventPriority : int {
+  kCompletion = 0,  // free resources first
+  kArrival = 10,    // then admit new work
+  kDispatch = 15,   // then run one dispatch over the settled state
+  kControl = 20,    // periodic probes, snapshots
+};
+
+/// Handle for cancelling a scheduled event.
+using EventId = std::uint64_t;
+
+class SimEngine {
+ public:
+  using Callback = std::function<void()>;
+
+  double now() const { return now_; }
+  std::uint64_t events_executed() const { return executed_; }
+  std::uint64_t events_scheduled() const { return next_seq_; }
+
+  /// Schedules cb at absolute time t (>= now). Returns a cancellation id.
+  EventId schedule_at(double t, EventPriority priority, Callback cb);
+
+  /// Schedules cb after a delay (>= 0).
+  EventId schedule_after(double delay, EventPriority priority, Callback cb);
+
+  /// Cancels a pending event; returns false if already fired or cancelled.
+  bool cancel(EventId id);
+
+  /// Runs until the queue drains. Returns the final clock.
+  double run();
+
+  /// Runs until the queue drains or the clock would pass t_end; events at
+  /// t > t_end stay queued and now() is advanced to t_end.
+  double run_until(double t_end);
+
+  bool empty() const { return live_count_ == 0; }
+  std::size_t pending() const { return live_count_; }
+
+ private:
+  struct Event {
+    double t;
+    int priority;
+    std::uint64_t seq;
+    EventId id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      if (a.priority != b.priority) return a.priority > b.priority;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_next(Event& out);
+
+  enum class EventState : unsigned char { kPending, kCancelled, kDone };
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::size_t live_count_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Per-event lifecycle, indexed by id; cancelled events are lazily dropped
+  // when popped.
+  std::vector<EventState> state_;
+};
+
+}  // namespace mbts

@@ -1,0 +1,38 @@
+#include "sim/probe.hpp"
+
+#include "util/check.hpp"
+
+namespace mbts {
+
+PeriodicProbe::PeriodicProbe(SimEngine& engine, double interval,
+                             Sampler sampler)
+    : engine_(engine), interval_(interval), sampler_(std::move(sampler)) {
+  MBTS_CHECK_MSG(interval_ > 0.0, "probe interval must be positive");
+  MBTS_CHECK_MSG(static_cast<bool>(sampler_), "probe needs a sampler");
+  arm();
+}
+
+void PeriodicProbe::arm() {
+  next_event_ = engine_.schedule_after(interval_, EventPriority::kControl,
+                                       [this] { fire(); });
+  armed_ = true;
+}
+
+void PeriodicProbe::fire() {
+  armed_ = false;
+  if (stopped_) return;
+  series_.add(engine_.now(), sampler_());
+  // Reschedule only while the simulation has other live work; a probe must
+  // never be the reason the engine keeps running.
+  if (engine_.pending() > 0) arm();
+}
+
+void PeriodicProbe::stop() {
+  stopped_ = true;
+  if (armed_) {
+    engine_.cancel(next_event_);
+    armed_ = false;
+  }
+}
+
+}  // namespace mbts

@@ -1,0 +1,44 @@
+// Periodic measurement probes for simulations.
+//
+// A probe samples a callback at a fixed simulated-time interval. Probes
+// must not keep the simulation alive artificially, so a probe reschedules
+// itself only while other work is still queued: when the probe's own event
+// is the last one in the engine, it stops. Samples land in a SampledSeries
+// for later analysis or CSV export.
+#pragma once
+
+#include <functional>
+
+#include "sim/engine.hpp"
+#include "stats/timeseries.hpp"
+
+namespace mbts {
+
+class PeriodicProbe {
+ public:
+  using Sampler = std::function<double()>;
+
+  /// Samples `sampler` every `interval` starting at engine.now() +
+  /// interval. The probe object must outlive the engine run.
+  PeriodicProbe(SimEngine& engine, double interval, Sampler sampler);
+
+  /// Stops future samples (already-scheduled one is cancelled).
+  void stop();
+
+  const SampledSeries& series() const { return series_; }
+  std::size_t samples() const { return series_.size(); }
+
+ private:
+  void arm();
+  void fire();
+
+  SimEngine& engine_;
+  double interval_;
+  Sampler sampler_;
+  SampledSeries series_;
+  EventId next_event_ = 0;
+  bool armed_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace mbts

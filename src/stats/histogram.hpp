@@ -1,0 +1,40 @@
+// Fixed-bin histogram with exact-quantile support for modest sample counts.
+//
+// Experiment traces are at most a few hundred thousand samples, so we keep
+// the raw values for exact quantiles alongside binned counts for display.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mbts {
+
+class Histogram {
+ public:
+  /// bins uniform over [lo, hi); out-of-range samples clamp to end bins.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  std::size_t count() const { return values_.size(); }
+  const std::vector<std::size_t>& bins() const { return counts_; }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+
+  /// Exact quantile (linear interpolation), q in [0, 1]. Requires count>0.
+  double quantile(double q) const;
+
+  /// Fraction of samples <= x.
+  double cdf(double x) const;
+
+  std::string ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace mbts

@@ -1,0 +1,40 @@
+// Online summary statistics (Welford) used throughout the evaluation harness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace mbts {
+
+/// Single-pass mean/variance/min/max accumulator (numerically stable).
+class Summary {
+ public:
+  void add(double x);
+
+  /// Merges another summary (parallel reduction of replications).
+  void merge(const Summary& other);
+
+  std::size_t count() const { return n_; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 when n < 2.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// Standard error of the mean; 0 when n < 2.
+  double sem() const;
+
+  std::string to_string() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace mbts

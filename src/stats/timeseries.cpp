@@ -1,0 +1,41 @@
+#include "stats/timeseries.hpp"
+
+#include "util/check.hpp"
+
+namespace mbts {
+
+void TimeWeighted::set(double t, double value) {
+  if (!started_) {
+    started_ = true;
+    start_ = t;
+    last_t_ = t;
+    value_ = value;
+    return;
+  }
+  MBTS_CHECK_MSG(t >= last_t_, "time-weighted updates must be ordered");
+  area_ += value_ * (t - last_t_);
+  last_t_ = t;
+  value_ = value;
+}
+
+double TimeWeighted::average(double t_end) const {
+  if (!started_ || t_end <= start_) return 0.0;
+  MBTS_CHECK(t_end >= last_t_);
+  const double total_area = area_ + value_ * (t_end - last_t_);
+  return total_area / (t_end - start_);
+}
+
+void SampledSeries::add(double t, double value) {
+  MBTS_CHECK_MSG(points_.empty() || t >= points_.back().t,
+                 "series points must be time-ordered");
+  points_.push_back({t, value});
+}
+
+double SampledSeries::sum_in(double lo, double hi) const {
+  double sum = 0.0;
+  for (const auto& p : points_)
+    if (p.t >= lo && p.t < hi) sum += p.v;
+  return sum;
+}
+
+}  // namespace mbts

@@ -1,0 +1,53 @@
+// Time-weighted accumulators for simulation metrics such as utilization and
+// queue depth, plus a sampled series for rate-over-interval plots.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mbts {
+
+/// Integrates a piecewise-constant signal over simulated time.
+///
+/// Call set(t, v) whenever the signal changes; the time-average between any
+/// two points is area / elapsed. Times must be non-decreasing.
+class TimeWeighted {
+ public:
+  void set(double t, double value);
+
+  /// Closes the signal at time t and returns the time average since start.
+  double average(double t_end) const;
+
+  double current() const { return value_; }
+  double start_time() const { return start_; }
+  bool empty() const { return !started_; }
+
+ private:
+  bool started_ = false;
+  double start_ = 0.0;
+  double last_t_ = 0.0;
+  double value_ = 0.0;
+  double area_ = 0.0;
+};
+
+/// Append-only (t, value) series; supports trapezoid-free event sampling.
+class SampledSeries {
+ public:
+  void add(double t, double value);
+
+  std::size_t size() const { return points_.size(); }
+  double time(std::size_t i) const { return points_[i].t; }
+  double value(std::size_t i) const { return points_[i].v; }
+
+  /// Sum of values with t in [lo, hi).
+  double sum_in(double lo, double hi) const;
+
+ private:
+  struct Point {
+    double t;
+    double v;
+  };
+  std::vector<Point> points_;
+};
+
+}  // namespace mbts

@@ -1,0 +1,49 @@
+// Lightweight contract checking for the mbts libraries.
+//
+// MBTS_CHECK is always on (cheap invariants on hot-but-not-critical paths);
+// MBTS_DCHECK compiles away in NDEBUG builds and guards O(n) verification
+// sweeps that would change algorithmic complexity if left enabled.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mbts {
+
+/// Thrown when a checked precondition or invariant fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_fail(const char* expr, const char* file,
+                                    int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace mbts
+
+#define MBTS_CHECK(expr)                                                 \
+  do {                                                                   \
+    if (!(expr)) ::mbts::detail::check_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define MBTS_CHECK_MSG(expr, msg)                                      \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::mbts::detail::check_fail(#expr, __FILE__, __LINE__, (msg));    \
+  } while (0)
+
+#ifdef NDEBUG
+#define MBTS_DCHECK(expr) \
+  do {                    \
+  } while (0)
+#else
+#define MBTS_DCHECK(expr) MBTS_CHECK(expr)
+#endif

@@ -1,0 +1,54 @@
+// Small command-line flag parser for the example and bench binaries.
+//
+// Supports --name=value, --name value, and boolean --flag / --no-flag.
+// Unknown flags are an error so typos in experiment parameters fail loudly
+// instead of silently running the default configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mbts {
+
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  /// Registers a flag with a default value (rendered in --help).
+  void add_flag(const std::string& name, const std::string& default_value,
+                const std::string& help);
+
+  /// Parses argv. Returns false (after printing usage) on --help or error.
+  bool parse(int argc, const char* const* argv);
+
+  /// Accessors; all MBTS_CHECK that the flag was registered.
+  std::string get_string(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// Positional arguments left after flag parsing.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string usage() const;
+
+ private:
+  struct Flag {
+    std::string default_value;
+    std::string help;
+    std::optional<std::string> value;
+  };
+
+  const Flag& find(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mbts

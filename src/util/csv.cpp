@@ -1,0 +1,147 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace mbts {
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header)
+    : out_(out), header_(std::move(header)) {
+  MBTS_CHECK_MSG(!header_.empty(), "CSV header must be non-empty");
+}
+
+void CsvWriter::write_record(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  MBTS_CHECK_MSG(fields.size() == header_.size(),
+                 "CSV row width does not match header");
+  if (!header_written_) {
+    write_record(header_);
+    header_written_ = true;
+  }
+  write_record(fields);
+  ++rows_;
+}
+
+std::string CsvWriter::field(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string CsvWriter::field(std::int64_t v) { return std::to_string(v); }
+std::string CsvWriter::field(std::uint64_t v) { return std::to_string(v); }
+
+std::size_t CsvDocument::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i)
+    if (header[i] == name) return i;
+  MBTS_CHECK_MSG(false, "CSV column not found: " + name);
+  return 0;
+}
+
+CsvDocument parse_csv(std::istream& in) {
+  CsvDocument doc;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool any_char = false;
+
+  auto end_field = [&] {
+    record.push_back(field);
+    field.clear();
+  };
+  auto end_record = [&] {
+    end_field();
+    if (doc.header.empty()) {
+      doc.header = record;
+    } else {
+      MBTS_CHECK_MSG(record.size() == doc.header.size(), "ragged CSV row");
+      doc.rows.push_back(record);
+    }
+    record.clear();
+    any_char = false;
+  };
+
+  char c;
+  while (in.get(c)) {
+    if (in_quotes) {
+      if (c == '"') {
+        if (in.peek() == '"') {
+          in.get(c);
+          field += '"';
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      any_char = true;
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        any_char = true;
+        break;
+      case ',':
+        end_field();
+        any_char = true;
+        break;
+      case '\r':
+        break;  // tolerate CRLF input
+      case '\n':
+        if (any_char || !record.empty()) end_record();
+        break;
+      default:
+        field += c;
+        any_char = true;
+    }
+  }
+  MBTS_CHECK_MSG(!in_quotes, "unterminated quote in CSV");
+  if (any_char || !record.empty()) end_record();
+  return doc;
+}
+
+CsvDocument read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  MBTS_CHECK_MSG(in.good(), "cannot open CSV file: " + path);
+  return parse_csv(in);
+}
+
+void write_csv_file(const std::string& path, const CsvDocument& doc) {
+  std::ofstream out(path);
+  MBTS_CHECK_MSG(out.good(), "cannot write CSV file: " + path);
+  CsvWriter writer(out, doc.header);
+  for (const auto& row : doc.rows) writer.row(row);
+  // CsvWriter only emits the header with the first row; cover empty docs.
+  if (doc.rows.empty()) {
+    for (std::size_t i = 0; i < doc.header.size(); ++i) {
+      if (i) out << ',';
+      out << csv_escape(doc.header[i]);
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace mbts

@@ -1,0 +1,55 @@
+// CSV emission and parsing for traces and experiment results.
+//
+// The dialect is deliberately simple: comma separator, quotes only when a
+// field contains comma/quote/newline, '.' decimal point, LF line endings.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mbts {
+
+/// Streams rows to an ostream; the header is written on first row.
+class CsvWriter {
+ public:
+  CsvWriter(std::ostream& out, std::vector<std::string> header);
+
+  /// Appends one row; must have exactly as many fields as the header.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats doubles with full round-trip precision.
+  static std::string field(double v);
+  static std::string field(std::int64_t v);
+  static std::string field(std::uint64_t v);
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  void write_record(const std::vector<std::string>& fields);
+
+  std::ostream& out_;
+  std::vector<std::string> header_;
+  std::size_t rows_ = 0;
+  bool header_written_ = false;
+};
+
+/// Fully-parsed CSV document (small files: traces, result tables).
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Column index by name; throws CheckError if absent.
+  std::size_t column(const std::string& name) const;
+};
+
+/// Parses a document; throws CheckError on ragged rows or bad quoting.
+CsvDocument parse_csv(std::istream& in);
+CsvDocument read_csv_file(const std::string& path);
+void write_csv_file(const std::string& path, const CsvDocument& doc);
+
+/// Escapes a single field per the dialect above.
+std::string csv_escape(const std::string& field);
+
+}  // namespace mbts

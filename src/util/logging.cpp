@@ -1,0 +1,44 @@
+#include "util/logging.hpp"
+
+#include <iostream>
+#include <mutex>
+
+namespace mbts {
+
+namespace {
+std::mutex g_log_mutex;
+}
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(std::ostream* sink) {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  sink_ = sink;
+}
+
+void Logger::write(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::ostream& out = sink_ ? *sink_ : std::cerr;
+  out << '[' << to_string(level) << "] " << message << '\n';
+}
+
+}  // namespace mbts

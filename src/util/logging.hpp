@@ -1,0 +1,72 @@
+// Minimal leveled logger.
+//
+// The simulator is deterministic and single-threaded per run, but sweeps run
+// runs concurrently, so emission is serialized with a mutex. Log level is a
+// process-wide setting; DEBUG output from inner simulation loops is compiled
+// in but filtered at runtime so tests can enable it selectively.
+#pragma once
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+
+namespace mbts {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+const char* to_string(LogLevel level);
+
+/// Process-wide logging configuration and sink.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  /// Redirect output (default: stderr). Pass nullptr to restore stderr.
+  void set_sink(std::ostream* sink);
+
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// Thread-safe emission of one formatted line.
+  void write(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kInfo;
+  std::ostream* sink_ = nullptr;  // nullptr => stderr
+};
+
+namespace detail {
+/// Accumulates one log statement and emits it on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::instance().write(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace mbts
+
+#define MBTS_LOG(level)                                \
+  if (!::mbts::Logger::instance().enabled(level)) {    \
+  } else                                               \
+    ::mbts::detail::LogLine(level)
+
+#define MBTS_DEBUG MBTS_LOG(::mbts::LogLevel::kDebug)
+#define MBTS_INFO MBTS_LOG(::mbts::LogLevel::kInfo)
+#define MBTS_WARN MBTS_LOG(::mbts::LogLevel::kWarn)
+#define MBTS_ERROR MBTS_LOG(::mbts::LogLevel::kError)

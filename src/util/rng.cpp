@@ -1,0 +1,83 @@
+#include "util/rng.hpp"
+
+#include "util/check.hpp"
+
+namespace mbts {
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& w : s_) w = sm.next();
+  // All-zero state is the one invalid state; splitmix64 cannot produce four
+  // consecutive zeros, but guard anyway for safety with hostile seeds.
+  if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) s_[0] = 1;
+}
+
+std::uint64_t Xoshiro256::next() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+void Xoshiro256::jump() {
+  static constexpr std::uint64_t kJump[] = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (std::uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (1ULL << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      next();
+    }
+  }
+  s_ = {s0, s1, s2, s3};
+}
+
+std::uint64_t Xoshiro256::below(std::uint64_t n) {
+  MBTS_CHECK_MSG(n > 0, "below(0) is undefined");
+  // Lemire's nearly-divisionless bounded sampling.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < n) {
+    const std::uint64_t t = (0 - n) % n;
+    while (l < t) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * n;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+Xoshiro256 SeedSequence::stream(std::uint64_t key) const {
+  // Mix master and key through splitmix64 twice so nearby keys diverge.
+  SplitMix64 sm(master_ ^ (key * 0x9e3779b97f4a7c15ULL));
+  const std::uint64_t derived = sm.next() ^ sm.next();
+  return Xoshiro256(derived);
+}
+
+Xoshiro256 SeedSequence::stream(std::uint64_t a, std::uint64_t b) const {
+  SplitMix64 sm(master_ ^ (a * 0xbf58476d1ce4e5b9ULL) ^
+                (b * 0x94d049bb133111ebULL));
+  const std::uint64_t derived = sm.next() ^ sm.next();
+  return Xoshiro256(derived);
+}
+
+}  // namespace mbts

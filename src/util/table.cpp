@@ -1,0 +1,52 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace mbts {
+
+ConsoleTable::ConsoleTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  MBTS_CHECK_MSG(!header_.empty(), "table header must be non-empty");
+}
+
+void ConsoleTable::row(std::vector<std::string> fields) {
+  MBTS_CHECK_MSG(fields.size() == header_.size(),
+                 "table row width does not match header");
+  rows_.push_back(std::move(fields));
+}
+
+std::string ConsoleTable::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string ConsoleTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) width[i] = header_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size(); ++i)
+      width[i] = std::max(width[i], row[i].size());
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& fields) {
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      os << (i ? "  " : "");
+      os << fields[i];
+      os << std::string(width[i] - fields[i].size(), ' ');
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w;
+  os << std::string(total + 2 * (width.size() - 1), '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+}  // namespace mbts

@@ -1,0 +1,28 @@
+// Aligned console tables for the figure-reproduction benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mbts {
+
+/// Accumulates rows and renders a padded ASCII table.
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> header);
+
+  void row(std::vector<std::string> fields);
+
+  /// Convenience numeric formatting used across benches.
+  static std::string num(double v, int precision = 3);
+
+  std::string render() const;
+
+  std::size_t size() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mbts

@@ -1,0 +1,168 @@
+#include "workload/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace mbts {
+
+DistSpec DistSpec::constant(double value) {
+  DistSpec s;
+  s.kind = Kind::kConstant;
+  s.a = value;
+  return s;
+}
+
+DistSpec DistSpec::uniform(double lo, double hi) {
+  MBTS_CHECK_MSG(hi > lo, "uniform range must be non-empty");
+  DistSpec s;
+  s.kind = Kind::kUniform;
+  s.a = lo;
+  s.b = hi;
+  return s;
+}
+
+DistSpec DistSpec::exponential(double mean) {
+  MBTS_CHECK_MSG(mean > 0.0, "exponential mean must be positive");
+  DistSpec s;
+  s.kind = Kind::kExponential;
+  s.a = mean;
+  return s;
+}
+
+DistSpec DistSpec::normal(double mean, double stddev) {
+  MBTS_CHECK_MSG(stddev >= 0.0, "stddev must be non-negative");
+  DistSpec s;
+  s.kind = Kind::kNormal;
+  s.a = mean;
+  s.b = stddev;
+  return s;
+}
+
+DistSpec DistSpec::lognormal(double mu, double sigma) {
+  MBTS_CHECK_MSG(sigma >= 0.0, "sigma must be non-negative");
+  DistSpec s;
+  s.kind = Kind::kLogNormal;
+  s.a = mu;
+  s.b = sigma;
+  return s;
+}
+
+double DistSpec::mean() const {
+  switch (kind) {
+    case Kind::kConstant:
+      return a;
+    case Kind::kUniform:
+      return 0.5 * (a + b);
+    case Kind::kExponential:
+      return a;
+    case Kind::kNormal:
+      return a;
+    case Kind::kLogNormal:
+      return std::exp(a + 0.5 * b * b);
+  }
+  return 0.0;
+}
+
+std::string DistSpec::to_string() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kConstant:
+      os << "constant(" << a << ')';
+      break;
+    case Kind::kUniform:
+      os << "uniform(" << a << ", " << b << ')';
+      break;
+    case Kind::kExponential:
+      os << "exp(mean=" << a << ')';
+      break;
+    case Kind::kNormal:
+      os << "normal(" << a << ", " << b << ')';
+      break;
+    case Kind::kLogNormal:
+      os << "lognormal(mu=" << a << ", sigma=" << b << ')';
+      break;
+  }
+  return os.str();
+}
+
+Sampler::Sampler(DistSpec spec) : spec_(spec) {}
+
+double Sampler::raw_sample(Xoshiro256& rng) const {
+  switch (spec_.kind) {
+    case DistSpec::Kind::kConstant:
+      return spec_.a;
+    case DistSpec::Kind::kUniform:
+      return rng.uniform(spec_.a, spec_.b);
+    case DistSpec::Kind::kExponential: {
+      // Inverse transform; 1 - u in (0, 1] avoids log(0).
+      const double u = rng.uniform01();
+      return -spec_.a * std::log(1.0 - u);
+    }
+    case DistSpec::Kind::kNormal: {
+      // Box–Muller; one draw per call keeps the sampler stateless.
+      const double u1 = std::max(rng.uniform01(), 1e-300);
+      const double u2 = rng.uniform01();
+      const double z =
+          std::sqrt(-2.0 * std::log(u1)) *
+          std::cos(2.0 * std::numbers::pi * u2);
+      return spec_.a + spec_.b * z;
+    }
+    case DistSpec::Kind::kLogNormal: {
+      const double u1 = std::max(rng.uniform01(), 1e-300);
+      const double u2 = rng.uniform01();
+      const double z =
+          std::sqrt(-2.0 * std::log(u1)) *
+          std::cos(2.0 * std::numbers::pi * u2);
+      return std::exp(spec_.a + spec_.b * z);
+    }
+  }
+  return 0.0;
+}
+
+double Sampler::sample(Xoshiro256& rng) const {
+  if (spec_.kind == DistSpec::Kind::kConstant) return spec_.a;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const double x = raw_sample(rng);
+    if (x >= spec_.floor) return x;
+  }
+  // Pathological spec (e.g. normal with mean far below floor): clamp rather
+  // than loop forever; generation-time validation should prevent this.
+  return spec_.floor;
+}
+
+std::string BimodalSpec::to_string() const {
+  std::ostringstream os;
+  os << "bimodal(p_high=" << p_high << ", skew=" << skew
+     << ", low_mean=" << low_mean << ", cv=" << cv << ')';
+  return os.str();
+}
+
+namespace {
+DistSpec class_normal(double mean, double cv, double floor) {
+  DistSpec s = DistSpec::normal(mean, cv * mean);
+  s.floor = floor;
+  return s;
+}
+}  // namespace
+
+BimodalSampler::BimodalSampler(BimodalSpec spec)
+    : spec_(spec),
+      low_(class_normal(spec.low_mean, spec.cv, spec.floor)),
+      high_(class_normal(spec.skew * spec.low_mean, spec.cv, spec.floor)) {
+  MBTS_CHECK_MSG(spec.p_high >= 0.0 && spec.p_high <= 1.0,
+                 "p_high must be a probability");
+  MBTS_CHECK_MSG(spec.skew >= 1.0, "skew ratio must be >= 1");
+  MBTS_CHECK_MSG(spec.low_mean > 0.0, "low-class mean must be positive");
+}
+
+double BimodalSampler::sample(Xoshiro256& rng, bool* is_high) const {
+  const bool high = rng.bernoulli(spec_.p_high);
+  if (is_high != nullptr) *is_high = high;
+  return high ? high_.sample(rng) : low_.sample(rng);
+}
+
+}  // namespace mbts

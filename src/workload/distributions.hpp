@@ -1,0 +1,88 @@
+// Samplers for synthetic workload generation (paper §4.1).
+//
+// Trace studies cited by the paper show exponential inter-arrival times are
+// common in batch workloads; the Millennium experiments use normal
+// distributions. Values and decay rates follow bimodal class distributions:
+// a high class and a low class, normally distributed within each class, with
+// the class-mean ratio called the *skew ratio*.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace mbts {
+
+/// Declarative distribution description; converted to a sampler at
+/// generation time so specs stay copyable/serializable.
+struct DistSpec {
+  enum class Kind { kConstant, kUniform, kExponential, kNormal, kLogNormal };
+
+  Kind kind = Kind::kConstant;
+  /// kConstant: a == value. kUniform: [a, b). kExponential: a == mean.
+  /// kNormal: mean a, stddev b. kLogNormal: a, b are the underlying
+  /// normal's mu and sigma.
+  double a = 0.0;
+  double b = 0.0;
+  /// Samples below this are re-drawn (truncation keeps runtimes and
+  /// inter-arrival gaps physical); ignored by kConstant.
+  double floor = 1e-6;
+
+  static DistSpec constant(double value);
+  static DistSpec uniform(double lo, double hi);
+  static DistSpec exponential(double mean);
+  static DistSpec normal(double mean, double stddev);
+  static DistSpec lognormal(double mu, double sigma);
+
+  /// Nominal (untruncated) mean — used for load-factor calibration.
+  double mean() const;
+
+  std::string to_string() const;
+};
+
+/// Draws from the described distribution; truncated below at spec.floor by
+/// rejection (bounded retries, then clamps).
+class Sampler {
+ public:
+  explicit Sampler(DistSpec spec);
+
+  double sample(Xoshiro256& rng) const;
+  const DistSpec& spec() const { return spec_; }
+
+ private:
+  double raw_sample(Xoshiro256& rng) const;
+  DistSpec spec_;
+};
+
+/// Two-class (bimodal) spec for unit values and decay rates: with
+/// probability p_high the sample is normal around high_mean = skew *
+/// low_mean, else normal around low_mean; within-class stddev is cv * mean.
+struct BimodalSpec {
+  double p_high = 0.2;
+  double skew = 1.0;     // high-class mean / low-class mean
+  double low_mean = 1.0;
+  double cv = 0.25;      // within-class coefficient of variation
+  double floor = 1e-6;
+
+  /// Population mean across both classes.
+  double mean() const { return (1.0 - p_high) * low_mean + p_high * skew * low_mean; }
+
+  std::string to_string() const;
+};
+
+class BimodalSampler {
+ public:
+  explicit BimodalSampler(BimodalSpec spec);
+
+  /// Returns the sampled value; *is_high (optional) reports the class.
+  double sample(Xoshiro256& rng, bool* is_high = nullptr) const;
+  const BimodalSpec& spec() const { return spec_; }
+
+ private:
+  BimodalSpec spec_;
+  Sampler low_;
+  Sampler high_;
+};
+
+}  // namespace mbts

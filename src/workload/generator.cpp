@@ -1,0 +1,141 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace mbts {
+
+double WorkloadSpec::mean_gap() const {
+  MBTS_CHECK_MSG(load_factor > 0.0, "load factor must be positive");
+  const double batch =
+      arrival_model == ArrivalModel::kNormalBatch
+          ? static_cast<double>(batch_size)
+          : 1.0;
+  // Offered work per task is runtime * width processor-seconds; the width
+  // mean is 1 for the paper's model. (The clamp to [1, processors] at
+  // sampling time makes this slightly approximate for wide spreads.)
+  const double work_per_task = runtime.mean() * std::max(width.mean(), 1.0);
+  return batch * work_per_task /
+         (static_cast<double>(processors) * load_factor);
+}
+
+std::string WorkloadSpec::to_string() const {
+  std::ostringstream os;
+  os << "jobs=" << num_jobs << " procs=" << processors
+     << " load=" << load_factor << " runtime=" << runtime.to_string()
+     << " arrivals="
+     << (arrival_model == ArrivalModel::kPoisson ? "poisson" : "normal-batch")
+     << " batch=" << batch_size << " value=" << value_unit.to_string()
+     << " decay=" << (uniform_decay ? "uniform:" : "") << decay.to_string()
+     << " penalty=";
+  switch (penalty) {
+    case PenaltyModel::kBoundedAtZero:
+      os << "bounded@0";
+      break;
+    case PenaltyModel::kBoundedAtValue:
+      os << "bounded@" << penalty_value_scale << "x";
+      break;
+    case PenaltyModel::kUnbounded:
+      os << "unbounded";
+      break;
+  }
+  return os.str();
+}
+
+Trace generate_trace(const WorkloadSpec& spec, Xoshiro256& rng) {
+  MBTS_CHECK_MSG(spec.num_jobs > 0, "trace must contain at least one job");
+  MBTS_CHECK_MSG(spec.processors > 0, "spec needs processors");
+  MBTS_CHECK_MSG(spec.batch_size > 0, "batch size must be positive");
+
+  const Sampler runtime_sampler(spec.runtime);
+  const Sampler width_sampler(spec.width);
+  const BimodalSampler value_sampler(spec.value_unit);
+  const BimodalSampler decay_sampler(spec.decay);
+  const double uniform_decay_rate = spec.decay.mean();
+  // Mean-one lognormal estimate error: mu = -sigma^2/2.
+  const double est_sigma = spec.estimate_error_sigma;
+  const Sampler estimate_error(
+      est_sigma > 0.0
+          ? DistSpec::lognormal(-0.5 * est_sigma * est_sigma, est_sigma)
+          : DistSpec::constant(1.0));
+
+  const double gap_mean = spec.mean_gap();
+  DistSpec gap_spec =
+      spec.arrival_model == ArrivalModel::kPoisson
+          ? DistSpec::exponential(gap_mean)
+          : DistSpec::normal(gap_mean, spec.arrival_cv * gap_mean);
+  gap_spec.floor = 1e-9;
+  const Sampler gap_sampler(gap_spec);
+
+  const std::size_t batch =
+      spec.arrival_model == ArrivalModel::kNormalBatch ? spec.batch_size : 1;
+
+  Trace trace;
+  trace.description = spec.to_string();
+  trace.tasks.reserve(spec.num_jobs);
+
+  double clock = 0.0;
+  TaskId next_id = spec.first_id;
+  while (trace.tasks.size() < spec.num_jobs) {
+    clock += gap_sampler.sample(rng);
+    const std::size_t remaining_jobs = spec.num_jobs - trace.tasks.size();
+    const std::size_t count = std::min(batch, remaining_jobs);
+    for (std::size_t k = 0; k < count; ++k) {
+      Task t;
+      t.id = next_id++;
+      t.arrival = clock;
+      t.runtime = runtime_sampler.sample(rng);
+      t.width = static_cast<std::size_t>(std::clamp(
+          std::llround(width_sampler.sample(rng)), 1LL,
+          static_cast<long long>(spec.processors)));
+      if (est_sigma > 0.0)
+        t.declared_runtime =
+            std::max(t.runtime * estimate_error.sample(rng), 1e-6);
+      const double unit_value = value_sampler.sample(rng);
+      // The client prices the resources it declared: width * declared
+      // runtime (== runtime for the paper's width-1 exact-estimate model).
+      const double value =
+          unit_value * t.estimate() * static_cast<double>(t.width);
+      const double decay = spec.uniform_decay
+                               ? uniform_decay_rate
+                               : decay_sampler.sample(rng);
+      double bound = kInf;
+      switch (spec.penalty) {
+        case PenaltyModel::kBoundedAtZero:
+          bound = 0.0;
+          break;
+        case PenaltyModel::kBoundedAtValue:
+          bound = spec.penalty_value_scale * value;
+          break;
+        case PenaltyModel::kUnbounded:
+          bound = kInf;
+          break;
+      }
+      if (spec.cliff_grace > 0.0 && decay > 0.0 && value > 0.0) {
+        MBTS_CHECK_MSG(spec.cliff_grace < 1.0, "cliff_grace must be < 1");
+        const double time_to_zero = value / decay;
+        const double grace = spec.cliff_grace * time_to_zero;
+        const double steep = decay / (1.0 - spec.cliff_grace);
+        t.value = ValueFunction::piecewise(
+            value, {{grace, 0.0}, {kInf, steep}}, bound);
+      } else {
+        t.value = ValueFunction(value, decay, bound);
+      }
+      trace.tasks.push_back(t);
+    }
+  }
+
+  MBTS_DCHECK(validate_trace(trace).empty());
+  return trace;
+}
+
+Trace generate_trace(const WorkloadSpec& spec, const SeedSequence& seeds,
+                     std::uint64_t replication) {
+  Xoshiro256 rng = seeds.stream(0xBEEF, replication);
+  return generate_trace(spec, rng);
+}
+
+}  // namespace mbts

@@ -1,0 +1,101 @@
+// Synthetic trace generation (paper §4.1).
+//
+// The spec mirrors the paper's methodology: exponential (or normal, batched,
+// for the Millennium experiments) inter-arrival times; exponential or normal
+// durations; bimodal unit-value classes ("20% of jobs have a high
+// value_i/runtime_i") with a configurable *value skew ratio*; decay rates
+// either uniform across the mix or bimodal with a *decay skew ratio*;
+// penalties bounded at zero, bounded at a multiple of value, or unbounded.
+//
+// The load factor — offered work per unit time over aggregate capacity — is
+// the controlled variable: the mean inter-arrival gap is derived as
+//   mean_gap = batch_size * mean_runtime / (processors * load_factor).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "workload/distributions.hpp"
+#include "workload/trace.hpp"
+
+namespace mbts {
+
+/// How arrivals are produced.
+enum class ArrivalModel {
+  /// Exponential gaps, one task per arrival (the §5.3/§6 experiments).
+  kPoisson,
+  /// Normal gaps, `batch_size` tasks per arrival (the Millennium / Fig. 3
+  /// experiments: "16 jobs submitted in a batch on each arrival").
+  kNormalBatch,
+};
+
+/// How penalties are bounded.
+enum class PenaltyModel {
+  kBoundedAtZero,   // Millennium convention: yield floors at 0
+  kBoundedAtValue,  // penalty up to value_scale * max value
+  kUnbounded,
+};
+
+struct WorkloadSpec {
+  std::size_t num_jobs = 5000;
+  std::size_t processors = 16;
+  double load_factor = 1.0;
+
+  ArrivalModel arrival_model = ArrivalModel::kPoisson;
+  std::size_t batch_size = 1;
+  /// Coefficient of variation of normal inter-arrival gaps (kNormalBatch).
+  double arrival_cv = 0.25;
+
+  DistSpec runtime = DistSpec::exponential(100.0);
+
+  /// Unit value (value per unit of runtime); value_i = unit * runtime_i.
+  BimodalSpec value_unit{.p_high = 0.2, .skew = 2.0, .low_mean = 1.0,
+                         .cv = 0.25, .floor = 1e-3};
+
+  /// Decay rate (value per unit delay). uniform_decay selects a single
+  /// mix-wide constant equal to decay.mean(); otherwise bimodal classes.
+  bool uniform_decay = false;
+  BimodalSpec decay{.p_high = 0.2, .skew = 5.0, .low_mean = 0.2, .cv = 0.25,
+                    .floor = 1e-4};
+
+  PenaltyModel penalty = PenaltyModel::kUnbounded;
+  /// Penalty bound as a multiple of max value (kBoundedAtValue only).
+  double penalty_value_scale = 1.0;
+
+  /// Runtime-misestimation extension (§4 future work): when > 0, each
+  /// task's declared runtime is its true runtime times a mean-one lognormal
+  /// factor with this sigma. The bid (value, decay anchor) is derived from
+  /// the *declared* runtime — the client prices what it believes.
+  double estimate_error_sigma = 0.0;
+
+  /// Gang-scheduling extension: distribution of processor widths; samples
+  /// are rounded to integers and clamped to [1, processors]. The paper's
+  /// model is the default constant 1.
+  DistSpec width = DistSpec::constant(1.0);
+
+  /// Variable-rate extension (§3): when in (0, 1), each value function is a
+  /// deadline-cliff profile instead of a straight line — it holds its full
+  /// value for cliff_grace * (value/decay) units of delay, then decays at
+  /// decay / (1 - cliff_grace). Every profile still reaches zero at the
+  /// same delay as its linear counterpart, so mixes are comparable across
+  /// grace settings. 0 selects the paper's linear form.
+  double cliff_grace = 0.0;
+
+  /// First task id in the generated trace (ids are sequential).
+  TaskId first_id = 0;
+
+  /// Derived mean inter-arrival gap for the configured load factor.
+  double mean_gap() const;
+
+  std::string to_string() const;
+};
+
+/// Generates a trace. Deterministic in (spec, rng state); the trace is
+/// sorted by arrival with sequential ids from spec.first_id.
+Trace generate_trace(const WorkloadSpec& spec, Xoshiro256& rng);
+
+/// Convenience: derive the rng from (seed_sequence, replication).
+Trace generate_trace(const WorkloadSpec& spec, const SeedSequence& seeds,
+                     std::uint64_t replication);
+
+}  // namespace mbts

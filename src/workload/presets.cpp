@@ -1,0 +1,61 @@
+#include "workload/presets.hpp"
+
+namespace mbts {
+namespace presets {
+
+WorkloadSpec millennium_mix(double value_skew, std::size_t num_jobs) {
+  WorkloadSpec spec;
+  spec.num_jobs = num_jobs;
+  spec.processors = kProcessors;
+  spec.load_factor = 1.0;
+  spec.arrival_model = ArrivalModel::kNormalBatch;
+  spec.batch_size = 16;
+  spec.arrival_cv = 0.25;
+  spec.runtime = DistSpec::normal(kMeanRuntime, 0.25 * kMeanRuntime);
+  spec.runtime.floor = 1.0;
+  spec.value_unit = {.p_high = 0.2, .skew = value_skew, .low_mean = 1.0,
+                     .cv = 0.25, .floor = 1e-3};
+  spec.uniform_decay = true;
+  spec.decay = {.p_high = 0.0, .skew = 1.0, .low_mean = kUrgentDecay, .cv = 0.0,
+                .floor = 1e-4};
+  spec.penalty = PenaltyModel::kBoundedAtZero;
+  return spec;
+}
+
+WorkloadSpec decay_skew_mix(double decay_skew, PenaltyModel penalty,
+                            std::size_t num_jobs) {
+  WorkloadSpec spec;
+  spec.num_jobs = num_jobs;
+  spec.processors = kProcessors;
+  spec.load_factor = 1.0;
+  spec.arrival_model = ArrivalModel::kPoisson;
+  spec.runtime = DistSpec::exponential(kMeanRuntime);
+  spec.runtime.floor = 1.0;
+  spec.value_unit = {.p_high = 0.2, .skew = 2.0, .low_mean = 1.0, .cv = 0.25,
+                     .floor = 1e-3};
+  spec.uniform_decay = false;
+  spec.decay = {.p_high = 0.2, .skew = decay_skew, .low_mean = kGentleDecay,
+                .cv = 0.25, .floor = 1e-4};
+  spec.penalty = penalty;
+  return spec;
+}
+
+WorkloadSpec admission_mix(double load_factor, std::size_t num_jobs) {
+  WorkloadSpec spec;
+  spec.num_jobs = num_jobs;
+  spec.processors = kProcessors;
+  spec.load_factor = load_factor;
+  spec.arrival_model = ArrivalModel::kPoisson;
+  spec.runtime = DistSpec::exponential(kMeanRuntime);
+  spec.runtime.floor = 1.0;
+  spec.value_unit = {.p_high = 0.2, .skew = 3.0, .low_mean = 1.0, .cv = 0.25,
+                     .floor = 1e-3};
+  spec.uniform_decay = false;
+  spec.decay = {.p_high = 0.2, .skew = 5.0, .low_mean = kUrgentDecay, .cv = 0.25,
+                .floor = 1e-4};
+  spec.penalty = PenaltyModel::kUnbounded;
+  return spec;
+}
+
+}  // namespace presets
+}  // namespace mbts

@@ -1,0 +1,50 @@
+// Canonical workload mixes for the paper's experiments (Figs. 3–7).
+//
+// The paper specifies distribution *families* and skew ratios but not every
+// scale parameter; the constants here (mean runtime 100, low-class unit
+// value 1, low-class decay such that an average low-decay job loses its full
+// value after ~5 runtimes of delay) are our calibration, recorded in
+// EXPERIMENTS.md. All presets use a 16-processor site.
+#pragma once
+
+#include "workload/generator.hpp"
+
+namespace mbts {
+namespace presets {
+
+inline constexpr std::size_t kProcessors = 16;
+inline constexpr double kMeanRuntime = 100.0;
+
+/// Two decay scales, calibrated so each experiment's comparison is neither
+/// saturated nor degenerate (EXPERIMENTS.md records the reasoning):
+///
+/// kGentleDecay (figs 4–5): a typical low-value job (value ~100) decays to
+/// zero after ~3300 time units (33 runtimes). Gentle enough that the
+/// FirstPrice baseline stays profitable under unbounded penalties — the
+/// paper's improvement percentages are only meaningful against a positive
+/// baseline — while still losing enough yield for cost-aware policies to
+/// recover 40–300%.
+inline constexpr double kGentleDecay = 0.03;
+/// kUrgentDecay (figs 3, 6, 7): value gone after ~500 time units (5
+/// runtimes). Matches the paper's slack-threshold axis: slack is measured
+/// in time units and typical slacks (PV/decay ~ 100/0.2 = 500) fall inside
+/// the paper's -200..700 sweep.
+inline constexpr double kUrgentDecay = 0.2;
+
+/// Fig. 3: the Millennium study's task mix. Normal inter-arrival times and
+/// durations, 16 jobs per batch arrival, uniform decay across the mix,
+/// penalties bounded at zero, load factor 1.
+WorkloadSpec millennium_mix(double value_skew, std::size_t num_jobs = 5000);
+
+/// Figs. 4–5: exponential arrivals/durations, value skew 2, bimodal decay
+/// with the given skew; penalty model selects the Fig. 4 (bounded at zero)
+/// or Fig. 5 (unbounded) variant.
+WorkloadSpec decay_skew_mix(double decay_skew, PenaltyModel penalty,
+                            std::size_t num_jobs = 5000);
+
+/// Figs. 6–7: exponential arrivals/durations, unbounded penalties, value
+/// skew 3, decay skew 5; the load factor is the experiment's x-axis.
+WorkloadSpec admission_mix(double load_factor, std::size_t num_jobs = 5000);
+
+}  // namespace presets
+}  // namespace mbts

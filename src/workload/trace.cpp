@@ -1,0 +1,101 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+
+#include "util/check.hpp"
+#include "util/csv.hpp"
+
+namespace mbts {
+
+TraceStats compute_stats(const Trace& trace, std::size_t processors) {
+  TraceStats stats;
+  stats.jobs = trace.size();
+  if (trace.empty()) return stats;
+  double first = trace.tasks.front().arrival;
+  double last = first;
+  double prev = first;
+  double gaps = 0.0;
+  for (const Task& t : trace.tasks) {
+    first = std::min(first, t.arrival);
+    last = std::max(last, t.arrival);
+    gaps += t.arrival - prev;
+    prev = t.arrival;
+    stats.total_work += t.runtime;
+    stats.total_value += t.value.max_value();
+    stats.mean_runtime += t.runtime;
+    stats.mean_decay += t.value.decay();
+  }
+  const double n = static_cast<double>(trace.size());
+  stats.mean_runtime /= n;
+  stats.mean_decay /= n;
+  stats.span = last - first;
+  stats.mean_interarrival = trace.size() > 1 ? gaps / (n - 1.0) : 0.0;
+  if (stats.span > 0.0 && processors > 0)
+    stats.offered_load =
+        stats.total_work / (stats.span * static_cast<double>(processors));
+  return stats;
+}
+
+std::string validate_trace(const Trace& trace) {
+  double prev = -kInf;
+  for (const Task& t : trace.tasks) {
+    const std::string problem = validate_task(t);
+    if (!problem.empty()) return t.to_string() + ": " + problem;
+    if (t.arrival < prev) return t.to_string() + ": arrivals not sorted";
+    prev = t.arrival;
+  }
+  return {};
+}
+
+void save_trace_csv(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  MBTS_CHECK_MSG(out.good(), "cannot write trace file: " + path);
+  CsvWriter writer(out, {"id", "arrival", "runtime", "width", "value",
+                         "decay", "bound"});
+  for (const Task& t : trace.tasks) {
+    writer.row({CsvWriter::field(t.id), CsvWriter::field(t.arrival),
+                CsvWriter::field(t.runtime),
+                CsvWriter::field(static_cast<std::uint64_t>(t.width)),
+                CsvWriter::field(t.value.max_value()),
+                CsvWriter::field(t.value.decay()),
+                t.value.bounded() ? CsvWriter::field(t.value.penalty_bound())
+                                  : std::string("inf")});
+  }
+}
+
+Trace load_trace_csv(const std::string& path) {
+  const CsvDocument doc = read_csv_file(path);
+  const std::size_t c_id = doc.column("id");
+  const std::size_t c_arrival = doc.column("arrival");
+  const std::size_t c_runtime = doc.column("runtime");
+  const std::size_t c_width = doc.column("width");
+  const std::size_t c_value = doc.column("value");
+  const std::size_t c_decay = doc.column("decay");
+  const std::size_t c_bound = doc.column("bound");
+
+  Trace trace;
+  trace.description = "loaded from " + path;
+  trace.tasks.reserve(doc.rows.size());
+  for (const auto& row : doc.rows) {
+    Task t;
+    t.id = std::strtoull(row[c_id].c_str(), nullptr, 10);
+    t.arrival = std::strtod(row[c_arrival].c_str(), nullptr);
+    t.runtime = std::strtod(row[c_runtime].c_str(), nullptr);
+    t.width = static_cast<std::size_t>(
+        std::strtoull(row[c_width].c_str(), nullptr, 10));
+    const double value = std::strtod(row[c_value].c_str(), nullptr);
+    const double decay = std::strtod(row[c_decay].c_str(), nullptr);
+    const double bound = row[c_bound] == "inf"
+                             ? kInf
+                             : std::strtod(row[c_bound].c_str(), nullptr);
+    t.value = ValueFunction(value, decay, bound);
+    trace.tasks.push_back(t);
+  }
+  const std::string problem = validate_trace(trace);
+  MBTS_CHECK_MSG(problem.empty(), "invalid trace in " + path + ": " + problem);
+  return trace;
+}
+
+}  // namespace mbts

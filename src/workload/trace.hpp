@@ -1,0 +1,44 @@
+// Task traces: the unit of input to every experiment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/task.hpp"
+
+namespace mbts {
+
+/// An arrival-ordered sequence of tasks plus provenance.
+struct Trace {
+  std::vector<Task> tasks;
+  /// Human-readable description of the generating spec (for logs/CSV).
+  std::string description;
+
+  std::size_t size() const { return tasks.size(); }
+  bool empty() const { return tasks.empty(); }
+};
+
+/// Aggregate properties of a trace, as generated (not as scheduled).
+struct TraceStats {
+  std::size_t jobs = 0;
+  double span = 0.0;            // last arrival - first arrival
+  double total_work = 0.0;      // sum of runtimes
+  double total_value = 0.0;     // sum of max values
+  double mean_runtime = 0.0;
+  double mean_interarrival = 0.0;
+  double mean_decay = 0.0;
+  /// Offered load against `processors`: total_work / (span * processors).
+  double offered_load = 0.0;
+};
+
+TraceStats compute_stats(const Trace& trace, std::size_t processors);
+
+/// Verifies arrival ordering and per-task validity; returns "" when clean.
+std::string validate_trace(const Trace& trace);
+
+/// CSV round-trip (columns: id,arrival,runtime,value,decay,bound with bound
+/// "inf" for unbounded penalties).
+void save_trace_csv(const Trace& trace, const std::string& path);
+Trace load_trace_csv(const std::string& path);
+
+}  // namespace mbts

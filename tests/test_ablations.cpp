@@ -1,0 +1,78 @@
+// Structure and headline-direction smoke tests for the ablation and
+// extension experiments (miniature traces; the benches run them at scale).
+#include "experiments/ablations.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mbts {
+namespace {
+
+ExperimentOptions tiny(std::size_t jobs = 300) {
+  ExperimentOptions options;
+  options.num_jobs = jobs;
+  options.replications = 1;
+  options.seed = 42;
+  options.threads = 1;
+  return options;
+}
+
+TEST(Ablations, YieldBasisStructure) {
+  const FigureResult figure = ablation_yield_basis(tiny());
+  EXPECT_EQ(figure.id, "abl_yield_basis");
+  ASSERT_EQ(figure.series.size(), 3u);
+  for (const Series& s : figure.series)
+    EXPECT_EQ(s.points.size(), 7u);
+}
+
+TEST(Ablations, Eq8VariantsBothComputed) {
+  const FigureResult figure = ablation_eq8(tiny());
+  ASSERT_EQ(figure.series.size(), 2u);
+  EXPECT_EQ(figure.series[0].label, "eq8_corrected");
+  EXPECT_EQ(figure.series[1].label, "eq8_literal");
+  ASSERT_EQ(figure.series[0].points.size(), 10u);
+}
+
+TEST(Ablations, StaleKeysHurtFirstRewardUnderOverload) {
+  const FigureResult figure = ablation_stale_keys(tiny(600));
+  ASSERT_EQ(figure.series.size(), 4u);
+  // At the heaviest load (last x), fresh FirstReward must beat stale.
+  const double fresh = figure.series[2].points.back().y;
+  const double stale = figure.series[3].points.back().y;
+  EXPECT_GT(fresh, stale);
+}
+
+TEST(Ablations, PreemptionSeriesCover) {
+  const FigureResult figure = ablation_preemption(tiny());
+  ASSERT_EQ(figure.series.size(), 2u);
+  ASSERT_EQ(figure.series[0].points.size(), 6u);
+  EXPECT_DOUBLE_EQ(figure.series[0].points.back().x, 1.0);
+}
+
+TEST(Extensions, EstimateErrorAdmissionMostRobust) {
+  const FigureResult figure = extension_estimate_error(tiny(600));
+  ASSERT_EQ(figure.series.size(), 3u);
+  // Admission-controlled FirstReward stays ahead of plain FirstPrice at
+  // the largest error.
+  EXPECT_GT(figure.series[2].points.back().y,
+            figure.series[0].points.back().y);
+}
+
+TEST(Extensions, PiecewiseGridComplete) {
+  const FigureResult figure = extension_piecewise(tiny());
+  ASSERT_EQ(figure.series.size(), 4u);
+  for (const Series& s : figure.series) {
+    ASSERT_EQ(s.points.size(), 5u);
+    EXPECT_DOUBLE_EQ(s.points.front().x, 0.0);
+  }
+}
+
+TEST(Extensions, MarketRevenueStaysPositive) {
+  const FigureResult figure = extension_market(tiny(400));
+  ASSERT_EQ(figure.series.size(), 4u);
+  for (const Series& s : figure.series)
+    for (const SeriesPoint& p : s.points)
+      EXPECT_GT(p.y, 0.0) << s.label << " sites=" << p.x;
+}
+
+}  // namespace
+}  // namespace mbts

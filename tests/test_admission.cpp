@@ -1,0 +1,220 @@
+#include "core/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "core/policies/first_price.hpp"
+
+namespace mbts {
+namespace {
+
+Task make_task(TaskId id, double arrival, double runtime, double value,
+               double decay, double bound = kInf) {
+  Task t;
+  t.id = id;
+  t.arrival = arrival;
+  t.runtime = runtime;
+  t.value = ValueFunction(value, decay, bound);
+  return t;
+}
+
+/// Builds a self-consistent AdmissionContext over the given pending tasks
+/// (already sorted by FirstPrice priority, highest first).
+struct ContextFixture {
+  SimTime now;
+  FirstPricePolicy policy;
+  MixTracker tracker;
+  std::vector<Task> tasks;
+  std::vector<const Task*> pending;
+  std::vector<double> rpts;
+  std::vector<double> proc_free;
+
+  ContextFixture(SimTime t, std::vector<Task> pending_tasks,
+                 std::vector<double> free_times, const Task* candidate)
+      : now(t), tasks(std::move(pending_tasks)),
+        proc_free(std::move(free_times)) {
+    std::vector<CompetitorInfo> infos;
+    for (const Task& task : tasks) {
+      pending.push_back(&task);
+      rpts.push_back(task.runtime);
+      infos.push_back({task.id, task.value.decay(), kInf});
+    }
+    if (candidate != nullptr)
+      infos.push_back({candidate->id, candidate->value.decay(), kInf});
+    tracker.set_discount_rate(0.0);
+    tracker.rebuild(now, std::move(infos), false);
+  }
+
+  AdmissionContext context() const {
+    AdmissionContext ctx;
+    ctx.now = now;
+    ctx.mix = &tracker.view();
+    ctx.policy = &policy;
+    ctx.proc_free = proc_free;
+    ctx.pending_sorted = pending;
+    ctx.pending_rpt = rpts;
+    return ctx;
+  }
+};
+
+TEST(Projection, EmptySiteRunsImmediately) {
+  const Task candidate = make_task(9, 0.0, 10.0, 100.0, 1.0);
+  ContextFixture fx(0.0, {}, {0.0, 0.0}, &candidate);
+  const AdmissionDecision d = project_candidate(candidate, fx.context());
+  EXPECT_EQ(d.queue_position, 0u);
+  EXPECT_EQ(d.expected_completion, 10.0);
+  EXPECT_EQ(d.expected_yield, 100.0);
+}
+
+TEST(Projection, RanksAheadOfLowerPriority) {
+  // Candidate unit gain 100/10 = 10; queued task unit gain 10/10 = 1.
+  const Task queued = make_task(1, 0.0, 10.0, 10.0, 0.1);
+  const Task candidate = make_task(9, 0.0, 10.0, 100.0, 0.1);
+  ContextFixture fx(0.0, {queued}, {0.0}, &candidate);
+  const AdmissionDecision d = project_candidate(candidate, fx.context());
+  EXPECT_EQ(d.queue_position, 0u);
+  EXPECT_EQ(d.expected_completion, 10.0);
+}
+
+TEST(Projection, RanksBehindHigherPriority) {
+  const Task queued = make_task(1, 0.0, 10.0, 1000.0, 0.1);
+  const Task candidate = make_task(9, 0.0, 10.0, 100.0, 0.1);
+  ContextFixture fx(0.0, {queued}, {0.0}, &candidate);
+  const AdmissionDecision d = project_candidate(candidate, fx.context());
+  EXPECT_EQ(d.queue_position, 1u);
+  EXPECT_EQ(d.expected_completion, 20.0);
+  // Yield at completion: delay 10, decay 0.1 => 99.
+  EXPECT_DOUBLE_EQ(d.expected_yield, 99.0);
+}
+
+TEST(Projection, TiesGoBehindIncumbents) {
+  const Task queued = make_task(1, 0.0, 10.0, 100.0, 0.1);
+  const Task candidate = make_task(9, 0.0, 10.0, 100.0, 0.1);
+  ContextFixture fx(0.0, {queued}, {0.0}, &candidate);
+  const AdmissionDecision d = project_candidate(candidate, fx.context());
+  EXPECT_EQ(d.queue_position, 1u);
+}
+
+TEST(Projection, BusyProcessorsDelayCompletion) {
+  const Task candidate = make_task(9, 0.0, 10.0, 100.0, 0.1);
+  ContextFixture fx(0.0, {}, {7.0}, &candidate);
+  const AdmissionDecision d = project_candidate(candidate, fx.context());
+  EXPECT_EQ(d.expected_completion, 17.0);
+}
+
+TEST(AdmissionCost, ChargesDecayOfTasksBehind) {
+  // Two queued tasks with decay 0.2 and 0.3; candidate slots in front.
+  const Task q1 = make_task(1, 0.0, 10.0, 10.0, 0.2);
+  const Task q2 = make_task(2, 0.0, 20.0, 10.0, 0.3);
+  const Task candidate = make_task(9, 0.0, 8.0, 100.0, 0.1);
+  ContextFixture fx(0.0, {q1, q2}, {0.0}, &candidate);
+  // Corrected Eq. 8: each task behind is delayed by the candidate's runtime.
+  EXPECT_DOUBLE_EQ(admission_cost(candidate, fx.context(), 0, false),
+                   (0.2 + 0.3) * 8.0);
+  // Literal Eq. 8: decay_j * runtime_j.
+  EXPECT_DOUBLE_EQ(admission_cost(candidate, fx.context(), 0, true),
+                   0.2 * 10.0 + 0.3 * 20.0);
+  // At the back of the queue nothing is behind: no cost.
+  EXPECT_DOUBLE_EQ(admission_cost(candidate, fx.context(), 2, false), 0.0);
+}
+
+TEST(AdmissionSlack, MatchesEquationSeven) {
+  const Task candidate = make_task(9, 0.0, 10.0, 100.0, 0.5);
+  ContextFixture fx(0.0, {}, {0.0}, &candidate);
+  AdmissionDecision projection;
+  projection.expected_completion = 10.0;
+  projection.expected_yield = 100.0;
+  // slack = (PV - cost) / decay with discount 0: (100 - 20) / 0.5 = 160.
+  EXPECT_DOUBLE_EQ(
+      admission_slack(candidate, fx.context(), projection, 20.0), 160.0);
+}
+
+TEST(AdmissionSlack, ZeroDecayProfitableIsInfinite) {
+  const Task candidate = make_task(9, 0.0, 10.0, 100.0, 0.0);
+  ContextFixture fx(0.0, {}, {0.0}, &candidate);
+  AdmissionDecision projection;
+  projection.expected_completion = 10.0;
+  projection.expected_yield = 100.0;
+  EXPECT_EQ(admission_slack(candidate, fx.context(), projection, 10.0), kInf);
+  EXPECT_EQ(admission_slack(candidate, fx.context(), projection, 200.0),
+            -kInf);
+}
+
+TEST(AcceptAll, AlwaysAccepts) {
+  const AcceptAllAdmission admission;
+  const Task candidate = make_task(9, 0.0, 10.0, 0.0, 5.0);  // worthless
+  ContextFixture fx(0.0, {}, {0.0}, &candidate);
+  const AdmissionDecision d = admission.evaluate(candidate, fx.context());
+  EXPECT_TRUE(d.accept);
+  EXPECT_EQ(d.slack, kInf);
+  EXPECT_EQ(d.expected_completion, 10.0);
+}
+
+TEST(SlackAdmission, AcceptsAboveThreshold) {
+  const SlackAdmission admission({.threshold = 100.0});
+  const Task candidate = make_task(9, 0.0, 10.0, 100.0, 0.5);
+  ContextFixture fx(0.0, {}, {0.0}, &candidate);
+  // slack = 100 / 0.5 = 200 >= 100.
+  const AdmissionDecision d = admission.evaluate(candidate, fx.context());
+  EXPECT_TRUE(d.accept);
+  EXPECT_DOUBLE_EQ(d.slack, 200.0);
+}
+
+TEST(SlackAdmission, RejectsBelowThreshold) {
+  const SlackAdmission admission({.threshold = 300.0});
+  const Task candidate = make_task(9, 0.0, 10.0, 100.0, 0.5);
+  ContextFixture fx(0.0, {}, {0.0}, &candidate);
+  const AdmissionDecision d = admission.evaluate(candidate, fx.context());
+  EXPECT_FALSE(d.accept);
+  EXPECT_DOUBLE_EQ(d.slack, 200.0);  // still reported for diagnostics
+}
+
+TEST(SlackAdmission, QueueDepthErodesSlack) {
+  const SlackAdmission admission({.threshold = 0.0});
+  // Deep queue of high-priority urgent work ahead and behind.
+  std::vector<Task> queued;
+  for (TaskId i = 0; i < 10; ++i)
+    queued.push_back(make_task(i, 0.0, 50.0, 5000.0, 2.0));
+  const Task candidate = make_task(99, 0.0, 10.0, 100.0, 0.5);
+  ContextFixture shallow(0.0, {}, {0.0}, &candidate);
+  ContextFixture deep(0.0, queued, {0.0}, &candidate);
+  const double slack_shallow =
+      admission.evaluate(candidate, shallow.context()).slack;
+  const double slack_deep =
+      admission.evaluate(candidate, deep.context()).slack;
+  EXPECT_LT(slack_deep, slack_shallow);
+}
+
+TEST(SlackAdmission, NegativeThresholdAcceptsLosingTasksUpToBound) {
+  // A task whose expected yield is negative can still be accepted when the
+  // operator sets a negative (risk-seeking) threshold.
+  const Task candidate = make_task(9, 0.0, 10.0, 5.0, 2.0);
+  ContextFixture fx(0.0, {}, {100.0}, &candidate);  // busy site
+  // completion 110 => delay 100 => yield 5 - 200 = -195; slack = -97.5.
+  const SlackAdmission strict({.threshold = 0.0});
+  EXPECT_FALSE(strict.evaluate(candidate, fx.context()).accept);
+  const SlackAdmission lenient({.threshold = -100.0});
+  EXPECT_TRUE(lenient.evaluate(candidate, fx.context()).accept);
+}
+
+TEST(SlackAdmission, NameIncludesThreshold) {
+  EXPECT_EQ(SlackAdmission({.threshold = 180.0}).name(),
+            "Slack(threshold=180)");
+}
+
+TEST(SlackAdmission, DiscountReducesSlack) {
+  const Task candidate = make_task(9, 0.0, 10.0, 100.0, 0.5);
+  // Same geometry, but the mix discounts future gains at 10%/unit.
+  ContextFixture fx(0.0, {}, {0.0}, &candidate);
+  ContextFixture fx_discounted(0.0, {}, {0.0}, &candidate);
+  fx_discounted.tracker.set_discount_rate(0.10);
+  fx_discounted.tracker.rebuild(0.0, {{9, 0.5, kInf}}, false);
+  const SlackAdmission admission({.threshold = 0.0});
+  const double plain = admission.evaluate(candidate, fx.context()).slack;
+  const double discounted =
+      admission.evaluate(candidate, fx_discounted.context()).slack;
+  EXPECT_LT(discounted, plain);
+}
+
+}  // namespace
+}  // namespace mbts

@@ -1,0 +1,149 @@
+#include "experiments/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "experiments/ablations.hpp"
+#include "util/check.hpp"
+
+namespace mbts {
+namespace {
+
+TaskRecord make_record(TaskId id, double runtime, double unit_value,
+                       TaskOutcome outcome, double completion) {
+  TaskRecord record;
+  record.task.id = id;
+  record.task.arrival = 0.0;
+  record.task.runtime = runtime;
+  record.task.value =
+      ValueFunction::unbounded(unit_value * runtime, 0.1);
+  record.outcome = outcome;
+  record.completion = completion;
+  if (outcome == TaskOutcome::kCompleted)
+    record.realized_yield = record.task.yield_at_completion(completion);
+  return record;
+}
+
+TEST(ByValueClass, SplitsAndAggregates) {
+  std::deque<TaskRecord> records;
+  // Low class (unit 1): one completed on time, one rejected.
+  records.push_back(make_record(0, 10.0, 1.0, TaskOutcome::kCompleted, 10.0));
+  records.push_back(make_record(1, 10.0, 1.0, TaskOutcome::kRejected, -1.0));
+  // High class (unit 5): completed with delay 10.
+  records.push_back(make_record(2, 10.0, 5.0, TaskOutcome::kCompleted, 20.0));
+
+  const auto groups = by_value_class(records, 2.0);
+  ASSERT_EQ(groups.size(), 2u);
+  const GroupOutcome& low = groups[0];
+  const GroupOutcome& high = groups[1];
+
+  EXPECT_EQ(low.submitted, 2u);
+  EXPECT_EQ(low.completed, 1u);
+  EXPECT_EQ(low.rejected, 1u);
+  EXPECT_DOUBLE_EQ(low.total_yield, 10.0);
+  // Attainable was 10 + 10; realized 10.
+  EXPECT_DOUBLE_EQ(low.yield_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(low.delay.mean(), 0.0);
+
+  EXPECT_EQ(high.submitted, 1u);
+  EXPECT_DOUBLE_EQ(high.total_yield, 50.0 - 0.1 * 10.0);
+  EXPECT_DOUBLE_EQ(high.delay.mean(), 10.0);
+  EXPECT_DOUBLE_EQ(high.stretch.mean(), 1.0);
+}
+
+TEST(ByValueClass, EmptyRecords) {
+  const auto groups = by_value_class({}, 2.0);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].submitted, 0u);
+  EXPECT_EQ(groups[1].yield_fraction, 0.0);
+}
+
+TEST(ScaleBid, ScalesLinearFunctionUniformly) {
+  Task task;
+  task.id = 1;
+  task.arrival = 0.0;
+  task.runtime = 10.0;
+  task.value = ValueFunction(100.0, 2.0, 30.0);
+  const Task scaled = scale_bid(task, 2.0);
+  EXPECT_DOUBLE_EQ(scaled.value.max_value(), 200.0);
+  EXPECT_DOUBLE_EQ(scaled.value.decay(), 4.0);
+  EXPECT_DOUBLE_EQ(scaled.value.penalty_bound(), 60.0);
+  // The zero crossing is preserved.
+  EXPECT_DOUBLE_EQ(scaled.value.delay_to_zero(), task.value.delay_to_zero());
+  // Scaled yield is exactly k times the true yield everywhere.
+  for (double t : {10.0, 30.0, 55.0})
+    EXPECT_DOUBLE_EQ(scaled.yield_at_completion(t),
+                     2.0 * task.yield_at_completion(t));
+}
+
+TEST(ScaleBid, ScalesPiecewiseSegments) {
+  Task task;
+  task.id = 1;
+  task.arrival = 0.0;
+  task.runtime = 10.0;
+  task.value = ValueFunction::piecewise(100.0, {{5.0, 1.0}, {kInf, 4.0}},
+                                        kInf);
+  const Task scaled = scale_bid(task, 3.0);
+  EXPECT_DOUBLE_EQ(scaled.value.max_value(), 300.0);
+  EXPECT_DOUBLE_EQ(scaled.value.segments()[0].rate, 3.0);
+  EXPECT_DOUBLE_EQ(scaled.value.segments()[1].rate, 12.0);
+  EXPECT_FALSE(scaled.value.bounded());
+}
+
+TEST(ScaleBid, RejectsNonPositiveScale) {
+  Task task;
+  task.id = 1;
+  task.runtime = 1.0;
+  task.value = ValueFunction::unbounded(1.0, 0.1);
+  EXPECT_THROW(scale_bid(task, 0.0), CheckError);
+}
+
+TEST(ClientNetUtility, ComputesTrueSurplus) {
+  Task truth;
+  truth.id = 1;
+  truth.arrival = 0.0;
+  truth.runtime = 10.0;
+  truth.value = ValueFunction::unbounded(100.0, 1.0);
+
+  TaskRecord record;
+  record.task = scale_bid(truth, 2.0);
+  record.outcome = TaskOutcome::kCompleted;
+  record.completion = 20.0;  // delay 10: true yield 90, declared yield 180
+  record.realized_yield = 180.0;
+
+  // Paid the declared (scaled) price: net = 90 - 180 < 0.
+  EXPECT_DOUBLE_EQ(client_net_utility(truth, record, 180.0), -90.0);
+  // Paid an honest price: net = 0.
+  EXPECT_DOUBLE_EQ(client_net_utility(truth, record, 90.0), 0.0);
+}
+
+TEST(ClientNetUtility, RejectedIsZero) {
+  Task truth;
+  truth.id = 1;
+  truth.runtime = 10.0;
+  truth.value = ValueFunction::unbounded(100.0, 1.0);
+  TaskRecord record;
+  record.task = truth;
+  record.outcome = TaskOutcome::kRejected;
+  EXPECT_EQ(client_net_utility(truth, record, 0.0), 0.0);
+}
+
+TEST(EconomicsExtensions, SmokeStructure) {
+  ExperimentOptions options;
+  options.num_jobs = 250;
+  options.replications = 1;
+  options.threads = 1;
+  const FigureResult fairness = extension_fairness(options);
+  ASSERT_EQ(fairness.series.size(), 8u);
+  // High classes must never do worse than their low counterparts under the
+  // value-aware policies at the top load.
+  const auto& fp_low = fairness.series[2].points.back().y;
+  const auto& fp_high = fairness.series[3].points.back().y;
+  EXPECT_GE(fp_high, fp_low);
+
+  const FigureResult truth = extension_truthfulness(options);
+  ASSERT_EQ(truth.series.size(), 4u);
+  ASSERT_EQ(truth.series[0].points.size(), 6u);
+}
+
+}  // namespace
+}  // namespace mbts

@@ -1,0 +1,93 @@
+#include "market/broker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace mbts {
+namespace {
+
+Quote make_quote(SiteId site, bool accepted, double completion,
+                 double price) {
+  Quote q;
+  q.site = site;
+  q.accepted = accepted;
+  q.expected_completion = completion;
+  q.expected_price = price;
+  return q;
+}
+
+TEST(SelectQuote, NoAcceptedReturnsNothing) {
+  Xoshiro256 rng(1);
+  const std::vector<Quote> quotes{make_quote(0, false, 10.0, 100.0),
+                                  make_quote(1, false, 5.0, 200.0)};
+  EXPECT_FALSE(select_quote(quotes, ClientStrategy::kMaxExpectedValue, rng)
+                   .has_value());
+}
+
+TEST(SelectQuote, MaxValuePicksHighestPrice) {
+  Xoshiro256 rng(1);
+  const std::vector<Quote> quotes{make_quote(0, true, 10.0, 100.0),
+                                  make_quote(1, true, 50.0, 300.0),
+                                  make_quote(2, true, 5.0, 200.0)};
+  const auto pick =
+      select_quote(quotes, ClientStrategy::kMaxExpectedValue, rng);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 1u);
+}
+
+TEST(SelectQuote, EarliestPicksSoonestCompletion) {
+  Xoshiro256 rng(1);
+  const std::vector<Quote> quotes{make_quote(0, true, 10.0, 100.0),
+                                  make_quote(1, true, 50.0, 300.0),
+                                  make_quote(2, true, 5.0, 200.0)};
+  const auto pick =
+      select_quote(quotes, ClientStrategy::kEarliestCompletion, rng);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 2u);
+}
+
+TEST(SelectQuote, SkipsRejectedQuotes) {
+  Xoshiro256 rng(1);
+  const std::vector<Quote> quotes{make_quote(0, false, 1.0, 9999.0),
+                                  make_quote(1, true, 50.0, 10.0)};
+  const auto pick =
+      select_quote(quotes, ClientStrategy::kMaxExpectedValue, rng);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 1u);
+}
+
+TEST(SelectQuote, RandomOnlyPicksAccepted) {
+  Xoshiro256 rng(7);
+  const std::vector<Quote> quotes{make_quote(0, false, 1.0, 1.0),
+                                  make_quote(1, true, 1.0, 1.0),
+                                  make_quote(2, false, 1.0, 1.0),
+                                  make_quote(3, true, 1.0, 1.0)};
+  for (int i = 0; i < 100; ++i) {
+    const auto pick = select_quote(quotes, ClientStrategy::kRandom, rng);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_TRUE(*pick == 1u || *pick == 3u);
+  }
+}
+
+TEST(SelectQuote, RandomCoversAllAccepted) {
+  Xoshiro256 rng(11);
+  const std::vector<Quote> quotes{make_quote(0, true, 1.0, 1.0),
+                                  make_quote(1, true, 1.0, 1.0),
+                                  make_quote(2, true, 1.0, 1.0)};
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 200; ++i)
+    seen.insert(*select_quote(quotes, ClientStrategy::kRandom, rng));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(ClientStrategy, Names) {
+  EXPECT_EQ(to_string(ClientStrategy::kMaxExpectedValue),
+            "max-expected-value");
+  EXPECT_EQ(to_string(ClientStrategy::kEarliestCompletion),
+            "earliest-completion");
+  EXPECT_EQ(to_string(ClientStrategy::kRandom), "random");
+}
+
+}  // namespace
+}  // namespace mbts

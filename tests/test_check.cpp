@@ -1,0 +1,52 @@
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mbts {
+namespace {
+
+TEST(Check, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(MBTS_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(MBTS_CHECK_MSG(true, "never shown"));
+}
+
+TEST(Check, FailingCheckThrowsCheckError) {
+  EXPECT_THROW(MBTS_CHECK(false), CheckError);
+}
+
+TEST(Check, MessageIncludesExpressionAndLocation) {
+  try {
+    MBTS_CHECK_MSG(2 < 1, "two is not less than one");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos);
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos);
+  }
+}
+
+TEST(Check, CheckErrorIsLogicError) {
+  EXPECT_THROW(MBTS_CHECK(false), std::logic_error);
+}
+
+TEST(Check, DcheckActiveInDebugBuilds) {
+#ifdef NDEBUG
+  EXPECT_NO_THROW(MBTS_DCHECK(false));
+#else
+  EXPECT_THROW(MBTS_DCHECK(false), CheckError);
+#endif
+}
+
+TEST(Check, SideEffectsEvaluatedExactlyOnce) {
+  int calls = 0;
+  auto touch = [&calls] {
+    ++calls;
+    return true;
+  };
+  MBTS_CHECK(touch());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace mbts

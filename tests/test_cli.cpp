@@ -1,0 +1,131 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace mbts {
+namespace {
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), args.begin(), args.end());
+  return v;
+}
+
+TEST(Cli, DefaultsApplyWhenUnset) {
+  CliParser cli("prog", "test");
+  cli.add_flag("jobs", "5000", "job count");
+  const auto argv = argv_of({});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_int("jobs"), 5000);
+}
+
+TEST(Cli, EqualsFormParses) {
+  CliParser cli("prog", "test");
+  cli.add_flag("jobs", "5000", "job count");
+  const auto argv = argv_of({"--jobs=123"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_int("jobs"), 123);
+}
+
+TEST(Cli, SpaceFormParses) {
+  CliParser cli("prog", "test");
+  cli.add_flag("load", "1.0", "load factor");
+  const auto argv = argv_of({"--load", "2.5"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_DOUBLE_EQ(cli.get_double("load"), 2.5);
+}
+
+TEST(Cli, BareBooleanSetsTrue) {
+  CliParser cli("prog", "test");
+  cli.add_flag("verbose", "false", "chatty");
+  const auto argv = argv_of({"--verbose"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(cli.get_bool("verbose"));
+}
+
+TEST(Cli, NoPrefixDisablesBoolean) {
+  CliParser cli("prog", "test");
+  cli.add_flag("preempt", "true", "preemption");
+  const auto argv = argv_of({"--no-preempt"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_FALSE(cli.get_bool("preempt"));
+}
+
+TEST(Cli, BooleanEqualsForm) {
+  CliParser cli("prog", "test");
+  cli.add_flag("preempt", "true", "preemption");
+  const auto argv = argv_of({"--preempt=false"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_FALSE(cli.get_bool("preempt"));
+}
+
+TEST(Cli, UnknownFlagFailsParse) {
+  CliParser cli("prog", "test");
+  cli.add_flag("jobs", "10", "jobs");
+  const auto argv = argv_of({"--bogus=1"});
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  CliParser cli("prog", "test");
+  const auto argv = argv_of({"--help"});
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Cli, PositionalArgumentsCollected) {
+  CliParser cli("prog", "test");
+  cli.add_flag("jobs", "10", "jobs");
+  const auto argv = argv_of({"first", "--jobs=3", "second"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.positional(),
+            (std::vector<std::string>{"first", "second"}));
+}
+
+TEST(Cli, NonNumericIntThrows) {
+  CliParser cli("prog", "test");
+  cli.add_flag("jobs", "10", "jobs");
+  const auto argv = argv_of({"--jobs=abc"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_THROW(cli.get_int("jobs"), CheckError);
+}
+
+TEST(Cli, NonNumericDoubleThrows) {
+  CliParser cli("prog", "test");
+  cli.add_flag("load", "1.0", "load");
+  const auto argv = argv_of({"--load=fast"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_THROW(cli.get_double("load"), CheckError);
+}
+
+TEST(Cli, UnregisteredAccessThrows) {
+  CliParser cli("prog", "test");
+  EXPECT_THROW(cli.get_string("nope"), CheckError);
+}
+
+TEST(Cli, DuplicateRegistrationThrows) {
+  CliParser cli("prog", "test");
+  cli.add_flag("x", "1", "x");
+  EXPECT_THROW(cli.add_flag("x", "2", "again"), CheckError);
+}
+
+TEST(Cli, NegativeNumberAsValue) {
+  CliParser cli("prog", "test");
+  cli.add_flag("threshold", "0", "slack threshold");
+  const auto argv = argv_of({"--threshold=-200"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_int("threshold"), -200);
+}
+
+TEST(Cli, UsageListsFlagsAndDefaults) {
+  CliParser cli("prog", "does things");
+  cli.add_flag("jobs", "5000", "how many jobs");
+  const std::string usage = cli.usage();
+  EXPECT_NE(usage.find("--jobs"), std::string::npos);
+  EXPECT_NE(usage.find("5000"), std::string::npos);
+  EXPECT_NE(usage.find("how many jobs"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mbts

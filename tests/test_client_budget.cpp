@@ -1,0 +1,161 @@
+// Tests for client budgets (§2: per-interval budgets on computing spend).
+#include <gtest/gtest.h>
+
+#include "market/market.hpp"
+#include "util/check.hpp"
+
+namespace mbts {
+namespace {
+
+TEST(Ledger, UnconfiguredClientIsUnconstrained) {
+  ClientLedger ledger;
+  EXPECT_FALSE(ledger.is_constrained(7));
+  EXPECT_EQ(ledger.remaining(7, 0.0), kInf);
+  EXPECT_TRUE(ledger.try_charge(7, 0.0, 1e12));
+}
+
+TEST(Ledger, ChargesAgainstBudget) {
+  ClientLedger ledger;
+  ledger.configure(1, {.budget_per_interval = 100.0, .interval = kInf});
+  EXPECT_TRUE(ledger.is_constrained(1));
+  EXPECT_TRUE(ledger.try_charge(1, 0.0, 60.0));
+  EXPECT_DOUBLE_EQ(ledger.remaining(1, 0.0), 40.0);
+  EXPECT_FALSE(ledger.try_charge(1, 0.0, 50.0));
+  EXPECT_DOUBLE_EQ(ledger.remaining(1, 0.0), 40.0);  // failed charge is free
+  EXPECT_TRUE(ledger.try_charge(1, 0.0, 40.0));
+  EXPECT_DOUBLE_EQ(ledger.remaining(1, 0.0), 0.0);
+}
+
+TEST(Ledger, IntervalsReplenish) {
+  ClientLedger ledger;
+  ledger.configure(1, {.budget_per_interval = 100.0, .interval = 50.0});
+  EXPECT_TRUE(ledger.try_charge(1, 10.0, 100.0));
+  EXPECT_FALSE(ledger.try_charge(1, 49.0, 1.0));
+  // New interval at t = 50.
+  EXPECT_TRUE(ledger.try_charge(1, 50.0, 100.0));
+  EXPECT_DOUBLE_EQ(ledger.total_spent(1), 200.0);
+}
+
+TEST(Ledger, NegativeChargeCreditsInterval) {
+  ClientLedger ledger;
+  ledger.configure(1, {.budget_per_interval = 100.0, .interval = kInf});
+  EXPECT_TRUE(ledger.try_charge(1, 0.0, 100.0));
+  EXPECT_TRUE(ledger.try_charge(1, 0.0, -30.0));  // refund
+  EXPECT_DOUBLE_EQ(ledger.remaining(1, 0.0), 30.0);
+}
+
+TEST(Ledger, ClientsAreIndependent) {
+  ClientLedger ledger;
+  ledger.configure(1, {.budget_per_interval = 10.0, .interval = kInf});
+  ledger.configure(2, {.budget_per_interval = 10.0, .interval = kInf});
+  EXPECT_TRUE(ledger.try_charge(1, 0.0, 10.0));
+  EXPECT_TRUE(ledger.try_charge(2, 0.0, 10.0));
+  EXPECT_FALSE(ledger.try_charge(1, 0.0, 1.0));
+}
+
+TEST(Ledger, InvalidConfigThrows) {
+  ClientLedger ledger;
+  EXPECT_THROW(
+      ledger.configure(1, {.budget_per_interval = -1.0, .interval = 10.0}),
+      CheckError);
+  EXPECT_THROW(
+      ledger.configure(1, {.budget_per_interval = 10.0, .interval = 0.0}),
+      CheckError);
+}
+
+// --- Market integration ---------------------------------------------------
+
+Task make_task(TaskId id, double arrival, double runtime, double value,
+               double decay) {
+  Task t;
+  t.id = id;
+  t.arrival = arrival;
+  t.runtime = runtime;
+  t.value = ValueFunction::unbounded(value, decay);
+  return t;
+}
+
+SiteAgentConfig open_site(SiteId id, std::size_t procs) {
+  SiteAgentConfig config;
+  config.id = id;
+  config.name = "site" + std::to_string(id);
+  config.scheduler.processors = procs;
+  config.policy = PolicySpec::first_price();
+  config.use_slack_admission = false;
+  return config;
+}
+
+TEST(MarketBudget, UnaffordableBidsAreDropped) {
+  MarketConfig config;
+  config.sites.push_back(open_site(0, 4));
+  // Client 0 can afford exactly two 100-value tasks.
+  config.client_budgets[0] = {.budget_per_interval = 200.0,
+                              .interval = kInf};
+  Market market(config);
+  Trace trace;
+  for (TaskId i = 0; i < 5; ++i)
+    trace.tasks.push_back(make_task(i, double(i), 10.0, 100.0, 0.0));
+  market.inject(trace, /*client=*/0);
+  const MarketStats stats = market.run();
+  EXPECT_EQ(stats.awarded, 2u);
+  EXPECT_EQ(stats.unaffordable, 3u);
+  EXPECT_EQ(stats.rejected_everywhere, 0u);
+  EXPECT_DOUBLE_EQ(market.ledger().total_spent(0), 200.0);
+}
+
+TEST(MarketBudget, BudgetReplenishesAcrossIntervals) {
+  MarketConfig config;
+  config.sites.push_back(open_site(0, 4));
+  config.client_budgets[0] = {.budget_per_interval = 100.0,
+                              .interval = 100.0};
+  Market market(config);
+  Trace trace;
+  // One affordable task per interval, plus one extra in the first interval.
+  trace.tasks = {make_task(0, 0.0, 10.0, 100.0, 0.0),
+                 make_task(1, 1.0, 10.0, 100.0, 0.0),
+                 make_task(2, 150.0, 10.0, 100.0, 0.0)};
+  market.inject(trace, 0);
+  const MarketStats stats = market.run();
+  EXPECT_EQ(stats.awarded, 2u);  // task 1 exceeded interval 0's budget
+  EXPECT_EQ(stats.unaffordable, 1u);
+}
+
+TEST(MarketBudget, UnconstrainedClientUnaffected) {
+  MarketConfig config;
+  config.sites.push_back(open_site(0, 4));
+  Market market(config);
+  Trace trace;
+  for (TaskId i = 0; i < 5; ++i)
+    trace.tasks.push_back(make_task(i, double(i), 10.0, 100.0, 0.0));
+  market.inject(trace, 0);
+  const MarketStats stats = market.run();
+  EXPECT_EQ(stats.awarded, 5u);
+  EXPECT_EQ(stats.unaffordable, 0u);
+}
+
+TEST(MarketBudget, FallsThroughToCheaperSite) {
+  // Site 0 quotes full price (idle); site 1 is busy so it quotes less.
+  // With a budget below the expensive quote but above the cheap one, the
+  // broker must land the bid on the cheaper site.
+  MarketConfig config;
+  config.sites.push_back(open_site(0, 1));
+  config.sites.push_back(open_site(1, 1));
+  config.client_budgets[7] = {.budget_per_interval = 70.0, .interval = kInf};
+  Market market(config);
+
+  market.engine().schedule_at(0.0, EventPriority::kArrival, [&] {
+    Bid filler{0, make_task(100, 0.0, 40.0, 1000.0, 0.0)};
+    market.sites()[1]->award(filler, market.sites()[1]->quote(filler));
+  });
+
+  Trace trace;
+  trace.tasks = {make_task(1, 1.0, 10.0, 100.0, 1.0)};
+  market.inject(trace, 7);
+  const MarketStats stats = market.run();
+  EXPECT_EQ(stats.awarded, 1u);
+  ASSERT_EQ(market.sites()[1]->contracts().size(), 2u);  // filler + probe
+  EXPECT_EQ(market.sites()[0]->contracts().size(), 0u);
+}
+
+}  // namespace
+}  // namespace mbts

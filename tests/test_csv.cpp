@@ -1,0 +1,138 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace mbts {
+namespace {
+
+TEST(CsvEscape, PlainFieldUnchanged) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+}
+
+TEST(CsvEscape, CommaQuoted) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscape, QuoteDoubled) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscape, NewlineQuoted) {
+  EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvWriter, HeaderOnFirstRowOnly) {
+  std::ostringstream out;
+  CsvWriter writer(out, {"x", "y"});
+  writer.row({"1", "2"});
+  writer.row({"3", "4"});
+  EXPECT_EQ(out.str(), "x,y\n1,2\n3,4\n");
+  EXPECT_EQ(writer.rows_written(), 2u);
+}
+
+TEST(CsvWriter, RowWidthMismatchThrows) {
+  std::ostringstream out;
+  CsvWriter writer(out, {"x", "y"});
+  EXPECT_THROW(writer.row({"only-one"}), CheckError);
+}
+
+TEST(CsvWriter, DoubleFieldRoundTrips) {
+  const std::string f = CsvWriter::field(0.1 + 0.2);
+  EXPECT_EQ(std::stod(f), 0.1 + 0.2);
+}
+
+TEST(CsvParse, SimpleDocument) {
+  std::istringstream in("a,b\n1,2\n3,4\n");
+  const CsvDocument doc = parse_csv(in);
+  EXPECT_EQ(doc.header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[1][1], "4");
+}
+
+TEST(CsvParse, QuotedFieldsWithCommasAndNewlines) {
+  std::istringstream in("a,b\n\"x,y\",\"line1\nline2\"\n");
+  const CsvDocument doc = parse_csv(in);
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][0], "x,y");
+  EXPECT_EQ(doc.rows[0][1], "line1\nline2");
+}
+
+TEST(CsvParse, EscapedQuotes) {
+  std::istringstream in("a\n\"he said \"\"hi\"\"\"\n");
+  const CsvDocument doc = parse_csv(in);
+  EXPECT_EQ(doc.rows[0][0], "he said \"hi\"");
+}
+
+TEST(CsvParse, ToleratesCrlf) {
+  std::istringstream in("a,b\r\n1,2\r\n");
+  const CsvDocument doc = parse_csv(in);
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][0], "1");
+}
+
+TEST(CsvParse, MissingFinalNewlineOk) {
+  std::istringstream in("a,b\n1,2");
+  const CsvDocument doc = parse_csv(in);
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][1], "2");
+}
+
+TEST(CsvParse, RaggedRowThrows) {
+  std::istringstream in("a,b\n1\n");
+  EXPECT_THROW(parse_csv(in), CheckError);
+}
+
+TEST(CsvParse, UnterminatedQuoteThrows) {
+  std::istringstream in("a\n\"oops\n");
+  EXPECT_THROW(parse_csv(in), CheckError);
+}
+
+TEST(CsvParse, EmptyFields) {
+  std::istringstream in("a,b,c\n,,\n");
+  const CsvDocument doc = parse_csv(in);
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0], (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(CsvDocument, ColumnLookup) {
+  std::istringstream in("id,value\n7,9\n");
+  const CsvDocument doc = parse_csv(in);
+  EXPECT_EQ(doc.column("value"), 1u);
+  EXPECT_THROW(doc.column("missing"), CheckError);
+}
+
+TEST(CsvFile, WriteThenReadRoundTrip) {
+  const std::string path = testing::TempDir() + "mbts_csv_roundtrip.csv";
+  CsvDocument doc;
+  doc.header = {"k", "v"};
+  doc.rows = {{"a", "1"}, {"b,c", "2"}};
+  write_csv_file(path, doc);
+  const CsvDocument back = read_csv_file(path);
+  EXPECT_EQ(back.header, doc.header);
+  EXPECT_EQ(back.rows, doc.rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvFile, EmptyDocumentStillHasHeader) {
+  const std::string path = testing::TempDir() + "mbts_csv_empty.csv";
+  CsvDocument doc;
+  doc.header = {"only", "header"};
+  write_csv_file(path, doc);
+  const CsvDocument back = read_csv_file(path);
+  EXPECT_EQ(back.header, doc.header);
+  EXPECT_TRUE(back.rows.empty());
+  std::remove(path.c_str());
+}
+
+TEST(CsvFile, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/dir/file.csv"), CheckError);
+}
+
+}  // namespace
+}  // namespace mbts

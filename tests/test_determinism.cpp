@@ -1,0 +1,114 @@
+// Bit-reproducibility guarantees: identical seeds must give identical
+// traces, schedules, yields, and market outcomes — the property every
+// recorded experiment in EXPERIMENTS.md relies on.
+#include <gtest/gtest.h>
+
+#include "experiments/figures.hpp"
+#include "experiments/runner.hpp"
+#include "market/market.hpp"
+#include "workload/presets.hpp"
+
+namespace mbts {
+namespace {
+
+TEST(Determinism, TraceGenerationIsBitStable) {
+  const WorkloadSpec spec = presets::admission_mix(1.3, 2000);
+  const SeedSequence seeds(123);
+  const Trace a = generate_trace(spec, seeds, 5);
+  const Trace b = generate_trace(spec, seeds, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.tasks[i].arrival, b.tasks[i].arrival);
+    EXPECT_EQ(a.tasks[i].runtime, b.tasks[i].runtime);
+    EXPECT_EQ(a.tasks[i].value, b.tasks[i].value);
+  }
+}
+
+TEST(Determinism, SingleSiteRunIsBitStable) {
+  const WorkloadSpec spec = presets::admission_mix(1.5, 1000);
+  Xoshiro256 rng(7);
+  const Trace trace = generate_trace(spec, rng);
+  SchedulerConfig config;
+  config.processors = presets::kProcessors;
+  config.discount_rate = 0.01;
+
+  auto run = [&] {
+    return run_single_site(trace, config, PolicySpec::first_reward(0.3),
+                           SlackAdmissionConfig{100.0, false});
+  };
+  const RunStats a = run();
+  const RunStats b = run();
+  EXPECT_EQ(a.total_yield, b.total_yield);
+  EXPECT_EQ(a.accepted, b.accepted);
+  EXPECT_EQ(a.preemptions, b.preemptions);
+  EXPECT_EQ(a.last_completion, b.last_completion);
+}
+
+TEST(Determinism, ThreadCountDoesNotChangeFigureResults) {
+  // The sweep harness parallelizes over replications; the aggregated
+  // figure must not depend on the worker count.
+  ExperimentOptions serial;
+  serial.num_jobs = 300;
+  serial.replications = 3;
+  serial.seed = 9;
+  serial.threads = 1;
+  ExperimentOptions parallel = serial;
+  parallel.threads = 4;
+
+  const FigureResult a = figure5(serial);
+  const FigureResult b = figure5(parallel);
+  ASSERT_EQ(a.series.size(), b.series.size());
+  for (std::size_t s = 0; s < a.series.size(); ++s)
+    for (std::size_t i = 0; i < a.series[s].points.size(); ++i)
+      EXPECT_DOUBLE_EQ(a.series[s].points[i].y, b.series[s].points[i].y)
+          << a.series[s].label << " @ " << a.series[s].points[i].x;
+}
+
+TEST(Determinism, MarketRunIsBitStable) {
+  auto run = [] {
+    MarketConfig config;
+    for (SiteId i = 0; i < 3; ++i) {
+      SiteAgentConfig sc;
+      sc.id = i;
+      sc.scheduler.processors = 8;
+      sc.scheduler.discount_rate = 0.01;
+      sc.policy = PolicySpec::first_reward(0.2);
+      sc.admission.threshold = 0.0;
+      config.sites.push_back(sc);
+    }
+    config.strategy = ClientStrategy::kRandom;  // exercises the broker rng
+    config.rng_seed = 77;
+    Market market(config);
+    WorkloadSpec spec = presets::admission_mix(1.0, 800);
+    spec.processors = 24;
+    Xoshiro256 rng(5);
+    market.inject(generate_trace(spec, rng));
+    return market.run();
+  };
+  const MarketStats a = run();
+  const MarketStats b = run();
+  EXPECT_EQ(a.total_revenue, b.total_revenue);
+  EXPECT_EQ(a.awarded, b.awarded);
+  EXPECT_EQ(a.site_revenue, b.site_revenue);
+}
+
+TEST(Determinism, DifferentSeedsChangeResults) {
+  const WorkloadSpec spec = presets::admission_mix(1.0, 500);
+  SchedulerConfig config;
+  config.processors = presets::kProcessors;
+  const SeedSequence seeds(1);
+  Xoshiro256 r1 = seeds.stream(0, 0);
+  Xoshiro256 r2 = seeds.stream(0, 1);
+  const double y1 =
+      run_single_site(generate_trace(spec, r1), config,
+                      PolicySpec::first_price(), std::nullopt)
+          .total_yield;
+  const double y2 =
+      run_single_site(generate_trace(spec, r2), config,
+                      PolicySpec::first_price(), std::nullopt)
+          .total_yield;
+  EXPECT_NE(y1, y2);
+}
+
+}  // namespace
+}  // namespace mbts

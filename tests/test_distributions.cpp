@@ -1,0 +1,152 @@
+#include "workload/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/summary.hpp"
+#include "util/check.hpp"
+
+namespace mbts {
+namespace {
+
+constexpr int kSamples = 50000;
+
+Summary sample_many(const Sampler& sampler, std::uint64_t seed = 1) {
+  Xoshiro256 rng(seed);
+  Summary s;
+  for (int i = 0; i < kSamples; ++i) s.add(sampler.sample(rng));
+  return s;
+}
+
+TEST(DistSpec, ConstantAlwaysSame) {
+  const Sampler s(DistSpec::constant(42.0));
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(s.sample(rng), 42.0);
+  EXPECT_EQ(DistSpec::constant(42.0).mean(), 42.0);
+}
+
+TEST(DistSpec, UniformBoundsAndMean) {
+  const Sampler s(DistSpec::uniform(2.0, 6.0));
+  const Summary sum = sample_many(s);
+  EXPECT_GE(sum.min(), 2.0);
+  EXPECT_LT(sum.max(), 6.0);
+  EXPECT_NEAR(sum.mean(), 4.0, 0.05);
+  EXPECT_EQ(DistSpec::uniform(2.0, 6.0).mean(), 4.0);
+}
+
+TEST(DistSpec, ExponentialMeanMatches) {
+  const Sampler s(DistSpec::exponential(100.0));
+  const Summary sum = sample_many(s);
+  EXPECT_NEAR(sum.mean(), 100.0, 2.0);
+  // Exponential: stddev == mean.
+  EXPECT_NEAR(sum.stddev(), 100.0, 3.0);
+}
+
+TEST(DistSpec, ExponentialStrictlyPositive) {
+  const Sampler s(DistSpec::exponential(1.0));
+  const Summary sum = sample_many(s);
+  EXPECT_GT(sum.min(), 0.0);
+}
+
+TEST(DistSpec, NormalMomentsMatch) {
+  DistSpec spec = DistSpec::normal(50.0, 5.0);
+  spec.floor = -1e9;  // effectively untruncated
+  const Summary sum = sample_many(Sampler(spec));
+  EXPECT_NEAR(sum.mean(), 50.0, 0.2);
+  EXPECT_NEAR(sum.stddev(), 5.0, 0.2);
+}
+
+TEST(DistSpec, NormalTruncationRespectsFloor) {
+  DistSpec spec = DistSpec::normal(1.0, 2.0);
+  spec.floor = 0.5;
+  const Summary sum = sample_many(Sampler(spec));
+  EXPECT_GE(sum.min(), 0.5);
+}
+
+TEST(DistSpec, LogNormalMeanFormula) {
+  const DistSpec spec = DistSpec::lognormal(2.0, 0.5);
+  const Summary sum = sample_many(Sampler(spec));
+  EXPECT_NEAR(sum.mean() / spec.mean(), 1.0, 0.05);
+  EXPECT_GT(sum.min(), 0.0);
+}
+
+TEST(DistSpec, PathologicalFloorClampsInsteadOfHanging) {
+  DistSpec spec = DistSpec::normal(-100.0, 0.1);
+  spec.floor = 1.0;  // unreachable by sampling
+  Xoshiro256 rng(4);
+  const Sampler s(spec);
+  EXPECT_EQ(s.sample(rng), 1.0);
+}
+
+TEST(DistSpec, InvalidSpecsThrow) {
+  EXPECT_THROW(DistSpec::uniform(5.0, 5.0), CheckError);
+  EXPECT_THROW(DistSpec::exponential(0.0), CheckError);
+  EXPECT_THROW(DistSpec::normal(0.0, -1.0), CheckError);
+  EXPECT_THROW(DistSpec::lognormal(0.0, -0.1), CheckError);
+}
+
+TEST(DistSpec, ToStringNamesKind) {
+  EXPECT_NE(DistSpec::exponential(3.0).to_string().find("exp"),
+            std::string::npos);
+  EXPECT_NE(DistSpec::normal(1.0, 2.0).to_string().find("normal"),
+            std::string::npos);
+}
+
+TEST(Bimodal, ClassProportionsMatchPHigh) {
+  const BimodalSpec spec{.p_high = 0.2, .skew = 4.0, .low_mean = 1.0,
+                         .cv = 0.1, .floor = 1e-3};
+  const BimodalSampler sampler(spec);
+  Xoshiro256 rng(6);
+  int high = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    bool is_high = false;
+    sampler.sample(rng, &is_high);
+    if (is_high) ++high;
+  }
+  EXPECT_NEAR(static_cast<double>(high) / kSamples, 0.2, 0.01);
+}
+
+TEST(Bimodal, PopulationMeanMatchesFormula) {
+  const BimodalSpec spec{.p_high = 0.2, .skew = 4.0, .low_mean = 1.0,
+                         .cv = 0.1, .floor = 1e-3};
+  EXPECT_DOUBLE_EQ(spec.mean(), 0.8 + 0.2 * 4.0);
+  const BimodalSampler sampler(spec);
+  Xoshiro256 rng(8);
+  Summary s;
+  for (int i = 0; i < kSamples; ++i) s.add(sampler.sample(rng));
+  EXPECT_NEAR(s.mean(), spec.mean(), 0.03);
+}
+
+TEST(Bimodal, SkewOneCollapsesClasses) {
+  const BimodalSpec spec{.p_high = 0.2, .skew = 1.0, .low_mean = 2.0,
+                         .cv = 0.0, .floor = 1e-3};
+  const BimodalSampler sampler(spec);
+  Xoshiro256 rng(10);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(sampler.sample(rng), 2.0);
+}
+
+TEST(Bimodal, HighClassMeanScalesWithSkew) {
+  const BimodalSpec spec{.p_high = 1.0, .skew = 5.0, .low_mean = 2.0,
+                         .cv = 0.05, .floor = 1e-3};
+  const BimodalSampler sampler(spec);
+  Xoshiro256 rng(12);
+  Summary s;
+  for (int i = 0; i < kSamples; ++i) s.add(sampler.sample(rng));
+  EXPECT_NEAR(s.mean(), 10.0, 0.1);
+}
+
+TEST(Bimodal, InvalidSpecsThrow) {
+  EXPECT_THROW(BimodalSampler({.p_high = -0.1, .skew = 2.0, .low_mean = 1.0,
+                               .cv = 0.1, .floor = 1e-3}),
+               CheckError);
+  EXPECT_THROW(BimodalSampler({.p_high = 0.2, .skew = 0.5, .low_mean = 1.0,
+                               .cv = 0.1, .floor = 1e-3}),
+               CheckError);
+  EXPECT_THROW(BimodalSampler({.p_high = 0.2, .skew = 2.0, .low_mean = 0.0,
+                               .cv = 0.1, .floor = 1e-3}),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace mbts

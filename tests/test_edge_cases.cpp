@@ -1,0 +1,150 @@
+// Edge cases the benches and examples depend on but that no single module
+// suite owns: empty-value CLI flags, idle-gap arrivals, unsorted injection,
+// giant bounded draws, boundary quantiles, run_until with cancelled events.
+#include <gtest/gtest.h>
+
+#include "core/scheduler.hpp"
+#include "stats/histogram.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+
+namespace mbts {
+namespace {
+
+TEST(EdgeCli, EqualsEmptyValueMeansEmptyString) {
+  // The benches use --out="" to suppress CSV output.
+  CliParser cli("prog", "test");
+  cli.add_flag("out", "default.csv", "path");
+  const std::vector<const char*> argv{"prog", "--out="};
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_string("out"), "");
+}
+
+TEST(EdgeCli, FlagValueStartingWithDashViaEquals) {
+  CliParser cli("prog", "test");
+  cli.add_flag("threshold", "0", "slack threshold");
+  const std::vector<const char*> argv{"prog", "--threshold=-150"};
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_int("threshold"), -150);
+}
+
+TEST(EdgeRng, BelowHandlesHugeBounds) {
+  Xoshiro256 rng(3);
+  const std::uint64_t huge = (1ULL << 62);
+  for (int i = 0; i < 100; ++i) EXPECT_LT(rng.below(huge), huge);
+}
+
+TEST(EdgeRng, BelowZeroThrows) {
+  Xoshiro256 rng(3);
+  EXPECT_THROW(rng.below(0), CheckError);
+}
+
+TEST(EdgeHistogram, BoundaryQuantiles) {
+  Histogram h(0.0, 10.0, 4);
+  for (double x : {1.0, 2.0, 3.0}) h.add(x);
+  EXPECT_EQ(h.quantile(0.0), 1.0);
+  EXPECT_EQ(h.quantile(1.0), 3.0);
+  EXPECT_THROW(h.quantile(1.5), CheckError);
+}
+
+TEST(EdgeEngine, RunUntilWithOnlyCancelledEventsBeyondBoundary) {
+  SimEngine engine;
+  const EventId id = engine.schedule_at(100.0, EventPriority::kControl, [] {});
+  engine.cancel(id);
+  EXPECT_EQ(engine.run_until(50.0), 50.0);
+  EXPECT_TRUE(engine.empty());
+}
+
+Task make_task(TaskId id, double arrival, double runtime, double value,
+               double decay) {
+  Task t;
+  t.id = id;
+  t.arrival = arrival;
+  t.runtime = runtime;
+  t.value = ValueFunction::unbounded(value, decay);
+  return t;
+}
+
+TEST(EdgeScheduler, ArrivalAfterLongIdleGap) {
+  SimEngine engine;
+  SchedulerConfig config;
+  config.processors = 2;
+  SiteScheduler site(engine, config, make_policy(PolicySpec::first_price()),
+                     std::make_unique<AcceptAllAdmission>());
+  site.inject(std::vector<Task>{
+      make_task(0, 0.0, 10.0, 100.0, 0.5),
+      make_task(1, 100000.0, 10.0, 100.0, 0.5),  // far-future arrival
+  });
+  engine.run();
+  const RunStats stats = site.stats();
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.last_completion, 100010.0);
+  // Both ran with zero queueing delay: full value.
+  EXPECT_DOUBLE_EQ(stats.total_yield, 200.0);
+}
+
+TEST(EdgeScheduler, InjectToleratesUnsortedTraceVector) {
+  SimEngine engine;
+  SchedulerConfig config;
+  config.processors = 1;
+  SiteScheduler site(engine, config, make_policy(PolicySpec::fcfs()),
+                     std::make_unique<AcceptAllAdmission>());
+  // Reverse arrival order in the vector: the engine orders by time.
+  site.inject(std::vector<Task>{
+      make_task(1, 20.0, 5.0, 50.0, 0.0),
+      make_task(0, 0.0, 5.0, 50.0, 0.0),
+  });
+  engine.run();
+  EXPECT_EQ(site.stats().completed, 2u);
+  for (const TaskRecord& r : site.records())
+    EXPECT_GE(r.first_start, r.task.arrival);
+}
+
+TEST(EdgeScheduler, ZeroValueTaskStillCompletes) {
+  SimEngine engine;
+  SchedulerConfig config;
+  config.processors = 1;
+  SiteScheduler site(engine, config, make_policy(PolicySpec::first_price()),
+                     std::make_unique<AcceptAllAdmission>());
+  Task worthless = make_task(0, 0.0, 10.0, 0.0, 0.0);
+  site.inject(std::vector<Task>{worthless});
+  engine.run();
+  EXPECT_EQ(site.stats().completed, 1u);
+  EXPECT_EQ(site.stats().total_yield, 0.0);
+}
+
+TEST(EdgeScheduler, RecordPointersSurviveManySubmissions) {
+  // The scheduler hands out TaskRecord references backed by a deque; they
+  // must stay valid as thousands of later submissions arrive.
+  SimEngine engine;
+  SchedulerConfig config;
+  config.processors = 4;
+  SiteScheduler site(engine, config, make_policy(PolicySpec::first_price()),
+                     std::make_unique<AcceptAllAdmission>());
+  std::vector<Task> tasks;
+  for (TaskId i = 0; i < 3000; ++i)
+    tasks.push_back(make_task(i, static_cast<double>(i) * 0.5, 3.0, 10.0,
+                              0.01));
+  site.inject(tasks);
+  engine.run();
+  const TaskRecord& first = site.records().front();
+  EXPECT_EQ(first.task.id, 0u);
+  EXPECT_EQ(first.outcome, TaskOutcome::kCompleted);
+  EXPECT_EQ(site.records().size(), 3000u);
+}
+
+TEST(EdgeGenerator, SingleJobTrace) {
+  WorkloadSpec spec;
+  spec.num_jobs = 1;
+  Xoshiro256 rng(1);
+  const Trace trace = generate_trace(spec, rng);
+  EXPECT_EQ(trace.size(), 1u);
+  const TraceStats stats = compute_stats(trace, 16);
+  EXPECT_EQ(stats.span, 0.0);
+  EXPECT_EQ(stats.offered_load, 0.0);  // undefined span => reported as 0
+}
+
+}  // namespace
+}  // namespace mbts

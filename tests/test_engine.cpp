@@ -1,0 +1,185 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace mbts {
+namespace {
+
+TEST(SimEngine, StartsAtZeroAndEmpty) {
+  SimEngine engine;
+  EXPECT_EQ(engine.now(), 0.0);
+  EXPECT_TRUE(engine.empty());
+  EXPECT_EQ(engine.run(), 0.0);
+}
+
+TEST(SimEngine, ExecutesInTimeOrder) {
+  SimEngine engine;
+  std::vector<int> order;
+  engine.schedule_at(3.0, EventPriority::kControl, [&] { order.push_back(3); });
+  engine.schedule_at(1.0, EventPriority::kControl, [&] { order.push_back(1); });
+  engine.schedule_at(2.0, EventPriority::kControl, [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimEngine, ClockAdvancesToEventTime) {
+  SimEngine engine;
+  double seen = -1.0;
+  engine.schedule_at(5.5, EventPriority::kControl, [&] { seen = engine.now(); });
+  EXPECT_EQ(engine.run(), 5.5);
+  EXPECT_EQ(seen, 5.5);
+}
+
+TEST(SimEngine, SimultaneousEventsOrderedByPriority) {
+  SimEngine engine;
+  std::vector<std::string> order;
+  engine.schedule_at(1.0, EventPriority::kArrival,
+                     [&] { order.push_back("arrival"); });
+  engine.schedule_at(1.0, EventPriority::kCompletion,
+                     [&] { order.push_back("completion"); });
+  engine.run();
+  ASSERT_EQ(order.size(), 2u);
+  // Completions must free resources before arrivals are admitted.
+  EXPECT_EQ(order[0], "completion");
+  EXPECT_EQ(order[1], "arrival");
+}
+
+TEST(SimEngine, SimultaneousSamePriorityKeepsInsertionOrder) {
+  SimEngine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    engine.schedule_at(2.0, EventPriority::kControl,
+                       [&order, i] { order.push_back(i); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimEngine, ScheduleAfterUsesCurrentTime) {
+  SimEngine engine;
+  double fired_at = -1.0;
+  engine.schedule_at(10.0, EventPriority::kControl, [&] {
+    engine.schedule_after(5.0, EventPriority::kControl,
+                          [&] { fired_at = engine.now(); });
+  });
+  engine.run();
+  EXPECT_EQ(fired_at, 15.0);
+}
+
+TEST(SimEngine, SchedulingInThePastThrows) {
+  SimEngine engine;
+  engine.schedule_at(10.0, EventPriority::kControl, [&] {
+    EXPECT_THROW(
+        engine.schedule_at(5.0, EventPriority::kControl, [] {}),
+        CheckError);
+  });
+  engine.run();
+}
+
+TEST(SimEngine, NegativeDelayThrows) {
+  SimEngine engine;
+  EXPECT_THROW(engine.schedule_after(-1.0, EventPriority::kControl, [] {}),
+               CheckError);
+}
+
+TEST(SimEngine, CancelPreventsExecution) {
+  SimEngine engine;
+  bool fired = false;
+  const EventId id =
+      engine.schedule_at(1.0, EventPriority::kControl, [&] { fired = true; });
+  EXPECT_TRUE(engine.cancel(id));
+  engine.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimEngine, CancelTwiceReturnsFalse) {
+  SimEngine engine;
+  const EventId id = engine.schedule_at(1.0, EventPriority::kControl, [] {});
+  EXPECT_TRUE(engine.cancel(id));
+  EXPECT_FALSE(engine.cancel(id));
+  engine.run();
+}
+
+TEST(SimEngine, CancelAfterFireReturnsFalse) {
+  SimEngine engine;
+  const EventId id = engine.schedule_at(1.0, EventPriority::kControl, [] {});
+  engine.run();
+  EXPECT_FALSE(engine.cancel(id));
+}
+
+TEST(SimEngine, PendingCountTracksCancellations) {
+  SimEngine engine;
+  const EventId a = engine.schedule_at(1.0, EventPriority::kControl, [] {});
+  engine.schedule_at(2.0, EventPriority::kControl, [] {});
+  EXPECT_EQ(engine.pending(), 2u);
+  engine.cancel(a);
+  EXPECT_EQ(engine.pending(), 1u);
+  engine.run();
+  EXPECT_EQ(engine.pending(), 0u);
+}
+
+TEST(SimEngine, EventsScheduledDuringRunExecute) {
+  SimEngine engine;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 10)
+      engine.schedule_after(1.0, EventPriority::kControl, chain);
+  };
+  engine.schedule_at(0.0, EventPriority::kControl, chain);
+  EXPECT_EQ(engine.run(), 9.0);
+  EXPECT_EQ(count, 10);
+}
+
+TEST(SimEngine, RunUntilStopsAtBoundary) {
+  SimEngine engine;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i)
+    engine.schedule_at(static_cast<double>(i), EventPriority::kControl,
+                       [&] { ++fired; });
+  engine.run_until(5.0);
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(engine.now(), 5.0);
+  EXPECT_EQ(engine.pending(), 5u);
+  engine.run();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(SimEngine, RunUntilIncludesBoundaryEvents) {
+  SimEngine engine;
+  bool fired = false;
+  engine.schedule_at(5.0, EventPriority::kControl, [&] { fired = true; });
+  engine.run_until(5.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimEngine, ExecutedCounterCountsOnlyFired) {
+  SimEngine engine;
+  const EventId id = engine.schedule_at(1.0, EventPriority::kControl, [] {});
+  engine.schedule_at(2.0, EventPriority::kControl, [] {});
+  engine.cancel(id);
+  engine.run();
+  EXPECT_EQ(engine.events_executed(), 1u);
+}
+
+TEST(SimEngine, ManyEventsStressOrdering) {
+  SimEngine engine;
+  double last = -1.0;
+  bool monotone = true;
+  for (int i = 0; i < 10000; ++i) {
+    // Scatter times via a fixed pattern, including duplicates.
+    const double t = static_cast<double>((i * 7919) % 1000);
+    engine.schedule_at(t, EventPriority::kControl, [&, t] {
+      if (t < last) monotone = false;
+      last = t;
+    });
+  }
+  engine.run();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(engine.events_executed(), 10000u);
+}
+
+}  // namespace
+}  // namespace mbts

@@ -1,0 +1,167 @@
+// Tests for the runtime-misestimation extension (§4 declares accurate
+// estimates; exceedance handling is the paper's stated future work).
+#include <gtest/gtest.h>
+
+#include "core/scheduler.hpp"
+#include "workload/generator.hpp"
+
+namespace mbts {
+namespace {
+
+Task make_task(TaskId id, double arrival, double runtime, double declared,
+               double value, double decay) {
+  Task t;
+  t.id = id;
+  t.arrival = arrival;
+  t.runtime = runtime;
+  t.declared_runtime = declared;
+  t.value = ValueFunction::unbounded(value, decay);
+  return t;
+}
+
+TEST(Estimates, DefaultIsExact) {
+  Task t = make_task(0, 0.0, 10.0, 0.0, 100.0, 1.0);
+  EXPECT_EQ(t.estimate(), 10.0);
+  EXPECT_TRUE(t.estimate_is_exact());
+  t.declared_runtime = 10.0;
+  EXPECT_TRUE(t.estimate_is_exact());
+  t.declared_runtime = 12.0;
+  EXPECT_FALSE(t.estimate_is_exact());
+  EXPECT_EQ(t.estimate(), 12.0);
+}
+
+TEST(Estimates, DelayAnchoredToDeclaredRuntime) {
+  // Declared 5 but actually takes 10: even an immediate start completes at
+  // 10, which is 5 past the promised earliest completion.
+  const Task t = make_task(0, 0.0, 10.0, 5.0, 100.0, 2.0);
+  EXPECT_EQ(t.earliest_completion(), 5.0);
+  EXPECT_EQ(t.delay_at_completion(10.0), 5.0);
+  EXPECT_EQ(t.yield_at_completion(10.0), 90.0);
+}
+
+TEST(Estimates, OverDeclaredTaskEarnsFullValueEarly) {
+  // Declared 20 but takes 10: completing at 10 is "early" — full value.
+  const Task t = make_task(0, 0.0, 10.0, 20.0, 100.0, 2.0);
+  EXPECT_EQ(t.delay_at_completion(10.0), 0.0);
+  EXPECT_EQ(t.yield_at_completion(10.0), 100.0);
+}
+
+TEST(Estimates, ValidationRejectsBadDeclared) {
+  Task t = make_task(0, 0.0, 10.0, -1.0, 100.0, 1.0);
+  EXPECT_FALSE(validate_task(t).empty());
+}
+
+struct Harness {
+  SimEngine engine;
+  SiteScheduler site;
+  explicit Harness(const PolicySpec& policy = PolicySpec::fcfs())
+      : site(engine, SchedulerConfig{.processors = 1, .preemption = true},
+             make_policy(policy), std::make_unique<AcceptAllAdmission>()) {}
+  const TaskRecord& record(TaskId id) const {
+    for (const TaskRecord& r : site.records())
+      if (r.task.id == id) return r;
+    throw std::runtime_error("no record");
+  }
+};
+
+TEST(Estimates, ExecutionConsumesTrueRuntime) {
+  Harness h;
+  // Declared 5, actual 10: completes at the true 10.
+  h.site.inject(std::vector<Task>{make_task(0, 0.0, 10.0, 5.0, 100.0, 1.0)});
+  h.engine.run();
+  const TaskRecord& r = h.record(0);
+  EXPECT_EQ(r.completion, 10.0);
+  // Contractual delay 5 => yield 95.
+  EXPECT_EQ(r.realized_yield, 95.0);
+}
+
+TEST(Estimates, QuotesUseDeclaredRuntime) {
+  Harness h;
+  // An under-declared long task is running; the site believes it will be
+  // free at its declared time.
+  h.site.submit(make_task(0, 0.0, 100.0, 20.0, 100.0, 0.0));
+  const AdmissionDecision d =
+      h.site.quote(make_task(1, 0.0, 10.0, 0.0, 100.0, 0.0));
+  EXPECT_EQ(d.expected_completion, 30.0);  // believed: 20 + 10
+}
+
+TEST(Estimates, ExceededEstimateStillCompletes) {
+  Harness h(PolicySpec::first_price());
+  h.site.inject(std::vector<Task>{
+      make_task(0, 0.0, 50.0, 10.0, 100.0, 0.1),
+      make_task(1, 0.0, 10.0, 10.0, 100.0, 0.1),
+  });
+  h.engine.run();
+  EXPECT_EQ(h.site.stats().completed, 2u);
+  // The under-declared task really occupied 50 units somewhere.
+  EXPECT_GE(h.site.stats().last_completion, 60.0 - 1e-9);
+}
+
+TEST(Estimates, GeneratorLeavesEstimatesExactBydefault) {
+  WorkloadSpec spec;
+  spec.num_jobs = 100;
+  Xoshiro256 rng(1);
+  for (const Task& t : generate_trace(spec, rng).tasks)
+    EXPECT_TRUE(t.estimate_is_exact());
+}
+
+TEST(Estimates, GeneratorErrorIsMeanOneAndSpreads) {
+  WorkloadSpec spec;
+  spec.num_jobs = 20000;
+  spec.estimate_error_sigma = 0.5;
+  Xoshiro256 rng(3);
+  const Trace trace = generate_trace(spec, rng);
+  double ratio_sum = 0.0;
+  std::size_t off = 0;
+  for (const Task& t : trace.tasks) {
+    ratio_sum += t.declared_runtime / t.runtime;
+    if (!t.estimate_is_exact()) ++off;
+  }
+  EXPECT_NEAR(ratio_sum / static_cast<double>(trace.size()), 1.0, 0.03);
+  EXPECT_EQ(off, trace.size());
+}
+
+TEST(Estimates, GeneratorPricesDeclaredRuntime) {
+  WorkloadSpec spec;
+  spec.num_jobs = 200;
+  spec.estimate_error_sigma = 0.8;
+  spec.value_unit = {.p_high = 0.0, .skew = 1.0, .low_mean = 2.0, .cv = 0.0,
+                     .floor = 1e-3};
+  Xoshiro256 rng(5);
+  for (const Task& t : generate_trace(spec, rng).tasks)
+    EXPECT_NEAR(t.value.max_value(), 2.0 * t.declared_runtime, 1e-9);
+}
+
+TEST(Estimates, MisestimationDegradesYieldUnderLoad) {
+  // End-to-end sanity for the extension experiment: noisy estimates hurt.
+  WorkloadSpec exact;
+  exact.num_jobs = 800;
+  exact.processors = 4;
+  exact.load_factor = 1.2;
+  exact.runtime = DistSpec::exponential(20.0);
+  exact.runtime.floor = 0.5;
+  exact.decay = {.p_high = 0.2, .skew = 5.0, .low_mean = 0.05, .cv = 0.25,
+                 .floor = 1e-4};
+  WorkloadSpec noisy = exact;
+  noisy.estimate_error_sigma = 1.0;
+
+  auto total_yield = [](const WorkloadSpec& spec) {
+    Xoshiro256 rng(7);
+    const Trace trace = generate_trace(spec, rng);
+    SimEngine engine;
+    SchedulerConfig config;
+    config.processors = 4;
+    config.discount_rate = 0.01;
+    SiteScheduler site(engine, config,
+                       make_policy(PolicySpec::first_reward(0.3)),
+                       std::make_unique<AcceptAllAdmission>());
+    site.inject(trace.tasks);
+    engine.run();
+    return site.stats().total_yield;
+  };
+
+  EXPECT_GT(total_yield(exact), total_yield(noisy));
+}
+
+}  // namespace
+}  // namespace mbts

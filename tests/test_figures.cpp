@@ -1,0 +1,85 @@
+// Smoke tests for the figure-reproduction harness at miniature scale: the
+// full benches run 5000-job traces; here we only assert structure and the
+// headline qualitative results on small traces.
+#include "experiments/figures.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mbts {
+namespace {
+
+ExperimentOptions tiny() {
+  ExperimentOptions options;
+  options.num_jobs = 250;
+  options.replications = 1;
+  options.seed = 42;
+  options.threads = 1;
+  return options;
+}
+
+TEST(Figures, Fig3StructureAndAnchor) {
+  const FigureResult figure = figure3(tiny());
+  EXPECT_EQ(figure.id, "fig3");
+  ASSERT_EQ(figure.series.size(), 5u);  // five value-skew ratios
+  for (const Series& s : figure.series) {
+    ASSERT_EQ(s.points.size(), 9u);  // nine discount rates
+    // x grid is the discount rate in percent, ascending.
+    EXPECT_DOUBLE_EQ(s.points.front().x, 0.001);
+    EXPECT_DOUBLE_EQ(s.points.back().x, 10.0);
+  }
+}
+
+TEST(Figures, Fig4And5ShareGrid) {
+  const FigureResult f4 = figure4(tiny());
+  const FigureResult f5 = figure5(tiny());
+  ASSERT_EQ(f4.series.size(), 3u);
+  ASSERT_EQ(f5.series.size(), 3u);
+  EXPECT_EQ(f4.series[0].label, f5.series[0].label);
+  ASSERT_EQ(f4.series[0].points.size(), 10u);  // alpha 0..0.9
+  EXPECT_DOUBLE_EQ(f4.series[0].points.back().x, 0.9);
+}
+
+TEST(Figures, Fig5CostBeatsFirstPriceUnderUnboundedPenalties) {
+  // The paper's headline: with unbounded penalties, cost-aware FirstReward
+  // beats FirstPrice substantially at every alpha.
+  ExperimentOptions options = tiny();
+  options.num_jobs = 1000;
+  const FigureResult figure = figure5(options);
+  for (const Series& s : figure.series)
+    for (const SeriesPoint& p : s.points)
+      EXPECT_GT(p.y, 0.0) << s.label << " at alpha " << p.x;
+}
+
+TEST(Figures, Fig6AdmissionSavesOverload) {
+  ExperimentOptions options = tiny();
+  options.num_jobs = 600;
+  const FigureResult figure = figure6(options);
+  ASSERT_EQ(figure.series.size(), 7u);  // six alphas + FirstPrice w/o AC
+  const Series& no_ac = figure.series.back();
+  EXPECT_EQ(no_ac.label, "FirstPrice_noAC");
+  const Series& ac = figure.series[1];  // alpha = 0.2
+  // At the highest load, admission control must massively outperform.
+  EXPECT_GT(ac.points.back().y, no_ac.points.back().y + 10.0);
+  // And the admission-controlled yield rate grows with load
+  // ("cherry-picking"): compare lightest vs heaviest.
+  EXPECT_GT(ac.points.back().y, ac.points.front().y);
+}
+
+TEST(Figures, Fig7StructureAndOverloadGains) {
+  ExperimentOptions options = tiny();
+  options.num_jobs = 600;
+  const FigureResult figure = figure7(options);
+  ASSERT_EQ(figure.series.size(), 5u);
+  ASSERT_EQ(figure.series[0].points.size(), 10u);
+  // At load 2 (last series) admission control with a sane threshold beats
+  // no admission control by a wide margin.
+  const Series& heavy = figure.series.back();
+  EXPECT_EQ(heavy.label, "load=2");
+  bool any_large = false;
+  for (const SeriesPoint& p : heavy.points)
+    if (p.y > 50.0) any_large = true;
+  EXPECT_TRUE(any_large);
+}
+
+}  // namespace
+}  // namespace mbts

@@ -1,0 +1,209 @@
+#include "workload/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "workload/presets.hpp"
+
+namespace mbts {
+namespace {
+
+WorkloadSpec small_spec() {
+  WorkloadSpec spec;
+  spec.num_jobs = 1000;
+  spec.processors = 8;
+  spec.load_factor = 1.0;
+  spec.runtime = DistSpec::exponential(50.0);
+  return spec;
+}
+
+TEST(Generator, ProducesRequestedJobCount) {
+  WorkloadSpec spec = small_spec();
+  Xoshiro256 rng(1);
+  const Trace trace = generate_trace(spec, rng);
+  EXPECT_EQ(trace.size(), 1000u);
+}
+
+TEST(Generator, IdsSequentialFromFirstId) {
+  WorkloadSpec spec = small_spec();
+  spec.num_jobs = 10;
+  spec.first_id = 500;
+  Xoshiro256 rng(1);
+  const Trace trace = generate_trace(spec, rng);
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    EXPECT_EQ(trace.tasks[i].id, 500 + i);
+}
+
+TEST(Generator, ArrivalsSortedAndValid) {
+  WorkloadSpec spec = small_spec();
+  Xoshiro256 rng(2);
+  const Trace trace = generate_trace(spec, rng);
+  EXPECT_TRUE(validate_trace(trace).empty());
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  WorkloadSpec spec = small_spec();
+  Xoshiro256 a(7), b(7);
+  const Trace ta = generate_trace(spec, a);
+  const Trace tb = generate_trace(spec, b);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta.tasks[i].arrival, tb.tasks[i].arrival);
+    EXPECT_EQ(ta.tasks[i].runtime, tb.tasks[i].runtime);
+    EXPECT_EQ(ta.tasks[i].value, tb.tasks[i].value);
+  }
+}
+
+TEST(Generator, DifferentReplicationsDiffer) {
+  const WorkloadSpec spec = small_spec();
+  const SeedSequence seeds(3);
+  const Trace a = generate_trace(spec, seeds, 0);
+  const Trace b = generate_trace(spec, seeds, 1);
+  EXPECT_NE(a.tasks[0].arrival, b.tasks[0].arrival);
+}
+
+TEST(Generator, MeanGapFormula) {
+  WorkloadSpec spec = small_spec();
+  // 1 * 50 / (8 * 1.0)
+  EXPECT_DOUBLE_EQ(spec.mean_gap(), 6.25);
+  spec.load_factor = 2.0;
+  EXPECT_DOUBLE_EQ(spec.mean_gap(), 3.125);
+  spec.arrival_model = ArrivalModel::kNormalBatch;
+  spec.batch_size = 16;
+  EXPECT_DOUBLE_EQ(spec.mean_gap(), 16.0 * 50.0 / (8.0 * 2.0));
+}
+
+TEST(Generator, OfferedLoadApproximatesTarget) {
+  for (double load : {0.5, 1.0, 2.0}) {
+    WorkloadSpec spec = small_spec();
+    spec.num_jobs = 20000;
+    spec.load_factor = load;
+    Xoshiro256 rng(11);
+    const Trace trace = generate_trace(spec, rng);
+    const TraceStats stats = compute_stats(trace, spec.processors);
+    EXPECT_NEAR(stats.offered_load / load, 1.0, 0.06)
+        << "load factor " << load;
+  }
+}
+
+TEST(Generator, BatchArrivalsShareTimestamps) {
+  WorkloadSpec spec = small_spec();
+  spec.arrival_model = ArrivalModel::kNormalBatch;
+  spec.batch_size = 16;
+  spec.num_jobs = 160;
+  Xoshiro256 rng(13);
+  const Trace trace = generate_trace(spec, rng);
+  for (std::size_t i = 0; i < trace.size(); i += 16) {
+    for (std::size_t k = 1; k < 16; ++k)
+      EXPECT_EQ(trace.tasks[i + k].arrival, trace.tasks[i].arrival);
+  }
+}
+
+TEST(Generator, PartialLastBatch) {
+  WorkloadSpec spec = small_spec();
+  spec.arrival_model = ArrivalModel::kNormalBatch;
+  spec.batch_size = 16;
+  spec.num_jobs = 40;  // 16 + 16 + 8
+  Xoshiro256 rng(17);
+  const Trace trace = generate_trace(spec, rng);
+  EXPECT_EQ(trace.size(), 40u);
+}
+
+TEST(Generator, PenaltyModelsSetBounds) {
+  WorkloadSpec spec = small_spec();
+  spec.num_jobs = 50;
+
+  spec.penalty = PenaltyModel::kBoundedAtZero;
+  Xoshiro256 r1(19);
+  for (const Task& t : generate_trace(spec, r1).tasks)
+    EXPECT_EQ(t.value.penalty_bound(), 0.0);
+
+  spec.penalty = PenaltyModel::kUnbounded;
+  Xoshiro256 r2(19);
+  for (const Task& t : generate_trace(spec, r2).tasks)
+    EXPECT_FALSE(t.value.bounded());
+
+  spec.penalty = PenaltyModel::kBoundedAtValue;
+  spec.penalty_value_scale = 0.5;
+  Xoshiro256 r3(19);
+  for (const Task& t : generate_trace(spec, r3).tasks)
+    EXPECT_NEAR(t.value.penalty_bound(), 0.5 * t.value.max_value(), 1e-9);
+}
+
+TEST(Generator, ValueProportionalToRuntime) {
+  // With cv=0 and skew=1 the unit value is exactly 1, so value == runtime.
+  WorkloadSpec spec = small_spec();
+  spec.value_unit = {.p_high = 0.0, .skew = 1.0, .low_mean = 1.0, .cv = 0.0,
+                     .floor = 1e-3};
+  spec.num_jobs = 100;
+  Xoshiro256 rng(23);
+  for (const Task& t : generate_trace(spec, rng).tasks)
+    EXPECT_NEAR(t.value.max_value(), t.runtime, 1e-9);
+}
+
+TEST(Generator, UniformDecayAppliesMixWideConstant) {
+  WorkloadSpec spec = small_spec();
+  spec.uniform_decay = true;
+  spec.decay = {.p_high = 0.2, .skew = 5.0, .low_mean = 0.1, .cv = 0.25,
+                .floor = 1e-4};
+  spec.num_jobs = 100;
+  Xoshiro256 rng(29);
+  const Trace trace = generate_trace(spec, rng);
+  const double expected = spec.decay.mean();
+  for (const Task& t : trace.tasks)
+    EXPECT_DOUBLE_EQ(t.value.decay(), expected);
+}
+
+TEST(Generator, ValueSkewShiftsMeanUnitValue) {
+  WorkloadSpec lo = small_spec(), hi = small_spec();
+  lo.num_jobs = hi.num_jobs = 5000;
+  lo.value_unit.skew = 1.0;
+  hi.value_unit.skew = 9.0;
+  Xoshiro256 r1(31), r2(31);
+  const TraceStats slo = compute_stats(generate_trace(lo, r1), 8);
+  const TraceStats shi = compute_stats(generate_trace(hi, r2), 8);
+  EXPECT_GT(shi.total_value, 2.0 * slo.total_value);
+}
+
+TEST(Generator, InvalidSpecsThrow) {
+  WorkloadSpec spec = small_spec();
+  spec.num_jobs = 0;
+  Xoshiro256 rng(1);
+  EXPECT_THROW(generate_trace(spec, rng), CheckError);
+  spec = small_spec();
+  spec.load_factor = 0.0;
+  EXPECT_THROW(spec.mean_gap(), CheckError);
+}
+
+TEST(Presets, MillenniumMixShape) {
+  const WorkloadSpec spec = presets::millennium_mix(4.0, 320);
+  EXPECT_EQ(spec.arrival_model, ArrivalModel::kNormalBatch);
+  EXPECT_EQ(spec.batch_size, 16u);
+  EXPECT_TRUE(spec.uniform_decay);
+  EXPECT_EQ(spec.penalty, PenaltyModel::kBoundedAtZero);
+  EXPECT_DOUBLE_EQ(spec.value_unit.skew, 4.0);
+  Xoshiro256 rng(1);
+  const Trace trace = generate_trace(spec, rng);
+  EXPECT_TRUE(validate_trace(trace).empty());
+}
+
+TEST(Presets, DecaySkewMixShape) {
+  const WorkloadSpec spec =
+      presets::decay_skew_mix(7.0, PenaltyModel::kUnbounded, 100);
+  EXPECT_EQ(spec.arrival_model, ArrivalModel::kPoisson);
+  EXPECT_FALSE(spec.uniform_decay);
+  EXPECT_DOUBLE_EQ(spec.decay.skew, 7.0);
+  EXPECT_DOUBLE_EQ(spec.value_unit.skew, 2.0);
+  EXPECT_EQ(spec.penalty, PenaltyModel::kUnbounded);
+}
+
+TEST(Presets, AdmissionMixShape) {
+  const WorkloadSpec spec = presets::admission_mix(2.5, 100);
+  EXPECT_DOUBLE_EQ(spec.load_factor, 2.5);
+  EXPECT_DOUBLE_EQ(spec.value_unit.skew, 3.0);
+  EXPECT_DOUBLE_EQ(spec.decay.skew, 5.0);
+  EXPECT_EQ(spec.penalty, PenaltyModel::kUnbounded);
+}
+
+}  // namespace
+}  // namespace mbts

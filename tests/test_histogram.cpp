@@ -1,0 +1,100 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace mbts {
+namespace {
+
+TEST(Histogram, BinsPartitionRange) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bin_lo(0), 0.0);
+  EXPECT_EQ(h.bin_hi(0), 2.0);
+  EXPECT_EQ(h.bin_lo(4), 8.0);
+  EXPECT_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(Histogram, SamplesLandInCorrectBin) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(1.0);
+  h.add(3.0);
+  h.add(3.5);
+  h.add(9.9);
+  EXPECT_EQ(h.bins()[0], 1u);
+  EXPECT_EQ(h.bins()[1], 2u);
+  EXPECT_EQ(h.bins()[4], 1u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEndBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-100.0);
+  h.add(100.0);
+  EXPECT_EQ(h.bins()[0], 1u);
+  EXPECT_EQ(h.bins()[4], 1u);
+}
+
+TEST(Histogram, QuantileOfSingleValue) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.5);
+  EXPECT_EQ(h.quantile(0.0), 0.5);
+  EXPECT_EQ(h.quantile(1.0), 0.5);
+}
+
+TEST(Histogram, QuantilesInterpolate) {
+  Histogram h(0.0, 10.0, 10);
+  for (double x : {1.0, 2.0, 3.0, 4.0}) h.add(x);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.5);
+}
+
+TEST(Histogram, QuantileUnsortedInsertion) {
+  Histogram h(0.0, 10.0, 10);
+  for (double x : {9.0, 1.0, 5.0}) h.add(x);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+}
+
+TEST(Histogram, EmptyQuantileThrows) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW(h.quantile(0.5), CheckError);
+}
+
+TEST(Histogram, CdfMonotone) {
+  Histogram h(0.0, 100.0, 10);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 500; ++i) h.add(rng.uniform(0.0, 100.0));
+  double prev = -1.0;
+  for (double x = 0.0; x <= 100.0; x += 10.0) {
+    const double c = h.cdf(x);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_EQ(h.cdf(100.0), 1.0);
+  EXPECT_EQ(h.cdf(-1.0), 0.0);
+}
+
+TEST(Histogram, UniformSamplesFillBinsEvenly) {
+  Histogram h(0.0, 1.0, 4);
+  Xoshiro256 rng(9);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) h.add(rng.uniform01());
+  for (std::size_t b = 0; b < 4; ++b)
+    EXPECT_NEAR(static_cast<double>(h.bins()[b]) / n, 0.25, 0.02);
+}
+
+TEST(Histogram, AsciiRenderHasOneLinePerBin) {
+  Histogram h(0.0, 1.0, 3);
+  h.add(0.1);
+  const std::string art = h.ascii();
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 3);
+}
+
+TEST(Histogram, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), CheckError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace mbts

@@ -1,0 +1,75 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mbts {
+namespace {
+
+/// RAII: capture the logger sink and restore defaults afterwards.
+class SinkCapture {
+ public:
+  SinkCapture() {
+    saved_level_ = Logger::instance().level();
+    Logger::instance().set_sink(&stream_);
+  }
+  ~SinkCapture() {
+    Logger::instance().set_sink(nullptr);
+    Logger::instance().set_level(saved_level_);
+  }
+  std::string text() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+  LogLevel saved_level_;
+};
+
+TEST(Logging, LevelNames) {
+  EXPECT_STREQ(to_string(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(to_string(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(to_string(LogLevel::kWarn), "WARN");
+  EXPECT_STREQ(to_string(LogLevel::kError), "ERROR");
+  EXPECT_STREQ(to_string(LogLevel::kOff), "OFF");
+}
+
+TEST(Logging, EmitsAtOrAboveLevel) {
+  SinkCapture capture;
+  Logger::instance().set_level(LogLevel::kWarn);
+  MBTS_INFO << "hidden";
+  MBTS_WARN << "visible warn";
+  MBTS_ERROR << "visible error";
+  const std::string text = capture.text();
+  EXPECT_EQ(text.find("hidden"), std::string::npos);
+  EXPECT_NE(text.find("visible warn"), std::string::npos);
+  EXPECT_NE(text.find("visible error"), std::string::npos);
+}
+
+TEST(Logging, FormatsLevelPrefix) {
+  SinkCapture capture;
+  Logger::instance().set_level(LogLevel::kInfo);
+  MBTS_INFO << "hello " << 42;
+  EXPECT_NE(capture.text().find("[INFO] hello 42"), std::string::npos);
+}
+
+TEST(Logging, OffSilencesEverything) {
+  SinkCapture capture;
+  Logger::instance().set_level(LogLevel::kOff);
+  MBTS_ERROR << "nope";
+  EXPECT_TRUE(capture.text().empty());
+}
+
+TEST(Logging, StreamOperatorsDoNotEvaluateWhenDisabled) {
+  SinkCapture capture;
+  Logger::instance().set_level(LogLevel::kError);
+  int calls = 0;
+  auto expensive = [&calls] {
+    ++calls;
+    return std::string("costly");
+  };
+  MBTS_DEBUG << expensive();
+  EXPECT_EQ(calls, 0);
+}
+
+}  // namespace
+}  // namespace mbts

@@ -1,0 +1,118 @@
+// Market-level conservation and consistency invariants, swept over client
+// strategies, pricing rules, and budget constraints (TEST_P).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "market/market.hpp"
+#include "workload/presets.hpp"
+
+namespace mbts {
+namespace {
+
+using Param = std::tuple<ClientStrategy, PricingModel, bool /*budgets*/>;
+
+class MarketInvariants : public testing::TestWithParam<Param> {};
+
+TEST_P(MarketInvariants, AccountingBalances) {
+  const auto& [strategy, pricing, budgets] = GetParam();
+
+  MarketConfig config;
+  config.strategy = strategy;
+  config.pricing = pricing;
+  config.rng_seed = 99;
+  for (SiteId i = 0; i < 3; ++i) {
+    SiteAgentConfig sc;
+    sc.id = i;
+    sc.name = "site" + std::to_string(i);
+    sc.scheduler.processors = 8;
+    sc.scheduler.preemption = true;
+    sc.scheduler.discount_rate = 0.01;
+    sc.policy = PolicySpec::first_reward(0.2);
+    sc.use_slack_admission = true;
+    sc.admission.threshold = 0.0;
+    config.sites.push_back(sc);
+  }
+  constexpr std::size_t kClients = 5;
+  if (budgets) {
+    for (ClientId c = 0; c < kClients; ++c)
+      config.client_budgets[c] = {.budget_per_interval = 20000.0,
+                                  .interval = 5000.0};
+  }
+
+  Market market(config);
+  WorkloadSpec spec = presets::admission_mix(1.3, 600);
+  spec.processors = 24;
+  Xoshiro256 rng(7);
+  const Trace trace = generate_trace(spec, rng);
+  for (const Task& task : trace.tasks) {
+    Trace one;
+    one.tasks = {task};
+    market.inject(one, static_cast<ClientId>(task.id % kClients));
+  }
+  const MarketStats stats = market.run();
+
+  // 1. Every bid is accounted for exactly once.
+  EXPECT_EQ(stats.bids, trace.size());
+  EXPECT_EQ(stats.awarded + stats.rejected_everywhere + stats.unaffordable,
+            stats.bids);
+
+  // 2. Awarded bids have exactly one contract, on exactly one site.
+  std::set<TaskId> contracted;
+  std::size_t contract_count = 0;
+  for (const auto& site : market.sites()) {
+    for (const Contract& contract : site->contracts()) {
+      EXPECT_TRUE(contracted.insert(contract.task).second)
+          << "task " << contract.task << " contracted twice";
+      ++contract_count;
+      // 3. Every contract settled (the run drained) and never above the
+      //    agreed price.
+      EXPECT_TRUE(contract.settled);
+      EXPECT_LE(contract.settled_price, contract.agreed_price + 1e-9);
+    }
+  }
+  EXPECT_EQ(contract_count, stats.awarded);
+
+  // 4. Revenue aggregates match per-site sums.
+  double revenue = 0.0;
+  for (double r : stats.site_revenue) revenue += r;
+  EXPECT_NEAR(revenue, stats.total_revenue, 1e-6);
+
+  // 5. Sites completed exactly their contracted tasks.
+  for (const auto& site : market.sites()) {
+    const RunStats rs = site->scheduler().stats();
+    EXPECT_EQ(rs.accepted, site->contracts().size());
+    EXPECT_EQ(rs.completed + rs.dropped, rs.accepted);
+  }
+
+  // 6. Budgets, when enabled, were respected per interval.
+  if (budgets) {
+    for (ClientId c = 0; c < kClients; ++c)
+      EXPECT_GE(market.ledger().remaining(c, 1e18), -1e-6);
+  } else {
+    EXPECT_EQ(stats.unaffordable, 0u);
+  }
+}
+
+std::string market_param_name(const testing::TestParamInfo<Param>& info) {
+  std::string name = to_string(std::get<0>(info.param));
+  name += "_" + to_string(std::get<1>(info.param));
+  name += std::get<2>(info.param) ? "_budgeted" : "_unbudgeted";
+  for (char& c : name)
+    if (c == '-') c = '_';
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StrategyByPricingByBudget, MarketInvariants,
+    testing::Combine(testing::Values(ClientStrategy::kMaxExpectedValue,
+                                     ClientStrategy::kEarliestCompletion,
+                                     ClientStrategy::kRandom),
+                     testing::Values(PricingModel::kBidPrice,
+                                     PricingModel::kSecondPrice),
+                     testing::Bool()),
+    market_param_name);
+
+}  // namespace
+}  // namespace mbts

@@ -1,0 +1,179 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace mbts {
+namespace {
+
+Task make_task(TaskId id, double arrival, double runtime, double value,
+               double decay, double bound = kInf) {
+  Task t;
+  t.id = id;
+  t.arrival = arrival;
+  t.runtime = runtime;
+  t.value = ValueFunction(value, decay, bound);
+  return t;
+}
+
+MixView make_mix(SimTime now, double discount,
+                 std::vector<CompetitorInfo>& storage, bool any_bounded) {
+  MixView mix;
+  mix.now = now;
+  mix.discount_rate = discount;
+  double total = 0.0;
+  for (const auto& c : storage)
+    if (c.time_to_expire > 0.0) total += c.decay;
+  mix.total_live_decay = total;
+  mix.competitors = storage;
+  mix.any_bounded = any_bounded;
+  return mix;
+}
+
+TEST(Metrics, ExpectedYieldFreshTask) {
+  const Task t = make_task(1, 0.0, 10.0, 100.0, 2.0);
+  // Started at arrival: completes at 10, no delay.
+  EXPECT_EQ(expected_yield_if_started(t, 0.0, 10.0), 100.0);
+}
+
+TEST(Metrics, ExpectedYieldAfterWaiting) {
+  const Task t = make_task(1, 0.0, 10.0, 100.0, 2.0);
+  // Started at 5: completes at 15, delay 5, yield 90.
+  EXPECT_EQ(expected_yield_if_started(t, 5.0, 10.0), 90.0);
+}
+
+TEST(Metrics, ExpectedYieldPartiallyRun) {
+  const Task t = make_task(1, 0.0, 10.0, 100.0, 2.0);
+  // 4 units remain at time 20: completes 24, delay 14, yield 72.
+  EXPECT_EQ(expected_yield_if_started(t, 20.0, 4.0), 72.0);
+}
+
+TEST(Metrics, YieldBasisAtNowIgnoresRemainingTime) {
+  const Task t = make_task(1, 0.0, 10.0, 100.0, 2.0);
+  // At time 15: delay so far 5 => 90, regardless of rpt.
+  EXPECT_EQ(yield_for_ranking(t, 15.0, 10.0, YieldBasis::kAtNow), 90.0);
+  EXPECT_EQ(yield_for_ranking(t, 15.0, 1.0, YieldBasis::kAtNow), 90.0);
+  EXPECT_EQ(yield_for_ranking(t, 15.0, 10.0, YieldBasis::kAtCompletion),
+            70.0);
+}
+
+TEST(Metrics, PresentValueIdentityAtZeroRate) {
+  EXPECT_EQ(present_value(100.0, 0.0, 50.0), 100.0);
+}
+
+TEST(Metrics, PresentValueSimpleInterest) {
+  // 110 maturing in 10 units at 1%/unit: PV = 110 / 1.1 = 100.
+  EXPECT_NEAR(present_value(110.0, 0.01, 10.0), 100.0, 1e-12);
+}
+
+TEST(Metrics, PresentValueDiscountsPenaltiesToo) {
+  EXPECT_NEAR(present_value(-110.0, 0.01, 10.0), -100.0, 1e-12);
+}
+
+TEST(Metrics, PresentValueMonotoneInHorizon) {
+  double prev = present_value(100.0, 0.05, 0.0);
+  for (double h = 1.0; h < 100.0; h += 10.0) {
+    const double pv = present_value(100.0, 0.05, h);
+    EXPECT_LT(pv, prev);
+    prev = pv;
+  }
+}
+
+TEST(Metrics, OpportunityCostUnboundedUsesAggregate) {
+  // Eq. 5: cost_i = (total decay - d_i) * RPT_i.
+  const Task t = make_task(1, 0.0, 10.0, 100.0, 2.0);
+  std::vector<CompetitorInfo> storage{
+      {1, 2.0, kInf}, {2, 3.0, kInf}, {3, 0.5, kInf}};
+  const MixView mix = make_mix(0.0, 0.0, storage, false);
+  EXPECT_DOUBLE_EQ(opportunity_cost(t, 10.0, mix), (3.0 + 0.5) * 10.0);
+}
+
+TEST(Metrics, OpportunityCostBoundedCapsAtExpiry) {
+  // Eq. 4: competitor 2 stops decaying after 4 more units.
+  const Task t = make_task(1, 0.0, 10.0, 100.0, 2.0, 0.0);
+  std::vector<CompetitorInfo> storage{
+      {1, 2.0, 50.0}, {2, 3.0, 4.0}, {3, 0.5, kInf}};
+  const MixView mix = make_mix(0.0, 0.0, storage, true);
+  EXPECT_DOUBLE_EQ(opportunity_cost(t, 10.0, mix),
+                   3.0 * 4.0 + 0.5 * 10.0);
+}
+
+TEST(Metrics, OpportunityCostSkipsExpiredCompetitors) {
+  const Task t = make_task(1, 0.0, 10.0, 100.0, 2.0, 0.0);
+  std::vector<CompetitorInfo> storage{{1, 2.0, 50.0}, {2, 3.0, 0.0}};
+  const MixView mix = make_mix(0.0, 0.0, storage, true);
+  EXPECT_DOUBLE_EQ(opportunity_cost(t, 10.0, mix), 0.0);
+}
+
+TEST(Metrics, OpportunityCostExcludesSelf) {
+  const Task t = make_task(7, 0.0, 10.0, 100.0, 5.0);
+  std::vector<CompetitorInfo> storage{{7, 5.0, kInf}};
+  const MixView mix = make_mix(0.0, 0.0, storage, false);
+  EXPECT_DOUBLE_EQ(opportunity_cost(t, 10.0, mix), 0.0);
+}
+
+TEST(Metrics, OpportunityCostAloneIsZero) {
+  const Task t = make_task(1, 0.0, 10.0, 100.0, 2.0);
+  std::vector<CompetitorInfo> storage;
+  const MixView mix = make_mix(0.0, 0.0, storage, false);
+  EXPECT_DOUBLE_EQ(opportunity_cost(t, 10.0, mix), 0.0);
+}
+
+TEST(Metrics, UnitGainMatchesDefinition) {
+  const Task t = make_task(1, 0.0, 10.0, 100.0, 2.0);
+  EXPECT_DOUBLE_EQ(unit_gain(t, 0.0, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(unit_gain(t, 5.0, 10.0), 9.0);
+}
+
+TEST(Metrics, UnitGainRejectsZeroRpt) {
+  const Task t = make_task(1, 0.0, 10.0, 100.0, 2.0);
+  EXPECT_THROW(unit_gain(t, 0.0, 0.0), CheckError);
+}
+
+TEST(Metrics, FirstRewardAlphaOneZeroDiscountEqualsFirstPrice) {
+  const Task t = make_task(1, 0.0, 10.0, 100.0, 2.0);
+  std::vector<CompetitorInfo> storage{{1, 2.0, kInf}, {2, 9.0, kInf}};
+  const MixView mix = make_mix(0.0, 0.0, storage, false);
+  EXPECT_DOUBLE_EQ(first_reward_index(t, 10.0, mix, 1.0),
+                   unit_gain(t, 0.0, 10.0));
+}
+
+TEST(Metrics, FirstRewardAlphaZeroIsPureCost) {
+  const Task t = make_task(1, 0.0, 10.0, 100.0, 2.0);
+  std::vector<CompetitorInfo> storage{{1, 2.0, kInf}, {2, 9.0, kInf}};
+  const MixView mix = make_mix(0.0, 0.01, storage, false);
+  EXPECT_DOUBLE_EQ(first_reward_index(t, 10.0, mix, 0.0),
+                   -opportunity_cost(t, 10.0, mix) / 10.0);
+}
+
+TEST(Metrics, FirstRewardBlendsLinearly) {
+  const Task t = make_task(1, 0.0, 10.0, 100.0, 2.0);
+  std::vector<CompetitorInfo> storage{{1, 2.0, kInf}, {2, 9.0, kInf}};
+  const MixView mix = make_mix(0.0, 0.01, storage, false);
+  const double at0 = first_reward_index(t, 10.0, mix, 0.0);
+  const double at1 = first_reward_index(t, 10.0, mix, 1.0);
+  const double at_half = first_reward_index(t, 10.0, mix, 0.5);
+  EXPECT_NEAR(at_half, 0.5 * (at0 + at1), 1e-12);
+}
+
+TEST(Metrics, FirstRewardRejectsBadAlpha) {
+  const Task t = make_task(1, 0.0, 10.0, 100.0, 2.0);
+  std::vector<CompetitorInfo> storage;
+  const MixView mix = make_mix(0.0, 0.0, storage, false);
+  EXPECT_THROW(first_reward_index(t, 10.0, mix, -0.1), CheckError);
+  EXPECT_THROW(first_reward_index(t, 10.0, mix, 1.1), CheckError);
+}
+
+TEST(Metrics, HigherDecayCompetitorRaisesCost) {
+  const Task t = make_task(1, 0.0, 10.0, 100.0, 2.0);
+  std::vector<CompetitorInfo> low{{1, 2.0, kInf}, {2, 1.0, kInf}};
+  std::vector<CompetitorInfo> high{{1, 2.0, kInf}, {2, 8.0, kInf}};
+  const MixView mix_low = make_mix(0.0, 0.0, low, false);
+  const MixView mix_high = make_mix(0.0, 0.0, high, false);
+  EXPECT_LT(opportunity_cost(t, 10.0, mix_low),
+            opportunity_cost(t, 10.0, mix_high));
+}
+
+}  // namespace
+}  // namespace mbts

@@ -1,0 +1,60 @@
+#include "core/mix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mbts {
+namespace {
+
+TEST(MixTracker, EmptyRebuild) {
+  MixTracker tracker;
+  tracker.rebuild(5.0, {}, false);
+  EXPECT_EQ(tracker.view().now, 5.0);
+  EXPECT_EQ(tracker.view().total_live_decay, 0.0);
+  EXPECT_TRUE(tracker.view().competitors.empty());
+  EXPECT_FALSE(tracker.view().any_bounded);
+}
+
+TEST(MixTracker, SumsLiveDecay) {
+  MixTracker tracker;
+  tracker.rebuild(0.0, {{1, 2.0, kInf}, {2, 3.0, 10.0}}, true);
+  EXPECT_DOUBLE_EQ(tracker.view().total_live_decay, 5.0);
+}
+
+TEST(MixTracker, ExpiredCompetitorsExcludedFromAggregate) {
+  MixTracker tracker;
+  tracker.rebuild(0.0, {{1, 2.0, kInf}, {2, 3.0, 0.0}}, true);
+  EXPECT_DOUBLE_EQ(tracker.view().total_live_decay, 2.0);
+  // But they remain visible in the competitor list.
+  EXPECT_EQ(tracker.view().competitors.size(), 2u);
+}
+
+TEST(MixTracker, DiscountRateCarriesIntoView) {
+  MixTracker tracker;
+  tracker.set_discount_rate(0.05);
+  tracker.rebuild(1.0, {}, false);
+  EXPECT_EQ(tracker.view().discount_rate, 0.05);
+  EXPECT_EQ(tracker.discount_rate(), 0.05);
+}
+
+TEST(MixTracker, RebuildReplacesPreviousState) {
+  MixTracker tracker;
+  tracker.rebuild(0.0, {{1, 2.0, kInf}}, false);
+  tracker.rebuild(10.0, {{2, 7.0, kInf}, {3, 1.0, kInf}}, false);
+  EXPECT_EQ(tracker.view().now, 10.0);
+  EXPECT_DOUBLE_EQ(tracker.view().total_live_decay, 8.0);
+  EXPECT_EQ(tracker.view().competitors.size(), 2u);
+  EXPECT_EQ(tracker.view().competitors[0].id, 2u);
+}
+
+TEST(MixTracker, ViewSpanStaysValidAfterRebuild) {
+  MixTracker tracker;
+  tracker.rebuild(0.0, {{1, 2.0, kInf}}, false);
+  const MixView& view = tracker.view();
+  tracker.rebuild(1.0, {{9, 4.0, kInf}}, true);
+  // The view reference is to the tracker's storage, which was replaced.
+  EXPECT_EQ(view.competitors[0].id, 9u);
+  EXPECT_TRUE(view.any_bounded);
+}
+
+}  // namespace
+}  // namespace mbts

@@ -1,0 +1,204 @@
+// Tests for the variable-rate (piecewise-linear) value-function
+// generalization (§3: "The framework can generalize to value functions that
+// decay at variable rates").
+#include <gtest/gtest.h>
+
+#include "core/scheduler.hpp"
+#include "core/value_function.hpp"
+#include "util/check.hpp"
+
+namespace mbts {
+namespace {
+
+/// Deadline-cliff profile: almost flat for `grace` units, then a steep drop.
+ValueFunction cliff(double value, double grace, double steep_rate,
+                    double bound = kInf) {
+  return ValueFunction::piecewise(value, {{grace, 0.0}, {kInf, steep_rate}},
+                                  bound);
+}
+
+TEST(Piecewise, SingleSegmentEqualsLinear) {
+  const ValueFunction linear(100.0, 2.0, 30.0);
+  const ValueFunction pw = ValueFunction::piecewise(
+      100.0, {{kInf, 2.0}}, 30.0);
+  EXPECT_EQ(linear, pw);
+  EXPECT_TRUE(pw.is_linear());
+  for (double d : {0.0, 10.0, 65.0, 1000.0})
+    EXPECT_EQ(linear.yield_at_delay(d), pw.yield_at_delay(d));
+}
+
+TEST(Piecewise, TwoPhaseYield) {
+  // Decay 1/unit for 10 units, then 5/unit.
+  const ValueFunction vf =
+      ValueFunction::piecewise(100.0, {{10.0, 1.0}, {kInf, 5.0}}, kInf);
+  EXPECT_FALSE(vf.is_linear());
+  EXPECT_EQ(vf.yield_at_delay(0.0), 100.0);
+  EXPECT_EQ(vf.yield_at_delay(5.0), 95.0);
+  EXPECT_EQ(vf.yield_at_delay(10.0), 90.0);   // kink
+  EXPECT_EQ(vf.yield_at_delay(12.0), 80.0);   // now 5/unit
+  EXPECT_EQ(vf.yield_at_delay(30.0), -10.0);
+}
+
+TEST(Piecewise, DeadlineCliffYield) {
+  const ValueFunction vf = cliff(100.0, 20.0, 50.0);
+  EXPECT_EQ(vf.yield_at_delay(19.9), 100.0);
+  EXPECT_EQ(vf.yield_at_delay(21.0), 50.0);
+  EXPECT_EQ(vf.yield_at_delay(22.0), 0.0);
+  EXPECT_EQ(vf.yield_at_delay(24.0), -100.0);
+}
+
+TEST(Piecewise, DecayAtDelayTracksSegments) {
+  const ValueFunction vf =
+      ValueFunction::piecewise(100.0, {{10.0, 1.0}, {kInf, 5.0}}, kInf);
+  EXPECT_EQ(vf.decay_at_delay(0.0), 1.0);
+  EXPECT_EQ(vf.decay_at_delay(9.99), 1.0);
+  EXPECT_EQ(vf.decay_at_delay(10.0), 5.0);
+  EXPECT_EQ(vf.decay_at_delay(100.0), 5.0);
+  EXPECT_EQ(vf.decay(), 1.0);  // scalar summary = initial rate
+}
+
+TEST(Piecewise, DecayAtDelayZeroWhenExpired) {
+  const ValueFunction vf =
+      ValueFunction::piecewise(100.0, {{kInf, 2.0}}, 0.0);
+  EXPECT_EQ(vf.decay_at_delay(49.0), 2.0);
+  EXPECT_EQ(vf.decay_at_delay(50.0), 0.0);
+}
+
+TEST(Piecewise, DelayToZeroCrossesSegments) {
+  // 1/unit for 10 units (drop 10), then 5/unit: zero at 10 + 90/5 = 28.
+  const ValueFunction vf =
+      ValueFunction::piecewise(100.0, {{10.0, 1.0}, {kInf, 5.0}}, kInf);
+  EXPECT_DOUBLE_EQ(vf.delay_to_zero(), 28.0);
+}
+
+TEST(Piecewise, DelayToZeroInfiniteWhenDecayStops) {
+  // Decays only 50 total, then flat: never reaches zero.
+  const ValueFunction vf =
+      ValueFunction::piecewise(100.0, {{10.0, 5.0}, {kInf, 0.0}}, kInf);
+  EXPECT_EQ(vf.delay_to_zero(), kInf);
+  EXPECT_EQ(vf.yield_at_delay(1e9), 50.0);
+}
+
+TEST(Piecewise, ExpiryFromBound) {
+  // Bound 20: expire when drop reaches 120 => 10 + 110/5 = 32.
+  const ValueFunction vf =
+      ValueFunction::piecewise(100.0, {{10.0, 1.0}, {kInf, 5.0}}, 20.0);
+  EXPECT_DOUBLE_EQ(vf.delay_to_expire(), 32.0);
+  EXPECT_TRUE(vf.expired_at_delay(32.0));
+  EXPECT_EQ(vf.yield_at_delay(40.0), -20.0);
+}
+
+TEST(Piecewise, ExpiryFromTrailingZeroRate) {
+  const ValueFunction vf =
+      ValueFunction::piecewise(100.0, {{10.0, 5.0}, {kInf, 0.0}}, kInf);
+  EXPECT_DOUBLE_EQ(vf.delay_to_expire(), 10.0);
+  EXPECT_EQ(vf.decay_at_delay(11.0), 0.0);
+}
+
+TEST(Piecewise, InteriorZeroSegmentIsNotExpiry) {
+  // Flat between 10 and 20, then decays again: not expired during the flat.
+  const ValueFunction vf = ValueFunction::piecewise(
+      100.0, {{10.0, 1.0}, {10.0, 0.0}, {kInf, 2.0}}, kInf);
+  EXPECT_FALSE(vf.expired_at_delay(15.0));
+  EXPECT_EQ(vf.decay_at_delay(15.0), 0.0);
+  EXPECT_EQ(vf.decay_at_delay(25.0), 2.0);
+  EXPECT_EQ(vf.yield_at_delay(25.0), 100.0 - 10.0 - 10.0);
+}
+
+TEST(Piecewise, InvalidSegmentsThrow) {
+  EXPECT_THROW(ValueFunction::piecewise(100.0, {}, kInf), CheckError);
+  EXPECT_THROW(
+      ValueFunction::piecewise(100.0, {{10.0, -1.0}}, kInf), CheckError);
+  EXPECT_THROW(
+      ValueFunction::piecewise(100.0, {{-5.0, 1.0}, {kInf, 1.0}}, kInf),
+      CheckError);
+}
+
+TEST(Piecewise, ToStringShowsProfile) {
+  const ValueFunction vf =
+      ValueFunction::piecewise(100.0, {{10.0, 1.0}, {kInf, 5.0}}, kInf);
+  const std::string s = vf.to_string();
+  EXPECT_NE(s.find("1@10"), std::string::npos);
+  EXPECT_NE(s.find("5@inf"), std::string::npos);
+}
+
+// --- End-to-end: the scheduler honors variable rates ----------------------
+
+Task make_task(TaskId id, double arrival, double runtime, ValueFunction vf) {
+  Task t;
+  t.id = id;
+  t.arrival = arrival;
+  t.runtime = runtime;
+  t.value = vf;
+  return t;
+}
+
+TEST(PiecewiseScheduler, SettlesAtPiecewiseYield) {
+  SimEngine engine;
+  SchedulerConfig config;
+  config.processors = 1;
+  SiteScheduler site(engine, config, make_policy(PolicySpec::fcfs()),
+                     std::make_unique<AcceptAllAdmission>());
+  site.inject(std::vector<Task>{
+      make_task(0, 0.0, 30.0, ValueFunction::unbounded(10.0, 0.0)),
+      // Completes at 40 with delay 30: grace 20 exhausted, 10 units into
+      // the cliff at rate 5 => yield 100 - 50 = 50.
+      make_task(1, 0.0, 10.0, cliff(100.0, 20.0, 5.0)),
+  });
+  engine.run();
+  double yield1 = 0.0;
+  for (const TaskRecord& r : site.records())
+    if (r.task.id == 1) yield1 = r.realized_yield;
+  EXPECT_DOUBLE_EQ(yield1, 50.0);
+}
+
+TEST(PiecewiseScheduler, SwptReactsToRateChange) {
+  // Two tasks: A decays at 0 now but at 10 once its grace of 5 delay units
+  // is spent; B decays at 1 always. A blocker holds the processor until
+  // t=20, by which time A's cliff is active and SWPT must run A first.
+  SimEngine engine;
+  SchedulerConfig config;
+  config.processors = 1;
+  config.preemption = false;
+  SiteScheduler site(engine, config, make_policy(PolicySpec::swpt()),
+                     std::make_unique<AcceptAllAdmission>());
+  site.inject(std::vector<Task>{
+      make_task(9, 0.0, 20.0, ValueFunction::unbounded(1.0, 100.0)),
+      make_task(0, 0.0, 10.0, cliff(500.0, 5.0, 10.0)),
+      make_task(1, 0.0, 10.0, ValueFunction::unbounded(500.0, 1.0)),
+  });
+  engine.run();
+  double a = 0.0, b = 0.0;
+  for (const TaskRecord& r : site.records()) {
+    if (r.task.id == 0) a = r.completion;
+    if (r.task.id == 1) b = r.completion;
+  }
+  EXPECT_LT(a, b);  // cliffed task ran first once its steep segment engaged
+}
+
+TEST(PiecewiseScheduler, DropExpiredRespectsStabilizedValue) {
+  // A piecewise function that stops decaying at +40 must never be dropped
+  // even with drop_expired on — completing it still earns 40.
+  SimEngine engine;
+  SchedulerConfig config;
+  config.processors = 1;
+  config.drop_expired = true;
+  SiteScheduler site(engine, config, make_policy(PolicySpec::first_price()),
+                     std::make_unique<AcceptAllAdmission>());
+  site.inject(std::vector<Task>{
+      make_task(0, 0.0, 50.0, ValueFunction::unbounded(1000.0, 0.0)),
+      make_task(1, 0.0, 10.0,
+                ValueFunction::piecewise(100.0, {{5.0, 12.0}, {kInf, 0.0}},
+                                         60.0)),
+  });
+  engine.run();
+  const TaskRecord* r = nullptr;
+  for (const TaskRecord& rec : site.records())
+    if (rec.task.id == 1) r = &rec;
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->outcome, TaskOutcome::kCompleted);
+  EXPECT_DOUBLE_EQ(r->realized_yield, 40.0);
+}
+
+}  // namespace
+}  // namespace mbts

@@ -1,0 +1,209 @@
+#include "core/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "core/mix.hpp"
+#include "core/policies/baselines.hpp"
+#include "core/policies/first_price.hpp"
+#include "core/policies/first_reward.hpp"
+#include "core/policies/present_value.hpp"
+#include "core/policies/swpt.hpp"
+#include "util/check.hpp"
+
+namespace mbts {
+namespace {
+
+Task make_task(TaskId id, double arrival, double runtime, double value,
+               double decay, double bound = kInf) {
+  Task t;
+  t.id = id;
+  t.arrival = arrival;
+  t.runtime = runtime;
+  t.value = ValueFunction(value, decay, bound);
+  return t;
+}
+
+MixView empty_mix(SimTime now = 0.0, double discount = 0.0) {
+  MixView mix;
+  mix.now = now;
+  mix.discount_rate = discount;
+  return mix;
+}
+
+TEST(Fcfs, EarlierArrivalWins) {
+  const FcfsPolicy policy;
+  const MixView mix = empty_mix();
+  const Task early = make_task(1, 1.0, 10.0, 50.0, 1.0);
+  const Task late = make_task(2, 2.0, 10.0, 500.0, 9.0);
+  EXPECT_GT(policy.priority(early, 10.0, mix),
+            policy.priority(late, 10.0, mix));
+}
+
+TEST(Srpt, ShorterRemainingWins) {
+  const SrptPolicy policy;
+  const MixView mix = empty_mix();
+  const Task a = make_task(1, 0.0, 10.0, 50.0, 1.0);
+  const Task b = make_task(2, 0.0, 30.0, 500.0, 9.0);
+  EXPECT_GT(policy.priority(a, 10.0, mix), policy.priority(b, 30.0, mix));
+  // Remaining time, not total runtime, is what counts.
+  EXPECT_GT(policy.priority(b, 5.0, mix), policy.priority(a, 10.0, mix));
+}
+
+TEST(Swpt, OrdersByDecayOverRpt) {
+  const SwptPolicy policy;
+  const MixView mix = empty_mix();
+  const Task urgent_short = make_task(1, 0.0, 10.0, 100.0, 4.0);
+  const Task calm_long = make_task(2, 0.0, 40.0, 100.0, 1.0);
+  EXPECT_DOUBLE_EQ(policy.priority(urgent_short, 10.0, mix), 0.4);
+  EXPECT_DOUBLE_EQ(policy.priority(calm_long, 40.0, mix), 0.025);
+}
+
+TEST(Swpt, ValueBlind) {
+  const SwptPolicy policy;
+  const MixView mix = empty_mix();
+  const Task cheap = make_task(1, 0.0, 10.0, 1.0, 2.0);
+  const Task precious = make_task(2, 0.0, 10.0, 1000.0, 2.0);
+  EXPECT_EQ(policy.priority(cheap, 10.0, mix),
+            policy.priority(precious, 10.0, mix));
+}
+
+TEST(Random, StablePerTask) {
+  const RandomPolicy policy(42);
+  const MixView mix = empty_mix();
+  const Task t = make_task(7, 0.0, 10.0, 1.0, 1.0);
+  EXPECT_EQ(policy.priority(t, 10.0, mix), policy.priority(t, 3.0, mix));
+}
+
+TEST(Random, DifferentSeedsDifferentOrder) {
+  const RandomPolicy a(1), b(2);
+  const MixView mix = empty_mix();
+  const Task t = make_task(7, 0.0, 10.0, 1.0, 1.0);
+  EXPECT_NE(a.priority(t, 10.0, mix), b.priority(t, 10.0, mix));
+}
+
+TEST(FirstPrice, RanksByUnitGain) {
+  const FirstPricePolicy policy;
+  const MixView mix = empty_mix(0.0);
+  const Task dense = make_task(1, 0.0, 10.0, 200.0, 0.0);  // 20/unit
+  const Task sparse = make_task(2, 0.0, 100.0, 500.0, 0.0);  // 5/unit
+  EXPECT_GT(policy.priority(dense, 10.0, mix),
+            policy.priority(sparse, 100.0, mix));
+}
+
+TEST(FirstPrice, DecayedTaskSinks) {
+  const FirstPricePolicy policy;
+  const Task t = make_task(1, 0.0, 10.0, 100.0, 2.0);
+  const MixView fresh = empty_mix(0.0);
+  const MixView later = empty_mix(40.0);
+  EXPECT_GT(policy.priority(t, 10.0, fresh), policy.priority(t, 10.0, later));
+}
+
+TEST(FirstPrice, UnboundedGoesNegative) {
+  const FirstPricePolicy policy;
+  const Task t = make_task(1, 0.0, 10.0, 100.0, 2.0, kInf);
+  const MixView late = empty_mix(1000.0);
+  EXPECT_LT(policy.priority(t, 10.0, late), 0.0);
+}
+
+TEST(FirstPrice, BoundedFloorsAtZero) {
+  const FirstPricePolicy policy;
+  const Task t = make_task(1, 0.0, 10.0, 100.0, 2.0, 0.0);
+  const MixView late = empty_mix(1000.0);
+  EXPECT_EQ(policy.priority(t, 10.0, late), 0.0);
+}
+
+TEST(PresentValue, ZeroDiscountEqualsFirstPrice) {
+  const FirstPricePolicy fp;
+  const PresentValuePolicy pv;
+  const MixView mix = empty_mix(3.0, 0.0);
+  const Task t = make_task(1, 0.0, 10.0, 100.0, 2.0);
+  EXPECT_DOUBLE_EQ(pv.priority(t, 10.0, mix), fp.priority(t, 10.0, mix));
+}
+
+TEST(PresentValue, DiscountPenalizesLongTasks) {
+  const PresentValuePolicy pv;
+  const MixView mix = empty_mix(0.0, 0.05);
+  // Same unit gain 10; PV must favor the shorter.
+  const Task short_task = make_task(1, 0.0, 10.0, 100.0, 0.0);
+  const Task long_task = make_task(2, 0.0, 100.0, 1000.0, 0.0);
+  EXPECT_GT(pv.priority(short_task, 10.0, mix),
+            pv.priority(long_task, 100.0, mix));
+}
+
+TEST(PresentValue, HigherDiscountMoreRiskAverse) {
+  const PresentValuePolicy pv;
+  const Task long_task = make_task(2, 0.0, 100.0, 1000.0, 0.0);
+  const MixView mild = empty_mix(0.0, 0.01);
+  const MixView harsh = empty_mix(0.0, 0.10);
+  EXPECT_GT(pv.priority(long_task, 100.0, mild),
+            pv.priority(long_task, 100.0, harsh));
+}
+
+TEST(FirstReward, AlphaOneNoDiscountMatchesFirstPrice) {
+  const FirstRewardPolicy fr(1.0);
+  const FirstPricePolicy fp;
+  std::vector<CompetitorInfo> storage{{2, 3.0, kInf}};
+  MixTracker tracker;
+  tracker.rebuild(0.0, storage, false);
+  const Task t = make_task(1, 0.0, 10.0, 100.0, 2.0);
+  EXPECT_DOUBLE_EQ(fr.priority(t, 10.0, tracker.view()),
+                   fp.priority(t, 10.0, tracker.view()));
+}
+
+TEST(FirstReward, AlphaZeroPrefersHighDecayUnderUnbounded) {
+  // Eq. 5: cost_i/RPT_i = total - d_i, so the highest-decay task wins.
+  const FirstRewardPolicy fr(0.0);
+  MixTracker tracker;
+  tracker.rebuild(0.0,
+                  {{1, 1.0, kInf}, {2, 6.0, kInf}, {3, 2.0, kInf}}, false);
+  const Task calm = make_task(1, 0.0, 10.0, 500.0, 1.0);
+  const Task urgent = make_task(2, 0.0, 10.0, 5.0, 6.0);
+  EXPECT_GT(fr.priority(urgent, 10.0, tracker.view()),
+            fr.priority(calm, 10.0, tracker.view()));
+}
+
+TEST(FirstReward, NameEncodesAlpha) {
+  EXPECT_EQ(FirstRewardPolicy(0.25).name(), "FirstReward(a=0.25)");
+}
+
+TEST(FirstReward, RejectsBadAlpha) {
+  EXPECT_THROW(FirstRewardPolicy(-0.5), CheckError);
+  EXPECT_THROW(FirstRewardPolicy(2.0), CheckError);
+}
+
+TEST(PolicyFactory, MakesEveryKind) {
+  EXPECT_EQ(make_policy(PolicySpec::fcfs())->name(), "FCFS");
+  EXPECT_EQ(make_policy(PolicySpec::srpt())->name(), "SRPT");
+  EXPECT_EQ(make_policy(PolicySpec::swpt())->name(), "SWPT");
+  EXPECT_EQ(make_policy(PolicySpec::first_price())->name(), "FirstPrice");
+  EXPECT_EQ(make_policy(PolicySpec::present_value())->name(), "PV");
+  EXPECT_EQ(make_policy(PolicySpec::first_reward(0.5))->name(),
+            "FirstReward(a=0.5)");
+  EXPECT_EQ(make_policy(PolicySpec::random(9))->name(), "RANDOM");
+}
+
+TEST(PolicyFactory, ParseRoundTrips) {
+  for (const std::string text :
+       {"fcfs", "srpt", "swpt", "firstprice", "pv", "firstreward:0.3",
+        "random"}) {
+    const PolicySpec spec = parse_policy_spec(text);
+    EXPECT_EQ(spec.to_string(), text) << text;
+  }
+}
+
+TEST(PolicyFactory, ParseRejectsUnknown) {
+  EXPECT_THROW(parse_policy_spec("lottery"), CheckError);
+  EXPECT_THROW(parse_policy_spec("firstreward:2"), CheckError);
+  EXPECT_THROW(parse_policy_spec("firstreward:abc"), CheckError);
+}
+
+TEST(PolicySpec, WithBasisCopies) {
+  const PolicySpec spec =
+      PolicySpec::first_price().with_basis(YieldBasis::kAtNow);
+  EXPECT_EQ(spec.yield_basis, YieldBasis::kAtNow);
+  EXPECT_EQ(spec.kind, PolicySpec::Kind::kFirstPrice);
+}
+
+}  // namespace
+}  // namespace mbts

@@ -1,0 +1,263 @@
+// Optimality and exchange-argument properties of the classical heuristics,
+// verified against brute-force enumeration on small instances.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+
+namespace mbts {
+namespace {
+
+struct Job {
+  double runtime;
+  double weight;  // decay
+};
+
+/// Total weighted completion time of jobs run in the given order on one
+/// processor, all released at time zero.
+double twct(const std::vector<Job>& jobs, const std::vector<int>& order) {
+  double clock = 0.0;
+  double total = 0.0;
+  for (int i : order) {
+    clock += jobs[static_cast<std::size_t>(i)].runtime;
+    total += jobs[static_cast<std::size_t>(i)].weight * clock;
+  }
+  return total;
+}
+
+double best_twct_bruteforce(const std::vector<Job>& jobs) {
+  std::vector<int> order(jobs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end());
+  double best = kInf;
+  do {
+    best = std::min(best, twct(jobs, order));
+  } while (std::next_permutation(order.begin(), order.end()));
+  return best;
+}
+
+double swpt_twct(const std::vector<Job>& jobs) {
+  std::vector<int> order(jobs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const Job& ja = jobs[static_cast<std::size_t>(a)];
+    const Job& jb = jobs[static_cast<std::size_t>(b)];
+    return ja.weight / ja.runtime > jb.weight / jb.runtime;
+  });
+  return twct(jobs, order);
+}
+
+class SwptOptimality : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SwptOptimality, MatchesBruteForceOnRandomInstances) {
+  // Smith's rule: SWPT is optimal for 1 || sum w_j C_j.
+  Xoshiro256 rng(GetParam());
+  for (int instance = 0; instance < 20; ++instance) {
+    std::vector<Job> jobs;
+    const std::size_t n = 3 + rng.below(5);  // 3..7 jobs: 5040 perms max
+    for (std::size_t i = 0; i < n; ++i)
+      jobs.push_back({rng.uniform(1.0, 20.0), rng.uniform(0.1, 5.0)});
+    EXPECT_NEAR(swpt_twct(jobs), best_twct_bruteforce(jobs), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SwptOptimality,
+                         testing::Values(1u, 2u, 3u, 4u, 5u));
+
+/// End-to-end: the SWPT site scheduler achieves the brute-force-optimal
+/// total weighted completion time when all tasks arrive together on one
+/// processor (the regime where SWPT is provably optimal).
+TEST(SwptScheduler, EndToEndMatchesBruteForce) {
+  Xoshiro256 rng(99);
+  for (int instance = 0; instance < 10; ++instance) {
+    const std::size_t n = 3 + rng.below(4);
+    std::vector<Job> jobs;
+    std::vector<Task> tasks;
+    for (std::size_t i = 0; i < n; ++i) {
+      Job j{rng.uniform(1.0, 20.0), rng.uniform(0.1, 5.0)};
+      jobs.push_back(j);
+      Task t;
+      t.id = i;
+      t.arrival = 0.0;
+      t.runtime = j.runtime;
+      // Large value keeps yields positive; decay is the weight.
+      t.value = ValueFunction::unbounded(1e6, j.weight);
+      tasks.push_back(t);
+    }
+
+    SimEngine engine;
+    SchedulerConfig config;
+    config.processors = 1;
+    config.preemption = false;
+    SiteScheduler site(engine, config, make_policy(PolicySpec::swpt()),
+                       std::make_unique<AcceptAllAdmission>());
+    site.inject(tasks);
+    engine.run();
+
+    double scheduled_twct = 0.0;
+    for (const TaskRecord& r : site.records())
+      scheduled_twct += r.task.value.decay() * r.completion;
+    EXPECT_NEAR(scheduled_twct, best_twct_bruteforce(jobs), 1e-6)
+        << "instance " << instance;
+  }
+}
+
+/// With simultaneous release, equal decay, and unbounded linear value, the
+/// yield-optimal order minimizes total completion time — SRPT (== SPT here)
+/// must match brute force.
+TEST(SrptScheduler, MinimizesTotalDelayCostForUniformDecay) {
+  Xoshiro256 rng(7);
+  for (int instance = 0; instance < 10; ++instance) {
+    const std::size_t n = 3 + rng.below(4);
+    std::vector<Task> tasks;
+    std::vector<Job> jobs;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double runtime = rng.uniform(1.0, 20.0);
+      jobs.push_back({runtime, 1.0});
+      Task t;
+      t.id = i;
+      t.arrival = 0.0;
+      t.runtime = runtime;
+      t.value = ValueFunction::unbounded(1e6, 1.0);
+      tasks.push_back(t);
+    }
+    SimEngine engine;
+    SchedulerConfig config;
+    config.processors = 1;
+    config.preemption = false;
+    SiteScheduler site(engine, config, make_policy(PolicySpec::srpt()),
+                       std::make_unique<AcceptAllAdmission>());
+    site.inject(tasks);
+    engine.run();
+    double total_yield = 0.0;
+    for (const TaskRecord& r : site.records())
+      total_yield += r.realized_yield;
+
+    // Brute-force the maximum achievable yield.
+    std::vector<int> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    double best = -kInf;
+    std::sort(order.begin(), order.end());
+    do {
+      double clock = 0.0, yield = 0.0;
+      for (int i : order) {
+        const Task& t = tasks[static_cast<std::size_t>(i)];
+        clock += t.runtime;
+        yield += t.yield_at_completion(clock);
+      }
+      best = std::max(best, yield);
+    } while (std::next_permutation(order.begin(), order.end()));
+    EXPECT_NEAR(total_yield, best, 1e-6) << "instance " << instance;
+  }
+}
+
+/// FirstReward at alpha=0 under unbounded penalties must order by decay
+/// (Eq. 5): verify the realized schedule runs tasks in decay order when
+/// runtimes are equal.
+TEST(FirstRewardScheduler, AlphaZeroRunsByDecayOrder) {
+  std::vector<Task> tasks;
+  // A blocker is injected first so it occupies the processor while the
+  // probe tasks queue up; the dispatch at its completion then ranks the
+  // whole probe set at once.
+  Task blocker;
+  blocker.id = 99;
+  blocker.arrival = 0.0;
+  blocker.runtime = 5.0;
+  blocker.value = ValueFunction::unbounded(100.0, 50.0);
+  tasks.push_back(blocker);
+  const std::vector<double> decays{0.3, 1.7, 0.9, 2.5, 0.1};
+  for (std::size_t i = 0; i < decays.size(); ++i) {
+    Task t;
+    t.id = i;
+    t.arrival = 0.0;
+    t.runtime = 10.0;
+    t.value = ValueFunction::unbounded(100.0, decays[i]);
+    tasks.push_back(t);
+  }
+  SimEngine engine;
+  SchedulerConfig config;
+  config.processors = 1;
+  config.preemption = false;
+  SiteScheduler site(engine, config, make_policy(PolicySpec::first_reward(0)),
+                     std::make_unique<AcceptAllAdmission>());
+  site.inject(tasks);
+  engine.run();
+
+  std::vector<std::pair<double, double>> completion_by_decay;
+  for (const TaskRecord& r : site.records()) {
+    if (r.task.id == 99) continue;  // skip the blocker
+    completion_by_decay.emplace_back(r.task.value.decay(), r.completion);
+  }
+  std::sort(completion_by_decay.begin(), completion_by_decay.end(),
+            [](auto& a, auto& b) { return a.first > b.first; });
+  // Highest decay completes first, and so on down.
+  for (std::size_t i = 1; i < completion_by_decay.size(); ++i)
+    EXPECT_LT(completion_by_decay[i - 1].second,
+              completion_by_decay[i].second);
+}
+
+/// PV with discount 0 must produce the exact same schedule as FirstPrice on
+/// any trace (Fig. 3's anchor point).
+TEST(PvScheduler, DiscountZeroIdenticalToFirstPrice) {
+  WorkloadSpec spec;
+  spec.num_jobs = 300;
+  spec.processors = 4;
+  spec.runtime = DistSpec::exponential(15.0);
+  spec.runtime.floor = 0.5;
+  Xoshiro256 rng(21);
+  const Trace trace = generate_trace(spec, rng);
+
+  auto run = [&](const PolicySpec& policy) {
+    SimEngine engine;
+    SchedulerConfig config;
+    config.processors = 4;
+    config.discount_rate = 0.0;
+    SiteScheduler site(engine, config, make_policy(policy),
+                       std::make_unique<AcceptAllAdmission>());
+    site.inject(trace.tasks);
+    engine.run();
+    std::vector<double> completions;
+    for (const TaskRecord& r : site.records())
+      completions.push_back(r.completion);
+    return completions;
+  };
+
+  EXPECT_EQ(run(PolicySpec::first_price()), run(PolicySpec::present_value()));
+}
+
+/// FirstReward at alpha=1 with discount 0 likewise reduces to FirstPrice.
+TEST(FirstRewardScheduler, AlphaOneDiscountZeroIdenticalToFirstPrice) {
+  WorkloadSpec spec;
+  spec.num_jobs = 300;
+  spec.processors = 4;
+  spec.runtime = DistSpec::exponential(15.0);
+  spec.runtime.floor = 0.5;
+  Xoshiro256 rng(23);
+  const Trace trace = generate_trace(spec, rng);
+
+  auto run = [&](const PolicySpec& policy) {
+    SimEngine engine;
+    SchedulerConfig config;
+    config.processors = 4;
+    config.discount_rate = 0.0;
+    SiteScheduler site(engine, config, make_policy(policy),
+                       std::make_unique<AcceptAllAdmission>());
+    site.inject(trace.tasks);
+    engine.run();
+    std::vector<double> completions;
+    for (const TaskRecord& r : site.records())
+      completions.push_back(r.completion);
+    return completions;
+  };
+
+  EXPECT_EQ(run(PolicySpec::first_price()),
+            run(PolicySpec::first_reward(1.0)));
+}
+
+}  // namespace
+}  // namespace mbts

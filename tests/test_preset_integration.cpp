@@ -1,0 +1,97 @@
+// Integration sweep over the experiment presets themselves: every workload
+// family used by Figs. 3–7 must drive the scheduler through a clean run
+// under every figure-relevant policy configuration (TEST_P). This binds the
+// preset definitions to the scheduler contract so a preset change cannot
+// silently break an experiment.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/scheduler.hpp"
+#include "workload/presets.hpp"
+
+namespace mbts {
+namespace {
+
+using Param = std::tuple<std::string /*preset*/, std::string /*policy*/,
+                         bool /*admission*/>;
+
+WorkloadSpec spec_for(const std::string& preset, std::size_t jobs) {
+  if (preset == "millennium") return presets::millennium_mix(4.0, jobs);
+  if (preset == "decay_bounded")
+    return presets::decay_skew_mix(5.0, PenaltyModel::kBoundedAtZero, jobs);
+  if (preset == "decay_unbounded")
+    return presets::decay_skew_mix(5.0, PenaltyModel::kUnbounded, jobs);
+  if (preset == "admission_light") return presets::admission_mix(0.7, jobs);
+  return presets::admission_mix(2.0, jobs);  // admission_heavy
+}
+
+class PresetIntegration : public testing::TestWithParam<Param> {};
+
+TEST_P(PresetIntegration, CleanRunWithConsistentAccounting) {
+  const auto& [preset, policy_text, admission] = GetParam();
+  const WorkloadSpec spec = spec_for(preset, 500);
+  Xoshiro256 rng = SeedSequence(4242).stream(1);
+  const Trace trace = generate_trace(spec, rng);
+  ASSERT_TRUE(validate_trace(trace).empty());
+
+  SimEngine engine;
+  SchedulerConfig config;
+  config.processors = spec.processors;
+  config.preemption = true;
+  config.discount_rate = 0.01;
+  std::unique_ptr<AdmissionPolicy> admit;
+  if (admission)
+    admit = std::make_unique<SlackAdmission>(
+        SlackAdmissionConfig{180.0, false});
+  else
+    admit = std::make_unique<AcceptAllAdmission>();
+  SiteScheduler site(engine, config,
+                     make_policy(parse_policy_spec(policy_text)),
+                     std::move(admit));
+  site.inject(trace.tasks);
+  engine.run();
+
+  EXPECT_TRUE(site.idle());
+  EXPECT_TRUE(engine.empty());
+  const RunStats stats = site.stats();
+  EXPECT_EQ(stats.submitted, trace.size());
+  EXPECT_EQ(stats.accepted + stats.rejected, stats.submitted);
+  EXPECT_EQ(stats.completed, stats.accepted);
+  if (!admission) {
+    EXPECT_EQ(stats.rejected, 0u);
+  }
+
+  // Settlement consistency and value-function bounds per preset.
+  for (const TaskRecord& r : site.records()) {
+    if (r.outcome != TaskOutcome::kCompleted) continue;
+    EXPECT_NEAR(r.realized_yield, r.task.yield_at_completion(r.completion),
+                1e-9);
+    EXPECT_LE(r.realized_yield, r.task.value.max_value() + 1e-9);
+    if (r.task.value.bounded()) {
+      EXPECT_GE(r.realized_yield, -r.task.value.penalty_bound() - 1e-9);
+    }
+  }
+}
+
+std::string preset_name(const testing::TestParamInfo<Param>& info) {
+  std::string name = std::get<0>(info.param) + "_" + std::get<1>(info.param);
+  for (char& c : name)
+    if (c == ':' || c == '.') c = '_';
+  name += std::get<2>(info.param) ? "_gated" : "_open";
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PresetByPolicyByAdmission, PresetIntegration,
+    testing::Combine(testing::Values("millennium", "decay_bounded",
+                                     "decay_unbounded", "admission_light",
+                                     "admission_heavy"),
+                     testing::Values("firstprice", "pv", "firstreward:0",
+                                     "firstreward:0.3", "swpt"),
+                     testing::Bool()),
+    preset_name);
+
+}  // namespace
+}  // namespace mbts

@@ -1,0 +1,133 @@
+// Tests for the pricing extension: agreed-price settlement caps and the
+// Vickrey-style second-price option (§2 references Spawn's Vickrey
+// auctions; our default is the paper's "price equals bid value").
+#include <gtest/gtest.h>
+
+#include "market/market.hpp"
+
+namespace mbts {
+namespace {
+
+Task make_task(TaskId id, double arrival, double runtime, double value,
+               double decay) {
+  Task t;
+  t.id = id;
+  t.arrival = arrival;
+  t.runtime = runtime;
+  t.value = ValueFunction::unbounded(value, decay);
+  return t;
+}
+
+SiteAgentConfig site_config(SiteId id, std::size_t procs) {
+  SiteAgentConfig config;
+  config.id = id;
+  config.name = "site" + std::to_string(id);
+  config.scheduler.processors = procs;
+  config.policy = PolicySpec::first_price();
+  config.use_slack_admission = false;
+  return config;
+}
+
+TEST(Pricing, ModelNames) {
+  EXPECT_EQ(to_string(PricingModel::kBidPrice), "bid-price");
+  EXPECT_EQ(to_string(PricingModel::kSecondPrice), "second-price");
+}
+
+TEST(Pricing, SettlementCappedAtAgreedPrice) {
+  // Quote is made while the site looks busy; the blocker is withdrawn-ish
+  // scenario can't happen here, so emulate: award at a manual lower agreed
+  // price and finish on time — settlement must not exceed the agreement.
+  SimEngine engine;
+  SiteAgent agent(engine, site_config(0, 1));
+  Bid bid{1, make_task(1, 0.0, 10.0, 100.0, 0.5)};
+  const Quote quote = agent.quote(bid);
+  ASSERT_TRUE(agent.award(bid, quote, 60.0));  // negotiated down to 60
+  engine.run();
+  agent.settle();
+  const Contract& contract = agent.contracts()[0];
+  EXPECT_TRUE(contract.settled);
+  // Value function at completion is 100, but the agreement caps at 60.
+  EXPECT_DOUBLE_EQ(contract.settled_price, 60.0);
+}
+
+TEST(Pricing, DelayStillReducesBelowAgreed) {
+  SimEngine engine;
+  SiteAgent agent(engine, site_config(0, 1));
+  Bid b1{1, make_task(1, 0.0, 50.0, 1000.0, 0.0)};
+  Bid b2{1, make_task(2, 0.0, 10.0, 100.0, 1.0)};
+  agent.award(b1, agent.quote(b1));
+  const Quote q2 = agent.quote(b2);
+  agent.award(b2, q2, 90.0);
+  engine.run();
+  agent.settle();
+  const Contract& late = agent.contracts()[1];
+  // Completes at 60 with 50 delay: value fn gives 50 < agreed 90.
+  EXPECT_DOUBLE_EQ(late.settled_price, 50.0);
+}
+
+TEST(Pricing, SecondPriceChargesRunnerUp) {
+  // Two idle sites quote the same completion (price 100 each? No — make
+  // them differ: site 1 is busy so it quotes later/cheaper).
+  MarketConfig config;
+  config.pricing = PricingModel::kSecondPrice;
+  config.sites.push_back(site_config(0, 1));
+  config.sites.push_back(site_config(1, 1));
+  Market market(config);
+
+  // Pre-load site 1 with work via a direct bid so its quote for the probe
+  // is lower (delayed completion).
+  market.engine().schedule_at(0.0, EventPriority::kArrival, [&] {
+    Bid filler{0, make_task(100, 0.0, 40.0, 1000.0, 0.0)};
+    market.sites()[1]->award(filler, market.sites()[1]->quote(filler));
+  });
+
+  Trace trace;
+  Task probe = make_task(1, 1.0, 10.0, 100.0, 1.0);
+  trace.tasks = {probe};
+  market.inject(trace);
+  const MarketStats stats = market.run();
+  EXPECT_EQ(stats.awarded, 1u);
+
+  // Winner: site 0 (idle, full price 100). Runner-up: site 1, completion
+  // ~51 => delay ~40 => price ~60. Second-price contract binds at ~60.
+  const auto& contracts = market.sites()[0]->contracts();
+  ASSERT_EQ(contracts.size(), 1u);
+  EXPECT_NEAR(contracts[0].agreed_price, 60.0, 1.0);
+  EXPECT_LT(contracts[0].settled_price, 100.0);
+}
+
+TEST(Pricing, SecondPriceWithSoleAcceptorUsesOwnQuote) {
+  MarketConfig config;
+  config.pricing = PricingModel::kSecondPrice;
+  config.sites.push_back(site_config(0, 1));
+  Market market(config);
+  Trace trace;
+  trace.tasks = {make_task(1, 0.0, 10.0, 100.0, 1.0)};
+  market.inject(trace);
+  market.run();
+  const auto& contracts = market.sites()[0]->contracts();
+  ASSERT_EQ(contracts.size(), 1u);
+  EXPECT_DOUBLE_EQ(contracts[0].agreed_price, 100.0);
+}
+
+TEST(Pricing, SecondPriceRevenueAtMostBidPrice) {
+  // Economy-wide: second-price settled revenue never exceeds bid-price
+  // revenue on the same trace and sites.
+  auto run = [](PricingModel pricing) {
+    MarketConfig config;
+    config.pricing = pricing;
+    config.sites.push_back(site_config(0, 2));
+    config.sites.push_back(site_config(1, 2));
+    Market market(config);
+    Trace trace;
+    for (TaskId i = 0; i < 60; ++i)
+      trace.tasks.push_back(
+          make_task(i, static_cast<double>(i), 8.0, 80.0, 0.5));
+    market.inject(trace);
+    return market.run().total_revenue;
+  };
+  EXPECT_LE(run(PricingModel::kSecondPrice), run(PricingModel::kBidPrice));
+}
+
+}  // namespace
+}  // namespace mbts

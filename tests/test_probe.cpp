@@ -1,0 +1,71 @@
+#include "sim/probe.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace mbts {
+namespace {
+
+TEST(Probe, SamplesAtInterval) {
+  SimEngine engine;
+  engine.schedule_at(100.0, EventPriority::kControl, [] {});
+  double value = 0.0;
+  PeriodicProbe probe(engine, 10.0, [&] { return value++; });
+  engine.run();
+  // Samples at 10, 20, ..., 100 (the one at 100 sees pending()==0 and
+  // stops the chain).
+  ASSERT_EQ(probe.samples(), 10u);
+  EXPECT_EQ(probe.series().time(0), 10.0);
+  EXPECT_EQ(probe.series().time(9), 100.0);
+  EXPECT_EQ(probe.series().value(3), 3.0);
+}
+
+TEST(Probe, DoesNotKeepEngineAlive) {
+  SimEngine engine;
+  engine.schedule_at(5.0, EventPriority::kControl, [] {});
+  PeriodicProbe probe(engine, 1.0, [] { return 1.0; });
+  const double end = engine.run();
+  // The run ends shortly after the last real event, not at infinity.
+  EXPECT_LE(end, 6.0);
+  EXPECT_TRUE(engine.empty());
+}
+
+TEST(Probe, NoOtherEventsSamplesOnce) {
+  SimEngine engine;
+  PeriodicProbe probe(engine, 2.0, [] { return 7.0; });
+  engine.run();
+  EXPECT_EQ(probe.samples(), 1u);
+}
+
+TEST(Probe, StopCancelsFutureSamples) {
+  SimEngine engine;
+  engine.schedule_at(100.0, EventPriority::kControl, [] {});
+  PeriodicProbe probe(engine, 10.0, [] { return 0.0; });
+  engine.schedule_at(35.0, EventPriority::kControl, [&] { probe.stop(); });
+  engine.run();
+  EXPECT_EQ(probe.samples(), 3u);  // 10, 20, 30
+}
+
+TEST(Probe, SamplerSeesSimulationState) {
+  SimEngine engine;
+  int counter = 0;
+  for (int i = 1; i <= 5; ++i)
+    engine.schedule_at(i * 10.0, EventPriority::kCompletion,
+                       [&counter] { ++counter; });
+  PeriodicProbe probe(engine, 10.0, [&] { return double(counter); });
+  engine.run();
+  // Control probes run after completions at the same instant.
+  ASSERT_GE(probe.samples(), 5u);
+  EXPECT_EQ(probe.series().value(0), 1.0);
+  EXPECT_EQ(probe.series().value(4), 5.0);
+}
+
+TEST(Probe, InvalidConfigThrows) {
+  SimEngine engine;
+  EXPECT_THROW(PeriodicProbe(engine, 0.0, [] { return 0.0; }), CheckError);
+  EXPECT_THROW(PeriodicProbe(engine, 1.0, nullptr), CheckError);
+}
+
+}  // namespace
+}  // namespace mbts

@@ -1,0 +1,70 @@
+#include "cluster/processor_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace mbts {
+namespace {
+
+TEST(ProcessorPool, StartsIdle) {
+  ProcessorPool pool(4);
+  EXPECT_EQ(pool.capacity(), 4u);
+  EXPECT_EQ(pool.busy(), 0u);
+  EXPECT_EQ(pool.free_count(), 4u);
+  EXPECT_TRUE(pool.has_free());
+}
+
+TEST(ProcessorPool, AcquireReleaseRoundTrip) {
+  ProcessorPool pool(2);
+  pool.acquire(0.0);
+  EXPECT_EQ(pool.busy(), 1u);
+  pool.acquire(1.0);
+  EXPECT_EQ(pool.busy(), 2u);
+  EXPECT_FALSE(pool.has_free());
+  pool.release(2.0);
+  EXPECT_EQ(pool.busy(), 1u);
+  EXPECT_TRUE(pool.has_free());
+}
+
+TEST(ProcessorPool, OverAcquireThrows) {
+  ProcessorPool pool(1);
+  pool.acquire(0.0);
+  EXPECT_THROW(pool.acquire(1.0), CheckError);
+}
+
+TEST(ProcessorPool, ReleaseIdleThrows) {
+  ProcessorPool pool(1);
+  EXPECT_THROW(pool.release(0.0), CheckError);
+}
+
+TEST(ProcessorPool, ZeroCapacityRejected) {
+  EXPECT_THROW(ProcessorPool(0), CheckError);
+}
+
+TEST(ProcessorPool, UtilizationBeforeAnyUseIsZero) {
+  ProcessorPool pool(2);
+  EXPECT_EQ(pool.utilization(100.0), 0.0);
+}
+
+TEST(ProcessorPool, UtilizationFullyBusy) {
+  ProcessorPool pool(1);
+  pool.acquire(0.0);
+  EXPECT_DOUBLE_EQ(pool.utilization(10.0), 1.0);
+}
+
+TEST(ProcessorPool, UtilizationHalfBusyHalfTime) {
+  ProcessorPool pool(1);
+  pool.acquire(0.0);
+  pool.release(5.0);
+  EXPECT_DOUBLE_EQ(pool.utilization(10.0), 0.5);
+}
+
+TEST(ProcessorPool, UtilizationAveragesOverProcessors) {
+  ProcessorPool pool(4);
+  pool.acquire(0.0);  // 1 of 4 busy the whole time
+  EXPECT_DOUBLE_EQ(pool.utilization(8.0), 0.25);
+}
+
+}  // namespace
+}  // namespace mbts

@@ -1,0 +1,66 @@
+#include "experiments/series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/csv.hpp"
+
+namespace mbts {
+namespace {
+
+FigureResult sample_figure() {
+  FigureResult figure;
+  figure.id = "figX";
+  figure.title = "sample";
+  figure.xlabel = "x";
+  figure.ylabel = "y";
+  Series a{"alpha", {{1.0, 10.0, 0.1}, {2.0, 20.0, 0.2}}};
+  Series b{"beta", {{1.0, -1.0, 0.0}, {2.0, -2.0, 0.0}}};
+  figure.series = {a, b};
+  return figure;
+}
+
+TEST(ImprovementPct, Basics) {
+  EXPECT_DOUBLE_EQ(improvement_pct(110.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(improvement_pct(90.0, 100.0), -10.0);
+  // Negative baselines normalize by magnitude.
+  EXPECT_DOUBLE_EQ(improvement_pct(50.0, -100.0), 150.0);
+  EXPECT_DOUBLE_EQ(improvement_pct(5.0, 0.0), 0.0);
+}
+
+TEST(PrintFigure, RendersAllSeries) {
+  std::ostringstream out;
+  print_figure(sample_figure(), out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("figX"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("beta"), std::string::npos);
+  EXPECT_NE(text.find("10.00"), std::string::npos);
+  EXPECT_NE(text.find("-2.00"), std::string::npos);
+}
+
+TEST(PrintFigure, MismatchedGridsThrow) {
+  FigureResult figure = sample_figure();
+  figure.series[1].points.pop_back();
+  std::ostringstream out;
+  EXPECT_THROW(print_figure(figure, out), CheckError);
+}
+
+TEST(SaveFigureCsv, LongFormatRoundTrip) {
+  const std::string path = testing::TempDir() + "mbts_figure.csv";
+  save_figure_csv(sample_figure(), path);
+  const CsvDocument doc = read_csv_file(path);
+  EXPECT_EQ(doc.rows.size(), 4u);
+  EXPECT_EQ(doc.header,
+            (std::vector<std::string>{"figure", "series", "x", "y",
+                                      "y_sem"}));
+  EXPECT_EQ(doc.rows[0][doc.column("series")], "alpha");
+  EXPECT_EQ(doc.rows[3][doc.column("y")], "-2");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mbts

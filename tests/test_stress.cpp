@@ -1,0 +1,104 @@
+// Kitchen-sink stress sweep: every extension enabled at once (gang widths,
+// misdeclared runtimes, deadline-cliff value profiles, drop-expired, stale
+// priorities, admission control), swept over policies and loads (TEST_P).
+// Asserts only universal invariants — the point is that no feature
+// combination crashes, wedges, or breaks settlement consistency.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/scheduler.hpp"
+#include "workload/generator.hpp"
+
+namespace mbts {
+namespace {
+
+using Param = std::tuple<std::string /*policy*/, double /*load*/,
+                         bool /*admission*/>;
+
+class EverythingEnabled : public testing::TestWithParam<Param> {};
+
+TEST_P(EverythingEnabled, RunsToCompletionConsistently) {
+  const auto& [policy_text, load, admission] = GetParam();
+
+  WorkloadSpec spec;
+  spec.num_jobs = 400;
+  spec.processors = 8;
+  spec.load_factor = load;
+  spec.runtime = DistSpec::exponential(20.0);
+  spec.runtime.floor = 0.5;
+  spec.width = DistSpec::uniform(1.0, 5.0);
+  spec.estimate_error_sigma = 0.6;
+  spec.cliff_grace = 0.4;
+  spec.penalty = PenaltyModel::kBoundedAtValue;
+  spec.penalty_value_scale = 0.5;
+  spec.decay = {.p_high = 0.2, .skew = 5.0, .low_mean = 0.05, .cv = 0.25,
+                .floor = 1e-4};
+  Xoshiro256 rng(777);
+  const Trace trace = generate_trace(spec, rng);
+
+  SimEngine engine;
+  SchedulerConfig config;
+  config.processors = 8;
+  config.preemption = true;
+  config.discount_rate = 0.02;
+  config.drop_expired = true;
+  config.rescore = RescorePolicy::kAtEnqueue;
+  std::unique_ptr<AdmissionPolicy> admit;
+  if (admission)
+    admit = std::make_unique<SlackAdmission>(SlackAdmissionConfig{0.0, true});
+  else
+    admit = std::make_unique<AcceptAllAdmission>();
+  SiteScheduler site(engine, config,
+                     make_policy(parse_policy_spec(policy_text)),
+                     std::move(admit));
+  site.inject(trace.tasks);
+  engine.run();
+
+  // Drained, every submission dispositioned, settlement self-consistent.
+  EXPECT_TRUE(site.idle());
+  EXPECT_TRUE(engine.empty());
+  const RunStats stats = site.stats();
+  EXPECT_EQ(stats.submitted, trace.size());
+  EXPECT_EQ(stats.accepted + stats.rejected, stats.submitted);
+  EXPECT_EQ(stats.completed + stats.dropped, stats.accepted);
+
+  for (const TaskRecord& r : site.records()) {
+    if (r.outcome == TaskOutcome::kRejected) {
+      EXPECT_EQ(r.realized_yield, 0.0);
+      continue;
+    }
+    ASSERT_TRUE(r.outcome == TaskOutcome::kCompleted ||
+                r.outcome == TaskOutcome::kDropped);
+    if (r.outcome == TaskOutcome::kCompleted) {
+      // Completed tasks ran their *true* runtime after their first start.
+      EXPECT_GE(r.completion + 1e-9, r.first_start + r.task.runtime);
+      EXPECT_NEAR(r.realized_yield, r.task.yield_at_completion(r.completion),
+                  1e-9);
+    } else {
+      // Dropped tasks settled at the penalty floor.
+      EXPECT_NEAR(r.realized_yield, -r.task.value.penalty_bound(), 1e-9);
+    }
+  }
+}
+
+std::string stress_name(const testing::TestParamInfo<Param>& info) {
+  std::string name = std::get<0>(info.param);
+  for (char& c : name)
+    if (c == ':' || c == '.') c = '_';
+  name += std::get<1>(info.param) > 1.0 ? "_over" : "_under";
+  name += std::get<2>(info.param) ? "_gated" : "_open";
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyByLoadByAdmission, EverythingEnabled,
+    testing::Combine(testing::Values("fcfs", "srpt", "swpt", "firstprice",
+                                     "pv", "firstreward:0.3", "random"),
+                     testing::Values(0.8, 1.6),
+                     testing::Bool()),
+    stress_name);
+
+}  // namespace
+}  // namespace mbts

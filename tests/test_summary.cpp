@@ -1,0 +1,111 @@
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace mbts {
+namespace {
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.sem(), 0.0);
+}
+
+TEST(Summary, SingleValue) {
+  Summary s;
+  s.add(7.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 7.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 7.0);
+  EXPECT_EQ(s.max(), 7.0);
+}
+
+TEST(Summary, KnownMeanAndVariance) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum sq dev = 32 => 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Summary, SumMatchesMeanTimesCount) {
+  Summary s;
+  s.add(1.5);
+  s.add(2.5);
+  s.add(3.0);
+  EXPECT_NEAR(s.sum(), 7.0, 1e-12);
+}
+
+TEST(Summary, MinMaxTrack) {
+  Summary s;
+  s.add(3.0);
+  s.add(-2.0);
+  s.add(10.0);
+  EXPECT_EQ(s.min(), -2.0);
+  EXPECT_EQ(s.max(), 10.0);
+}
+
+TEST(Summary, MergeMatchesSequential) {
+  Summary all, a, b;
+  Xoshiro256 rng(77);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-5.0, 5.0);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmptyIsIdentity) {
+  Summary a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), mean);
+  Summary b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.mean(), mean);
+}
+
+TEST(Summary, SemShrinksWithSamples) {
+  Summary small, large;
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10; ++i) small.add(rng.uniform(0.0, 1.0));
+  for (int i = 0; i < 1000; ++i) large.add(rng.uniform(0.0, 1.0));
+  EXPECT_GT(small.sem(), large.sem());
+}
+
+TEST(Summary, NumericallyStableForLargeOffsets) {
+  // Catastrophic cancellation check: values ~1e9 with tiny variance.
+  Summary s;
+  for (int i = 0; i < 1000; ++i)
+    s.add(1e9 + (i % 2 ? 0.5 : -0.5));
+  EXPECT_NEAR(s.variance(), 0.25 * 1000.0 / 999.0, 1e-6);
+}
+
+TEST(Summary, ToStringMentionsFields) {
+  Summary s;
+  s.add(1.0);
+  const std::string str = s.to_string();
+  EXPECT_NE(str.find("n=1"), std::string::npos);
+  EXPECT_NE(str.find("mean="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mbts

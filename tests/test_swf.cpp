@@ -1,0 +1,123 @@
+#include "workload/swf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace mbts {
+namespace {
+
+// 18-field SWF lines: job submit wait runtime procs cpu mem req_procs ...
+const char* kSample =
+    "; Comment header\n"
+    ";  UnixStartTime: 0\n"
+    "\n"
+    "1 0 5 100 4 -1 -1 4 -1 -1 1 1 1 1 -1 -1 -1 -1\n"
+    "2 10 0 50 1 -1 -1 2 -1 -1 1 1 1 1 -1 -1 -1 -1\n"
+    "3 20 3 -1 8 -1 -1 8 -1 -1 0 1 1 1 -1 -1 -1 -1\n"  // failed job
+    "4 30 1 25 16 -1 -1 -1 -1 -1 1 1 1 1 -1 -1 -1 -1\n";
+
+SwfImportOptions default_options() {
+  SwfImportOptions options;
+  options.value_unit.cv = 0.0;
+  options.value_unit.p_high = 0.0;
+  options.value_unit.low_mean = 2.0;
+  return options;
+}
+
+TEST(Swf, ParsesJobsAndSkipsCommentsAndFailures) {
+  std::istringstream in(kSample);
+  Xoshiro256 rng(1);
+  const Trace trace = load_swf(in, default_options(), rng);
+  ASSERT_EQ(trace.size(), 3u);  // job 3 dropped (runtime -1)
+  EXPECT_EQ(trace.tasks[0].arrival, 0.0);
+  EXPECT_EQ(trace.tasks[0].runtime, 100.0);
+  EXPECT_EQ(trace.tasks[1].arrival, 10.0);
+  EXPECT_EQ(trace.tasks[1].runtime, 50.0);
+}
+
+TEST(Swf, PrefersRequestedProcessors) {
+  std::istringstream in(kSample);
+  Xoshiro256 rng(1);
+  const Trace trace = load_swf(in, default_options(), rng);
+  EXPECT_EQ(trace.tasks[0].width, 4u);
+  EXPECT_EQ(trace.tasks[1].width, 2u);   // requested (field 8) over used (5)
+  EXPECT_EQ(trace.tasks[2].width, 16u);  // field 8 is -1 => use field 5
+}
+
+TEST(Swf, MaxWidthClamps) {
+  std::istringstream in(kSample);
+  Xoshiro256 rng(1);
+  SwfImportOptions options = default_options();
+  options.max_width = 8;
+  const Trace trace = load_swf(in, options, rng);
+  EXPECT_EQ(trace.tasks[2].width, 8u);
+}
+
+TEST(Swf, ValuesSynthesizedFromModel) {
+  std::istringstream in(kSample);
+  Xoshiro256 rng(1);
+  const Trace trace = load_swf(in, default_options(), rng);
+  // cv 0, unit 2: value = 2 * runtime * width exactly.
+  EXPECT_NEAR(trace.tasks[0].value.max_value(), 2.0 * 100.0 * 4.0, 1e-9);
+  EXPECT_FALSE(trace.tasks[0].value.bounded());
+}
+
+TEST(Swf, PenaltyModelRespected) {
+  std::istringstream in(kSample);
+  Xoshiro256 rng(1);
+  SwfImportOptions options = default_options();
+  options.penalty = PenaltyModel::kBoundedAtZero;
+  const Trace trace = load_swf(in, options, rng);
+  for (const Task& t : trace.tasks)
+    EXPECT_EQ(t.value.penalty_bound(), 0.0);
+}
+
+TEST(Swf, LimitTruncates) {
+  std::istringstream in(kSample);
+  Xoshiro256 rng(1);
+  SwfImportOptions options = default_options();
+  options.limit = 2;
+  EXPECT_EQ(load_swf(in, options, rng).size(), 2u);
+}
+
+TEST(Swf, OutOfOrderSubmitsAreSorted) {
+  std::istringstream in(
+      "2 50 0 10 1 -1 -1 1 -1 -1 1 1 1 1 -1 -1 -1 -1\n"
+      "1 5 0 10 1 -1 -1 1 -1 -1 1 1 1 1 -1 -1 -1 -1\n");
+  Xoshiro256 rng(1);
+  const Trace trace = load_swf(in, default_options(), rng);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.tasks[0].arrival, 5.0);
+  EXPECT_EQ(trace.tasks[1].arrival, 50.0);
+  EXPECT_TRUE(validate_trace(trace).empty());
+}
+
+TEST(Swf, ShortLineThrows) {
+  std::istringstream in("1 0 5\n");
+  Xoshiro256 rng(1);
+  SwfImportOptions options = default_options();
+  EXPECT_THROW(load_swf(in, options, rng), CheckError);
+}
+
+TEST(Swf, MissingFileThrows) {
+  Xoshiro256 rng(1);
+  SwfImportOptions options = default_options();
+  EXPECT_THROW(load_swf_file("/no/such/file.swf", options, rng), CheckError);
+}
+
+TEST(Swf, DeterministicForSameSeed) {
+  std::istringstream in1(kSample), in2(kSample);
+  Xoshiro256 r1(9), r2(9);
+  SwfImportOptions options;
+  const Trace a = load_swf(in1, options, r1);
+  const Trace b = load_swf(in2, options, r2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a.tasks[i].value, b.tasks[i].value);
+}
+
+}  // namespace
+}  // namespace mbts

@@ -1,0 +1,63 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace mbts {
+namespace {
+
+TEST(ConsoleTable, RendersHeaderAndRule) {
+  ConsoleTable table({"name", "value"});
+  table.row({"x", "1"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_NE(out.find("x"), std::string::npos);
+}
+
+TEST(ConsoleTable, ColumnsPadToWidestCell) {
+  ConsoleTable table({"a", "b"});
+  table.row({"longvalue", "1"});
+  table.row({"s", "2"});
+  const std::string out = table.render();
+  // Both rows should place column b at the same offset.
+  const auto lines = [&] {
+    std::vector<std::string> ls;
+    std::size_t pos = 0;
+    while (pos < out.size()) {
+      const auto nl = out.find('\n', pos);
+      ls.push_back(out.substr(pos, nl - pos));
+      pos = nl + 1;
+    }
+    return ls;
+  }();
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_EQ(lines[2].find('1'), lines[3].find('2'));
+}
+
+TEST(ConsoleTable, RowWidthMismatchThrows) {
+  ConsoleTable table({"a", "b"});
+  EXPECT_THROW(table.row({"only"}), CheckError);
+}
+
+TEST(ConsoleTable, NumFormatsPrecision) {
+  EXPECT_EQ(ConsoleTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(ConsoleTable::num(-1.5, 0), "-2");  // round-half-even via printf
+  EXPECT_EQ(ConsoleTable::num(100.0, 1), "100.0");
+}
+
+TEST(ConsoleTable, SizeCountsRows) {
+  ConsoleTable table({"a"});
+  EXPECT_EQ(table.size(), 0u);
+  table.row({"1"});
+  table.row({"2"});
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(ConsoleTable, EmptyHeaderThrows) {
+  EXPECT_THROW(ConsoleTable({}), CheckError);
+}
+
+}  // namespace
+}  // namespace mbts

@@ -1,0 +1,102 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace mbts {
+namespace {
+
+TEST(ThreadPool, DefaultUsesAtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, SubmitReturnsResult) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesException) {
+  ThreadPool pool(2);
+  auto future = pool.submit([]() -> int {
+    throw std::runtime_error("boom");
+  });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManyTasksAllExecute) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i)
+    futures.push_back(pool.submit([&count] { ++count; }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIterations) {
+  ThreadPool pool(2);
+  EXPECT_NO_THROW(pool.parallel_for(0, [](std::size_t) {
+    FAIL() << "should not run";
+  }));
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstError) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [](std::size_t i) {
+                                   if (i == 3)
+                                     throw std::runtime_error("bad index");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForRunsRemainingAfterError) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  try {
+    pool.parallel_for(20, [&](std::size_t i) {
+      if (i == 0) throw std::runtime_error("first fails");
+      ++done;
+    });
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(done.load(), 19);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) pool.submit([&count] { ++count; });
+    // Destructor joins; all queued work must have run.
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, SingleThreadPoolIsSequentialSafe) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 10; ++i)
+    futures.push_back(pool.submit([&order, i] { order.push_back(i); }));
+  for (auto& f : futures) f.get();
+  std::vector<int> expect(10);
+  std::iota(expect.begin(), expect.end(), 0);
+  EXPECT_EQ(order, expect);
+}
+
+}  // namespace
+}  // namespace mbts

@@ -1,0 +1,95 @@
+#include "stats/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace mbts {
+namespace {
+
+TEST(TimeWeighted, EmptyAverageIsZero) {
+  TimeWeighted tw;
+  EXPECT_TRUE(tw.empty());
+  EXPECT_EQ(tw.average(10.0), 0.0);
+}
+
+TEST(TimeWeighted, ConstantSignal) {
+  TimeWeighted tw;
+  tw.set(0.0, 5.0);
+  EXPECT_DOUBLE_EQ(tw.average(10.0), 5.0);
+}
+
+TEST(TimeWeighted, PiecewiseConstant) {
+  TimeWeighted tw;
+  tw.set(0.0, 0.0);
+  tw.set(5.0, 10.0);  // 0 for 5 units, then 10 for 5 units
+  EXPECT_DOUBLE_EQ(tw.average(10.0), 5.0);
+}
+
+TEST(TimeWeighted, WeightsByDuration) {
+  TimeWeighted tw;
+  tw.set(0.0, 1.0);
+  tw.set(9.0, 11.0);  // 1 for 9 units, 11 for 1 unit => avg 2
+  EXPECT_DOUBLE_EQ(tw.average(10.0), 2.0);
+}
+
+TEST(TimeWeighted, StartsAtFirstSample) {
+  TimeWeighted tw;
+  tw.set(100.0, 4.0);
+  EXPECT_DOUBLE_EQ(tw.average(110.0), 4.0);
+  EXPECT_EQ(tw.start_time(), 100.0);
+}
+
+TEST(TimeWeighted, ZeroElapsedIsZero) {
+  TimeWeighted tw;
+  tw.set(5.0, 3.0);
+  EXPECT_EQ(tw.average(5.0), 0.0);
+}
+
+TEST(TimeWeighted, RepeatedSameTimeUpdates) {
+  TimeWeighted tw;
+  tw.set(0.0, 1.0);
+  tw.set(0.0, 9.0);  // instant change: no area from the first value
+  EXPECT_DOUBLE_EQ(tw.average(1.0), 9.0);
+}
+
+TEST(TimeWeighted, OutOfOrderThrows) {
+  TimeWeighted tw;
+  tw.set(5.0, 1.0);
+  EXPECT_THROW(tw.set(4.0, 2.0), CheckError);
+}
+
+TEST(TimeWeighted, CurrentReflectsLastSet) {
+  TimeWeighted tw;
+  tw.set(0.0, 2.0);
+  tw.set(1.0, 7.0);
+  EXPECT_EQ(tw.current(), 7.0);
+}
+
+TEST(SampledSeries, StoresPointsInOrder) {
+  SampledSeries series;
+  series.add(1.0, 10.0);
+  series.add(2.0, 20.0);
+  EXPECT_EQ(series.size(), 2u);
+  EXPECT_EQ(series.time(1), 2.0);
+  EXPECT_EQ(series.value(1), 20.0);
+}
+
+TEST(SampledSeries, RejectsOutOfOrder) {
+  SampledSeries series;
+  series.add(5.0, 1.0);
+  EXPECT_THROW(series.add(4.0, 1.0), CheckError);
+}
+
+TEST(SampledSeries, SumInHalfOpenWindow) {
+  SampledSeries series;
+  series.add(0.0, 1.0);
+  series.add(1.0, 2.0);
+  series.add(2.0, 4.0);
+  EXPECT_DOUBLE_EQ(series.sum_in(0.0, 2.0), 3.0);  // excludes t=2
+  EXPECT_DOUBLE_EQ(series.sum_in(0.0, 2.5), 7.0);
+  EXPECT_DOUBLE_EQ(series.sum_in(3.0, 4.0), 0.0);
+}
+
+}  // namespace
+}  // namespace mbts

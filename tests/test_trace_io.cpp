@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/check.hpp"
+#include "workload/generator.hpp"
+#include "workload/trace.hpp"
+
+namespace mbts {
+namespace {
+
+Trace sample_trace() {
+  Trace trace;
+  trace.description = "hand-built";
+  Task a;
+  a.id = 0;
+  a.arrival = 0.0;
+  a.runtime = 10.0;
+  a.value = ValueFunction::bounded_at_zero(100.0, 0.5);
+  Task b;
+  b.id = 1;
+  b.arrival = 5.0;
+  b.runtime = 20.0;
+  b.value = ValueFunction::unbounded(50.0, 1.5);
+  Task c;
+  c.id = 2;
+  c.arrival = 5.0;
+  c.runtime = 1.0;
+  c.value = ValueFunction(30.0, 0.25, 12.5);
+  trace.tasks = {a, b, c};
+  return trace;
+}
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+  const std::string path = testing::TempDir() + "mbts_trace_roundtrip.csv";
+  const Trace original = sample_trace();
+  save_trace_csv(original, path);
+  const Trace loaded = load_trace_csv(path);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded.tasks[i].id, original.tasks[i].id);
+    EXPECT_EQ(loaded.tasks[i].arrival, original.tasks[i].arrival);
+    EXPECT_EQ(loaded.tasks[i].runtime, original.tasks[i].runtime);
+    EXPECT_EQ(loaded.tasks[i].value, original.tasks[i].value);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, UnboundedSerializesAsInf) {
+  const std::string path = testing::TempDir() + "mbts_trace_inf.csv";
+  save_trace_csv(sample_trace(), path);
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find(",inf"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, GeneratedTraceRoundTrips) {
+  const std::string path = testing::TempDir() + "mbts_trace_gen.csv";
+  WorkloadSpec spec;
+  spec.num_jobs = 200;
+  Xoshiro256 rng(5);
+  const Trace original = generate_trace(spec, rng);
+  save_trace_csv(original, path);
+  const Trace loaded = load_trace_csv(path);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); i += 17) {
+    EXPECT_DOUBLE_EQ(loaded.tasks[i].arrival, original.tasks[i].arrival);
+    EXPECT_DOUBLE_EQ(loaded.tasks[i].value.decay(),
+                     original.tasks[i].value.decay());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceStats, ComputesAggregates) {
+  const Trace trace = sample_trace();
+  const TraceStats stats = compute_stats(trace, 2);
+  EXPECT_EQ(stats.jobs, 3u);
+  EXPECT_DOUBLE_EQ(stats.span, 5.0);
+  EXPECT_DOUBLE_EQ(stats.total_work, 31.0);
+  EXPECT_DOUBLE_EQ(stats.total_value, 180.0);
+  EXPECT_DOUBLE_EQ(stats.mean_runtime, 31.0 / 3.0);
+  // offered load: 31 work over span 5 with 2 processors.
+  EXPECT_DOUBLE_EQ(stats.offered_load, 31.0 / 10.0);
+}
+
+TEST(TraceStats, EmptyTrace) {
+  const TraceStats stats = compute_stats(Trace{}, 4);
+  EXPECT_EQ(stats.jobs, 0u);
+  EXPECT_EQ(stats.offered_load, 0.0);
+}
+
+TEST(TraceValidate, DetectsUnsortedArrivals) {
+  Trace trace = sample_trace();
+  std::swap(trace.tasks[0], trace.tasks[1]);
+  EXPECT_FALSE(validate_trace(trace).empty());
+}
+
+TEST(TraceValidate, DetectsBadTask) {
+  Trace trace = sample_trace();
+  trace.tasks[1].runtime = -3.0;
+  EXPECT_FALSE(validate_trace(trace).empty());
+}
+
+TEST(TraceIo, LoadRejectsInvalidTrace) {
+  const std::string path = testing::TempDir() + "mbts_trace_bad.csv";
+  {
+    std::ofstream out(path);
+    out << "id,arrival,runtime,value,decay,bound\n";
+    out << "0,10,5,100,1,0\n";
+    out << "1,5,5,100,1,0\n";  // arrival goes backwards
+  }
+  EXPECT_THROW(load_trace_csv(path), CheckError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mbts

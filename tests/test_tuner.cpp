@@ -1,0 +1,58 @@
+#include "experiments/tuner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace mbts {
+namespace {
+
+ExperimentOptions tiny() {
+  ExperimentOptions options;
+  options.num_jobs = 300;
+  options.replications = 1;
+  options.seed = 42;
+  options.threads = 1;
+  return options;
+}
+
+TEST(Tuner, GridIsFullyEvaluated) {
+  TuneGrid grid;
+  grid.alphas = {0.0, 0.5};
+  grid.thresholds = {0.0, 200.0};
+  const TuneResult result = tune_first_reward(tiny(), 1.5, grid);
+  ASSERT_EQ(result.grid.size(), 4u);
+  // Row-major order: alpha varies slowest.
+  EXPECT_EQ(result.grid[0].alpha, 0.0);
+  EXPECT_EQ(result.grid[0].threshold, 0.0);
+  EXPECT_EQ(result.grid[3].alpha, 0.5);
+  EXPECT_EQ(result.grid[3].threshold, 200.0);
+}
+
+TEST(Tuner, BestIsGridMaximum) {
+  TuneGrid grid;
+  grid.alphas = {0.0, 0.4, 0.8};
+  grid.thresholds = {-100.0, 100.0, 400.0};
+  const TuneResult result = tune_first_reward(tiny(), 2.0, grid);
+  double max_rate = -1e300;
+  for (const TunePoint& p : result.grid)
+    max_rate = std::max(max_rate, p.yield_rate);
+  EXPECT_EQ(result.best.yield_rate, max_rate);
+}
+
+TEST(Tuner, AdmissionBeatsNoAdmissionUnderOverload) {
+  TuneGrid grid;
+  grid.alphas = {0.2};
+  grid.thresholds = {0.0, 100.0, 300.0};
+  const TuneResult result = tune_first_reward(tiny(), 2.5, grid);
+  EXPECT_GT(result.best.yield_rate, result.no_admission_rate);
+}
+
+TEST(Tuner, EmptyGridRejected) {
+  TuneGrid grid;
+  grid.alphas = {};
+  EXPECT_THROW(tune_first_reward(tiny(), 1.0, grid), CheckError);
+}
+
+}  // namespace
+}  // namespace mbts

@@ -1,0 +1,146 @@
+#include "core/value_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/task.hpp"
+#include "util/check.hpp"
+
+namespace mbts {
+namespace {
+
+TEST(ValueFunction, FullValueAtZeroDelay) {
+  const ValueFunction vf(100.0, 2.0, kInf);
+  EXPECT_EQ(vf.yield_at_delay(0.0), 100.0);
+}
+
+TEST(ValueFunction, NegativeDelayClampsToMax) {
+  const ValueFunction vf(100.0, 2.0, kInf);
+  EXPECT_EQ(vf.yield_at_delay(-5.0), 100.0);
+}
+
+TEST(ValueFunction, LinearDecay) {
+  const ValueFunction vf(100.0, 2.0, kInf);
+  EXPECT_EQ(vf.yield_at_delay(10.0), 80.0);
+  EXPECT_EQ(vf.yield_at_delay(50.0), 0.0);
+  EXPECT_EQ(vf.yield_at_delay(60.0), -20.0);
+}
+
+TEST(ValueFunction, BoundedAtZeroFloors) {
+  const ValueFunction vf = ValueFunction::bounded_at_zero(100.0, 2.0);
+  EXPECT_EQ(vf.yield_at_delay(50.0), 0.0);
+  EXPECT_EQ(vf.yield_at_delay(1000.0), 0.0);
+  EXPECT_TRUE(vf.bounded());
+}
+
+TEST(ValueFunction, GeneralPenaltyBound) {
+  const ValueFunction vf(100.0, 2.0, 30.0);
+  EXPECT_EQ(vf.yield_at_delay(65.0), -30.0);   // exactly at the bound
+  EXPECT_EQ(vf.yield_at_delay(1000.0), -30.0); // floored
+  EXPECT_EQ(vf.yield_at_delay(60.0), -20.0);   // above the floor
+}
+
+TEST(ValueFunction, UnboundedNeverFloors) {
+  const ValueFunction vf = ValueFunction::unbounded(100.0, 2.0);
+  EXPECT_FALSE(vf.bounded());
+  EXPECT_EQ(vf.yield_at_delay(10000.0), 100.0 - 2.0 * 10000.0);
+}
+
+TEST(ValueFunction, DelayToZero) {
+  EXPECT_EQ(ValueFunction(100.0, 2.0, kInf).delay_to_zero(), 50.0);
+  EXPECT_EQ(ValueFunction(100.0, 0.0, kInf).delay_to_zero(), kInf);
+}
+
+TEST(ValueFunction, DelayToExpire) {
+  EXPECT_EQ(ValueFunction(100.0, 2.0, 30.0).delay_to_expire(), 65.0);
+  EXPECT_EQ(ValueFunction::bounded_at_zero(100.0, 2.0).delay_to_expire(),
+            50.0);
+  EXPECT_EQ(ValueFunction::unbounded(100.0, 2.0).delay_to_expire(), kInf);
+  // A zero-decay function never decays, i.e. it has "stopped decaying"
+  // from the start — expired immediately but pinned at its full value.
+  EXPECT_EQ(ValueFunction(100.0, 0.0, 30.0).delay_to_expire(), 0.0);
+  EXPECT_EQ(ValueFunction(100.0, 0.0, 30.0).yield_at_delay(1e9), 100.0);
+}
+
+TEST(ValueFunction, ExpiredAtDelay) {
+  const ValueFunction vf = ValueFunction::bounded_at_zero(100.0, 2.0);
+  EXPECT_FALSE(vf.expired_at_delay(49.9));
+  EXPECT_TRUE(vf.expired_at_delay(50.0));
+  EXPECT_FALSE(ValueFunction::unbounded(100.0, 2.0).expired_at_delay(1e9));
+}
+
+TEST(ValueFunction, ZeroDecayNeverDecays) {
+  const ValueFunction vf(42.0, 0.0, kInf);
+  EXPECT_EQ(vf.yield_at_delay(1e12), 42.0);
+}
+
+TEST(ValueFunction, NegativeDecayRejected) {
+  EXPECT_THROW(ValueFunction(10.0, -1.0, kInf), CheckError);
+}
+
+TEST(ValueFunction, NegativeBoundRejected) {
+  EXPECT_THROW(ValueFunction(10.0, 1.0, -5.0), CheckError);
+}
+
+TEST(ValueFunction, EqualityAndToString) {
+  const ValueFunction a(10.0, 1.0, 0.0);
+  const ValueFunction b(10.0, 1.0, 0.0);
+  const ValueFunction c(10.0, 1.0, kInf);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a.to_string().find("value=10"), std::string::npos);
+  EXPECT_NE(c.to_string().find("inf"), std::string::npos);
+}
+
+// -- Task-level value semantics (Eq. 1 + Eq. 2) -----------------------------
+
+Task make_task(double arrival, double runtime, ValueFunction vf) {
+  Task t;
+  t.id = 1;
+  t.arrival = arrival;
+  t.runtime = runtime;
+  t.value = vf;
+  return t;
+}
+
+TEST(TaskValue, NoDelayWhenCompletingAtEarliest) {
+  const Task t = make_task(10.0, 5.0, ValueFunction::unbounded(100.0, 2.0));
+  EXPECT_EQ(t.delay_at_completion(15.0), 0.0);
+  EXPECT_EQ(t.yield_at_completion(15.0), 100.0);
+}
+
+TEST(TaskValue, DelayMeasuredBeyondEarliestCompletion) {
+  const Task t = make_task(10.0, 5.0, ValueFunction::unbounded(100.0, 2.0));
+  EXPECT_EQ(t.delay_at_completion(25.0), 10.0);
+  EXPECT_EQ(t.yield_at_completion(25.0), 80.0);
+}
+
+TEST(TaskValue, EarlyCompletionClampsToZeroDelay) {
+  const Task t = make_task(10.0, 5.0, ValueFunction::unbounded(100.0, 2.0));
+  EXPECT_EQ(t.delay_at_completion(12.0), 0.0);
+  EXPECT_EQ(t.yield_at_completion(12.0), 100.0);
+}
+
+TEST(TaskValue, ExpireAndZeroTimes) {
+  const Task t =
+      make_task(10.0, 5.0, ValueFunction::bounded_at_zero(100.0, 2.0));
+  EXPECT_EQ(t.zero_value_time(), 10.0 + 5.0 + 50.0);
+  EXPECT_EQ(t.expire_time(), 10.0 + 5.0 + 50.0);
+  const Task u = make_task(10.0, 5.0, ValueFunction::unbounded(100.0, 2.0));
+  EXPECT_EQ(u.expire_time(), kInf);
+}
+
+TEST(TaskValue, ValidateTaskCatchesBadFields) {
+  Task t = make_task(0.0, 10.0, ValueFunction::unbounded(10.0, 1.0));
+  EXPECT_TRUE(validate_task(t).empty());
+  t.runtime = 0.0;
+  EXPECT_FALSE(validate_task(t).empty());
+  t.runtime = 10.0;
+  t.arrival = -1.0;
+  EXPECT_FALSE(validate_task(t).empty());
+  t.arrival = 0.0;
+  t.id = kInvalidTask;
+  EXPECT_FALSE(validate_task(t).empty());
+}
+
+}  // namespace
+}  // namespace mbts

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Render the bench CSVs (bench_out/*.csv) as PNG line charts.
+
+The bench binaries emit long-format CSVs: figure,series,x,y,y_sem. This
+script draws one chart per CSV with error bars from the replication SEM.
+Requires matplotlib; the C++ build has no plotting dependency.
+
+Usage:
+    python3 tools/plot_figures.py [bench_out] [output_dir]
+"""
+
+import csv
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+
+def load_series(path: Path):
+    """Returns {series_label: (xs, ys, sems)} and the figure id."""
+    series = defaultdict(lambda: ([], [], []))
+    figure_id = path.stem
+    with path.open() as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or "series" not in reader.fieldnames:
+            return figure_id, {}
+        for row in reader:
+            figure_id = row.get("figure", figure_id)
+            xs, ys, sems = series[row["series"]]
+            xs.append(float(row["x"]))
+            ys.append(float(row["y"]))
+            sems.append(float(row.get("y_sem", 0.0) or 0.0))
+    return figure_id, series
+
+
+def plot(path: Path, out_dir: Path, plt) -> bool:
+    figure_id, series = load_series(path)
+    if not series:
+        return False
+    fig, ax = plt.subplots(figsize=(7, 4.5))
+    for label, (xs, ys, sems) in sorted(series.items()):
+        order = sorted(range(len(xs)), key=lambda i: xs[i])
+        xs = [xs[i] for i in order]
+        ys = [ys[i] for i in order]
+        sems = [sems[i] for i in order]
+        ax.errorbar(xs, ys, yerr=sems, marker="o", markersize=3,
+                    capsize=2, linewidth=1.2, label=label)
+    ax.set_title(figure_id)
+    ax.grid(True, alpha=0.3)
+    ax.legend(fontsize=7)
+    if figure_id.startswith("fig3") or "yield_basis" in figure_id:
+        ax.set_xscale("log")
+    out = out_dir / f"{path.stem}.png"
+    fig.tight_layout()
+    fig.savefig(out, dpi=130)
+    plt.close(fig)
+    print(f"wrote {out}")
+    return True
+
+
+def main() -> int:
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib is required: pip install matplotlib",
+              file=sys.stderr)
+        return 1
+
+    src = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("bench_out")
+    out_dir = Path(sys.argv[2]) if len(sys.argv) > 2 else src / "plots"
+    if not src.is_dir():
+        print(f"no such directory: {src}", file=sys.stderr)
+        return 1
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    plotted = sum(plot(p, out_dir, plt) for p in sorted(src.glob("*.csv")))
+    print(f"{plotted} charts rendered to {out_dir}")
+    return 0 if plotted else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
