@@ -46,6 +46,58 @@ void BM_ScheduleCancelHalf(benchmark::State& state) {
 }
 BENCHMARK(BM_ScheduleCancelHalf)->Range(1 << 10, 1 << 16);
 
+// Production-scale churn: 90% of scheduled events are cancelled before they
+// fire (the completion-event pattern of a heavily preempting site). The
+// tombstone ratio repeatedly crosses the lazy-compaction threshold, so this
+// measures the sweep itself plus the top-of-heap skimming it bounds.
+void BM_CancelHeavyChurn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  mbts::Xoshiro256 rng(13);
+  std::vector<double> times(n);
+  for (auto& t : times) t = rng.uniform(0.0, 1e6);
+  for (auto _ : state) {
+    mbts::SimEngine engine;
+    std::uint64_t fired = 0;
+    std::vector<mbts::EventId> ids;
+    ids.reserve(n);
+    for (double t : times)
+      ids.push_back(engine.schedule_at(t, mbts::EventPriority::kCompletion,
+                                       [&fired] { ++fired; }));
+    for (std::size_t i = 0; i < n; ++i)
+      if (i % 10 != 0) engine.cancel(ids[i]);
+    engine.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_CancelHeavyChurn)->Arg(1000)->Arg(10000);
+
+// Bounded-horizon drains: the probe/market pattern of advancing the clock in
+// run_until strides. Half the events are cancelled so tombstones routinely
+// sit at the heap top when the horizon check runs — the exact shape of the
+// run_until time-travel bug this engine guards against.
+void BM_RunUntilStrided(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  mbts::Xoshiro256 rng(29);
+  std::vector<double> times(n);
+  for (auto& t : times) t = rng.uniform(0.0, 1e6);
+  for (auto _ : state) {
+    mbts::SimEngine engine;
+    std::uint64_t fired = 0;
+    std::vector<mbts::EventId> ids;
+    ids.reserve(n);
+    for (double t : times)
+      ids.push_back(engine.schedule_at(t, mbts::EventPriority::kControl,
+                                       [&fired] { ++fired; }));
+    for (std::size_t i = 0; i < n; i += 2) engine.cancel(ids[i]);
+    for (int step = 1; step <= 100; ++step)
+      engine.run_until(1e6 * step / 100.0);
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_RunUntilStrided)->Arg(1000)->Arg(10000);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -20,34 +20,46 @@ AdmissionDecision project_candidate(const Task& candidate,
 
   // Pending tasks arrive already sorted by priority (descending). The
   // candidate slots in front of the first strictly-lower-priority task;
-  // ties resolve behind existing tasks (they arrived earlier).
+  // ties resolve behind existing tasks (they arrived earlier). The caller
+  // may hand us the scores it sorted by; otherwise recompute them.
   std::size_t position = ctx.pending_sorted.size();
-  for (std::size_t i = 0; i < ctx.pending_sorted.size(); ++i) {
-    const double p = ctx.policy->priority(*ctx.pending_sorted[i],
-                                          ctx.pending_rpt[i], *ctx.mix);
-    if (cand_priority > p) {
-      position = i;
-      break;
+  if (!ctx.pending_scores.empty()) {
+    MBTS_DCHECK(ctx.pending_scores.size() == ctx.pending_sorted.size());
+    for (std::size_t i = 0; i < ctx.pending_scores.size(); ++i) {
+      if (cand_priority > ctx.pending_scores[i]) {
+        position = i;
+        break;
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < ctx.pending_sorted.size(); ++i) {
+      const double p = ctx.policy->priority(*ctx.pending_sorted[i],
+                                            ctx.pending_rpt[i], *ctx.mix);
+      if (cand_priority > p) {
+        position = i;
+        break;
+      }
     }
   }
 
-  std::vector<PendingItem> ordered;
-  ordered.reserve(ctx.pending_sorted.size() + 1);
-  for (std::size_t i = 0; i < ctx.pending_sorted.size(); ++i) {
-    if (i == position)
-      ordered.push_back(
-          {candidate.id, candidate.estimate(), candidate.width});
+  // completion_of only schedules items [0, position], so the tasks ranked
+  // behind the candidate never enter the projection at all.
+  std::vector<PendingItem> local;
+  std::vector<PendingItem>& ordered =
+      ctx.projection_scratch != nullptr ? *ctx.projection_scratch : local;
+  ordered.clear();
+  ordered.reserve(position + 1);
+  for (std::size_t i = 0; i < position; ++i)
     ordered.push_back({ctx.pending_sorted[i]->id, ctx.pending_rpt[i],
                        ctx.pending_sorted[i]->width});
-  }
-  if (position == ctx.pending_sorted.size())
-    ordered.push_back(
-        {candidate.id, candidate.estimate(), candidate.width});
+  ordered.push_back({candidate.id, candidate.estimate(), candidate.width});
 
   AdmissionDecision decision;
   decision.queue_position = position;
-  decision.expected_completion =
-      completion_of(ctx.proc_free, ordered, position);
+  std::vector<double> local_heap;
+  decision.expected_completion = completion_of(
+      ctx.proc_free, ordered, position,
+      ctx.heap_scratch != nullptr ? *ctx.heap_scratch : local_heap);
   decision.expected_yield =
       candidate.yield_at_completion(decision.expected_completion);
   return decision;
@@ -56,13 +68,22 @@ AdmissionDecision project_candidate(const Task& candidate,
 double admission_cost(const Task& candidate, const AdmissionContext& ctx,
                       std::size_t position, bool literal_eq8) {
   // Eq. 8: impact on the tasks behind the candidate in the pending order.
+  // The caller may pass each task's live decay rate along (the scheduler's
+  // mix cache holds exactly decay_at_delay at now); recompute otherwise.
+  const bool have_decay = !ctx.pending_decay.empty();
+  MBTS_DCHECK(!have_decay ||
+              ctx.pending_decay.size() == ctx.pending_sorted.size());
   double cost = 0.0;
   for (std::size_t i = position; i < ctx.pending_sorted.size(); ++i) {
     const Task& behind = *ctx.pending_sorted[i];
     const double window =
         literal_eq8 ? behind.estimate() : candidate.estimate();
     const double rate =
-        behind.value.decay_at_delay(behind.delay_at_completion(ctx.now));
+        have_decay
+            ? ctx.pending_decay[i]
+            : behind.value.decay_at_delay(behind.delay_at_completion(ctx.now));
+    MBTS_DCHECK(rate ==
+                behind.value.decay_at_delay(behind.delay_at_completion(ctx.now)));
     cost += rate * window;
   }
   return cost;

@@ -16,6 +16,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "core/mix.hpp"
 #include "core/policy.hpp"
@@ -28,6 +29,19 @@ namespace mbts {
 /// bid time. `pending_sorted`/`pending_rpt` are the queued tasks in policy
 /// priority order (highest first); `proc_free` is each processor's expected
 /// next free time. `mix` includes the candidate task itself.
+///
+/// When the admission policy declares reads_ranked_suffix() == false, the
+/// scheduler may truncate the pending spans to the prefix that outranks the
+/// candidate: the projection then ranks the candidate at the end of the
+/// span, which is exactly its queue position in the full order.
+///
+/// `pending_scores` and `pending_decay` are optional caches aligned with
+/// `pending_sorted`: the policy priority each task was sorted by, and its
+/// live decay rate at `now` (from the scheduler's mix cache). When present
+/// they spare the projection an O(n) rescore/decay rescan per bid; when
+/// empty (standalone callers) the projection recomputes both — the policy's
+/// priority and the value function's decay are pure in their arguments, so
+/// the two paths are bit-identical.
 struct AdmissionContext {
   SimTime now = 0.0;
   const MixView* mix = nullptr;
@@ -35,6 +49,13 @@ struct AdmissionContext {
   std::span<const double> proc_free;
   std::span<const Task* const> pending_sorted;
   std::span<const double> pending_rpt;
+  std::span<const double> pending_scores;
+  std::span<const double> pending_decay;
+  /// Optional reusable buffers for the candidate-schedule projection; the
+  /// scheduler points these at per-site scratch vectors so the quote path
+  /// allocates nothing in steady state.
+  std::vector<PendingItem>* projection_scratch = nullptr;
+  std::vector<double>* heap_scratch = nullptr;
 };
 
 /// Outcome of evaluating one bid. Expected fields are filled even on
@@ -56,6 +77,12 @@ class AdmissionPolicy {
   virtual std::string name() const = 0;
   virtual AdmissionDecision evaluate(const Task& candidate,
                                      const AdmissionContext& ctx) const = 0;
+  /// True when evaluate() inspects the tasks ranked *behind* the candidate
+  /// (e.g. the Eq. 8 cost sum over the suffix). When false, the scheduler
+  /// may hand evaluate() a context whose entries below the candidate's rank
+  /// are unsorted (the prefix that feeds the projection is always in
+  /// priority order) — and may omit pending_decay entirely.
+  virtual bool reads_ranked_suffix() const { return true; }
 };
 
 /// Accepts every bid (the §5 regime: the scheduler must run all tasks).
@@ -65,6 +92,7 @@ class AcceptAllAdmission final : public AdmissionPolicy {
   std::string name() const override { return "AcceptAll"; }
   AdmissionDecision evaluate(const Task& candidate,
                              const AdmissionContext& ctx) const override;
+  bool reads_ranked_suffix() const override { return false; }
 };
 
 struct SlackAdmissionConfig {

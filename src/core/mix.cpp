@@ -1,19 +1,220 @@
 #include "core/mix.hpp"
 
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
 namespace mbts {
 
 void MixTracker::rebuild(SimTime now, std::vector<CompetitorInfo> infos,
                          bool any_bounded) {
-  storage_ = std::move(infos);
+  // Bulk snapshot: replaces all incremental registrations (their slots and
+  // breakpoints are discarded; tasks must be re-add()ed to resume
+  // incremental maintenance).
+  competitors_ = std::move(infos);
+  entries_.assign(competitors_.size(), Entry{});
+  free_slots_.clear();
+  breakpoints_ = {};
+  live_ = competitors_.size();
+  finite_expire_ = 0;
+  candidate_ = false;
   double total = 0.0;
-  for (const auto& c : storage_) {
+  for (const auto& c : competitors_) {
     if (c.time_to_expire > 0.0) total += c.decay;
+  }
+  total_ = total;
+  dirty_ = false;
+  view_.now = now;
+  view_.discount_rate = discount_rate_;
+  view_.total_live_decay = total_;
+  view_.competitors = competitors_;
+  view_.any_bounded = any_bounded;
+}
+
+void MixTracker::recompute_slot(Slot slot, SimTime now,
+                                bool queue_breakpoint) {
+  Entry& entry = entries_[slot];
+  const Task& task = *entry.task;
+  const ValueFunction& vf = task.value;
+  const double delay = task.delay_at_completion(now);
+
+  CompetitorInfo& info = competitors_[slot];
+  info.id = task.id;
+  // Instantaneous rate at the current accrued delay — identical to the
+  // static decay for linear functions, but tracks the active segment of
+  // variable-rate profiles.
+  info.decay = vf.decay_at_delay(delay);
+  const SimTime expire = task.expire_time();
+  entry.expire_at = expire;
+  info.time_to_expire =
+      expire == kInf ? kInf : std::max(0.0, expire - now);
+
+  if (!queue_breakpoint) return;
+  // Next absolute time this task's instantaneous decay changes: the first
+  // piecewise segment boundary past the current delay, or the expiry,
+  // whichever comes first. Constant-rate unbounded functions never change.
+  const double expire_delay = vf.delay_to_expire();
+  double next_delay = kInf;
+  if (expire_delay != kInf && delay < expire_delay) next_delay = expire_delay;
+  if (!vf.is_linear()) {
+    const auto& segments = vf.segments();
+    double boundary = 0.0;
+    for (std::size_t k = 0; k + 1 < segments.size(); ++k) {
+      boundary += segments[k].duration;
+      if (boundary > delay) {
+        if (boundary < next_delay) next_delay = boundary;
+        break;
+      }
+    }
+  }
+  if (next_delay == kInf) return;
+  const double anchor = task.arrival + task.estimate();
+  // Guarantee progress under floating-point rounding: a breakpoint must lie
+  // strictly in the future or the refresh loop could spin on it.
+  const double at =
+      std::max(anchor + next_delay,
+               std::nextafter(now, std::numeric_limits<double>::infinity()));
+  breakpoints_.push(Breakpoint{at, slot, entry.generation});
+}
+
+MixTracker::Slot MixTracker::add(const Task& task, SimTime now) {
+  drop_candidate();
+  Slot slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<Slot>(competitors_.size());
+    competitors_.emplace_back();
+    entries_.emplace_back();
+  }
+  Entry& entry = entries_[slot];
+  entry.task = &task;
+  ++entry.generation;
+  recompute_slot(slot, now, /*queue_breakpoint=*/true);
+  if (entry.expire_at != kInf) ++finite_expire_;
+  ++live_;
+  dirty_ = true;
+  return slot;
+}
+
+void MixTracker::remove(Slot slot) {
+  drop_candidate();
+  Entry& entry = entries_[slot];
+  MBTS_DCHECK(entry.task != nullptr);
+  if (entry.expire_at != kInf) --finite_expire_;
+  entry.task = nullptr;
+  entry.expire_at = kInf;
+  ++entry.generation;  // orphans any queued breakpoints for this slot
+  competitors_[slot] = CompetitorInfo{kInvalidTask, 0.0, 0.0};
+  free_slots_.push_back(slot);
+  MBTS_DCHECK(live_ > 0);
+  --live_;
+  dirty_ = true;
+}
+
+void MixTracker::drop_candidate() {
+  if (!candidate_) return;
+  competitors_.pop_back();
+  candidate_ = false;
+  view_.competitors = competitors_;
+}
+
+void MixTracker::refresh_expiry_windows(SimTime now) {
+  if (finite_expire_ == 0 || now == view_.now) return;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& entry = entries_[i];
+    if (entry.task != nullptr && entry.expire_at != kInf)
+      competitors_[i].time_to_expire = std::max(0.0, entry.expire_at - now);
+  }
+}
+
+const MixView& MixTracker::refresh(SimTime now) {
+  drop_candidate();
+  while (!breakpoints_.empty() && breakpoints_.top().at <= now) {
+    const Breakpoint b = breakpoints_.top();
+    breakpoints_.pop();
+    if (b.slot < entries_.size() && entries_[b.slot].task != nullptr &&
+        entries_[b.slot].generation == b.generation) {
+      recompute_slot(b.slot, now, /*queue_breakpoint=*/true);
+      dirty_ = true;
+    }
+  }
+  refresh_expiry_windows(now);
+  if (dirty_) {
+    // Slot-order re-sum: the canonical association. Incremental maintenance
+    // never accumulates the total via running add/subtract, so it is
+    // bit-identical to a from-scratch rebuild over the same slots.
+    double total = 0.0;
+    for (const auto& c : competitors_) {
+      if (c.time_to_expire > 0.0) total += c.decay;
+    }
+    total_ = total;
+    dirty_ = false;
   }
   view_.now = now;
   view_.discount_rate = discount_rate_;
-  view_.total_live_decay = total;
-  view_.competitors = storage_;
-  view_.any_bounded = any_bounded;
+  view_.total_live_decay = total_;
+  view_.competitors = competitors_;
+  view_.any_bounded = finite_expire_ > 0;
+  return view_;
+}
+
+const MixView& MixTracker::refresh_with_candidate(SimTime now,
+                                                  const Task& candidate) {
+  refresh(now);
+  CompetitorInfo info;
+  info.id = candidate.id;
+  info.decay =
+      candidate.value.decay_at_delay(candidate.delay_at_completion(now));
+  const SimTime expire = candidate.expire_time();
+  bool cand_bounded = false;
+  if (expire == kInf) {
+    info.time_to_expire = kInf;
+  } else {
+    cand_bounded = true;
+    info.time_to_expire = std::max(0.0, expire - now);
+  }
+  if (info.time_to_expire > 0.0)
+    view_.total_live_decay = total_ + info.decay;
+  view_.any_bounded = finite_expire_ > 0 || cand_bounded;
+  competitors_.push_back(info);
+  candidate_ = true;
+  view_.competitors = competitors_;
+  return view_;
+}
+
+void MixTracker::recompute_all(SimTime now) {
+  drop_candidate();
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].task != nullptr)
+      recompute_slot(static_cast<Slot>(i), now, /*queue_breakpoint=*/false);
+  }
+  dirty_ = true;
+}
+
+bool MixTracker::consistent_with_rebuild(SimTime now) const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const CompetitorInfo& c = competitors_[i];
+    const Entry& entry = entries_[i];
+    if (entry.task == nullptr) {
+      if (c.id != kInvalidTask || c.decay != 0.0 || c.time_to_expire != 0.0)
+        return false;
+    } else {
+      const Task& task = *entry.task;
+      if (c.id != task.id) return false;
+      if (c.decay != task.value.decay_at_delay(task.delay_at_completion(now)))
+        return false;
+      const SimTime expire = task.expire_time();
+      const double tte =
+          expire == kInf ? kInf : std::max(0.0, expire - now);
+      if (c.time_to_expire != tte) return false;
+    }
+    if (c.time_to_expire > 0.0) total += c.decay;
+  }
+  return dirty_ || total == total_;
 }
 
 }  // namespace mbts

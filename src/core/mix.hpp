@@ -2,15 +2,27 @@
 // against (paper §5).
 //
 // The opportunity-cost terms (Eq. 4/5) need two things about the competing
-// tasks: the aggregate decay of the live (unexpired) mix, maintained
-// incrementally so the unbounded path is O(1) per scored task, and — for the
+// tasks: the aggregate decay of the live (unexpired) mix, and — for the
 // bounded path — each competitor's decay and remaining time until its value
 // function expires.
+//
+// MixTracker maintains this incrementally. Each task in the mix owns a slot
+// whose cached CompetitorInfo changes only when simulated time crosses one
+// of the task's decay-profile breakpoints (a piecewise segment boundary or
+// its expiry); breakpoints are processed lazily from a min-heap as the clock
+// advances. The aggregate decay is re-summed over the slot array only when a
+// slot changed (membership or a crossed breakpoint), always in slot order,
+// so the incremental tracker is bit-identical to recomputing every entry
+// from scratch — an invariant the debug build cross-checks on every refresh
+// and tests assert via SchedulerConfig::mix_full_rebuild.
 #pragma once
 
+#include <cstdint>
+#include <queue>
 #include <span>
 #include <vector>
 
+#include "core/task.hpp"
 #include "core/types.hpp"
 
 namespace mbts {
@@ -35,7 +47,9 @@ struct MixView {
   double total_live_decay = 0.0;
   /// All competitors (including the scored task itself; filtered by id).
   /// May be empty when every competitor is unbounded — then the aggregate
-  /// suffices and cost falls back to the O(1) Eq. 5 path.
+  /// suffices and cost falls back to the O(1) Eq. 5 path. May contain
+  /// retired slots (id == kInvalidTask, decay 0, time_to_expire 0), which
+  /// contribute nothing to any cost term.
   std::span<const CompetitorInfo> competitors;
   /// True when at least one task in the mix has a bounded penalty; selects
   /// the Eq. 4 (per-competitor) cost path.
@@ -43,23 +57,91 @@ struct MixView {
 };
 
 /// Builds MixView snapshots from the scheduler's task mix and keeps the
-/// aggregate decay current as tasks arrive, expire, and complete.
+/// per-competitor decay entries and the aggregate current as tasks arrive,
+/// expire, and complete — without rescanning the mix per quote/dispatch.
 class MixTracker {
  public:
+  /// Slot handle returned by add(); stable until remove().
+  using Slot = std::uint32_t;
+
   void set_discount_rate(double rate) { discount_rate_ = rate; }
   double discount_rate() const { return discount_rate_; }
 
   /// Rebuilds the snapshot from scratch. `infos` describes every task in
   /// the mix (pending and running) at time `now`. Expired competitors
-  /// (time_to_expire == 0) contribute nothing to aggregate decay.
+  /// (time_to_expire == 0) contribute nothing to aggregate decay. Bulk API
+  /// used by tests and standalone mix consumers; discards incremental state.
   void rebuild(SimTime now, std::vector<CompetitorInfo> infos,
                bool any_bounded);
+
+  // --- Incremental interface (the scheduler hot path) ---
+
+  /// Registers `task` in the mix at time `now`. The Task must outlive its
+  /// slot. Any transient candidate is dropped first.
+  Slot add(const Task& task, SimTime now);
+
+  /// Removes the task owning `slot` from the mix; the slot is recycled.
+  void remove(Slot slot);
+
+  /// Advances the tracker to `now` (processing any decay-profile
+  /// breakpoints crossed) and returns the refreshed view.
+  const MixView& refresh(SimTime now);
+
+  /// Like refresh, but the view additionally includes `candidate` as the
+  /// last competitor — the quote path's "mix including the bid". The
+  /// candidate is transient: it is dropped by the next tracker call.
+  const MixView& refresh_with_candidate(SimTime now, const Task& candidate);
+
+  /// Recomputes every cached entry from its task (the forced-full-rebuild
+  /// debug mode); the next refresh() then re-sums the aggregate.
+  void recompute_all(SimTime now);
+
+  /// True when every cached entry matches a from-scratch recomputation at
+  /// `now` and the aggregate equals the slot-order re-sum (debug).
+  bool consistent_with_rebuild(SimTime now) const;
+
+  /// Cached live decay of the task owning `slot` (0 once expired) — exactly
+  /// decay_at_delay(delay_at_completion(now)) of the last refresh. Shared
+  /// with the admission-cost path so Eq. 8 reuses the mix's cache.
+  double decay_of(Slot slot) const { return competitors_[slot].decay; }
+
+  std::size_t live_count() const { return live_; }
 
   const MixView& view() const { return view_; }
 
  private:
+  struct Entry {
+    const Task* task = nullptr;  // nullptr == free slot
+    double expire_at = kInf;     // absolute expiry of the value function
+    std::uint32_t generation = 0;
+  };
+  struct Breakpoint {
+    double at;
+    Slot slot;
+    std::uint32_t generation;
+    bool operator>(const Breakpoint& other) const { return at > other.at; }
+  };
+
+  /// Computes the slot's CompetitorInfo fields from its task at `now` and
+  /// queues the next breakpoint. The single source of truth for decay.
+  void recompute_slot(Slot slot, SimTime now, bool queue_breakpoint);
+  void drop_candidate();
+  void refresh_expiry_windows(SimTime now);
+
   double discount_rate_ = 0.0;
-  std::vector<CompetitorInfo> storage_;
+  // Slot-indexed view storage; a transient candidate is appended past the
+  // slot range and stripped by the next tracker call.
+  std::vector<CompetitorInfo> competitors_;
+  std::vector<Entry> entries_;
+  std::vector<Slot> free_slots_;
+  std::priority_queue<Breakpoint, std::vector<Breakpoint>,
+                      std::greater<Breakpoint>>
+      breakpoints_;
+  std::size_t live_ = 0;
+  std::size_t finite_expire_ = 0;  // live entries with a finite expire_at
+  double total_ = 0.0;
+  bool dirty_ = true;   // a slot changed since total_ was summed
+  bool candidate_ = false;
   MixView view_;
 };
 

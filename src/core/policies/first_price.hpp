@@ -15,6 +15,23 @@ class FirstPricePolicy final : public SchedulingPolicy {
   double priority(const Task& task, double rpt,
                   const MixView& mix) const override;
 
+  // Unit gain reads nothing mix-varying, so the cached score is the score.
+  bool cacheable() const override { return true; }
+  ScoreCache make_cache(const Task& task, double rpt,
+                        const MixView& mix) const override {
+    return {priority(task, rpt, mix), 0.0, 0.0};
+  }
+  double priority_from_cache(const ScoreCache& cache, const Task&, double,
+                             const MixView&) const override {
+    return cache.a;
+  }
+  void batch_priority_from_cache(const ScoreCache* caches,
+                                 const Task* const*, const double*,
+                                 std::size_t n, const MixView&,
+                                 double* out) const override {
+    for (std::size_t i = 0; i < n; ++i) out[i] = caches[i].a;
+  }
+
  private:
   YieldBasis basis_;
 };

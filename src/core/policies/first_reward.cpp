@@ -1,5 +1,6 @@
 #include "core/policies/first_reward.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "core/metrics.hpp"
@@ -21,6 +22,67 @@ std::string FirstRewardPolicy::name() const {
 double FirstRewardPolicy::priority(const Task& task, double rpt,
                                    const MixView& mix) const {
   return first_reward_index(task, rpt, mix, alpha_, basis_);
+}
+
+ScoreCache FirstRewardPolicy::make_cache(const Task& task, double rpt,
+                                         const MixView& mix) const {
+  MBTS_DCHECK(rpt > 0.0);
+  const double yield = yield_for_ranking(task, mix.now, rpt, basis_);
+  const double pv = present_value(yield, mix.discount_rate, rpt);
+  ScoreCache cache;
+  cache.a = alpha_ * pv;
+  cache.b = task.value.decay_at_delay(task.delay_at_completion(mix.now));
+  cache.c = rpt * static_cast<double>(task.width);
+  return cache;
+}
+
+double FirstRewardPolicy::priority_from_cache(const ScoreCache& cache,
+                                              const Task& task, double rpt,
+                                              const MixView& mix) const {
+  double cost;
+  if (!mix.any_bounded) {
+    // Eq. 5: cache.b is exactly the own-decay term opportunity_cost would
+    // recompute; the subtraction/max/multiply sequence is unchanged.
+    const double others = mix.total_live_decay - cache.b;
+    cost = std::max(others, 0.0) * rpt;
+  } else {
+    cost = opportunity_cost(task, rpt, mix);
+  }
+  return (cache.a - (1.0 - alpha_) * cost) / cache.c;
+}
+
+void FirstRewardPolicy::batch_make_cache(const Task* const* tasks,
+                                         const double* rpts, std::size_t n,
+                                         const MixView& mix,
+                                         ScoreCache* out) const {
+  // Same float ops as make_cache, minus one virtual dispatch per task.
+  for (std::size_t i = 0; i < n; ++i) {
+    const Task& task = *tasks[i];
+    const double rpt = rpts[i];
+    MBTS_DCHECK(rpt > 0.0);
+    const double yield = yield_for_ranking(task, mix.now, rpt, basis_);
+    const double pv = present_value(yield, mix.discount_rate, rpt);
+    out[i].a = alpha_ * pv;
+    out[i].b = task.value.decay_at_delay(task.delay_at_completion(mix.now));
+    out[i].c = rpt * static_cast<double>(task.width);
+  }
+}
+
+void FirstRewardPolicy::batch_priority_from_cache(
+    const ScoreCache* caches, const Task* const* tasks, const double* rpts,
+    std::size_t n, const MixView& mix, double* out) const {
+  if (mix.any_bounded) {
+    for (std::size_t i = 0; i < n; ++i)
+      out[i] = priority_from_cache(caches[i], *tasks[i], rpts[i], mix);
+    return;
+  }
+  // Eq. 5 fast path, identical arithmetic to priority_from_cache.
+  const double total = mix.total_live_decay;
+  const double weight = 1.0 - alpha_;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double cost = std::max(total - caches[i].b, 0.0) * rpts[i];
+    out[i] = (caches[i].a - weight * cost) / caches[i].c;
+  }
 }
 
 }  // namespace mbts

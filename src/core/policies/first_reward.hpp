@@ -20,6 +20,24 @@ class FirstRewardPolicy final : public SchedulingPolicy {
   double priority(const Task& task, double rpt,
                   const MixView& mix) const override;
 
+  /// Eq. 6 decomposes as (alpha*PV - (1-alpha)*cost) / (RPT*width) where
+  /// only `cost` reads the mix. The cache holds a = alpha*PV, b = the
+  /// task's own decay rate (subtracted from the aggregate on the Eq. 5
+  /// path), c = RPT*width; priority_from_cache redoes exactly the
+  /// remaining float ops, so the result is bit-identical.
+  bool cacheable() const override { return true; }
+  ScoreCache make_cache(const Task& task, double rpt,
+                        const MixView& mix) const override;
+  double priority_from_cache(const ScoreCache& cache, const Task& task,
+                             double rpt, const MixView& mix) const override;
+  void batch_make_cache(const Task* const* tasks, const double* rpts,
+                        std::size_t n, const MixView& mix,
+                        ScoreCache* out) const override;
+  void batch_priority_from_cache(const ScoreCache* caches,
+                                 const Task* const* tasks, const double* rpts,
+                                 std::size_t n, const MixView& mix,
+                                 double* out) const override;
+
   double alpha() const { return alpha_; }
 
  private:

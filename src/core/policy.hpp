@@ -16,6 +16,16 @@
 
 namespace mbts {
 
+/// Per-task scoring cache for policies whose index decomposes into terms
+/// depending only on (task, rpt, now) plus a cheap mix-dependent
+/// combination. The three doubles are opaque to the scheduler; their
+/// meaning is policy-specific.
+struct ScoreCache {
+  double a = 0.0;
+  double b = 0.0;
+  double c = 0.0;
+};
+
 class SchedulingPolicy {
  public:
   virtual ~SchedulingPolicy() = default;
@@ -26,6 +36,58 @@ class SchedulingPolicy {
   /// task's remaining processing time (> 0).
   virtual double priority(const Task& task, double rpt,
                           const MixView& mix) const = 0;
+
+  /// True when make_cache/priority_from_cache are implemented. Contract:
+  ///
+  ///   priority_from_cache(make_cache(task, rpt, mix), task, rpt, mix)
+  ///
+  /// must be BIT-IDENTICAL to priority(task, rpt, mix) for every mix whose
+  /// now/discount_rate match the one make_cache saw. The scheduler exploits
+  /// this to amortize the (task, rpt, now)-only subexpressions across the
+  /// many rescores that happen at one instant (quote bursts, dispatch);
+  /// debug builds cross-check the two paths on every score.
+  virtual bool cacheable() const { return false; }
+
+  /// Precomputes the (task, rpt, now)-only terms. Implementations may read
+  /// only mix.now and mix.discount_rate — never the mix-varying fields
+  /// (aggregate decay, competitors), which change between make_cache and
+  /// priority_from_cache.
+  virtual ScoreCache make_cache(const Task& task, double rpt,
+                                const MixView& mix) const {
+    (void)task;
+    (void)rpt;
+    (void)mix;
+    return {};
+  }
+
+  /// Combines a cache from make_cache (same task, rpt, and instant) with
+  /// the current mix. Default falls back to the uncached computation.
+  virtual double priority_from_cache(const ScoreCache& cache,
+                                     const Task& task, double rpt,
+                                     const MixView& mix) const {
+    (void)cache;
+    return priority(task, rpt, mix);
+  }
+
+  /// Batch variants over parallel arrays: one virtual call per queue scan
+  /// instead of one per task, so implementations can run a tight inlined
+  /// loop. Element-wise BIT-IDENTICAL to the scalar calls above — the
+  /// scheduler cross-checks in debug builds.
+  virtual void batch_make_cache(const Task* const* tasks, const double* rpts,
+                                std::size_t n, const MixView& mix,
+                                ScoreCache* out) const {
+    for (std::size_t i = 0; i < n; ++i)
+      out[i] = make_cache(*tasks[i], rpts[i], mix);
+  }
+
+  virtual void batch_priority_from_cache(const ScoreCache* caches,
+                                         const Task* const* tasks,
+                                         const double* rpts, std::size_t n,
+                                         const MixView& mix,
+                                         double* out) const {
+    for (std::size_t i = 0; i < n; ++i)
+      out[i] = priority_from_cache(caches[i], *tasks[i], rpts[i], mix);
+  }
 };
 
 /// Declarative policy selection used by experiment configs and CLIs.

@@ -1,6 +1,7 @@
 #include "core/schedule.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <queue>
 
 #include "util/check.hpp"
@@ -34,10 +35,42 @@ std::vector<ScheduleEntry> list_schedule(
 
 double completion_of(std::span<const double> proc_free,
                      std::span<const PendingItem> ordered, std::size_t index) {
+  std::vector<double> heap_scratch;
+  return completion_of(proc_free, ordered, index, heap_scratch);
+}
+
+double completion_of(std::span<const double> proc_free,
+                     std::span<const PendingItem> ordered, std::size_t index,
+                     std::vector<double>& heap_scratch) {
   MBTS_CHECK(index < ordered.size());
-  const auto entries =
-      list_schedule(proc_free, ordered.subspan(0, index + 1));
-  return entries.back().completion;
+  MBTS_CHECK_MSG(!proc_free.empty(), "need at least one processor");
+  // Same greedy assignment as list_schedule, but tracking only the free-time
+  // heap: std::priority_queue is push_heap/pop_heap over a vector, so
+  // operating on the scratch vector directly pops the same values in the
+  // same order and the projected completion is bit-identical.
+  heap_scratch.assign(proc_free.begin(), proc_free.end());
+  auto& heap = heap_scratch;
+  const auto later = std::greater<>{};
+  std::make_heap(heap.begin(), heap.end(), later);
+  double completion = 0.0;
+  for (std::size_t i = 0; i <= index; ++i) {
+    const PendingItem& item = ordered[i];
+    MBTS_DCHECK(item.rpt > 0.0);
+    MBTS_CHECK_MSG(item.width >= 1 && item.width <= proc_free.size(),
+                   "task width exceeds site capacity");
+    double start = 0.0;
+    for (std::size_t w = 0; w < item.width; ++w) {
+      start = heap.front();  // monotone: the last popped is the max
+      std::pop_heap(heap.begin(), heap.end(), later);
+      heap.pop_back();
+    }
+    completion = start + item.rpt;
+    for (std::size_t w = 0; w < item.width; ++w) {
+      heap.push_back(completion);
+      std::push_heap(heap.begin(), heap.end(), later);
+    }
+  }
+  return completion;
 }
 
 }  // namespace mbts

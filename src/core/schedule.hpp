@@ -46,4 +46,10 @@ std::vector<ScheduleEntry> list_schedule(std::span<const double> proc_free,
 double completion_of(std::span<const double> proc_free,
                      std::span<const PendingItem> ordered, std::size_t index);
 
+/// Allocation-free variant for hot paths: `heap_scratch` is clobbered and
+/// reused as the free-time heap. Bit-identical to completion_of above.
+double completion_of(std::span<const double> proc_free,
+                     std::span<const PendingItem> ordered, std::size_t index,
+                     std::vector<double>& heap_scratch);
+
 }  // namespace mbts

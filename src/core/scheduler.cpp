@@ -27,6 +27,8 @@ SiteScheduler::SiteScheduler(SimEngine& engine, SchedulerConfig config,
   MBTS_CHECK_MSG(config_.discount_rate >= 0.0,
                  "discount rate must be non-negative");
   mix_.set_discount_rate(config_.discount_rate);
+  policy_cacheable_ = policy_->cacheable();
+  admission_reads_suffix_ = admission_->reads_ranked_suffix();
 }
 
 double SiteScheduler::executed_now(const TaskState& ts) const {
@@ -47,77 +49,256 @@ double SiteScheduler::scoring_remaining(const TaskState& ts) const {
   return std::max(left, std::max(floor, 1e-9));
 }
 
-double SiteScheduler::score_of(const TaskState& ts, const MixView& mix) const {
-  if (config_.rescore == RescorePolicy::kAtEnqueue) return ts.cached_score;
-  return policy_->priority(ts.task, scoring_remaining(ts), mix);
+double SiteScheduler::fresh_score(TaskState& ts, double rpt,
+                                  const MixView& mix) const {
+  if (!policy_cacheable_) return policy_->priority(ts.task, rpt, mix);
+  if (ts.score_cache_now != mix.now || ts.score_cache_rpt != rpt) {
+    ts.score_cache = policy_->make_cache(ts.task, rpt, mix);
+    ts.score_cache_now = mix.now;
+    ts.score_cache_rpt = rpt;
+  }
+  const double score =
+      policy_->priority_from_cache(ts.score_cache, ts.task, rpt, mix);
+  MBTS_DCHECK(score == policy_->priority(ts.task, rpt, mix));
+  return score;
 }
 
-const MixView& SiteScheduler::build_mix(const Task* candidate) {
-  const SimTime now = engine_.now();
-  std::vector<CompetitorInfo> infos;
-  infos.reserve(pending_.size() + running_.size() + 1);
-  bool any_bounded = false;
-  auto add = [&](const Task& task) {
-    CompetitorInfo info;
-    info.id = task.id;
-    // Instantaneous rate at the current accrued delay — identical to the
-    // static decay for linear functions, but tracks the active segment of
-    // variable-rate profiles.
-    info.decay = task.value.decay_at_delay(task.delay_at_completion(now));
-    const SimTime expire = task.expire_time();
-    if (expire == kInf) {
-      info.time_to_expire = kInf;
-    } else {
-      // Any competitor that can stop decaying routes cost through the
-      // per-competitor Eq. 4 path.
-      any_bounded = true;
-      info.time_to_expire = std::max(0.0, expire - now);
+double SiteScheduler::score_of(TaskState& ts, double rpt,
+                               const MixView& mix) const {
+  if (config_.rescore == RescorePolicy::kAtEnqueue) return ts.cached_score;
+  return fresh_score(ts, rpt, mix);
+}
+
+void SiteScheduler::batch_fresh_scores(std::span<TaskState* const> tasks,
+                                       const MixView& mix) {
+  const std::size_t n = tasks.size();
+  batch_scores_.resize(n);
+  if (!policy_cacheable_) {
+    for (std::size_t i = 0; i < n; ++i)
+      batch_scores_[i] =
+          policy_->priority(tasks[i]->task, tasks[i]->queue_rpt, mix);
+    return;
+  }
+  batch_caches_.resize(n);
+  batch_tasks_.resize(n);
+  batch_rpts_.resize(n);
+  std::size_t misses = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const TaskState& ts = *tasks[i];
+    batch_tasks_[i] = &ts.task;
+    batch_rpts_[i] = ts.queue_rpt;
+    misses += static_cast<std::size_t>(ts.score_cache_now != mix.now ||
+                                       ts.score_cache_rpt != ts.queue_rpt);
+  }
+  if (misses == 0) {
+    // Quote burst at one instant: every cache is warm.
+    for (std::size_t i = 0; i < n; ++i) batch_caches_[i] = tasks[i]->score_cache;
+  } else if (misses == n) {
+    // First scan at a new instant: rebuild everything in one call.
+    policy_->batch_make_cache(batch_tasks_.data(), batch_rpts_.data(), n, mix,
+                              batch_caches_.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      TaskState& ts = *tasks[i];
+      ts.score_cache = batch_caches_[i];
+      ts.score_cache_now = mix.now;
+      ts.score_cache_rpt = ts.queue_rpt;
     }
-    infos.push_back(info);
-  };
-  for (const TaskState* ts : pending_) add(ts->task);
-  for (const TaskState* ts : running_) add(ts->task);
-  if (candidate != nullptr) add(*candidate);
-  mix_.rebuild(now, std::move(infos), any_bounded);
-  return mix_.view();
+  } else {
+    miss_idx_.clear();
+    miss_tasks_.clear();
+    miss_rpts_.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      TaskState& ts = *tasks[i];
+      if (ts.score_cache_now != mix.now ||
+          ts.score_cache_rpt != ts.queue_rpt) {
+        miss_idx_.push_back(i);
+        miss_tasks_.push_back(&ts.task);
+        miss_rpts_.push_back(ts.queue_rpt);
+      } else {
+        batch_caches_[i] = ts.score_cache;
+      }
+    }
+    miss_caches_.resize(miss_idx_.size());
+    policy_->batch_make_cache(miss_tasks_.data(), miss_rpts_.data(),
+                              miss_idx_.size(), mix, miss_caches_.data());
+    for (std::size_t j = 0; j < miss_idx_.size(); ++j) {
+      TaskState& ts = *tasks[miss_idx_[j]];
+      ts.score_cache = miss_caches_[j];
+      ts.score_cache_now = mix.now;
+      ts.score_cache_rpt = ts.queue_rpt;
+      batch_caches_[miss_idx_[j]] = miss_caches_[j];
+    }
+  }
+  policy_->batch_priority_from_cache(batch_caches_.data(),
+                                     batch_tasks_.data(), batch_rpts_.data(),
+                                     n, mix, batch_scores_.data());
+#ifndef NDEBUG
+  for (std::size_t i = 0; i < n; ++i)
+    MBTS_DCHECK(batch_scores_[i] ==
+                policy_->priority(tasks[i]->task, tasks[i]->queue_rpt, mix));
+#endif
+}
+
+bool SiteScheduler::rank_less(const Scored& a, const Scored& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.ts->task.id < b.ts->task.id;
+}
+
+void SiteScheduler::adaptive_rank_sort() {
+  auto& v = scored_;
+  std::size_t inversions = 0;
+  for (std::size_t i = 1; i < v.size(); ++i)
+    if (rank_less(v[i], v[i - 1])) ++inversions;
+  if (inversions == 0) return;
+  // A handful of adjacent inversions means "one new arrival plus drift":
+  // insertion sort finishes in O(n + displacement). Anything messier (first
+  // quote at a new instant after scores moved arbitrarily) falls back to
+  // std::sort, also if the move budget trips mid-pass.
+  if (inversions <= 16) {
+    std::size_t moves = 0;
+    const std::size_t budget = 4 * v.size() + 256;
+    for (std::size_t i = 1; i < v.size(); ++i) {
+      if (!rank_less(v[i], v[i - 1])) continue;
+      const Scored x = v[i];
+      std::size_t j = i;
+      do {
+        v[j] = v[j - 1];
+        --j;
+        if (++moves > budget) {
+          // Re-seat the in-flight element so v is a permutation again
+          // before handing it to std::sort.
+          v[j] = x;
+          std::sort(v.begin(), v.end(), rank_less);
+          return;
+        }
+      } while (j > 0 && rank_less(x, v[j - 1]));
+      v[j] = x;
+    }
+    return;
+  }
+  std::sort(v.begin(), v.end(), rank_less);
+}
+
+const MixView& SiteScheduler::mix_refresh() {
+  const SimTime now = engine_.now();
+  if (config_.mix_full_rebuild) mix_.recompute_all(now);
+  const MixView& view = mix_.refresh(now);
+  MBTS_DCHECK(mix_.consistent_with_rebuild(now));
+  return view;
+}
+
+const MixView& SiteScheduler::mix_refresh_with_candidate(
+    const Task& candidate) {
+  const SimTime now = engine_.now();
+  if (config_.mix_full_rebuild) mix_.recompute_all(now);
+  const MixView& view = mix_.refresh_with_candidate(now, candidate);
+  MBTS_DCHECK(mix_.consistent_with_rebuild(now));
+  return view;
+}
+
+SiteScheduler::TaskState& SiteScheduler::acquire_state() {
+  if (!free_states_.empty()) {
+    TaskState& ts = *free_states_.back();
+    free_states_.pop_back();
+    ts = TaskState{};
+    return ts;
+  }
+  states_.push_back(TaskState{});
+  return states_.back();
+}
+
+void SiteScheduler::push_pending(TaskState& ts) {
+  ts.queue_pos = static_cast<std::uint32_t>(pending_.size());
+  pending_.push_back(&ts);
+  // New arrivals join the rank cache at the back; the next quote's repair
+  // pass walks them into place.
+  rank_order_.push_back(&ts);
+}
+
+void SiteScheduler::erase_pending(TaskState& ts) {
+  const std::uint32_t pos = ts.queue_pos;
+  MBTS_DCHECK(pos < pending_.size() && pending_[pos] == &ts);
+  pending_[pos] = pending_.back();
+  pending_[pos]->queue_pos = pos;
+  pending_.pop_back();
+  const auto it = std::find(rank_order_.begin(), rank_order_.end(), &ts);
+  MBTS_DCHECK(it != rank_order_.end());
+  rank_order_.erase(it);
+}
+
+void SiteScheduler::push_running(TaskState& ts) {
+  ts.queue_pos = static_cast<std::uint32_t>(running_.size());
+  running_.push_back(&ts);
+}
+
+void SiteScheduler::erase_running(TaskState& ts) {
+  const std::uint32_t pos = ts.queue_pos;
+  MBTS_DCHECK(pos < running_.size() && running_[pos] == &ts);
+  running_[pos] = running_.back();
+  running_[pos]->queue_pos = pos;
+  running_.pop_back();
 }
 
 AdmissionContext SiteScheduler::build_admission_context(
-    const MixView& mix, std::vector<const Task*>& pending_sorted,
-    std::vector<double>& pending_rpt, std::vector<double>& proc_free) {
-  // Score every pending task once, then sort by (score desc, id asc) — the
-  // same order dispatch would use.
-  struct Scored {
-    const TaskState* ts;
-    double score;
-  };
-  std::vector<Scored> scored;
-  scored.reserve(pending_.size());
-  for (const TaskState* ts : pending_)
-    scored.push_back(
-        {ts, policy_->priority(ts->task, scoring_remaining(*ts), mix)});
-  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
-    if (a.score != b.score) return a.score > b.score;
-    return a.ts->task.id < b.ts->task.id;
-  });
+    const MixView& mix, const Task& candidate) {
+  // Score every pending task once — one batched policy call — ranked by
+  // (score desc, id asc), the same order dispatch would use. The scan walks
+  // rank_order_ (the order the previous quote established), so the sort is
+  // normally a cheap repair pass. The scores and per-task decay rates ride
+  // along in the context so the projection never rescans the queue.
+  MBTS_DCHECK(rank_order_.size() == pending_.size());
+  batch_fresh_scores(rank_order_, mix);
+  scored_.clear();
+  for (std::size_t i = 0; i < rank_order_.size(); ++i) {
+    TaskState* ts = rank_order_[i];
+    MBTS_DCHECK(ts->queue_rpt == scoring_remaining(*ts));
+    scored_.push_back({ts, batch_scores_[i], ts->queue_rpt, false});
+  }
+  adaptive_rank_sort();
+  for (std::size_t i = 0; i < scored_.size(); ++i)
+    rank_order_[i] = scored_[i].ts;
 
-  pending_sorted.clear();
-  pending_rpt.clear();
-  for (const Scored& s : scored) {
-    pending_sorted.push_back(&s.ts->task);
-    pending_rpt.push_back(scoring_remaining(*s.ts));
+  std::size_t fill = scored_.size();
+  if (!admission_reads_suffix_) {
+    // The projection only schedules the tasks ranked ahead of the candidate
+    // (ties go ahead: they arrived earlier), so when the admission policy
+    // never looks behind it the context spans can stop at the candidate's
+    // rank: project_candidate then slots it at the end of the span, which
+    // *is* its queue position in the full order.
+    const double cand_priority =
+        policy_->priority(candidate, candidate.estimate(), mix);
+    const auto mid = std::partition_point(
+        scored_.begin(), scored_.end(),
+        [&](const Scored& s) { return s.score >= cand_priority; });
+    fill = static_cast<std::size_t>(mid - scored_.begin());
   }
 
+  pending_sorted_.clear();
+  pending_rpt_.clear();
+  pending_scores_.clear();
+  pending_decay_.clear();
+  for (std::size_t i = 0; i < fill; ++i) {
+    const Scored& s = scored_[i];
+    pending_sorted_.push_back(&s.ts->task);
+    pending_rpt_.push_back(s.rpt);
+    pending_scores_.push_back(s.score);
+  }
+  // Only the Eq. 8 cost sum reads per-task decay, and it runs over the
+  // ranked suffix — skip the fill when the policy never gets there.
+  if (admission_reads_suffix_)
+    for (const Scored& s : scored_)
+      pending_decay_.push_back(mix_.decay_of(s.ts->mix_slot));
+
   const SimTime now = engine_.now();
-  proc_free.assign(pool_.capacity(), now);
+  proc_free_.assign(pool_.capacity(), now);
   std::size_t slot = 0;
   for (const TaskState* ts : running_) {
     // The site projects with what it believes, i.e. declared runtimes. A
     // width-w task occupies w processor slots until its believed finish.
     const double free_at = now + std::max(0.0, scoring_remaining(*ts));
     for (std::size_t w = 0; w < ts->task.width; ++w) {
-      MBTS_DCHECK(slot < proc_free.size());
-      proc_free[slot++] = free_at;
+      MBTS_DCHECK(slot < proc_free_.size());
+      proc_free_[slot++] = free_at;
     }
   }
 
@@ -125,22 +306,40 @@ AdmissionContext SiteScheduler::build_admission_context(
   ctx.now = now;
   ctx.mix = &mix;
   ctx.policy = policy_.get();
-  ctx.proc_free = proc_free;
-  ctx.pending_sorted = pending_sorted;
-  ctx.pending_rpt = pending_rpt;
+  ctx.proc_free = proc_free_;
+  ctx.pending_sorted = pending_sorted_;
+  ctx.pending_rpt = pending_rpt_;
+  ctx.pending_scores = pending_scores_;
+  ctx.pending_decay = pending_decay_;
+  ctx.projection_scratch = &projection_scratch_;
+  ctx.heap_scratch = &heap_scratch_;
   return ctx;
 }
 
 AdmissionDecision SiteScheduler::quote(const Task& task) {
   const std::string problem = validate_task(task);
   MBTS_CHECK_MSG(problem.empty(), "invalid task: " + problem);
-  const MixView& mix = build_mix(&task);
-  std::vector<const Task*> pending_sorted;
-  std::vector<double> pending_rpt;
-  std::vector<double> proc_free;
-  const AdmissionContext ctx =
-      build_admission_context(mix, pending_sorted, pending_rpt, proc_free);
+  const MixView& mix = mix_refresh_with_candidate(task);
+  const AdmissionContext ctx = build_admission_context(mix, task);
   return admission_->evaluate(task, ctx);
+}
+
+void SiteScheduler::enqueue_accepted(const Task& task, TaskRecord& record) {
+  if (task.width > 1) any_wide_ = true;
+  TaskState& ts = acquire_state();
+  ts.task = task;
+  ts.record = &record;
+  by_id_[task.id] = &ts;
+  // The mix entry must reference the stored task (it outlives this call).
+  ts.mix_slot = mix_.add(ts.task, engine_.now());
+  ts.queue_rpt = scoring_remaining(ts);
+  if (config_.rescore == RescorePolicy::kAtEnqueue) {
+    // Enqueue-time priority is scored against the mix including the task
+    // itself — the same mix a fresh rescore would see right now.
+    ts.cached_score = policy_->priority(ts.task, ts.queue_rpt, mix_refresh());
+  }
+  push_pending(ts);
+  request_dispatch();
 }
 
 AdmissionDecision SiteScheduler::submit(const Task& task) {
@@ -166,20 +365,32 @@ AdmissionDecision SiteScheduler::submit(const Task& task) {
     return decision;
   }
 
-  if (task.width > 1) any_wide_ = true;
-  states_.push_back(TaskState{});
-  TaskState& ts = states_.back();
-  ts.task = task;
-  ts.record = &record;
-  by_id_[task.id] = &ts;
-  if (config_.rescore == RescorePolicy::kAtEnqueue) {
-    // The quote above left the mix (including this task) in the tracker.
-    ts.cached_score =
-        policy_->priority(ts.task, scoring_remaining(ts), mix_.view());
-  }
-  pending_.push_back(&ts);
-  request_dispatch();
+  enqueue_accepted(task, record);
   return decision;
+}
+
+void SiteScheduler::preload(std::span<const Task> tasks) {
+  for (const Task& task : tasks) {
+    MBTS_CHECK_MSG(!by_id_.count(task.id),
+                   "duplicate task id preloaded: " + task.to_string());
+    MBTS_CHECK_MSG(task.width <= pool_.capacity(),
+                   "task width exceeds site capacity: " + task.to_string());
+    MBTS_CHECK_MSG(task.arrival <= engine_.now(),
+                   "preloaded task arrives in the future: " +
+                       task.to_string());
+    const std::string problem = validate_task(task);
+    MBTS_CHECK_MSG(problem.empty(), "invalid task: " + problem);
+
+    if (!saw_arrival_ || task.arrival < first_arrival_)
+      first_arrival_ = task.arrival;
+    saw_arrival_ = true;
+
+    records_.push_back(TaskRecord{});
+    TaskRecord& record = records_.back();
+    record.task = task;
+    record.slack = kInf;
+    enqueue_accepted(task, record);
+  }
 }
 
 void SiteScheduler::request_dispatch() {
@@ -208,8 +419,8 @@ void SiteScheduler::start_task(TaskState& ts) {
   ts.completion_event =
       engine_.schedule_after(remaining(ts), EventPriority::kCompletion,
                              [this, id] { on_completion(id); });
-  pending_.erase(std::find(pending_.begin(), pending_.end(), &ts));
-  running_.push_back(&ts);
+  erase_pending(ts);
+  push_running(ts);
   if (ts.record->outcome == TaskOutcome::kPending)
     ts.record->outcome = TaskOutcome::kRunning;
 }
@@ -221,17 +432,17 @@ void SiteScheduler::preempt_task(TaskState& ts) {
   pool_.release(engine_.now(), ts.task.width);
   ts.executed += engine_.now() - ts.segment_start;
   ts.running = false;
+  ts.queue_rpt = scoring_remaining(ts);
   if (config_.rescore == RescorePolicy::kAtEnqueue) {
     // Re-entering the queue is an enqueue: refresh the cached priority
     // against the current mix snapshot.
-    ts.cached_score =
-        policy_->priority(ts.task, scoring_remaining(ts), mix_.view());
+    ts.cached_score = policy_->priority(ts.task, ts.queue_rpt, mix_.view());
   }
   ++preemptions_;
   ++ts.record->preemptions;
   ts.record->outcome = TaskOutcome::kPending;
-  running_.erase(std::find(running_.begin(), running_.end(), &ts));
-  pending_.push_back(&ts);
+  erase_running(ts);
+  push_pending(ts);
 }
 
 void SiteScheduler::finish_task(TaskState& ts, bool dropped) {
@@ -244,16 +455,18 @@ void SiteScheduler::finish_task(TaskState& ts, bool dropped) {
     // Millennium convention; -bound in general).
     record.realized_yield = -ts.task.value.penalty_bound();
     record.outcome = TaskOutcome::kDropped;
-    pending_.erase(std::find(pending_.begin(), pending_.end(), &ts));
+    erase_pending(ts);
   } else {
     MBTS_DCHECK(ts.running);
     pool_.release(now, ts.task.width);
     record.realized_yield = ts.task.yield_at_completion(now);
     record.outcome = TaskOutcome::kCompleted;
-    running_.erase(std::find(running_.begin(), running_.end(), &ts));
+    erase_running(ts);
   }
   last_completion_ = std::max(last_completion_, now);
+  mix_.remove(ts.mix_slot);
   by_id_.erase(ts.task.id);
+  free_states_.push_back(&ts);
 }
 
 void SiteScheduler::on_completion(TaskId id) {
@@ -273,7 +486,7 @@ void SiteScheduler::dispatch() {
     // it later would earn exactly the floor anyway. (Merely "expired" is
     // not enough: a zero-decay or stabilized piecewise function may be
     // pinned above its floor, where completion still beats discarding.)
-    std::vector<TaskState*> droppable;
+    droppable_.clear();
     for (TaskState* ts : pending_) {
       const ValueFunction& vf = ts->task.value;
       if (!vf.bounded()) continue;
@@ -281,31 +494,36 @@ void SiteScheduler::dispatch() {
           ts->task.delay_at_completion(now + remaining(*ts));
       if (vf.expired_at_delay(delay) &&
           vf.yield_at_delay(delay) <= -vf.penalty_bound())
-        droppable.push_back(ts);
+        droppable_.push_back(ts);
     }
-    for (TaskState* ts : droppable) finish_task(*ts, /*dropped=*/true);
+    for (TaskState* ts : droppable_) finish_task(*ts, /*dropped=*/true);
   }
 
   if (pending_.empty()) return;
 
-  const MixView& mix = build_mix(nullptr);
+  const MixView& mix = mix_refresh();
 
-  struct Scored {
-    TaskState* ts;
-    double score;
-    bool running;
-  };
-  std::vector<Scored> scored;
-  scored.reserve(pending_.size() + running_.size());
-  for (TaskState* ts : pending_)
-    scored.push_back({ts, score_of(*ts, mix), false});
+  scored_.clear();
+  if (config_.rescore == RescorePolicy::kFresh) {
+    batch_fresh_scores(pending_, mix);
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      MBTS_DCHECK(pending_[i]->queue_rpt == scoring_remaining(*pending_[i]));
+      scored_.push_back(
+          {pending_[i], batch_scores_[i], pending_[i]->queue_rpt, false});
+    }
+  } else {
+    for (TaskState* ts : pending_)
+      scored_.push_back(
+          {ts, score_of(*ts, ts->queue_rpt, mix), ts->queue_rpt, false});
+  }
 
   if (config_.preemption) {
     for (TaskState* ts : running_) {
       // A task at (or within epsilon of) true completion is immovable.
+      const double rpt = scoring_remaining(*ts);
       const double score =
-          remaining(*ts) <= kDoneEpsilon ? kInf : score_of(*ts, mix);
-      scored.push_back({ts, score, true});
+          remaining(*ts) <= kDoneEpsilon ? kInf : score_of(*ts, rpt, mix);
+      scored_.push_back({ts, score, rpt, true});
     }
     const auto by_rank = [](const Scored& a, const Scored& b) {
       if (a.score != b.score) return a.score > b.score;
@@ -317,35 +535,35 @@ void SiteScheduler::dispatch() {
       // matters (ties keep running tasks in place so dispatches never
       // flap), so an O(n) partition replaces a full sort; the comparator
       // is a strict weak order (ids break ties) and thus deterministic.
-      const std::size_t keep = std::min(pool_.capacity(), scored.size());
-      if (keep < scored.size())
-        std::nth_element(scored.begin(),
-                         scored.begin() + static_cast<std::ptrdiff_t>(keep),
-                         scored.end(), by_rank);
+      const std::size_t keep = std::min(pool_.capacity(), scored_.size());
+      if (keep < scored_.size())
+        std::nth_element(scored_.begin(),
+                         scored_.begin() + static_cast<std::ptrdiff_t>(keep),
+                         scored_.end(), by_rank);
       // Preempt displaced running tasks first to free their processors.
-      for (std::size_t i = keep; i < scored.size(); ++i)
-        if (scored[i].running) preempt_task(*scored[i].ts);
+      for (std::size_t i = keep; i < scored_.size(); ++i)
+        if (scored_[i].running) preempt_task(*scored_[i].ts);
       for (std::size_t i = 0; i < keep; ++i)
-        if (!scored[i].running) start_task(*scored[i].ts);
+        if (!scored_[i].running) start_task(*scored_[i].ts);
     } else {
       // Gang scheduling with aggressive backfill: walk the ranked list and
       // admit each task into the target running set while its width fits
       // the remaining capacity; narrower lower-ranked tasks may slot in
       // around a wide task that does not fit (no reservation).
-      std::sort(scored.begin(), scored.end(), by_rank);
+      std::sort(scored_.begin(), scored_.end(), by_rank);
       std::size_t free = pool_.capacity();
-      std::vector<TaskState*> to_start;
-      std::vector<TaskState*> to_preempt;
-      for (const Scored& entry : scored) {
+      to_start_.clear();
+      to_preempt_.clear();
+      for (const Scored& entry : scored_) {
         if (entry.ts->task.width <= free) {
           free -= entry.ts->task.width;
-          if (!entry.running) to_start.push_back(entry.ts);
+          if (!entry.running) to_start_.push_back(entry.ts);
         } else if (entry.running) {
-          to_preempt.push_back(entry.ts);
+          to_preempt_.push_back(entry.ts);
         }
       }
-      for (TaskState* ts : to_preempt) preempt_task(*ts);
-      for (TaskState* ts : to_start) start_task(*ts);
+      for (TaskState* ts : to_preempt_) preempt_task(*ts);
+      for (TaskState* ts : to_start_) start_task(*ts);
     }
   } else {
     // Non-preemptive: fill free processors with the best pending tasks.
@@ -354,16 +572,16 @@ void SiteScheduler::dispatch() {
       return a.ts->task.id < b.ts->task.id;
     };
     if (!any_wide_) {
-      const std::size_t starts = std::min(pool_.free_count(), scored.size());
-      if (starts < scored.size())
-        std::nth_element(scored.begin(),
-                         scored.begin() + static_cast<std::ptrdiff_t>(starts),
-                         scored.end(), by_rank);
-      for (std::size_t i = 0; i < starts; ++i) start_task(*scored[i].ts);
+      const std::size_t starts = std::min(pool_.free_count(), scored_.size());
+      if (starts < scored_.size())
+        std::nth_element(scored_.begin(),
+                         scored_.begin() + static_cast<std::ptrdiff_t>(starts),
+                         scored_.end(), by_rank);
+      for (std::size_t i = 0; i < starts; ++i) start_task(*scored_[i].ts);
     } else {
-      std::sort(scored.begin(), scored.end(), by_rank);
+      std::sort(scored_.begin(), scored_.end(), by_rank);
       std::size_t free = pool_.free_count();
-      for (const Scored& entry : scored) {
+      for (const Scored& entry : scored_) {
         if (entry.ts->task.width <= free) {
           free -= entry.ts->task.width;
           start_task(*entry.ts);

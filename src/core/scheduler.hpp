@@ -47,6 +47,11 @@ struct SchedulerConfig {
   /// with this fraction of the declared runtime as its remaining estimate —
   /// "it must be almost done". Only reached when clients under-declare.
   double exceeded_estimate_fraction = 0.05;
+  /// Debug/ablation: force a from-scratch recomputation of every mix entry
+  /// before each refresh instead of trusting the incremental cache. Must be
+  /// observationally identical (bit-for-bit RunStats) to the default; tests
+  /// assert exactly that.
+  bool mix_full_rebuild = false;
 };
 
 /// Final disposition of one submitted task.
@@ -82,7 +87,12 @@ struct RunStats {
   double utilization = 0.0;
   std::uint64_t preemptions = 0;
   std::uint64_t dispatches = 0;
-  Summary delay;          // queueing delay of completed tasks
+  /// Contract delay of completed tasks (Eq. 2): completion - (arrival +
+  /// declared runtime), clamped at 0. This is the delay the value function
+  /// charges for; it equals queueing delay (wait before service) only when
+  /// runtime declarations are accurate. With under-declared runtimes it
+  /// also counts the undeclared tail of the service time.
+  Summary delay;
   Summary realized_yield; // per-task realized yield
 };
 
@@ -101,6 +111,12 @@ class SiteScheduler {
   /// Schedules arrival events for an entire trace (tasks need not be
   /// sorted; arrivals must be >= engine.now()).
   void inject(std::span<const Task> trace);
+
+  /// Bulk-enqueues tasks at the current simulated time, bypassing admission
+  /// (every task is accepted, with no quote projection). Intended for trace
+  /// replay and benchmarks that measure pure dispatch throughput; arrivals
+  /// must be <= engine.now(). Triggers one coalesced dispatch.
+  void preload(std::span<const Task> tasks);
 
   /// Evaluates a bid without committing it — the market layer's probe.
   AdmissionDecision quote(const Task& task);
@@ -129,6 +145,31 @@ class SiteScheduler {
     EventId completion_event = 0;
     /// Priority cached at enqueue time (RescorePolicy::kAtEnqueue only).
     double cached_score = 0.0;
+    /// Policy score cache (see SchedulingPolicy::make_cache), valid while
+    /// (now, rpt) match the stamps below. Lets one instant's burst of
+    /// rescores (every quote rescans all pending) reuse the expensive
+    /// per-task terms.
+    ScoreCache score_cache;
+    SimTime score_cache_now = -kInf;
+    double score_cache_rpt = -1.0;
+    /// This task's slot in the incremental mix tracker.
+    MixTracker::Slot mix_slot = 0;
+    /// scoring_remaining() latched when the task (re)enters the pending
+    /// queue. Valid while pending: executed time is frozen, so the believed
+    /// remaining runtime cannot change until the task starts.
+    double queue_rpt = 0.0;
+    /// Index of this task in pending_ (when !running) or running_ (when
+    /// running) — lets both queues erase by swap-with-back in O(1).
+    std::uint32_t queue_pos = 0;
+  };
+
+  /// One scored entry in the dispatch ranking; rpt caches
+  /// scoring_remaining() so ranking never recomputes it.
+  struct Scored {
+    TaskState* ts;
+    double score;
+    double rpt;
+    bool running;
   };
 
   /// Coalesces dispatch work: all arrivals and completions at one instant
@@ -150,17 +191,50 @@ class SiteScheduler {
   /// and admission see. Differs from remaining() only when the client
   /// misdeclared its runtime.
   double scoring_remaining(const TaskState& ts) const;
-  /// Score under the configured rescore policy: fresh from `mix`, or the
-  /// enqueue-time cache.
-  double score_of(const TaskState& ts, const MixView& mix) const;
+  /// Score under the configured rescore policy: fresh from `mix` (with
+  /// `rpt` the precomputed scoring_remaining), or the enqueue-time cache.
+  double score_of(TaskState& ts, double rpt, const MixView& mix) const;
+  /// Fresh policy score, routed through the per-task ScoreCache when the
+  /// policy supports it (bit-identical; cross-checked in debug builds).
+  double fresh_score(TaskState& ts, double rpt, const MixView& mix) const;
+  /// Fresh scores for a set of *pending* tasks (rpt = queue_rpt) into
+  /// batch_scores_, via the policy's batch entry points: one virtual call
+  /// per scan. Element-wise bit-identical to fresh_score.
+  void batch_fresh_scores(std::span<TaskState* const> tasks,
+                          const MixView& mix);
+  /// (score desc, id asc) — the total order admission ranks pending by.
+  static bool rank_less(const Scored& a, const Scored& b);
+  /// Sorts scored_ by rank_less. scored_ arrives in last quote's order, so
+  /// it is usually already sorted or one insertion away; an insertion pass
+  /// (with an inversion/move budget falling back to std::sort) replaces the
+  /// full sort. Correctness never rests on that: rank_less is a total
+  /// order, so the sorted permutation is unique however it is reached.
+  void adaptive_rank_sort();
 
-  /// Rebuilds the mix snapshot over pending+running (+ optional candidate).
-  const MixView& build_mix(const Task* candidate);
+  /// Advances the mix tracker to now and returns the refreshed snapshot
+  /// (honoring mix_full_rebuild; cross-checked against a from-scratch
+  /// recomputation in debug builds).
+  const MixView& mix_refresh();
+  /// Like mix_refresh but with `candidate` appended — the quote-path view.
+  const MixView& mix_refresh_with_candidate(const Task& candidate);
 
-  /// Sorted pending view + processor free times for admission projection.
-  AdmissionContext build_admission_context(
-      const MixView& mix, std::vector<const Task*>& pending_sorted,
-      std::vector<double>& pending_rpt, std::vector<double>& proc_free);
+  /// Allocates (or recycles) backing storage for an accepted task.
+  TaskState& acquire_state();
+  /// O(1) queue bookkeeping via TaskState::queue_pos.
+  void push_pending(TaskState& ts);
+  void erase_pending(TaskState& ts);
+  void push_running(TaskState& ts);
+  void erase_running(TaskState& ts);
+  /// Common tail of submit()/preload() for an accepted task.
+  void enqueue_accepted(const Task& task, TaskRecord& record);
+
+  /// Sorted pending view + processor free times for admission projection;
+  /// fills the per-site scratch buffers. When the admission policy never
+  /// reads the ranked suffix, only the prefix outranking `candidate` is
+  /// sorted (bit-identical projection, O(n + k log k) instead of
+  /// O(n log n)).
+  AdmissionContext build_admission_context(const MixView& mix,
+                                           const Task& candidate);
 
   SimEngine& engine_;
   SchedulerConfig config_;
@@ -170,13 +244,44 @@ class SiteScheduler {
   MixTracker mix_;
 
   std::deque<TaskState> states_;  // stable storage
+  std::vector<TaskState*> free_states_;  // finished states ready for reuse
   std::unordered_map<TaskId, TaskState*> by_id_;
   std::vector<TaskState*> pending_;
   std::vector<TaskState*> running_;
+  /// The pending set in the priority order established by the last
+  /// admission ranking — the warm start that makes the per-quote sort an
+  /// O(n) repair instead of O(n log n) from scratch.
+  std::vector<TaskState*> rank_order_;
   std::deque<TaskRecord> records_;
 
-  bool mix_any_bounded_ = false;
+  // Scratch buffers reused across dispatches and quotes so the hot path
+  // allocates nothing in steady state.
+  std::vector<Scored> scored_;
+  std::vector<const Task*> pending_sorted_;
+  std::vector<double> pending_rpt_;
+  std::vector<double> pending_scores_;
+  std::vector<double> pending_decay_;
+  std::vector<double> proc_free_;
+  std::vector<PendingItem> projection_scratch_;
+  std::vector<double> heap_scratch_;
+  std::vector<TaskState*> droppable_;
+  std::vector<TaskState*> to_start_;
+  std::vector<TaskState*> to_preempt_;
+  // Parallel arrays for the policy batch-scoring calls.
+  std::vector<double> batch_scores_;
+  std::vector<ScoreCache> batch_caches_;
+  std::vector<const Task*> batch_tasks_;
+  std::vector<double> batch_rpts_;
+  std::vector<std::size_t> miss_idx_;
+  std::vector<const Task*> miss_tasks_;
+  std::vector<double> miss_rpts_;
+  std::vector<ScoreCache> miss_caches_;
+
   bool dispatch_pending_ = false;
+  /// policy_->cacheable(), latched at construction.
+  bool policy_cacheable_ = false;
+  /// admission_->reads_ranked_suffix(), latched at construction.
+  bool admission_reads_suffix_ = true;
   /// Any accepted task with width > 1 switches dispatch to the
   /// gang-scheduling/backfill path.
   bool any_wide_ = false;

@@ -25,6 +25,7 @@ ValueFunction::ValueFunction(double max_value,
     MBTS_CHECK_MSG(s.duration >= 0.0, "segment duration must be non-negative");
   }
   segments_.back().duration = kInf;  // last segment extends forever
+  linear_rate_ = segments_.front().rate;
 
   // Precompute the expiry delay: the earliest delay beyond which no further
   // decay can ever happen — either the bound is reached, or every remaining
@@ -66,7 +67,7 @@ ValueFunction ValueFunction::unbounded(double max_value, double decay) {
   return ValueFunction(max_value, decay, kInf);
 }
 
-double ValueFunction::decay_at_delay(double delay) const {
+double ValueFunction::decay_at_delay_general(double delay) const {
   delay = std::max(delay, 0.0);
   if (expired_at_delay(delay)) return 0.0;
   double start = 0.0;
@@ -77,7 +78,7 @@ double ValueFunction::decay_at_delay(double delay) const {
   return segments_.back().rate;
 }
 
-double ValueFunction::yield_at_delay(double delay) const {
+double ValueFunction::yield_at_delay_general(double delay) const {
   delay = std::max(delay, 0.0);
   double drop = 0.0;
   double remaining = delay;

@@ -18,6 +18,7 @@
 // A single-segment profile reproduces Eq. 1 exactly.
 #pragma once
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -58,15 +59,29 @@ class ValueFunction {
   /// and the closest scalar summary for piecewise ones.
   double decay() const { return segments_.front().rate; }
   /// The instantaneous decay rate after `delay` units of waiting (0 once
-  /// the function has expired).
-  double decay_at_delay(double delay) const;
+  /// the function has expired). The single-segment (Eq. 1) fast path is
+  /// inlined — it is the innermost loop of every queue rescore; the
+  /// arithmetic matches the general path bit for bit.
+  double decay_at_delay(double delay) const {
+    if (segments_.size() == 1) {
+      if (expired_at_delay(std::max(delay, 0.0))) return 0.0;
+      return linear_rate_;
+    }
+    return decay_at_delay_general(delay);
+  }
   double penalty_bound() const { return penalty_bound_; }
   bool bounded() const { return penalty_bound_ != kInf; }
   bool is_linear() const { return segments_.size() == 1; }
   const std::vector<DecaySegment>& segments() const { return segments_; }
 
   /// Yield after `delay` units of queueing delay (delay < 0 clamps to 0).
-  double yield_at_delay(double delay) const;
+  double yield_at_delay(double delay) const {
+    if (segments_.size() == 1) {
+      const double d = std::max(delay, 0.0);
+      return std::max(max_value_ - d * linear_rate_, -penalty_bound_);
+    }
+    return yield_at_delay_general(delay);
+  }
 
   /// Delay at which yield first reaches zero (kInf if it never does).
   double delay_to_zero() const;
@@ -92,10 +107,17 @@ class ValueFunction {
   /// kInf if it never accumulates that much.
   double delay_for_drop(double drop) const;
 
+  /// Piecewise (multi-segment) slow paths of the inline accessors above.
+  double decay_at_delay_general(double delay) const;
+  double yield_at_delay_general(double delay) const;
+
   double max_value_;
   double penalty_bound_;
   std::vector<DecaySegment> segments_;
   double expire_delay_ = kInf;  // precomputed at construction
+  /// segments_.front().rate, mirrored inline so the fast paths above skip
+  /// the heap indirection.
+  double linear_rate_ = 0.0;
 };
 
 }  // namespace mbts

@@ -23,8 +23,9 @@ struct GroupOutcome {
   double total_yield = 0.0;
   /// Realized yield over the group's maximum attainable value.
   double yield_fraction = 0.0;
-  Summary delay;         // completed tasks' queueing delay
-  Summary stretch;       // delay / declared runtime (slowdown - 1)
+  Summary delay;         // completed tasks' contract delay (Eq. 2; see
+                         // RunStats::delay for the exact definition)
+  Summary stretch;       // contract delay / declared runtime
 };
 
 /// Splits records into groups by unit value (value / (runtime * width))

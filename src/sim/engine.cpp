@@ -1,15 +1,23 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 
 namespace mbts {
+
+namespace {
+// Below this size a compaction sweep costs more than it saves.
+constexpr std::size_t kMinCompactSize = 64;
+}  // namespace
 
 EventId SimEngine::schedule_at(double t, EventPriority priority, Callback cb) {
   MBTS_CHECK_MSG(t >= now_, "cannot schedule event in the past");
   MBTS_CHECK_MSG(static_cast<bool>(cb), "event callback must be callable");
   const EventId id = next_seq_++;
-  state_.push_back(EventState::kPending);
-  queue_.push(Event{t, static_cast<int>(priority), id, id, std::move(cb)});
+  state_.push_back(EventRecord{EventState::kPending, std::move(cb)});
+  heap_.push_back(Event{t, static_cast<int>(priority), id});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++live_count_;
   return id;
 }
@@ -20,57 +28,90 @@ EventId SimEngine::schedule_after(double delay, EventPriority priority,
   return schedule_at(now_ + delay, priority, std::move(cb));
 }
 
+void SimEngine::retire(EventId id) {
+  MBTS_DCHECK(id >= state_base_);
+  record_of(id).status = EventState::kDone;
+  while (!state_.empty() && state_.front().status == EventState::kDone) {
+    state_.pop_front();
+    ++state_base_;
+  }
+}
+
 bool SimEngine::cancel(EventId id) {
-  if (id >= state_.size() || state_[id] != EventState::kPending) return false;
-  state_[id] = EventState::kCancelled;
-  // The event object stays in the heap; it is skipped when popped. We still
-  // decrement the live count so empty()/pending() reflect real work.
+  if (id >= next_seq_ || state_of(id) != EventState::kPending) return false;
+  EventRecord& record = record_of(id);
+  record.status = EventState::kCancelled;
+  // The callback is released eagerly; only the 24-byte heap key stays as a
+  // tombstone. It is dropped when it surfaces, or in bulk once tombstones
+  // dominate. The live count reflects real work immediately so
+  // empty()/pending() stay truthful.
+  record.cb = nullptr;
   MBTS_DCHECK(live_count_ > 0);
   --live_count_;
+  ++tombstones_;
+  if (tombstones_ > heap_.size() / 2 && heap_.size() >= kMinCompactSize)
+    compact();
   return true;
 }
 
-bool SimEngine::pop_next(Event& out) {
-  while (!queue_.empty()) {
-    // priority_queue::top is const; we need to move the callback out, so
-    // const_cast is confined here. The element is popped immediately after.
-    Event& top = const_cast<Event&>(queue_.top());
-    if (state_[top.id] == EventState::kCancelled) {
-      state_[top.id] = EventState::kDone;
-      queue_.pop();
-      continue;
-    }
-    MBTS_DCHECK(state_[top.id] == EventState::kPending);
-    state_[top.id] = EventState::kDone;
-    out = std::move(top);
-    queue_.pop();
+void SimEngine::compact() {
+  const auto keep = std::remove_if(heap_.begin(), heap_.end(), [&](Event& ev) {
+    if (state_of(ev.id) != EventState::kCancelled) return false;
+    retire(ev.id);
     return true;
+  });
+  heap_.erase(keep, heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  tombstones_ = 0;
+}
+
+const SimEngine::Event* SimEngine::peek_next() {
+  while (!heap_.empty()) {
+    const Event& top = heap_.front();
+    if (state_of(top.id) != EventState::kCancelled) return &top;
+    retire(top.id);
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+    MBTS_DCHECK(tombstones_ > 0);
+    --tombstones_;
   }
-  return false;
+  return nullptr;
 }
 
 double SimEngine::run() {
-  Event ev;
-  while (pop_next(ev)) {
-    MBTS_DCHECK(ev.t >= now_);
-    now_ = ev.t;
+  Callback cb;
+  while (const Event* next = peek_next()) {
+    MBTS_DCHECK(next->t >= now_);
+    now_ = next->t;
+    cb = std::move(record_of(next->id).cb);
+    retire(next->id);
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
     --live_count_;
     ++executed_;
-    ev.cb();
+    cb();
   }
   return now_;
 }
 
 double SimEngine::run_until(double t_end) {
   MBTS_CHECK(t_end >= now_);
-  Event ev;
-  while (!queue_.empty()) {
-    if (queue_.top().t > t_end) break;
-    if (!pop_next(ev)) break;
-    now_ = ev.t;
+  Callback cb;
+  // Horizon check happens on the next *live* event: peek_next first skims
+  // cancelled tombstones off the heap top, so a cancelled event at t <= t_end
+  // can never smuggle a pending event with t > t_end past the boundary (the
+  // old behavior executed it and then yanked the clock backwards to t_end).
+  while (const Event* next = peek_next()) {
+    if (next->t > t_end) break;
+    MBTS_DCHECK(next->t >= now_);
+    now_ = next->t;
+    cb = std::move(record_of(next->id).cb);
+    retire(next->id);
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
     --live_count_;
     ++executed_;
-    ev.cb();
+    cb();
   }
   now_ = t_end;
   return now_;

@@ -7,11 +7,19 @@
 // Priorities matter for correctness of the task service: a completion at
 // time t must free its processor before an arrival at t is scheduled, or the
 // arrival would wrongly observe a full cluster.
+//
+// Cancellation is lazy: a cancelled event stays in the heap as a tombstone
+// and is dropped when it reaches the top. When tombstones outnumber live
+// events the heap is compacted in one O(n) sweep, so preemption-heavy
+// million-event runs stay bounded in both heap size and per-event cost.
+// Per-event lifecycle state lives in a sliding window over event ids whose
+// retired prefix is reclaimed as events fire, so memory tracks the number of
+// *outstanding* events rather than the number ever scheduled.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <queue>
 #include <vector>
 
 namespace mbts {
@@ -47,41 +55,70 @@ class SimEngine {
   /// Runs until the queue drains. Returns the final clock.
   double run();
 
-  /// Runs until the queue drains or the clock would pass t_end; events at
-  /// t > t_end stay queued and now() is advanced to t_end.
+  /// Runs until the queue drains or the next live event lies beyond t_end;
+  /// events at t > t_end stay queued and now() is advanced to exactly t_end.
+  /// The clock never runs backwards and no event with t > t_end executes.
   double run_until(double t_end);
 
   bool empty() const { return live_count_ == 0; }
   std::size_t pending() const { return live_count_; }
 
+  /// Cancelled events still buried in the heap (observability/testing).
+  std::size_t tombstones() const { return tombstones_; }
+  /// Heap slots currently allocated, live + tombstones (observability).
+  std::size_t heap_size() const { return heap_.size(); }
+
  private:
+  /// Heap entries are plain 24-byte keys (the id doubles as the insertion
+  /// sequence); the callback lives in the state window instead, so heap
+  /// sifts move PODs rather than std::function objects.
   struct Event {
     double t;
     int priority;
-    std::uint64_t seq;
     EventId id;
-    Callback cb;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       if (a.t != b.t) return a.t > b.t;
       if (a.priority != b.priority) return a.priority > b.priority;
-      return a.seq > b.seq;
+      return a.id > b.id;
     }
   };
 
-  bool pop_next(Event& out);
-
   enum class EventState : unsigned char { kPending, kCancelled, kDone };
+  struct EventRecord {
+    EventState status = EventState::kPending;
+    Callback cb;
+  };
+
+  /// Drops cancelled tombstones off the heap top; returns the next live
+  /// event (still owned by the heap) or nullptr when drained.
+  const Event* peek_next();
+  /// Removes all tombstones and re-heapifies (O(n)); called when tombstones
+  /// exceed half the heap.
+  void compact();
+
+  EventState state_of(EventId id) const {
+    return id < state_base_
+               ? EventState::kDone
+               : state_[static_cast<std::size_t>(id - state_base_)].status;
+  }
+  EventRecord& record_of(EventId id) {
+    return state_[static_cast<std::size_t>(id - state_base_)];
+  }
+  /// Marks an event finished and reclaims the retired prefix of the window.
+  void retire(EventId id);
 
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::size_t live_count_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  // Per-event lifecycle, indexed by id; cancelled events are lazily dropped
-  // when popped.
-  std::vector<EventState> state_;
+  std::size_t tombstones_ = 0;
+  std::vector<Event> heap_;  // binary heap ordered by Later
+  // Sliding per-event lifecycle window: the record of event id lives at
+  // state_[id - state_base_]; ids below state_base_ are all kDone.
+  std::deque<EventRecord> state_;
+  EventId state_base_ = 0;
 };
 
 }  // namespace mbts

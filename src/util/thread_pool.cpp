@@ -2,7 +2,16 @@
 
 #include <algorithm>
 
+#include "util/check.hpp"
+
 namespace mbts {
+
+namespace {
+// Pool whose worker loop is running on this thread (nullptr on non-workers).
+// Used to reject re-entrant parallel_for: a worker that blocks waiting for
+// tasks queued on its own pool can deadlock once every worker does the same.
+thread_local const ThreadPool* current_worker_pool = nullptr;
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0)
@@ -22,6 +31,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  current_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -37,10 +47,39 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
+  MBTS_CHECK_MSG(current_worker_pool != this,
+                 "re-entrant parallel_for from a worker of the same pool "
+                 "would deadlock; use a nested pool or restructure");
+  if (n == 0) return;
+  // Block-chunked submission: a bounded number of range tasks instead of one
+  // task + future per index, so a 100k-point sweep costs a handful of
+  // allocations. A small multiple of the worker count keeps stragglers from
+  // serializing the tail when iteration costs are uneven.
+  const std::size_t chunks = std::min(n, size() * 4);
+  const std::size_t base = n / chunks;
+  const std::size_t extra = n % chunks;
   std::vector<std::future<void>> futures;
-  futures.reserve(n);
-  for (std::size_t i = 0; i < n; ++i)
-    futures.push_back(submit([&fn, i] { fn(i); }));
+  futures.reserve(chunks);
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t count = base + (c < extra ? 1 : 0);
+    const std::size_t end = begin + count;
+    futures.push_back(submit([&fn, begin, end] {
+      // Every index runs even when a sibling throws; the block reports the
+      // first failure once the rest of its range has been attempted.
+      std::exception_ptr error;
+      for (std::size_t i = begin; i < end; ++i) {
+        try {
+          fn(i);
+        } catch (...) {
+          if (!error) error = std::current_exception();
+        }
+      }
+      if (error) std::rethrow_exception(error);
+    }));
+    begin = end;
+  }
+  MBTS_DCHECK(begin == n);
   std::exception_ptr first_error;
   for (auto& f : futures) {
     try {

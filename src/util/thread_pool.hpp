@@ -45,7 +45,11 @@ class ThreadPool {
   }
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
-  /// Exceptions from any iteration are rethrown (first one wins).
+  /// Work is submitted as O(size()) contiguous index blocks, not one task
+  /// per index, so huge sweeps stay cheap. Every index is attempted even if
+  /// another throws; one exception is rethrown (first one wins).
+  /// Must not be called from a worker of this same pool (MBTS_CHECK —
+  /// blocking on your own pool's queue deadlocks once all workers do it).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

@@ -2,8 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
+#include <memory>
+#include <vector>
+
 #include "core/metrics.hpp"
 #include "core/policies/first_price.hpp"
+#include "core/scheduler.hpp"
+#include "util/rng.hpp"
 
 namespace mbts {
 namespace {
@@ -214,6 +220,84 @@ TEST(SlackAdmission, DiscountReducesSlack) {
   const double discounted =
       admission.evaluate(candidate, fx_discounted.context()).slack;
   EXPECT_LT(discounted, plain);
+}
+
+// --- reads_ranked_suffix() prefix-truncation contract --------------------
+
+/// Accepts iff the projected yield is positive. The decision reads only the
+/// candidate's own projection — the tasks ranked *behind* it never matter —
+/// so it is a legal reads_ranked_suffix() == false policy. The twin that
+/// (conservatively) declares true forces the scheduler to hand evaluate()
+/// the fully ranked context; both must decide every bid identically.
+class ProjectedYieldAdmission final : public AdmissionPolicy {
+ public:
+  explicit ProjectedYieldAdmission(bool prefix_only)
+      : prefix_only_(prefix_only) {}
+  std::string name() const override { return "ProjectedYield"; }
+  AdmissionDecision evaluate(const Task& candidate,
+                             const AdmissionContext& ctx) const override {
+    AdmissionDecision decision = project_candidate(candidate, ctx);
+    decision.slack = decision.expected_yield;
+    decision.accept = decision.expected_yield > 0.0;
+    return decision;
+  }
+  bool reads_ranked_suffix() const override { return !prefix_only_; }
+
+ private:
+  bool prefix_only_;
+};
+
+TEST(AdmissionContextTruncation, PrefixOnlyPolicySeesIdenticalQuotes) {
+  // When a policy declares reads_ranked_suffix() == false the scheduler
+  // truncates the pending spans to the prefix outranking the candidate and
+  // skips the pending_decay fill. The projection must be bit-identical to
+  // the full-context path: same accepts, same quoted completions, yields,
+  // queue positions, and the same end-to-end RunStats.
+  std::vector<Task> tasks(300);
+  Xoshiro256 rng(606);
+  double arrival = 0.0;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    arrival += rng.uniform(0.0, 1.2);
+    tasks[i] = make_task(static_cast<TaskId>(i + 1), arrival,
+                         rng.uniform(1.0, 20.0), rng.uniform(10.0, 100.0),
+                         rng.uniform(0.01, 0.5));
+  }
+  struct Outcome {
+    std::deque<TaskRecord> records;
+    RunStats stats;
+    double end_time = 0.0;
+  };
+  const auto run = [&](bool prefix_only) {
+    SimEngine engine;
+    SchedulerConfig config;
+    config.processors = 4;
+    config.preemption = true;
+    config.discount_rate = 0.01;
+    SiteScheduler site(engine, config,
+                       make_policy(PolicySpec::first_reward(0.3)),
+                       std::make_unique<ProjectedYieldAdmission>(prefix_only));
+    site.inject(tasks);
+    engine.run();
+    return Outcome{site.records(), site.stats(), engine.now()};
+  };
+  const Outcome truncated = run(true);
+  const Outcome full = run(false);
+  EXPECT_EQ(truncated.end_time, full.end_time);
+  ASSERT_EQ(truncated.records.size(), full.records.size());
+  for (std::size_t i = 0; i < full.records.size(); ++i) {
+    const TaskRecord& a = truncated.records[i];
+    const TaskRecord& b = full.records[i];
+    EXPECT_EQ(a.outcome, b.outcome) << "task " << a.task.id;
+    EXPECT_EQ(a.quoted_completion, b.quoted_completion) << "task " << a.task.id;
+    EXPECT_EQ(a.quoted_yield, b.quoted_yield) << "task " << a.task.id;
+    EXPECT_EQ(a.completion, b.completion) << "task " << a.task.id;
+    EXPECT_EQ(a.realized_yield, b.realized_yield) << "task " << a.task.id;
+  }
+  EXPECT_EQ(truncated.stats.accepted, full.stats.accepted);
+  EXPECT_EQ(truncated.stats.rejected, full.stats.rejected);
+  EXPECT_EQ(truncated.stats.total_yield, full.stats.total_yield);
+  EXPECT_EQ(truncated.stats.preemptions, full.stats.preemptions);
+  EXPECT_EQ(truncated.stats.dispatches, full.stats.dispatches);
 }
 
 }  // namespace

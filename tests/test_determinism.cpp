@@ -44,6 +44,59 @@ TEST(Determinism, SingleSiteRunIsBitStable) {
   EXPECT_EQ(a.last_completion, b.last_completion);
 }
 
+TEST(Determinism, IncrementalMixMatchesFullRebuild) {
+  // The incrementally maintained MixTracker must be *bit-identical* to a
+  // from-scratch rebuild at every dispatch/quote — not merely close. Run the
+  // Fig. 4 (bounded decay-skew) and Fig. 6 (admission under overload)
+  // presets both ways and require every RunStats field to match exactly.
+  SchedulerConfig incremental;
+  incremental.processors = presets::kProcessors;
+  incremental.preemption = true;
+  incremental.discount_rate = 0.01;
+  SchedulerConfig rebuilt = incremental;
+  rebuilt.mix_full_rebuild = true;
+
+  const auto expect_identical = [](const RunStats& a, const RunStats& b) {
+    EXPECT_EQ(a.submitted, b.submitted);
+    EXPECT_EQ(a.accepted, b.accepted);
+    EXPECT_EQ(a.rejected, b.rejected);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.dropped, b.dropped);
+    EXPECT_EQ(a.total_yield, b.total_yield);
+    EXPECT_EQ(a.yield_rate, b.yield_rate);
+    EXPECT_EQ(a.last_completion, b.last_completion);
+    EXPECT_EQ(a.utilization, b.utilization);
+    EXPECT_EQ(a.preemptions, b.preemptions);
+    EXPECT_EQ(a.dispatches, b.dispatches);
+    EXPECT_EQ(a.delay.mean(), b.delay.mean());
+    EXPECT_EQ(a.delay.max(), b.delay.max());
+    EXPECT_EQ(a.realized_yield.mean(), b.realized_yield.mean());
+    EXPECT_EQ(a.realized_yield.min(), b.realized_yield.min());
+  };
+
+  {
+    Xoshiro256 rng = SeedSequence(42).stream(4);
+    const Trace trace = generate_trace(
+        presets::decay_skew_mix(5.0, PenaltyModel::kBoundedAtZero, 800), rng);
+    expect_identical(run_single_site(trace, incremental,
+                                     PolicySpec::first_reward(0.3),
+                                     std::nullopt),
+                     run_single_site(trace, rebuilt,
+                                     PolicySpec::first_reward(0.3),
+                                     std::nullopt));
+  }
+  {
+    Xoshiro256 rng = SeedSequence(42).stream(6);
+    const Trace trace = generate_trace(presets::admission_mix(1.6, 800), rng);
+    expect_identical(run_single_site(trace, incremental,
+                                     PolicySpec::first_reward(0.3),
+                                     SlackAdmissionConfig{180.0, false}),
+                     run_single_site(trace, rebuilt,
+                                     PolicySpec::first_reward(0.3),
+                                     SlackAdmissionConfig{180.0, false}));
+  }
+}
+
 TEST(Determinism, ThreadCountDoesNotChangeFigureResults) {
   // The sweep harness parallelizes over replications; the aggregated
   // figure must not depend on the worker count.

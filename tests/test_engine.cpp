@@ -155,6 +155,87 @@ TEST(SimEngine, RunUntilIncludesBoundaryEvents) {
   EXPECT_TRUE(fired);
 }
 
+TEST(SimEngine, RunUntilCancelledHeadDoesNotTimeTravel) {
+  // Regression: a cancelled event at the heap top used to pass the horizon
+  // check on its own timestamp; the pop then skipped the tombstone and
+  // executed the next *pending* event even when it lay beyond t_end, after
+  // which `now_ = t_end` yanked the clock backwards. The horizon must be
+  // enforced on the next live event.
+  SimEngine engine;
+  bool fired_late = false;
+  double fired_at = -1.0;
+  const EventId doomed =
+      engine.schedule_at(2.0, EventPriority::kCompletion, [] {});
+  engine.schedule_at(8.0, EventPriority::kControl, [&] {
+    fired_late = true;
+    fired_at = engine.now();
+  });
+  engine.cancel(doomed);  // tombstone at the heap top, t = 2 <= t_end
+  engine.run_until(5.0);
+  EXPECT_FALSE(fired_late);
+  EXPECT_EQ(engine.now(), 5.0);
+  EXPECT_EQ(engine.pending(), 1u);
+  engine.run();
+  EXPECT_TRUE(fired_late);
+  EXPECT_EQ(fired_at, 8.0);  // observed its own time, not a rewound clock
+  EXPECT_EQ(engine.now(), 8.0);
+}
+
+TEST(SimEngine, RunUntilNeverExecutesPastHorizonNorRewinds) {
+  // Dense cancel/keep pattern so tombstones repeatedly surface at the top;
+  // no callback may ever observe now() beyond the horizon, and the clock
+  // must be monotone across successive bounded drains.
+  SimEngine engine;
+  double max_seen = -1.0;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 200; ++i)
+    ids.push_back(engine.schedule_at(static_cast<double>(i),
+                                     EventPriority::kControl, [&] {
+                                       if (engine.now() > max_seen)
+                                         max_seen = engine.now();
+                                     }));
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    if (i % 3 != 0) engine.cancel(ids[i]);
+  double last_now = 0.0;
+  for (double horizon = 10.0; horizon <= 200.0; horizon += 10.0) {
+    engine.run_until(horizon);
+    EXPECT_EQ(engine.now(), horizon);
+    EXPECT_GE(engine.now(), last_now);
+    EXPECT_LE(max_seen, horizon);
+    last_now = engine.now();
+  }
+  EXPECT_EQ(engine.events_executed(), 67u);  // ceil(200 / 3) survivors
+}
+
+TEST(SimEngine, TombstoneCompactionKeepsSurvivorsAndOrder) {
+  // Cancel 90% of a large batch so the lazy sweep triggers repeatedly; the
+  // survivors must all fire, in time order, exactly once.
+  SimEngine engine;
+  std::vector<EventId> ids;
+  std::vector<int> fired;
+  for (int i = 0; i < 5000; ++i) {
+    const double t = static_cast<double>((i * 7919) % 997);
+    ids.push_back(engine.schedule_at(t, EventPriority::kControl,
+                                     [&fired, i] { fired.push_back(i); }));
+  }
+  for (int i = 0; i < 5000; ++i) {
+    if (i % 10 == 0) continue;
+    EXPECT_TRUE(engine.cancel(ids[i]));
+  }
+  EXPECT_EQ(engine.pending(), 500u);
+  double last = -1.0;
+  bool monotone = true;
+  engine.run();
+  EXPECT_EQ(fired.size(), 500u);
+  for (int i : fired) {
+    EXPECT_EQ(i % 10, 0);
+    const double t = static_cast<double>((i * 7919) % 997);
+    if (t < last) monotone = false;
+    last = t;
+  }
+  EXPECT_TRUE(monotone);
+}
+
 TEST(SimEngine, ExecutedCounterCountsOnlyFired) {
   SimEngine engine;
   const EventId id = engine.schedule_at(1.0, EventPriority::kControl, [] {});

@@ -7,6 +7,9 @@
 // the task's value function at its recorded completion.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <numeric>
+#include <set>
 #include <string>
 #include <tuple>
 
@@ -206,6 +209,131 @@ TEST(AdmissionTrend, HigherThresholdAcceptsFewer) {
   EXPECT_GE(lenient, middle);
   EXPECT_GE(middle, strict);
   EXPECT_EQ(lenient, 400u);  // nothing can fall that far below zero slack
+}
+
+// --- Width-1 nth_element fast path vs full sort --------------------------
+
+// The dispatch fast path replaces a full sort with std::nth_element and
+// keeps only *membership* in the top-k set. That is sound only because the
+// rank comparator is a strict total order (score desc, running-first,
+// id asc — ids are unique), so the top-k set is the same for any correct
+// partial or full sort. Property-check it under heavy score ties.
+TEST(WidthOneDispatch, NthElementTopSetMatchesFullSortUnderTies) {
+  struct Row {
+    double score;
+    bool running;
+    TaskId id;
+  };
+  const auto by_rank = [](const Row& a, const Row& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.running != b.running) return a.running;
+    return a.id < b.id;
+  };
+  Xoshiro256 rng(404);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 1 + rng.below(200);
+    const std::size_t k = std::min(n, 1 + rng.below(16));
+    std::vector<Row> rows(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Scores from a 4-value set so ties are the common case, not the edge.
+      rows[i].score = static_cast<double>(rng.below(4)) * 2.5;
+      rows[i].running = rng.below(2) == 0;
+      rows[i].id = static_cast<TaskId>(i + 1);
+    }
+    std::vector<Row> partitioned = rows;
+    if (k < n)
+      std::nth_element(partitioned.begin(),
+                       partitioned.begin() + static_cast<std::ptrdiff_t>(k),
+                       partitioned.end(), by_rank);
+    std::vector<Row> sorted = rows;
+    std::sort(sorted.begin(), sorted.end(), by_rank);
+    std::set<TaskId> top_partitioned;
+    std::set<TaskId> top_sorted;
+    for (std::size_t i = 0; i < k; ++i) {
+      top_partitioned.insert(partitioned[i].id);
+      top_sorted.insert(sorted[i].id);
+    }
+    EXPECT_EQ(top_partitioned, top_sorted) << "trial " << trial;
+  }
+}
+
+// End-to-end tie resolution through the real dispatch: identical tasks give
+// fully tied scores, so the comparator's id tie-break alone decides the
+// running set — the lowest ids win, deterministically, in both dispatch
+// modes.
+TEST(WidthOneDispatch, FullScoreTiesResolveByTaskId) {
+  for (const bool preemption : {false, true}) {
+    std::vector<Task> tasks(32);
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      tasks[i].id = static_cast<TaskId>(i + 1);
+      tasks[i].arrival = 0.0;
+      tasks[i].runtime = 10.0;
+      tasks[i].value = ValueFunction::unbounded(100.0, 0.01);
+    }
+    SimEngine engine;
+    SchedulerConfig config;
+    config.processors = 8;
+    config.preemption = preemption;
+    config.discount_rate = 0.01;
+    SiteScheduler site(engine, config,
+                       make_policy(PolicySpec::first_reward(0.3)),
+                       std::make_unique<AcceptAllAdmission>());
+    site.preload(tasks);   // one coalesced dispatch over the whole backlog
+    engine.run_until(0.0); // fire it without letting anything complete
+    EXPECT_EQ(site.running_count(), 8u);
+    for (const TaskRecord& r : site.records()) {
+      if (r.task.id <= 8)
+        EXPECT_EQ(r.first_start, 0.0) << "id " << r.task.id;
+      else
+        EXPECT_LT(r.first_start, 0.0) << "id " << r.task.id;
+    }
+  }
+}
+
+// Random ties with a predictable policy: SWPT ranks by decay / remaining
+// time, so drawing decay and runtime from tiny discrete sets manufactures
+// exact IEEE ties across distinct tasks. The selected set must equal the
+// top-k of an independent full sort by (priority desc, id asc).
+TEST(WidthOneDispatch, RandomTiedScoresMatchIndependentFullSort) {
+  Xoshiro256 rng(505);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 24 + rng.below(40);
+    const std::size_t procs = 4 + rng.below(8);
+    std::vector<Task> tasks(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      tasks[i].id = static_cast<TaskId>(i + 1);
+      tasks[i].arrival = 0.0;
+      tasks[i].runtime = rng.below(2) == 0 ? 5.0 : 10.0;
+      tasks[i].value = ValueFunction::unbounded(
+          100.0, rng.below(2) == 0 ? 0.2 : 0.4);
+    }
+    // Expected winners: SWPT priority is decay/runtime (both exact in IEEE
+    // for these values), ties broken by id ascending.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const double pa = tasks[a].value.decay() / tasks[a].runtime;
+      const double pb = tasks[b].value.decay() / tasks[b].runtime;
+      if (pa != pb) return pa > pb;
+      return tasks[a].id < tasks[b].id;
+    });
+    std::set<TaskId> expect;
+    for (std::size_t i = 0; i < std::min(procs, n); ++i)
+      expect.insert(tasks[order[i]].id);
+
+    SimEngine engine;
+    SchedulerConfig config;
+    config.processors = procs;
+    config.preemption = false;
+    SiteScheduler site(engine, config, make_policy(PolicySpec::swpt()),
+                       std::make_unique<AcceptAllAdmission>());
+    site.preload(tasks);
+    engine.run_until(0.0);
+    std::set<TaskId> started;
+    for (const TaskRecord& r : site.records())
+      if (r.first_start == 0.0) started.insert(r.task.id);
+    EXPECT_EQ(started, expect) << "trial " << trial;
+  }
 }
 
 }  // namespace

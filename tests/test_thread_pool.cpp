@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/check.hpp"
+
 namespace mbts {
 namespace {
 
@@ -74,6 +76,46 @@ TEST(ThreadPool, ParallelForRunsRemainingAfterError) {
   } catch (const std::runtime_error&) {
   }
   EXPECT_EQ(done.load(), 19);
+}
+
+TEST(ThreadPool, ParallelForLargeSweepCoversEveryIndexOnce) {
+  // 100k indices go through the block-chunked path (O(size()) submissions,
+  // not one task per index); every index must still run exactly once.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100000);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForFewerIndicesThanWorkers) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForFromWorkerThreadIsRejected) {
+  // A nested parallel_for from a pool worker would block on the pool's own
+  // queue and deadlock once every worker does it; the pool must refuse it
+  // with a CheckError instead of hanging.
+  ThreadPool pool(2);
+  auto future = pool.submit([&pool] {
+    pool.parallel_for(4, [](std::size_t) {});
+  });
+  EXPECT_THROW(future.get(), CheckError);
+}
+
+TEST(ThreadPool, ParallelForFromOtherPoolWorkerIsAllowed) {
+  // The re-entrancy guard is per-pool: driving one pool from another
+  // pool's worker is fine.
+  ThreadPool outer(2);
+  ThreadPool inner(2);
+  std::atomic<int> count{0};
+  auto future = outer.submit([&] {
+    inner.parallel_for(10, [&](std::size_t) { ++count; });
+  });
+  EXPECT_NO_THROW(future.get());
+  EXPECT_EQ(count.load(), 10);
 }
 
 TEST(ThreadPool, DestructorDrainsQueue) {

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Dispatch/quote hot-path benchmark runner. Runs the large-mix cases of
+# bench/micro_schedule (backlog dispatch, quote-vs-backlog) and
+# bench/micro_event_queue (cancel churn, bounded-horizon drains) and merges
+# their google-benchmark JSON into BENCH_dispatch.json at the repo root —
+# the perf trajectory record for the hot-path work.
+#
+# Usage: tools/bench_dispatch.sh [build_dir] (default: build)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+OUT="$ROOT/BENCH_dispatch.json"
+
+cmake --build "$BUILD" -j "$(nproc)" --target micro_schedule micro_event_queue
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+"$BUILD/bench/micro_schedule" \
+  --benchmark_filter='BM_DispatchBacklog|BM_QuoteBacklog' \
+  --benchmark_out="$TMP/schedule.json" --benchmark_out_format=json
+"$BUILD/bench/micro_event_queue" \
+  --benchmark_filter='BM_CancelHeavyChurn|BM_RunUntilStrided' \
+  --benchmark_out="$TMP/event_queue.json" --benchmark_out_format=json
+
+if command -v python3 >/dev/null; then
+  python3 - "$TMP/schedule.json" "$TMP/event_queue.json" "$OUT" <<'EOF'
+import json, sys
+first = json.load(open(sys.argv[1]))
+second = json.load(open(sys.argv[2]))
+first["benchmarks"].extend(second["benchmarks"])
+json.dump(first, open(sys.argv[3], "w"), indent=1)
+print(f"wrote {sys.argv[3]} ({len(first['benchmarks'])} benchmarks)")
+EOF
+else
+  # No python: keep the dispatch benchmarks, the headline numbers.
+  cp "$TMP/schedule.json" "$OUT"
+  echo "python3 not found; wrote micro_schedule results only to $OUT"
+fi

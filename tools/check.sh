@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Full verification pass: optimized build + tier-1 tests, then the same
+# tests under ASan+UBSan (the MBTS_SANITIZE CMake option) so the scheduler's
+# incremental bookkeeping — index-swap queue erases, score-cache stamps,
+# event tombstones — is exercised with memory and UB checking on. Debug mode
+# additionally enables the MBTS_DCHECK cross-checks (incremental mix vs.
+# rebuild, batch vs. scalar scoring), which NDEBUG builds compile out.
+#
+# Usage: tools/check.sh [jobs]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="${1:-$(nproc)}"
+
+run_suite() {
+  local build_dir="$1"
+  shift
+  cmake -S "$ROOT" -B "$build_dir" "$@" >/dev/null
+  cmake --build "$build_dir" -j "$JOBS"
+  ctest --test-dir "$build_dir" -j "$JOBS" --output-on-failure
+}
+
+echo "== optimized build + tests =="
+run_suite "$ROOT/build" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+
+echo "== ASan+UBSan build + tests =="
+run_suite "$ROOT/build-asan" -DCMAKE_BUILD_TYPE=Debug -DMBTS_SANITIZE=ON
+
+echo "check.sh: all suites passed"
