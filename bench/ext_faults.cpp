@@ -1,0 +1,10 @@
+// Extension: deterministic fault injection. See src/experiments/ablations.hpp for the experiment design.
+#include "experiments/ablations.hpp"
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return mbts::benchmain::run(argc, argv, "ext_faults",
+                              "Extension: deterministic fault injection",
+                              mbts::extension_faults,
+                              /*default_jobs=*/2000, /*default_reps=*/3);
+}

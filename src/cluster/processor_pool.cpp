@@ -9,6 +9,7 @@ ProcessorPool::ProcessorPool(std::size_t capacity) : capacity_(capacity) {
 }
 
 void ProcessorPool::acquire(SimTime now, std::size_t count) {
+  MBTS_CHECK_MSG(!offline_, "acquire on an offline pool");
   MBTS_CHECK_MSG(free_count() >= count, "acquire exceeds free processors");
   busy_ += count;
   busy_series_.set(now, static_cast<double>(busy_));
@@ -18,6 +19,30 @@ void ProcessorPool::release(SimTime now, std::size_t count) {
   MBTS_CHECK_MSG(busy_ >= count, "release exceeds busy processors");
   busy_ -= count;
   busy_series_.set(now, static_cast<double>(busy_));
+}
+
+void ProcessorPool::begin_outage(SimTime now) {
+  MBTS_CHECK_MSG(!offline_, "pool is already offline");
+  MBTS_CHECK_MSG(busy_ == 0,
+                 "outage with busy processors: kill or checkpoint in-flight "
+                 "tasks first");
+  offline_ = true;
+  offline_since_ = now;
+  ++outages_;
+  // Pin the busy signal at zero across the outage so utilization charges
+  // the dead interval.
+  busy_series_.set(now, 0.0);
+}
+
+void ProcessorPool::end_outage(SimTime now) {
+  MBTS_CHECK_MSG(offline_, "recovery on an online pool");
+  offline_ = false;
+  downtime_ += now - offline_since_;
+  busy_series_.set(now, 0.0);
+}
+
+double ProcessorPool::downtime(SimTime now) const {
+  return downtime_ + (offline_ ? now - offline_since_ : 0.0);
 }
 
 double ProcessorPool::utilization(SimTime now) const {

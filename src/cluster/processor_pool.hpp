@@ -19,21 +19,44 @@ class ProcessorPool {
 
   std::size_t capacity() const { return capacity_; }
   std::size_t busy() const { return busy_; }
-  std::size_t free_count() const { return capacity_ - busy_; }
-  bool has_free() const { return busy_ < capacity_; }
+  std::size_t free_count() const { return offline_ ? 0 : capacity_ - busy_; }
+  bool has_free() const { return !offline_ && busy_ < capacity_; }
 
-  /// Marks `count` processors busy; requires free_count() >= count.
+  /// Marks `count` processors busy; requires free_count() >= count (and in
+  /// particular that the pool is online).
   void acquire(SimTime now, std::size_t count = 1);
 
-  /// Releases `count` processors; requires busy() >= count.
+  /// Releases `count` processors; requires busy() >= count. Allowed while
+  /// offline so a crashing site can hand back the processors of the tasks
+  /// it is killing or checkpointing.
   void release(SimTime now, std::size_t count = 1);
 
+  // --- Crash semantics (fault injection) ---
+
+  /// Takes every processor offline; requires busy() == 0 — the site must
+  /// kill or checkpoint its in-flight tasks (releasing their processors)
+  /// before declaring the hardware gone.
+  void begin_outage(SimTime now);
+
+  /// Brings the pool back online.
+  void end_outage(SimTime now);
+
+  bool offline() const { return offline_; }
+  std::size_t outages() const { return outages_; }
+  /// Total simulated time spent offline, up to `now`.
+  double downtime(SimTime now) const;
+
   /// Time-averaged fraction of busy processors since the first transition.
+  /// Outage intervals count as zero-busy time: dead capacity earns nothing.
   double utilization(SimTime now) const;
 
  private:
   std::size_t capacity_;
   std::size_t busy_ = 0;
+  bool offline_ = false;
+  std::size_t outages_ = 0;
+  SimTime offline_since_ = 0.0;
+  double downtime_ = 0.0;
   TimeWeighted busy_series_;
 };
 

@@ -319,6 +319,9 @@ AdmissionContext SiteScheduler::build_admission_context(
 AdmissionDecision SiteScheduler::quote(const Task& task) {
   const std::string problem = validate_task(task);
   MBTS_CHECK_MSG(problem.empty(), "invalid task: " + problem);
+  // A down site quotes nothing: the bid is declined without touching the
+  // (frozen) candidate schedule.
+  if (down_) return AdmissionDecision{};
   const MixView& mix = mix_refresh_with_candidate(task);
   const AdmissionContext ctx = build_admission_context(mix, task);
   return admission_->evaluate(task, ctx);
@@ -394,7 +397,7 @@ void SiteScheduler::preload(std::span<const Task> tasks) {
 }
 
 void SiteScheduler::request_dispatch() {
-  if (dispatch_pending_) return;
+  if (dispatch_pending_ || down_) return;
   dispatch_pending_ = true;
   engine_.schedule_after(0.0, EventPriority::kDispatch, [this] {
     dispatch_pending_ = false;
@@ -445,6 +448,65 @@ void SiteScheduler::preempt_task(TaskState& ts) {
   push_pending(ts);
 }
 
+void SiteScheduler::checkpoint_task(TaskState& ts) {
+  MBTS_DCHECK(ts.running);
+  engine_.cancel(ts.completion_event);
+  pool_.release(engine_.now(), ts.task.width);
+  ts.executed += engine_.now() - ts.segment_start;
+  ts.running = false;
+  ts.queue_rpt = scoring_remaining(ts);
+  if (config_.rescore == RescorePolicy::kAtEnqueue) {
+    // Re-entering the queue is an enqueue, as in preempt_task.
+    ts.cached_score = policy_->priority(ts.task, ts.queue_rpt, mix_.view());
+  }
+  ++checkpoints_;
+  ts.record->outcome = TaskOutcome::kPending;
+  erase_running(ts);
+  push_pending(ts);
+}
+
+void SiteScheduler::fail_task(TaskState& ts) {
+  MBTS_DCHECK(ts.running);
+  const SimTime now = engine_.now();
+  engine_.cancel(ts.completion_event);
+  pool_.release(now, ts.task.width);
+  TaskRecord& record = *ts.record;
+  record.completion = now;
+  record.realized_yield = ts.task.breach_yield(now);
+  record.outcome = TaskOutcome::kFailed;
+  erase_running(ts);
+  mix_.remove(ts.mix_slot);
+  by_id_.erase(ts.task.id);
+  free_states_.push_back(&ts);
+}
+
+std::vector<Task> SiteScheduler::crash(CrashMode mode) {
+  MBTS_CHECK_MSG(!down_, "crash on a site that is already down");
+  down_ = true;
+  ++crashes_;
+  std::vector<Task> killed;
+  // Drain running_ from the back: both exits erase by swap-with-back, so
+  // the loop retires exactly one task per iteration.
+  while (!running_.empty()) {
+    TaskState& ts = *running_.back();
+    if (mode == CrashMode::kKill) {
+      killed.push_back(ts.task);
+      fail_task(ts);
+    } else {
+      checkpoint_task(ts);
+    }
+  }
+  pool_.begin_outage(engine_.now());
+  return killed;
+}
+
+void SiteScheduler::recover() {
+  MBTS_CHECK_MSG(down_, "recover on a site that is up");
+  down_ = false;
+  pool_.end_outage(engine_.now());
+  if (!pending_.empty()) request_dispatch();
+}
+
 void SiteScheduler::finish_task(TaskState& ts, bool dropped) {
   const SimTime now = engine_.now();
   TaskRecord& record = *ts.record;
@@ -477,6 +539,9 @@ void SiteScheduler::on_completion(TaskId id) {
 }
 
 void SiteScheduler::dispatch() {
+  // A dispatch event that was already queued when the site crashed fires
+  // into a down site: nothing to do until recovery re-requests one.
+  if (down_) return;
   ++dispatches_;
   const SimTime now = engine_.now();
 
@@ -597,6 +662,8 @@ RunStats SiteScheduler::stats() const {
   stats.submitted = records_.size();
   stats.preemptions = preemptions_;
   stats.dispatches = dispatches_;
+  stats.crashes = crashes_;
+  stats.checkpoints = checkpoints_;
   stats.first_arrival = saw_arrival_ ? first_arrival_ : 0.0;
   stats.last_completion = last_completion_;
   for (const TaskRecord& record : records_) {
@@ -614,6 +681,12 @@ RunStats SiteScheduler::stats() const {
       case TaskOutcome::kDropped:
         ++stats.accepted;
         ++stats.dropped;
+        stats.total_yield += record.realized_yield;
+        stats.realized_yield.add(record.realized_yield);
+        break;
+      case TaskOutcome::kFailed:
+        ++stats.accepted;
+        ++stats.failed;
         stats.total_yield += record.realized_yield;
         stats.realized_yield.add(record.realized_yield);
         break;

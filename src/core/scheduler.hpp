@@ -21,6 +21,7 @@
 #include "core/policy.hpp"
 #include "core/task.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault.hpp"
 #include "stats/summary.hpp"
 
 namespace mbts {
@@ -54,8 +55,17 @@ struct SchedulerConfig {
   bool mix_full_rebuild = false;
 };
 
-/// Final disposition of one submitted task.
-enum class TaskOutcome { kRejected, kPending, kRunning, kCompleted, kDropped };
+/// Final disposition of one submitted task. kFailed is terminal like
+/// kCompleted/kDropped: the task was killed by a site crash and settles at
+/// its breach yield (Task::breach_yield).
+enum class TaskOutcome {
+  kRejected,
+  kPending,
+  kRunning,
+  kCompleted,
+  kDropped,
+  kFailed,
+};
 
 struct TaskRecord {
   Task task;
@@ -78,6 +88,9 @@ struct RunStats {
   std::size_t rejected = 0;
   std::size_t completed = 0;
   std::size_t dropped = 0;
+  /// Tasks killed by a site crash (CrashMode::kKill); their breach yield is
+  /// included in total_yield.
+  std::size_t failed = 0;
   /// Sum of realized yields (penalties included) over finished tasks.
   double total_yield = 0.0;
   /// total_yield / (last completion - first arrival); 0 for empty runs.
@@ -87,6 +100,10 @@ struct RunStats {
   double utilization = 0.0;
   std::uint64_t preemptions = 0;
   std::uint64_t dispatches = 0;
+  /// Crash/recovery bookkeeping (0 on fault-free runs).
+  std::uint64_t crashes = 0;
+  /// Running tasks suspended by a crash under CrashMode::kCheckpoint.
+  std::uint64_t checkpoints = 0;
   /// Contract delay of completed tasks (Eq. 2): completion - (arrival +
   /// declared runtime), clamped at 0. This is the delay the value function
   /// charges for; it equals queueing delay (wait before service) only when
@@ -119,7 +136,25 @@ class SiteScheduler {
   void preload(std::span<const Task> tasks);
 
   /// Evaluates a bid without committing it — the market layer's probe.
+  /// Always declines while the site is down.
   AdmissionDecision quote(const Task& task);
+
+  // --- Crash semantics (fault injection) ---
+
+  /// Takes the site down at the current instant. Every running task is
+  /// either killed (kKill: terminal kFailed outcome, realized yield =
+  /// Task::breach_yield at now, removed from the mix) or checkpointed
+  /// (kCheckpoint: executed service preserved, task re-enters the pending
+  /// queue and the mix stays consistent). Pending tasks survive either way
+  /// and resume competing at recovery. Returns copies of the killed tasks
+  /// so the market layer can breach their contracts and re-bid them.
+  std::vector<Task> crash(CrashMode mode);
+
+  /// Brings the site back up and triggers a dispatch over the surviving
+  /// queue.
+  void recover();
+
+  bool down() const { return down_; }
 
   bool idle() const { return pending_.empty() && running_.empty(); }
   std::size_t pending_count() const { return pending_.size(); }
@@ -181,7 +216,12 @@ class SiteScheduler {
   void dispatch();
   void start_task(TaskState& ts);
   void preempt_task(TaskState& ts);
+  /// preempt_task's crash twin: suspends a running task without counting a
+  /// scheduling preemption (the processor was lost, not reassigned).
+  void checkpoint_task(TaskState& ts);
   void finish_task(TaskState& ts, bool dropped);
+  /// Terminal crash outcome for a running task (CrashMode::kKill).
+  void fail_task(TaskState& ts);
   void on_completion(TaskId id);
   /// Service consumed including the live segment of a running task.
   double executed_now(const TaskState& ts) const;
@@ -285,8 +325,13 @@ class SiteScheduler {
   /// Any accepted task with width > 1 switches dispatch to the
   /// gang-scheduling/backfill path.
   bool any_wide_ = false;
+  /// Site outage state: while down, quotes decline, dispatches are inert,
+  /// and the pool is offline.
+  bool down_ = false;
   std::uint64_t preemptions_ = 0;
   std::uint64_t dispatches_ = 0;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t checkpoints_ = 0;
   bool saw_arrival_ = false;
   SimTime first_arrival_ = 0.0;
   SimTime last_completion_ = 0.0;

@@ -56,6 +56,16 @@ struct Task {
     return value.yield_at_delay(delay_at_completion(completion));
   }
 
+  /// Yield charged when the site cannot deliver at all (a crashed site's
+  /// breached contract): the paper's penalty bound when the value function
+  /// has one, else the decayed yield at the breach instant capped at zero —
+  /// non-delivery never earns a positive price.
+  double breach_yield(SimTime at) const {
+    if (value.bounded()) return -value.penalty_bound();
+    const double decayed = yield_at_completion(at);
+    return decayed < 0.0 ? decayed : 0.0;
+  }
+
   /// Completion promised by an immediate dispatch, per the bid.
   SimTime earliest_completion() const { return arrival + estimate(); }
 

@@ -68,4 +68,12 @@ FigureResult extension_fairness(const ExperimentOptions& options);
 /// second-price contracts. Tests §2's motivation for Vickrey pricing.
 FigureResult extension_truthfulness(const ExperimentOptions& options);
 
+/// Extension E8 — failure model: settled revenue per unit time in a 3-site
+/// market as the per-site outage rate grows, under deterministic seeded
+/// fault injection. Series contrast the crash semantics (kill vs
+/// checkpoint), breach re-bidding, and lossy quote responses — the market's
+/// risk/reward balance when contracts can be breached and the paper's
+/// penalty bound is actually charged.
+FigureResult extension_faults(const ExperimentOptions& options);
+
 }  // namespace mbts

@@ -33,6 +33,11 @@ std::vector<GroupOutcome> by_value_class(
         group.stretch.add(delay / task.estimate());
         break;
       }
+      case TaskOutcome::kFailed:
+        // Crash casualties: the breach penalty shows up in the yield but
+        // the task never completed, so no delay/stretch sample.
+        group.total_yield += record.realized_yield;
+        break;
       case TaskOutcome::kPending:
       case TaskOutcome::kRunning:
         break;

@@ -1,0 +1,154 @@
+#include "experiments/fingerprint.hpp"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <optional>
+
+#include "experiments/runner.hpp"
+#include "workload/presets.hpp"
+
+namespace mbts {
+
+namespace {
+
+std::string format(const char* fmt, ...) {
+  char buffer[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+  va_end(args);
+  return buffer;
+}
+
+}  // namespace
+
+std::string fingerprint_line(const std::string& label, const RunStats& s) {
+  return format(
+      "%s submitted=%zu accepted=%zu rejected=%zu completed=%zu dropped=%zu "
+      "total_yield=%.17g yield_rate=%.17g first_arrival=%.17g "
+      "last_completion=%.17g utilization=%.17g preemptions=%" PRIu64
+      " dispatches=%" PRIu64
+      " delay_mean=%.17g delay_max=%.17g ryield_mean=%.17g\n",
+      label.c_str(), s.submitted, s.accepted, s.rejected, s.completed,
+      s.dropped, s.total_yield, s.yield_rate, s.first_arrival,
+      s.last_completion, s.utilization, s.preemptions, s.dispatches,
+      s.delay.mean(), s.delay.max(), s.realized_yield.mean());
+}
+
+std::string fingerprint_line(const std::string& label, const MarketStats& s) {
+  std::string line = format(
+      "%s bids=%zu awarded=%zu rejected=%zu unaffordable=%zu "
+      "revenue=%.17g agreed=%.17g violated=%zu outages=%zu breached=%zu "
+      "timeouts=%zu retries=%zu rebids=%zu re_awards=%zu",
+      label.c_str(), s.bids, s.awarded, s.rejected_everywhere, s.unaffordable,
+      s.total_revenue, s.total_agreed, s.violated_contracts, s.outages,
+      s.breached_contracts, s.quote_timeouts, s.retries, s.rebids,
+      s.re_awards);
+  for (std::size_t i = 0; i < s.site_revenue.size(); ++i)
+    line += format(" site%zu=%.17g", i, s.site_revenue[i]);
+  line += '\n';
+  return line;
+}
+
+MarketStats run_fingerprint_market(const FaultConfig& faults) {
+  MarketConfig config;
+  // Heterogeneous sites so the fingerprint covers real competition: every
+  // site wins some contracts and every negotiation path (award, admission
+  // rejection, budget refusal) is exercised.
+  const std::size_t procs[3] = {4, 8, 12};
+  const double thresholds[3] = {120.0, 180.0, 240.0};
+  for (std::size_t i = 0; i < 3; ++i) {
+    SiteAgentConfig site;
+    site.id = static_cast<SiteId>(i);
+    site.name = "site" + std::to_string(i);
+    site.scheduler.processors = procs[i];
+    site.scheduler.preemption = true;
+    site.scheduler.discount_rate = 0.01;
+    site.policy = PolicySpec::first_reward(0.3);
+    site.admission = SlackAdmissionConfig{thresholds[i], false};
+    config.sites.push_back(site);
+  }
+  config.strategy = ClientStrategy::kMaxExpectedValue;
+  config.pricing = PricingModel::kSecondPrice;
+  config.client_budgets[0] = ClientBudget{1500.0, 250.0};
+  config.rng_seed = 42;
+  config.faults = faults;
+
+  Market market(config);
+  Xoshiro256 rng = SeedSequence(42).stream(8);
+  const Trace trace =
+      generate_trace(presets::admission_mix(1.3, 800), rng);
+  market.inject(trace);
+  return market.run();
+}
+
+std::string stats_fingerprint() {
+  const std::size_t jobs = 1500;
+  SchedulerConfig config;
+  config.processors = presets::kProcessors;
+  config.preemption = true;
+  config.discount_rate = 0.01;
+  std::string out;
+
+  // Fig. 4: bounded penalties, FirstReward sweep point.
+  {
+    Xoshiro256 rng = SeedSequence(42).stream(4);
+    const Trace trace = generate_trace(
+        presets::decay_skew_mix(5.0, PenaltyModel::kBoundedAtZero, jobs), rng);
+    out += fingerprint_line(
+        "fig4_fr0.3", run_single_site(trace, config,
+                                      PolicySpec::first_reward(0.3),
+                                      std::nullopt));
+    out += fingerprint_line(
+        "fig4_pv", run_single_site(trace, config, PolicySpec::present_value(),
+                                   std::nullopt));
+  }
+  // Fig. 5: unbounded penalties.
+  {
+    Xoshiro256 rng = SeedSequence(42).stream(5);
+    const Trace trace = generate_trace(
+        presets::decay_skew_mix(5.0, PenaltyModel::kUnbounded, jobs), rng);
+    out += fingerprint_line(
+        "fig5_fr0.1", run_single_site(trace, config,
+                                      PolicySpec::first_reward(0.1),
+                                      std::nullopt));
+    out += fingerprint_line(
+        "fig5_fp", run_single_site(trace, config, PolicySpec::first_price(),
+                                   std::nullopt));
+  }
+  // Fig. 6: admission under overload.
+  {
+    Xoshiro256 rng = SeedSequence(42).stream(6);
+    const Trace trace =
+        generate_trace(presets::admission_mix(1.6, jobs), rng);
+    out += fingerprint_line(
+        "fig6_admit", run_single_site(trace, config,
+                                      PolicySpec::first_reward(0.3),
+                                      SlackAdmissionConfig{180.0, false}));
+    out += fingerprint_line(
+        "fig6_noadmit", run_single_site(trace, config,
+                                        PolicySpec::first_reward(0.3),
+                                        std::nullopt));
+  }
+  // Fig. 7: slack-threshold sweep point.
+  {
+    Xoshiro256 rng = SeedSequence(42).stream(7);
+    const Trace trace =
+        generate_trace(presets::admission_mix(1.3, jobs), rng);
+    out += fingerprint_line(
+        "fig7_thresh0", run_single_site(trace, config,
+                                        PolicySpec::first_reward(0.3),
+                                        SlackAdmissionConfig{0.0, false}));
+    out += fingerprint_line(
+        "fig7_thresh400",
+        run_single_site(trace, config, PolicySpec::first_reward(0.3),
+                        SlackAdmissionConfig{400.0, false}));
+  }
+  // The fault-free economy (negotiation + settlement + all failure
+  // counters, which must print as zeros here).
+  out += fingerprint_line("market", run_fingerprint_market());
+  return out;
+}
+
+}  // namespace mbts

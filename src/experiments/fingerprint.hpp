@@ -1,0 +1,35 @@
+// Full-precision behavioral fingerprints for seeded regression runs.
+//
+// A fingerprint is a text block with one line per canonical run, every float
+// printed at %.17g so two binaries agree iff the runs are bit-identical.
+// tools/stats_fingerprint prints it; tests/test_fingerprint.cpp compares it
+// against the checked-in golden file, turning "seeded runs stay
+// bit-identical across refactors" into a ctest failure instead of a manual
+// diff. The line format is a stable interface: changing it (or the presets
+// behind it) means regenerating the golden file and saying so in the PR.
+#pragma once
+
+#include <string>
+
+#include "core/scheduler.hpp"
+#include "market/market.hpp"
+
+namespace mbts {
+
+/// One `label k=v ...` line for a single-site run (trailing newline).
+std::string fingerprint_line(const std::string& label, const RunStats& s);
+
+/// One line for an economy run, covering the negotiation and failure-model
+/// counters (trailing newline).
+std::string fingerprint_line(const std::string& label, const MarketStats& s);
+
+/// The canonical seeded market run behind the `market` fingerprint line.
+/// `faults` lets tests replay the identical run through the fault path
+/// (e.g. force_enable with all rates zero must not move a single bit).
+MarketStats run_fingerprint_market(const FaultConfig& faults = {});
+
+/// The full fingerprint: seeded Fig. 4-7 preset points plus the economy
+/// line. This is what the tool prints and the golden test pins.
+std::string stats_fingerprint();
+
+}  // namespace mbts

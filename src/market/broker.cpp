@@ -1,6 +1,7 @@
 #include "market/broker.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/check.hpp"
 
@@ -63,11 +64,71 @@ Broker::Broker(std::vector<SiteAgent*> sites, ClientStrategy strategy,
   for (SiteAgent* site : sites_) MBTS_CHECK(site != nullptr);
 }
 
+void Broker::enable_retries(SimEngine& engine, const RetryPolicy& retry) {
+  engine_ = &engine;
+  retry_ = retry;
+}
+
 NegotiationResult Broker::negotiate(const Bid& bid) {
+  NegotiationResult result = negotiate_round(bid);
+  history_.push_back(result);
+  return result;
+}
+
+void Broker::submit(const Bid& bid) { attempt(bid, 0, /*is_rebid=*/false); }
+
+void Broker::resubmit(const Bid& bid) {
+  ++rebids_;
+  attempt(bid, 0, /*is_rebid=*/true);
+}
+
+void Broker::attempt(const Bid& bid, std::size_t round, bool is_rebid) {
+  NegotiationResult result = negotiate_round(bid);
+  result.attempts = round + 1;
+  result.rebid = is_rebid;
+
+  // A round is retryable only when it failed for availability reasons: no
+  // award, no budget verdict, and at least one site that never answered. In
+  // a fault-free run no quote is ever unavailable, so this branch is dead
+  // and submit() is bit-identical to negotiate().
+  bool any_unavailable = false;
+  for (const Quote& quote : result.quotes)
+    if (quote.unavailable) any_unavailable = true;
+  if (!result.awarded_site && !result.unaffordable && any_unavailable &&
+      engine_ != nullptr && round + 1 < retry_.max_attempts) {
+    ++retries_;
+    const double delay = std::min(
+        retry_.max_delay,
+        std::ldexp(retry_.base_delay, static_cast<int>(round)));
+    engine_->schedule_after(delay, EventPriority::kArrival,
+                            [this, bid, round, is_rebid] {
+                              attempt(bid, round + 1, is_rebid);
+                            });
+    return;  // history records the final round only
+  }
+
+  if (is_rebid && result.awarded_site) ++re_awards_;
+  history_.push_back(result);
+}
+
+NegotiationResult Broker::negotiate_round(const Bid& bid) {
   NegotiationResult result;
   result.bid = bid;
   result.quotes.reserve(sites_.size());
-  for (SiteAgent* site : sites_) result.quotes.push_back(site->quote(bid));
+  for (SiteAgent* site : sites_) {
+    // A lost response is synthesized as an unavailable quote; a down site
+    // already answers unavailable itself (and is not additionally lost, so
+    // the timeout stream advances only for sites that were up to be polled).
+    if (injector_ != nullptr && !site->down() &&
+        injector_->quote_times_out(site->id())) {
+      Quote lost;
+      lost.site = site->id();
+      lost.unavailable = true;
+      result.quotes.push_back(lost);
+      continue;
+    }
+    result.quotes.push_back(site->quote(bid));
+  }
 
   // Award best first; on a (rare) state-change refusal, fall back to the
   // next-best accepting quote.
@@ -112,21 +173,20 @@ NegotiationResult Broker::negotiate(const Bid& bid) {
     remaining[*pick].accepted = false;  // do not retry this site
   }
 
-  history_.push_back(result);
   return result;
 }
 
 std::size_t Broker::unaffordable_bids() const {
   std::size_t count = 0;
   for (const NegotiationResult& r : history_)
-    if (r.unaffordable && !r.awarded_site) ++count;
+    if (r.unaffordable && !r.awarded_site && !r.rebid) ++count;
   return count;
 }
 
 std::size_t Broker::rejected_everywhere() const {
   std::size_t count = 0;
   for (const NegotiationResult& r : history_)
-    if (!r.awarded_site) ++count;
+    if (!r.awarded_site && !r.rebid) ++count;
   return count;
 }
 

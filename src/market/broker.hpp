@@ -13,9 +13,25 @@
 #include "market/client.hpp"
 #include "market/contract.hpp"
 #include "market/site_agent.hpp"
+#include "sim/fault.hpp"
 #include "util/rng.hpp"
 
 namespace mbts {
+
+/// How the broker reacts when a negotiation round finds no taker *because
+/// sites were unavailable* (down or timed out). Rounds where every site
+/// answered and declined are final — retrying a genuine admission rejection
+/// would change fault-free runs.
+struct RetryPolicy {
+  /// Total negotiation rounds per bid (first attempt included).
+  std::size_t max_attempts = 4;
+  /// Backoff before round k+1 is base_delay * 2^k, capped at max_delay.
+  double base_delay = 10.0;
+  double max_delay = 160.0;
+  /// Re-bid the task of a breached contract to the surviving sites (after
+  /// one base_delay of detection latency).
+  bool rebid_on_breach = true;
+};
 
 /// How a client ranks the accepted quotes.
 enum class ClientStrategy {
@@ -44,7 +60,7 @@ enum class PricingModel {
 
 std::string to_string(PricingModel model);
 
-/// Result of one negotiation round for a bid.
+/// Result of one negotiation for a bid (the final round when retries ran).
 struct NegotiationResult {
   Bid bid;
   std::vector<Quote> quotes;          // one per site polled
@@ -52,6 +68,11 @@ struct NegotiationResult {
   /// True when a site would have taken the task but the client's budget
   /// could not cover the agreed price (§2's per-interval budgets).
   bool unaffordable = false;
+  /// This negotiation re-bid a breached contract's task; excluded from the
+  /// per-bid accounting (the original bid already counted once).
+  bool rebid = false;
+  /// Rounds this bid took (1 when the first round settled it).
+  std::size_t attempts = 1;
 };
 
 /// Stateless selection: returns the index into `quotes` of the winner, or
@@ -72,23 +93,60 @@ class Broker {
          Xoshiro256 rng, PricingModel pricing = PricingModel::kBidPrice,
          ClientLedger* ledger = nullptr);
 
+  /// Enables the failure-aware path: retries with capped exponential
+  /// backoff are scheduled into `engine` whenever a round fails only for
+  /// availability reasons. Without this call, submit() degenerates to one
+  /// negotiate() round.
+  void enable_retries(SimEngine& engine, const RetryPolicy& retry);
+
+  /// Routes per-poll quote-loss draws through `injector` (may be null).
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
   /// Count of bids dropped because the client's budget was exhausted.
   std::size_t unaffordable_bids() const;
 
+  /// One self-contained negotiation round, recorded in history. The
+  /// fault-free entry point (and each retry round's engine).
   NegotiationResult negotiate(const Bid& bid);
+
+  /// Failure-aware entry point: negotiates now and, when the round failed
+  /// only because sites were unavailable, schedules retry rounds under the
+  /// RetryPolicy. Exactly one history entry is recorded per submit, for the
+  /// final round.
+  void submit(const Bid& bid);
+
+  /// Like submit but flagged as the re-bid of a breached contract, so the
+  /// original-bid accounting is not double-counted.
+  void resubmit(const Bid& bid);
 
   const std::vector<NegotiationResult>& history() const { return history_; }
 
-  /// Count of bids no site accepted.
+  /// Count of bids no site accepted (rebids excluded).
   std::size_t rejected_everywhere() const;
 
+  /// Retry rounds scheduled because every failure was availability-related.
+  std::size_t retries() const { return retries_; }
+  /// Breached-contract re-bids attempted / successfully re-awarded.
+  std::size_t rebids() const { return rebids_; }
+  std::size_t re_awards() const { return re_awards_; }
+
  private:
+  /// One poll-select-award round; no history side effects.
+  NegotiationResult negotiate_round(const Bid& bid);
+  void attempt(const Bid& bid, std::size_t round, bool is_rebid);
+
   std::vector<SiteAgent*> sites_;
   ClientStrategy strategy_;
   PricingModel pricing_;
   ClientLedger* ledger_;
+  SimEngine* engine_ = nullptr;
+  RetryPolicy retry_;
+  FaultInjector* injector_ = nullptr;
   Xoshiro256 rng_;
   std::vector<NegotiationResult> history_;
+  std::size_t retries_ = 0;
+  std::size_t rebids_ = 0;
+  std::size_t re_awards_ = 0;
 };
 
 }  // namespace mbts

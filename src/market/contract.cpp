@@ -10,8 +10,8 @@ std::string Contract::to_string() const {
      << " agreed(t=" << agreed_completion << ", price=" << agreed_price
      << ')';
   if (settled)
-    os << " settled(t=" << actual_completion << ", price=" << settled_price
-       << ')';
+    os << (breached ? " breached(t=" : " settled(t=") << actual_completion
+       << ", price=" << settled_price << ')';
   return os.str();
 }
 

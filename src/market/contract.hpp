@@ -24,6 +24,10 @@ struct Bid {
 struct Quote {
   SiteId site = 0;
   bool accepted = false;
+  /// The site never answered: it is down, or its response timed out. An
+  /// unavailable quote is never `accepted`, but it is the signal that makes
+  /// a no-award round retryable — a genuine admission rejection is final.
+  bool unavailable = false;
   SimTime expected_completion = 0.0;
   /// Site policy: price equals the value function evaluated at the expected
   /// completion (§2 — "client bid value and price are equivalent").
@@ -41,6 +45,11 @@ struct Contract {
   double agreed_price = 0.0;
 
   bool settled = false;
+  /// The site crashed and could not deliver: settled at the breach time
+  /// with settled_price = Task::breach_yield (the paper's penalty bound
+  /// when the value function has one). actual_completion then records the
+  /// breach instant, not a completion.
+  bool breached = false;
   SimTime actual_completion = 0.0;
   /// Value function evaluated at the actual completion: the reduced price,
   /// or a penalty when negative.

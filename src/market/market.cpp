@@ -1,5 +1,7 @@
 #include "market/market.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 
 namespace mbts {
@@ -17,36 +19,87 @@ Market::Market(MarketConfig config) : config_(std::move(config)) {
       std::move(raw), config_.strategy,
       SeedSequence(config_.rng_seed).stream(0xB20CE2), config_.pricing,
       &ledger_);
+  // Retries are armed unconditionally: without unavailable quotes the retry
+  // branch is unreachable, so fault-free runs are unaffected.
+  broker_->enable_retries(engine_, config_.retry);
 }
 
 void Market::inject(const Trace& trace, ClientId client) {
   for (const Task& task : trace.tasks) {
     ++bids_;
+    last_arrival_ = std::max(last_arrival_, task.arrival);
     engine_.schedule_at(task.arrival, EventPriority::kArrival,
                         [this, task, client] {
                           Bid bid;
                           bid.client = client;
                           bid.task = task;
-                          broker_->negotiate(bid);
+                          broker_->submit(bid);
                         });
   }
 }
 
+void Market::on_site_down(std::size_t site_index) {
+  SiteAgent& site = *sites_[site_index];
+  const std::vector<Breach> breaches = site.fail(config_.faults.crash_mode);
+  for (const Breach& breach : breaches) {
+    // The client paid the agreed price at award time; a breach voids the
+    // contract, so the budget charge is reversed (the breach penalty itself
+    // lands on the site's revenue, not the client's budget).
+    ledger_.try_charge(breach.client, breach.task.arrival,
+                       -breach.agreed_price);
+    if (config_.retry.rebid_on_breach) {
+      Bid bid;
+      bid.client = breach.client;
+      bid.task = breach.task;
+      // One base_delay of detection latency before the task goes back to
+      // market — the client has to notice the breach first.
+      engine_.schedule_after(config_.retry.base_delay, EventPriority::kArrival,
+                             [this, bid] { broker_->resubmit(bid); });
+    }
+  }
+}
+
 MarketStats Market::run() {
+  if (config_.faults.enabled()) {
+    SeedSequence seeds(config_.rng_seed);
+    const double horizon =
+        config_.faults.horizon > 0.0 ? config_.faults.horizon : last_arrival_;
+    FaultPlan plan = FaultPlan::generate(config_.faults, sites_.size(),
+                                         horizon, seeds.stream(0xFA017));
+    injector_ = std::make_unique<FaultInjector>(
+        engine_, std::move(plan), sites_.size(),
+        config_.faults.quote_timeout_prob, seeds.stream(0x71E0));
+    broker_->set_fault_injector(injector_.get());
+    injector_->arm(
+        [this](SiteId site, const SiteOutage&) { on_site_down(site); },
+        [this](SiteId site) { sites_[site]->recover(); });
+  }
   engine_.run();
   MarketStats stats;
   stats.bids = bids_;
   stats.rejected_everywhere = broker_->rejected_everywhere();
   stats.unaffordable = broker_->unaffordable_bids();
   stats.rejected_everywhere -= stats.unaffordable;
-  stats.awarded = broker_->history().size() - stats.rejected_everywhere -
+  // Rebids get their own history entries but re-award already-counted work.
+  std::size_t primary_entries = 0;
+  for (const NegotiationResult& r : broker_->history())
+    if (!r.rebid) ++primary_entries;
+  stats.awarded = primary_entries - stats.rejected_everywhere -
                   stats.unaffordable;
+  stats.retries = broker_->retries();
+  stats.rebids = broker_->rebids();
+  stats.re_awards = broker_->re_awards();
+  if (injector_ != nullptr) {
+    stats.outages = injector_->outages_started();
+    stats.quote_timeouts = injector_->quote_timeouts();
+  }
   for (const auto& site : sites_) {
     site->settle();
     const double revenue = site->revenue();
     stats.site_revenue.push_back(revenue);
     stats.site_stats.push_back(site->scheduler().stats());
     stats.total_revenue += revenue;
+    stats.breached_contracts += site->breaches();
     for (const Contract& contract : site->contracts()) {
       stats.total_agreed += contract.agreed_price;
       if (contract.violated()) ++stats.violated_contracts;

@@ -14,6 +14,7 @@
 #include "market/broker.hpp"
 #include "market/site_agent.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault.hpp"
 #include "workload/trace.hpp"
 
 namespace mbts {
@@ -26,6 +27,11 @@ struct MarketConfig {
   /// unconstrained.
   std::map<ClientId, ClientBudget> client_budgets;
   std::uint64_t rng_seed = 42;
+  /// Failure model. Defaults to no faults, in which case no injector is
+  /// built and the run is bit-identical to a build without one.
+  FaultConfig faults;
+  /// How the broker reacts to unavailability (only reachable with faults).
+  RetryPolicy retry;
 };
 
 /// Economy-level results after a run.
@@ -37,6 +43,13 @@ struct MarketStats {
   double total_revenue = 0.0;        // settled, across sites
   double total_agreed = 0.0;         // sum of agreed prices
   std::size_t violated_contracts = 0;
+  // Failure-model outcomes (all zero in fault-free runs).
+  std::size_t outages = 0;            // site outages that started
+  std::size_t breached_contracts = 0; // contracts settled as breached
+  std::size_t quote_timeouts = 0;     // lost quote responses
+  std::size_t retries = 0;            // extra negotiation rounds scheduled
+  std::size_t rebids = 0;             // breached tasks re-bid
+  std::size_t re_awards = 0;          // re-bids that found a new taker
   std::vector<double> site_revenue;  // aligned with sites()
   std::vector<RunStats> site_stats;
 };
@@ -58,13 +71,21 @@ class Market {
   /// Runs the engine until all work drains, then settles all contracts.
   MarketStats run();
 
+  /// The armed injector, or null when `config.faults` is disabled.
+  const FaultInjector* fault_injector() const { return injector_.get(); }
+
  private:
+  /// Down-hook: crash the site, settle breaches, refund and re-bid them.
+  void on_site_down(std::size_t site_index);
+
   MarketConfig config_;
   SimEngine engine_;
   ClientLedger ledger_;
   std::vector<std::unique_ptr<SiteAgent>> sites_;
   std::unique_ptr<Broker> broker_;
+  std::unique_ptr<FaultInjector> injector_;
   std::size_t bids_ = 0;
+  SimTime last_arrival_ = 0.0;
 };
 
 }  // namespace mbts

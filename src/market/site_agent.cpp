@@ -23,9 +23,13 @@ SiteAgent::SiteAgent(SimEngine& engine, SiteAgentConfig config)
 }
 
 Quote SiteAgent::quote(const Bid& bid) {
-  const AdmissionDecision decision = scheduler_->quote(bid.task);
   Quote q;
   q.site = config_.id;
+  if (scheduler_->down()) {
+    q.unavailable = true;
+    return q;
+  }
+  const AdmissionDecision decision = scheduler_->quote(bid.task);
   q.accepted = decision.accept;
   q.expected_completion = decision.expected_completion;
   q.expected_price = decision.expected_yield;
@@ -36,6 +40,8 @@ Quote SiteAgent::quote(const Bid& bid) {
 bool SiteAgent::award(const Bid& bid, const Quote& quoted,
                       std::optional<double> agreed_price) {
   MBTS_CHECK_MSG(quoted.site == config_.id, "quote belongs to another site");
+  // The site may have crashed between quote and award.
+  if (scheduler_->down()) return false;
   const AdmissionDecision decision = scheduler_->submit(bid.task);
   if (!decision.accept) return false;
   Contract contract;
@@ -47,6 +53,33 @@ bool SiteAgent::award(const Bid& bid, const Quote& quoted,
   contracts_.push_back(contract);
   return true;
 }
+
+std::vector<Breach> SiteAgent::fail(CrashMode mode) {
+  const std::vector<Task> killed = scheduler_->crash(mode);
+  std::vector<Breach> breaches;
+  breaches.reserve(killed.size());
+  const SimTime now = engine_.now();
+  for (const Task& task : killed) {
+    // Settle the (unique, unsettled) contract of each killed task at the
+    // task's breach yield — the paper's penalty bound for bounded value
+    // functions. A killed task without a contract (direct scheduler use)
+    // just doesn't produce a breach.
+    for (Contract& contract : contracts_) {
+      if (contract.task != task.id || contract.settled) continue;
+      contract.settled = true;
+      contract.breached = true;
+      contract.actual_completion = now;
+      contract.settled_price = task.breach_yield(now);
+      ++breaches_;
+      breaches.push_back({task, contract.client, config_.id,
+                          contract.agreed_price, contract.settled_price});
+      break;
+    }
+  }
+  return breaches;
+}
+
+void SiteAgent::recover() { scheduler_->recover(); }
 
 void SiteAgent::settle() {
   // Index completion data from the scheduler's records once, then settle.

@@ -14,8 +14,21 @@
 #include "core/scheduler.hpp"
 #include "market/contract.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault.hpp"
 
 namespace mbts {
+
+/// A contract the site could not honor because it crashed while the task
+/// was in flight. Carries the full task so the market layer can re-bid it
+/// to surviving sites.
+struct Breach {
+  Task task;
+  ClientId client = 0;
+  SiteId site = 0;
+  double agreed_price = 0.0;
+  /// The (negative or zero) price the breach settled at.
+  double settled_price = 0.0;
+};
 
 struct SiteAgentConfig {
   SiteId id = 0;
@@ -35,7 +48,9 @@ class SiteAgent {
   const std::string& name() const { return config_.name; }
   const SiteAgentConfig& config() const { return config_; }
 
-  /// Phase 1: evaluate a bid against the current candidate schedule.
+  /// Phase 1: evaluate a bid against the current candidate schedule. While
+  /// the site is down the quote comes back `unavailable` (and the scheduler
+  /// is never consulted).
   Quote quote(const Bid& bid);
 
   /// Phase 2: the client chose this site — commit the task and form the
@@ -45,6 +60,22 @@ class SiteAgent {
   /// second-price rules); by default the quote's own expected price binds.
   bool award(const Bid& bid, const Quote& quoted,
              std::optional<double> agreed_price = std::nullopt);
+
+  // --- Crash semantics (fault injection) ---
+
+  /// The site crashes: in-flight tasks are killed or checkpointed per
+  /// `mode`, and (in kill mode) their contracts settle immediately as
+  /// breached at the task's penalty bound. Returns the breached contracts
+  /// so the market can refund budgets and re-bid the work.
+  std::vector<Breach> fail(CrashMode mode);
+
+  /// Recovery: the site resumes quoting and dispatching survivors.
+  void recover();
+
+  bool down() const { return scheduler_->down(); }
+
+  /// Contracts breached by crashes so far.
+  std::size_t breaches() const { return breaches_; }
 
   const SiteScheduler& scheduler() const { return *scheduler_; }
   const std::vector<Contract>& contracts() const { return contracts_; }
@@ -61,6 +92,7 @@ class SiteAgent {
   SiteAgentConfig config_;
   std::unique_ptr<SiteScheduler> scheduler_;
   std::vector<Contract> contracts_;
+  std::size_t breaches_ = 0;
 };
 
 }  // namespace mbts

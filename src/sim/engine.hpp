@@ -27,6 +27,9 @@ namespace mbts {
 /// Canonical event priorities (lower runs first at equal time).
 enum class EventPriority : int {
   kCompletion = 0,  // free resources first
+  kFault = 5,       // crash/recover sites: a task completing at the crash
+                    // instant has completed; a bid arriving then sees the
+                    // site down
   kArrival = 10,    // then admit new work
   kDispatch = 15,   // then run one dispatch over the settled state
   kControl = 20,    // periodic probes, snapshots

@@ -1,0 +1,118 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace mbts {
+
+namespace {
+// Exponential variate via inversion; log1p keeps precision for small u and
+// the epsilon floor keeps durations physical (a zero-length outage would be
+// a no-op event pair).
+double exponential(Xoshiro256& rng, double mean) {
+  return std::max(1e-9, -mean * std::log1p(-rng.uniform01()));
+}
+}  // namespace
+
+std::string to_string(CrashMode mode) {
+  switch (mode) {
+    case CrashMode::kKill:
+      return "kill";
+    case CrashMode::kCheckpoint:
+      return "checkpoint";
+  }
+  return "?";
+}
+
+FaultPlan FaultPlan::generate(const FaultConfig& config, std::size_t n_sites,
+                              double horizon, Xoshiro256 rng) {
+  FaultPlan plan;
+  if (config.outage_rate <= 0.0 || horizon <= 0.0) return plan;
+  MBTS_CHECK_MSG(config.mean_outage > 0.0,
+                 "mean outage duration must be positive");
+  const double mean_gap = 1.0 / config.outage_rate;
+  for (std::size_t site = 0; site < n_sites; ++site) {
+    double t = 0.0;
+    while (true) {
+      t += exponential(rng, mean_gap);
+      if (t >= horizon) break;
+      const double up = t + exponential(rng, config.mean_outage);
+      plan.outages.push_back({static_cast<SiteId>(site), t, up});
+      t = up;
+    }
+  }
+  std::sort(plan.outages.begin(), plan.outages.end(),
+            [](const SiteOutage& a, const SiteOutage& b) {
+              if (a.down_at != b.down_at) return a.down_at < b.down_at;
+              return a.site < b.site;
+            });
+  return plan;
+}
+
+std::string FaultPlan::validate(std::size_t n_sites) const {
+  std::vector<double> last_up(n_sites, 0.0);
+  double last_down = -kInf;
+  for (const SiteOutage& o : outages) {
+    if (o.site >= n_sites) return "outage names a site beyond the market";
+    if (o.down_at < 0.0) return "outage starts before t=0";
+    if (o.down_at < last_down) return "outages not sorted by down_at";
+    if (o.up_at <= o.down_at) return "outage has non-positive duration";
+    if (o.down_at < last_up[o.site])
+      return "overlapping outages for one site";
+    last_up[o.site] = o.up_at;
+    last_down = o.down_at;
+  }
+  return "";
+}
+
+FaultInjector::FaultInjector(SimEngine& engine, FaultPlan plan,
+                             std::size_t n_sites, double quote_timeout_prob,
+                             Xoshiro256 timeout_rng)
+    : engine_(engine),
+      plan_(std::move(plan)),
+      quote_timeout_prob_(quote_timeout_prob),
+      timeout_rng_(timeout_rng),
+      down_(n_sites, false) {
+  MBTS_CHECK_MSG(quote_timeout_prob_ >= 0.0 && quote_timeout_prob_ < 1.0,
+                 "quote timeout probability must be in [0, 1)");
+  const std::string problem = plan_.validate(n_sites);
+  MBTS_CHECK_MSG(problem.empty(), "invalid fault plan: " + problem);
+}
+
+void FaultInjector::arm(DownHook on_down, UpHook on_up) {
+  MBTS_CHECK_MSG(!armed_, "fault injector armed twice");
+  armed_ = true;
+  // Scheduling each outage's (down, up) pair in plan order gives recoveries
+  // a lower sequence number than any same-instant later outage, so a site
+  // whose outage touches the previous recovery (up_at == next down_at)
+  // comes back up before it goes down again.
+  for (const SiteOutage& outage : plan_.outages) {
+    engine_.schedule_at(
+        outage.down_at, EventPriority::kFault, [this, outage, on_down] {
+          MBTS_DCHECK(!down_[outage.site]);
+          down_[outage.site] = true;
+          ++outages_started_;
+          if (on_down) on_down(outage.site, outage);
+        });
+    engine_.schedule_at(outage.up_at, EventPriority::kFault,
+                        [this, outage, on_up] {
+                          MBTS_DCHECK(down_[outage.site]);
+                          down_[outage.site] = false;
+                          if (on_up) on_up(outage.site);
+                        });
+  }
+}
+
+bool FaultInjector::quote_times_out(SiteId site) {
+  (void)site;
+  // The zero-probability path must not advance the stream: a disabled
+  // injector has to be bit-invisible to the rest of the run.
+  if (quote_timeout_prob_ <= 0.0) return false;
+  const bool lost = timeout_rng_.bernoulli(quote_timeout_prob_);
+  if (lost) ++quote_timeouts_;
+  return lost;
+}
+
+}  // namespace mbts

@@ -1,0 +1,142 @@
+// Deterministic fault injection for chaos experiments.
+//
+// A FaultPlan is a precomputed, seeded schedule of site outages: every
+// stochastic choice (when a site fails, how long it stays down, whether a
+// quote response is lost) is drawn from dedicated streams of the run's
+// SeedSequence before or during the run in a fixed order, so a chaos run is
+// exactly as bit-reproducible as a fault-free one. The FaultInjector plays a
+// plan into a SimEngine, firing site-down/site-up hooks at EventPriority::
+// kFault — after completions at the same instant (a task finishing at the
+// crash instant has finished) and before arrivals (a bid at the crash
+// instant sees the site down).
+//
+// The plan is data, not behaviour: tests hand-author plans to pin exact
+// failure interleavings, experiments generate them from a rate/duration
+// model, and an empty plan (or FaultConfig{} with rate 0) must leave every
+// consumer bit-identical to a build without the injector.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace mbts {
+
+/// What happens to a site's in-flight (running) tasks when it crashes.
+/// Queued-but-not-started tasks survive either way: the queue is durable
+/// metadata, execution state is what an outage destroys.
+enum class CrashMode {
+  /// Running tasks are lost; their contracts are breached and settle at the
+  /// task's penalty bound (paper §3's floor).
+  kKill,
+  /// Running tasks are checkpointed: executed service is preserved and the
+  /// task re-enters the pending queue, resuming after recovery.
+  kCheckpoint,
+};
+
+std::string to_string(CrashMode mode);
+
+/// Knobs for generating a FaultPlan and for the in-run failure modes.
+struct FaultConfig {
+  /// Expected outages per site per unit of simulated time (Poisson process;
+  /// 0 disables outages).
+  double outage_rate = 0.0;
+  /// Mean outage duration (exponential, truncated below at a small epsilon).
+  double mean_outage = 200.0;
+  /// Probability that any single quote response is lost in transit (the
+  /// broker treats the site as unavailable for that poll).
+  double quote_timeout_prob = 0.0;
+  CrashMode crash_mode = CrashMode::kKill;
+  /// Plan horizon: outages start strictly before this time. 0 lets the
+  /// consumer derive it (Market uses the span of injected arrivals).
+  double horizon = 0.0;
+  /// Instantiate the injector even when every rate is zero. The zero-rate
+  /// injector must be observationally invisible; tests use this to pin the
+  /// fault path to the fault-free one bit-for-bit.
+  bool force_enable = false;
+
+  bool enabled() const {
+    return outage_rate > 0.0 || quote_timeout_prob > 0.0 || force_enable;
+  }
+};
+
+/// One scheduled outage of one site (site == index into the market's site
+/// array). Recovery at up_at is always scheduled: a plan can take a site
+/// down only if it also brings it back.
+struct SiteOutage {
+  SiteId site = 0;
+  SimTime down_at = 0.0;
+  SimTime up_at = 0.0;
+};
+
+/// A deterministic outage schedule: per-site non-overlapping intervals,
+/// globally sorted by (down_at, site).
+struct FaultPlan {
+  std::vector<SiteOutage> outages;
+
+  bool empty() const { return outages.empty(); }
+
+  /// Samples a plan over [0, horizon): per site, exponential gaps at
+  /// `outage_rate` and exponential durations at `mean_outage`, consumed from
+  /// `rng` in site order so the plan is a pure function of (config, n_sites,
+  /// horizon, rng state).
+  static FaultPlan generate(const FaultConfig& config, std::size_t n_sites,
+                            double horizon, Xoshiro256 rng);
+
+  /// Validation for hand-authored plans: intervals ordered, positive, and
+  /// non-overlapping per site. Returns an empty string when valid.
+  std::string validate(std::size_t n_sites) const;
+};
+
+/// Plays a FaultPlan into an engine and answers per-poll quote-loss draws.
+///
+/// Hook order at one instant follows plan order; down/up transitions for the
+/// same site never coincide (validate() rejects zero-length gaps between a
+/// recovery and the next outage only if they overlap — touching intervals
+/// fire recovery before the next outage because kFault events at equal time
+/// run in schedule order and recoveries are scheduled first).
+class FaultInjector {
+ public:
+  using DownHook = std::function<void(SiteId, const SiteOutage&)>;
+  using UpHook = std::function<void(SiteId)>;
+
+  /// `timeout_rng` feeds only the quote-loss draws; pass any stream when
+  /// quote_timeout_prob is 0 (it is then never advanced).
+  FaultInjector(SimEngine& engine, FaultPlan plan, std::size_t n_sites,
+                double quote_timeout_prob, Xoshiro256 timeout_rng);
+
+  /// Schedules every plan event. Call once, before the engine runs past the
+  /// first outage; hooks fire at EventPriority::kFault.
+  void arm(DownHook on_down, UpHook on_up);
+
+  /// Draws one quote-loss decision for a poll of `site`. Never advances the
+  /// rng when the configured probability is zero, so a zero-rate injector
+  /// leaves the stream untouched. A down site's quotes are not additionally
+  /// lost (the broker already sees it down); callers should check is_down
+  /// first.
+  bool quote_times_out(SiteId site);
+
+  bool is_down(SiteId site) const { return down_[site]; }
+
+  const FaultPlan& plan() const { return plan_; }
+  std::size_t outages_started() const { return outages_started_; }
+  std::size_t quote_timeouts() const { return quote_timeouts_; }
+
+ private:
+  SimEngine& engine_;
+  FaultPlan plan_;
+  double quote_timeout_prob_;
+  Xoshiro256 timeout_rng_;
+  std::vector<bool> down_;
+  std::size_t outages_started_ = 0;
+  std::size_t quote_timeouts_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace mbts

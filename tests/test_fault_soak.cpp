@@ -1,0 +1,118 @@
+// Randomized chaos soak (ctest label: slow). Each repetition draws a fault
+// model, market shape, and workload from a per-rep seed, runs the economy
+// twice, and checks (a) the two runs are bit-identical and (b) the
+// accounting invariants hold no matter what the chaos did.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "experiments/fingerprint.hpp"
+#include "market/market.hpp"
+#include "workload/presets.hpp"
+
+namespace mbts {
+namespace {
+
+struct SoakCase {
+  MarketConfig config;
+  Trace trace;
+};
+
+SoakCase draw_case(std::uint64_t rep) {
+  SeedSequence seeds(0x50AC + rep);
+  Xoshiro256 knobs = seeds.stream(1);
+
+  SoakCase c;
+  const std::size_t n_sites = 2 + knobs.below(3);
+  for (std::size_t i = 0; i < n_sites; ++i) {
+    SiteAgentConfig site;
+    site.id = static_cast<SiteId>(i);
+    site.name = "site" + std::to_string(i);
+    site.scheduler.processors = 4 + knobs.below(9);
+    site.scheduler.preemption = true;
+    site.scheduler.discount_rate = 0.01;
+    site.policy = PolicySpec::first_reward(0.1 + 0.2 * knobs.uniform01());
+    site.admission = SlackAdmissionConfig{200.0 * knobs.uniform01(), false};
+    c.config.sites.push_back(site);
+  }
+  c.config.strategy = knobs.below(2) == 0
+                          ? ClientStrategy::kMaxExpectedValue
+                          : ClientStrategy::kEarliestCompletion;
+  c.config.pricing = knobs.below(2) == 0 ? PricingModel::kBidPrice
+                                         : PricingModel::kSecondPrice;
+  if (knobs.below(2) == 0)
+    c.config.client_budgets[0] = ClientBudget{3000.0, 400.0};
+  c.config.rng_seed = 0xF00D + rep;
+
+  FaultConfig& faults = c.config.faults;
+  faults.outage_rate = 0.002 + 0.006 * knobs.uniform01();
+  faults.mean_outage = 40.0 + 200.0 * knobs.uniform01();
+  faults.quote_timeout_prob = 0.1 * knobs.uniform01();
+  faults.crash_mode =
+      knobs.below(2) == 0 ? CrashMode::kKill : CrashMode::kCheckpoint;
+  c.config.retry.rebid_on_breach = knobs.below(4) != 0;
+
+  Xoshiro256 trace_rng = seeds.stream(2);
+  c.trace = generate_trace(presets::admission_mix(1.3, 300), trace_rng);
+  return c;
+}
+
+MarketStats run_case(const SoakCase& c, std::string* fingerprint) {
+  Market market(c.config);
+  market.inject(c.trace);
+  const MarketStats stats = market.run();
+  *fingerprint = fingerprint_line("soak", stats);
+  for (const RunStats& s : stats.site_stats)
+    *fingerprint += fingerprint_line("soak_site", s);
+
+  // Accounting invariants, chaos or not:
+  EXPECT_EQ(stats.awarded + stats.rejected_everywhere + stats.unaffordable,
+            stats.bids);
+  double site_sum = 0.0;
+  for (double r : stats.site_revenue) site_sum += r;
+  EXPECT_NEAR(site_sum, stats.total_revenue, 1e-6);
+  std::size_t contracts = 0;
+  std::size_t breached = 0;
+  std::set<TaskId> live;  // tasks holding an unbreached contract
+  for (const auto& site : market.sites()) {
+    for (const Contract& contract : site->contracts()) {
+      ++contracts;
+      EXPECT_TRUE(contract.settled);  // the run drained
+      EXPECT_LE(contract.settled_price, contract.agreed_price + 1e-9);
+      if (contract.breached)
+        ++breached;
+      else
+        EXPECT_TRUE(live.insert(contract.task).second)
+            << "task " << contract.task << " has two live contracts";
+    }
+  }
+  // Each award (first-round or re-award) formed exactly one contract.
+  EXPECT_EQ(contracts, stats.awarded + stats.re_awards);
+  EXPECT_EQ(breached, stats.breached_contracts);
+  EXPECT_GE(stats.rebids, stats.re_awards);
+  if (c.config.faults.crash_mode == CrashMode::kCheckpoint) {
+    EXPECT_EQ(stats.breached_contracts, 0u);
+    EXPECT_EQ(stats.rebids, 0u);
+  }
+  return stats;
+}
+
+TEST(FaultSoak, RandomizedChaosHoldsInvariantsAndReproduces) {
+  std::size_t total_outages = 0;
+  for (std::uint64_t rep = 0; rep < 8; ++rep) {
+    SCOPED_TRACE("rep " + std::to_string(rep));
+    const SoakCase c = draw_case(rep);
+    std::string first;
+    std::string second;
+    const MarketStats stats = run_case(c, &first);
+    run_case(c, &second);
+    EXPECT_EQ(first, second) << "chaos run is not reproducible";
+    total_outages += stats.outages;
+  }
+  // Across the sweep the fault model must have actually fired.
+  EXPECT_GT(total_outages, 0u);
+}
+
+}  // namespace
+}  // namespace mbts

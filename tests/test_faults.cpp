@@ -1,0 +1,462 @@
+// Deterministic fault injection: plan generation/validation, injector
+// playback, crash semantics (kill vs checkpoint), breach settlement, the
+// broker's retry ladder, and bit-reproducibility of chaos runs.
+#include "sim/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "experiments/fingerprint.hpp"
+#include "market/broker.hpp"
+#include "market/market.hpp"
+#include "util/check.hpp"
+#include "workload/presets.hpp"
+
+namespace mbts {
+namespace {
+
+Task make_task(TaskId id, double arrival, double runtime, double value,
+               double decay, double bound = kInf) {
+  Task t;
+  t.id = id;
+  t.arrival = arrival;
+  t.runtime = runtime;
+  t.value = ValueFunction(value, decay, bound);
+  return t;
+}
+
+// --- Task::breach_yield ---
+
+TEST(BreachYield, BoundedChargesThePenaltyBound) {
+  const Task t = make_task(0, 0.0, 10.0, 100.0, 1.0, 40.0);
+  // The bound is the worst case the client agreed to; a breach charges it
+  // regardless of when the crash happened.
+  EXPECT_EQ(t.breach_yield(0.0), -40.0);
+  EXPECT_EQ(t.breach_yield(1e6), -40.0);
+}
+
+TEST(BreachYield, UnboundedNeverPaysTheClientForAnEarlyCrash) {
+  const Task t = make_task(0, 0.0, 100.0, 100.0, 2.0);
+  // Early breach: the decayed value is still positive, but an undelivered
+  // task cannot earn — the breach settles at zero.
+  EXPECT_EQ(t.breach_yield(50.0), 0.0);
+  // Late breach: the decayed value has gone negative; the site owes it.
+  EXPECT_EQ(t.breach_yield(250.0), 100.0 - 2.0 * 150.0);
+}
+
+// --- FaultPlan ---
+
+TEST(FaultPlan, ZeroRateGeneratesNothing) {
+  FaultConfig config;
+  config.outage_rate = 0.0;
+  const FaultPlan plan =
+      FaultPlan::generate(config, 4, 1000.0, SeedSequence(1).stream(2));
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(FaultPlan, GenerateIsDeterministic) {
+  FaultConfig config;
+  config.outage_rate = 0.01;
+  config.mean_outage = 50.0;
+  const FaultPlan a =
+      FaultPlan::generate(config, 3, 2000.0, SeedSequence(9).stream(1));
+  const FaultPlan b =
+      FaultPlan::generate(config, 3, 2000.0, SeedSequence(9).stream(1));
+  ASSERT_EQ(a.outages.size(), b.outages.size());
+  ASSERT_FALSE(a.empty());
+  for (std::size_t i = 0; i < a.outages.size(); ++i) {
+    EXPECT_EQ(a.outages[i].site, b.outages[i].site);
+    EXPECT_EQ(a.outages[i].down_at, b.outages[i].down_at);  // bitwise
+    EXPECT_EQ(a.outages[i].up_at, b.outages[i].up_at);
+  }
+}
+
+TEST(FaultPlan, GeneratedPlansValidate) {
+  FaultConfig config;
+  config.outage_rate = 0.02;
+  config.mean_outage = 100.0;
+  const FaultPlan plan =
+      FaultPlan::generate(config, 5, 3000.0, SeedSequence(3).stream(7));
+  ASSERT_FALSE(plan.empty());
+  EXPECT_EQ(plan.validate(5), "");
+}
+
+TEST(FaultPlan, ValidateRejectsMalformedPlans) {
+  FaultPlan plan;
+  plan.outages = {{2, 10.0, 20.0}};
+  EXPECT_NE(plan.validate(2), "");  // site out of range
+  plan.outages = {{0, 10.0, 10.0}};
+  EXPECT_NE(plan.validate(1), "");  // zero-length outage
+  plan.outages = {{0, 10.0, 30.0}, {0, 20.0, 40.0}};
+  EXPECT_NE(plan.validate(1), "");  // overlap on one site
+  plan.outages = {{0, 30.0, 40.0}, {0, 10.0, 20.0}};
+  EXPECT_NE(plan.validate(1), "");  // unsorted
+  plan.outages = {{0, 10.0, 20.0}, {1, 15.0, 25.0}, {0, 20.0, 30.0}};
+  EXPECT_EQ(plan.validate(2), "");  // touching intervals are fine
+}
+
+// --- FaultInjector playback ---
+
+TEST(FaultInjector, PlaysThePlanInOrder) {
+  SimEngine engine;
+  FaultPlan plan;
+  plan.outages = {{0, 10.0, 20.0}, {1, 15.0, 30.0}, {0, 20.0, 40.0}};
+  FaultInjector injector(engine, plan, 2, 0.0, SeedSequence(1).stream(1));
+  std::vector<std::string> events;
+  injector.arm(
+      [&](SiteId site, const SiteOutage&) {
+        events.push_back("down" + std::to_string(site));
+        EXPECT_TRUE(injector.is_down(site));
+      },
+      [&](SiteId site) {
+        events.push_back("up" + std::to_string(site));
+        EXPECT_FALSE(injector.is_down(site));
+      });
+  engine.run();
+  // Site 0's second outage touches its first recovery at t=20; the
+  // recovery must fire first.
+  const std::vector<std::string> expected = {"down0", "down1", "up0",
+                                             "down0", "up1",   "up0"};
+  EXPECT_EQ(events, expected);
+  EXPECT_EQ(injector.outages_started(), 3u);
+  EXPECT_EQ(injector.quote_timeouts(), 0u);
+}
+
+TEST(FaultInjector, ZeroTimeoutProbabilityNeverLosesQuotes) {
+  SimEngine engine;
+  FaultInjector injector(engine, FaultPlan{}, 1, 0.0,
+                         SeedSequence(1).stream(1));
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(injector.quote_times_out(0));
+  EXPECT_EQ(injector.quote_timeouts(), 0u);
+}
+
+// --- SiteScheduler crash semantics ---
+
+SchedulerConfig one_proc() {
+  SchedulerConfig c;
+  c.processors = 1;
+  return c;
+}
+
+TEST(Crash, KillModeFailsRunningAndSparesPending) {
+  SimEngine engine;
+  SiteScheduler site(engine, one_proc(), make_policy(PolicySpec::fcfs()),
+                     std::make_unique<AcceptAllAdmission>());
+  site.inject(std::vector<Task>{
+      make_task(0, 0.0, 10.0, 100.0, 1.0, 50.0),  // running at the crash
+      make_task(1, 0.0, 10.0, 100.0, 0.0),        // pending at the crash
+  });
+  std::vector<Task> killed;
+  engine.schedule_at(5.0, EventPriority::kFault, [&] {
+    killed = site.crash(CrashMode::kKill);
+    EXPECT_TRUE(site.down());
+  });
+  engine.schedule_at(20.0, EventPriority::kFault, [&] { site.recover(); });
+  engine.run();
+
+  ASSERT_EQ(killed.size(), 1u);
+  EXPECT_EQ(killed[0].id, 0u);
+  const RunStats stats = site.stats();
+  EXPECT_EQ(stats.crashes, 1u);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  for (const TaskRecord& r : site.records()) {
+    if (r.task.id == 0u) {
+      EXPECT_EQ(r.outcome, TaskOutcome::kFailed);
+      EXPECT_EQ(r.completion, 5.0);
+      EXPECT_EQ(r.realized_yield, -50.0);  // the penalty bound
+    } else {
+      // The queue is durable: the pending task resumes after recovery.
+      EXPECT_EQ(r.outcome, TaskOutcome::kCompleted);
+      EXPECT_EQ(r.completion, 30.0);
+      EXPECT_EQ(r.realized_yield, 100.0);
+    }
+  }
+}
+
+TEST(Crash, CheckpointModePreservesExecutedService) {
+  SimEngine engine;
+  SiteScheduler site(engine, one_proc(), make_policy(PolicySpec::fcfs()),
+                     std::make_unique<AcceptAllAdmission>());
+  site.inject(std::vector<Task>{make_task(0, 0.0, 10.0, 100.0, 0.0)});
+  engine.schedule_at(4.0, EventPriority::kFault, [&] {
+    const std::vector<Task> killed = site.crash(CrashMode::kCheckpoint);
+    EXPECT_TRUE(killed.empty());
+  });
+  engine.schedule_at(14.0, EventPriority::kFault, [&] { site.recover(); });
+  engine.run();
+
+  const RunStats stats = site.stats();
+  EXPECT_EQ(stats.checkpoints, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.completed, 1u);
+  // 4 units ran before the crash; only the remaining 6 run after recovery.
+  EXPECT_EQ(site.records().front().completion, 20.0);
+}
+
+TEST(Crash, CompletionAtTheCrashInstantHasFinished) {
+  SimEngine engine;
+  SiteScheduler site(engine, one_proc(), make_policy(PolicySpec::fcfs()),
+                     std::make_unique<AcceptAllAdmission>());
+  site.inject(std::vector<Task>{make_task(0, 0.0, 10.0, 100.0, 0.0)});
+  std::vector<Task> killed;
+  // kCompletion outranks kFault at the same instant.
+  engine.schedule_at(10.0, EventPriority::kFault,
+                     [&] { killed = site.crash(CrashMode::kKill); });
+  engine.schedule_at(30.0, EventPriority::kFault, [&] { site.recover(); });
+  engine.run();
+  EXPECT_TRUE(killed.empty());
+  EXPECT_EQ(site.stats().completed, 1u);
+  EXPECT_EQ(site.stats().failed, 0u);
+}
+
+// --- SiteAgent: down-site negotiation and breach settlement ---
+
+SiteAgentConfig agent_config(SiteId id) {
+  SiteAgentConfig cfg;
+  cfg.id = id;
+  cfg.name = "s" + std::to_string(id);
+  cfg.scheduler.processors = 1;
+  cfg.use_slack_admission = false;
+  return cfg;
+}
+
+TEST(SiteFailure, DownSiteQuotesUnavailableAndRefusesAwards) {
+  SimEngine engine;
+  SiteAgent site(engine, agent_config(0));
+  Bid bid;
+  bid.task = make_task(0, 0.0, 10.0, 100.0, 1.0);
+  const Quote up_quote = site.quote(bid);
+  ASSERT_TRUE(up_quote.accepted);
+  site.fail(CrashMode::kKill);
+  const Quote down_quote = site.quote(bid);
+  EXPECT_FALSE(down_quote.accepted);
+  EXPECT_TRUE(down_quote.unavailable);
+  EXPECT_FALSE(site.award(bid, up_quote));
+  site.recover();
+  EXPECT_TRUE(site.quote(bid).accepted);
+}
+
+TEST(SiteFailure, CrashBreachesTheContractAtThePenaltyBound) {
+  SimEngine engine;
+  SiteAgent site(engine, agent_config(0));
+  Bid bid;
+  bid.client = 7;
+  bid.task = make_task(0, 0.0, 100.0, 100.0, 1.0, 40.0);
+  engine.schedule_at(0.0, EventPriority::kArrival, [&] {
+    const Quote quote = site.quote(bid);
+    ASSERT_TRUE(quote.accepted);
+    ASSERT_TRUE(site.award(bid, quote));
+  });
+  std::vector<Breach> breaches;
+  engine.schedule_at(30.0, EventPriority::kFault,
+                     [&] { breaches = site.fail(CrashMode::kKill); });
+  engine.schedule_at(60.0, EventPriority::kFault, [&] { site.recover(); });
+  engine.run();
+  site.settle();
+
+  ASSERT_EQ(breaches.size(), 1u);
+  EXPECT_EQ(breaches[0].task.id, 0u);
+  EXPECT_EQ(breaches[0].client, 7u);
+  EXPECT_EQ(breaches[0].settled_price, -40.0);
+  EXPECT_GT(breaches[0].agreed_price, 0.0);
+  ASSERT_EQ(site.contracts().size(), 1u);
+  const Contract& contract = site.contracts().front();
+  EXPECT_TRUE(contract.settled);
+  EXPECT_TRUE(contract.breached);
+  EXPECT_EQ(contract.actual_completion, 30.0);
+  EXPECT_EQ(contract.settled_price, -40.0);
+  EXPECT_EQ(site.breaches(), 1u);
+  EXPECT_EQ(site.revenue(), -40.0);
+}
+
+// --- Broker retry ladder ---
+
+struct TwoSiteHarness {
+  SimEngine engine;
+  SiteAgent s0{engine, agent_config(0)};
+  SiteAgent s1{engine, agent_config(1)};
+  std::vector<SiteAgent*> sites{&s0, &s1};
+  Broker broker{{&s0, &s1},
+                ClientStrategy::kMaxExpectedValue,
+                SeedSequence(1).stream(2)};
+
+  FaultInjector make_injector(FaultPlan plan) {
+    return FaultInjector(engine, std::move(plan), 2, 0.0,
+                         SeedSequence(1).stream(3));
+  }
+
+  void arm(FaultInjector& injector) {
+    injector.arm(
+        [&](SiteId site, const SiteOutage&) {
+          sites[site]->fail(CrashMode::kKill);
+        },
+        [&](SiteId site) { sites[site]->recover(); });
+  }
+};
+
+TEST(Retry, BacksOffUntilASiteRecovers) {
+  TwoSiteHarness h;
+  h.broker.enable_retries(h.engine, RetryPolicy{});
+  FaultPlan plan;
+  plan.outages = {{0, 1.0, 50.0}, {1, 1.0, 50.0}};
+  FaultInjector injector = h.make_injector(plan);
+  h.arm(injector);
+  h.broker.set_fault_injector(&injector);
+  Bid bid;
+  bid.task = make_task(0, 5.0, 10.0, 100.0, 0.5);
+  h.engine.schedule_at(5.0, EventPriority::kArrival,
+                       [&] { h.broker.submit(bid); });
+  h.engine.run();
+
+  // Attempts at t=5, 15, 35, 75 (10/20/40 backoff); both sites are back by
+  // the fourth, which lands the award.
+  ASSERT_EQ(h.broker.history().size(), 1u);
+  const NegotiationResult& result = h.broker.history().front();
+  EXPECT_TRUE(result.awarded_site.has_value());
+  EXPECT_EQ(result.attempts, 4u);
+  EXPECT_EQ(h.broker.retries(), 3u);
+  EXPECT_EQ(h.broker.rejected_everywhere(), 0u);
+}
+
+TEST(Retry, GivesUpAfterMaxAttempts) {
+  TwoSiteHarness h;
+  h.broker.enable_retries(h.engine, RetryPolicy{});
+  FaultPlan plan;
+  plan.outages = {{0, 1.0, 500.0}, {1, 1.0, 500.0}};
+  FaultInjector injector = h.make_injector(plan);
+  h.arm(injector);
+  h.broker.set_fault_injector(&injector);
+  Bid bid;
+  bid.task = make_task(0, 5.0, 10.0, 100.0, 0.5);
+  h.engine.schedule_at(5.0, EventPriority::kArrival,
+                       [&] { h.broker.submit(bid); });
+  h.engine.run();
+
+  ASSERT_EQ(h.broker.history().size(), 1u);
+  const NegotiationResult& result = h.broker.history().front();
+  EXPECT_FALSE(result.awarded_site.has_value());
+  EXPECT_EQ(result.attempts, 4u);
+  EXPECT_EQ(h.broker.retries(), 3u);
+  EXPECT_EQ(h.broker.rejected_everywhere(), 1u);
+}
+
+TEST(Retry, GenuineRejectionIsNotRetried) {
+  SimEngine engine;
+  // Slack thresholds no task can clear: every site answers and declines.
+  SiteAgentConfig c0 = agent_config(0);
+  SiteAgentConfig c1 = agent_config(1);
+  for (SiteAgentConfig* c : {&c0, &c1}) {
+    c->use_slack_admission = true;
+    c->admission.threshold = 1e9;
+  }
+  SiteAgent s0(engine, c0);
+  SiteAgent s1(engine, c1);
+  Broker broker({&s0, &s1}, ClientStrategy::kMaxExpectedValue,
+                SeedSequence(1).stream(2));
+  broker.enable_retries(engine, RetryPolicy{});
+  Bid bid;
+  bid.task = make_task(0, 0.0, 10.0, 100.0, 0.5);
+  engine.schedule_at(0.0, EventPriority::kArrival,
+                     [&] { broker.submit(bid); });
+  engine.run();
+  // A genuine rejection is final even with retries enabled: one round.
+  ASSERT_EQ(broker.history().size(), 1u);
+  EXPECT_EQ(broker.history().front().attempts, 1u);
+  EXPECT_FALSE(broker.history().front().awarded_site.has_value());
+  EXPECT_EQ(broker.retries(), 0u);
+}
+
+// --- Chaos-run determinism (market level) ---
+
+MarketStats run_chaos(const FaultConfig& faults, bool mix_full_rebuild,
+                      std::uint64_t seed = 42) {
+  MarketConfig config;
+  const std::size_t procs[3] = {4, 8, 12};
+  for (std::size_t i = 0; i < 3; ++i) {
+    SiteAgentConfig site;
+    site.id = static_cast<SiteId>(i);
+    site.name = "site" + std::to_string(i);
+    site.scheduler.processors = procs[i];
+    site.scheduler.preemption = true;
+    site.scheduler.discount_rate = 0.01;
+    site.scheduler.mix_full_rebuild = mix_full_rebuild;
+    site.policy = PolicySpec::first_reward(0.3);
+    site.admission = SlackAdmissionConfig{120.0, false};
+    config.sites.push_back(site);
+  }
+  config.pricing = PricingModel::kSecondPrice;
+  config.client_budgets[0] = ClientBudget{2000.0, 250.0};
+  config.rng_seed = seed;
+  config.faults = faults;
+  Market market(config);
+  Xoshiro256 rng = SeedSequence(seed).stream(11);
+  const Trace trace = generate_trace(presets::admission_mix(1.3, 400), rng);
+  market.inject(trace);
+  return market.run();
+}
+
+std::string chaos_fingerprint(const MarketStats& stats) {
+  std::string fp = fingerprint_line("chaos", stats);
+  for (std::size_t i = 0; i < stats.site_stats.size(); ++i)
+    fp += fingerprint_line("chaos_site" + std::to_string(i),
+                           stats.site_stats[i]);
+  return fp;
+}
+
+FaultConfig chaos_faults(CrashMode mode) {
+  FaultConfig faults;
+  faults.outage_rate = 0.004;
+  faults.mean_outage = 120.0;
+  faults.quote_timeout_prob = 0.05;
+  faults.crash_mode = mode;
+  return faults;
+}
+
+TEST(ChaosDeterminism, SameSeedSamePlanIsBitIdentical) {
+  const FaultConfig faults = chaos_faults(CrashMode::kKill);
+  const MarketStats a = run_chaos(faults, false);
+  const MarketStats b = run_chaos(faults, false);
+  EXPECT_EQ(chaos_fingerprint(a), chaos_fingerprint(b));
+  // The chaos must actually bite, or this test pins nothing.
+  EXPECT_GT(a.outages, 0u);
+  EXPECT_GT(a.quote_timeouts, 0u);
+  EXPECT_GT(a.breached_contracts, 0u);
+  EXPECT_GT(a.rebids, 0u);
+  EXPECT_GE(a.rebids, a.re_awards);
+}
+
+TEST(ChaosDeterminism, MixFullRebuildDoesNotMoveABit) {
+  const FaultConfig faults = chaos_faults(CrashMode::kKill);
+  const MarketStats fast = run_chaos(faults, false);
+  const MarketStats slow = run_chaos(faults, true);
+  EXPECT_EQ(chaos_fingerprint(fast), chaos_fingerprint(slow));
+}
+
+TEST(ChaosDeterminism, CheckpointModeIsBitReproducibleToo) {
+  const FaultConfig faults = chaos_faults(CrashMode::kCheckpoint);
+  const MarketStats a = run_chaos(faults, false);
+  const MarketStats b = run_chaos(faults, true);
+  EXPECT_EQ(chaos_fingerprint(a), chaos_fingerprint(b));
+  EXPECT_GT(a.outages, 0u);
+  // Checkpointing preserves the work: no contract is breached, and the
+  // sites log checkpoints instead.
+  EXPECT_EQ(a.breached_contracts, 0u);
+  EXPECT_EQ(a.rebids, 0u);
+  std::uint64_t checkpoints = 0;
+  for (const RunStats& s : a.site_stats) checkpoints += s.checkpoints;
+  EXPECT_GT(checkpoints, 0u);
+}
+
+TEST(ChaosDeterminism, DifferentSeedsDiverge) {
+  const FaultConfig faults = chaos_faults(CrashMode::kKill);
+  const MarketStats a = run_chaos(faults, false, 42);
+  const MarketStats b = run_chaos(faults, false, 43);
+  EXPECT_NE(chaos_fingerprint(a), chaos_fingerprint(b));
+}
+
+}  // namespace
+}  // namespace mbts

@@ -1,0 +1,63 @@
+// Golden-fingerprint regression: the full-precision stats of the seeded
+// Fig. 4-7 preset runs and the canonical economy run must match the
+// checked-in golden file byte for byte. A legitimate behavior change must
+// regenerate the file (build/tools/stats_fingerprint >
+// tests/golden/stats_fingerprint.txt) and justify the diff in the PR.
+#include "experiments/fingerprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace mbts {
+namespace {
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(Fingerprint, MatchesGoldenFile) {
+  std::ifstream in(MBTS_GOLDEN_FINGERPRINT);
+  ASSERT_TRUE(in.good()) << "missing golden file " << MBTS_GOLDEN_FINGERPRINT;
+  std::ostringstream golden;
+  golden << in.rdbuf();
+
+  const std::vector<std::string> want = split_lines(golden.str());
+  const std::vector<std::string> got = split_lines(stats_fingerprint());
+  // Line-by-line first: a drift failure should name the run that moved,
+  // not dump two pages of digits.
+  const std::size_t common = std::min(want.size(), got.size());
+  for (std::size_t i = 0; i < common; ++i)
+    EXPECT_EQ(got[i], want[i]) << "fingerprint line " << i << " drifted";
+  EXPECT_EQ(got.size(), want.size());
+}
+
+TEST(Fingerprint, ZeroRateFaultPathIsBitInvisible) {
+  // force_enable builds the injector, arms an (empty) plan, and routes
+  // every quote through the timeout check — with all rates zero this must
+  // not move a single bit relative to the no-injector run.
+  FaultConfig zero;
+  zero.force_enable = true;
+  const MarketStats plain = run_fingerprint_market();
+  const MarketStats faulted = run_fingerprint_market(zero);
+
+  EXPECT_EQ(fingerprint_line("market", plain),
+            fingerprint_line("market", faulted));
+  ASSERT_EQ(plain.site_stats.size(), faulted.site_stats.size());
+  for (std::size_t i = 0; i < plain.site_stats.size(); ++i)
+    EXPECT_EQ(fingerprint_line("site", plain.site_stats[i]),
+              fingerprint_line("site", faulted.site_stats[i]));
+  EXPECT_EQ(faulted.outages, 0u);
+  EXPECT_EQ(faulted.quote_timeouts, 0u);
+  EXPECT_EQ(faulted.retries, 0u);
+}
+
+}  // namespace
+}  // namespace mbts

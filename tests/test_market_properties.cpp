@@ -114,5 +114,107 @@ INSTANTIATE_TEST_SUITE_P(
                      testing::Bool()),
     market_param_name);
 
+// The same conservation laws must survive chaos: site outages, breached
+// contracts, retries, and re-bids reshuffle the accounting but may not
+// leak or double-count a single bid or currency unit.
+using FaultParam = std::tuple<CrashMode, bool /*rebid*/, std::uint64_t>;
+
+class FaultyMarketInvariants : public testing::TestWithParam<FaultParam> {};
+
+TEST_P(FaultyMarketInvariants, AccountingBalancesUnderChaos) {
+  const auto& [crash_mode, rebid, seed] = GetParam();
+
+  MarketConfig config;
+  config.pricing = PricingModel::kSecondPrice;
+  config.rng_seed = seed;
+  for (SiteId i = 0; i < 3; ++i) {
+    SiteAgentConfig sc;
+    sc.id = i;
+    sc.name = "site" + std::to_string(i);
+    sc.scheduler.processors = 4 + 4 * static_cast<std::size_t>(i);
+    sc.scheduler.preemption = true;
+    sc.scheduler.discount_rate = 0.01;
+    sc.policy = PolicySpec::first_reward(0.2);
+    sc.admission.threshold = 60.0;
+    config.sites.push_back(sc);
+  }
+  config.client_budgets[0] = {.budget_per_interval = 4000.0,
+                              .interval = 400.0};
+  config.faults.outage_rate = 0.004;
+  config.faults.mean_outage = 120.0;
+  config.faults.quote_timeout_prob = 0.05;
+  config.faults.crash_mode = crash_mode;
+  config.retry.rebid_on_breach = rebid;
+
+  Market market(config);
+  Xoshiro256 rng = SeedSequence(seed).stream(13);
+  const Trace trace = generate_trace(presets::admission_mix(1.3, 400), rng);
+  market.inject(trace);
+  const MarketStats stats = market.run();
+
+  // 1. Every bid resolves exactly once, even after retries.
+  EXPECT_EQ(stats.bids, trace.size());
+  EXPECT_EQ(stats.awarded + stats.rejected_everywhere + stats.unaffordable,
+            stats.bids);
+
+  // 2. Awards and contracts correspond: every award (first-round or
+  //    re-award of a breached task) formed exactly one contract, a task
+  //    holds at most one unbreached contract, and everything settled.
+  std::set<TaskId> live;
+  std::size_t contract_count = 0;
+  std::size_t breached_count = 0;
+  for (const auto& site : market.sites()) {
+    for (const Contract& contract : site->contracts()) {
+      ++contract_count;
+      EXPECT_TRUE(contract.settled);
+      EXPECT_LE(contract.settled_price, contract.agreed_price + 1e-9);
+      if (contract.breached) {
+        ++breached_count;
+      } else {
+        EXPECT_TRUE(live.insert(contract.task).second)
+            << "task " << contract.task << " contracted twice";
+      }
+    }
+  }
+  EXPECT_EQ(contract_count, stats.awarded + stats.re_awards);
+  EXPECT_EQ(breached_count, stats.breached_contracts);
+  EXPECT_GE(stats.rebids, stats.re_awards);
+
+  // 3. Revenue aggregates match per-site sums (breach penalties included).
+  double revenue = 0.0;
+  for (double r : stats.site_revenue) revenue += r;
+  EXPECT_NEAR(revenue, stats.total_revenue, 1e-6);
+
+  // 4. Crash-mode specifics: checkpointing never breaches; kill mode
+  //    without re-bids never re-awards.
+  if (crash_mode == CrashMode::kCheckpoint) {
+    EXPECT_EQ(stats.breached_contracts, 0u);
+    EXPECT_EQ(stats.rebids, 0u);
+  }
+  if (!rebid) {
+    EXPECT_EQ(stats.rebids, 0u);
+  }
+
+  // 5. Budgets stay respected; breach refunds may only return money.
+  EXPECT_GE(market.ledger().remaining(0, 1e18), -1e-6);
+
+  // 6. The chaos model fired (the parameters are sized so it must).
+  EXPECT_GT(stats.outages, 0u);
+}
+
+std::string fault_param_name(const testing::TestParamInfo<FaultParam>& info) {
+  std::string name = to_string(std::get<0>(info.param));
+  name += std::get<1>(info.param) ? "_rebid" : "_norebid";
+  name += "_seed" + std::to_string(std::get<2>(info.param));
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CrashModeByRebidBySeed, FaultyMarketInvariants,
+    testing::Combine(testing::Values(CrashMode::kKill,
+                                     CrashMode::kCheckpoint),
+                     testing::Bool(), testing::Values(1u, 2u, 3u)),
+    fault_param_name);
+
 }  // namespace
 }  // namespace mbts

@@ -61,6 +61,38 @@ TEST(Probe, SamplerSeesSimulationState) {
   EXPECT_EQ(probe.series().value(4), 5.0);
 }
 
+TEST(Probe, StopCancelsThePendingSample) {
+  SimEngine engine;
+  PeriodicProbe probe(engine, 10.0, [] { return 0.0; });
+  engine.schedule_at(5.0, EventPriority::kControl, [&] { probe.stop(); });
+  const double end = engine.run();
+  // stop() cancels the already-scheduled t=10 sample outright: the engine
+  // drains at the stopping event, not at the next probe tick.
+  EXPECT_EQ(probe.samples(), 0u);
+  EXPECT_EQ(end, 5.0);
+  EXPECT_TRUE(engine.empty());
+}
+
+TEST(Probe, StopBeforeRunLeavesNothingBehind) {
+  SimEngine engine;
+  PeriodicProbe probe(engine, 10.0, [] { return 0.0; });
+  probe.stop();
+  engine.run();
+  EXPECT_EQ(probe.samples(), 0u);
+  EXPECT_TRUE(engine.empty());
+}
+
+TEST(Probe, NeverOutlivesRealWorkUnderRunUntil) {
+  SimEngine engine;
+  engine.schedule_at(25.0, EventPriority::kControl, [] {});
+  PeriodicProbe probe(engine, 10.0, [] { return 1.0; });
+  // run_until far past the last real event: the probe must not manufacture
+  // ticks out to the horizon once it is the only thing queued.
+  engine.run_until(1000.0);
+  EXPECT_LE(probe.samples(), 4u);  // 10, 20, 30 at most
+  EXPECT_TRUE(engine.empty());
+}
+
 TEST(Probe, InvalidConfigThrows) {
   SimEngine engine;
   EXPECT_THROW(PeriodicProbe(engine, 0.0, [] { return 0.0; }), CheckError);

@@ -6,10 +6,18 @@
 # additionally enables the MBTS_DCHECK cross-checks (incremental mix vs.
 # rebuild, batch vs. scalar scoring), which NDEBUG builds compile out.
 #
-# Usage: tools/check.sh [jobs]
+# By default the ctest label `slow` (soak/stress tier) is excluded to keep
+# the loop tight; pass --all to run everything, sanitizers included.
+#
+# Usage: tools/check.sh [--all] [jobs]
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+CTEST_FILTER=(-LE slow)
+if [[ "${1:-}" == "--all" ]]; then
+  CTEST_FILTER=()
+  shift
+fi
 JOBS="${1:-$(nproc)}"
 
 run_suite() {
@@ -17,7 +25,8 @@ run_suite() {
   shift
   cmake -S "$ROOT" -B "$build_dir" "$@" >/dev/null
   cmake --build "$build_dir" -j "$JOBS"
-  ctest --test-dir "$build_dir" -j "$JOBS" --output-on-failure
+  ctest --test-dir "$build_dir" -j "$JOBS" --output-on-failure \
+    ${CTEST_FILTER[@]+"${CTEST_FILTER[@]}"}
 }
 
 echo "== optimized build + tests =="

@@ -1,83 +1,15 @@
-// Prints a full-precision RunStats fingerprint for seeded Fig. 4-7 style
-// runs. Used to verify that scheduler refactors keep seeded runs
-// bit-identical (compare the output before and after a change).
-#include <cinttypes>
+// Prints the full-precision behavioral fingerprint for seeded Fig. 4-7
+// style runs plus the canonical economy run. Used to verify that scheduler
+// and market refactors keep seeded runs bit-identical: compare the output
+// before and after a change, or regenerate tests/golden/
+// stats_fingerprint.txt when a change is *meant* to move the numbers
+// (tests/test_fingerprint.cpp pins the golden copy in ctest).
 #include <cstdio>
-#include <optional>
 
-#include "experiments/runner.hpp"
-#include "workload/presets.hpp"
-
-namespace {
-
-void print(const char* label, const mbts::RunStats& s) {
-  std::printf(
-      "%s submitted=%zu accepted=%zu rejected=%zu completed=%zu dropped=%zu "
-      "total_yield=%.17g yield_rate=%.17g first_arrival=%.17g "
-      "last_completion=%.17g utilization=%.17g preemptions=%" PRIu64
-      " dispatches=%" PRIu64
-      " delay_mean=%.17g delay_max=%.17g ryield_mean=%.17g\n",
-      label, s.submitted, s.accepted, s.rejected, s.completed, s.dropped,
-      s.total_yield, s.yield_rate, s.first_arrival, s.last_completion,
-      s.utilization, s.preemptions, s.dispatches, s.delay.mean(),
-      s.delay.max(), s.realized_yield.mean());
-}
-
-}  // namespace
+#include "experiments/fingerprint.hpp"
 
 int main() {
-  using namespace mbts;
-  const std::size_t jobs = 1500;
-  SchedulerConfig config;
-  config.processors = presets::kProcessors;
-  config.preemption = true;
-  config.discount_rate = 0.01;
-
-  // Fig. 4: bounded penalties, FirstReward sweep point.
-  {
-    Xoshiro256 rng = SeedSequence(42).stream(4);
-    const Trace trace = generate_trace(
-        presets::decay_skew_mix(5.0, PenaltyModel::kBoundedAtZero, jobs), rng);
-    print("fig4_fr0.3",
-          run_single_site(trace, config, PolicySpec::first_reward(0.3),
-                          std::nullopt));
-    print("fig4_pv", run_single_site(trace, config,
-                                     PolicySpec::present_value(), std::nullopt));
-  }
-  // Fig. 5: unbounded penalties.
-  {
-    Xoshiro256 rng = SeedSequence(42).stream(5);
-    const Trace trace = generate_trace(
-        presets::decay_skew_mix(5.0, PenaltyModel::kUnbounded, jobs), rng);
-    print("fig5_fr0.1",
-          run_single_site(trace, config, PolicySpec::first_reward(0.1),
-                          std::nullopt));
-    print("fig5_fp", run_single_site(trace, config, PolicySpec::first_price(),
-                                     std::nullopt));
-  }
-  // Fig. 6: admission under overload.
-  {
-    Xoshiro256 rng = SeedSequence(42).stream(6);
-    const Trace trace =
-        generate_trace(presets::admission_mix(1.6, jobs), rng);
-    print("fig6_admit",
-          run_single_site(trace, config, PolicySpec::first_reward(0.3),
-                          SlackAdmissionConfig{180.0, false}));
-    print("fig6_noadmit",
-          run_single_site(trace, config, PolicySpec::first_reward(0.3),
-                          std::nullopt));
-  }
-  // Fig. 7: slack-threshold sweep point.
-  {
-    Xoshiro256 rng = SeedSequence(42).stream(7);
-    const Trace trace =
-        generate_trace(presets::admission_mix(1.3, jobs), rng);
-    print("fig7_thresh0",
-          run_single_site(trace, config, PolicySpec::first_reward(0.3),
-                          SlackAdmissionConfig{0.0, false}));
-    print("fig7_thresh400",
-          run_single_site(trace, config, PolicySpec::first_reward(0.3),
-                          SlackAdmissionConfig{400.0, false}));
-  }
+  const std::string fingerprint = mbts::stats_fingerprint();
+  std::fwrite(fingerprint.data(), 1, fingerprint.size(), stdout);
   return 0;
 }
