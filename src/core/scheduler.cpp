@@ -359,6 +359,7 @@ AdmissionDecision SiteScheduler::submit(const Task& task) {
   records_.push_back(TaskRecord{});
   TaskRecord& record = records_.back();
   record.task = task;
+  record.submitted_at = engine_.now();
   record.quoted_completion = decision.expected_completion;
   record.quoted_yield = decision.expected_yield;
   record.slack = decision.slack;
@@ -391,6 +392,7 @@ void SiteScheduler::preload(std::span<const Task> tasks) {
     records_.push_back(TaskRecord{});
     TaskRecord& record = records_.back();
     record.task = task;
+    record.submitted_at = engine_.now();
     record.slack = kInf;
     enqueue_accepted(task, record);
   }
@@ -485,15 +487,23 @@ std::vector<Task> SiteScheduler::crash(CrashMode mode) {
   down_ = true;
   ++crashes_;
   std::vector<Task> killed;
-  // Drain running_ from the back: both exits erase by swap-with-back, so
-  // the loop retires exactly one task per iteration.
-  while (!running_.empty()) {
-    TaskState& ts = *running_.back();
+  // Drain running tasks in ascending task-id order. The running_ vector's
+  // layout depends on nth_element's unspecified permutation, so a layout
+  //-order drain would make the kill/requeue order (and thus the killed
+  // list, re-bid order, and checkpoint re-entry order) compiler-dependent;
+  // sorting by id pins it. Copy the pointers first: both exits erase from
+  // running_ by swap-with-back.
+  std::vector<TaskState*> victims(running_.begin(), running_.end());
+  std::sort(victims.begin(), victims.end(),
+            [](const TaskState* a, const TaskState* b) {
+              return a->task.id < b->task.id;
+            });
+  for (TaskState* ts : victims) {
     if (mode == CrashMode::kKill) {
-      killed.push_back(ts.task);
-      fail_task(ts);
+      killed.push_back(ts->task);
+      fail_task(*ts);
     } else {
-      checkpoint_task(ts);
+      checkpoint_task(*ts);
     }
   }
   pool_.begin_outage(engine_.now());

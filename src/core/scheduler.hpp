@@ -70,6 +70,11 @@ enum class TaskOutcome {
 struct TaskRecord {
   Task task;
   TaskOutcome outcome = TaskOutcome::kPending;
+  /// Engine clock when the bid reached this site. Equals task.arrival for
+  /// first-round submissions; later for broker retries/re-bids after an
+  /// outage. Replay tooling (src/oracle) needs the actual submission
+  /// instant, which is not recoverable from the task alone.
+  SimTime submitted_at = 0.0;
   /// Quote from the admission projection at submission time.
   SimTime quoted_completion = 0.0;
   double quoted_yield = 0.0;
@@ -146,8 +151,11 @@ class SiteScheduler {
   /// Task::breach_yield at now, removed from the mix) or checkpointed
   /// (kCheckpoint: executed service preserved, task re-enters the pending
   /// queue and the mix stays consistent). Pending tasks survive either way
-  /// and resume competing at recovery. Returns copies of the killed tasks
-  /// so the market layer can breach their contracts and re-bid them.
+  /// and resume competing at recovery. Running tasks are drained in
+  /// ascending task-id order (the internal layout is not canonical), so the
+  /// returned kill list and checkpoint re-entry order are deterministic.
+  /// Returns copies of the killed tasks so the market layer can breach
+  /// their contracts and re-bid them.
   std::vector<Task> crash(CrashMode mode);
 
   /// Brings the site back up and triggers a dispatch over the surviving

@@ -145,9 +145,34 @@ std::string stats_fingerprint() {
         run_single_site(trace, config, PolicySpec::first_reward(0.3),
                         SlackAdmissionConfig{400.0, false}));
   }
+  // FirstReward at the ends of the α spectrum: α→1 weighs risk so heavily
+  // the policy approaches its SWPT limit, and the explicit SWPT run pins
+  // that limit itself (decay-rate-over-runtime ordering, no reward term).
+  {
+    Xoshiro256 rng = SeedSequence(42).stream(9);
+    const Trace trace = generate_trace(
+        presets::decay_skew_mix(5.0, PenaltyModel::kUnbounded, jobs), rng);
+    out += fingerprint_line(
+        "fr_alpha0.9", run_single_site(trace, config,
+                                       PolicySpec::first_reward(0.9),
+                                       std::nullopt));
+    out += fingerprint_line(
+        "swpt_limit", run_single_site(trace, config, PolicySpec::swpt(),
+                                      std::nullopt));
+  }
   // The fault-free economy (negotiation + settlement + all failure
   // counters, which must print as zeros here).
   out += fingerprint_line("market", run_fingerprint_market());
+  // The same economy under a seeded fault plan: outages, quote timeouts,
+  // retries, breaches, and re-awards all pinned at full precision.
+  {
+    FaultConfig faults;
+    faults.outage_rate = 0.003;
+    faults.mean_outage = 150.0;
+    faults.quote_timeout_prob = 0.05;
+    faults.crash_mode = CrashMode::kKill;
+    out += fingerprint_line("market_faults", run_fingerprint_market(faults));
+  }
   return out;
 }
 

@@ -1,0 +1,766 @@
+#include "oracle/diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "core/admission.hpp"
+#include "core/scheduler.hpp"
+#include "market/market.hpp"
+#include "oracle/event_checker.hpp"
+#include "oracle/reference_market.hpp"
+#include "oracle/reference_scheduler.hpp"
+#include "sim/engine.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+
+namespace mbts::oracle {
+
+namespace {
+
+bool same_bits(double a, double b) {
+  return a == b || (std::isnan(a) && std::isnan(b));
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+/// First-divergence collector: every check is a no-op once one fired, so
+/// `detail` always names the earliest mismatch in comparison order.
+struct Cmp {
+  DiffReport& report;
+  std::string prefix;
+
+  void fail(const std::string& what, const std::string& ref,
+            const std::string& opt) {
+    report.diverged = true;
+    report.detail =
+        prefix + " " + what + ": reference=" + ref + " optimized=" + opt;
+  }
+
+  template <typename T>
+  void num(const std::string& what, T ref, T opt) {
+    if (report.diverged || ref == opt) return;
+    fail(what, std::to_string(ref), std::to_string(opt));
+  }
+
+  void bits(const std::string& what, double ref, double opt) {
+    if (report.diverged || same_bits(ref, opt)) return;
+    fail(what, fmt(ref), fmt(opt));
+  }
+
+  void summary(const std::string& what, const Summary& ref,
+               const Summary& opt) {
+    num(what + ".count", ref.count(), opt.count());
+    bits(what + ".mean", ref.mean(), opt.mean());
+    bits(what + ".variance", ref.variance(), opt.variance());
+    bits(what + ".min", ref.min(), opt.min());
+    bits(what + ".max", ref.max(), opt.max());
+  }
+};
+
+void compare_records(const std::string& site, const std::deque<TaskRecord>& opt,
+                     const std::vector<TaskRecord>& ref, DiffReport& report) {
+  if (report.diverged) return;
+  Cmp cmp{report, site};
+  cmp.num("record count", ref.size(), opt.size());
+  for (std::size_t i = 0; i < ref.size() && !report.diverged; ++i) {
+    Cmp rec{report, site + " record " + std::to_string(i) + " (task " +
+                        std::to_string(ref[i].task.id) + ")"};
+    rec.num("task id", ref[i].task.id, opt[i].task.id);
+    rec.num("outcome", static_cast<int>(ref[i].outcome),
+            static_cast<int>(opt[i].outcome));
+    rec.bits("submitted_at", ref[i].submitted_at, opt[i].submitted_at);
+    rec.bits("quoted_completion", ref[i].quoted_completion,
+             opt[i].quoted_completion);
+    rec.bits("quoted_yield", ref[i].quoted_yield, opt[i].quoted_yield);
+    rec.bits("slack", ref[i].slack, opt[i].slack);
+    rec.bits("first_start", ref[i].first_start, opt[i].first_start);
+    rec.bits("completion", ref[i].completion, opt[i].completion);
+    rec.bits("realized_yield", ref[i].realized_yield, opt[i].realized_yield);
+    rec.num("preemptions", ref[i].preemptions, opt[i].preemptions);
+  }
+}
+
+void compare_stats(const std::string& site, const RunStats& opt,
+                   const RunStats& ref, DiffReport& report) {
+  if (report.diverged) return;
+  Cmp cmp{report, site + " stats"};
+  cmp.num("submitted", ref.submitted, opt.submitted);
+  cmp.num("accepted", ref.accepted, opt.accepted);
+  cmp.num("rejected", ref.rejected, opt.rejected);
+  cmp.num("completed", ref.completed, opt.completed);
+  cmp.num("dropped", ref.dropped, opt.dropped);
+  cmp.num("failed", ref.failed, opt.failed);
+  cmp.num("preemptions", ref.preemptions, opt.preemptions);
+  cmp.num("dispatches", ref.dispatches, opt.dispatches);
+  cmp.num("crashes", ref.crashes, opt.crashes);
+  cmp.num("checkpoints", ref.checkpoints, opt.checkpoints);
+  cmp.bits("total_yield", ref.total_yield, opt.total_yield);
+  cmp.bits("yield_rate", ref.yield_rate, opt.yield_rate);
+  cmp.bits("first_arrival", ref.first_arrival, opt.first_arrival);
+  cmp.bits("last_completion", ref.last_completion, opt.last_completion);
+  cmp.bits("utilization", ref.utilization, opt.utilization);
+  cmp.summary("delay", ref.delay, opt.delay);
+  cmp.summary("realized_yield", ref.realized_yield, opt.realized_yield);
+}
+
+void check_events(const EventOrderChecker& checker, DiffReport& report) {
+  if (report.diverged || checker.violations().empty()) return;
+  report.diverged = true;
+  report.detail = "event order: " + checker.violations().front();
+}
+
+WorkloadSpec workload_of(const Scenario& sc) {
+  WorkloadSpec spec;
+  spec.num_jobs = sc.n_tasks;
+  // Load is offered against aggregate capacity, so the market's total
+  // processor count calibrates the gap.
+  spec.processors = sc.processors * (sc.market ? sc.n_sites : 1);
+  spec.load_factor = sc.load_factor;
+  spec.penalty = sc.penalty;
+  spec.penalty_value_scale = sc.penalty_value_scale;
+  spec.uniform_decay = sc.uniform_decay;
+  spec.decay.skew = sc.decay_skew;
+  spec.estimate_error_sigma = sc.estimate_error_sigma;
+  if (sc.max_width > 1)
+    spec.width = DistSpec::uniform(1.0, static_cast<double>(sc.max_width));
+  return spec;
+}
+
+SchedulerConfig sched_config(const Scenario& sc) {
+  SchedulerConfig config;
+  config.processors = sc.processors;
+  config.preemption = sc.preemption;
+  config.rescore = RescorePolicy::kFresh;
+  config.discount_rate = sc.discount_rate;
+  config.drop_expired = false;
+  config.mix_full_rebuild = sc.mix_full_rebuild;
+  return config;
+}
+
+PolicySpec policy_spec(const Scenario& sc) {
+  PolicySpec spec;
+  spec.kind = sc.policy;
+  spec.alpha = sc.alpha;
+  spec.seed = sc.seed ^ 0x9e37ULL;  // decorrelate kRandom from the trace
+  return spec;
+}
+
+/// Sites share every knob except the admission threshold, which steps up
+/// per site so multi-site scenarios exercise heterogeneous admission.
+constexpr double kSiteThresholdStep = 40.0;
+
+RefSiteConfig ref_config(const Scenario& sc, std::size_t site,
+                         const SelfTest& self_test) {
+  RefSiteConfig config;
+  config.scheduler = sched_config(sc);
+  config.policy = policy_spec(sc);
+  config.use_slack_admission = sc.use_slack_admission;
+  config.admission.threshold =
+      sc.threshold + kSiteThresholdStep * static_cast<double>(site);
+  config.admission.literal_eq8 = sc.literal_eq8;
+  config.crash_mode = sc.crash_mode;
+  config.self_test_rpt_skew = self_test.rpt_skew;
+  return config;
+}
+
+DiffReport run_single_site_diff(const Scenario& sc, const SelfTest& self_test) {
+  DiffReport report;
+  const Trace trace = generate_trace(workload_of(sc), SeedSequence(sc.seed), 0);
+
+  SimEngine engine;
+  EventOrderChecker checker;
+  engine.set_observer(&checker);
+
+  std::unique_ptr<AdmissionPolicy> admit;
+  if (sc.use_slack_admission)
+    admit = std::make_unique<SlackAdmission>(
+        SlackAdmissionConfig{sc.threshold, sc.literal_eq8});
+  else
+    admit = std::make_unique<AcceptAllAdmission>();
+  SiteScheduler site(engine, sched_config(sc), make_policy(policy_spec(sc)),
+                     std::move(admit));
+  site.inject(trace.tasks);
+
+  // Fault wiring mirrors Market::run: plan horizon is the arrival span, the
+  // plan and timeout streams use the same well-known keys.
+  std::vector<RefOutage> outages;
+  std::unique_ptr<FaultInjector> injector;
+  if (sc.faults) {
+    FaultConfig fc;
+    fc.outage_rate = sc.outage_rate;
+    fc.mean_outage = sc.mean_outage;
+    fc.quote_timeout_prob = 0.0;  // no broker to lose quotes in this mode
+    fc.crash_mode = sc.crash_mode;
+    double horizon = 0.0;
+    for (const Task& task : trace.tasks)
+      horizon = std::max(horizon, task.arrival);
+    const SeedSequence seeds(sc.seed);
+    FaultPlan plan =
+        FaultPlan::generate(fc, 1, horizon, seeds.stream(0xFA017));
+    for (const SiteOutage& outage : plan.outages)
+      outages.push_back(RefOutage{outage.down_at, outage.up_at});
+    if (!plan.empty()) {
+      injector = std::make_unique<FaultInjector>(engine, std::move(plan), 1,
+                                                 0.0, seeds.stream(0x71E0));
+      injector->arm(
+          [&site, &sc](SiteId, const SiteOutage&) { site.crash(sc.crash_mode); },
+          [&site](SiteId) { site.recover(); });
+    }
+  }
+
+  engine.run();
+
+  std::vector<RefSubmission> submissions;
+  submissions.reserve(site.records().size());
+  for (const TaskRecord& record : site.records())
+    submissions.push_back(RefSubmission{record.task, record.submitted_at});
+  const RefSiteResult ref = simulate_site(ref_config(sc, 0, self_test),
+                                          submissions, outages, engine.now());
+
+  compare_records("site 0", site.records(), ref.records, report);
+  compare_stats("site 0", site.stats(), ref.stats, report);
+  check_events(checker, report);
+  return report;
+}
+
+DiffReport run_market_diff(const Scenario& sc, const SelfTest& self_test) {
+  DiffReport report;
+  const Trace trace = generate_trace(workload_of(sc), SeedSequence(sc.seed), 0);
+
+  MarketConfig mc;
+  for (std::size_t s = 0; s < sc.n_sites; ++s) {
+    SiteAgentConfig agent;
+    agent.id = static_cast<SiteId>(s);
+    agent.name = "site" + std::to_string(s);
+    agent.scheduler = sched_config(sc);
+    agent.policy = policy_spec(sc);
+    agent.use_slack_admission = sc.use_slack_admission;
+    agent.admission.threshold =
+        sc.threshold + kSiteThresholdStep * static_cast<double>(s);
+    agent.admission.literal_eq8 = sc.literal_eq8;
+    mc.sites.push_back(agent);
+  }
+  mc.strategy = sc.strategy;
+  mc.pricing = sc.pricing;
+  if (sc.budgets)
+    mc.client_budgets[0] = ClientBudget{2500.0, 800.0};
+  mc.rng_seed = sc.seed;
+  if (sc.faults) {
+    mc.faults.outage_rate = sc.outage_rate;
+    mc.faults.mean_outage = sc.mean_outage;
+    mc.faults.quote_timeout_prob = sc.quote_timeout_prob;
+    mc.faults.crash_mode = sc.crash_mode;
+  }
+
+  Market market(mc);
+  EventOrderChecker checker;
+  market.engine().set_observer(&checker);
+  market.inject(trace);
+  const MarketStats stats = market.run();
+
+  // Replay each site's recorded bid stream through the reference scheduler.
+  // quote() is observationally pure, so losing quote polls loses nothing;
+  // submitted_at carries retries and re-bids at their true instants.
+  for (std::size_t s = 0; s < sc.n_sites && !report.diverged; ++s) {
+    const SiteAgent& agent = *market.sites()[s];
+    std::vector<RefSubmission> submissions;
+    submissions.reserve(agent.scheduler().records().size());
+    for (const TaskRecord& record : agent.scheduler().records())
+      submissions.push_back(RefSubmission{record.task, record.submitted_at});
+    std::vector<RefOutage> outages;
+    if (market.fault_injector() != nullptr) {
+      for (const SiteOutage& outage : market.fault_injector()->plan().outages)
+        if (outage.site == static_cast<SiteId>(s))
+          outages.push_back(RefOutage{outage.down_at, outage.up_at});
+    }
+    const RefSiteResult ref =
+        simulate_site(ref_config(sc, s, self_test), submissions, outages,
+                      market.engine().now());
+    const std::string label = "site " + std::to_string(s);
+    compare_records(label, agent.scheduler().records(), ref.records, report);
+    if (!report.diverged) {
+      MBTS_CHECK(s < stats.site_stats.size());
+      compare_stats(label, stats.site_stats[s], ref.stats, report);
+    }
+  }
+
+  if (!report.diverged) {
+    MarketStats audited = stats;
+    if (self_test.corrupt_settlement)
+      audited.total_revenue = std::nextafter(audited.total_revenue, kInf);
+    const std::vector<std::string> findings =
+        audit_market(market, audited, trace.tasks.size());
+    if (!findings.empty()) {
+      report.diverged = true;
+      report.detail = "settlement audit: " + findings.front();
+    }
+  }
+  check_events(checker, report);
+  return report;
+}
+
+// --- enum codecs --------------------------------------------------------
+
+const char* policy_name(PolicySpec::Kind kind) {
+  switch (kind) {
+    case PolicySpec::Kind::kFcfs: return "fcfs";
+    case PolicySpec::Kind::kSrpt: return "srpt";
+    case PolicySpec::Kind::kSwpt: return "swpt";
+    case PolicySpec::Kind::kFirstPrice: return "firstprice";
+    case PolicySpec::Kind::kPresentValue: return "pv";
+    case PolicySpec::Kind::kFirstReward: return "firstreward";
+    case PolicySpec::Kind::kRandom: return "random";
+  }
+  return "?";
+}
+
+const char* penalty_name(PenaltyModel penalty) {
+  switch (penalty) {
+    case PenaltyModel::kBoundedAtZero: return "zero";
+    case PenaltyModel::kBoundedAtValue: return "value";
+    case PenaltyModel::kUnbounded: return "unbounded";
+  }
+  return "?";
+}
+
+const char* strategy_name(ClientStrategy strategy) {
+  switch (strategy) {
+    case ClientStrategy::kMaxExpectedValue: return "maxval";
+    case ClientStrategy::kEarliestCompletion: return "earliest";
+    case ClientStrategy::kRandom: return "random";
+  }
+  return "?";
+}
+
+const char* pricing_name(PricingModel pricing) {
+  switch (pricing) {
+    case PricingModel::kBidPrice: return "bid";
+    case PricingModel::kSecondPrice: return "second";
+  }
+  return "?";
+}
+
+const char* crash_name(CrashMode mode) {
+  return mode == CrashMode::kKill ? "kill" : "checkpoint";
+}
+
+template <typename Enum>
+bool parse_enum(const std::string& text, Enum& out,
+                std::initializer_list<std::pair<const char*, Enum>> table) {
+  for (const auto& [name, value] : table) {
+    if (text == name) {
+      out = value;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Scenario generate_scenario(std::uint64_t sweep_seed, std::uint64_t index) {
+  Xoshiro256 g = SeedSequence(sweep_seed).stream(index);
+  Scenario sc;
+  sc.seed = g.next() | 1;
+  sc.n_tasks = 60 + g.below(121);
+  sc.market = g.bernoulli(0.5);
+  sc.n_sites = sc.market ? 1 + g.below(3) : 1;
+  sc.processors = 4 + g.below(5);
+  sc.preemption = g.bernoulli(0.7);
+  {
+    const double rates[] = {0.0, 0.001, 0.01, 0.05};
+    sc.discount_rate = rates[g.below(4)];
+  }
+  sc.mix_full_rebuild = g.bernoulli(0.5);
+  {
+    const PolicySpec::Kind kinds[] = {
+        PolicySpec::Kind::kFcfs,       PolicySpec::Kind::kSrpt,
+        PolicySpec::Kind::kSwpt,       PolicySpec::Kind::kFirstPrice,
+        PolicySpec::Kind::kPresentValue, PolicySpec::Kind::kFirstReward,
+        PolicySpec::Kind::kRandom};
+    sc.policy = kinds[g.below(7)];
+    const double alphas[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+    sc.alpha = alphas[g.below(5)];
+  }
+  sc.use_slack_admission = g.bernoulli(0.75);
+  {
+    const double thresholds[] = {0.0, 0.0, 25.0, 100.0};
+    sc.threshold = thresholds[g.below(4)];
+  }
+  sc.literal_eq8 = g.bernoulli(0.5);
+  {
+    const double loads[] = {0.5, 0.9, 1.2, 2.0};
+    sc.load_factor = loads[g.below(4)];
+  }
+  {
+    const PenaltyModel penalties[] = {PenaltyModel::kBoundedAtZero,
+                                      PenaltyModel::kBoundedAtValue,
+                                      PenaltyModel::kUnbounded};
+    sc.penalty = penalties[g.below(3)];
+    const double scales[] = {0.5, 1.0, 2.0};
+    sc.penalty_value_scale = scales[g.below(3)];
+  }
+  sc.uniform_decay = g.bernoulli(0.3);
+  {
+    const double skews[] = {1.0, 5.0, 20.0};
+    sc.decay_skew = skews[g.below(3)];
+  }
+  sc.estimate_error_sigma = g.bernoulli(0.3) ? 0.3 : 0.0;
+  sc.max_width = g.bernoulli(0.25) ? 2 + g.below(2) : 1;
+  {
+    const ClientStrategy strategies[] = {ClientStrategy::kMaxExpectedValue,
+                                         ClientStrategy::kEarliestCompletion,
+                                         ClientStrategy::kRandom};
+    sc.strategy = strategies[g.below(3)];
+    sc.pricing = g.bernoulli(0.5) ? PricingModel::kBidPrice
+                                  : PricingModel::kSecondPrice;
+    sc.budgets = sc.market && g.bernoulli(0.3);
+  }
+  sc.faults = g.bernoulli(0.5);
+  if (sc.faults) {
+    // Aim for roughly one to four outages per site over the arrival span.
+    const double span_est = static_cast<double>(sc.n_tasks) *
+                            workload_of(sc).mean_gap() /
+                            static_cast<double>(sc.market ? sc.n_sites : 1);
+    const double counts[] = {1.0, 2.0, 4.0};
+    sc.outage_rate = counts[g.below(3)] / std::max(span_est, 1.0);
+    const double durations[] = {50.0, 150.0, 400.0};
+    sc.mean_outage = durations[g.below(3)];
+    sc.quote_timeout_prob = (sc.market && g.bernoulli(0.5)) ? 0.1 : 0.0;
+    sc.crash_mode =
+        g.bernoulli(0.3) ? CrashMode::kCheckpoint : CrashMode::kKill;
+  } else {
+    sc.outage_rate = 0.0;
+    sc.quote_timeout_prob = 0.0;
+  }
+  return sc;
+}
+
+DiffReport run_diff(const Scenario& scenario, const SelfTest& self_test) {
+  return scenario.market ? run_market_diff(scenario, self_test)
+                         : run_single_site_diff(scenario, self_test);
+}
+
+Scenario shrink(Scenario scenario,
+                const std::function<bool(const Scenario&)>& diverges,
+                std::vector<std::string>* steps) {
+  struct Transform {
+    const char* name;
+    std::function<bool(Scenario&)> apply;  // false when already a no-op
+  };
+  const std::vector<Transform> ladder = {
+      {"halve the task count",
+       [](Scenario& s) {
+         if (s.n_tasks <= 8) return false;
+         s.n_tasks /= 2;
+         return true;
+       }},
+      {"disable faults",
+       [](Scenario& s) {
+         if (!s.faults) return false;
+         s.faults = false;
+         s.outage_rate = 0.0;
+         s.quote_timeout_prob = 0.0;
+         return true;
+       }},
+      {"collapse to one site",
+       [](Scenario& s) {
+         if (!s.market || s.n_sites <= 1) return false;
+         s.n_sites = 1;
+         return true;
+       }},
+      {"leave the market (drive the site directly)",
+       [](Scenario& s) {
+         if (!s.market) return false;
+         s.market = false;
+         s.n_sites = 1;
+         s.budgets = false;
+         s.quote_timeout_prob = 0.0;
+         return true;
+       }},
+      {"disable budgets",
+       [](Scenario& s) {
+         if (!s.budgets) return false;
+         s.budgets = false;
+         return true;
+       }},
+      {"bid-price settlement",
+       [](Scenario& s) {
+         if (s.pricing == PricingModel::kBidPrice) return false;
+         s.pricing = PricingModel::kBidPrice;
+         return true;
+       }},
+      {"max-value client strategy",
+       [](Scenario& s) {
+         if (s.strategy == ClientStrategy::kMaxExpectedValue) return false;
+         s.strategy = ClientStrategy::kMaxExpectedValue;
+         return true;
+       }},
+      {"accurate runtime estimates",
+       [](Scenario& s) {
+         if (s.estimate_error_sigma == 0.0) return false;
+         s.estimate_error_sigma = 0.0;
+         return true;
+       }},
+      {"width-1 tasks",
+       [](Scenario& s) {
+         if (s.max_width <= 1) return false;
+         s.max_width = 1;
+         return true;
+       }},
+      {"incremental mix maintenance",
+       [](Scenario& s) {
+         if (!s.mix_full_rebuild) return false;
+         s.mix_full_rebuild = false;
+         return true;
+       }},
+      {"uniform decay",
+       [](Scenario& s) {
+         if (s.uniform_decay) return false;
+         s.uniform_decay = true;
+         return true;
+       }},
+      {"kill-mode crashes",
+       [](Scenario& s) {
+         if (!s.faults || s.crash_mode == CrashMode::kKill) return false;
+         s.crash_mode = CrashMode::kKill;
+         return true;
+       }},
+      {"accept-all admission",
+       [](Scenario& s) {
+         if (!s.use_slack_admission) return false;
+         s.use_slack_admission = false;
+         return true;
+       }},
+      {"zero slack threshold",
+       [](Scenario& s) {
+         if (s.threshold == 0.0) return false;
+         s.threshold = 0.0;
+         return true;
+       }},
+      {"default Eq. 8 form",
+       [](Scenario& s) {
+         if (!s.literal_eq8) return false;
+         s.literal_eq8 = false;
+         return true;
+       }},
+      {"zero discount rate",
+       [](Scenario& s) {
+         if (s.discount_rate == 0.0) return false;
+         s.discount_rate = 0.0;
+         return true;
+       }},
+      {"unbounded penalties",
+       [](Scenario& s) {
+         if (s.penalty == PenaltyModel::kUnbounded) return false;
+         s.penalty = PenaltyModel::kUnbounded;
+         return true;
+       }},
+      {"FCFS policy",
+       [](Scenario& s) {
+         if (s.policy == PolicySpec::Kind::kFcfs) return false;
+         s.policy = PolicySpec::Kind::kFcfs;
+         return true;
+       }},
+      {"no preemption",
+       [](Scenario& s) {
+         if (!s.preemption) return false;
+         s.preemption = false;
+         return true;
+       }},
+      {"drop a quarter of the tasks",
+       [](Scenario& s) {
+         if (s.n_tasks <= 8) return false;
+         s.n_tasks = s.n_tasks * 3 / 4;
+         return true;
+       }},
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Transform& transform : ladder) {
+      Scenario candidate = scenario;
+      if (!transform.apply(candidate)) continue;
+      if (!diverges(candidate)) continue;
+      scenario = candidate;
+      changed = true;
+      if (steps != nullptr) steps->push_back(transform.name);
+    }
+  }
+  return scenario;
+}
+
+std::string to_replay_string(const Scenario& sc) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "seed=" << sc.seed << " tasks=" << sc.n_tasks
+     << " market=" << (sc.market ? 1 : 0) << " sites=" << sc.n_sites
+     << " procs=" << sc.processors << " preempt=" << (sc.preemption ? 1 : 0)
+     << " discount=" << sc.discount_rate
+     << " rebuild=" << (sc.mix_full_rebuild ? 1 : 0)
+     << " policy=" << policy_name(sc.policy) << " alpha=" << sc.alpha
+     << " admission=" << (sc.use_slack_admission ? 1 : 0)
+     << " threshold=" << sc.threshold << " eq8=" << (sc.literal_eq8 ? 1 : 0)
+     << " load=" << sc.load_factor << " penalty=" << penalty_name(sc.penalty)
+     << " pscale=" << sc.penalty_value_scale
+     << " udecay=" << (sc.uniform_decay ? 1 : 0) << " dskew=" << sc.decay_skew
+     << " esigma=" << sc.estimate_error_sigma << " width=" << sc.max_width
+     << " strategy=" << strategy_name(sc.strategy)
+     << " pricing=" << pricing_name(sc.pricing)
+     << " budgets=" << (sc.budgets ? 1 : 0)
+     << " faults=" << (sc.faults ? 1 : 0) << " orate=" << sc.outage_rate
+     << " outage=" << sc.mean_outage << " qtimeout=" << sc.quote_timeout_prob
+     << " crash=" << crash_name(sc.crash_mode);
+  return os.str();
+}
+
+std::optional<Scenario> parse_replay(const std::string& text) {
+  Scenario sc;
+  std::istringstream is(text);
+  std::string token;
+  while (is >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) return std::nullopt;
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    try {
+      if (key == "seed") sc.seed = std::stoull(value);
+      else if (key == "tasks") sc.n_tasks = std::stoull(value);
+      else if (key == "market") sc.market = value != "0";
+      else if (key == "sites") sc.n_sites = std::stoull(value);
+      else if (key == "procs") sc.processors = std::stoull(value);
+      else if (key == "preempt") sc.preemption = value != "0";
+      else if (key == "discount") sc.discount_rate = std::stod(value);
+      else if (key == "rebuild") sc.mix_full_rebuild = value != "0";
+      else if (key == "policy") {
+        if (!parse_enum(value, sc.policy,
+                        {{"fcfs", PolicySpec::Kind::kFcfs},
+                         {"srpt", PolicySpec::Kind::kSrpt},
+                         {"swpt", PolicySpec::Kind::kSwpt},
+                         {"firstprice", PolicySpec::Kind::kFirstPrice},
+                         {"pv", PolicySpec::Kind::kPresentValue},
+                         {"firstreward", PolicySpec::Kind::kFirstReward},
+                         {"random", PolicySpec::Kind::kRandom}}))
+          return std::nullopt;
+      } else if (key == "alpha") sc.alpha = std::stod(value);
+      else if (key == "admission") sc.use_slack_admission = value != "0";
+      else if (key == "threshold") sc.threshold = std::stod(value);
+      else if (key == "eq8") sc.literal_eq8 = value != "0";
+      else if (key == "load") sc.load_factor = std::stod(value);
+      else if (key == "penalty") {
+        if (!parse_enum(value, sc.penalty,
+                        {{"zero", PenaltyModel::kBoundedAtZero},
+                         {"value", PenaltyModel::kBoundedAtValue},
+                         {"unbounded", PenaltyModel::kUnbounded}}))
+          return std::nullopt;
+      } else if (key == "pscale") sc.penalty_value_scale = std::stod(value);
+      else if (key == "udecay") sc.uniform_decay = value != "0";
+      else if (key == "dskew") sc.decay_skew = std::stod(value);
+      else if (key == "esigma") sc.estimate_error_sigma = std::stod(value);
+      else if (key == "width") sc.max_width = std::stoull(value);
+      else if (key == "strategy") {
+        if (!parse_enum(value, sc.strategy,
+                        {{"maxval", ClientStrategy::kMaxExpectedValue},
+                         {"earliest", ClientStrategy::kEarliestCompletion},
+                         {"random", ClientStrategy::kRandom}}))
+          return std::nullopt;
+      } else if (key == "pricing") {
+        if (!parse_enum(value, sc.pricing,
+                        {{"bid", PricingModel::kBidPrice},
+                         {"second", PricingModel::kSecondPrice}}))
+          return std::nullopt;
+      } else if (key == "budgets") sc.budgets = value != "0";
+      else if (key == "faults") sc.faults = value != "0";
+      else if (key == "orate") sc.outage_rate = std::stod(value);
+      else if (key == "outage") sc.mean_outage = std::stod(value);
+      else if (key == "qtimeout") sc.quote_timeout_prob = std::stod(value);
+      else if (key == "crash") {
+        if (!parse_enum(value, sc.crash_mode,
+                        {{"kill", CrashMode::kKill},
+                         {"checkpoint", CrashMode::kCheckpoint}}))
+          return std::nullopt;
+      } else {
+        return std::nullopt;
+      }
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+  }
+  return sc;
+}
+
+std::string to_cpp_literal(const Scenario& sc) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "oracle::Scenario{\n"
+     << "    .seed = " << sc.seed << "ULL,\n"
+     << "    .n_tasks = " << sc.n_tasks << ",\n"
+     << "    .market = " << (sc.market ? "true" : "false") << ",\n"
+     << "    .n_sites = " << sc.n_sites << ",\n"
+     << "    .processors = " << sc.processors << ",\n"
+     << "    .preemption = " << (sc.preemption ? "true" : "false") << ",\n"
+     << "    .discount_rate = " << sc.discount_rate << ",\n"
+     << "    .mix_full_rebuild = " << (sc.mix_full_rebuild ? "true" : "false")
+     << ",\n"
+     << "    .policy = PolicySpec::Kind::k";
+  switch (sc.policy) {
+    case PolicySpec::Kind::kFcfs: os << "Fcfs"; break;
+    case PolicySpec::Kind::kSrpt: os << "Srpt"; break;
+    case PolicySpec::Kind::kSwpt: os << "Swpt"; break;
+    case PolicySpec::Kind::kFirstPrice: os << "FirstPrice"; break;
+    case PolicySpec::Kind::kPresentValue: os << "PresentValue"; break;
+    case PolicySpec::Kind::kFirstReward: os << "FirstReward"; break;
+    case PolicySpec::Kind::kRandom: os << "Random"; break;
+  }
+  os << ",\n"
+     << "    .alpha = " << sc.alpha << ",\n"
+     << "    .use_slack_admission = "
+     << (sc.use_slack_admission ? "true" : "false") << ",\n"
+     << "    .threshold = " << sc.threshold << ",\n"
+     << "    .literal_eq8 = " << (sc.literal_eq8 ? "true" : "false") << ",\n"
+     << "    .load_factor = " << sc.load_factor << ",\n"
+     << "    .penalty = PenaltyModel::k";
+  switch (sc.penalty) {
+    case PenaltyModel::kBoundedAtZero: os << "BoundedAtZero"; break;
+    case PenaltyModel::kBoundedAtValue: os << "BoundedAtValue"; break;
+    case PenaltyModel::kUnbounded: os << "Unbounded"; break;
+  }
+  os << ",\n"
+     << "    .penalty_value_scale = " << sc.penalty_value_scale << ",\n"
+     << "    .uniform_decay = " << (sc.uniform_decay ? "true" : "false")
+     << ",\n"
+     << "    .decay_skew = " << sc.decay_skew << ",\n"
+     << "    .estimate_error_sigma = " << sc.estimate_error_sigma << ",\n"
+     << "    .max_width = " << sc.max_width << ",\n"
+     << "    .strategy = ClientStrategy::k";
+  switch (sc.strategy) {
+    case ClientStrategy::kMaxExpectedValue: os << "MaxExpectedValue"; break;
+    case ClientStrategy::kEarliestCompletion: os << "EarliestCompletion"; break;
+    case ClientStrategy::kRandom: os << "Random"; break;
+  }
+  os << ",\n"
+     << "    .pricing = PricingModel::k"
+     << (sc.pricing == PricingModel::kBidPrice ? "BidPrice" : "SecondPrice")
+     << ",\n"
+     << "    .budgets = " << (sc.budgets ? "true" : "false") << ",\n"
+     << "    .faults = " << (sc.faults ? "true" : "false") << ",\n"
+     << "    .outage_rate = " << sc.outage_rate << ",\n"
+     << "    .mean_outage = " << sc.mean_outage << ",\n"
+     << "    .quote_timeout_prob = " << sc.quote_timeout_prob << ",\n"
+     << "    .crash_mode = CrashMode::k"
+     << (sc.crash_mode == CrashMode::kKill ? "Kill" : "Checkpoint") << ",\n"
+     << "}";
+  return os.str();
+}
+
+}  // namespace mbts::oracle

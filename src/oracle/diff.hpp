@@ -1,0 +1,117 @@
+// Differential harness: randomized scenarios run through the optimized
+// stack and the oracle reference side by side.
+//
+// A Scenario is a fully self-contained description of one run — workload
+// knobs, scheduler/policy/admission configuration, market topology, fault
+// plan parameters — generated from a (sweep seed, index) pair. run_diff
+// executes the optimized side (SiteScheduler directly, or the full Market)
+// with an EventOrderChecker attached, replays the recorded submissions
+// through the reference scheduler, audits settlement, and reports the first
+// bit-level divergence. shrink() greedily minimizes a diverging scenario
+// (fewer tasks, faults off, one site, simpler policy, ...) while the
+// divergence persists, producing a ready-to-paste regression reproducer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "market/broker.hpp"
+#include "sim/fault.hpp"
+#include "workload/generator.hpp"
+
+namespace mbts::oracle {
+
+/// One randomized differential scenario. Every field participates in the
+/// replay codec (to_replay_string/parse_replay), so a diverging scenario is
+/// reproducible from its one-line description alone.
+struct Scenario {
+  std::uint64_t seed = 1;
+  std::size_t n_tasks = 120;
+
+  // Topology: market=false drives one SiteScheduler directly.
+  bool market = false;
+  std::size_t n_sites = 1;
+  std::size_t processors = 8;
+
+  // Scheduler + policy + admission (shared by every site; sites are made
+  // heterogeneous via a per-site threshold offset).
+  bool preemption = true;
+  double discount_rate = 0.01;
+  bool mix_full_rebuild = false;
+  PolicySpec::Kind policy = PolicySpec::Kind::kFirstReward;
+  double alpha = 0.5;
+  bool use_slack_admission = true;
+  double threshold = 0.0;
+  bool literal_eq8 = false;
+
+  // Workload.
+  double load_factor = 1.2;
+  PenaltyModel penalty = PenaltyModel::kUnbounded;
+  double penalty_value_scale = 1.0;
+  bool uniform_decay = false;
+  double decay_skew = 5.0;
+  double estimate_error_sigma = 0.0;
+  std::size_t max_width = 1;
+
+  // Market layer (market=true only).
+  ClientStrategy strategy = ClientStrategy::kMaxExpectedValue;
+  PricingModel pricing = PricingModel::kBidPrice;
+  bool budgets = false;
+
+  // Fault model.
+  bool faults = false;
+  double outage_rate = 0.0;
+  double mean_outage = 150.0;
+  double quote_timeout_prob = 0.0;
+  CrashMode crash_mode = CrashMode::kKill;
+};
+
+/// Self-test perturbations applied to the ORACLE side, simulating the bug
+/// classes the harness exists to catch. Any nonzero setting must produce a
+/// reported divergence (see tools/diff_fuzz --self-test).
+struct SelfTest {
+  /// Relative skew on the reference's believed remaining time — a stale
+  /// score/rpt cache.
+  double rpt_skew = 0.0;
+  /// Corrupt the reported settlement total by one ulp before auditing — a
+  /// broken settlement aggregation (market scenarios only).
+  bool corrupt_settlement = false;
+};
+
+struct DiffReport {
+  bool diverged = false;
+  /// First divergence, human-readable ("site 1 record 17 quoted_yield: ...").
+  std::string detail;
+};
+
+/// Draws a randomized scenario from the sweep stream.
+Scenario generate_scenario(std::uint64_t sweep_seed, std::uint64_t index);
+
+/// Runs both sides and compares. Bit-level comparison of every TaskRecord
+/// and RunStats field per site, the settlement audit (market mode), and the
+/// engine event-order check.
+DiffReport run_diff(const Scenario& scenario, const SelfTest& self_test = {});
+
+/// Greedy minimization: repeatedly applies shrinking transformations (halve
+/// the task count, drop faults, collapse to one site, disable budgets /
+/// widths / misestimation, simplify policy and admission) and keeps each
+/// one only while `diverges` stays true. `steps`, when given, receives one
+/// line per accepted transformation.
+Scenario shrink(Scenario scenario,
+                const std::function<bool(const Scenario&)>& diverges,
+                std::vector<std::string>* steps = nullptr);
+
+/// One-line replay codec: "seed=5 tasks=80 market=1 ..." round-trips
+/// through parse_replay.
+std::string to_replay_string(const Scenario& scenario);
+std::optional<Scenario> parse_replay(const std::string& text);
+
+/// A ready-to-paste C++ designated-initializer literal for regression
+/// tests (tests/differential/test_differential.cpp).
+std::string to_cpp_literal(const Scenario& scenario);
+
+}  // namespace mbts::oracle

@@ -1,0 +1,100 @@
+#include "oracle/event_checker.hpp"
+
+#include <sstream>
+
+namespace mbts::oracle {
+
+namespace {
+constexpr std::size_t kMaxViolations = 32;
+
+bool sooner(double at, int ap, EventId ai, double bt, int bp, EventId bi) {
+  if (at != bt) return at < bt;
+  if (ap != bp) return ap < bp;
+  return ai < bi;
+}
+}  // namespace
+
+void EventOrderChecker::violation(const std::string& message) {
+  if (violations_.size() < kMaxViolations) violations_.push_back(message);
+}
+
+void EventOrderChecker::on_schedule(EventId id, double t, int priority) {
+  for (const Pending& p : pending_) {
+    if (p.id == id) {
+      std::ostringstream os;
+      os << "event " << id << " scheduled twice";
+      violation(os.str());
+      return;
+    }
+  }
+  if (saw_execute_ && t < clock_) {
+    std::ostringstream os;
+    os.precision(17);
+    os << "event " << id << " scheduled in the past: t=" << t << " clock="
+       << clock_;
+    violation(os.str());
+  }
+  pending_.push_back(Pending{id, t, priority});
+}
+
+void EventOrderChecker::on_cancel(EventId id) {
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (pending_[i].id == id) {
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+  std::ostringstream os;
+  os << "cancel of unknown or already-executed event " << id;
+  violation(os.str());
+}
+
+void EventOrderChecker::on_execute(EventId id, double t, int priority) {
+  // The executed event must exist, match its scheduled key, and be the
+  // (t, priority, id) minimum of everything outstanding.
+  std::size_t found = pending_.size();
+  std::size_t best = pending_.size();
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (pending_[i].id == id) found = i;
+    if (best == pending_.size() ||
+        sooner(pending_[i].t, pending_[i].priority, pending_[i].id,
+               pending_[best].t, pending_[best].priority, pending_[best].id))
+      best = i;
+  }
+  if (found == pending_.size()) {
+    std::ostringstream os;
+    os << "executed unknown (cancelled, duplicate, or never-scheduled) "
+          "event "
+       << id;
+    violation(os.str());
+    return;
+  }
+  const Pending& p = pending_[found];
+  if (p.t != t || p.priority != priority) {
+    std::ostringstream os;
+    os.precision(17);
+    os << "event " << id << " executed with key (" << t << "," << priority
+       << ") but scheduled as (" << p.t << "," << p.priority << ")";
+    violation(os.str());
+  }
+  if (best != found) {
+    std::ostringstream os;
+    os.precision(17);
+    os << "event " << id << " at t=" << t
+       << " executed before the queue minimum (event " << pending_[best].id
+       << " at t=" << pending_[best].t << ")";
+    violation(os.str());
+  }
+  if (saw_execute_ && t < clock_) {
+    std::ostringstream os;
+    os.precision(17);
+    os << "clock ran backwards: " << clock_ << " -> " << t;
+    violation(os.str());
+  }
+  clock_ = t;
+  saw_execute_ = true;
+  ++executed_;
+  pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(found));
+}
+
+}  // namespace mbts::oracle

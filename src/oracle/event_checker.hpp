@@ -1,0 +1,48 @@
+// Differential checker for the SimEngine event queue.
+//
+// Attach one to an engine (SimEngine::set_observer) and it replays the
+// exact schedule/cancel/execute stream through a naive reference queue — a
+// plain vector scanned linearly for the (time, priority, id) minimum. Every
+// executed event must be that minimum and the clock must be monotone;
+// anything else means the engine's binary heap, lazy-tombstone cancellation,
+// or compaction sweep dropped, duplicated, or reordered an event.
+//
+// Violations are collected, not thrown, so a differential run can report
+// them alongside scheduler/market divergences.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace mbts::oracle {
+
+class EventOrderChecker : public EventObserver {
+ public:
+  void on_schedule(EventId id, double t, int priority) override;
+  void on_cancel(EventId id) override;
+  void on_execute(EventId id, double t, int priority) override;
+
+  const std::vector<std::string>& violations() const { return violations_; }
+  std::uint64_t executed() const { return executed_; }
+  std::size_t outstanding() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    EventId id;
+    double t;
+    int priority;
+  };
+
+  void violation(const std::string& message);
+
+  std::vector<Pending> pending_;
+  std::vector<std::string> violations_;
+  std::uint64_t executed_ = 0;
+  double clock_ = 0.0;
+  bool saw_execute_ = false;
+};
+
+}  // namespace mbts::oracle

@@ -1,0 +1,183 @@
+#include "oracle/reference_market.hpp"
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+namespace mbts::oracle {
+
+namespace {
+
+/// Exact (bit-level) double comparison, rendered with enough digits to show
+/// one-ulp differences.
+bool same_bits(double a, double b) {
+  return a == b || (std::isnan(a) && std::isnan(b));
+}
+
+template <typename T>
+std::string mismatch(const std::string& what, T expected, T actual) {
+  std::ostringstream os;
+  os.precision(17);
+  os << what << ": reference=" << expected << " optimized=" << actual;
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<std::string> audit_market(Market& market, const MarketStats& stats,
+                                      std::size_t expected_bids) {
+  std::vector<std::string> findings;
+  const auto check_count = [&](const std::string& what, std::size_t expected,
+                               std::size_t actual) {
+    if (expected != actual) findings.push_back(mismatch(what, expected, actual));
+  };
+  const auto check_double = [&](const std::string& what, double expected,
+                                double actual) {
+    if (!same_bits(expected, actual))
+      findings.push_back(mismatch(what, expected, actual));
+  };
+
+  // --- Broker history recount ------------------------------------------
+  std::size_t primary = 0, rejected_raw = 0, unaffordable = 0, awarded = 0;
+  std::size_t rebid_entries = 0, re_awards = 0;
+  for (const NegotiationResult& r : market.broker().history()) {
+    if (r.rebid) {
+      ++rebid_entries;
+      if (r.awarded_site) ++re_awards;
+      continue;
+    }
+    ++primary;
+    if (r.awarded_site) {
+      ++awarded;
+    } else {
+      ++rejected_raw;
+      if (r.unaffordable) ++unaffordable;
+    }
+  }
+  check_count("bids (primary negotiation entries)", expected_bids, primary);
+  check_count("stats.bids", expected_bids, stats.bids);
+  check_count("stats.awarded", awarded, stats.awarded);
+  check_count("stats.rejected_everywhere", rejected_raw - unaffordable,
+              stats.rejected_everywhere);
+  check_count("stats.unaffordable", unaffordable, stats.unaffordable);
+  check_count("stats.rebids", rebid_entries, stats.rebids);
+  check_count("stats.re_awards", re_awards, stats.re_awards);
+
+  // --- Contract books: settlement re-derivation ------------------------
+  const auto& sites = market.sites();
+  double total_revenue = 0.0;
+  double total_agreed = 0.0;
+  std::size_t violated = 0, breached = 0;
+  for (std::size_t s = 0; s < sites.size(); ++s) {
+    const SiteAgent& site = *sites[s];
+    const auto& records = site.scheduler().records();
+    double site_revenue = 0.0;
+    for (const Contract& contract : site.contracts()) {
+      total_agreed += contract.agreed_price;
+      if (contract.violated()) ++violated;
+      if (contract.breached) ++breached;
+      if (contract.settled) site_revenue += contract.settled_price;
+
+      std::ostringstream tag;
+      tag << "site " << s << " task " << contract.task;
+
+      if (contract.breached) {
+        // A breach settles at the crash instant, at the task's breach
+        // yield; the scheduler must hold a matching kFailed record.
+        bool matched = false;
+        for (const TaskRecord& record : records) {
+          if (record.task.id != contract.task ||
+              record.outcome != TaskOutcome::kFailed ||
+              !same_bits(record.completion, contract.actual_completion))
+            continue;
+          matched = true;
+          if (!same_bits(contract.settled_price,
+                         record.task.breach_yield(record.completion)))
+            findings.push_back(
+                tag.str() + ": breached contract settled off the task's "
+                            "breach yield");
+          break;
+        }
+        if (!matched)
+          findings.push_back(tag.str() +
+                             ": breached contract has no matching kFailed "
+                             "record at the breach instant");
+        if (!contract.settled)
+          findings.push_back(tag.str() + ": breached but not settled");
+        continue;
+      }
+
+      // Delivered (or never-finished) contract: settle() binds it to the
+      // *last* finished record of the task id.
+      const TaskRecord* finished = nullptr;
+      for (const TaskRecord& record : records) {
+        if (record.task.id == contract.task &&
+            (record.outcome == TaskOutcome::kCompleted ||
+             record.outcome == TaskOutcome::kDropped))
+          finished = &record;
+      }
+      if (contract.settled) {
+        if (finished == nullptr) {
+          findings.push_back(tag.str() +
+                             ": settled contract has no finished record");
+          continue;
+        }
+        if (!same_bits(contract.actual_completion, finished->completion))
+          findings.push_back(tag.str() +
+                             ": settled at a time that is not the record's "
+                             "completion");
+        const double expected_price =
+            std::min(contract.agreed_price, finished->realized_yield);
+        if (!same_bits(contract.settled_price, expected_price))
+          findings.push_back(mismatch(
+              tag.str() + ": settled price != min(agreed, realized)",
+              expected_price, contract.settled_price));
+      } else {
+        // After a drained run every surviving contract must have settled:
+        // delivered tasks settle normally, crashed ones as breaches.
+        findings.push_back(tag.str() + ": contract never settled");
+      }
+    }
+    if (s < stats.site_revenue.size())
+      check_double("site_revenue[" + std::to_string(s) + "]", site_revenue,
+                   stats.site_revenue[s]);
+    total_revenue += site_revenue;
+  }
+  check_count("stats.site_revenue size", sites.size(),
+              stats.site_revenue.size());
+  check_double("stats.total_revenue", total_revenue, stats.total_revenue);
+  check_double("stats.total_agreed", total_agreed, stats.total_agreed);
+  check_count("stats.violated_contracts", violated, stats.violated_contracts);
+  check_count("stats.breached_contracts", breached, stats.breached_contracts);
+
+  // --- Double-entry budget conservation --------------------------------
+  // Every charge that survived (was not refunded by a breach or an award
+  // refusal) belongs to exactly one non-breached contract, so for each
+  // constrained client: ledger total spent == sum of surviving agreed
+  // prices. Tolerance-based: the ledger accumulated the cancelled
+  // charge/refund pairs in chronological order.
+  std::set<ClientId> clients;
+  for (const NegotiationResult& r : market.broker().history())
+    clients.insert(r.bid.client);
+  for (ClientId client : clients) {
+    if (!market.ledger().is_constrained(client)) continue;
+    double surviving = 0.0;
+    for (const auto& site : sites)
+      for (const Contract& contract : site->contracts())
+        if (contract.client == client && !contract.breached)
+          surviving += contract.agreed_price;
+    const double spent = market.ledger().total_spent(client);
+    const double tol = 1e-6 * std::max(1.0, std::fabs(surviving));
+    if (std::fabs(spent - surviving) > tol) {
+      std::ostringstream os;
+      os.precision(17);
+      os << "client " << client << ": budget not conserved — ledger spent "
+         << spent << " but surviving contracts total " << surviving;
+      findings.push_back(os.str());
+    }
+  }
+
+  return findings;
+}
+
+}  // namespace mbts::oracle

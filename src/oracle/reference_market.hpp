@@ -1,0 +1,35 @@
+// Reference settlement model for the market layer: a double-entry audit.
+//
+// After a Market run, every unit of client budget must be accounted for:
+// a charge lands in a (non-breached) contract's agreed price, and every
+// breach refunds its charge. Independently, every contract must settle
+// exactly where the records say the task ended — at min(agreed, realized)
+// for delivered work, at the task's breach yield when the site crashed —
+// and the MarketStats counters must equal a from-scratch recount over the
+// broker history and the per-site contract books.
+//
+// audit_market recomputes all of that the naive way (O(contracts * records)
+// scans, no indices) and returns human-readable findings; an empty vector
+// means the optimized settlement pipeline and the reference ledger agree.
+// Count and per-contract price comparisons are bit-exact. The one deliberate
+// tolerance is the per-client budget conservation sum: the ledger
+// accumulates charge/refund pairs in chronological order while the audit
+// sums surviving contracts only, and floating-point addition is not
+// associative across the cancelled pairs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "market/market.hpp"
+
+namespace mbts::oracle {
+
+/// Audits `stats` (as returned by market.run()) against the market's own
+/// broker history, contract books, records, and ledger. `expected_bids` is
+/// the number of injected bids (the trace size). Returns one finding per
+/// violated invariant; empty when clean.
+std::vector<std::string> audit_market(Market& market, const MarketStats& stats,
+                                      std::size_t expected_bids);
+
+}  // namespace mbts::oracle

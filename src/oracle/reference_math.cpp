@@ -1,0 +1,182 @@
+#include "oracle/reference_math.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/metrics.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace mbts::oracle {
+
+RefCompetitor competitor_of(const Task& task, SimTime now) {
+  RefCompetitor c;
+  c.id = task.id;
+  c.decay = task.value.decay_at_delay(task.delay_at_completion(now));
+  const SimTime expire = task.expire_time();
+  c.time_to_expire = expire == kInf ? kInf : std::max(0.0, expire - now);
+  return c;
+}
+
+double present_value(double yield, double discount_rate, double horizon) {
+  MBTS_CHECK(horizon >= 0.0);
+  MBTS_CHECK(discount_rate >= 0.0);
+  return yield / (1.0 + discount_rate * horizon);
+}
+
+double opportunity_cost(const Task& task, double rpt, const RefMixView& mix) {
+  MBTS_CHECK(rpt >= 0.0);
+  if (!mix.any_bounded) {
+    // Eq. 5: no competitor ever stops decaying, so the aggregate minus the
+    // task's own current rate is exact.
+    const double own =
+        task.value.decay_at_delay(task.delay_at_completion(mix.now));
+    const double others = mix.total_live_decay - own;
+    return std::max(others, 0.0) * rpt;
+  }
+  // Eq. 4: per-competitor, each term capped by the competitor's remaining
+  // decay time, summed in competitor (slot) order.
+  double cost = 0.0;
+  for (const RefCompetitor& c : mix.competitors) {
+    if (c.id == task.id) continue;
+    const double window = std::min(rpt, c.time_to_expire);
+    if (window > 0.0) cost += c.decay * window;
+  }
+  return cost;
+}
+
+double first_reward(const Task& task, double rpt, const RefMixView& mix,
+                    double alpha) {
+  MBTS_CHECK(alpha >= 0.0 && alpha <= 1.0);
+  MBTS_CHECK(rpt > 0.0);
+  const double yield = task.yield_at_completion(mix.now + rpt);
+  const double pv = present_value(yield, mix.discount_rate, rpt);
+  const double cost = opportunity_cost(task, rpt, mix);
+  return (alpha * pv - (1.0 - alpha) * cost) /
+         (rpt * static_cast<double>(task.width));
+}
+
+double ref_priority(const PolicySpec& spec, const Task& task, double rpt,
+                    const RefMixView& mix) {
+  MBTS_CHECK_MSG(spec.yield_basis == YieldBasis::kAtCompletion,
+                 "reference model covers the paper's kAtCompletion basis only");
+  switch (spec.kind) {
+    case PolicySpec::Kind::kFcfs:
+      return -task.arrival;
+    case PolicySpec::Kind::kSrpt:
+      return -rpt;
+    case PolicySpec::Kind::kRandom: {
+      // Stable random permutation: a hash of (seed, id).
+      SplitMix64 sm(spec.seed ^ (task.id * 0x9e3779b97f4a7c15ULL));
+      return static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+    }
+    case PolicySpec::Kind::kSwpt:
+      return task.value.decay_at_delay(task.delay_at_completion(mix.now)) /
+             rpt;
+    case PolicySpec::Kind::kFirstPrice:
+      // §4 unit gain: yield per processor-second of remaining work.
+      return task.yield_at_completion(mix.now + rpt) /
+             (rpt * static_cast<double>(task.width));
+    case PolicySpec::Kind::kPresentValue:
+      return present_value(task.yield_at_completion(mix.now + rpt),
+                           mix.discount_rate, rpt) /
+             (rpt * static_cast<double>(task.width));
+    case PolicySpec::Kind::kFirstReward:
+      return first_reward(task, rpt, mix, spec.alpha);
+  }
+  MBTS_CHECK_MSG(false, "unknown policy kind");
+  return 0.0;
+}
+
+double naive_completion(std::vector<double> proc_free,
+                        const std::vector<RefPending>& ordered,
+                        const Task& candidate, std::size_t position) {
+  MBTS_CHECK_MSG(!proc_free.empty(), "need at least one processor");
+  MBTS_CHECK(position <= ordered.size());
+  // Keep the free times in a sorted array. A task of width w claims the w
+  // earliest-free processors and starts when the last of them frees (the
+  // w-th smallest value); its completion replaces the claimed entries.
+  std::sort(proc_free.begin(), proc_free.end());
+  double completion = 0.0;
+  const auto place = [&](double rpt, std::size_t width) {
+    MBTS_CHECK(width >= 1 && width <= proc_free.size());
+    MBTS_CHECK(rpt > 0.0);
+    const double start = proc_free[width - 1];
+    completion = start + rpt;
+    proc_free.erase(proc_free.begin(),
+                    proc_free.begin() + static_cast<std::ptrdiff_t>(width));
+    const auto at =
+        std::lower_bound(proc_free.begin(), proc_free.end(), completion);
+    proc_free.insert(at, width, completion);
+  };
+  for (std::size_t i = 0; i < position; ++i) {
+    MBTS_CHECK(ordered[i].task != nullptr);
+    place(ordered[i].rpt, ordered[i].task->width);
+  }
+  place(candidate.estimate(), candidate.width);
+  return completion;
+}
+
+double admission_cost(const Task& candidate,
+                      const std::vector<RefPending>& ranked,
+                      std::size_t position, SimTime now, bool literal_eq8) {
+  // Eq. 8: every task ranked behind the candidate decays for the chosen
+  // window. Summed in rank order.
+  double cost = 0.0;
+  for (std::size_t i = position; i < ranked.size(); ++i) {
+    const Task& behind = *ranked[i].task;
+    const double window =
+        literal_eq8 ? behind.estimate() : candidate.estimate();
+    const double rate =
+        behind.value.decay_at_delay(behind.delay_at_completion(now));
+    cost += rate * window;
+  }
+  return cost;
+}
+
+RefAdmission slack_admission(const PolicySpec& spec, const Task& candidate,
+                             const RefMixView& mix,
+                             const std::vector<RefPending>& ranked,
+                             std::vector<double> proc_free, double threshold,
+                             bool literal_eq8, bool accept_all) {
+  // The candidate slots in front of the first strictly-lower-priority task;
+  // ties resolve behind existing tasks (they arrived earlier).
+  const double cand_priority =
+      ref_priority(spec, candidate, candidate.estimate(), mix);
+  std::size_t position = ranked.size();
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    if (cand_priority > ranked[i].score) {
+      position = i;
+      break;
+    }
+  }
+
+  RefAdmission out;
+  out.position = position;
+  out.expected_completion =
+      naive_completion(std::move(proc_free), ranked, candidate, position);
+  out.expected_yield = candidate.yield_at_completion(out.expected_completion);
+  if (accept_all) {
+    out.slack = kInf;
+    out.accept = true;
+    return out;
+  }
+
+  const double cost =
+      admission_cost(candidate, ranked, position, mix.now, literal_eq8);
+  // Eq. 7 with the gain as present value over the projected wait.
+  const double horizon = std::max(0.0, out.expected_completion - mix.now);
+  const double pv = present_value(out.expected_yield, mix.discount_rate,
+                                  horizon);
+  const double net = pv - cost;
+  const double decay = candidate.value.decay();
+  if (decay == 0.0) {
+    out.slack = net >= 0.0 ? kInf : -kInf;
+  } else {
+    out.slack = net / decay;
+  }
+  out.accept = out.slack >= threshold;
+  return out;
+}
+
+}  // namespace mbts::oracle

@@ -1,0 +1,548 @@
+#include "oracle/reference_scheduler.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+
+#include "cluster/processor_pool.hpp"
+#include "util/check.hpp"
+
+namespace mbts::oracle {
+
+namespace {
+
+// Mirror of the optimized scheduler's epsilon: a running task within this of
+// true completion is immovable.
+constexpr double kDoneEpsilon = 1e-9;
+
+// Same instant-ordering contract as SimEngine's EventPriority.
+constexpr int kPrCompletion = 0;
+constexpr int kPrFault = 5;
+constexpr int kPrArrival = 10;
+constexpr int kPrDispatch = 15;
+
+enum class EvKind { kArrival, kCompletion, kDispatch, kDown, kUp };
+
+struct Ev {
+  double t = 0.0;
+  int pr = 0;
+  std::uint64_t seq = 0;
+  EvKind kind = EvKind::kDispatch;
+  std::size_t payload = 0;  // submission index / task index / outage index
+};
+
+struct RTask {
+  Task task;
+  std::size_t record_idx = 0;
+  double executed = 0.0;  // service consumed, excluding the live segment
+  bool running = false;
+  double segment_start = 0.0;
+  double queue_rpt = 0.0;           // latched at (re)enqueue
+  std::uint64_t completion_seq = 0; // seq of the live completion event
+  std::size_t mix_slot = 0;
+};
+
+/// The naive simulator. One instance per simulate_site call; all state is
+/// rebuilt per run.
+class RefSim {
+ public:
+  RefSim(const RefSiteConfig& config,
+         const std::vector<RefSubmission>& submissions,
+         const std::vector<RefOutage>& outages)
+      : cfg_(config), submissions_(submissions), pool_(
+            config.scheduler.processors) {
+    MBTS_CHECK_MSG(cfg_.scheduler.rescore == RescorePolicy::kFresh,
+                   "reference scheduler models RescorePolicy::kFresh only");
+    MBTS_CHECK_MSG(!cfg_.scheduler.drop_expired,
+                   "reference scheduler does not model drop_expired");
+    MBTS_CHECK(cfg_.scheduler.discount_rate >= 0.0);
+    // Pre-schedule every externally-known event. Relative order among equal
+    // (t, priority) pairs is insertion order: submissions in given order,
+    // then outages in plan order (each recovery queued right after its
+    // outage, so a recovery coinciding with the next outage fires first).
+    for (std::size_t i = 0; i < submissions_.size(); ++i)
+      push_event(submissions_[i].at, kPrArrival, EvKind::kArrival, i);
+    for (std::size_t i = 0; i < outages.size(); ++i) {
+      MBTS_CHECK(outages[i].up_at > outages[i].down_at);
+      push_event(outages[i].down_at, kPrFault, EvKind::kDown, i);
+      push_event(outages[i].up_at, kPrFault, EvKind::kUp, i);
+    }
+  }
+
+  RefSiteResult run(SimTime stats_at) {
+    while (true) {
+      // O(n) scan for the (t, priority, seq) minimum — the naive event loop.
+      std::size_t best = events_.size();
+      for (std::size_t i = 0; i < events_.size(); ++i) {
+        if (best == events_.size() || sooner(events_[i], events_[best]))
+          best = i;
+      }
+      if (best == events_.size()) break;
+      const Ev ev = events_[best];
+      events_.erase(events_.begin() + static_cast<std::ptrdiff_t>(best));
+      MBTS_CHECK(ev.t >= now_);
+      now_ = ev.t;
+      switch (ev.kind) {
+        case EvKind::kArrival:
+          submit(submissions_[ev.payload].task);
+          break;
+        case EvKind::kCompletion:
+          on_completion(ev.payload, ev.seq);
+          break;
+        case EvKind::kDispatch:
+          dispatch_pending_ = false;
+          dispatch();
+          break;
+        case EvKind::kDown:
+          crash();
+          break;
+        case EvKind::kUp:
+          recover();
+          break;
+      }
+    }
+
+    RefSiteResult out;
+    out.records.assign(records_.begin(), records_.end());
+    out.killed = std::move(killed_);
+    out.end_time = now_;
+    out.stats = stats(stats_at < 0.0 ? now_ : stats_at);
+    return out;
+  }
+
+ private:
+  static bool sooner(const Ev& a, const Ev& b) {
+    if (a.t != b.t) return a.t < b.t;
+    if (a.pr != b.pr) return a.pr < b.pr;
+    return a.seq < b.seq;
+  }
+
+  std::uint64_t push_event(double t, int pr, EvKind kind,
+                           std::size_t payload) {
+    const std::uint64_t seq = next_seq_++;
+    events_.push_back(Ev{t, pr, seq, kind, payload});
+    return seq;
+  }
+
+  void cancel_completion(const RTask& rt) {
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+      if (events_[i].kind == EvKind::kCompletion &&
+          events_[i].seq == rt.completion_seq) {
+        events_.erase(events_.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+    MBTS_CHECK_MSG(false, "cancelling a completion that is not scheduled");
+  }
+
+  double executed_now(const RTask& rt) const {
+    if (!rt.running) return rt.executed;
+    return rt.executed + (now_ - rt.segment_start);
+  }
+
+  double remaining(const RTask& rt) const {
+    return rt.task.runtime - executed_now(rt);
+  }
+
+  double scoring_remaining(const RTask& rt) const {
+    const double declared = rt.task.estimate();
+    const double left = declared - executed_now(rt);
+    const double floor = cfg_.scheduler.exceeded_estimate_fraction * declared;
+    const double base = std::max(left, std::max(floor, 1e-9));
+    return base * (1.0 + cfg_.self_test_rpt_skew);
+  }
+
+  /// Recomputes the full mix snapshot from the live task set — every entry
+  /// from its task, the aggregate re-summed in slot order — optionally with
+  /// a transient bid candidate appended last.
+  RefMixView make_mix_view(const Task* candidate) const {
+    RefMixView view;
+    view.now = now_;
+    view.discount_rate = cfg_.scheduler.discount_rate;
+    view.competitors.reserve(slots_.size() + 1);
+    bool any_bounded = false;
+    for (const RTask* rt : slots_) {
+      if (rt == nullptr) {
+        view.competitors.push_back(RefCompetitor{kInvalidTask, 0.0, 0.0});
+        continue;
+      }
+      view.competitors.push_back(competitor_of(rt->task, now_));
+      if (rt->task.expire_time() != kInf) any_bounded = true;
+    }
+    double total = 0.0;
+    for (const RefCompetitor& c : view.competitors) {
+      if (c.time_to_expire > 0.0) total += c.decay;
+    }
+    view.total_live_decay = total;
+    view.any_bounded = any_bounded;
+    if (candidate != nullptr) {
+      const RefCompetitor info = competitor_of(*candidate, now_);
+      if (info.time_to_expire > 0.0) view.total_live_decay = total + info.decay;
+      view.any_bounded = any_bounded || candidate->expire_time() != kInf;
+      view.competitors.push_back(info);
+    }
+    return view;
+  }
+
+  /// Mix-slot bookkeeping replicating MixTracker's LIFO slot recycling, so
+  /// the slot order (and with it the Eq. 4/5 summation order) matches.
+  void mix_add(RTask& rt) {
+    if (!free_slots_.empty()) {
+      rt.mix_slot = free_slots_.back();
+      free_slots_.pop_back();
+      slots_[rt.mix_slot] = &rt;
+    } else {
+      rt.mix_slot = slots_.size();
+      slots_.push_back(&rt);
+    }
+  }
+
+  void mix_remove(RTask& rt) {
+    slots_[rt.mix_slot] = nullptr;
+    free_slots_.push_back(rt.mix_slot);
+  }
+
+  /// The whole pending queue ranked by (score desc, id asc) against `mix`,
+  /// scored fresh with each task's latched queue_rpt.
+  std::vector<RefPending> rank_pending(const RefMixView& mix) const {
+    std::vector<RefPending> ranked;
+    ranked.reserve(pending_.size());
+    for (const RTask* rt : pending_) {
+      ranked.push_back({&rt->task, rt->queue_rpt,
+                        ref_priority(cfg_.policy, rt->task, rt->queue_rpt,
+                                     mix)});
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const RefPending& a, const RefPending& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.task->id < b.task->id;
+              });
+    return ranked;
+  }
+
+  /// Processor free times as admission projects them: running tasks hold
+  /// their width's worth of slots until their believed finish.
+  std::vector<double> projected_free() const {
+    std::vector<double> proc_free(pool_.capacity(), now_);
+    std::size_t slot = 0;
+    for (const RTask* rt : running_) {
+      const double free_at = now_ + std::max(0.0, scoring_remaining(*rt));
+      for (std::size_t w = 0; w < rt->task.width; ++w) {
+        MBTS_CHECK(slot < proc_free.size());
+        proc_free[slot++] = free_at;
+      }
+    }
+    return proc_free;
+  }
+
+  RefAdmission quote(const Task& task) const {
+    const RefMixView mix = make_mix_view(&task);
+    return slack_admission(cfg_.policy, task, mix, rank_pending(mix),
+                           projected_free(), cfg_.admission.threshold,
+                           cfg_.admission.literal_eq8,
+                           !cfg_.use_slack_admission);
+  }
+
+  void submit(const Task& task) {
+    MBTS_CHECK_MSG(!live_ids_.count(task.id), "duplicate live task id");
+    MBTS_CHECK(task.width >= 1 && task.width <= pool_.capacity());
+
+    // A down site declines without evaluating the bid (zeroed quote).
+    RefAdmission decision;
+    if (!down_) decision = quote(task);
+
+    if (!saw_arrival_ || task.arrival < first_arrival_)
+      first_arrival_ = task.arrival;
+    saw_arrival_ = true;
+
+    records_.push_back(TaskRecord{});
+    TaskRecord& record = records_.back();
+    record.task = task;
+    record.submitted_at = now_;
+    record.quoted_completion = decision.expected_completion;
+    record.quoted_yield = decision.expected_yield;
+    record.slack = decision.slack;
+
+    if (!decision.accept) {
+      record.outcome = TaskOutcome::kRejected;
+      return;
+    }
+
+    tasks_.push_back(RTask{});
+    RTask& rt = tasks_.back();
+    rt.task = task;
+    rt.record_idx = records_.size() - 1;
+    rt.queue_rpt = scoring_remaining(rt);
+    live_ids_.insert(task.id);
+    mix_add(rt);
+    pending_.push_back(&rt);
+    request_dispatch();
+  }
+
+  void request_dispatch() {
+    if (dispatch_pending_ || down_) return;
+    dispatch_pending_ = true;
+    push_event(now_, kPrDispatch, EvKind::kDispatch, 0);
+  }
+
+  void start_task(RTask& rt) {
+    MBTS_CHECK(!rt.running);
+    pool_.acquire(now_, rt.task.width);
+    rt.running = true;
+    rt.segment_start = now_;
+    TaskRecord& record = records_[rt.record_idx];
+    if (record.first_start < 0.0) record.first_start = now_;
+    rt.completion_seq = push_event(now_ + remaining(rt), kPrCompletion,
+                                   EvKind::kCompletion, task_index(rt));
+    pending_.erase(std::find(pending_.begin(), pending_.end(), &rt));
+    running_.push_back(&rt);
+    if (record.outcome == TaskOutcome::kPending)
+      record.outcome = TaskOutcome::kRunning;
+  }
+
+  void preempt_task(RTask& rt, bool count_preemption) {
+    MBTS_CHECK(rt.running);
+    cancel_completion(rt);
+    pool_.release(now_, rt.task.width);
+    rt.executed += now_ - rt.segment_start;
+    rt.running = false;
+    rt.queue_rpt = scoring_remaining(rt);
+    TaskRecord& record = records_[rt.record_idx];
+    if (count_preemption) {
+      ++preemptions_;
+      ++record.preemptions;
+    } else {
+      ++checkpoints_;
+    }
+    record.outcome = TaskOutcome::kPending;
+    running_.erase(std::find(running_.begin(), running_.end(), &rt));
+    pending_.push_back(&rt);
+  }
+
+  void fail_task(RTask& rt) {
+    MBTS_CHECK(rt.running);
+    cancel_completion(rt);
+    pool_.release(now_, rt.task.width);
+    TaskRecord& record = records_[rt.record_idx];
+    record.completion = now_;
+    record.realized_yield = rt.task.breach_yield(now_);
+    record.outcome = TaskOutcome::kFailed;
+    running_.erase(std::find(running_.begin(), running_.end(), &rt));
+    mix_remove(rt);
+    live_ids_.erase(rt.task.id);
+  }
+
+  void finish_task(RTask& rt) {
+    MBTS_CHECK(rt.running);
+    pool_.release(now_, rt.task.width);
+    TaskRecord& record = records_[rt.record_idx];
+    record.completion = now_;
+    record.realized_yield = rt.task.yield_at_completion(now_);
+    record.outcome = TaskOutcome::kCompleted;
+    last_completion_ = std::max(last_completion_, now_);
+    running_.erase(std::find(running_.begin(), running_.end(), &rt));
+    mix_remove(rt);
+    live_ids_.erase(rt.task.id);
+  }
+
+  void on_completion(std::size_t task_idx, std::uint64_t seq) {
+    RTask& rt = tasks_[task_idx];
+    MBTS_CHECK(rt.running && rt.completion_seq == seq);
+    finish_task(rt);
+    request_dispatch();
+  }
+
+  void crash() {
+    MBTS_CHECK(!down_);
+    down_ = true;
+    ++crashes_;
+    // Ascending-id drain, matching SiteScheduler::crash.
+    std::vector<RTask*> victims(running_.begin(), running_.end());
+    std::sort(victims.begin(), victims.end(),
+              [](const RTask* a, const RTask* b) {
+                return a->task.id < b->task.id;
+              });
+    for (RTask* rt : victims) {
+      if (cfg_.crash_mode == CrashMode::kKill) {
+        killed_.push_back(rt->task);
+        fail_task(*rt);
+      } else {
+        preempt_task(*rt, /*count_preemption=*/false);
+      }
+    }
+    pool_.begin_outage(now_);
+  }
+
+  void recover() {
+    MBTS_CHECK(down_);
+    down_ = false;
+    pool_.end_outage(now_);
+    if (!pending_.empty()) request_dispatch();
+  }
+
+  void dispatch() {
+    // A dispatch already queued when the site crashed fires into a down
+    // site and does nothing (not even counting itself).
+    if (down_) return;
+    ++dispatches_;
+    if (pending_.empty()) return;
+
+    const RefMixView mix = make_mix_view(nullptr);
+
+    struct Scored {
+      RTask* rt;
+      double score;
+      double rpt;
+      bool running;
+    };
+    std::vector<Scored> scored;
+    scored.reserve(pending_.size() + running_.size());
+    for (RTask* rt : pending_)
+      scored.push_back({rt,
+                        ref_priority(cfg_.policy, rt->task, rt->queue_rpt,
+                                     mix),
+                        rt->queue_rpt, false});
+
+    if (cfg_.scheduler.preemption) {
+      for (RTask* rt : running_) {
+        const double rpt = scoring_remaining(*rt);
+        const double score =
+            remaining(*rt) <= kDoneEpsilon
+                ? kInf
+                : ref_priority(cfg_.policy, rt->task, rpt, mix);
+        scored.push_back({rt, score, rpt, true});
+      }
+      // (score desc, running first, id asc): ties never displace a running
+      // task, so dispatches cannot flap.
+      std::sort(scored.begin(), scored.end(),
+                [](const Scored& a, const Scored& b) {
+                  if (a.score != b.score) return a.score > b.score;
+                  if (a.running != b.running) return a.running;
+                  return a.rt->task.id < b.rt->task.id;
+                });
+      // Gang walk with backfill: admit each ranked task while its width
+      // fits the remaining capacity. With every width equal to 1 this
+      // degenerates to "keep the top capacity tasks", the optimized width-1
+      // fast path.
+      std::size_t free = pool_.capacity();
+      std::vector<RTask*> to_start;
+      std::vector<RTask*> to_preempt;
+      for (const Scored& entry : scored) {
+        if (entry.rt->task.width <= free) {
+          free -= entry.rt->task.width;
+          if (!entry.running) to_start.push_back(entry.rt);
+        } else if (entry.running) {
+          to_preempt.push_back(entry.rt);
+        }
+      }
+      for (RTask* rt : to_preempt) preempt_task(*rt, /*count_preemption=*/true);
+      for (RTask* rt : to_start) start_task(*rt);
+    } else {
+      std::sort(scored.begin(), scored.end(),
+                [](const Scored& a, const Scored& b) {
+                  if (a.score != b.score) return a.score > b.score;
+                  return a.rt->task.id < b.rt->task.id;
+                });
+      std::size_t free = pool_.free_count();
+      for (const Scored& entry : scored) {
+        if (entry.rt->task.width <= free) {
+          free -= entry.rt->task.width;
+          start_task(*entry.rt);
+        }
+      }
+    }
+  }
+
+  std::size_t task_index(const RTask& rt) const {
+    for (std::size_t i = 0; i < tasks_.size(); ++i)
+      if (&tasks_[i] == &rt) return i;
+    MBTS_CHECK(false);
+    return 0;
+  }
+
+  RunStats stats(SimTime stats_at) const {
+    RunStats stats;
+    stats.submitted = records_.size();
+    stats.preemptions = preemptions_;
+    stats.dispatches = dispatches_;
+    stats.crashes = crashes_;
+    stats.checkpoints = checkpoints_;
+    stats.first_arrival = saw_arrival_ ? first_arrival_ : 0.0;
+    stats.last_completion = last_completion_;
+    for (const TaskRecord& record : records_) {
+      switch (record.outcome) {
+        case TaskOutcome::kRejected:
+          ++stats.rejected;
+          break;
+        case TaskOutcome::kCompleted:
+          ++stats.accepted;
+          ++stats.completed;
+          stats.total_yield += record.realized_yield;
+          stats.realized_yield.add(record.realized_yield);
+          stats.delay.add(
+              record.task.delay_at_completion(record.completion));
+          break;
+        case TaskOutcome::kDropped:
+          ++stats.accepted;
+          ++stats.dropped;
+          stats.total_yield += record.realized_yield;
+          stats.realized_yield.add(record.realized_yield);
+          break;
+        case TaskOutcome::kFailed:
+          ++stats.accepted;
+          ++stats.failed;
+          stats.total_yield += record.realized_yield;
+          stats.realized_yield.add(record.realized_yield);
+          break;
+        case TaskOutcome::kPending:
+        case TaskOutcome::kRunning:
+          ++stats.accepted;
+          break;
+      }
+    }
+    const double span = stats.last_completion - stats.first_arrival;
+    stats.yield_rate = span > 0.0 ? stats.total_yield / span : 0.0;
+    stats.utilization = pool_.utilization(stats_at);
+    return stats;
+  }
+
+  const RefSiteConfig& cfg_;
+  const std::vector<RefSubmission>& submissions_;
+  ProcessorPool pool_;
+
+  std::vector<Ev> events_;
+  std::uint64_t next_seq_ = 0;
+  double now_ = 0.0;
+
+  std::deque<RTask> tasks_;  // stable storage, one entry per accepted bid
+  std::unordered_set<TaskId> live_ids_;
+  std::vector<RTask*> pending_;
+  std::vector<RTask*> running_;
+  std::vector<RTask*> slots_;  // mix slots; nullptr == free
+  std::vector<std::size_t> free_slots_;
+  std::deque<TaskRecord> records_;
+  std::vector<Task> killed_;
+
+  bool dispatch_pending_ = false;
+  bool down_ = false;
+  std::uint64_t preemptions_ = 0;
+  std::uint64_t dispatches_ = 0;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t checkpoints_ = 0;
+  bool saw_arrival_ = false;
+  SimTime first_arrival_ = 0.0;
+  SimTime last_completion_ = 0.0;
+};
+
+}  // namespace
+
+RefSiteResult simulate_site(const RefSiteConfig& config,
+                            const std::vector<RefSubmission>& submissions,
+                            const std::vector<RefOutage>& outages,
+                            SimTime stats_at) {
+  RefSim sim(config, submissions, outages);
+  return sim.run(stats_at);
+}
+
+}  // namespace mbts::oracle

@@ -1,0 +1,90 @@
+// A from-scratch reference site scheduler for differential testing.
+//
+// This is the naive model the optimized SiteScheduler is checked against:
+// a list-based discrete-event simulator that rescores the entire mix with
+// oracle::ref_priority on every decision, full-sorts every ranking (no
+// nth_element, no adaptive repair sort, no ScoreCache, no MixTracker, no
+// admission prefix truncation), and scans a plain vector for the next event
+// (no binary heap, no tombstones). Every mix snapshot is recomputed from the
+// task set from scratch.
+//
+// The contract is BIT-level agreement: run the same submissions and outages
+// through both schedulers and every TaskRecord field and every RunStats
+// field must match exactly. The reference therefore fixes the same
+// observable tie-breaking rules the optimized scheduler documents —
+// (score desc, running first, id asc) dispatch ranking, ties behind earlier
+// arrivals at admission, ascending-id crash drains, completions before
+// faults before arrivals before dispatches at one instant — but arrives at
+// them by the straightforward O(n^2) route.
+//
+// Two shared components are reused rather than reimplemented: Task/
+// ValueFunction (the data model under test is the *decision* logic, and
+// Eq. 1/2 evaluation has its own direct unit tests) and ProcessorPool (a
+// busy counter plus a time-weighted integral with no optimized machinery).
+// The SimEngine is NOT reused — the reference runs its own event list; the
+// engine itself is differentially checked by oracle::EventOrderChecker.
+#pragma once
+
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "oracle/reference_math.hpp"
+#include "sim/fault.hpp"
+
+namespace mbts::oracle {
+
+/// Reference-site configuration. `scheduler` is interpreted with the same
+/// semantics as SiteScheduler (drop_expired and RescorePolicy::kAtEnqueue
+/// are not modeled and are rejected).
+struct RefSiteConfig {
+  SchedulerConfig scheduler;
+  PolicySpec policy;
+  /// false models AcceptAllAdmission (always accept, slack = kInf).
+  bool use_slack_admission = false;
+  SlackAdmissionConfig admission;
+  CrashMode crash_mode = CrashMode::kKill;
+  /// Differential-harness self-test knob; keep 0 for real checks. A nonzero
+  /// value skews the reference's *believed* remaining time by this relative
+  /// amount — simulating a stale score/remaining-time cache on one side of
+  /// the diff — and must make the harness report (and shrink) a divergence.
+  double self_test_rpt_skew = 0.0;
+};
+
+/// One bid reaching the site: `at` is the engine instant of the submit call
+/// (TaskRecord::submitted_at on the optimized side). Submissions at equal
+/// `at` execute in vector order, which must be the optimized site's record
+/// order.
+struct RefSubmission {
+  Task task;
+  SimTime at = 0.0;
+};
+
+/// One site outage window, in plan order.
+struct RefOutage {
+  SimTime down_at = 0.0;
+  SimTime up_at = 0.0;
+};
+
+struct RefSiteResult {
+  /// Per-task records in submission order; field-for-field comparable with
+  /// SiteScheduler::records().
+  std::vector<TaskRecord> records;
+  /// Bit-comparable with SiteScheduler::stats().
+  RunStats stats;
+  /// Tasks killed by crashes, in kill order (chronological, ascending id
+  /// within one crash).
+  std::vector<Task> killed;
+  /// Final clock of the reference event loop.
+  SimTime end_time = 0.0;
+};
+
+/// Runs the reference scheduler over the given submissions and outages.
+/// `stats_at` is the instant utilization is evaluated at (the optimized
+/// side's engine.now() when stats() was taken); pass a negative value to use
+/// the reference loop's own final event time.
+RefSiteResult simulate_site(const RefSiteConfig& config,
+                            const std::vector<RefSubmission>& submissions,
+                            const std::vector<RefOutage>& outages,
+                            SimTime stats_at = -1.0);
+
+}  // namespace mbts::oracle

@@ -19,6 +19,7 @@ EventId SimEngine::schedule_at(double t, EventPriority priority, Callback cb) {
   heap_.push_back(Event{t, static_cast<int>(priority), id});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++live_count_;
+  if (observer_) observer_->on_schedule(id, t, static_cast<int>(priority));
   return id;
 }
 
@@ -49,6 +50,7 @@ bool SimEngine::cancel(EventId id) {
   MBTS_DCHECK(live_count_ > 0);
   --live_count_;
   ++tombstones_;
+  if (observer_) observer_->on_cancel(id);
   if (tombstones_ > heap_.size() / 2 && heap_.size() >= kMinCompactSize)
     compact();
   return true;
@@ -83,12 +85,15 @@ double SimEngine::run() {
   while (const Event* next = peek_next()) {
     MBTS_DCHECK(next->t >= now_);
     now_ = next->t;
-    cb = std::move(record_of(next->id).cb);
-    retire(next->id);
+    const EventId id = next->id;
+    const int priority = next->priority;
+    cb = std::move(record_of(id).cb);
+    retire(id);
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
     heap_.pop_back();
     --live_count_;
     ++executed_;
+    if (observer_) observer_->on_execute(id, now_, priority);
     cb();
   }
   return now_;
@@ -105,12 +110,15 @@ double SimEngine::run_until(double t_end) {
     if (next->t > t_end) break;
     MBTS_DCHECK(next->t >= now_);
     now_ = next->t;
-    cb = std::move(record_of(next->id).cb);
-    retire(next->id);
+    const EventId id = next->id;
+    const int priority = next->priority;
+    cb = std::move(record_of(id).cb);
+    retire(id);
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
     heap_.pop_back();
     --live_count_;
     ++executed_;
+    if (observer_) observer_->on_execute(id, now_, priority);
     cb();
   }
   now_ = t_end;

@@ -38,6 +38,20 @@ enum class EventPriority : int {
 /// Handle for cancelling a scheduled event.
 using EventId = std::uint64_t;
 
+/// Observation hook over the engine's event lifecycle. A differential
+/// checker (src/oracle/event_checker.hpp) attaches one to replay the exact
+/// schedule/cancel/execute stream through a naive reference queue and assert
+/// the heap + tombstone + compaction machinery popped the true minimum every
+/// time. Detached (the default) the engine pays one null-pointer test per
+/// operation.
+class EventObserver {
+ public:
+  virtual ~EventObserver() = default;
+  virtual void on_schedule(EventId id, double t, int priority) = 0;
+  virtual void on_cancel(EventId id) = 0;
+  virtual void on_execute(EventId id, double t, int priority) = 0;
+};
+
 class SimEngine {
  public:
   using Callback = std::function<void()>;
@@ -65,6 +79,10 @@ class SimEngine {
 
   bool empty() const { return live_count_ == 0; }
   std::size_t pending() const { return live_count_; }
+
+  /// Attaches (or, with nullptr, detaches) a lifecycle observer. The
+  /// observer is not owned and must outlive the engine or be detached first.
+  void set_observer(EventObserver* observer) { observer_ = observer; }
 
   /// Cancelled events still buried in the heap (observability/testing).
   std::size_t tombstones() const { return tombstones_; }
@@ -113,6 +131,7 @@ class SimEngine {
   void retire(EventId id);
 
   double now_ = 0.0;
+  EventObserver* observer_ = nullptr;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::size_t live_count_ = 0;

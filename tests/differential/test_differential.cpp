@@ -1,0 +1,235 @@
+// Differential oracle tests: pinned scenario sweeps through run_diff, the
+// replay codec, the shrinking reporter, the harness self-test (planted
+// bugs must be caught), and shrunk regression reproducers.
+//
+// To add a regression from a diff_fuzz divergence, paste the printed
+// Scenario literal into kRegressions below — the suite asserts every entry
+// stays bit-identical between the optimized stack and the oracle.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "invariants.hpp"
+#include "market/market.hpp"
+#include "oracle/diff.hpp"
+#include "workload/generator.hpp"
+
+namespace mbts {
+namespace {
+
+using oracle::DiffReport;
+using oracle::Scenario;
+using oracle::SelfTest;
+
+/// Asserts one scenario agrees bit-for-bit between both implementations.
+void expect_agreement(const Scenario& scenario, const std::string& label) {
+  const DiffReport report = oracle::run_diff(scenario);
+  EXPECT_FALSE(report.diverged)
+      << label << " diverged: " << report.detail << "\n  replay: \""
+      << oracle::to_replay_string(scenario) << "\"";
+}
+
+TEST(Differential, PinnedScenarioSweepAgrees) {
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    expect_agreement(oracle::generate_scenario(20260806, i),
+                     "scenario " + std::to_string(i));
+  }
+}
+
+TEST(Differential, FaultHeavySweepAgrees) {
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    Scenario sc = oracle::generate_scenario(7, i);
+    if (!sc.faults) {
+      sc.faults = true;
+      sc.outage_rate =
+          2.0 * static_cast<double>(sc.processors) * sc.load_factor /
+          (static_cast<double>(sc.n_tasks) * 100.0);
+      sc.mean_outage = 150.0;
+      sc.quote_timeout_prob = sc.market ? 0.1 : 0.0;
+    }
+    expect_agreement(sc, "fault scenario " + std::to_string(i));
+  }
+}
+
+TEST(Differential, ReplayCodecRoundTrips) {
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    const Scenario sc = oracle::generate_scenario(99, i);
+    const std::string encoded = oracle::to_replay_string(sc);
+    const auto decoded = oracle::parse_replay(encoded);
+    ASSERT_TRUE(decoded.has_value()) << encoded;
+    EXPECT_EQ(encoded, oracle::to_replay_string(*decoded));
+  }
+}
+
+TEST(Differential, ReplayCodecRejectsGarbage) {
+  EXPECT_FALSE(oracle::parse_replay("seed").has_value());
+  EXPECT_FALSE(oracle::parse_replay("unknown=1").has_value());
+  EXPECT_FALSE(oracle::parse_replay("policy=bogus").has_value());
+  EXPECT_FALSE(oracle::parse_replay("seed=notanumber").has_value());
+}
+
+/// The contended scenario the harness self-test plants its bugs in.
+Scenario contended_scenario() {
+  Scenario sc;
+  sc.seed = 1;
+  sc.n_tasks = 80;
+  sc.market = false;
+  sc.processors = 4;
+  sc.load_factor = 2.0;
+  sc.policy = PolicySpec::Kind::kFirstReward;
+  sc.use_slack_admission = true;
+  return sc;
+}
+
+TEST(DifferentialSelfTest, StaleRemainingTimeCacheIsCaught) {
+  const Scenario sc = contended_scenario();
+  ASSERT_FALSE(oracle::run_diff(sc).diverged)
+      << "baseline must agree before planting the bug";
+  const SelfTest stale{.rpt_skew = 1e-3, .corrupt_settlement = false};
+  const DiffReport report = oracle::run_diff(sc, stale);
+  EXPECT_TRUE(report.diverged)
+      << "a 0.1% remaining-time skew went unnoticed — the harness is blind";
+}
+
+TEST(DifferentialSelfTest, StaleCacheDivergenceShrinks) {
+  const SelfTest stale{.rpt_skew = 1e-3, .corrupt_settlement = false};
+  std::vector<std::string> steps;
+  const Scenario shrunk = oracle::shrink(
+      contended_scenario(),
+      [&](const Scenario& candidate) {
+        return oracle::run_diff(candidate, stale).diverged;
+      },
+      &steps);
+  EXPECT_FALSE(steps.empty()) << "the shrinker made no progress";
+  EXPECT_LE(shrunk.n_tasks, 20u)
+      << "expected the 80-task scenario to shrink well below 20 tasks";
+  EXPECT_TRUE(oracle::run_diff(shrunk, stale).diverged)
+      << "the shrunk scenario no longer reproduces the planted bug";
+}
+
+TEST(DifferentialSelfTest, CorruptedSettlementIsCaught) {
+  Scenario sc;
+  sc.seed = 1;
+  sc.n_tasks = 80;
+  sc.market = true;
+  sc.n_sites = 2;
+  sc.processors = 4;
+  sc.load_factor = 1.2;
+  ASSERT_FALSE(oracle::run_diff(sc).diverged);
+  const SelfTest corrupt{.rpt_skew = 0.0, .corrupt_settlement = true};
+  const DiffReport report = oracle::run_diff(sc, corrupt);
+  EXPECT_TRUE(report.diverged)
+      << "a one-ulp settlement corruption passed the audit";
+  EXPECT_NE(report.detail.find("settlement audit"), std::string::npos)
+      << report.detail;
+}
+
+// --- Shrunk regression reproducers --------------------------------------
+// Each entry came out of a diff_fuzz shrink; the suite pins that the
+// minimized scenario stays in bit-level agreement. The first entry is the
+// self-test's own shrunk output — the minimal footprint the harness
+// watches: 5 FCFS tasks, no preemption, accept-all admission.
+const Scenario kRegressions[] = {
+    oracle::Scenario{
+        .seed = 1ULL,
+        .n_tasks = 5,
+        .market = false,
+        .n_sites = 1,
+        .processors = 4,
+        .preemption = false,
+        .discount_rate = 0,
+        .mix_full_rebuild = false,
+        .policy = PolicySpec::Kind::kFcfs,
+        .alpha = 0.5,
+        .use_slack_admission = false,
+        .threshold = 0,
+        .literal_eq8 = false,
+        .load_factor = 2,
+        .penalty = PenaltyModel::kUnbounded,
+        .penalty_value_scale = 1,
+        .uniform_decay = true,
+        .decay_skew = 5,
+        .estimate_error_sigma = 0,
+        .max_width = 1,
+        .strategy = ClientStrategy::kMaxExpectedValue,
+        .pricing = PricingModel::kBidPrice,
+        .budgets = false,
+        .faults = false,
+        .outage_rate = 0,
+        .mean_outage = 150,
+        .quote_timeout_prob = 0,
+        .crash_mode = CrashMode::kKill,
+    },
+};
+
+TEST(DifferentialRegressions, ShrunkReproducersAgree) {
+  for (std::size_t i = 0; i < std::size(kRegressions); ++i)
+    expect_agreement(kRegressions[i], "regression " + std::to_string(i));
+}
+
+// --- Invariants applied through the harness -----------------------------
+
+TEST(DifferentialInvariants, MarketRunSatisfiesInvariants) {
+  WorkloadSpec spec;
+  spec.num_jobs = 150;
+  spec.processors = 8;
+  spec.load_factor = 1.5;
+  const Trace trace = generate_trace(spec, SeedSequence(11), 0);
+
+  MarketConfig mc;
+  for (std::size_t s = 0; s < 2; ++s) {
+    SiteAgentConfig agent;
+    agent.id = static_cast<SiteId>(s);
+    agent.scheduler.processors = 4;
+    agent.scheduler.discount_rate = 0.01;
+    agent.policy = PolicySpec::first_reward(0.5);
+    agent.admission.threshold = 40.0 * static_cast<double>(s);
+    mc.sites.push_back(agent);
+  }
+  mc.client_budgets[0] = ClientBudget{2500.0, 800.0};
+  mc.faults.outage_rate = 2.0 / 1500.0;
+  mc.faults.mean_outage = 150.0;
+  Market market(mc);
+  market.inject(trace);
+  const MarketStats stats = market.run();
+
+  EXPECT_EQ("", invariants::check_money_conservation(market, stats));
+  std::vector<TaskRecord> all_records;
+  for (const auto& site : market.sites()) {
+    const auto& records = site->scheduler().records();
+    all_records.insert(all_records.end(), records.begin(), records.end());
+    EXPECT_EQ("", invariants::check_mix_counts(site->scheduler()));
+    EXPECT_EQ("", invariants::check_schedule_feasibility(
+                      records, site->config().scheduler.processors,
+                      /*continuous_service=*/false));
+  }
+  EXPECT_EQ("", invariants::check_outcome_exclusivity(all_records));
+  EXPECT_GT(stats.awarded, 0u) << "the invariant run awarded nothing";
+}
+
+TEST(DifferentialInvariants, NonPreemptiveRunIsFeasible) {
+  WorkloadSpec spec;
+  spec.num_jobs = 200;
+  spec.processors = 8;
+  spec.load_factor = 1.2;
+  const Trace trace = generate_trace(spec, SeedSequence(5), 0);
+
+  SimEngine engine;
+  SchedulerConfig config;
+  config.processors = 8;
+  config.preemption = false;
+  SiteScheduler site(engine, config, make_policy(PolicySpec::first_price()),
+                     std::make_unique<AcceptAllAdmission>());
+  site.inject(trace.tasks);
+  engine.run();
+
+  EXPECT_EQ("", invariants::check_mix_counts(site));
+  EXPECT_EQ("", invariants::check_outcome_exclusivity(site.records()));
+  EXPECT_EQ("", invariants::check_schedule_feasibility(
+                    site.records(), config.processors,
+                    /*continuous_service=*/true));
+  EXPECT_GT(site.stats().completed, 0u);
+}
+
+}  // namespace
+}  // namespace mbts

@@ -1,0 +1,191 @@
+// Cross-cutting run invariants shared by the property tests and the
+// differential harness (tests/differential, tools/diff_fuzz).
+//
+// Every check returns "" when the invariant holds and a human-readable
+// diagnostic otherwise, so tests can write EXPECT_EQ("", check_...(...))
+// and get the violation in the failure message.
+#pragma once
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "market/market.hpp"
+
+namespace mbts::invariants {
+
+/// Mix-count consistency: the scheduler's live queues must agree with its
+/// own records — every kPending/kRunning record corresponds to exactly one
+/// queued or running task.
+inline std::string check_mix_counts(const SiteScheduler& site) {
+  std::size_t live = 0;
+  for (const TaskRecord& record : site.records()) {
+    if (record.outcome == TaskOutcome::kPending ||
+        record.outcome == TaskOutcome::kRunning)
+      ++live;
+  }
+  const std::size_t queued = site.pending_count() + site.running_count();
+  if (live != queued) {
+    std::ostringstream os;
+    os << "mix count mismatch: " << live
+       << " live records (pending/running) but " << queued
+       << " tasks in the scheduler's queues";
+    return os.str();
+  }
+  return "";
+}
+
+/// Outcome exclusivity across (possibly multi-site) records of one run: a
+/// task id completes at most once, and completion is terminal — no record
+/// of the same id finishes after its completion. A breach (kFailed) before
+/// a re-bid completion elsewhere is legal; the reverse is not.
+template <typename Records>
+inline std::string check_outcome_exclusivity(const Records& records) {
+  std::map<TaskId, std::size_t> completed_count;
+  std::map<TaskId, double> completed_at;
+  for (const TaskRecord& record : records) {
+    if (record.outcome == TaskOutcome::kCompleted) {
+      ++completed_count[record.task.id];
+      completed_at[record.task.id] = record.completion;
+    }
+  }
+  for (const auto& [id, count] : completed_count) {
+    if (count > 1) {
+      std::ostringstream os;
+      os << "task " << id << " completed " << count << " times";
+      return os.str();
+    }
+  }
+  for (const TaskRecord& record : records) {
+    if (record.outcome != TaskOutcome::kFailed &&
+        record.outcome != TaskOutcome::kDropped)
+      continue;
+    const auto it = completed_at.find(record.task.id);
+    if (it != completed_at.end() && record.completion > it->second) {
+      std::ostringstream os;
+      os << "task " << record.task.id
+         << " finished (outcome " << static_cast<int>(record.outcome)
+         << ") at " << record.completion
+         << " after already completing at " << it->second;
+      return os.str();
+    }
+  }
+  return "";
+}
+
+/// Schedule feasibility over one site's records: started tasks start no
+/// earlier than submission and finish no earlier than they start. When
+/// `continuous_service` is set (non-preemptive, crash-free runs) completed
+/// tasks occupy [first_start, completion) and the width-weighted overlap
+/// must never exceed capacity.
+template <typename Records>
+inline std::string check_schedule_feasibility(const Records& records,
+                                              std::size_t processors,
+                                              bool continuous_service) {
+  std::vector<std::pair<double, long long>> deltas;
+  for (const TaskRecord& record : records) {
+    if (record.first_start < 0.0) continue;
+    if (record.first_start + 1e-9 < record.submitted_at) {
+      std::ostringstream os;
+      os << "task " << record.task.id << " started at " << record.first_start
+         << " before its submission at " << record.submitted_at;
+      return os.str();
+    }
+    if (record.completion >= 0.0 && record.completion < record.first_start) {
+      std::ostringstream os;
+      os << "task " << record.task.id << " completed at " << record.completion
+         << " before it started at " << record.first_start;
+      return os.str();
+    }
+    if (continuous_service && record.outcome == TaskOutcome::kCompleted) {
+      deltas.emplace_back(record.first_start,
+                          static_cast<long long>(record.task.width));
+      deltas.emplace_back(record.completion,
+                          -static_cast<long long>(record.task.width));
+    }
+  }
+  std::sort(deltas.begin(), deltas.end());
+  long long busy = 0;
+  for (const auto& [at, delta] : deltas) {
+    busy += delta;
+    if (busy > static_cast<long long>(processors)) {
+      std::ostringstream os;
+      os << "capacity exceeded: " << busy << " processors busy at t=" << at
+         << " with only " << processors << " available";
+      return os.str();
+    }
+  }
+  return "";
+}
+
+/// Double-entry money conservation after a drained, settled market run:
+/// no contract settles above its agreed price, site revenue re-adds from
+/// its contract book, the economy-wide totals re-add from the sites, and
+/// every constrained client's ledger spending equals the agreed prices of
+/// its surviving (non-breached) contracts.
+inline std::string check_money_conservation(const Market& market,
+                                            const MarketStats& stats) {
+  double total_revenue = 0.0;
+  for (std::size_t s = 0; s < market.sites().size(); ++s) {
+    const SiteAgent& site = *market.sites()[s];
+    double site_revenue = 0.0;
+    for (const Contract& contract : site.contracts()) {
+      if (contract.settled && !contract.breached &&
+          contract.settled_price > contract.agreed_price + 1e-9) {
+        std::ostringstream os;
+        os << "site " << s << " task " << contract.task
+           << " settled at " << contract.settled_price
+           << ", above its agreed price " << contract.agreed_price;
+        return os.str();
+      }
+      if (contract.settled) site_revenue += contract.settled_price;
+    }
+    if (s < stats.site_revenue.size() &&
+        std::fabs(site_revenue - stats.site_revenue[s]) >
+            1e-6 * std::max(1.0, std::fabs(site_revenue))) {
+      std::ostringstream os;
+      os.precision(17);
+      os << "site " << s << " revenue " << stats.site_revenue[s]
+         << " does not re-add from its contract book (" << site_revenue << ")";
+      return os.str();
+    }
+    total_revenue += site_revenue;
+  }
+  if (std::fabs(total_revenue - stats.total_revenue) >
+      1e-6 * std::max(1.0, std::fabs(total_revenue))) {
+    std::ostringstream os;
+    os.precision(17);
+    os << "total revenue " << stats.total_revenue
+       << " does not re-add from the sites (" << total_revenue << ")";
+    return os.str();
+  }
+
+  std::set<ClientId> clients;
+  for (const auto& site : market.sites())
+    for (const Contract& contract : site->contracts())
+      clients.insert(contract.client);
+  for (ClientId client : clients) {
+    if (!market.ledger().is_constrained(client)) continue;
+    double surviving = 0.0;
+    for (const auto& site : market.sites())
+      for (const Contract& contract : site->contracts())
+        if (contract.client == client && !contract.breached)
+          surviving += contract.agreed_price;
+    const double spent = market.ledger().total_spent(client);
+    if (std::fabs(spent - surviving) >
+        1e-6 * std::max(1.0, std::fabs(surviving))) {
+      std::ostringstream os;
+      os.precision(17);
+      os << "client " << client << " ledger spent " << spent
+         << " but its surviving contracts total " << surviving;
+      return os.str();
+    }
+  }
+  return "";
+}
+
+}  // namespace mbts::invariants

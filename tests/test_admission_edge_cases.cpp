@@ -1,0 +1,170 @@
+// Admission-control edge cases at the boundaries of Eq. 7/8: zero decay
+// (infinite slack either way), decay so high the slack is already negative
+// at bid time, a threshold sitting exactly on the quoted slack, and bids
+// arriving inside a site outage window.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/admission.hpp"
+#include "core/scheduler.hpp"
+#include "sim/engine.hpp"
+#include "sim/fault.hpp"
+#include "util/rng.hpp"
+#include "workload/trace.hpp"
+
+namespace mbts {
+namespace {
+
+Task make_task(TaskId id, double arrival, double runtime, double value,
+               double decay, double bound = kInf) {
+  Task t;
+  t.id = id;
+  t.arrival = arrival;
+  t.runtime = runtime;
+  t.value = ValueFunction(value, decay, bound);
+  return t;
+}
+
+SiteScheduler make_site(SimEngine& engine, double threshold,
+                        std::size_t processors = 4) {
+  SchedulerConfig config;
+  config.processors = processors;
+  return SiteScheduler(engine, config,
+                       make_policy(PolicySpec::first_price()),
+                       std::make_unique<SlackAdmission>(
+                           SlackAdmissionConfig{threshold, false}));
+}
+
+// A zero-decay task never loses value, so its slack is infinite: it clears
+// any finite threshold, however punishing.
+TEST(AdmissionEdgeCases, ZeroDecayYieldsInfiniteSlack) {
+  SimEngine engine;
+  SiteScheduler site = make_site(engine, /*threshold=*/1e15);
+  site.inject(std::vector<Task>{make_task(0, 0.0, 10.0, 100.0, 0.0)});
+  engine.run();
+
+  ASSERT_EQ(site.records().size(), 1u);
+  const TaskRecord& record = site.records()[0];
+  EXPECT_EQ(record.outcome, TaskOutcome::kCompleted);
+  EXPECT_EQ(record.slack, kInf);
+}
+
+// Zero decay with a negative net (the candidate's Eq. 8 cost on pending
+// tasks ranked behind it exceeds its own value) is the other branch of the
+// 0/0 limit: slack -inf, rejected below any finite threshold.
+TEST(AdmissionEdgeCases, ZeroDecayNegativeNetIsMinusInfinity) {
+  SimEngine engine;
+  SiteScheduler site = make_site(engine, /*threshold=*/-1e15,
+                                 /*processors=*/1);
+  // Task 0 occupies the processor; task 1 queues behind it (unit gain
+  // ~5/30). The zero-decay candidate's unit gain is a flat 10/20, so it
+  // slots ahead of task 1 and charges cost = decay * estimate = 20 against
+  // a value of 10.
+  site.inject(std::vector<Task>{
+      make_task(0, 0.0, 50.0, 100.0, 0.01),
+      make_task(1, 1.0, 30.0, 5.0, 1.0),
+      make_task(2, 2.0, 20.0, 10.0, 0.0),
+  });
+  engine.run();
+
+  ASSERT_EQ(site.records().size(), 3u);
+  EXPECT_EQ(site.records()[0].outcome, TaskOutcome::kCompleted);
+  const TaskRecord& candidate = site.records()[2];
+  EXPECT_EQ(candidate.outcome, TaskOutcome::kRejected);
+  EXPECT_EQ(candidate.slack, -kInf);
+}
+
+// A decay rate high enough that the projected yield is already deep in
+// penalty at the quoted completion makes the slack negative at bid time.
+TEST(AdmissionEdgeCases, HighDecayGoesNegativeAtBidTime) {
+  SimEngine engine;
+  SiteScheduler site = make_site(engine, /*threshold=*/0.0,
+                                 /*processors=*/1);
+  // The queue head keeps the only processor busy for ~99 more units; the
+  // candidate's value decays at 10/unit, so waiting costs ~990 against a
+  // value of 10.
+  site.inject(std::vector<Task>{
+      make_task(0, 0.0, 100.0, 100.0, 0.01),
+      make_task(1, 1.0, 10.0, 10.0, 10.0),
+  });
+  engine.run();
+
+  ASSERT_EQ(site.records().size(), 2u);
+  const TaskRecord& candidate = site.records()[1];
+  EXPECT_EQ(candidate.outcome, TaskOutcome::kRejected);
+  EXPECT_LT(candidate.slack, 0.0);
+  EXPECT_TRUE(std::isfinite(candidate.slack));
+}
+
+// The threshold comparison is inclusive: a bid whose slack lands exactly on
+// the threshold is accepted, and one ulp above the slack rejects it. Run
+// the identical bid against both thresholds (bounded value function, so the
+// penalty bound is in play too).
+TEST(AdmissionEdgeCases, SlackExactlyAtThresholdIsAccepted) {
+  const Task probe = make_task(0, 0.0, 10.0, 100.0, 0.5, /*bound=*/50.0);
+
+  double quoted_slack = 0.0;
+  {
+    SimEngine engine;
+    SiteScheduler site = make_site(engine, /*threshold=*/-1e18);
+    site.inject(std::vector<Task>{probe});
+    engine.run();
+    ASSERT_EQ(site.records()[0].outcome, TaskOutcome::kCompleted);
+    quoted_slack = site.records()[0].slack;
+    ASSERT_TRUE(std::isfinite(quoted_slack));
+  }
+  {
+    SimEngine engine;
+    SiteScheduler site = make_site(engine, quoted_slack);
+    site.inject(std::vector<Task>{probe});
+    engine.run();
+    EXPECT_EQ(site.records()[0].outcome, TaskOutcome::kCompleted)
+        << "slack exactly at the threshold must be accepted";
+  }
+  {
+    SimEngine engine;
+    SiteScheduler site = make_site(engine, std::nextafter(quoted_slack, kInf));
+    site.inject(std::vector<Task>{probe});
+    engine.run();
+    EXPECT_EQ(site.records()[0].outcome, TaskOutcome::kRejected)
+        << "one ulp above the quoted slack must reject";
+  }
+}
+
+// A bid arriving inside an outage window is declined without consulting
+// admission (zeroed quote); after recovery the site quotes normally again.
+TEST(AdmissionEdgeCases, BidDuringOutageIsDeclinedWithZeroedQuote) {
+  SimEngine engine;
+  SiteScheduler site = make_site(engine, /*threshold=*/0.0);
+
+  FaultPlan plan;
+  plan.outages.push_back(SiteOutage{0, 2.0, 12.0});
+  ASSERT_EQ("", plan.validate(1));
+  FaultInjector injector(engine, plan, 1, 0.0, Xoshiro256(1));
+  injector.arm(
+      [&site](SiteId, const SiteOutage&) { site.crash(CrashMode::kKill); },
+      [&site](SiteId) { site.recover(); });
+
+  site.inject(std::vector<Task>{
+      make_task(0, 5.0, 10.0, 100.0, 0.1),   // inside [2, 12): declined
+      make_task(1, 20.0, 10.0, 100.0, 0.1),  // after recovery: accepted
+  });
+  engine.run();
+
+  ASSERT_EQ(site.records().size(), 2u);
+  const TaskRecord& during = site.records()[0];
+  EXPECT_EQ(during.outcome, TaskOutcome::kRejected);
+  EXPECT_EQ(during.quoted_completion, 0.0);
+  EXPECT_EQ(during.quoted_yield, 0.0);
+  EXPECT_EQ(during.slack, 0.0);
+
+  const TaskRecord& after = site.records()[1];
+  EXPECT_EQ(after.outcome, TaskOutcome::kCompleted);
+  EXPECT_GT(after.slack, 0.0);
+  EXPECT_EQ(site.stats().crashes, 1u);
+}
+
+}  // namespace
+}  // namespace mbts

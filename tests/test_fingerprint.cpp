@@ -23,6 +23,33 @@ std::vector<std::string> split_lines(const std::string& text) {
   return lines;
 }
 
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) fields.push_back(token);
+  return fields;
+}
+
+// Compares two `label k=v ...` lines field by field so a drift failure
+// names the exact counter or statistic that moved, not two pages of digits.
+void expect_line_matches(const std::string& got, const std::string& want,
+                         std::size_t line_no) {
+  if (got == want) return;
+  const std::vector<std::string> got_fields = split_fields(got);
+  const std::vector<std::string> want_fields = split_fields(want);
+  const std::string label = want_fields.empty() ? "?" : want_fields[0];
+  const std::size_t common = std::min(got_fields.size(), want_fields.size());
+  for (std::size_t f = 0; f < common; ++f) {
+    EXPECT_EQ(got_fields[f], want_fields[f])
+        << "fingerprint line " << line_no << " (" << label << ") field "
+        << f << " drifted";
+  }
+  EXPECT_EQ(got_fields.size(), want_fields.size())
+      << "fingerprint line " << line_no << " (" << label
+      << ") gained or lost fields";
+}
+
 TEST(Fingerprint, MatchesGoldenFile) {
   std::ifstream in(MBTS_GOLDEN_FINGERPRINT);
   ASSERT_TRUE(in.good()) << "missing golden file " << MBTS_GOLDEN_FINGERPRINT;
@@ -31,12 +58,21 @@ TEST(Fingerprint, MatchesGoldenFile) {
 
   const std::vector<std::string> want = split_lines(golden.str());
   const std::vector<std::string> got = split_lines(stats_fingerprint());
-  // Line-by-line first: a drift failure should name the run that moved,
-  // not dump two pages of digits.
   const std::size_t common = std::min(want.size(), got.size());
   for (std::size_t i = 0; i < common; ++i)
-    EXPECT_EQ(got[i], want[i]) << "fingerprint line " << i << " drifted";
-  EXPECT_EQ(got.size(), want.size());
+    expect_line_matches(got[i], want[i], i);
+  EXPECT_EQ(got.size(), want.size()) << "fingerprint gained or lost lines";
+}
+
+TEST(Fingerprint, CorpusCoversRequiredRuns) {
+  // The corpus must keep at least the fault-enabled economy, the high-α
+  // FirstReward point, and the SWPT-limit run alongside the Fig. 4-7 lines.
+  const std::string fp = stats_fingerprint();
+  for (const char* label :
+       {"fr_alpha0.9 ", "swpt_limit ", "market ", "market_faults "})
+    EXPECT_NE(fp.find(label), std::string::npos)
+        << "fingerprint corpus lost the '" << label << "' line";
+  EXPECT_GE(split_lines(fp).size(), 12u);
 }
 
 TEST(Fingerprint, ZeroRateFaultPathIsBitInvisible) {

@@ -5,6 +5,7 @@
 #include <set>
 #include <tuple>
 
+#include "invariants.hpp"
 #include "market/market.hpp"
 #include "workload/presets.hpp"
 
@@ -93,6 +94,17 @@ TEST_P(MarketInvariants, AccountingBalances) {
   } else {
     EXPECT_EQ(stats.unaffordable, 0u);
   }
+
+  // 7. Shared invariants (tests/invariants.hpp): double-entry money
+  //    conservation, mix-count consistency, outcome exclusivity.
+  EXPECT_EQ("", invariants::check_money_conservation(market, stats));
+  std::vector<TaskRecord> all_records;
+  for (const auto& site : market.sites()) {
+    EXPECT_EQ("", invariants::check_mix_counts(site->scheduler()));
+    const auto& records = site->scheduler().records();
+    all_records.insert(all_records.end(), records.begin(), records.end());
+  }
+  EXPECT_EQ("", invariants::check_outcome_exclusivity(all_records));
 }
 
 std::string market_param_name(const testing::TestParamInfo<Param>& info) {
@@ -200,6 +212,18 @@ TEST_P(FaultyMarketInvariants, AccountingBalancesUnderChaos) {
 
   // 6. The chaos model fired (the parameters are sized so it must).
   EXPECT_GT(stats.outages, 0u);
+
+  // 7. Shared invariants hold under chaos too: money conservation across
+  //    breach refunds, consistent queues, and no task completing twice or
+  //    finishing after its completion.
+  EXPECT_EQ("", invariants::check_money_conservation(market, stats));
+  std::vector<TaskRecord> all_records;
+  for (const auto& site : market.sites()) {
+    EXPECT_EQ("", invariants::check_mix_counts(site->scheduler()));
+    const auto& records = site->scheduler().records();
+    all_records.insert(all_records.end(), records.begin(), records.end());
+  }
+  EXPECT_EQ("", invariants::check_outcome_exclusivity(all_records));
 }
 
 std::string fault_param_name(const testing::TestParamInfo<FaultParam>& info) {

@@ -14,6 +14,7 @@
 #include <tuple>
 
 #include "core/scheduler.hpp"
+#include "invariants.hpp"
 #include "workload/generator.hpp"
 
 namespace mbts {
@@ -103,6 +104,15 @@ TEST_P(SchedulerInvariants, RunDrainsAndSettlesConsistently) {
   // 8. Capacity bound: the cluster cannot finish total_work before
   //    total_work / capacity elapses from time zero.
   EXPECT_GE(last_completion + 1e-9, total_work / 4.0);
+
+  // 9. Shared invariants (tests/invariants.hpp): consistent queues, no
+  //    double completion, and a feasible schedule — with the full capacity
+  //    sweep when service is continuous (non-preemptive).
+  EXPECT_EQ("", invariants::check_mix_counts(site));
+  EXPECT_EQ("", invariants::check_outcome_exclusivity(site.records()));
+  EXPECT_EQ("", invariants::check_schedule_feasibility(
+                    site.records(), config.processors,
+                    /*continuous_service=*/!preemption));
 }
 
 std::string param_name(const testing::TestParamInfo<Param>& info) {

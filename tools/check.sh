@@ -9,13 +9,23 @@
 # By default the ctest label `slow` (soak/stress tier) is excluded to keep
 # the loop tight; pass --all to run everything, sanitizers included.
 #
-# Usage: tools/check.sh [--all] [jobs]
+# --coverage instead builds an instrumented tree (build-cov), runs the
+# tier-1 tests, and gates line coverage of src/core + src/market against
+# tools/coverage_baseline.txt via tools/coverage_report.py (plain gcov +
+# python3, no lcov/gcovr). The HTML report lands in build-cov/coverage/.
+#
+# Usage: tools/check.sh [--all|--coverage] [jobs]
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+MODE=default
 CTEST_FILTER=(-LE slow)
 if [[ "${1:-}" == "--all" ]]; then
+  MODE=all
   CTEST_FILTER=()
+  shift
+elif [[ "${1:-}" == "--coverage" ]]; then
+  MODE=coverage
   shift
 fi
 JOBS="${1:-$(nproc)}"
@@ -28,6 +38,22 @@ run_suite() {
   ctest --test-dir "$build_dir" -j "$JOBS" --output-on-failure \
     ${CTEST_FILTER[@]+"${CTEST_FILTER[@]}"}
 }
+
+if [[ "$MODE" == "coverage" ]]; then
+  echo "== coverage build + tests =="
+  cmake -S "$ROOT" -B "$ROOT/build-cov" -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS=--coverage -DCMAKE_EXE_LINKER_FLAGS=--coverage \
+    >/dev/null
+  cmake --build "$ROOT/build-cov" -j "$JOBS"
+  # Drop stale counters so the report reflects exactly this test run.
+  find "$ROOT/build-cov" -name '*.gcda' -delete
+  ctest --test-dir "$ROOT/build-cov" -j "$JOBS" --output-on-failure -LE slow
+  echo "== coverage report + baseline gate =="
+  python3 "$ROOT/tools/coverage_report.py" "$ROOT/build-cov" \
+    --baseline "$ROOT/tools/coverage_baseline.txt"
+  echo "check.sh: coverage gate passed"
+  exit 0
+fi
 
 echo "== optimized build + tests =="
 run_suite "$ROOT/build" -DCMAKE_BUILD_TYPE=RelWithDebInfo

@@ -1,0 +1,222 @@
+#!/usr/bin/env python3
+"""Aggregate gcov JSON output into an HTML + text coverage report.
+
+Walks a --coverage build tree, runs `gcov --json-format --stdout` on every
+.gcno it finds, merges line counts across translation units, and writes
+
+  * OUT/index.html        — per-file table plus annotated source pages
+  * OUT/summary.txt       — the same numbers as plain text
+  * stdout                — group summary and the baseline verdict
+
+The gate: line coverage of the src/core and src/market groups must not drop
+below the percentages recorded in the baseline file (one `<group> <pct>`
+pair per line). Regenerate the baseline deliberately when coverage
+legitimately moves: tools/check.sh --coverage prints the measured numbers.
+
+No lcov/gcovr dependency — plain gcov 12+ and the standard library only.
+"""
+
+import argparse
+import html
+import json
+import os
+import subprocess
+import sys
+from collections import defaultdict
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+GATED_GROUPS = ("src/core", "src/market")
+
+
+def collect_line_counts(build_dir):
+    """file (repo-relative) -> {line_number: summed execution count}."""
+    counts = defaultdict(lambda: defaultdict(int))
+    gcnos = []
+    for root, _dirs, files in os.walk(build_dir):
+        gcnos.extend(os.path.join(root, f) for f in files
+                     if f.endswith(".gcno"))
+    if not gcnos:
+        sys.exit(f"coverage_report: no .gcno files under {build_dir}; "
+                 "build with --coverage first")
+    for gcno in sorted(gcnos):
+        proc = subprocess.run(
+            ["gcov", "--json-format", "--stdout",
+             "--object-directory", os.path.dirname(gcno), gcno],
+            capture_output=True, text=True, cwd=build_dir)
+        if proc.returncode != 0:
+            continue
+        for doc in proc.stdout.splitlines():
+            doc = doc.strip()
+            if not doc.startswith("{"):
+                continue
+            try:
+                data = json.loads(doc)
+            except json.JSONDecodeError:
+                continue
+            for entry in data.get("files", []):
+                path = os.path.realpath(
+                    os.path.join(build_dir, entry["file"]))
+                if not path.startswith(REPO + os.sep):
+                    continue
+                rel = os.path.relpath(path, REPO)
+                if not rel.startswith("src" + os.sep):
+                    continue
+                for line in entry.get("lines", []):
+                    counts[rel][line["line_number"]] += line["count"]
+    return counts
+
+
+def group_of(rel):
+    parts = rel.split(os.sep)
+    return "/".join(parts[:2]) if len(parts) > 2 else parts[0]
+
+
+def percent(covered, total):
+    return 100.0 * covered / total if total else 100.0
+
+
+def file_stats(counts):
+    """rel -> (covered, total) over executable lines."""
+    return {rel: (sum(1 for c in lines.values() if c > 0), len(lines))
+            for rel, lines in counts.items()}
+
+
+def page_name(rel):
+    return rel.replace(os.sep, "_") + ".html"
+
+
+def write_annotated_page(out_dir, rel, lines):
+    src_path = os.path.join(REPO, rel)
+    try:
+        with open(src_path, encoding="utf-8") as f:
+            source = f.read().splitlines()
+    except OSError:
+        return False
+    rows = []
+    for i, text in enumerate(source, start=1):
+        count = lines.get(i)
+        if count is None:
+            cls, shown = "na", ""
+        elif count > 0:
+            cls, shown = "hit", str(count)
+        else:
+            cls, shown = "miss", "0"
+        rows.append(f'<tr class="{cls}"><td class="n">{i}</td>'
+                    f'<td class="c">{shown}</td>'
+                    f"<td><pre>{html.escape(text)}</pre></td></tr>")
+    page = (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        f"<title>{html.escape(rel)}</title><style>"
+        "body{font-family:monospace}table{border-collapse:collapse}"
+        "td{padding:0 8px;vertical-align:top}pre{margin:0}"
+        ".n,.c{text-align:right;color:#888}"
+        ".hit{background:#e6ffe6}.miss{background:#ffe6e6}"
+        "</style></head><body>"
+        f"<h2>{html.escape(rel)}</h2><p><a href='index.html'>index</a></p>"
+        f"<table>{''.join(rows)}</table></body></html>")
+    with open(os.path.join(out_dir, page_name(rel)), "w",
+              encoding="utf-8") as f:
+        f.write(page)
+    return True
+
+
+def write_report(out_dir, counts, stats, groups):
+    os.makedirs(out_dir, exist_ok=True)
+    annotated = set()
+    for rel in stats:
+        if group_of(rel) in GATED_GROUPS and write_annotated_page(
+                out_dir, rel, counts[rel]):
+            annotated.add(rel)
+
+    def row(name, covered, total, link=None):
+        pct = percent(covered, total)
+        label = (f"<a href='{link}'>{html.escape(name)}</a>"
+                 if link else html.escape(name))
+        return (f"<tr><td>{label}</td><td class='r'>{covered}</td>"
+                f"<td class='r'>{total}</td>"
+                f"<td class='r'>{pct:.1f}%</td></tr>")
+
+    rows = [row(f"{g} (group)", c, t) for g, (c, t) in sorted(groups.items())]
+    rows += [row(rel, c, t,
+                 page_name(rel) if rel in annotated else None)
+             for rel, (c, t) in sorted(stats.items())]
+    page = (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        "<title>coverage</title><style>"
+        "body{font-family:monospace}table{border-collapse:collapse}"
+        "td,th{padding:2px 10px;border-bottom:1px solid #ddd}"
+        ".r{text-align:right}</style></head><body><h2>Line coverage</h2>"
+        "<table><tr><th>file</th><th>covered</th><th>lines</th>"
+        f"<th>%</th></tr>{''.join(rows)}</table></body></html>")
+    with open(os.path.join(out_dir, "index.html"), "w",
+              encoding="utf-8") as f:
+        f.write(page)
+
+    with open(os.path.join(out_dir, "summary.txt"), "w",
+              encoding="utf-8") as f:
+        for g, (c, t) in sorted(groups.items()):
+            f.write(f"{g} {percent(c, t):.2f} ({c}/{t} lines)\n")
+        for rel, (c, t) in sorted(stats.items()):
+            f.write(f"  {rel} {percent(c, t):.2f} ({c}/{t})\n")
+
+
+def load_baseline(path):
+    baseline = {}
+    try:
+        with open(path, encoding="utf-8") as f:
+            for raw in f:
+                raw = raw.split("#", 1)[0].strip()
+                if not raw:
+                    continue
+                name, pct = raw.split()
+                baseline[name] = float(pct)
+    except OSError:
+        sys.exit(f"coverage_report: missing baseline file {path}")
+    return baseline
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("build_dir")
+    parser.add_argument("--baseline", default=os.path.join(
+        REPO, "tools", "coverage_baseline.txt"))
+    parser.add_argument("--out", default=None,
+                        help="report directory (default BUILD/coverage)")
+    args = parser.parse_args()
+
+    counts = collect_line_counts(args.build_dir)
+    stats = file_stats(counts)
+    groups = defaultdict(lambda: [0, 0])
+    for rel, (covered, total) in stats.items():
+        g = group_of(rel)
+        groups[g][0] += covered
+        groups[g][1] += total
+    groups = {g: tuple(v) for g, v in groups.items()}
+
+    out_dir = args.out or os.path.join(args.build_dir, "coverage")
+    write_report(out_dir, counts, stats, groups)
+
+    for g, (c, t) in sorted(groups.items()):
+        print(f"coverage: {g} {percent(c, t):.2f}% ({c}/{t} lines)")
+    print(f"coverage: report written to {out_dir}/index.html")
+
+    baseline = load_baseline(args.baseline)
+    failed = False
+    for g in GATED_GROUPS:
+        want = baseline.get(g)
+        if want is None:
+            print(f"coverage: WARNING no baseline recorded for {g}")
+            continue
+        got = percent(*groups.get(g, (0, 0))) if g in groups else 0.0
+        if got + 1e-9 < want:
+            print(f"coverage: FAIL {g} at {got:.2f}% is below the "
+                  f"recorded baseline {want:.2f}%")
+            failed = True
+        else:
+            print(f"coverage: OK {g} {got:.2f}% >= baseline {want:.2f}%")
+    if failed:
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()
