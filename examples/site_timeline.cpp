@@ -2,9 +2,13 @@
 // over simulated time with a periodic probe — pending depth, running tasks,
 // and an ASCII sparkline of the backlog. Shows how admission control keeps
 // the queue bounded where an open site's backlog grows without limit.
+#include <fstream>
 #include <iostream>
 
 #include "core/scheduler.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 #include "sim/probe.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -38,7 +42,20 @@ int main(int argc, char** argv) {
   cli.add_flag("load", "2.0", "offered load factor");
   cli.add_flag("threshold", "100", "slack admission threshold");
   cli.add_flag("seed", "42", "master seed");
+  cli.add_flag("trace", "",
+               "write a binary event trace of the admission run here "
+               "(inspect with trace_view)");
+  cli.add_flag("metrics", "",
+               "write the admission run's metrics registry as CSV here");
+  cli.add_flag("profile", "false",
+               "print hot-path profiling sections after the runs");
   if (!cli.parse(argc, argv)) return 1;
+
+  const std::string trace_path = cli.get_string("trace");
+  const std::string metrics_path = cli.get_string("metrics");
+  if (cli.get_bool("profile")) Profiler::set_enabled(true);
+  TraceRecorder recorder;
+  MetricsRegistry metrics;
 
   const double load = cli.get_double("load");
   WorkloadSpec spec = presets::admission_mix(
@@ -71,6 +88,12 @@ int main(int argc, char** argv) {
     SiteScheduler site(engine, config,
                        make_policy(PolicySpec::first_reward(0.2)),
                        std::move(admit));
+    // Telemetry observes the admission run only; the accept-all run stays
+    // untraced so the two outputs are not interleaved in one recorder.
+    if (admission && (!trace_path.empty() || !metrics_path.empty()))
+      site.set_telemetry(trace_path.empty() ? nullptr : &recorder,
+                         metrics_path.empty() ? nullptr : &metrics,
+                         /*site=*/0);
     site.inject(trace.tasks);
     PeriodicProbe probe(engine, probe_interval, [&site] {
       return static_cast<double>(site.pending_count());
@@ -100,5 +123,20 @@ int main(int argc, char** argv) {
   for (const Run& run : runs)
     std::cout << "queue depth (" << run.name << "):\n  |"
               << sparkline(run.queue, 72) << "|\n";
+
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path, std::ios::binary);
+    recorder.write_binary(out);
+    std::cout << "\nwrote " << recorder.size() << " trace events to "
+              << trace_path << '\n';
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    metrics.write_csv(out);
+    std::cout << "wrote metrics for " << metrics.instruments()
+              << " instruments to " << metrics_path << '\n';
+  }
+  if (cli.get_bool("profile"))
+    std::cout << '\n' << Profiler::instance().report();
   return 0;
 }

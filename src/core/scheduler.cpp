@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
 
@@ -29,6 +32,32 @@ SiteScheduler::SiteScheduler(SimEngine& engine, SchedulerConfig config,
   mix_.set_discount_rate(config_.discount_rate);
   policy_cacheable_ = policy_->cacheable();
   admission_reads_suffix_ = admission_->reads_ranked_suffix();
+}
+
+void SiteScheduler::set_telemetry(TraceRecorder* trace,
+                                  MetricsRegistry* metrics, SiteId site) {
+  trace_ = trace;
+  metrics_ = metrics;
+  site_id_ = site;
+  if (metrics_ == nullptr) return;
+  MetricsScope scope(*metrics_, "site" + std::to_string(site));
+  m_quotes_ = &scope.counter("quotes");
+  m_accepts_ = &scope.counter("accepts");
+  m_rejects_ = &scope.counter("rejects");
+  m_starts_ = &scope.counter("starts");
+  m_preempts_ = &scope.counter("preemptions");
+  m_completions_ = &scope.counter("completions");
+  m_drops_ = &scope.counter("drops");
+  m_fails_ = &scope.counter("failures");
+  m_checkpoints_ = &scope.counter("checkpoints");
+  m_dispatch_count_ = &scope.counter("dispatches");
+  m_pending_depth_ = &scope.gauge("pending_depth");
+  // Histogram shapes sized for the bundled workloads (mean runtime ~100
+  // units); out-of-range samples clamp to the end bins, so outliers are
+  // visible without being lost.
+  m_slack_ = &scope.histogram("accept_slack", -1000.0, 4000.0, 50);
+  m_delay_ = &scope.histogram("delay", 0.0, 5000.0, 50);
+  m_ryield_ = &scope.histogram("realized_yield", -2000.0, 2000.0, 50);
 }
 
 double SiteScheduler::executed_now(const TaskState& ts) const {
@@ -71,6 +100,7 @@ double SiteScheduler::score_of(TaskState& ts, double rpt,
 
 void SiteScheduler::batch_fresh_scores(std::span<TaskState* const> tasks,
                                        const MixView& mix) {
+  MBTS_PROF_SCOPE("scheduler/rescore");
   const std::size_t n = tasks.size();
   batch_scores_.resize(n);
   if (!policy_cacheable_) {
@@ -317,6 +347,7 @@ AdmissionContext SiteScheduler::build_admission_context(
 }
 
 AdmissionDecision SiteScheduler::quote(const Task& task) {
+  MBTS_PROF_SCOPE("scheduler/quote");
   const std::string problem = validate_task(task);
   MBTS_CHECK_MSG(problem.empty(), "invalid task: " + problem);
   // A down site quotes nothing: the bid is declined without touching the
@@ -324,7 +355,15 @@ AdmissionDecision SiteScheduler::quote(const Task& task) {
   if (down_) return AdmissionDecision{};
   const MixView& mix = mix_refresh_with_candidate(task);
   const AdmissionContext ctx = build_admission_context(mix, task);
-  return admission_->evaluate(task, ctx);
+  const AdmissionDecision decision = admission_->evaluate(task, ctx);
+  if (m_quotes_ != nullptr) m_quotes_->add();
+  if (trace_ != nullptr)
+    trace_->record(engine_.now(),
+                   decision.accept ? TraceEventKind::kQuoteAccept
+                                   : TraceEventKind::kQuoteReject,
+                   site_id_, task.id, decision.slack,
+                   decision.expected_yield);
+  return decision;
 }
 
 void SiteScheduler::enqueue_accepted(const Task& task, TaskRecord& record) {
@@ -364,11 +403,26 @@ AdmissionDecision SiteScheduler::submit(const Task& task) {
   record.quoted_yield = decision.expected_yield;
   record.slack = decision.slack;
 
+  if (trace_ != nullptr) {
+    trace_->record(engine_.now(), TraceEventKind::kSubmit, site_id_, task.id,
+                   task.arrival);
+    trace_->record(engine_.now(),
+                   decision.accept ? TraceEventKind::kAdmitAccept
+                                   : TraceEventKind::kAdmitReject,
+                   site_id_, task.id, decision.slack,
+                   decision.expected_completion);
+  }
+
   if (!decision.accept) {
+    if (m_rejects_ != nullptr) m_rejects_->add();
     record.outcome = TaskOutcome::kRejected;
     return decision;
   }
 
+  if (m_accepts_ != nullptr) {
+    m_accepts_->add();
+    m_slack_->add(decision.slack);
+  }
   enqueue_accepted(task, record);
   return decision;
 }
@@ -394,6 +448,10 @@ void SiteScheduler::preload(std::span<const Task> tasks) {
     record.task = task;
     record.submitted_at = engine_.now();
     record.slack = kInf;
+    if (trace_ != nullptr)
+      trace_->record(engine_.now(), TraceEventKind::kSubmit, site_id_,
+                     task.id, task.arrival);
+    if (m_accepts_ != nullptr) m_accepts_->add();
     enqueue_accepted(task, record);
   }
 }
@@ -428,6 +486,10 @@ void SiteScheduler::start_task(TaskState& ts) {
   push_running(ts);
   if (ts.record->outcome == TaskOutcome::kPending)
     ts.record->outcome = TaskOutcome::kRunning;
+  if (m_starts_ != nullptr) m_starts_->add();
+  if (trace_ != nullptr)
+    trace_->record(engine_.now(), TraceEventKind::kStart, site_id_,
+                   ts.task.id, ts.executed);
 }
 
 void SiteScheduler::preempt_task(TaskState& ts) {
@@ -448,6 +510,10 @@ void SiteScheduler::preempt_task(TaskState& ts) {
   ts.record->outcome = TaskOutcome::kPending;
   erase_running(ts);
   push_pending(ts);
+  if (m_preempts_ != nullptr) m_preempts_->add();
+  if (trace_ != nullptr)
+    trace_->record(engine_.now(), TraceEventKind::kPreempt, site_id_,
+                   ts.task.id, ts.executed);
 }
 
 void SiteScheduler::checkpoint_task(TaskState& ts) {
@@ -465,6 +531,10 @@ void SiteScheduler::checkpoint_task(TaskState& ts) {
   ts.record->outcome = TaskOutcome::kPending;
   erase_running(ts);
   push_pending(ts);
+  if (m_checkpoints_ != nullptr) m_checkpoints_->add();
+  if (trace_ != nullptr)
+    trace_->record(engine_.now(), TraceEventKind::kCheckpoint, site_id_,
+                   ts.task.id, ts.executed);
 }
 
 void SiteScheduler::fail_task(TaskState& ts) {
@@ -476,6 +546,10 @@ void SiteScheduler::fail_task(TaskState& ts) {
   record.completion = now;
   record.realized_yield = ts.task.breach_yield(now);
   record.outcome = TaskOutcome::kFailed;
+  if (m_fails_ != nullptr) m_fails_->add();
+  if (trace_ != nullptr)
+    trace_->record(now, TraceEventKind::kTaskFail, site_id_, ts.task.id,
+                   record.realized_yield, ts.executed);
   erase_running(ts);
   mix_.remove(ts.mix_slot);
   by_id_.erase(ts.task.id);
@@ -486,6 +560,10 @@ std::vector<Task> SiteScheduler::crash(CrashMode mode) {
   MBTS_CHECK_MSG(!down_, "crash on a site that is already down");
   down_ = true;
   ++crashes_;
+  if (trace_ != nullptr)
+    trace_->record(engine_.now(), TraceEventKind::kSiteCrash, site_id_,
+                   kInvalidTask, static_cast<double>(running_.size()),
+                   static_cast<double>(mode == CrashMode::kKill ? 0 : 1));
   std::vector<Task> killed;
   // Drain running tasks in ascending task-id order. The running_ vector's
   // layout depends on nth_element's unspecified permutation, so a layout
@@ -513,6 +591,9 @@ std::vector<Task> SiteScheduler::crash(CrashMode mode) {
 void SiteScheduler::recover() {
   MBTS_CHECK_MSG(down_, "recover on a site that is up");
   down_ = false;
+  if (trace_ != nullptr)
+    trace_->record(engine_.now(), TraceEventKind::kSiteRecover, site_id_,
+                   kInvalidTask, static_cast<double>(pending_.size()));
   pool_.end_outage(engine_.now());
   if (!pending_.empty()) request_dispatch();
 }
@@ -527,12 +608,25 @@ void SiteScheduler::finish_task(TaskState& ts, bool dropped) {
     // Millennium convention; -bound in general).
     record.realized_yield = -ts.task.value.penalty_bound();
     record.outcome = TaskOutcome::kDropped;
+    if (m_drops_ != nullptr) m_drops_->add();
+    if (trace_ != nullptr)
+      trace_->record(now, TraceEventKind::kDrop, site_id_, ts.task.id,
+                     record.realized_yield);
     erase_pending(ts);
   } else {
     MBTS_DCHECK(ts.running);
     pool_.release(now, ts.task.width);
     record.realized_yield = ts.task.yield_at_completion(now);
     record.outcome = TaskOutcome::kCompleted;
+    const double delay = ts.task.delay_at_completion(now);
+    if (m_completions_ != nullptr) {
+      m_completions_->add();
+      m_delay_->add(delay);
+      m_ryield_->add(record.realized_yield);
+    }
+    if (trace_ != nullptr)
+      trace_->record(now, TraceEventKind::kComplete, site_id_, ts.task.id,
+                     record.realized_yield, delay);
     erase_running(ts);
   }
   last_completion_ = std::max(last_completion_, now);
@@ -552,8 +646,17 @@ void SiteScheduler::dispatch() {
   // A dispatch event that was already queued when the site crashed fires
   // into a down site: nothing to do until recovery re-requests one.
   if (down_) return;
+  MBTS_PROF_SCOPE("scheduler/dispatch");
   ++dispatches_;
   const SimTime now = engine_.now();
+  if (m_dispatch_count_ != nullptr) {
+    m_dispatch_count_->add();
+    m_pending_depth_->set(static_cast<double>(pending_.size()));
+  }
+  if (trace_ != nullptr)
+    trace_->record(now, TraceEventKind::kDispatch, site_id_, kInvalidTask,
+                   static_cast<double>(pending_.size()),
+                   static_cast<double>(running_.size()));
 
   if (config_.drop_expired) {
     // Millennium extension: a task whose yield has decayed all the way to

@@ -26,6 +26,12 @@
 
 namespace mbts {
 
+class Counter;
+class Gauge;
+class Histogram;
+class MetricsRegistry;
+class TraceRecorder;
+
 /// When priorities are (re)computed (§5.2). kFresh rescans the whole mix at
 /// every dispatch — priorities always reflect current yields. kAtEnqueue
 /// computes a task's priority once when it enters the queue (submission or
@@ -178,6 +184,15 @@ class SiteScheduler {
 
   RunStats stats() const;
 
+  /// Attaches opt-in telemetry (either pointer may be null). Trace events
+  /// are labeled with `site` (the market passes the agent's id; standalone
+  /// sites default to 0). Metric names are prefixed "site<id>/" when a
+  /// registry is given. Detached — the default — every hook is one null
+  /// test; attaching never alters scheduling behavior, only records it
+  /// (the golden stats fingerprint pins the detached path bit-for-bit).
+  void set_telemetry(TraceRecorder* trace, MetricsRegistry* metrics = nullptr,
+                     SiteId site = 0);
+
  private:
   struct TaskState {
     Task task;
@@ -324,6 +339,27 @@ class SiteScheduler {
   std::vector<const Task*> miss_tasks_;
   std::vector<double> miss_rpts_;
   std::vector<ScoreCache> miss_caches_;
+
+  // Telemetry (see set_telemetry). Metric instruments are resolved once at
+  // attach time so hot-path hooks bump cached pointers, never do name
+  // lookups.
+  TraceRecorder* trace_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
+  SiteId site_id_ = 0;
+  Counter* m_quotes_ = nullptr;
+  Counter* m_accepts_ = nullptr;
+  Counter* m_rejects_ = nullptr;
+  Counter* m_starts_ = nullptr;
+  Counter* m_preempts_ = nullptr;
+  Counter* m_completions_ = nullptr;
+  Counter* m_drops_ = nullptr;
+  Counter* m_fails_ = nullptr;
+  Counter* m_checkpoints_ = nullptr;
+  Counter* m_dispatch_count_ = nullptr;
+  Gauge* m_pending_depth_ = nullptr;
+  Histogram* m_slack_ = nullptr;
+  Histogram* m_delay_ = nullptr;
+  Histogram* m_ryield_ = nullptr;
 
   bool dispatch_pending_ = false;
   /// policy_->cacheable(), latched at construction.

@@ -12,7 +12,8 @@ namespace mbts {
 
 RunStats run_single_site(const Trace& trace, const SchedulerConfig& config,
                          const PolicySpec& policy,
-                         std::optional<SlackAdmissionConfig> admission) {
+                         std::optional<SlackAdmissionConfig> admission,
+                         Telemetry telemetry) {
   SimEngine engine;
   std::unique_ptr<AdmissionPolicy> admit;
   if (admission)
@@ -20,6 +21,8 @@ RunStats run_single_site(const Trace& trace, const SchedulerConfig& config,
   else
     admit = std::make_unique<AcceptAllAdmission>();
   SiteScheduler site(engine, config, make_policy(policy), std::move(admit));
+  if (telemetry.trace != nullptr || telemetry.metrics != nullptr)
+    site.set_telemetry(telemetry.trace, telemetry.metrics, /*site=*/0);
   site.inject(trace.tasks);
   engine.run();
   MBTS_CHECK_MSG(site.idle(), "run did not drain the site");

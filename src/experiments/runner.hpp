@@ -11,11 +11,24 @@
 
 namespace mbts {
 
+class MetricsRegistry;
+class TraceRecorder;
+
+/// Optional observability sinks for a run. Default-constructed = telemetry
+/// off; either member may be set independently.
+struct Telemetry {
+  TraceRecorder* trace = nullptr;
+  MetricsRegistry* metrics = nullptr;
+};
+
 /// Simulates one trace on one site to completion and returns its stats.
 /// admission == nullopt selects AcceptAll (the §5 "must run all" regime).
+/// `telemetry` (when set) records the run; attaching it never changes the
+/// returned stats.
 RunStats run_single_site(const Trace& trace, const SchedulerConfig& config,
                          const PolicySpec& policy,
-                         std::optional<SlackAdmissionConfig> admission);
+                         std::optional<SlackAdmissionConfig> admission,
+                         Telemetry telemetry = {});
 
 /// Global experiment knobs every figure honors; benches expose them as CLI
 /// flags so quick runs (fewer jobs/reps) and full runs share one code path.

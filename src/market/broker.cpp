@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace mbts {
@@ -79,7 +80,14 @@ void Broker::submit(const Bid& bid) { attempt(bid, 0, /*is_rebid=*/false); }
 
 void Broker::resubmit(const Bid& bid) {
   ++rebids_;
+  if (trace_ != nullptr)
+    trace_->record(trace_now(bid), TraceEventKind::kRebid, kNoSite,
+                   bid.task.id);
   attempt(bid, 0, /*is_rebid=*/true);
+}
+
+double Broker::trace_now(const Bid& bid) const {
+  return engine_ != nullptr ? engine_->now() : bid.task.arrival;
 }
 
 void Broker::attempt(const Bid& bid, std::size_t round, bool is_rebid) {
@@ -100,6 +108,9 @@ void Broker::attempt(const Bid& bid, std::size_t round, bool is_rebid) {
     const double delay = std::min(
         retry_.max_delay,
         std::ldexp(retry_.base_delay, static_cast<int>(round)));
+    if (trace_ != nullptr)
+      trace_->record(trace_now(bid), TraceEventKind::kRetry, kNoSite,
+                     bid.task.id, static_cast<double>(round + 2), delay);
     engine_->schedule_after(delay, EventPriority::kArrival,
                             [this, bid, round, is_rebid] {
                               attempt(bid, round + 1, is_rebid);
@@ -115,6 +126,9 @@ NegotiationResult Broker::negotiate_round(const Bid& bid) {
   NegotiationResult result;
   result.bid = bid;
   result.quotes.reserve(sites_.size());
+  if (trace_ != nullptr)
+    trace_->record(trace_now(bid), TraceEventKind::kBid, kNoSite, bid.task.id,
+                   static_cast<double>(sites_.size()));
   for (SiteAgent* site : sites_) {
     // A lost response is synthesized as an unavailable quote; a down site
     // already answers unavailable itself (and is not additionally lost, so
@@ -125,6 +139,9 @@ NegotiationResult Broker::negotiate_round(const Bid& bid) {
       lost.site = site->id();
       lost.unavailable = true;
       result.quotes.push_back(lost);
+      if (trace_ != nullptr)
+        trace_->record(trace_now(bid), TraceEventKind::kQuoteTimeout,
+                       site->id(), bid.task.id);
       continue;
     }
     result.quotes.push_back(site->quote(bid));
@@ -165,6 +182,9 @@ NegotiationResult Broker::negotiate_round(const Bid& bid) {
     if (site->award(bid, quote, price)) {
       result.awarded_site = quote.site;
       result.unaffordable = false;
+      if (trace_ != nullptr)
+        trace_->record(trace_now(bid), TraceEventKind::kAward, quote.site,
+                       bid.task.id, agreed, quote.expected_completion);
       break;
     }
     // Award refused (site state changed): undo the charge, try next best.
@@ -173,6 +193,9 @@ NegotiationResult Broker::negotiate_round(const Bid& bid) {
     remaining[*pick].accepted = false;  // do not retry this site
   }
 
+  if (trace_ != nullptr && !result.awarded_site)
+    trace_->record(trace_now(bid), TraceEventKind::kNoAward, kNoSite,
+                   bid.task.id, result.unaffordable ? 1.0 : 0.0);
   return result;
 }
 

@@ -18,6 +18,8 @@
 
 namespace mbts {
 
+class TraceRecorder;
+
 /// How the broker reacts when a negotiation round finds no taker *because
 /// sites were unavailable* (down or timed out). Rounds where every site
 /// answered and declined are final — retrying a genuine admission rejection
@@ -102,6 +104,12 @@ class Broker {
   /// Routes per-poll quote-loss draws through `injector` (may be null).
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
+  /// Optional observability: negotiation outcomes (bid, award, no-award,
+  /// timeouts, retries, rebids) are recorded into `trace`. Recording only
+  /// reads negotiation state, so a traced run is bit-identical to an
+  /// untraced one.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
   /// Count of bids dropped because the client's budget was exhausted.
   std::size_t unaffordable_bids() const;
 
@@ -134,6 +142,9 @@ class Broker {
   /// One poll-select-award round; no history side effects.
   NegotiationResult negotiate_round(const Bid& bid);
   void attempt(const Bid& bid, std::size_t round, bool is_rebid);
+  /// Trace timestamp: engine time once retries are armed, else the bid's
+  /// arrival (standalone negotiate() calls outside any engine).
+  double trace_now(const Bid& bid) const;
 
   std::vector<SiteAgent*> sites_;
   ClientStrategy strategy_;
@@ -142,6 +153,7 @@ class Broker {
   SimEngine* engine_ = nullptr;
   RetryPolicy retry_;
   FaultInjector* injector_ = nullptr;
+  TraceRecorder* trace_ = nullptr;
   Xoshiro256 rng_;
   std::vector<NegotiationResult> history_;
   std::size_t retries_ = 0;

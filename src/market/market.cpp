@@ -24,6 +24,13 @@ Market::Market(MarketConfig config) : config_(std::move(config)) {
   broker_->enable_retries(engine_, config_.retry);
 }
 
+void Market::attach_telemetry(TraceRecorder* trace, MetricsRegistry* metrics) {
+  trace_ = trace;
+  broker_->set_trace(trace);
+  for (const auto& site : sites_) site->attach_telemetry(trace, metrics);
+  if (injector_ != nullptr) injector_->set_trace(trace);
+}
+
 void Market::inject(const Trace& trace, ClientId client) {
   for (const Task& task : trace.tasks) {
     ++bids_;
@@ -70,6 +77,7 @@ MarketStats Market::run() {
         engine_, std::move(plan), sites_.size(),
         config_.faults.quote_timeout_prob, seeds.stream(0x71E0));
     broker_->set_fault_injector(injector_.get());
+    injector_->set_trace(trace_);
     injector_->arm(
         [this](SiteId site, const SiteOutage&) { on_site_down(site); },
         [this](SiteId site) { sites_[site]->recover(); });

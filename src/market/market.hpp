@@ -19,6 +19,9 @@
 
 namespace mbts {
 
+class MetricsRegistry;
+class TraceRecorder;
+
 struct MarketConfig {
   std::vector<SiteAgentConfig> sites;
   ClientStrategy strategy = ClientStrategy::kMaxExpectedValue;
@@ -65,6 +68,12 @@ class Market {
   Broker& broker() { return *broker_; }
   const ClientLedger& ledger() const { return ledger_; }
 
+  /// Optional observability: wires `trace`/`metrics` through the broker,
+  /// every site agent, and (once built in run()) the fault injector. Either
+  /// pointer may be null. Call before run(); attaching never changes market
+  /// outcomes, only records them.
+  void attach_telemetry(TraceRecorder* trace, MetricsRegistry* metrics);
+
   /// Schedules every task in the trace as a bid negotiation at its arrival.
   void inject(const Trace& trace, ClientId client = 0);
 
@@ -84,6 +93,7 @@ class Market {
   std::vector<std::unique_ptr<SiteAgent>> sites_;
   std::unique_ptr<Broker> broker_;
   std::unique_ptr<FaultInjector> injector_;
+  TraceRecorder* trace_ = nullptr;
   std::size_t bids_ = 0;
   SimTime last_arrival_ = 0.0;
 };

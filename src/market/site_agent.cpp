@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace mbts {
@@ -20,6 +21,12 @@ SiteAgent::SiteAgent(SimEngine& engine, SiteAgentConfig config)
   scheduler_ = std::make_unique<SiteScheduler>(
       engine_, config_.scheduler, make_policy(config_.policy),
       make_admission(config_));
+}
+
+void SiteAgent::attach_telemetry(TraceRecorder* trace,
+                                 MetricsRegistry* metrics) {
+  trace_ = trace;
+  scheduler_->set_telemetry(trace, metrics, config_.id);
 }
 
 Quote SiteAgent::quote(const Bid& bid) {
@@ -71,6 +78,9 @@ std::vector<Breach> SiteAgent::fail(CrashMode mode) {
       contract.actual_completion = now;
       contract.settled_price = task.breach_yield(now);
       ++breaches_;
+      if (trace_ != nullptr)
+        trace_->record(now, TraceEventKind::kBreach, config_.id, task.id,
+                       contract.settled_price, contract.agreed_price);
       breaches.push_back({task, contract.client, config_.id,
                           contract.agreed_price, contract.settled_price});
       break;

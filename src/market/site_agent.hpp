@@ -18,6 +18,9 @@
 
 namespace mbts {
 
+class MetricsRegistry;
+class TraceRecorder;
+
 /// A contract the site could not honor because it crashed while the task
 /// was in flight. Carries the full task so the market layer can re-bid it
 /// to surviving sites.
@@ -47,6 +50,11 @@ class SiteAgent {
   SiteId id() const { return config_.id; }
   const std::string& name() const { return config_.name; }
   const SiteAgentConfig& config() const { return config_; }
+
+  /// Optional observability: forwards `trace`/`metrics` to the wrapped
+  /// scheduler under this site's id, and records contract breaches. Either
+  /// pointer may be null; attaching never changes scheduling behaviour.
+  void attach_telemetry(TraceRecorder* trace, MetricsRegistry* metrics);
 
   /// Phase 1: evaluate a bid against the current candidate schedule. While
   /// the site is down the quote comes back `unavailable` (and the scheduler
@@ -92,6 +100,7 @@ class SiteAgent {
   SiteAgentConfig config_;
   std::unique_ptr<SiteScheduler> scheduler_;
   std::vector<Contract> contracts_;
+  TraceRecorder* trace_ = nullptr;
   std::size_t breaches_ = 0;
 };
 

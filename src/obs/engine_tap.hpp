@@ -1,0 +1,44 @@
+// Bridges the SimEngine's EventObserver seam into a TraceRecorder.
+//
+// Header-only so mbts_obs never links against mbts_sim (mbts_sim links
+// mbts_obs for the fault-injector hooks; this adapter is the other
+// direction and lives with whoever wants engine-level traces). Event
+// lifecycle traffic is one to two orders of magnitude denser than decision
+// events, so the tap is its own opt-in rather than part of the scheduler
+// telemetry: attach it only when diagnosing the event queue itself.
+//
+// Note the engine has a single observer slot — attaching a tap displaces a
+// differential event checker and vice versa.
+#pragma once
+
+#include "obs/trace.hpp"
+#include "sim/engine.hpp"
+
+namespace mbts {
+
+class EngineTap final : public EventObserver {
+ public:
+  /// Does not attach; call engine.set_observer(&tap) explicitly so the
+  /// displacement of any existing observer is visible at the call site.
+  EngineTap(const SimEngine& engine, TraceRecorder& trace)
+      : engine_(engine), trace_(trace) {}
+
+  void on_schedule(EventId id, double t, int priority) override {
+    // Scheduling happens at engine_.now(); `t` is the fire time (payload).
+    trace_.record(engine_.now(), TraceEventKind::kEvtSchedule, kNoSite, id,
+                  static_cast<double>(priority), t);
+  }
+  void on_cancel(EventId id) override {
+    trace_.record(engine_.now(), TraceEventKind::kEvtCancel, kNoSite, id);
+  }
+  void on_execute(EventId id, double t, int priority) override {
+    trace_.record(t, TraceEventKind::kEvtExecute, kNoSite, id,
+                  static_cast<double>(priority));
+  }
+
+ private:
+  const SimEngine& engine_;
+  TraceRecorder& trace_;
+};
+
+}  // namespace mbts

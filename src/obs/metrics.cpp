@@ -1,0 +1,49 @@
+#include "obs/metrics.hpp"
+
+#include <ostream>
+
+#include "util/check.hpp"
+#include "util/csv.hpp"
+
+namespace mbts {
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, double lo,
+                                      double hi, std::size_t bins) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(name, std::make_unique<Histogram>(lo, hi, bins))
+             .first;
+  return *it->second;
+}
+
+void MetricsRegistry::write_csv(std::ostream& out) const {
+  CsvWriter csv(out,
+                {"name", "kind", "count", "value", "p50", "p90", "p99"});
+  for (const auto& [name, counter] : counters_) {
+    const std::string v = CsvWriter::field(counter.value());
+    csv.row({name, "counter", v, v, "", "", ""});
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    csv.row({name, "gauge", "", CsvWriter::field(gauge.value()), "", "", ""});
+    csv.row({name + "/max", "gauge", "", CsvWriter::field(gauge.max()), "",
+             "", ""});
+  }
+  for (const auto& [name, hist] : histograms_) {
+    const bool any = hist->count() > 0;
+    csv.row({name, "histogram",
+             CsvWriter::field(static_cast<std::uint64_t>(hist->count())), "",
+             any ? CsvWriter::field(hist->quantile(0.5)) : "",
+             any ? CsvWriter::field(hist->quantile(0.9)) : "",
+             any ? CsvWriter::field(hist->quantile(0.99)) : ""});
+  }
+}
+
+}  // namespace mbts

@@ -1,0 +1,108 @@
+// Metrics registry: named counters, gauges, and histograms with per-run and
+// per-site scopes, exported as CSV for tools/plot_figures.py.
+//
+// Names are hierarchical by convention ("site0/dispatches"); a MetricsScope
+// is a cheap prefixing view that producers use for per-site scoping. The
+// registry owns its instruments; pointers returned by counter()/gauge()/
+// histogram() stay valid for the registry's lifetime, so hot paths resolve
+// a name once and bump a cached pointer thereafter.
+//
+// Deterministic export: instruments live in ordered maps and the CSV emits
+// them in name order, so two identical runs write identical files.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "stats/histogram.hpp"
+
+namespace mbts {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-write-wins level; also tracks the maximum it ever held (peak queue
+/// depth and friends come free).
+class Gauge {
+ public:
+  void set(double v) {
+    value_ = v;
+    if (!seen_ || v > max_) max_ = v;
+    seen_ = true;
+  }
+  double value() const { return value_; }
+  double max() const { return seen_ ? max_ : 0.0; }
+
+ private:
+  double value_ = 0.0;
+  double max_ = 0.0;
+  bool seen_ = false;
+};
+
+class MetricsRegistry {
+ public:
+  /// Instruments are created on first use; later lookups return the same
+  /// object. A histogram's (lo, hi, bins) are fixed by the creating call
+  /// (re-lookups may pass anything; the shape is checked only on creation).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, double lo, double hi,
+                       std::size_t bins);
+
+  std::size_t instruments() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// CSV: name,kind,count,value,p50,p90,p99. Counters fill count and value,
+  /// gauges fill value (their running max gets its own "<name>/max" row),
+  /// histograms fill count and the quantile columns. Rows are grouped by
+  /// kind (counters, gauges, histograms) and name-ordered within a group.
+  void write_csv(std::ostream& out) const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  // Histogram is non-copyable (it owns a mutex); box it.
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Name-prefixing view over a registry ("site3" scope turns "dispatches"
+/// into "site3/dispatches"). Copyable; the registry must outlive it.
+class MetricsScope {
+ public:
+  MetricsScope(MetricsRegistry& registry, std::string prefix)
+      : registry_(&registry), prefix_(std::move(prefix)) {}
+
+  Counter& counter(const std::string& name) {
+    return registry_->counter(full(name));
+  }
+  Gauge& gauge(const std::string& name) {
+    return registry_->gauge(full(name));
+  }
+  Histogram& histogram(const std::string& name, double lo, double hi,
+                       std::size_t bins) {
+    return registry_->histogram(full(name), lo, hi, bins);
+  }
+
+  const std::string& prefix() const { return prefix_; }
+
+ private:
+  std::string full(const std::string& name) const {
+    return prefix_.empty() ? name : prefix_ + "/" + name;
+  }
+
+  MetricsRegistry* registry_;
+  std::string prefix_;
+};
+
+}  // namespace mbts

@@ -1,0 +1,68 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mbts {
+
+std::atomic<bool> Profiler::enabled_{false};
+
+Profiler& Profiler::instance() {
+  static Profiler profiler;
+  return profiler;
+}
+
+void Profiler::add(const char* name, std::uint64_t ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Section& section = sections_[name];
+  if (section.calls == 0) section.name = name;
+  ++section.calls;
+  section.total_ns += ns;
+}
+
+std::vector<Profiler::Section> Profiler::sections() const {
+  std::map<std::string, Section> merged;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [key, section] : sections_) {
+      Section& m = merged[section.name];
+      m.name = section.name;
+      m.calls += section.calls;
+      m.total_ns += section.total_ns;
+    }
+  }
+  std::vector<Section> out;
+  out.reserve(merged.size());
+  for (auto& [name, section] : merged) out.push_back(section);
+  std::sort(out.begin(), out.end(), [](const Section& a, const Section& b) {
+    if (a.total_ns != b.total_ns) return a.total_ns > b.total_ns;
+    return a.name < b.name;
+  });
+  return out;
+}
+
+std::string Profiler::report() const {
+  const std::vector<Section> rows = sections();
+  if (rows.empty()) return "profiler: no sections recorded\n";
+  std::string out =
+      "section                          calls     total_ms   mean_us\n";
+  char line[128];
+  for (const Section& s : rows) {
+    std::snprintf(line, sizeof(line), "%-28s %10llu %12.3f %9.3f\n",
+                  s.name.c_str(),
+                  static_cast<unsigned long long>(s.calls),
+                  static_cast<double>(s.total_ns) / 1e6,
+                  s.calls ? static_cast<double>(s.total_ns) / 1e3 /
+                                static_cast<double>(s.calls)
+                          : 0.0);
+    out += line;
+  }
+  return out;
+}
+
+void Profiler::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sections_.clear();
+}
+
+}  // namespace mbts

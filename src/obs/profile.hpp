@@ -1,0 +1,99 @@
+// Scoped wall-clock profiling for the dispatch/quote hot paths.
+//
+// MBTS_PROF_SCOPE("name") drops an RAII timer into a function. Disabled
+// (the default) it costs one relaxed atomic load and a predictable branch —
+// cheap enough for the PR-1 hot paths to keep the tools/bench_dispatch.sh
+// regression budget (< 2%) with room to spare. Enabled, each scope adds its
+// elapsed time to a process-wide table under a mutex (sweeps profile from
+// several threads at once).
+//
+// Wall-clock times are inherently non-deterministic, so profiling data is
+// reported out-of-band (Profiler::report) and never enters trace files,
+// metrics CSVs, or anything else the determinism contract covers.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mbts {
+
+class Profiler {
+ public:
+  struct Section {
+    std::string name;
+    std::uint64_t calls = 0;
+    std::uint64_t total_ns = 0;
+  };
+
+  static Profiler& instance();
+
+  static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  /// Enabling mid-run is safe; scopes opened while disabled simply don't
+  /// report. reset() is the usual companion at run start.
+  static void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Accumulates one timed scope. `name` must be a string with static
+  /// storage duration (the macro passes literals).
+  void add(const char* name, std::uint64_t ns);
+
+  /// Sections sorted by total time descending (ties by name).
+  std::vector<Section> sections() const;
+
+  /// Human-readable per-run table: name, calls, total ms, mean us.
+  std::string report() const;
+
+  void reset();
+
+ private:
+  Profiler() = default;
+
+  static std::atomic<bool> enabled_;
+
+  mutable std::mutex mutex_;
+  // Keyed by the literal's address: hot-path accumulation never hashes or
+  // compares strings. Distinct literals with equal text get distinct rows
+  // merged at report time.
+  std::map<const char*, Section> sections_;
+};
+
+namespace detail {
+
+class ProfScope {
+ public:
+  explicit ProfScope(const char* name)
+      : name_(Profiler::enabled() ? name : nullptr) {
+    if (name_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ProfScope() {
+    if (name_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    Profiler::instance().add(
+        name_, static_cast<std::uint64_t>(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       elapsed)
+                       .count()));
+  }
+  ProfScope(const ProfScope&) = delete;
+  ProfScope& operator=(const ProfScope&) = delete;
+
+ private:
+  const char* name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace detail
+}  // namespace mbts
+
+#define MBTS_PROF_CONCAT2(a, b) a##b
+#define MBTS_PROF_CONCAT(a, b) MBTS_PROF_CONCAT2(a, b)
+#define MBTS_PROF_SCOPE(name) \
+  ::mbts::detail::ProfScope MBTS_PROF_CONCAT(mbts_prof_scope_, __LINE__)(name)

@@ -1,0 +1,194 @@
+#include "obs/trace.hpp"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace mbts {
+
+namespace {
+
+// Binary trace layout, all little-endian:
+//   8-byte magic "MBTSTRC1"
+//   u64 event count, u64 dropped count
+//   then per event: u32 kind, u32 site, u64 task, f64 t, f64 a, f64 b
+// (40 bytes/event). Fields are serialized one by one, never via struct
+// memcpy, so padding bytes can't leak indeterminate memory into the file
+// and the byte-identity guarantee holds across compilers.
+constexpr char kMagic[8] = {'M', 'B', 'T', 'S', 'T', 'R', 'C', '1'};
+constexpr TraceEventKind kMaxKind = TraceEventKind::kEvtExecute;
+
+void put_u32(std::ostream& out, std::uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out.write(b, 4);
+}
+
+void put_u64(std::ostream& out, std::uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out.write(b, 8);
+}
+
+void put_f64(std::ostream& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint32_t get_u32(std::istream& in) {
+  unsigned char b[4];
+  in.read(reinterpret_cast<char*>(b), 4);
+  MBTS_CHECK_MSG(in.gcount() == 4, "truncated trace file");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(std::istream& in) {
+  unsigned char b[8];
+  in.read(reinterpret_cast<char*>(b), 8);
+  MBTS_CHECK_MSG(in.gcount() == 8, "truncated trace file");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+  return v;
+}
+
+double get_f64(std::istream& in) {
+  return std::bit_cast<double>(get_u64(in));
+}
+
+}  // namespace
+
+const char* to_string(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kSubmit: return "submit";
+    case TraceEventKind::kAdmitAccept: return "admit_accept";
+    case TraceEventKind::kAdmitReject: return "admit_reject";
+    case TraceEventKind::kQuoteAccept: return "quote_accept";
+    case TraceEventKind::kQuoteReject: return "quote_reject";
+    case TraceEventKind::kStart: return "start";
+    case TraceEventKind::kPreempt: return "preempt";
+    case TraceEventKind::kCheckpoint: return "checkpoint";
+    case TraceEventKind::kComplete: return "complete";
+    case TraceEventKind::kDrop: return "drop";
+    case TraceEventKind::kTaskFail: return "task_fail";
+    case TraceEventKind::kDispatch: return "dispatch";
+    case TraceEventKind::kSiteCrash: return "site_crash";
+    case TraceEventKind::kSiteRecover: return "site_recover";
+    case TraceEventKind::kBid: return "bid";
+    case TraceEventKind::kAward: return "award";
+    case TraceEventKind::kNoAward: return "no_award";
+    case TraceEventKind::kBreach: return "breach";
+    case TraceEventKind::kRebid: return "rebid";
+    case TraceEventKind::kRetry: return "retry";
+    case TraceEventKind::kQuoteTimeout: return "quote_timeout";
+    case TraceEventKind::kOutageDown: return "outage_down";
+    case TraceEventKind::kOutageUp: return "outage_up";
+    case TraceEventKind::kEvtSchedule: return "evt_schedule";
+    case TraceEventKind::kEvtCancel: return "evt_cancel";
+    case TraceEventKind::kEvtExecute: return "evt_execute";
+  }
+  return "?";
+}
+
+TraceRecorder::TraceRecorder(TraceConfig config)
+    : capacity_(config.capacity) {
+  MBTS_CHECK_MSG(capacity_ > 0, "trace recorder needs capacity > 0");
+}
+
+void TraceRecorder::record(SimTime t, TraceEventKind kind, SiteId site,
+                           TaskId task, double a, double b) {
+  record(TraceEvent{t, kind, site, task, a, b});
+}
+
+void TraceRecorder::record(const TraceEvent& event) {
+  if (buffer_.size() < capacity_) {
+    buffer_.push_back(event);
+  } else {
+    buffer_[head_] = event;
+    head_ = (head_ + 1) % capacity_;
+  }
+  ++recorded_;
+}
+
+const TraceEvent& TraceRecorder::at(std::size_t i) const {
+  MBTS_CHECK_MSG(i < buffer_.size(), "trace event index out of range");
+  return buffer_[(head_ + i) % buffer_.size()];
+}
+
+void TraceRecorder::clear() {
+  buffer_.clear();
+  head_ = 0;
+  recorded_ = 0;
+}
+
+void TraceRecorder::write_binary(std::ostream& out) const {
+  out.write(kMagic, sizeof(kMagic));
+  put_u64(out, buffer_.size());
+  put_u64(out, dropped());
+  for (std::size_t i = 0; i < buffer_.size(); ++i) {
+    const TraceEvent& e = at(i);
+    put_u32(out, static_cast<std::uint32_t>(e.kind));
+    put_u32(out, e.site);
+    put_u64(out, e.task);
+    put_f64(out, e.t);
+    put_f64(out, e.a);
+    put_f64(out, e.b);
+  }
+}
+
+void TraceRecorder::write_jsonl(std::ostream& out) const {
+  char buffer[256];
+  for (std::size_t i = 0; i < buffer_.size(); ++i) {
+    const TraceEvent& e = at(i);
+    std::snprintf(buffer, sizeof(buffer),
+                  "{\"t\":%.17g,\"kind\":\"%s\",\"site\":%" PRId64
+                  ",\"task\":%" PRId64 ",\"a\":%.17g,\"b\":%.17g}\n",
+                  e.t, to_string(e.kind),
+                  e.site == kNoSite ? std::int64_t{-1}
+                                    : static_cast<std::int64_t>(e.site),
+                  e.task == kInvalidTask ? std::int64_t{-1}
+                                         : static_cast<std::int64_t>(e.task),
+                  e.a, e.b);
+    out << buffer;
+  }
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(buffer_.size());
+  for (std::size_t i = 0; i < buffer_.size(); ++i) out.push_back(at(i));
+  return out;
+}
+
+std::vector<TraceEvent> TraceRecorder::read_binary(std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  MBTS_CHECK_MSG(in.gcount() == 8 &&
+                     std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+                 "not a mbts binary trace (bad magic)");
+  const std::uint64_t count = get_u64(in);
+  get_u64(in);  // dropped count: informational, not needed to reconstruct
+  std::vector<TraceEvent> events;
+  events.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TraceEvent e;
+    const std::uint32_t kind = get_u32(in);
+    MBTS_CHECK_MSG(kind <= static_cast<std::uint32_t>(kMaxKind),
+                   "unknown trace event kind " + std::to_string(kind));
+    e.kind = static_cast<TraceEventKind>(kind);
+    e.site = get_u32(in);
+    e.task = get_u64(in);
+    e.t = get_f64(in);
+    e.a = get_f64(in);
+    e.b = get_f64(in);
+    events.push_back(e);
+  }
+  return events;
+}
+
+}  // namespace mbts

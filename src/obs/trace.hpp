@@ -1,0 +1,134 @@
+// Structured run tracing: the per-decision telemetry substrate behind the
+// paper's evaluation figures (abort rates, admission behavior, schedule
+// churn) and the ROADMAP's production observability rung.
+//
+// A TraceRecorder is an opt-in, bounded ring buffer of fixed-size binary
+// events. Producers (SiteScheduler, Broker, SiteAgent, Market,
+// FaultInjector, and the SimEngine via obs/engine_tap.hpp) hold a nullable
+// pointer and pay one null test per hook when tracing is off — the
+// telemetry-off path is observationally identical to a build without the
+// recorder, and the golden stats fingerprint pins that.
+//
+// Determinism contract: every recorded field derives from simulated state
+// (sim time, ids, scores, prices) — never from wall clocks, pointers, or
+// hashes — so the same seed yields a byte-identical trace file across runs,
+// machines, and compilers. tests/test_determinism.cpp asserts this.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace mbts {
+
+/// Event vocabulary. One enumerator per decision point; `a`/`b` carry the
+/// kind-specific payload documented next to each entry.
+enum class TraceEventKind : std::uint32_t {
+  // --- scheduler / admission (site-scoped) ---
+  kSubmit = 0,       // bid committed to a site; a = arrival
+  kAdmitAccept = 1,  // a = slack, b = expected completion
+  kAdmitReject = 2,  // a = slack, b = expected completion
+  kQuoteAccept = 3,  // non-binding probe accepted; a = slack, b = price
+  kQuoteReject = 4,  // a = slack, b = price
+  kStart = 5,        // task got processors; a = executed service so far
+  kPreempt = 6,      // displaced by a higher-scored task; a = executed
+  kCheckpoint = 7,   // suspended by a crash; a = executed
+  kComplete = 8,     // a = realized yield, b = contract delay
+  kDrop = 9,         // expired task discarded; a = realized yield
+  kTaskFail = 10,    // killed by a crash; a = realized (breach) yield
+  kDispatch = 11,    // one dispatch pass; a = pending, b = running (before)
+  // --- site availability ---
+  kSiteCrash = 12,   // a = running tasks at the crash, b = 1 if checkpointed
+  kSiteRecover = 13,
+  // --- market / negotiation ---
+  kBid = 14,          // negotiation round opened; a = sites polled
+  kAward = 15,        // a = agreed price, b = expected completion
+  kNoAward = 16,      // round ended unawarded; a = 1 if unaffordable
+  kBreach = 17,       // contract breached; a = settled price, b = agreed
+  kRebid = 18,        // breached task re-entered the market
+  kRetry = 19,        // availability retry scheduled; a = next round
+                      // (1-based), b = backoff delay
+  kQuoteTimeout = 20, // a site's quote response was lost in transit
+  // --- fault injector ---
+  kOutageDown = 21,   // a = planned recovery time
+  kOutageUp = 22,
+  // --- engine lifecycle (obs/engine_tap.hpp; high volume) ---
+  kEvtSchedule = 23,  // a = event priority
+  kEvtCancel = 24,
+  kEvtExecute = 25,   // a = event priority
+};
+
+/// Short stable mnemonic ("admit_accept", "start", ...), used by the JSONL
+/// export and trace_view; also the spelling filters accept.
+const char* to_string(TraceEventKind kind);
+
+inline constexpr SiteId kNoSite = 0xFFFFFFFFu;
+
+/// One fixed-size trace record. `task` is kInvalidTask and `site` kNoSite
+/// when the event has no task/site subject.
+struct TraceEvent {
+  SimTime t = 0.0;
+  TraceEventKind kind = TraceEventKind::kDispatch;
+  SiteId site = kNoSite;
+  TaskId task = kInvalidTask;
+  double a = 0.0;
+  double b = 0.0;
+
+  bool operator==(const TraceEvent&) const = default;
+};
+
+struct TraceConfig {
+  /// Ring capacity in events (40 bytes each). When full, the oldest events
+  /// are overwritten and counted in dropped(); size a recorder to the run
+  /// when the full history matters (determinism tests do).
+  std::size_t capacity = 1u << 20;
+};
+
+/// Bounded in-memory event ring with binary + JSONL export.
+///
+/// Single-threaded like the simulation that feeds it: one recorder belongs
+/// to one engine's run. Concurrent sweeps use one recorder per replication.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(TraceConfig config = {});
+
+  void record(SimTime t, TraceEventKind kind, SiteId site = kNoSite,
+              TaskId task = kInvalidTask, double a = 0.0, double b = 0.0);
+  void record(const TraceEvent& event);
+
+  /// Events currently retained (<= capacity).
+  std::size_t size() const { return buffer_.size(); }
+  /// Events ever recorded / overwritten by ring wraparound.
+  std::uint64_t recorded() const { return recorded_; }
+  std::uint64_t dropped() const { return recorded_ - buffer_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// i-th retained event, oldest first.
+  const TraceEvent& at(std::size_t i) const;
+
+  void clear();
+
+  /// Binary trace file: fixed little-endian layout (see trace.cpp), written
+  /// oldest-first. Byte-identical for identical event sequences.
+  void write_binary(std::ostream& out) const;
+  /// One JSON object per line, full round-trip double precision.
+  void write_jsonl(std::ostream& out) const;
+
+  /// Retained events, oldest first (copy; for tools and tests).
+  std::vector<TraceEvent> events() const;
+
+  /// Parses a binary trace written by write_binary. Throws CheckError on a
+  /// bad magic, truncated stream, or unknown event kind.
+  static std::vector<TraceEvent> read_binary(std::istream& in);
+
+ private:
+  std::size_t capacity_;
+  std::size_t head_ = 0;  // slot of the oldest retained event
+  std::uint64_t recorded_ = 0;
+  std::vector<TraceEvent> buffer_;
+};
+
+}  // namespace mbts

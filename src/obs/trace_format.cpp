@@ -1,0 +1,94 @@
+#include "obs/trace_format.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+namespace mbts {
+
+namespace {
+
+constexpr std::uint32_t kKindCount =
+    static_cast<std::uint32_t>(TraceEventKind::kEvtExecute) + 1;
+
+}  // namespace
+
+bool TraceFilter::matches(const TraceEvent& event) const {
+  if (kind && event.kind != *kind) return false;
+  if (site && event.site != *site) return false;
+  if (task && event.task != *task) return false;
+  if (t_from && event.t < *t_from) return false;
+  if (t_to && event.t >= *t_to) return false;
+  return true;
+}
+
+std::optional<TraceEventKind> parse_event_kind(const std::string& name) {
+  for (std::uint32_t k = 0; k < kKindCount; ++k) {
+    const auto kind = static_cast<TraceEventKind>(k);
+    if (name == to_string(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+std::string format_trace_event(const TraceEvent& event) {
+  char buffer[192];
+  int n = std::snprintf(buffer, sizeof(buffer), "[%14.6f] %-13s", event.t,
+                        to_string(event.kind));
+  if (event.site != kNoSite)
+    n += std::snprintf(buffer + n, sizeof(buffer) - static_cast<size_t>(n),
+                       " site=%" PRIu32, event.site);
+  if (event.task != kInvalidTask)
+    n += std::snprintf(buffer + n, sizeof(buffer) - static_cast<size_t>(n),
+                       " task=%" PRIu64, event.task);
+  std::snprintf(buffer + n, sizeof(buffer) - static_cast<size_t>(n),
+                " a=%.6g b=%.6g", event.a, event.b);
+  return buffer;
+}
+
+std::string summarize_trace(const std::vector<TraceEvent>& events) {
+  char line[160];
+  std::string out;
+  if (events.empty()) return "empty trace (0 events)\n";
+
+  double t_lo = events.front().t, t_hi = events.front().t;
+  std::uint64_t by_kind[kKindCount] = {};
+  std::map<SiteId, std::uint64_t> by_site;
+  for (const TraceEvent& e : events) {
+    t_lo = std::min(t_lo, e.t);
+    t_hi = std::max(t_hi, e.t);
+    ++by_kind[static_cast<std::uint32_t>(e.kind)];
+    if (e.site != kNoSite) ++by_site[e.site];
+  }
+
+  std::snprintf(line, sizeof(line),
+                "%zu events over t=[%.6g, %.6g]\n", events.size(), t_lo,
+                t_hi);
+  out += line;
+  out += "by kind:\n";
+  for (std::uint32_t k = 0; k < kKindCount; ++k) {
+    if (by_kind[k] == 0) continue;
+    std::snprintf(line, sizeof(line), "  %-13s %10" PRIu64 "\n",
+                  to_string(static_cast<TraceEventKind>(k)), by_kind[k]);
+    out += line;
+  }
+  if (!by_site.empty()) {
+    out += "by site:\n";
+    for (const auto& [site, count] : by_site) {
+      std::snprintf(line, sizeof(line), "  site%-9" PRIu32 " %10" PRIu64 "\n",
+                    site, count);
+      out += line;
+    }
+  }
+  return out;
+}
+
+std::vector<TraceEvent> filter_trace(const std::vector<TraceEvent>& events,
+                                     const TraceFilter& filter) {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events)
+    if (filter.matches(e)) out.push_back(e);
+  return out;
+}
+
+}  // namespace mbts

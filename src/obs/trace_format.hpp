@@ -1,0 +1,41 @@
+// Trace filtering, pretty-printing, and summarizing — the library core of
+// tools/trace_view, kept out of the CLI so tests can pin its output golden.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace mbts {
+
+/// Conjunctive event filter; default-constructed it matches everything.
+struct TraceFilter {
+  std::optional<TraceEventKind> kind;
+  std::optional<SiteId> site;
+  std::optional<TaskId> task;
+  std::optional<double> t_from;  // inclusive
+  std::optional<double> t_to;    // exclusive
+
+  bool matches(const TraceEvent& event) const;
+};
+
+/// Inverse of to_string(TraceEventKind); nullopt for unknown names.
+std::optional<TraceEventKind> parse_event_kind(const std::string& name);
+
+/// One aligned human-readable line (no trailing newline):
+///   [t] kind site=N task=N a=... b=...
+/// site/task are omitted when absent. Payloads print at %.6g — readable,
+/// and stable because the underlying values are deterministic.
+std::string format_trace_event(const TraceEvent& event);
+
+/// Multi-line digest: event count, time span, per-kind counts (enum order),
+/// per-site counts (ascending id). Deterministic for identical inputs.
+std::string summarize_trace(const std::vector<TraceEvent>& events);
+
+/// Filtered copy, order preserved.
+std::vector<TraceEvent> filter_trace(const std::vector<TraceEvent>& events,
+                                     const TraceFilter& filter);
+
+}  // namespace mbts

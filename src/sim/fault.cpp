@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace mbts {
@@ -94,12 +95,20 @@ void FaultInjector::arm(DownHook on_down, UpHook on_up) {
           MBTS_DCHECK(!down_[outage.site]);
           down_[outage.site] = true;
           ++outages_started_;
+          if (trace_ != nullptr)
+            trace_->record(engine_.now(), TraceEventKind::kOutageDown,
+                           outage.site, kInvalidTask, outage.up_at);
           if (on_down) on_down(outage.site, outage);
         });
     engine_.schedule_at(outage.up_at, EventPriority::kFault,
                         [this, outage, on_up] {
                           MBTS_DCHECK(down_[outage.site]);
                           down_[outage.site] = false;
+                          if (trace_ != nullptr)
+                            trace_->record(engine_.now(),
+                                           TraceEventKind::kOutageUp,
+                                           outage.site, kInvalidTask,
+                                           outage.down_at);
                           if (on_up) on_up(outage.site);
                         });
   }

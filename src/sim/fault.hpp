@@ -28,6 +28,8 @@
 
 namespace mbts {
 
+class TraceRecorder;
+
 /// What happens to a site's in-flight (running) tasks when it crashes.
 /// Queued-but-not-started tasks survive either way: the queue is durable
 /// metadata, execution state is what an outage destroys.
@@ -124,6 +126,11 @@ class FaultInjector {
 
   bool is_down(SiteId site) const { return down_[site]; }
 
+  /// Optional observability: outage down/up transitions are recorded into
+  /// `trace` as they fire. Recording never alters the plan or the rng
+  /// streams, so a traced chaos run is bit-identical to an untraced one.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
   const FaultPlan& plan() const { return plan_; }
   std::size_t outages_started() const { return outages_started_; }
   std::size_t quote_timeouts() const { return quote_timeouts_; }
@@ -133,6 +140,7 @@ class FaultInjector {
   FaultPlan plan_;
   double quote_timeout_prob_;
   Xoshiro256 timeout_rng_;
+  TraceRecorder* trace_ = nullptr;
   std::vector<bool> down_;
   std::size_t outages_started_ = 0;
   std::size_t quote_timeouts_ = 0;

@@ -15,12 +15,21 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) {
+  if (std::isnan(x)) {
+    // floor(NaN) cast to an integer is UB and used to land in a garbage
+    // bin; NaNs are tallied separately instead of entering bins or values.
+    ++nan_count_;
+    return;
+  }
   const double t = (x - lo_) / (hi_ - lo_);
-  auto idx = static_cast<std::ptrdiff_t>(
-      std::floor(t * static_cast<double>(counts_.size())));
-  idx = std::clamp<std::ptrdiff_t>(
-      idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(idx)];
+  // Clamp in double space *before* the integer cast: converting an
+  // out-of-range double (e.g. from an infinite sample) to an integer type
+  // is undefined behaviour, not a saturating operation.
+  const double scaled = std::floor(t * static_cast<double>(counts_.size()));
+  const double last = static_cast<double>(counts_.size() - 1);
+  const auto idx =
+      static_cast<std::size_t>(std::clamp(scaled, 0.0, last));
+  ++counts_[idx];
   values_.push_back(x);
   sorted_ = false;
 }
@@ -35,6 +44,10 @@ double Histogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
 double Histogram::quantile(double q) const {
   MBTS_CHECK_MSG(!values_.empty(), "quantile of empty histogram");
   MBTS_CHECK(q >= 0.0 && q <= 1.0);
+  // The lazy sort mutates values_ from a const method; the guard covers the
+  // reads too, so concurrent quantile()/cdf() calls never see a mid-sort
+  // vector.
+  std::lock_guard<std::mutex> lock(sort_mutex_);
   if (!sorted_) {
     std::sort(values_.begin(), values_.end());
     sorted_ = true;
@@ -49,6 +62,7 @@ double Histogram::quantile(double q) const {
 
 double Histogram::cdf(double x) const {
   if (values_.empty()) return 0.0;
+  std::lock_guard<std::mutex> lock(sort_mutex_);
   if (!sorted_) {
     std::sort(values_.begin(), values_.end());
     sorted_ = true;

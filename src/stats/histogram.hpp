@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -15,9 +16,19 @@ class Histogram {
   /// bins uniform over [lo, hi); out-of-range samples clamp to end bins.
   Histogram(double lo, double hi, std::size_t bins);
 
+  // The sort mutex makes Histogram non-copyable; nothing needs copies, and
+  // accidental ones would be quadratic in sample count anyway.
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// NaN samples are counted in nan_count() and otherwise ignored: a NaN
+  /// cannot be binned (flooring it is undefined behaviour) or ranked into a
+  /// quantile, and silently corrupting a bin would poison every export.
   void add(double x);
 
   std::size_t count() const { return values_.size(); }
+  /// NaN samples rejected by add().
+  std::size_t nan_count() const { return nan_count_; }
   const std::vector<std::size_t>& bins() const { return counts_; }
   double bin_lo(std::size_t i) const;
   double bin_hi(std::size_t i) const;
@@ -33,6 +44,11 @@ class Histogram {
  private:
   double lo_, hi_;
   std::vector<std::size_t> counts_;
+  std::size_t nan_count_ = 0;
+  // quantile()/cdf() lazily sort values_ on first use; the mutex serializes
+  // that mutation (and the reads over it) so concurrent const readers —
+  // e.g. sweep threads sharing a finished histogram — are race-free.
+  mutable std::mutex sort_mutex_;
   mutable std::vector<double> values_;
   mutable bool sorted_ = false;
 };

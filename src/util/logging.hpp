@@ -6,6 +6,7 @@
 // in but filtered at runtime so tests can enable it selectively.
 #pragma once
 
+#include <atomic>
 #include <iosfwd>
 #include <sstream>
 #include <string>
@@ -21,21 +22,30 @@ class Logger {
  public:
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
+  // The level is atomic because enabled() runs unlocked on every MBTS_LOG
+  // while tests and sweeps may flip the level from another thread; relaxed
+  // ordering suffices — a filter decision may lag one message behind a
+  // concurrent set_level, but never reads a torn value.
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
 
   /// Redirect output (default: stderr). Pass nullptr to restore stderr.
+  /// Serialized against in-flight write() calls: a message is emitted
+  /// entirely to the old sink or entirely to the new one.
   void set_sink(std::ostream* sink);
 
-  bool enabled(LogLevel level) const { return level >= level_; }
+  bool enabled(LogLevel level) const { return level >= this->level(); }
 
   /// Thread-safe emission of one formatted line.
   void write(LogLevel level, const std::string& message);
 
  private:
   Logger() = default;
-  LogLevel level_ = LogLevel::kInfo;
-  std::ostream* sink_ = nullptr;  // nullptr => stderr
+  std::atomic<LogLevel> level_{LogLevel::kInfo};
+  std::ostream* sink_ = nullptr;  // nullptr => stderr; guarded by the
+                                  // emission mutex in logging.cpp
 };
 
 namespace detail {

@@ -1,6 +1,7 @@
 #include "workload/swf.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -26,8 +27,19 @@ Trace load_swf(std::istream& in, const SwfImportOptions& options,
       line.erase(semi);
     std::istringstream fields(line);
     std::vector<double> values;
-    double v = 0.0;
-    while (fields >> v) values.push_back(v);
+    std::string token;
+    while (fields >> token) {
+      // Parse each whitespace-separated token fully. `>> double` would stop
+      // at the first malformed token and silently drop the rest of the
+      // line's fields — a corrupt record must fail loudly instead.
+      char* end = nullptr;
+      const double v = std::strtod(token.c_str(), &end);
+      MBTS_CHECK_MSG(end != token.c_str() && *end == '\0',
+                     "SWF line " + std::to_string(line_number) + ", field " +
+                         std::to_string(values.size() + 1) +
+                         ": malformed number '" + token + "'");
+      values.push_back(v);
+    }
     if (values.empty()) continue;
     MBTS_CHECK_MSG(values.size() >= 5,
                    "SWF line " + std::to_string(line_number) +
@@ -67,7 +79,6 @@ Trace load_swf(std::istream& in, const SwfImportOptions& options,
         break;
     }
     trace.tasks.push_back(task);
-    if (options.limit > 0 && trace.tasks.size() >= options.limit) break;
   }
 
   // SWF files are submit-ordered in practice, but the spec does not require
@@ -76,6 +87,11 @@ Trace load_swf(std::istream& in, const SwfImportOptions& options,
                    [](const Task& a, const Task& b) {
                      return a.arrival < b.arrival;
                    });
+  // The limit truncates *after* sorting, so a limited import is the prefix
+  // of the full sorted trace — cutting mid-file before the sort would keep
+  // late arrivals that happen to appear early in the file.
+  if (options.limit > 0 && trace.tasks.size() > options.limit)
+    trace.tasks.resize(options.limit);
   const std::string problem = validate_trace(trace);
   MBTS_CHECK_MSG(problem.empty(), "invalid SWF trace: " + problem);
   return trace;

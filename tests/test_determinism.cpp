@@ -3,9 +3,13 @@
 // recorded experiment in EXPERIMENTS.md relies on.
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "experiments/figures.hpp"
 #include "experiments/runner.hpp"
 #include "market/market.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "workload/presets.hpp"
 
 namespace mbts {
@@ -143,6 +147,150 @@ TEST(Determinism, MarketRunIsBitStable) {
   EXPECT_EQ(a.total_revenue, b.total_revenue);
   EXPECT_EQ(a.awarded, b.awarded);
   EXPECT_EQ(a.site_revenue, b.site_revenue);
+}
+
+TEST(Determinism, TelemetryDoesNotChangeRunOutcomes) {
+  // The observability layer observes; it must never perturb. A run with
+  // trace + metrics attached has to produce the exact stats of a bare run.
+  const WorkloadSpec spec = presets::admission_mix(1.4, 800);
+  Xoshiro256 rng(11);
+  const Trace trace = generate_trace(spec, rng);
+  SchedulerConfig config;
+  config.processors = presets::kProcessors;
+  config.preemption = true;
+  config.discount_rate = 0.01;
+  const auto admission = SlackAdmissionConfig{120.0, false};
+
+  const RunStats bare = run_single_site(
+      trace, config, PolicySpec::first_reward(0.3), admission);
+  TraceRecorder recorder;
+  MetricsRegistry metrics;
+  const RunStats observed =
+      run_single_site(trace, config, PolicySpec::first_reward(0.3), admission,
+                      Telemetry{&recorder, &metrics});
+
+  EXPECT_EQ(bare.total_yield, observed.total_yield);
+  EXPECT_EQ(bare.accepted, observed.accepted);
+  EXPECT_EQ(bare.rejected, observed.rejected);
+  EXPECT_EQ(bare.preemptions, observed.preemptions);
+  EXPECT_EQ(bare.dispatches, observed.dispatches);
+  EXPECT_EQ(bare.last_completion, observed.last_completion);
+  EXPECT_GT(recorder.size(), 0u);
+  // The cross-checkable counters agree with the run's own accounting.
+  EXPECT_EQ(metrics.counter("site0/completions").value(), observed.completed);
+  EXPECT_EQ(metrics.counter("site0/rejects").value(), observed.rejected);
+  EXPECT_EQ(metrics.counter("site0/preemptions").value(),
+            observed.preemptions);
+}
+
+TEST(Determinism, TraceIsByteIdenticalAcrossRuns) {
+  // Same seed, same build => the serialized trace is byte-identical, not
+  // merely equivalent. This is the observability determinism contract.
+  const WorkloadSpec spec = presets::admission_mix(1.4, 600);
+  Xoshiro256 rng(13);
+  const Trace trace = generate_trace(spec, rng);
+  SchedulerConfig config;
+  config.processors = presets::kProcessors;
+  config.preemption = true;
+  config.discount_rate = 0.01;
+
+  auto run_traced = [&] {
+    TraceRecorder recorder;
+    run_single_site(trace, config, PolicySpec::first_reward(0.3),
+                    SlackAdmissionConfig{120.0, false},
+                    Telemetry{&recorder, nullptr});
+    std::ostringstream bin, jsonl;
+    recorder.write_binary(bin);
+    recorder.write_jsonl(jsonl);
+    return std::make_pair(bin.str(), jsonl.str());
+  };
+  const auto a = run_traced();
+  const auto b = run_traced();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  EXPECT_GT(a.first.size(), 24u);  // header + at least one event
+}
+
+TEST(Determinism, MarketTraceIsByteIdenticalAcrossRuns) {
+  // The full economy — broker, sites, fault injector — traced end to end,
+  // including outages, breaches, retries, and rebids.
+  auto run_traced = [](TraceRecorder& recorder) {
+    MarketConfig config;
+    for (SiteId i = 0; i < 3; ++i) {
+      SiteAgentConfig sc;
+      sc.id = i;
+      sc.scheduler.processors = 8;
+      sc.scheduler.discount_rate = 0.01;
+      sc.policy = PolicySpec::first_reward(0.2);
+      sc.admission.threshold = 0.0;
+      config.sites.push_back(sc);
+    }
+    config.rng_seed = 99;
+    config.faults.outage_rate = 1.0 / 800.0;
+    config.faults.mean_outage = 150.0;
+    config.faults.quote_timeout_prob = 0.05;
+    Market market(config);
+    MetricsRegistry metrics;
+    market.attach_telemetry(&recorder, &metrics);
+    WorkloadSpec spec = presets::admission_mix(1.0, 500);
+    spec.processors = 24;
+    Xoshiro256 rng(5);
+    market.inject(generate_trace(spec, rng));
+    const MarketStats stats = market.run();
+    std::ostringstream bin;
+    recorder.write_binary(bin);
+    std::ostringstream csv;
+    metrics.write_csv(csv);
+    return std::make_tuple(bin.str(), csv.str(), stats.total_revenue);
+  };
+  TraceRecorder ra, rb;
+  const auto a = run_traced(ra);
+  const auto b = run_traced(rb);
+  EXPECT_EQ(std::get<0>(a), std::get<0>(b));
+  EXPECT_EQ(std::get<1>(a), std::get<1>(b));
+  EXPECT_EQ(std::get<2>(a), std::get<2>(b));
+  // The chaos run actually exercised the failure-path events.
+  bool saw_outage = false;
+  for (const TraceEvent& e : ra.events())
+    if (e.kind == TraceEventKind::kOutageDown) saw_outage = true;
+  EXPECT_TRUE(saw_outage);
+}
+
+TEST(Determinism, MarketTelemetryDoesNotChangeOutcomes) {
+  auto run = [](bool observed) {
+    MarketConfig config;
+    for (SiteId i = 0; i < 2; ++i) {
+      SiteAgentConfig sc;
+      sc.id = i;
+      sc.scheduler.processors = 8;
+      sc.scheduler.discount_rate = 0.01;
+      sc.policy = PolicySpec::first_reward(0.2);
+      sc.admission.threshold = 0.0;
+      config.sites.push_back(sc);
+    }
+    config.strategy = ClientStrategy::kRandom;  // exercises the broker rng
+    config.rng_seed = 31;
+    config.faults.outage_rate = 1.0 / 600.0;
+    config.faults.quote_timeout_prob = 0.03;
+    Market market(config);
+    TraceRecorder recorder;
+    MetricsRegistry metrics;
+    if (observed) market.attach_telemetry(&recorder, &metrics);
+    WorkloadSpec spec = presets::admission_mix(1.0, 400);
+    spec.processors = 16;
+    Xoshiro256 rng(5);
+    market.inject(generate_trace(spec, rng));
+    return market.run();
+  };
+  const MarketStats bare = run(false);
+  const MarketStats observed = run(true);
+  EXPECT_EQ(bare.total_revenue, observed.total_revenue);
+  EXPECT_EQ(bare.awarded, observed.awarded);
+  EXPECT_EQ(bare.site_revenue, observed.site_revenue);
+  EXPECT_EQ(bare.outages, observed.outages);
+  EXPECT_EQ(bare.quote_timeouts, observed.quote_timeouts);
+  EXPECT_EQ(bare.breached_contracts, observed.breached_contracts);
+  EXPECT_EQ(bare.retries, observed.retries);
 }
 
 TEST(Determinism, DifferentSeedsChangeResults) {

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -94,6 +99,54 @@ TEST(Histogram, AsciiRenderHasOneLinePerBin) {
 TEST(Histogram, InvalidConstructionThrows) {
   EXPECT_THROW(Histogram(1.0, 1.0, 4), CheckError);
   EXPECT_THROW(Histogram(0.0, 1.0, 0), CheckError);
+}
+
+// Regression: add(NaN) used to floor-and-cast NaN (undefined behaviour) and
+// corrupt a bin; NaNs must be tallied separately and never enter bins,
+// counts, or quantiles.
+TEST(Histogram, NanSamplesAreCountedNotBinned) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(5.0);
+  h.add(std::nan(""));
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.nan_count(), 2u);
+  std::size_t binned = 0;
+  for (std::size_t c : h.bins()) binned += c;
+  EXPECT_EQ(binned, 1u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  // Infinities are orderable and must still be accepted (clamped bins).
+  h.add(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.bins()[4], 1u);
+}
+
+// Regression for the lazy-sort data race: quantile()/cdf() are const but
+// used to sort the mutable values_ vector unguarded, so two concurrent
+// readers raced on the same buffer. Run under TSan this test failed before
+// the sort was serialized.
+TEST(Histogram, ConcurrentConstReadersAreRaceFree) {
+  Histogram h(0.0, 100.0, 10);
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 20000; ++i) h.add(rng.uniform(0.0, 100.0));
+
+  const Histogram& shared = h;
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&shared, t] {
+      for (int i = 0; i < 50; ++i) {
+        const double q = shared.quantile(0.25 + 0.01 * (t + 1));
+        const double c = shared.cdf(50.0 + t);
+        EXPECT_GE(q, 0.0);
+        EXPECT_LE(q, 100.0);
+        EXPECT_GE(c, 0.0);
+        EXPECT_LE(c, 1.0);
+      }
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  // After the dust settles the order statistics are intact.
+  EXPECT_LE(shared.quantile(0.1), shared.quantile(0.9));
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <thread>
+#include <vector>
 
 namespace mbts {
 namespace {
@@ -69,6 +71,49 @@ TEST(Logging, StreamOperatorsDoNotEvaluateWhenDisabled) {
   };
   MBTS_DEBUG << expensive();
   EXPECT_EQ(calls, 0);
+}
+
+// Regression for the logger configuration races: enabled() reads the level
+// on every MBTS_LOG with no lock, and sweep threads log while a test
+// harness swaps sinks and levels. Level reads must be tear-free (atomic)
+// and a message must land entirely in one sink. Run under TSan this test
+// flagged the unsynchronized level before it became atomic.
+TEST(Logging, ConcurrentWritersAndReconfiguration) {
+  std::ostringstream sink_a, sink_b;
+  Logger::instance().set_sink(&sink_a);
+  Logger::instance().set_level(LogLevel::kInfo);
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([t] {
+      for (int i = 0; i < 200; ++i)
+        MBTS_INFO << "w" << t << " line " << i << " end";
+    });
+  }
+  std::thread reconfigurer([&] {
+    for (int i = 0; i < 100; ++i) {
+      Logger::instance().set_sink(i % 2 ? &sink_b : &sink_a);
+      Logger::instance().set_level(i % 3 ? LogLevel::kInfo
+                                         : LogLevel::kWarn);
+    }
+    Logger::instance().set_level(LogLevel::kInfo);
+  });
+  for (std::thread& t : writers) t.join();
+  reconfigurer.join();
+  Logger::instance().set_sink(nullptr);
+  Logger::instance().set_level(LogLevel::kInfo);
+
+  // Every emitted line is whole: "[INFO] w<t> line <i> end\n" never
+  // interleaves with another message in either sink.
+  for (const std::ostringstream* sink : {&sink_a, &sink_b}) {
+    std::istringstream lines(sink->str());
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.empty()) continue;
+      EXPECT_EQ(line.rfind("[INFO] w", 0), 0u) << line;
+      EXPECT_EQ(line.substr(line.size() - 4), " end") << line;
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,127 @@
+// MetricsRegistry instruments, scoping, CSV export determinism, and the
+// profiler's on/off contract.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/profile.hpp"
+
+namespace mbts {
+namespace {
+
+TEST(Metrics, CounterAccumulates) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("dispatches");
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+  // Same name resolves to the same instrument.
+  EXPECT_EQ(&reg.counter("dispatches"), &c);
+  EXPECT_EQ(reg.counter("dispatches").value(), 5u);
+}
+
+TEST(Metrics, GaugeTracksLastAndMax) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("depth");
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(g.max(), 0.0);
+  g.set(3.0);
+  g.set(10.0);
+  g.set(-2.0);
+  EXPECT_EQ(g.value(), -2.0);
+  EXPECT_EQ(g.max(), 10.0);
+}
+
+TEST(Metrics, GaugeMaxWorksForAllNegativeValues) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("g");
+  g.set(-5.0);
+  g.set(-9.0);
+  EXPECT_EQ(g.max(), -5.0);
+}
+
+TEST(Metrics, HistogramSharedByName) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("delay", 0.0, 100.0, 10);
+  h.add(50.0);
+  EXPECT_EQ(&reg.histogram("delay", 0.0, 100.0, 10), &h);
+  EXPECT_EQ(reg.histogram("delay", 0.0, 100.0, 10).count(), 1u);
+  EXPECT_EQ(reg.instruments(), 1u);
+}
+
+TEST(Metrics, ScopePrefixesNames) {
+  MetricsRegistry reg;
+  MetricsScope site0(reg, "site0");
+  MetricsScope site1(reg, "site1");
+  site0.counter("starts").add(2);
+  site1.counter("starts").add(7);
+  EXPECT_EQ(reg.counter("site0/starts").value(), 2u);
+  EXPECT_EQ(reg.counter("site1/starts").value(), 7u);
+  MetricsScope root(reg, "");
+  EXPECT_EQ(&root.counter("starts"), &reg.counter("starts"));
+}
+
+TEST(Metrics, CsvIsDeterministicAndComplete) {
+  auto build = [] {
+    MetricsRegistry reg;
+    reg.counter("z/count").add(3);
+    reg.counter("a/count").add(1);
+    reg.gauge("depth").set(4.0);
+    Histogram& h = reg.histogram("delay", 0.0, 10.0, 5);
+    for (double x : {1.0, 5.0, 9.0}) h.add(x);
+    std::ostringstream out;
+    reg.write_csv(out);
+    return out.str();
+  };
+  const std::string a = build();
+  EXPECT_EQ(a, build());
+
+  EXPECT_NE(a.find("name,kind,count,value,p50,p90,p99"), std::string::npos);
+  EXPECT_NE(a.find("a/count,counter,1,1"), std::string::npos);
+  EXPECT_NE(a.find("z/count,counter,3,3"), std::string::npos);
+  EXPECT_NE(a.find("depth,gauge"), std::string::npos);
+  EXPECT_NE(a.find("depth/max,gauge"), std::string::npos);
+  EXPECT_NE(a.find("delay,histogram,3"), std::string::npos);
+  // Name order within a kind: "a/count" precedes "z/count".
+  EXPECT_LT(a.find("a/count"), a.find("z/count"));
+}
+
+TEST(Metrics, EmptyHistogramExportsWithoutQuantiles) {
+  MetricsRegistry reg;
+  reg.histogram("empty", 0.0, 1.0, 2);
+  std::ostringstream out;
+  reg.write_csv(out);
+  // Must not throw (quantile of an empty histogram would), and the row is
+  // present with a zero count.
+  EXPECT_NE(out.str().find("empty,histogram,0"), std::string::npos);
+}
+
+TEST(Profiler, DisabledScopesRecordNothing) {
+  Profiler::set_enabled(false);
+  Profiler::instance().reset();
+  {
+    MBTS_PROF_SCOPE("test/disabled");
+  }
+  EXPECT_TRUE(Profiler::instance().sections().empty());
+}
+
+TEST(Profiler, EnabledScopesAccumulate) {
+  Profiler::set_enabled(true);
+  Profiler::instance().reset();
+  for (int i = 0; i < 3; ++i) {
+    MBTS_PROF_SCOPE("test/enabled");
+  }
+  Profiler::set_enabled(false);
+  const auto sections = Profiler::instance().sections();
+  ASSERT_EQ(sections.size(), 1u);
+  EXPECT_EQ(sections[0].name, "test/enabled");
+  EXPECT_EQ(sections[0].calls, 3u);
+  const std::string report = Profiler::instance().report();
+  EXPECT_NE(report.find("test/enabled"), std::string::npos);
+  Profiler::instance().reset();
+}
+
+}  // namespace
+}  // namespace mbts

@@ -1,0 +1,149 @@
+// TraceRecorder: ring semantics, binary round-trip and byte identity,
+// JSONL stability, and the engine tap adapter.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/engine_tap.hpp"
+#include "sim/engine.hpp"
+#include "util/check.hpp"
+
+namespace mbts {
+namespace {
+
+TraceEvent make_event(double t, TraceEventKind kind, SiteId site, TaskId task,
+                      double a = 0.0, double b = 0.0) {
+  return TraceEvent{t, kind, site, task, a, b};
+}
+
+TEST(TraceRecorder, RecordsInOrder) {
+  TraceRecorder rec;
+  rec.record(1.0, TraceEventKind::kSubmit, 0, 10, 1.0);
+  rec.record(2.0, TraceEventKind::kStart, 0, 10);
+  rec.record(3.0, TraceEventKind::kComplete, 0, 10, 42.0, 0.5);
+  ASSERT_EQ(rec.size(), 3u);
+  EXPECT_EQ(rec.recorded(), 3u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  EXPECT_EQ(rec.at(0).kind, TraceEventKind::kSubmit);
+  EXPECT_EQ(rec.at(2).kind, TraceEventKind::kComplete);
+  EXPECT_EQ(rec.at(2).a, 42.0);
+}
+
+TEST(TraceRecorder, RingOverwritesOldestAndCountsDropped) {
+  TraceRecorder rec(TraceConfig{4});
+  for (int i = 0; i < 10; ++i)
+    rec.record(static_cast<double>(i), TraceEventKind::kDispatch, 0,
+               kInvalidTask, static_cast<double>(i));
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.capacity(), 4u);
+  EXPECT_EQ(rec.recorded(), 10u);
+  EXPECT_EQ(rec.dropped(), 6u);
+  // Oldest-first iteration yields the last four events in order.
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(rec.at(i).t, static_cast<double>(6 + i));
+  EXPECT_THROW(rec.at(4), CheckError);
+}
+
+TEST(TraceRecorder, ClearResets) {
+  TraceRecorder rec(TraceConfig{2});
+  rec.record(1.0, TraceEventKind::kStart, 0, 1);
+  rec.record(2.0, TraceEventKind::kStart, 0, 2);
+  rec.record(3.0, TraceEventKind::kStart, 0, 3);
+  rec.clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.recorded(), 0u);
+  rec.record(9.0, TraceEventKind::kComplete, 1, 7);
+  EXPECT_EQ(rec.at(0).t, 9.0);
+}
+
+TEST(TraceRecorder, BinaryRoundTrip) {
+  TraceRecorder rec;
+  rec.record(make_event(0.125, TraceEventKind::kSubmit, 3, 17, -1.5, 2.25));
+  rec.record(make_event(7.5, TraceEventKind::kAward, kNoSite, kInvalidTask));
+  rec.record(make_event(-3.0, TraceEventKind::kOutageDown, 0, 0, 1e300,
+                        -1e-300));
+  std::ostringstream out;
+  rec.write_binary(out);
+  std::istringstream in(out.str());
+  const std::vector<TraceEvent> parsed = TraceRecorder::read_binary(in);
+  ASSERT_EQ(parsed.size(), 3u);
+  for (std::size_t i = 0; i < parsed.size(); ++i)
+    EXPECT_EQ(parsed[i], rec.at(i)) << "event " << i;
+}
+
+TEST(TraceRecorder, BinaryWriteIsByteIdenticalForEqualSequences) {
+  auto fill = [](TraceRecorder& rec) {
+    for (int i = 0; i < 100; ++i)
+      rec.record(0.5 * i, static_cast<TraceEventKind>(i % 26),
+                 static_cast<SiteId>(i % 3), static_cast<TaskId>(i),
+                 1.0 / (i + 1), -static_cast<double>(i));
+  };
+  TraceRecorder a, b;
+  fill(a);
+  fill(b);
+  std::ostringstream oa, ob;
+  a.write_binary(oa);
+  b.write_binary(ob);
+  EXPECT_EQ(oa.str(), ob.str());
+}
+
+TEST(TraceRecorder, JsonlIsStableAndWellFormed) {
+  TraceRecorder rec;
+  rec.record(1.5, TraceEventKind::kComplete, 2, 42, 0.1, -7.0);
+  rec.record(2.0, TraceEventKind::kBid, kNoSite, 9, 3.0);
+  std::ostringstream a, b;
+  rec.write_jsonl(a);
+  rec.write_jsonl(b);
+  EXPECT_EQ(a.str(), b.str());
+  const std::string text = a.str();
+  EXPECT_NE(text.find("\"kind\":\"complete\""), std::string::npos);
+  EXPECT_NE(text.find("\"site\":2"), std::string::npos);
+  EXPECT_NE(text.find("\"task\":42"), std::string::npos);
+  // Absent site renders as -1, not as the sentinel bit pattern.
+  EXPECT_NE(text.find("\"site\":-1"), std::string::npos);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+}
+
+TEST(TraceRecorder, ReadRejectsGarbage) {
+  std::istringstream bad_magic("NOTATRACEFILE###################");
+  EXPECT_THROW(TraceRecorder::read_binary(bad_magic), CheckError);
+
+  TraceRecorder rec;
+  rec.record(1.0, TraceEventKind::kStart, 0, 1);
+  std::ostringstream out;
+  rec.write_binary(out);
+  const std::string full = out.str();
+  std::istringstream truncated(full.substr(0, full.size() - 5));
+  EXPECT_THROW(TraceRecorder::read_binary(truncated), CheckError);
+}
+
+TEST(EngineTap, RecordsScheduleExecuteCancel) {
+  SimEngine engine;
+  TraceRecorder rec;
+  EngineTap tap(engine, rec);
+  engine.set_observer(&tap);
+
+  int fired = 0;
+  engine.schedule_at(1.0, EventPriority::kArrival, [&] { ++fired; });
+  const EventId cancelled =
+      engine.schedule_at(2.0, EventPriority::kArrival, [&] { ++fired; });
+  engine.cancel(cancelled);
+  engine.run();
+  engine.set_observer(nullptr);
+
+  ASSERT_EQ(fired, 1);
+  std::size_t schedules = 0, cancels = 0, executes = 0;
+  for (const TraceEvent& e : rec.events()) {
+    if (e.kind == TraceEventKind::kEvtSchedule) ++schedules;
+    if (e.kind == TraceEventKind::kEvtCancel) ++cancels;
+    if (e.kind == TraceEventKind::kEvtExecute) ++executes;
+  }
+  EXPECT_EQ(schedules, 2u);
+  EXPECT_EQ(cancels, 1u);
+  EXPECT_EQ(executes, 1u);
+}
+
+}  // namespace
+}  // namespace mbts

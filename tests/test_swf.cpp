@@ -83,6 +83,26 @@ TEST(Swf, LimitTruncates) {
   EXPECT_EQ(load_swf(in, options, rng).size(), 2u);
 }
 
+// Regression: the limit used to cut the raw file mid-read, before the
+// arrival sort, so an out-of-order file kept whichever jobs appeared first
+// in the file rather than the earliest arrivals. The limited import must be
+// the prefix of the full sorted trace.
+TEST(Swf, LimitAppliesAfterArrivalSort) {
+  const char* out_of_order =
+      "1 90 0 10 1 -1 -1 1 -1 -1 1 1 1 1 -1 -1 -1 -1\n"
+      "2 80 0 10 1 -1 -1 1 -1 -1 1 1 1 1 -1 -1 -1 -1\n"
+      "3 5 0 10 1 -1 -1 1 -1 -1 1 1 1 1 -1 -1 -1 -1\n"
+      "4 10 0 10 1 -1 -1 1 -1 -1 1 1 1 1 -1 -1 -1 -1\n";
+  std::istringstream in(out_of_order);
+  Xoshiro256 rng(1);
+  SwfImportOptions options = default_options();
+  options.limit = 2;
+  const Trace trace = load_swf(in, options, rng);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.tasks[0].arrival, 5.0);
+  EXPECT_EQ(trace.tasks[1].arrival, 10.0);
+}
+
 TEST(Swf, OutOfOrderSubmitsAreSorted) {
   std::istringstream in(
       "2 50 0 10 1 -1 -1 1 -1 -1 1 1 1 1 -1 -1 -1 -1\n"
@@ -100,6 +120,32 @@ TEST(Swf, ShortLineThrows) {
   Xoshiro256 rng(1);
   SwfImportOptions options = default_options();
   EXPECT_THROW(load_swf(in, options, rng), CheckError);
+}
+
+// Regression: `stream >> double` stops extracting at the first malformed
+// token, so "4 garbage ..." used to silently truncate the line to one field
+// (masked as a short-line error at best, wrong fields at worst). A corrupt
+// record must fail loudly, naming the line.
+TEST(Swf, MalformedFieldThrowsWithLineNumber) {
+  std::istringstream in(
+      "1 0 5 100 4 -1 -1 4 -1 -1 1 1 1 1 -1 -1 -1 -1\n"
+      "2 10 0 50 oops -1 -1 2 -1 -1 1 1 1 1 -1 -1 -1 -1\n");
+  Xoshiro256 rng(1);
+  try {
+    load_swf(in, default_options(), rng);
+    FAIL() << "malformed field did not throw";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("oops"), std::string::npos) << what;
+  }
+}
+
+TEST(Swf, PartialNumberTokenThrows) {
+  // "50x" parses a prefix under strtod; full-token consumption must reject.
+  std::istringstream in("1 0 5 50x 4 -1 -1 4 -1 -1 1 1 1 1 -1 -1 -1 -1\n");
+  Xoshiro256 rng(1);
+  EXPECT_THROW(load_swf(in, default_options(), rng), CheckError);
 }
 
 TEST(Swf, MissingFileThrows) {

@@ -1,0 +1,97 @@
+// trace_view's library core: filters, kind parsing, and the pretty/summary
+// renderings pinned golden (the CLI is a thin shell over these).
+#include "obs/trace_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.hpp"
+
+namespace mbts {
+namespace {
+
+std::vector<TraceEvent> sample_events() {
+  return {
+      TraceEvent{0.0, TraceEventKind::kSubmit, 0, 1, 0.0, 0.0},
+      TraceEvent{0.0, TraceEventKind::kAdmitAccept, 0, 1, 125.5, 80.25},
+      TraceEvent{5.0, TraceEventKind::kStart, 0, 1, 0.0, 0.0},
+      TraceEvent{42.5, TraceEventKind::kComplete, 0, 1, 300.0, 12.5},
+      TraceEvent{50.0, TraceEventKind::kBid, kNoSite, 2, 3.0, 0.0},
+      TraceEvent{50.0, TraceEventKind::kAward, 1, 2, 99.0, 75.0},
+  };
+}
+
+TEST(TraceFormat, KindNamesRoundTrip) {
+  for (std::uint32_t k = 0;
+       k <= static_cast<std::uint32_t>(TraceEventKind::kEvtExecute); ++k) {
+    const auto kind = static_cast<TraceEventKind>(k);
+    const auto parsed = parse_event_kind(to_string(kind));
+    ASSERT_TRUE(parsed.has_value()) << to_string(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(parse_event_kind("no_such_kind").has_value());
+  EXPECT_FALSE(parse_event_kind("").has_value());
+}
+
+TEST(TraceFormat, FormatEventGolden) {
+  EXPECT_EQ(format_trace_event(
+                TraceEvent{42.5, TraceEventKind::kComplete, 0, 1, 300.0,
+                           12.5}),
+            "[     42.500000] complete      site=0 task=1 a=300 b=12.5");
+  // Events without a site/task subject omit those columns.
+  EXPECT_EQ(format_trace_event(TraceEvent{50.0, TraceEventKind::kBid, kNoSite,
+                                          2, 3.0, 0.0}),
+            "[     50.000000] bid           task=2 a=3 b=0");
+  EXPECT_EQ(format_trace_event(TraceEvent{1.0, TraceEventKind::kDispatch, 2,
+                                          kInvalidTask, 4.0, 3.0}),
+            "[      1.000000] dispatch      site=2 a=4 b=3");
+}
+
+TEST(TraceFormat, SummaryGolden) {
+  EXPECT_EQ(summarize_trace(sample_events()),
+            "6 events over t=[0, 50]\n"
+            "by kind:\n"
+            "  submit                 1\n"
+            "  admit_accept           1\n"
+            "  start                  1\n"
+            "  complete               1\n"
+            "  bid                    1\n"
+            "  award                  1\n"
+            "by site:\n"
+            "  site0                  4\n"
+            "  site1                  1\n");
+  EXPECT_EQ(summarize_trace({}), "empty trace (0 events)\n");
+}
+
+TEST(TraceFormat, FilterByKindSiteTaskAndTime) {
+  const std::vector<TraceEvent> events = sample_events();
+
+  TraceFilter by_kind;
+  by_kind.kind = TraceEventKind::kComplete;
+  EXPECT_EQ(filter_trace(events, by_kind).size(), 1u);
+
+  TraceFilter by_site;
+  by_site.site = 0;
+  EXPECT_EQ(filter_trace(events, by_site).size(), 4u);
+
+  TraceFilter by_task;
+  by_task.task = 2;
+  EXPECT_EQ(filter_trace(events, by_task).size(), 2u);
+
+  TraceFilter window;
+  window.t_from = 5.0;   // inclusive
+  window.t_to = 50.0;    // exclusive
+  const auto in_window = filter_trace(events, window);
+  ASSERT_EQ(in_window.size(), 2u);
+  EXPECT_EQ(in_window[0].kind, TraceEventKind::kStart);
+  EXPECT_EQ(in_window[1].kind, TraceEventKind::kComplete);
+
+  TraceFilter conjunctive;
+  conjunctive.site = 0;
+  conjunctive.kind = TraceEventKind::kSubmit;
+  EXPECT_EQ(filter_trace(events, conjunctive).size(), 1u);
+
+  EXPECT_EQ(filter_trace(events, TraceFilter{}).size(), events.size());
+}
+
+}  // namespace
+}  // namespace mbts

@@ -1,0 +1,91 @@
+// Inspector for binary traces written by TraceRecorder::write_binary.
+//
+//   trace_view run.trace                      # pretty-print every event
+//   trace_view run.trace --summary            # counts + time span digest
+//   trace_view run.trace --kind=complete      # filter by event kind
+//   trace_view run.trace --site=0 --from=100 --to=200
+//   trace_view run.trace --jsonl              # re-emit as JSONL
+//
+// All output is deterministic for a given trace file, so CI can golden it.
+#include <fstream>
+#include <iostream>
+
+#include "obs/trace.hpp"
+#include "obs/trace_format.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mbts;
+
+  CliParser cli("trace_view",
+                "filter, pretty-print, and summarize binary run traces");
+  cli.add_flag("kind", "", "only events of this kind (e.g. complete, award)");
+  cli.add_flag("site", "-1", "only events of this site id");
+  cli.add_flag("task", "-1", "only events of this task id");
+  cli.add_flag("from", "", "only events at t >= this (inclusive)");
+  cli.add_flag("to", "", "only events at t < this (exclusive)");
+  cli.add_flag("limit", "0", "print at most N events (0 = all)");
+  cli.add_flag("summary", "false", "print a digest instead of events");
+  cli.add_flag("jsonl", "false", "emit matching events as JSONL");
+  if (!cli.parse(argc, argv)) return 1;
+  if (cli.positional().size() != 1) {
+    std::cerr << "trace_view: expected exactly one trace file\n"
+              << cli.usage();
+    return 1;
+  }
+
+  TraceFilter filter;
+  if (!cli.get_string("kind").empty()) {
+    filter.kind = parse_event_kind(cli.get_string("kind"));
+    if (!filter.kind) {
+      std::cerr << "trace_view: unknown event kind '"
+                << cli.get_string("kind") << "'\n";
+      return 1;
+    }
+  }
+  if (cli.get_int("site") >= 0)
+    filter.site = static_cast<SiteId>(cli.get_int("site"));
+  if (cli.get_int("task") >= 0)
+    filter.task = static_cast<TaskId>(cli.get_int("task"));
+  if (!cli.get_string("from").empty()) filter.t_from = cli.get_double("from");
+  if (!cli.get_string("to").empty()) filter.t_to = cli.get_double("to");
+
+  const std::string& path = cli.positional()[0];
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "trace_view: cannot open " << path << '\n';
+    return 1;
+  }
+
+  std::vector<TraceEvent> events;
+  try {
+    events = TraceRecorder::read_binary(in);
+  } catch (const CheckError& e) {
+    std::cerr << "trace_view: " << path << ": " << e.what() << '\n';
+    return 1;
+  }
+  events = filter_trace(events, filter);
+
+  if (cli.get_bool("summary")) {
+    std::cout << summarize_trace(events);
+    return 0;
+  }
+
+  const auto limit = static_cast<std::size_t>(cli.get_int("limit"));
+  std::size_t shown = 0;
+  if (cli.get_bool("jsonl")) {
+    TraceRecorder out;
+    for (const TraceEvent& e : events) {
+      out.record(e);
+      if (limit != 0 && ++shown >= limit) break;
+    }
+    out.write_jsonl(std::cout);
+    return 0;
+  }
+  for (const TraceEvent& e : events) {
+    std::cout << format_trace_event(e) << '\n';
+    if (limit != 0 && ++shown >= limit) break;
+  }
+  return 0;
+}
