@@ -1,0 +1,34 @@
+// Shared main() for the microbenchmarks: standard google-benchmark startup
+// plus an "mbts_build_type" custom context key reporting how the *app* code
+// was compiled. The stock "library_build_type" context only describes the
+// google-benchmark library itself — a debug libbenchmark makes every JSON
+// say "debug" even for a -O3 app build, which is exactly how a debug-build
+// baseline once got committed. tools/bench_*.sh gate on this key instead.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+namespace mbts_bench {
+
+inline const char* build_type() {
+#if defined(__OPTIMIZE__) && defined(NDEBUG)
+  return "release";
+#elif defined(__OPTIMIZE__)
+  return "optimized-with-asserts";
+#else
+  return "debug";
+#endif
+}
+
+}  // namespace mbts_bench
+
+#define MBTS_BENCHMARK_MAIN()                                          \
+  int main(int argc, char** argv) {                                    \
+    benchmark::AddCustomContext("mbts_build_type",                     \
+                                mbts_bench::build_type());             \
+    benchmark::Initialize(&argc, argv);                                \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;  \
+    benchmark::RunSpecifiedBenchmarks();                               \
+    benchmark::Shutdown();                                             \
+    return 0;                                                          \
+  }

@@ -1,7 +1,15 @@
 // Microbenchmarks for the discrete-event engine: schedule/run throughput
 // and cancellation overhead.
+//
+// The BM_* benchmarks below run on a default-constructed engine (the
+// process-default queue backend) and keep their historical names so
+// BENCH_dispatch.json baselines stay comparable. The BM_Backend* family
+// sweeps both queue backends explicitly across the three churn mixes that
+// separate them — schedule-heavy, cancel-heavy, strided run_until — and
+// feeds BENCH_event_queue.json (tools/bench_event_queue.sh).
 #include <benchmark/benchmark.h>
 
+#include "bench_main.hpp"
 #include "sim/engine.hpp"
 #include "util/rng.hpp"
 
@@ -98,6 +106,118 @@ void BM_RunUntilStrided(benchmark::State& state) {
 }
 BENCHMARK(BM_RunUntilStrided)->Arg(1000)->Arg(10000);
 
+// --- Explicit backend sweeps (arg 0: events, arg 1: QueueBackend) ----------
+
+mbts::QueueBackend backend_arg(const benchmark::State& state) {
+  return static_cast<mbts::QueueBackend>(state.range(1));
+}
+
+// Pure schedule/pop throughput, no cancellation: the tombstone heap's best
+// case (no skimming) and the indexed heap's overhead floor (heap_pos upkeep
+// with nothing to show for it).
+void BM_BackendScheduleHeavy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  mbts::Xoshiro256 rng(7);
+  std::vector<double> times(n);
+  for (auto& t : times) t = rng.uniform(0.0, 1e6);
+  for (auto _ : state) {
+    mbts::SimEngine engine{backend_arg(state)};
+    std::uint64_t fired = 0;
+    for (double t : times)
+      engine.schedule_at(t, mbts::EventPriority::kControl,
+                         [&fired] { ++fired; });
+    engine.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_BackendScheduleHeavy)
+    ->ArgsProduct({{1000, 10000}, {0, 1}})
+    ->ArgNames({"n", "backend"});
+
+// 90% of events cancelled before firing: tombstone sweeps vs indexed
+// in-place removal — the mix the indexed backend exists for.
+void BM_BackendCancelHeavy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  mbts::Xoshiro256 rng(13);
+  std::vector<double> times(n);
+  for (auto& t : times) t = rng.uniform(0.0, 1e6);
+  for (auto _ : state) {
+    mbts::SimEngine engine{backend_arg(state)};
+    std::uint64_t fired = 0;
+    std::vector<mbts::EventId> ids;
+    ids.reserve(n);
+    for (double t : times)
+      ids.push_back(engine.schedule_at(t, mbts::EventPriority::kCompletion,
+                                       [&fired] { ++fired; }));
+    for (std::size_t i = 0; i < n; ++i)
+      if (i % 10 != 0) engine.cancel(ids[i]);
+    engine.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_BackendCancelHeavy)
+    ->ArgsProduct({{1000, 10000}, {0, 1}})
+    ->ArgNames({"n", "backend"});
+
+// Bounded-horizon drains with half the events cancelled: tombstones
+// routinely surface at the heap top during the horizon check; the indexed
+// backend never has any to skim.
+void BM_BackendRunUntilStrided(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  mbts::Xoshiro256 rng(29);
+  std::vector<double> times(n);
+  for (auto& t : times) t = rng.uniform(0.0, 1e6);
+  for (auto _ : state) {
+    mbts::SimEngine engine{backend_arg(state)};
+    std::uint64_t fired = 0;
+    std::vector<mbts::EventId> ids;
+    ids.reserve(n);
+    for (double t : times)
+      ids.push_back(engine.schedule_at(t, mbts::EventPriority::kControl,
+                                       [&fired] { ++fired; }));
+    for (std::size_t i = 0; i < n; i += 2) engine.cancel(ids[i]);
+    for (int step = 1; step <= 100; ++step)
+      engine.run_until(1e6 * step / 100.0);
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_BackendRunUntilStrided)
+    ->ArgsProduct({{1000, 10000}, {0, 1}})
+    ->ArgNames({"n", "backend"});
+
+// Typed-event hot path: the engine's native POD payload dispatch with no
+// std::function in sight — the steady-state shape of scheduler completion
+// and dispatch traffic.
+void BM_BackendTypedEvents(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  mbts::Xoshiro256 rng(31);
+  std::vector<double> times(n);
+  for (auto& t : times) t = rng.uniform(0.0, 1e6);
+  std::uint64_t fired = 0;
+  for (auto _ : state) {
+    mbts::SimEngine engine{backend_arg(state)};
+    engine.register_handler(
+        mbts::EventKind::kProbe,
+        [](mbts::SimEngine&, const mbts::EventPayload& payload) {
+          ++*static_cast<std::uint64_t*>(payload.target);
+        });
+    mbts::EventPayload payload;
+    payload.target = &fired;
+    for (double t : times)
+      engine.schedule_event(t, mbts::EventPriority::kControl,
+                            mbts::EventKind::kProbe, payload);
+    engine.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_BackendTypedEvents)
+    ->ArgsProduct({{1000, 10000}, {0, 1}})
+    ->ArgNames({"n", "backend"});
+
 }  // namespace
 
-BENCHMARK_MAIN();
+MBTS_BENCHMARK_MAIN()

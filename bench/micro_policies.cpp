@@ -3,6 +3,8 @@
 // aggregate, while the bounded (Eq. 4) path is O(n) per task.
 #include <benchmark/benchmark.h>
 
+#include "bench_main.hpp"
+
 #include "core/metrics.hpp"
 #include "core/policy.hpp"
 #include "workload/generator.hpp"
@@ -76,4 +78,4 @@ BENCHMARK(BM_FirstRewardBounded)->Range(64, 1024);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+MBTS_BENCHMARK_MAIN()

@@ -2,6 +2,8 @@
 // single-site simulation throughput (tasks scheduled per second).
 #include <benchmark/benchmark.h>
 
+#include "bench_main.hpp"
+
 #include "core/schedule.hpp"
 #include "experiments/runner.hpp"
 #include "workload/presets.hpp"
@@ -137,4 +139,4 @@ BENCHMARK(BM_QuoteBacklog)->Unit(benchmark::kMicrosecond)->Arg(1000)->Arg(10000)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+MBTS_BENCHMARK_MAIN()

@@ -1,6 +1,8 @@
 // Microbenchmarks for the RNG and trace generation substrate.
 #include <benchmark/benchmark.h>
 
+#include "bench_main.hpp"
+
 #include "util/rng.hpp"
 #include "workload/generator.hpp"
 #include "workload/presets.hpp"
@@ -42,4 +44,4 @@ BENCHMARK(BM_MillenniumTrace);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+MBTS_BENCHMARK_MAIN()

@@ -32,6 +32,34 @@ SiteScheduler::SiteScheduler(SimEngine& engine, SchedulerConfig config,
   mix_.set_discount_rate(config_.discount_rate);
   policy_cacheable_ = policy_->cacheable();
   admission_reads_suffix_ = admission_->reads_ranked_suffix();
+  engine_.register_handler(EventKind::kTaskCompletion,
+                           &SiteScheduler::handle_completion);
+  engine_.register_handler(EventKind::kDispatch,
+                           &SiteScheduler::handle_dispatch);
+  engine_.register_handler(EventKind::kTaskArrival,
+                           &SiteScheduler::handle_arrival);
+}
+
+void SiteScheduler::handle_completion(SimEngine& engine,
+                                      const EventPayload& payload) {
+  (void)engine;
+  static_cast<SiteScheduler*>(payload.target)
+      ->on_completion(static_cast<TaskId>(payload.a));
+}
+
+void SiteScheduler::handle_dispatch(SimEngine& engine,
+                                    const EventPayload& payload) {
+  (void)engine;
+  auto& self = *static_cast<SiteScheduler*>(payload.target);
+  self.dispatch_pending_ = false;
+  self.dispatch();
+}
+
+void SiteScheduler::handle_arrival(SimEngine& engine,
+                                   const EventPayload& payload) {
+  (void)engine;
+  auto& self = *static_cast<SiteScheduler*>(payload.target);
+  self.submit(self.injected_tasks_[static_cast<std::size_t>(payload.a)]);
 }
 
 void SiteScheduler::set_telemetry(TraceRecorder* trace,
@@ -230,7 +258,22 @@ SiteScheduler::TaskState& SiteScheduler::acquire_state() {
   if (!free_states_.empty()) {
     TaskState& ts = *free_states_.back();
     free_states_.pop_back();
-    ts = TaskState{};
+    // Field-wise reset that keeps ts.task alive: the caller copy-assigns the
+    // new task into it next, reusing the old value-function capacity. A
+    // `ts = TaskState{}` here would reallocate those buffers on every
+    // recycle (the default Task carries a one-segment value function).
+    ts.record = nullptr;
+    ts.executed = 0.0;
+    ts.running = false;
+    ts.segment_start = 0;
+    ts.completion_event = 0;
+    ts.cached_score = 0.0;
+    ts.score_cache = ScoreCache{};
+    ts.score_cache_now = -kInf;
+    ts.score_cache_rpt = -1.0;
+    ts.mix_slot = 0;
+    ts.queue_rpt = 0.0;
+    ts.queue_pos = 0;
     return ts;
   }
   states_.push_back(TaskState{});
@@ -459,16 +502,20 @@ void SiteScheduler::preload(std::span<const Task> tasks) {
 void SiteScheduler::request_dispatch() {
   if (dispatch_pending_ || down_) return;
   dispatch_pending_ = true;
-  engine_.schedule_after(0.0, EventPriority::kDispatch, [this] {
-    dispatch_pending_ = false;
-    dispatch();
-  });
+  EventPayload payload;
+  payload.target = this;
+  engine_.schedule_event_after(0.0, EventPriority::kDispatch,
+                               EventKind::kDispatch, payload);
 }
 
 void SiteScheduler::inject(std::span<const Task> trace) {
   for (const Task& task : trace) {
-    engine_.schedule_at(task.arrival, EventPriority::kArrival,
-                        [this, task] { submit(task); });
+    EventPayload payload;
+    payload.target = this;
+    payload.a = injected_tasks_.size();
+    injected_tasks_.push_back(task);
+    engine_.schedule_event(task.arrival, EventPriority::kArrival,
+                           EventKind::kTaskArrival, payload);
   }
 }
 
@@ -478,10 +525,12 @@ void SiteScheduler::start_task(TaskState& ts) {
   ts.running = true;
   ts.segment_start = engine_.now();
   if (ts.record->first_start < 0.0) ts.record->first_start = engine_.now();
-  const TaskId id = ts.task.id;
+  EventPayload payload;
+  payload.target = this;
+  payload.a = ts.task.id;
   ts.completion_event =
-      engine_.schedule_after(remaining(ts), EventPriority::kCompletion,
-                             [this, id] { on_completion(id); });
+      engine_.schedule_event_after(remaining(ts), EventPriority::kCompletion,
+                                   EventKind::kTaskCompletion, payload);
   erase_pending(ts);
   push_running(ts);
   if (ts.record->outcome == TaskOutcome::kPending)

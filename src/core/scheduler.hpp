@@ -230,6 +230,14 @@ class SiteScheduler {
     bool running;
   };
 
+  // Typed-event handlers. payload.target is the scheduler; for completions
+  // payload.a is the task id, for arrivals it indexes injected_tasks_ (a
+  // stable arena — deque slots never move, satisfying the payload lifetime
+  // rule).
+  static void handle_completion(SimEngine& engine, const EventPayload& payload);
+  static void handle_dispatch(SimEngine& engine, const EventPayload& payload);
+  static void handle_arrival(SimEngine& engine, const EventPayload& payload);
+
   /// Coalesces dispatch work: all arrivals and completions at one instant
   /// settle first (kArrival/kCompletion events), then a single kDispatch
   /// event ranks the whole mix. Without this, the first of a batch of
@@ -316,6 +324,9 @@ class SiteScheduler {
   /// O(n) repair instead of O(n log n) from scratch.
   std::vector<TaskState*> rank_order_;
   std::deque<TaskRecord> records_;
+  /// Arena for inject()ed trace tasks: arrival events carry an index into
+  /// this deque instead of a task copy in a heap-allocated closure.
+  std::deque<Task> injected_tasks_;
 
   // Scratch buffers reused across dispatches and quotes so the hot path
   // allocates nothing in steady state.

@@ -68,6 +68,19 @@ Broker::Broker(std::vector<SiteAgent*> sites, ClientStrategy strategy,
 void Broker::enable_retries(SimEngine& engine, const RetryPolicy& retry) {
   engine_ = &engine;
   retry_ = retry;
+  engine_->register_handler(EventKind::kBrokerRetry, &Broker::handle_retry);
+}
+
+void Broker::handle_retry(SimEngine& engine, const EventPayload& payload) {
+  (void)engine;
+  auto& self = *static_cast<Broker*>(payload.target);
+  const auto slot_index = static_cast<std::uint32_t>(payload.a);
+  // The slab deque gives the slot a stable address, so the bid reference
+  // stays valid even when attempt() schedules a further retry and claims a
+  // fresh slot; this slot is only recyclable after attempt() returns.
+  const RetrySlot& slot = self.retry_slab_[slot_index];
+  self.attempt(slot.bid, slot.round, slot.rebid);
+  self.free_retries_.push_back(slot_index);
 }
 
 NegotiationResult Broker::negotiate(const Bid& bid) {
@@ -111,10 +124,23 @@ void Broker::attempt(const Bid& bid, std::size_t round, bool is_rebid) {
     if (trace_ != nullptr)
       trace_->record(trace_now(bid), TraceEventKind::kRetry, kNoSite,
                      bid.task.id, static_cast<double>(round + 2), delay);
-    engine_->schedule_after(delay, EventPriority::kArrival,
-                            [this, bid, round, is_rebid] {
-                              attempt(bid, round + 1, is_rebid);
-                            });
+    std::uint32_t slot_index;
+    if (!free_retries_.empty()) {
+      slot_index = free_retries_.back();
+      free_retries_.pop_back();
+    } else {
+      slot_index = static_cast<std::uint32_t>(retry_slab_.size());
+      retry_slab_.emplace_back();
+    }
+    RetrySlot& slot = retry_slab_[slot_index];
+    slot.bid = bid;
+    slot.round = static_cast<std::uint32_t>(round + 1);
+    slot.rebid = is_rebid;
+    EventPayload payload;
+    payload.target = this;
+    payload.a = slot_index;
+    engine_->schedule_event_after(delay, EventPriority::kArrival,
+                                  EventKind::kBrokerRetry, payload);
     return;  // history records the final round only
   }
 

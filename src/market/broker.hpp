@@ -6,6 +6,8 @@
 // one exchange suffices.
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <optional>
 #include <string>
 #include <vector>
@@ -139,6 +141,19 @@ class Broker {
   std::size_t re_awards() const { return re_awards_; }
 
  private:
+  /// One backoff retry in flight: the bid being renegotiated plus the round
+  /// it resumes at. Slots live in a slab deque (stable addresses) and are
+  /// recycled through a free list once their retry round has fired.
+  struct RetrySlot {
+    Bid bid;
+    std::uint32_t round = 0;
+    bool rebid = false;
+  };
+
+  /// Typed-event handler (EventKind::kBrokerRetry): payload.target is the
+  /// broker, payload.a the retry_slab_ slot.
+  static void handle_retry(SimEngine& engine, const EventPayload& payload);
+
   /// One poll-select-award round; no history side effects.
   NegotiationResult negotiate_round(const Bid& bid);
   void attempt(const Bid& bid, std::size_t round, bool is_rebid);
@@ -155,6 +170,8 @@ class Broker {
   FaultInjector* injector_ = nullptr;
   TraceRecorder* trace_ = nullptr;
   Xoshiro256 rng_;
+  std::deque<RetrySlot> retry_slab_;
+  std::vector<std::uint32_t> free_retries_;
   std::vector<NegotiationResult> history_;
   std::size_t retries_ = 0;
   std::size_t rebids_ = 0;

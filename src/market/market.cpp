@@ -22,6 +22,25 @@ Market::Market(MarketConfig config) : config_(std::move(config)) {
   // Retries are armed unconditionally: without unavailable quotes the retry
   // branch is unreachable, so fault-free runs are unaffected.
   broker_->enable_retries(engine_, config_.retry);
+  engine_.register_handler(EventKind::kMarketBid, &Market::handle_bid);
+  engine_.register_handler(EventKind::kMarketRebid, &Market::handle_rebid);
+}
+
+void Market::handle_bid(SimEngine& engine, const EventPayload& payload) {
+  (void)engine;
+  auto& self = *static_cast<Market*>(payload.target);
+  self.broker_->submit(self.injected_bids_[static_cast<std::size_t>(payload.a)]);
+}
+
+void Market::handle_rebid(SimEngine& engine, const EventPayload& payload) {
+  (void)engine;
+  auto& self = *static_cast<Market*>(payload.target);
+  const auto slot = static_cast<std::uint32_t>(payload.a);
+  // Resubmit from the slab slot, then recycle it. The deque gives slots
+  // stable addresses, so the bid stays valid even if resubmit() triggers
+  // further rebids that claim fresh slots.
+  self.broker_->resubmit(self.rebid_slab_[slot]);
+  self.free_rebids_.push_back(slot);
 }
 
 void Market::attach_telemetry(TraceRecorder* trace, MetricsRegistry* metrics) {
@@ -35,13 +54,14 @@ void Market::inject(const Trace& trace, ClientId client) {
   for (const Task& task : trace.tasks) {
     ++bids_;
     last_arrival_ = std::max(last_arrival_, task.arrival);
-    engine_.schedule_at(task.arrival, EventPriority::kArrival,
-                        [this, task, client] {
-                          Bid bid;
-                          bid.client = client;
-                          bid.task = task;
-                          broker_->submit(bid);
-                        });
+    EventPayload payload;
+    payload.target = this;
+    payload.a = injected_bids_.size();
+    Bid& bid = injected_bids_.emplace_back();
+    bid.client = client;
+    bid.task = task;
+    engine_.schedule_event(task.arrival, EventPriority::kArrival,
+                           EventKind::kMarketBid, payload);
   }
 }
 
@@ -55,13 +75,25 @@ void Market::on_site_down(std::size_t site_index) {
     ledger_.try_charge(breach.client, breach.task.arrival,
                        -breach.agreed_price);
     if (config_.retry.rebid_on_breach) {
-      Bid bid;
+      std::uint32_t slot;
+      if (!free_rebids_.empty()) {
+        slot = free_rebids_.back();
+        free_rebids_.pop_back();
+      } else {
+        slot = static_cast<std::uint32_t>(rebid_slab_.size());
+        rebid_slab_.emplace_back();
+      }
+      Bid& bid = rebid_slab_[slot];
       bid.client = breach.client;
       bid.task = breach.task;
+      EventPayload payload;
+      payload.target = this;
+      payload.a = slot;
       // One base_delay of detection latency before the task goes back to
       // market — the client has to notice the breach first.
-      engine_.schedule_after(config_.retry.base_delay, EventPriority::kArrival,
-                             [this, bid] { broker_->resubmit(bid); });
+      engine_.schedule_event_after(config_.retry.base_delay,
+                                   EventPriority::kArrival,
+                                   EventKind::kMarketRebid, payload);
     }
   }
 }

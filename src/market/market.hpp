@@ -7,6 +7,8 @@
 // degenerate one-site case driven directly through SiteScheduler.
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <vector>
@@ -84,6 +86,11 @@ class Market {
   const FaultInjector* fault_injector() const { return injector_.get(); }
 
  private:
+  // Typed-event handlers. payload.target is the market; payload.a indexes
+  // injected_bids_ (kMarketBid) or rebid_slab_ (kMarketRebid).
+  static void handle_bid(SimEngine& engine, const EventPayload& payload);
+  static void handle_rebid(SimEngine& engine, const EventPayload& payload);
+
   /// Down-hook: crash the site, settle breaches, refund and re-bid them.
   void on_site_down(std::size_t site_index);
 
@@ -94,6 +101,13 @@ class Market {
   std::unique_ptr<Broker> broker_;
   std::unique_ptr<FaultInjector> injector_;
   TraceRecorder* trace_ = nullptr;
+  /// Arena for inject()ed bids: arrival events carry an index into this
+  /// deque (stable slots) instead of a heap-allocated closure per bid.
+  std::deque<Bid> injected_bids_;
+  /// Slab for in-flight breach re-bids, recycled through the free list once
+  /// the re-bid round has fired.
+  std::deque<Bid> rebid_slab_;
+  std::vector<std::uint32_t> free_rebids_;
   std::size_t bids_ = 0;
   SimTime last_arrival_ = 0.0;
 };

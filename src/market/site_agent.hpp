@@ -6,6 +6,7 @@
 // actual completion once the run drains.
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <optional>
 #include <string>
@@ -86,7 +87,11 @@ class SiteAgent {
   std::size_t breaches() const { return breaches_; }
 
   const SiteScheduler& scheduler() const { return *scheduler_; }
-  const std::vector<Contract>& contracts() const { return contracts_; }
+  /// Deque, not vector: contracts accumulate for the whole run and a deque
+  /// grows block-by-block without relocating (or copying) the arena — award
+  /// paths touch only the tail block, and references handed out (e.g. to
+  /// settlement loops) stay stable.
+  const std::deque<Contract>& contracts() const { return contracts_; }
 
   /// Fills settlement fields from the scheduler's records; call after the
   /// engine drains (or any time — unfinished contracts stay unsettled).
@@ -99,7 +104,7 @@ class SiteAgent {
   SimEngine& engine_;
   SiteAgentConfig config_;
   std::unique_ptr<SiteScheduler> scheduler_;
-  std::vector<Contract> contracts_;
+  std::deque<Contract> contracts_;
   TraceRecorder* trace_ = nullptr;
   std::size_t breaches_ = 0;
 };

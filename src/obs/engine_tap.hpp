@@ -23,7 +23,8 @@ class EngineTap final : public EventObserver {
   EngineTap(const SimEngine& engine, TraceRecorder& trace)
       : engine_(engine), trace_(trace) {}
 
-  void on_schedule(EventId id, double t, int priority) override {
+  void on_schedule(EventId id, double t, int priority,
+                   EventKind /*kind*/) override {
     // Scheduling happens at engine_.now(); `t` is the fire time (payload).
     trace_.record(engine_.now(), TraceEventKind::kEvtSchedule, kNoSite, id,
                   static_cast<double>(priority), t);
@@ -31,7 +32,8 @@ class EngineTap final : public EventObserver {
   void on_cancel(EventId id) override {
     trace_.record(engine_.now(), TraceEventKind::kEvtCancel, kNoSite, id);
   }
-  void on_execute(EventId id, double t, int priority) override {
+  void on_execute(EventId id, double t, int priority,
+                  EventKind /*kind*/) override {
     trace_.record(t, TraceEventKind::kEvtExecute, kNoSite, id,
                   static_cast<double>(priority));
   }

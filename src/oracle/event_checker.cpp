@@ -18,7 +18,8 @@ void EventOrderChecker::violation(const std::string& message) {
   if (violations_.size() < kMaxViolations) violations_.push_back(message);
 }
 
-void EventOrderChecker::on_schedule(EventId id, double t, int priority) {
+void EventOrderChecker::on_schedule(EventId id, double t, int priority,
+                                    EventKind kind) {
   for (const Pending& p : pending_) {
     if (p.id == id) {
       std::ostringstream os;
@@ -34,7 +35,7 @@ void EventOrderChecker::on_schedule(EventId id, double t, int priority) {
        << clock_;
     violation(os.str());
   }
-  pending_.push_back(Pending{id, t, priority});
+  pending_.push_back(Pending{id, t, priority, kind});
 }
 
 void EventOrderChecker::on_cancel(EventId id) {
@@ -49,7 +50,8 @@ void EventOrderChecker::on_cancel(EventId id) {
   violation(os.str());
 }
 
-void EventOrderChecker::on_execute(EventId id, double t, int priority) {
+void EventOrderChecker::on_execute(EventId id, double t, int priority,
+                                   EventKind kind) {
   // The executed event must exist, match its scheduled key, and be the
   // (t, priority, id) minimum of everything outstanding.
   std::size_t found = pending_.size();
@@ -75,6 +77,13 @@ void EventOrderChecker::on_execute(EventId id, double t, int priority) {
     os.precision(17);
     os << "event " << id << " executed with key (" << t << "," << priority
        << ") but scheduled as (" << p.t << "," << p.priority << ")";
+    violation(os.str());
+  }
+  if (p.kind != kind) {
+    std::ostringstream os;
+    os << "event " << id << " executed as kind "
+       << static_cast<int>(kind) << " but scheduled as kind "
+       << static_cast<int>(p.kind);
     violation(os.str());
   }
   if (best != found) {

@@ -3,9 +3,10 @@
 // Attach one to an engine (SimEngine::set_observer) and it replays the
 // exact schedule/cancel/execute stream through a naive reference queue — a
 // plain vector scanned linearly for the (time, priority, id) minimum. Every
-// executed event must be that minimum and the clock must be monotone;
-// anything else means the engine's binary heap, lazy-tombstone cancellation,
-// or compaction sweep dropped, duplicated, or reordered an event.
+// executed event must be that minimum, carry the EventKind it was scheduled
+// under, and the clock must be monotone; anything else means the active
+// queue backend (tombstoned binary heap or indexed 4-ary heap) dropped,
+// duplicated, retagged, or reordered an event.
 //
 // Violations are collected, not thrown, so a differential run can report
 // them alongside scheduler/market divergences.
@@ -21,9 +22,11 @@ namespace mbts::oracle {
 
 class EventOrderChecker : public EventObserver {
  public:
-  void on_schedule(EventId id, double t, int priority) override;
+  void on_schedule(EventId id, double t, int priority,
+                   EventKind kind) override;
   void on_cancel(EventId id) override;
-  void on_execute(EventId id, double t, int priority) override;
+  void on_execute(EventId id, double t, int priority,
+                  EventKind kind) override;
 
   const std::vector<std::string>& violations() const { return violations_; }
   std::uint64_t executed() const { return executed_; }
@@ -34,6 +37,7 @@ class EventOrderChecker : public EventObserver {
     EventId id;
     double t;
     int priority;
+    EventKind kind;
   };
 
   void violation(const std::string& message);

@@ -1,26 +1,94 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
 
 #include "util/check.hpp"
 
 namespace mbts {
-
 namespace {
-// Below this size a compaction sweep costs more than it saves.
-constexpr std::size_t kMinCompactSize = 64;
+
+// Process-wide default backend: -1 = not yet resolved from the environment.
+std::atomic<int> g_default_backend{-1};
+
+constexpr std::size_t kMinRingSize = 64;
+
 }  // namespace
 
-EventId SimEngine::schedule_at(double t, EventPriority priority, Callback cb) {
-  MBTS_CHECK_MSG(t >= now_, "cannot schedule event in the past");
-  MBTS_CHECK_MSG(static_cast<bool>(cb), "event callback must be callable");
-  const EventId id = next_seq_++;
-  state_.push_back(EventRecord{EventState::kPending, std::move(cb)});
-  heap_.push_back(Event{t, static_cast<int>(priority), id});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-  ++live_count_;
-  if (observer_) observer_->on_schedule(id, t, static_cast<int>(priority));
-  return id;
+std::string to_string(QueueBackend backend) {
+  switch (backend) {
+    case QueueBackend::kTombstone:
+      return "tombstone";
+    case QueueBackend::kIndexed:
+      return "indexed";
+  }
+  return "unknown";
+}
+
+QueueBackend SimEngine::default_backend() {
+  int cached = g_default_backend.load(std::memory_order_relaxed);
+  if (cached < 0) {
+    QueueBackend resolved = QueueBackend::kTombstone;
+    if (const char* env = std::getenv("MBTS_QUEUE_BACKEND")) {
+      const std::string_view name{env};
+      if (name == "indexed") {
+        resolved = QueueBackend::kIndexed;
+      } else {
+        MBTS_CHECK_MSG(name == "tombstone" || name.empty(),
+                       "MBTS_QUEUE_BACKEND must be 'tombstone' or 'indexed'");
+      }
+    }
+    cached = static_cast<int>(resolved);
+    g_default_backend.store(cached, std::memory_order_relaxed);
+  }
+  return static_cast<QueueBackend>(cached);
+}
+
+void SimEngine::set_default_backend(QueueBackend backend) {
+  g_default_backend.store(static_cast<int>(backend), std::memory_order_relaxed);
+}
+
+SimEngine::SimEngine() : SimEngine(default_backend()) {}
+
+SimEngine::SimEngine(QueueBackend backend) : backend_(backend) {
+  records_.resize(kMinRingSize);
+  ring_mask_ = kMinRingSize - 1;
+  register_handler(EventKind::kClosure, &SimEngine::run_closure);
+}
+
+void SimEngine::register_handler(EventKind kind, EventHandler handler) {
+  MBTS_CHECK_MSG(handler != nullptr, "null event handler");
+  const auto slot = static_cast<std::size_t>(kind);
+  MBTS_CHECK(slot < kNumEventKinds);
+  MBTS_CHECK_MSG(handlers_[slot] == nullptr || handlers_[slot] == handler,
+                 "conflicting handler registered for this EventKind");
+  handlers_[slot] = handler;
+}
+
+void SimEngine::grow_ring() {
+  // Duplicating the old ring into both halves of the doubled one re-seats
+  // every record: id & (2n-1) is either id & (n-1) or that plus n, and both
+  // slots now hold id's old record. Two straight memcpys instead of a
+  // masked per-record loop.
+  static_assert(std::is_trivially_copyable_v<EventRecord>);
+  const std::size_t old_size = records_.size();
+  records_.resize(old_size * 2);
+  std::memcpy(records_.data() + old_size, records_.data(),
+              old_size * sizeof(EventRecord));
+  ring_mask_ = records_.size() - 1;
+}
+
+EventId SimEngine::schedule_event_after(double delay, EventPriority priority,
+                                        EventKind kind,
+                                        const EventPayload& payload) {
+  MBTS_CHECK_MSG(delay >= 0.0, "negative delay");
+  return schedule_event(now_ + delay, priority, kind, payload);
 }
 
 EventId SimEngine::schedule_after(double delay, EventPriority priority,
@@ -29,97 +97,59 @@ EventId SimEngine::schedule_after(double delay, EventPriority priority,
   return schedule_at(now_ + delay, priority, std::move(cb));
 }
 
-void SimEngine::retire(EventId id) {
-  MBTS_DCHECK(id >= state_base_);
-  record_of(id).status = EventState::kDone;
-  while (!state_.empty() && state_.front().status == EventState::kDone) {
-    state_.pop_front();
-    ++state_base_;
-  }
-}
-
-bool SimEngine::cancel(EventId id) {
-  if (id >= next_seq_ || state_of(id) != EventState::kPending) return false;
-  EventRecord& record = record_of(id);
-  record.status = EventState::kCancelled;
-  // The callback is released eagerly; only the 24-byte heap key stays as a
-  // tombstone. It is dropped when it surfaces, or in bulk once tombstones
-  // dominate. The live count reflects real work immediately so
-  // empty()/pending() stay truthful.
-  record.cb = nullptr;
-  MBTS_DCHECK(live_count_ > 0);
-  --live_count_;
-  ++tombstones_;
-  if (observer_) observer_->on_cancel(id);
-  if (tombstones_ > heap_.size() / 2 && heap_.size() >= kMinCompactSize)
-    compact();
-  return true;
-}
-
 void SimEngine::compact() {
-  const auto keep = std::remove_if(heap_.begin(), heap_.end(), [&](Event& ev) {
-    if (state_of(ev.id) != EventState::kCancelled) return false;
-    retire(ev.id);
-    return true;
-  });
-  heap_.erase(keep, heap_.end());
-  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  // Heap order is random with respect to ids, so every status lookup is a
+  // scattered read into the record ring; prefetching a few entries ahead
+  // hides that latency behind the scan itself.
+  const std::size_t n = heap_.size();
+  constexpr std::size_t kAhead = 16;
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+#if defined(__GNUC__)
+    if (i + kAhead < n) __builtin_prefetch(&record_of(id_of(heap_[i + kAhead])));
+#endif
+    const EventId id = id_of(heap_[i]);
+    if (state_of(id) != EventState::kCancelled) {
+      heap_[out++] = heap_[i];
+    } else {
+      retire(id);
+    }
+  }
+  heap_.resize(out);
+  // Floyd heapify: sift down every internal node, deepest first.
+  if (heap_.size() > 1) {
+    for (std::size_t i = (heap_.size() - 2) / 4 + 1; i-- > 0;) {
+      sift_down<false>(i);
+    }
+  }
   tombstones_ = 0;
 }
 
-const SimEngine::Event* SimEngine::peek_next() {
-  while (!heap_.empty()) {
-    const Event& top = heap_.front();
-    if (state_of(top.id) != EventState::kCancelled) return &top;
-    retire(top.id);
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
-    MBTS_DCHECK(tombstones_ > 0);
-    --tombstones_;
-  }
-  return nullptr;
+void SimEngine::run_closure(SimEngine& engine, const EventPayload& payload) {
+  const auto slot = static_cast<std::uint32_t>(payload.a);
+  // Move the callback out before invoking: the body may schedule new
+  // closures, which recycles the slot (the move leaves it empty).
+  Callback cb = std::move(engine.closures_[slot]);
+  engine.free_closures_.push_back(slot);
+  cb();
 }
 
 double SimEngine::run() {
-  Callback cb;
   while (const Event* next = peek_next()) {
-    MBTS_DCHECK(next->t >= now_);
-    now_ = next->t;
-    const EventId id = next->id;
-    const int priority = next->priority;
-    cb = std::move(record_of(id).cb);
-    retire(id);
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
-    --live_count_;
-    ++executed_;
-    if (observer_) observer_->on_execute(id, now_, priority);
-    cb();
+    execute(*next);
   }
   return now_;
 }
 
 double SimEngine::run_until(double t_end) {
   MBTS_CHECK(t_end >= now_);
-  Callback cb;
   // Horizon check happens on the next *live* event: peek_next first skims
   // cancelled tombstones off the heap top, so a cancelled event at t <= t_end
   // can never smuggle a pending event with t > t_end past the boundary (the
   // old behavior executed it and then yanked the clock backwards to t_end).
   while (const Event* next = peek_next()) {
     if (next->t > t_end) break;
-    MBTS_DCHECK(next->t >= now_);
-    now_ = next->t;
-    const EventId id = next->id;
-    const int priority = next->priority;
-    cb = std::move(record_of(id).cb);
-    retire(id);
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
-    --live_count_;
-    ++executed_;
-    if (observer_) observer_->on_execute(id, now_, priority);
-    cb();
+    execute(*next);
   }
   now_ = t_end;
   return now_;

@@ -1,26 +1,54 @@
 // Deterministic discrete-event simulation engine.
 //
-// Events are (time, priority, sequence, callback) tuples ordered by time,
-// then priority (lower first), then insertion sequence, so simultaneous
-// events execute in a well-defined order and runs are bit-reproducible.
+// Events are (time, priority, sequence) keys ordered by time, then priority
+// (lower first), then insertion sequence, so simultaneous events execute in
+// a well-defined order and runs are bit-reproducible.
 //
 // Priorities matter for correctness of the task service: a completion at
 // time t must free its processor before an arrival at t is scheduled, or the
 // arrival would wrongly observe a full cluster.
 //
-// Cancellation is lazy: a cancelled event stays in the heap as a tombstone
-// and is dropped when it reaches the top. When tombstones outnumber live
-// events the heap is compacted in one O(n) sweep, so preemption-heavy
-// million-event runs stay bounded in both heap size and per-event cost.
-// Per-event lifecycle state lives in a sliding window over event ids whose
-// retired prefix is reclaimed as events fire, so memory tracks the number of
-// *outstanding* events rather than the number ever scheduled.
+// The core is allocation-free in steady state:
+//
+//  - Events are *typed*: a scheduled event is an (EventKind, EventPayload)
+//    pair — a tagged POD of at most three machine words — dispatched through
+//    a fixed per-engine handler table. Subsystems (scheduler, market,
+//    broker, fault injector, probe) register one handler function per kind
+//    and point payloads at arena-backed state instead of heap-allocating a
+//    closure per event. A type-erased `std::function` path (EventKind::
+//    kClosure) remains for tests and tools; its closures live in a slab
+//    with free-list reuse, so even that path stops allocating once warm.
+//  - Per-event lifecycle records live in a power-of-two ring buffer indexed
+//    by event id; the retired prefix is reclaimed as events fire, so memory
+//    tracks the number of *outstanding* events and the buffer is reused
+//    forever once it has grown to the high-water mark.
+//  - The priority queue is a 4-ary min-heap of 16-byte entries (time plus a
+//    packed priority|sequence key): four children share one cache line and
+//    the tree is half the height of a binary heap, so sift-downs — the cost
+//    of every pop — touch half the lines. Cancellation is a pluggable
+//    backend (QueueBackend):
+//      * kTombstone — lazy cancellation: a cancelled event stays buried as
+//        a 16-byte tombstone and is dropped when it surfaces, or in one
+//        O(n) sweep once tombstones outnumber live events. O(1) cancel,
+//        heap size bounded by 2x live.
+//      * kIndexed — tracks each event's heap slot in its lifecycle record,
+//        giving true O(log n) in-place cancellation and a tombstone-free
+//        heap, at the price of a back-pointer update per sift step.
+//    Both backends pop the exact (time, priority, id) minimum, so event
+//    order — and therefore every seeded run — is bit-identical across them;
+//    the stats_fingerprint goldens and diff_fuzz enforce that per backend.
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
+#include <utility>
 #include <vector>
+
+#include "util/check.hpp"
 
 namespace mbts {
 
@@ -35,32 +63,106 @@ enum class EventPriority : int {
   kControl = 20,    // periodic probes, snapshots
 };
 
+/// Semantic kind of a typed event; selects the handler that runs it. Kinds
+/// group into the six event families of the simulator (completion, fault,
+/// arrival, dispatch, control/probe, retry-after-quote-timeout) plus the
+/// type-erased closure fallback.
+enum class EventKind : std::uint8_t {
+  kClosure = 0,      // slab-backed std::function (tests, tools, examples)
+  kTaskCompletion,   // SiteScheduler: task `a` finished on site `target`
+  kDispatch,         // SiteScheduler: coalesced dispatch pass
+  kTaskArrival,      // SiteScheduler::inject: submit arena task `a`
+  kMarketBid,        // Market::inject: broker negotiation of arena bid `a`
+  kBrokerRetry,      // Broker: backoff retry round for retry slot `a`
+  kMarketRebid,      // Market: re-bid of breached-contract slot `a`
+  kFaultDown,        // FaultInjector: outage `a` begins
+  kFaultUp,          // FaultInjector: outage `a` ends
+  kProbe,            // PeriodicProbe sample
+};
+inline constexpr std::size_t kNumEventKinds = 10;
+
+/// POD argument block of a typed event. `target` is the handler's context
+/// (the subsystem object that scheduled it); `a`/`b` are kind-specific
+/// scalars — a task id, an arena slot, a flag word. Payloads are copied into
+/// the engine's record ring, so they must stay valid by value: pointers in
+/// payloads must outlive the event (arena rule: see DESIGN.md §6).
+struct EventPayload {
+  void* target = nullptr;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
 /// Handle for cancelling a scheduled event.
 using EventId = std::uint64_t;
+
+class SimEngine;
+
+/// One entry in the fixed handler table: runs a typed event. Handlers are
+/// plain functions (no state beyond the payload and their target object), so
+/// dispatch is one indexed load and an indirect call.
+using EventHandler = void (*)(SimEngine&, const EventPayload&);
+
+/// Event-queue implementation backing a SimEngine (see file comment).
+enum class QueueBackend : std::uint8_t {
+  kTombstone = 0,  // binary heap + lazy tombstone cancellation (default)
+  kIndexed = 1,    // indexed 4-ary heap, O(log n) in-place cancellation
+};
+
+std::string to_string(QueueBackend backend);
 
 /// Observation hook over the engine's event lifecycle. A differential
 /// checker (src/oracle/event_checker.hpp) attaches one to replay the exact
 /// schedule/cancel/execute stream through a naive reference queue and assert
-/// the heap + tombstone + compaction machinery popped the true minimum every
-/// time. Detached (the default) the engine pays one null-pointer test per
-/// operation.
+/// the active queue backend popped the true minimum every time, with the
+/// kind it was scheduled under. Detached (the default) the engine pays one
+/// null-pointer test per operation.
 class EventObserver {
  public:
   virtual ~EventObserver() = default;
-  virtual void on_schedule(EventId id, double t, int priority) = 0;
+  virtual void on_schedule(EventId id, double t, int priority,
+                           EventKind kind) = 0;
   virtual void on_cancel(EventId id) = 0;
-  virtual void on_execute(EventId id, double t, int priority) = 0;
+  virtual void on_execute(EventId id, double t, int priority,
+                          EventKind kind) = 0;
 };
 
 class SimEngine {
  public:
   using Callback = std::function<void()>;
 
+  /// Uses the process-wide default backend (MBTS_QUEUE_BACKEND env var or
+  /// set_default_backend; tombstone when unset).
+  SimEngine();
+  explicit SimEngine(QueueBackend backend);
+
+  /// The backend new engines default to. Resolved once from the
+  /// MBTS_QUEUE_BACKEND environment variable ("tombstone" | "indexed");
+  /// set_default_backend overrides it programmatically (tests sweep both).
+  static QueueBackend default_backend();
+  static void set_default_backend(QueueBackend backend);
+
+  QueueBackend backend() const { return backend_; }
+
   double now() const { return now_; }
   std::uint64_t events_executed() const { return executed_; }
   std::uint64_t events_scheduled() const { return next_seq_; }
 
-  /// Schedules cb at absolute time t (>= now). Returns a cancellation id.
+  /// Registers the handler for a typed event kind. Idempotent: registering
+  /// the same function again is a no-op; registering a *different* function
+  /// for an occupied kind throws (two subsystems fighting over a kind).
+  void register_handler(EventKind kind, EventHandler handler);
+
+  /// Schedules a typed event at absolute time t (>= now). The kind's
+  /// handler must already be registered. Returns a cancellation id.
+  EventId schedule_event(double t, EventPriority priority, EventKind kind,
+                         const EventPayload& payload);
+
+  /// Schedules a typed event after a delay (>= 0).
+  EventId schedule_event_after(double delay, EventPriority priority,
+                               EventKind kind, const EventPayload& payload);
+
+  /// Schedules cb at absolute time t (>= now) through the slab-backed
+  /// closure path. Returns a cancellation id.
   EventId schedule_at(double t, EventPriority priority, Callback cb);
 
   /// Schedules cb after a delay (>= 0).
@@ -84,63 +186,316 @@ class SimEngine {
   /// observer is not owned and must outlive the engine or be detached first.
   void set_observer(EventObserver* observer) { observer_ = observer; }
 
-  /// Cancelled events still buried in the heap (observability/testing).
+  /// Cancelled events still buried in the heap (always 0 on the indexed
+  /// backend, which removes in place).
   std::size_t tombstones() const { return tombstones_; }
   /// Heap slots currently allocated, live + tombstones (observability).
   std::size_t heap_size() const { return heap_.size(); }
 
  private:
-  /// Heap entries are plain 24-byte keys (the id doubles as the insertion
-  /// sequence); the callback lives in the state window instead, so heap
-  /// sifts move PODs rather than std::function objects.
+  /// Heap entries are 16-byte keys: the time plus priority and sequence id
+  /// packed into one word (priority in the top 16 bits, id in the low 48),
+  /// so the (priority, id) tie-break is a single integer compare and a
+  /// 4-ary node's children fill exactly one cache line. Kind and payload
+  /// live in the record ring instead, so heap sifts move PODs.
   struct Event {
     double t;
-    int priority;
-    EventId id;
+    std::uint64_t key;  // (priority << kSeqBits) | id
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      if (a.priority != b.priority) return a.priority > b.priority;
-      return a.id > b.id;
-    }
-  };
+  static constexpr unsigned kSeqBits = 48;
+  static constexpr std::uint64_t kSeqMask = (std::uint64_t{1} << kSeqBits) - 1;
+  static EventId id_of(const Event& ev) { return ev.key & kSeqMask; }
+  static int priority_of(const Event& ev) {
+    return static_cast<int>(ev.key >> kSeqBits);
+  }
+  /// Strict (t, priority, id) order — the execution order both backends pop.
+  static bool sooner(const Event& a, const Event& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.key < b.key;
+  }
 
-  enum class EventState : unsigned char { kPending, kCancelled, kDone };
+  enum class EventState : std::uint8_t { kPending, kCancelled, kDone };
+  static constexpr std::uint32_t kNoHeapPos = 0xFFFFFFFFu;
+
+  /// Per-event lifecycle record: trivially copyable, lives in the id ring.
   struct EventRecord {
+    EventPayload payload;
+    std::uint32_t heap_pos = kNoHeapPos;  // indexed backend only
+    EventKind kind = EventKind::kClosure;
     EventState status = EventState::kPending;
-    Callback cb;
   };
 
-  /// Drops cancelled tombstones off the heap top; returns the next live
-  /// event (still owned by the heap) or nullptr when drained.
+  /// Drops cancelled tombstones off the heap top (tombstone backend);
+  /// returns the next live event (still owned by the heap) or nullptr when
+  /// drained.
   const Event* peek_next();
+  /// Removes the event peek_next returned from the heap.
+  void pop_top();
   /// Removes all tombstones and re-heapifies (O(n)); called when tombstones
-  /// exceed half the heap.
+  /// exceed half the heap (tombstone backend only).
   void compact();
+
+  // 4-ary min-heap primitives, shared by both backends. kTrackPos mirrors
+  // each entry's slot into its record (indexed backend) so cancellation can
+  // find it; the tombstone backend instantiates the no-write variant.
+  template <bool kTrackPos>
+  void place(std::size_t pos, const Event& ev);
+  template <bool kTrackPos>
+  void sift_up(std::size_t pos);
+  template <bool kTrackPos>
+  void sift_down(std::size_t pos);
+  /// Removes heap_[pos], restoring heap order and back-pointers (kIndexed).
+  void idx_remove(std::size_t pos);
 
   EventState state_of(EventId id) const {
     return id < state_base_
                ? EventState::kDone
-               : state_[static_cast<std::size_t>(id - state_base_)].status;
+               : records_[static_cast<std::size_t>(id) & ring_mask_].status;
   }
   EventRecord& record_of(EventId id) {
-    return state_[static_cast<std::size_t>(id - state_base_)];
+    return records_[static_cast<std::size_t>(id) & ring_mask_];
   }
+  /// Doubles the record ring, re-seating live records at their new slots.
+  void grow_ring();
   /// Marks an event finished and reclaims the retired prefix of the window.
   void retire(EventId id);
+  /// Releases a cancelled closure's slab slot (the callback is destroyed
+  /// eagerly, exactly like the pre-typed engine released its std::function).
+  void release_if_closure(EventRecord& record);
 
+  /// The executed-event tail of run()/run_until(): pops the peeked top,
+  /// retires the record, and dispatches through the handler table.
+  void execute(const Event& top);
+
+  static void run_closure(SimEngine& engine, const EventPayload& payload);
+
+  QueueBackend backend_;
   double now_ = 0.0;
   EventObserver* observer_ = nullptr;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::size_t live_count_ = 0;
   std::size_t tombstones_ = 0;
-  std::vector<Event> heap_;  // binary heap ordered by Later
+  std::vector<Event> heap_;  // 4-ary min-heap (sooner), both backends
+  std::array<EventHandler, kNumEventKinds> handlers_{};
+
   // Sliding per-event lifecycle window: the record of event id lives at
-  // state_[id - state_base_]; ids below state_base_ are all kDone.
-  std::deque<EventRecord> state_;
+  // records_[id & ring_mask_]; ids below state_base_ are all kDone. The ring
+  // holds next_seq_ - state_base_ <= records_.size() outstanding records.
+  std::vector<EventRecord> records_;
+  std::size_t ring_mask_ = 0;
   EventId state_base_ = 0;
+
+  // Closure slab (EventKind::kClosure): slots are recycled through the free
+  // list, so steady-state closure scheduling reuses warm std::functions. A
+  // deque so growth appends blocks without move-constructing every
+  // outstanding callback the way a vector reallocation would.
+  std::deque<Callback> closures_;
+  std::vector<std::uint32_t> free_closures_;
 };
+
+// --- Inline hot path --------------------------------------------------------
+//
+// schedule/cancel/pop are the per-event cost of every simulation run; they
+// live here so call sites across the tree (scheduler completions, market
+// bids, the benches) inline them instead of paying a call per event.
+
+template <bool kTrackPos>
+inline void SimEngine::place(std::size_t pos, const Event& ev) {
+  heap_[pos] = ev;
+  if constexpr (kTrackPos) {
+    record_of(id_of(ev)).heap_pos = static_cast<std::uint32_t>(pos);
+  }
+}
+
+template <bool kTrackPos>
+inline void SimEngine::sift_up(std::size_t pos) {
+  const Event ev = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 4;
+    if (!sooner(ev, heap_[parent])) break;
+    place<kTrackPos>(pos, heap_[parent]);
+    pos = parent;
+  }
+  place<kTrackPos>(pos, ev);
+}
+
+template <bool kTrackPos>
+inline void SimEngine::sift_down(std::size_t pos) {
+  const Event ev = heap_[pos];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first_child = pos * 4 + 1;
+    if (first_child >= n) break;
+    std::size_t best = first_child;
+    const std::size_t last_child = std::min(first_child + 4, n);
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (sooner(heap_[c], heap_[best])) best = c;
+    }
+    if (!sooner(heap_[best], ev)) break;
+    place<kTrackPos>(pos, heap_[best]);
+    pos = best;
+  }
+  place<kTrackPos>(pos, ev);
+}
+
+inline void SimEngine::idx_remove(std::size_t pos) {
+  MBTS_DCHECK(pos < heap_.size());
+  const Event last = heap_.back();
+  heap_.pop_back();
+  if (pos == heap_.size()) return;  // removed the tail entry itself
+  place<true>(pos, last);
+  sift_up<true>(pos);
+  sift_down<true>(record_of(id_of(last)).heap_pos);
+}
+
+inline void SimEngine::retire(EventId id) {
+  MBTS_DCHECK(id >= state_base_);
+  record_of(id).status = EventState::kDone;
+  // Reclaim the contiguous done prefix so the ring tracks outstanding
+  // events, not total events ever scheduled.
+  while (state_base_ < next_seq_ &&
+         record_of(state_base_).status == EventState::kDone) {
+    ++state_base_;
+  }
+}
+
+inline void SimEngine::release_if_closure(EventRecord& record) {
+  if (record.kind != EventKind::kClosure) return;
+  const auto slot = static_cast<std::uint32_t>(record.payload.a);
+  closures_[slot] = nullptr;  // destroy the captured state eagerly
+  free_closures_.push_back(slot);
+}
+
+inline EventId SimEngine::schedule_event(double t, EventPriority priority,
+                                         EventKind kind,
+                                         const EventPayload& payload) {
+  MBTS_CHECK_MSG(t >= now_, "cannot schedule event in the past");
+  MBTS_CHECK_MSG(handlers_[static_cast<std::size_t>(kind)] != nullptr,
+                 "no handler registered for this EventKind");
+  if (next_seq_ - state_base_ == records_.size()) grow_ring();
+  const EventId id = next_seq_++;
+  MBTS_DCHECK(id <= kSeqMask);
+  MBTS_DCHECK(static_cast<int>(priority) >= 0 &&
+              static_cast<int>(priority) < (1 << 16));
+  EventRecord& record = record_of(id);
+  record.payload = payload;
+  record.heap_pos = kNoHeapPos;
+  record.kind = kind;
+  record.status = EventState::kPending;
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(priority) << kSeqBits) | id;
+  heap_.push_back(Event{t, key});
+  if (backend_ == QueueBackend::kTombstone) {
+    sift_up<false>(heap_.size() - 1);
+  } else {
+    sift_up<true>(heap_.size() - 1);
+  }
+  ++live_count_;
+  if (observer_)
+    observer_->on_schedule(id, t, static_cast<int>(priority), kind);
+  return id;
+}
+
+inline EventId SimEngine::schedule_at(double t, EventPriority priority,
+                                      Callback cb) {
+  MBTS_CHECK_MSG(static_cast<bool>(cb), "event callback must be callable");
+  std::uint32_t slot;
+  if (!free_closures_.empty()) {
+    slot = free_closures_.back();
+    free_closures_.pop_back();
+    closures_[slot] = std::move(cb);
+  } else {
+    slot = static_cast<std::uint32_t>(closures_.size());
+    closures_.emplace_back(std::move(cb));
+  }
+  EventPayload payload;
+  payload.a = slot;
+  return schedule_event(t, priority, EventKind::kClosure, payload);
+}
+
+inline bool SimEngine::cancel(EventId id) {
+  if (id >= next_seq_ || state_of(id) != EventState::kPending) return false;
+  EventRecord& record = record_of(id);
+  // The callback (if any) is released eagerly; the live count reflects real
+  // work immediately so empty()/pending() stay truthful.
+  release_if_closure(record);
+  MBTS_DCHECK(live_count_ > 0);
+  --live_count_;
+  if (backend_ == QueueBackend::kTombstone) {
+    // Only the 16-byte heap key stays as a tombstone. It is dropped when it
+    // surfaces, or in bulk once tombstones dominate.
+    record.status = EventState::kCancelled;
+    ++tombstones_;
+    if (observer_) observer_->on_cancel(id);
+    // Sweep once tombstones reach two thirds of the heap: one linear pass
+    // retires them all, instead of each paying a full sift-down when it
+    // surfaces. peek_next has a second, lower-watermark trigger for drains.
+    if (3 * tombstones_ >= 2 * heap_.size() && heap_.size() >= 64) compact();
+  } else {
+    const std::uint32_t pos = record.heap_pos;
+    MBTS_DCHECK(pos != kNoHeapPos);
+    record.heap_pos = kNoHeapPos;
+    idx_remove(pos);
+    retire(id);
+    if (observer_) observer_->on_cancel(id);
+  }
+  return true;
+}
+
+inline const SimEngine::Event* SimEngine::peek_next() {
+  if (backend_ == QueueBackend::kIndexed) {
+    // No tombstones: the root is always live.
+    return heap_.empty() ? nullptr : heap_.data();
+  }
+  while (!heap_.empty()) {
+    const Event& top = heap_.front();
+    if (state_of(id_of(top)) != EventState::kCancelled) return &top;
+    // A tombstone surfaced. If they make up half the heap, one bulk sweep
+    // beats paying a root sift-down per tombstone as the drain skims them.
+    // (Sweeping never reorders live events, so pops are unaffected.)
+    if (2 * tombstones_ >= heap_.size() && heap_.size() >= 64) {
+      compact();
+      continue;
+    }
+    retire(id_of(top));
+    pop_top();
+    MBTS_DCHECK(tombstones_ > 0);
+    --tombstones_;
+  }
+  return nullptr;
+}
+
+inline void SimEngine::pop_top() {
+  MBTS_DCHECK(!heap_.empty());
+  if (backend_ == QueueBackend::kTombstone) {
+    const Event last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      heap_[0] = last;
+      sift_down<false>(0);
+    }
+  } else {
+    record_of(id_of(heap_.front())).heap_pos = kNoHeapPos;
+    idx_remove(0);
+  }
+}
+
+inline void SimEngine::execute(const Event& top) {
+  MBTS_DCHECK(top.t >= now_);
+  now_ = top.t;
+  const EventId id = id_of(top);
+  const int priority = priority_of(top);
+  const EventRecord& record = record_of(id);
+  const EventKind kind = record.kind;
+  // Copy before pop: the handler may schedule events and grow the ring.
+  const EventPayload payload = record.payload;
+  retire(id);
+  pop_top();
+  --live_count_;
+  ++executed_;
+  if (observer_) observer_->on_execute(id, now_, priority, kind);
+  handlers_[static_cast<std::size_t>(kind)](*this, payload);
+}
 
 }  // namespace mbts

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "obs/trace.hpp"
 #include "util/check.hpp"
@@ -82,35 +83,54 @@ FaultInjector::FaultInjector(SimEngine& engine, FaultPlan plan,
   MBTS_CHECK_MSG(problem.empty(), "invalid fault plan: " + problem);
 }
 
+void FaultInjector::handle_down(SimEngine& engine,
+                                const EventPayload& payload) {
+  auto& self = *static_cast<FaultInjector*>(payload.target);
+  const SiteOutage& outage =
+      self.plan_.outages[static_cast<std::size_t>(payload.a)];
+  MBTS_DCHECK(&engine == &self.engine_);
+  MBTS_DCHECK(!self.down_[outage.site]);
+  self.down_[outage.site] = true;
+  ++self.outages_started_;
+  if (self.trace_ != nullptr)
+    self.trace_->record(engine.now(), TraceEventKind::kOutageDown, outage.site,
+                        kInvalidTask, outage.up_at);
+  if (self.on_down_) self.on_down_(outage.site, outage);
+}
+
+void FaultInjector::handle_up(SimEngine& engine, const EventPayload& payload) {
+  auto& self = *static_cast<FaultInjector*>(payload.target);
+  const SiteOutage& outage =
+      self.plan_.outages[static_cast<std::size_t>(payload.a)];
+  MBTS_DCHECK(&engine == &self.engine_);
+  MBTS_DCHECK(self.down_[outage.site]);
+  self.down_[outage.site] = false;
+  if (self.trace_ != nullptr)
+    self.trace_->record(engine.now(), TraceEventKind::kOutageUp, outage.site,
+                        kInvalidTask, outage.down_at);
+  if (self.on_up_) self.on_up_(outage.site);
+}
+
 void FaultInjector::arm(DownHook on_down, UpHook on_up) {
   MBTS_CHECK_MSG(!armed_, "fault injector armed twice");
   armed_ = true;
+  on_down_ = std::move(on_down);
+  on_up_ = std::move(on_up);
+  engine_.register_handler(EventKind::kFaultDown, &FaultInjector::handle_down);
+  engine_.register_handler(EventKind::kFaultUp, &FaultInjector::handle_up);
   // Scheduling each outage's (down, up) pair in plan order gives recoveries
   // a lower sequence number than any same-instant later outage, so a site
   // whose outage touches the previous recovery (up_at == next down_at)
   // comes back up before it goes down again.
-  for (const SiteOutage& outage : plan_.outages) {
-    engine_.schedule_at(
-        outage.down_at, EventPriority::kFault, [this, outage, on_down] {
-          MBTS_DCHECK(!down_[outage.site]);
-          down_[outage.site] = true;
-          ++outages_started_;
-          if (trace_ != nullptr)
-            trace_->record(engine_.now(), TraceEventKind::kOutageDown,
-                           outage.site, kInvalidTask, outage.up_at);
-          if (on_down) on_down(outage.site, outage);
-        });
-    engine_.schedule_at(outage.up_at, EventPriority::kFault,
-                        [this, outage, on_up] {
-                          MBTS_DCHECK(down_[outage.site]);
-                          down_[outage.site] = false;
-                          if (trace_ != nullptr)
-                            trace_->record(engine_.now(),
-                                           TraceEventKind::kOutageUp,
-                                           outage.site, kInvalidTask,
-                                           outage.down_at);
-                          if (on_up) on_up(outage.site);
-                        });
+  for (std::size_t i = 0; i < plan_.outages.size(); ++i) {
+    const SiteOutage& outage = plan_.outages[i];
+    EventPayload payload;
+    payload.target = this;
+    payload.a = i;
+    engine_.schedule_event(outage.down_at, EventPriority::kFault,
+                           EventKind::kFaultDown, payload);
+    engine_.schedule_event(outage.up_at, EventPriority::kFault,
+                           EventKind::kFaultUp, payload);
   }
 }
 

@@ -136,11 +136,20 @@ class FaultInjector {
   std::size_t quote_timeouts() const { return quote_timeouts_; }
 
  private:
+  // Typed-event handlers (EventKind::kFaultDown / kFaultUp): payload.target
+  // is the injector, payload.a indexes plan_.outages. The plan vector is
+  // immutable after arm(), so the index stays valid for the run's lifetime
+  // (the arena rule for payloads).
+  static void handle_down(SimEngine& engine, const EventPayload& payload);
+  static void handle_up(SimEngine& engine, const EventPayload& payload);
+
   SimEngine& engine_;
   FaultPlan plan_;
   double quote_timeout_prob_;
   Xoshiro256 timeout_rng_;
   TraceRecorder* trace_ = nullptr;
+  DownHook on_down_;
+  UpHook on_up_;
   std::vector<bool> down_;
   std::size_t outages_started_ = 0;
   std::size_t quote_timeouts_ = 0;

@@ -9,12 +9,21 @@ PeriodicProbe::PeriodicProbe(SimEngine& engine, double interval,
     : engine_(engine), interval_(interval), sampler_(std::move(sampler)) {
   MBTS_CHECK_MSG(interval_ > 0.0, "probe interval must be positive");
   MBTS_CHECK_MSG(static_cast<bool>(sampler_), "probe needs a sampler");
+  engine_.register_handler(EventKind::kProbe, &PeriodicProbe::handle_probe);
   arm();
 }
 
+void PeriodicProbe::handle_probe(SimEngine& engine,
+                                 const EventPayload& payload) {
+  (void)engine;
+  static_cast<PeriodicProbe*>(payload.target)->fire();
+}
+
 void PeriodicProbe::arm() {
-  next_event_ = engine_.schedule_after(interval_, EventPriority::kControl,
-                                       [this] { fire(); });
+  EventPayload payload;
+  payload.target = this;
+  next_event_ = engine_.schedule_event_after(
+      interval_, EventPriority::kControl, EventKind::kProbe, payload);
   armed_ = true;
 }
 

@@ -29,6 +29,9 @@ class PeriodicProbe {
   std::size_t samples() const { return series_.size(); }
 
  private:
+  // Typed-event handler (EventKind::kProbe): payload.target is the probe.
+  static void handle_probe(SimEngine& engine, const EventPayload& payload);
+
   void arm();
   void fire();
 

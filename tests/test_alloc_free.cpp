@@ -1,0 +1,176 @@
+// Steady-state zero-allocation regression test.
+//
+// The event core's contract (DESIGN.md §6) is that a warmed-up single-site
+// run allocates nothing: typed POD events replace per-event std::function
+// closures, lifecycle records live in a reused ring, and task state is
+// recycled through free lists. This test replaces the global operator
+// new/delete with a counting hook and asserts that a drain window of a
+// warmed-up run — completions, dispatches, and preemption churn, with
+// telemetry off — performs zero heap allocations, under both queue backends.
+//
+// The strict zero assertion only holds in optimized, non-instrumented
+// builds: MBTS_DCHECK sweeps (debug builds) rebuild mix snapshots on every
+// refresh, and sanitizers interpose their own allocator. Elsewhere the test
+// still runs the scenario (catching crashes) but skips the count check.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+#include "core/admission.hpp"
+#include "core/policy.hpp"
+#include "core/scheduler.hpp"
+#include "sim/engine.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+std::uint64_t g_allocations = 0;
+bool g_counting = false;
+
+}  // namespace
+
+// The replacement operators are malloc/free-based by design; GCC's
+// mismatched-new-delete analysis can't see that the new side is malloc too.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  if (g_counting) ++g_allocations;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  if (g_counting) ++g_allocations;
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) - 1) &
+                                       ~(static_cast<std::size_t>(align) - 1)))
+    return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+namespace mbts {
+namespace {
+
+// True when the strict zero-allocation assertion is meaningful in this
+// build: optimized (MBTS_DCHECK compiled out) and not running under an
+// interposing sanitizer.
+constexpr bool strict_build() {
+#if !defined(NDEBUG)
+  return false;
+#elif defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  return false;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+  return false;
+#else
+  return true;
+#endif
+#else
+  return true;
+#endif
+}
+
+// Two-burst workload: burst 1 warms every arena and free list to its
+// high-water mark (its drain recycles task states, mix slots, heap and ring
+// capacity), burst 2 reuses all of it. The measured window is burst 2's
+// drain: pure completion/dispatch/preemption churn, no arrivals (arrivals
+// legitimately allocate — new task records enter the run's history).
+Trace two_burst_trace(std::size_t per_burst, double burst2_at) {
+  Trace trace;
+  TaskId id = 1;
+  for (int burst = 0; burst < 2; ++burst) {
+    const double base = burst == 0 ? 0.0 : burst2_at;
+    for (std::size_t i = 0; i < per_burst; ++i) {
+      Task task;
+      task.id = id++;
+      // Arrivals spread over [base, base + 50): enough overlap to build a
+      // backlog (and preemption churn) on a small pool.
+      task.arrival = base + static_cast<double>(i % 50);
+      task.runtime = 20.0 + static_cast<double>(i % 7) * 5.0;
+      task.value = ValueFunction::bounded_at_zero(
+          100.0 + static_cast<double>(i % 13), 0.4);
+      trace.tasks.push_back(task);
+    }
+  }
+  return trace;
+}
+
+class AllocFreeTest : public ::testing::TestWithParam<QueueBackend> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, AllocFreeTest,
+    ::testing::Values(QueueBackend::kTombstone, QueueBackend::kIndexed),
+    [](const ::testing::TestParamInfo<QueueBackend>& info) {
+      return to_string(info.param);
+    });
+
+TEST_P(AllocFreeTest, WarmedUpDrainWindowAllocatesNothing) {
+  constexpr std::size_t kPerBurst = 400;
+  constexpr double kBurst2At = 5000.0;  // burst 1 has fully drained by here
+
+  SimEngine engine{GetParam()};
+  SchedulerConfig config;
+  config.processors = 8;
+  config.preemption = true;
+  SiteScheduler site(engine, config, make_policy(PolicySpec::first_reward(0.2)),
+                     std::make_unique<AcceptAllAdmission>());
+
+  const Trace trace = two_burst_trace(kPerBurst, kBurst2At);
+  site.inject(trace.tasks);
+
+  // Warm up past burst 2's last arrival: every arena, free list, scratch
+  // buffer, heap, and record ring has reached its high-water mark.
+  engine.run_until(kBurst2At + 60.0);
+  ASSERT_GT(site.running_count() + site.pending_count(), 0u)
+      << "warmup drained everything; the window would be empty";
+
+  g_allocations = 0;
+  g_counting = true;
+  engine.run();  // drain burst 2: completions, dispatches, preemptions
+  g_counting = false;
+
+  EXPECT_TRUE(site.idle());
+  EXPECT_EQ(site.stats().completed, 2 * kPerBurst);
+  if (strict_build()) {
+    EXPECT_EQ(g_allocations, 0u)
+        << "steady-state drain allocated on the " << to_string(GetParam())
+        << " backend";
+  } else {
+    GTEST_SKIP() << "allocation count (" << g_allocations
+                 << ") not asserted: debug or sanitizer build";
+  }
+}
+
+}  // namespace
+}  // namespace mbts

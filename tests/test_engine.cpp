@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "util/check.hpp"
@@ -9,15 +10,28 @@
 namespace mbts {
 namespace {
 
-TEST(SimEngine, StartsAtZeroAndEmpty) {
-  SimEngine engine;
+// Every behavioral engine test runs under both queue backends: the
+// tombstoned binary heap and the indexed 4-ary heap must be observationally
+// identical (same execution order, same counters, same clock).
+class SimEngineTest : public ::testing::TestWithParam<QueueBackend> {
+ protected:
+  SimEngine engine{GetParam()};
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, SimEngineTest,
+    ::testing::Values(QueueBackend::kTombstone, QueueBackend::kIndexed),
+    [](const ::testing::TestParamInfo<QueueBackend>& info) {
+      return to_string(info.param);
+    });
+
+TEST_P(SimEngineTest, StartsAtZeroAndEmpty) {
   EXPECT_EQ(engine.now(), 0.0);
   EXPECT_TRUE(engine.empty());
   EXPECT_EQ(engine.run(), 0.0);
 }
 
-TEST(SimEngine, ExecutesInTimeOrder) {
-  SimEngine engine;
+TEST_P(SimEngineTest, ExecutesInTimeOrder) {
   std::vector<int> order;
   engine.schedule_at(3.0, EventPriority::kControl, [&] { order.push_back(3); });
   engine.schedule_at(1.0, EventPriority::kControl, [&] { order.push_back(1); });
@@ -26,16 +40,14 @@ TEST(SimEngine, ExecutesInTimeOrder) {
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
-TEST(SimEngine, ClockAdvancesToEventTime) {
-  SimEngine engine;
+TEST_P(SimEngineTest, ClockAdvancesToEventTime) {
   double seen = -1.0;
   engine.schedule_at(5.5, EventPriority::kControl, [&] { seen = engine.now(); });
   EXPECT_EQ(engine.run(), 5.5);
   EXPECT_EQ(seen, 5.5);
 }
 
-TEST(SimEngine, SimultaneousEventsOrderedByPriority) {
-  SimEngine engine;
+TEST_P(SimEngineTest, SimultaneousEventsOrderedByPriority) {
   std::vector<std::string> order;
   engine.schedule_at(1.0, EventPriority::kArrival,
                      [&] { order.push_back("arrival"); });
@@ -48,8 +60,7 @@ TEST(SimEngine, SimultaneousEventsOrderedByPriority) {
   EXPECT_EQ(order[1], "arrival");
 }
 
-TEST(SimEngine, SimultaneousSamePriorityKeepsInsertionOrder) {
-  SimEngine engine;
+TEST_P(SimEngineTest, SimultaneousSamePriorityKeepsInsertionOrder) {
   std::vector<int> order;
   for (int i = 0; i < 5; ++i)
     engine.schedule_at(2.0, EventPriority::kControl,
@@ -58,8 +69,7 @@ TEST(SimEngine, SimultaneousSamePriorityKeepsInsertionOrder) {
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
-TEST(SimEngine, ScheduleAfterUsesCurrentTime) {
-  SimEngine engine;
+TEST_P(SimEngineTest, ScheduleAfterUsesCurrentTime) {
   double fired_at = -1.0;
   engine.schedule_at(10.0, EventPriority::kControl, [&] {
     engine.schedule_after(5.0, EventPriority::kControl,
@@ -69,8 +79,7 @@ TEST(SimEngine, ScheduleAfterUsesCurrentTime) {
   EXPECT_EQ(fired_at, 15.0);
 }
 
-TEST(SimEngine, SchedulingInThePastThrows) {
-  SimEngine engine;
+TEST_P(SimEngineTest, SchedulingInThePastThrows) {
   engine.schedule_at(10.0, EventPriority::kControl, [&] {
     EXPECT_THROW(
         engine.schedule_at(5.0, EventPriority::kControl, [] {}),
@@ -79,14 +88,12 @@ TEST(SimEngine, SchedulingInThePastThrows) {
   engine.run();
 }
 
-TEST(SimEngine, NegativeDelayThrows) {
-  SimEngine engine;
+TEST_P(SimEngineTest, NegativeDelayThrows) {
   EXPECT_THROW(engine.schedule_after(-1.0, EventPriority::kControl, [] {}),
                CheckError);
 }
 
-TEST(SimEngine, CancelPreventsExecution) {
-  SimEngine engine;
+TEST_P(SimEngineTest, CancelPreventsExecution) {
   bool fired = false;
   const EventId id =
       engine.schedule_at(1.0, EventPriority::kControl, [&] { fired = true; });
@@ -95,23 +102,20 @@ TEST(SimEngine, CancelPreventsExecution) {
   EXPECT_FALSE(fired);
 }
 
-TEST(SimEngine, CancelTwiceReturnsFalse) {
-  SimEngine engine;
+TEST_P(SimEngineTest, CancelTwiceReturnsFalse) {
   const EventId id = engine.schedule_at(1.0, EventPriority::kControl, [] {});
   EXPECT_TRUE(engine.cancel(id));
   EXPECT_FALSE(engine.cancel(id));
   engine.run();
 }
 
-TEST(SimEngine, CancelAfterFireReturnsFalse) {
-  SimEngine engine;
+TEST_P(SimEngineTest, CancelAfterFireReturnsFalse) {
   const EventId id = engine.schedule_at(1.0, EventPriority::kControl, [] {});
   engine.run();
   EXPECT_FALSE(engine.cancel(id));
 }
 
-TEST(SimEngine, PendingCountTracksCancellations) {
-  SimEngine engine;
+TEST_P(SimEngineTest, PendingCountTracksCancellations) {
   const EventId a = engine.schedule_at(1.0, EventPriority::kControl, [] {});
   engine.schedule_at(2.0, EventPriority::kControl, [] {});
   EXPECT_EQ(engine.pending(), 2u);
@@ -121,8 +125,7 @@ TEST(SimEngine, PendingCountTracksCancellations) {
   EXPECT_EQ(engine.pending(), 0u);
 }
 
-TEST(SimEngine, EventsScheduledDuringRunExecute) {
-  SimEngine engine;
+TEST_P(SimEngineTest, EventsScheduledDuringRunExecute) {
   int count = 0;
   std::function<void()> chain = [&] {
     if (++count < 10)
@@ -133,8 +136,7 @@ TEST(SimEngine, EventsScheduledDuringRunExecute) {
   EXPECT_EQ(count, 10);
 }
 
-TEST(SimEngine, RunUntilStopsAtBoundary) {
-  SimEngine engine;
+TEST_P(SimEngineTest, RunUntilStopsAtBoundary) {
   int fired = 0;
   for (int i = 1; i <= 10; ++i)
     engine.schedule_at(static_cast<double>(i), EventPriority::kControl,
@@ -147,21 +149,19 @@ TEST(SimEngine, RunUntilStopsAtBoundary) {
   EXPECT_EQ(fired, 10);
 }
 
-TEST(SimEngine, RunUntilIncludesBoundaryEvents) {
-  SimEngine engine;
+TEST_P(SimEngineTest, RunUntilIncludesBoundaryEvents) {
   bool fired = false;
   engine.schedule_at(5.0, EventPriority::kControl, [&] { fired = true; });
   engine.run_until(5.0);
   EXPECT_TRUE(fired);
 }
 
-TEST(SimEngine, RunUntilCancelledHeadDoesNotTimeTravel) {
+TEST_P(SimEngineTest, RunUntilCancelledHeadDoesNotTimeTravel) {
   // Regression: a cancelled event at the heap top used to pass the horizon
   // check on its own timestamp; the pop then skipped the tombstone and
   // executed the next *pending* event even when it lay beyond t_end, after
   // which `now_ = t_end` yanked the clock backwards. The horizon must be
   // enforced on the next live event.
-  SimEngine engine;
   bool fired_late = false;
   double fired_at = -1.0;
   const EventId doomed =
@@ -181,11 +181,10 @@ TEST(SimEngine, RunUntilCancelledHeadDoesNotTimeTravel) {
   EXPECT_EQ(engine.now(), 8.0);
 }
 
-TEST(SimEngine, RunUntilNeverExecutesPastHorizonNorRewinds) {
+TEST_P(SimEngineTest, RunUntilNeverExecutesPastHorizonNorRewinds) {
   // Dense cancel/keep pattern so tombstones repeatedly surface at the top;
   // no callback may ever observe now() beyond the horizon, and the clock
   // must be monotone across successive bounded drains.
-  SimEngine engine;
   double max_seen = -1.0;
   std::vector<EventId> ids;
   for (int i = 0; i < 200; ++i)
@@ -207,10 +206,10 @@ TEST(SimEngine, RunUntilNeverExecutesPastHorizonNorRewinds) {
   EXPECT_EQ(engine.events_executed(), 67u);  // ceil(200 / 3) survivors
 }
 
-TEST(SimEngine, TombstoneCompactionKeepsSurvivorsAndOrder) {
-  // Cancel 90% of a large batch so the lazy sweep triggers repeatedly; the
-  // survivors must all fire, in time order, exactly once.
-  SimEngine engine;
+TEST_P(SimEngineTest, MassCancellationKeepsSurvivorsAndOrder) {
+  // Cancel 90% of a large batch (the tombstone backend's lazy sweep triggers
+  // repeatedly; the indexed backend removes in place); the survivors must
+  // all fire, in time order, exactly once.
   std::vector<EventId> ids;
   std::vector<int> fired;
   for (int i = 0; i < 5000; ++i) {
@@ -223,6 +222,11 @@ TEST(SimEngine, TombstoneCompactionKeepsSurvivorsAndOrder) {
     EXPECT_TRUE(engine.cancel(ids[i]));
   }
   EXPECT_EQ(engine.pending(), 500u);
+  if (GetParam() == QueueBackend::kIndexed) {
+    // In-place removal never leaves tombstones behind.
+    EXPECT_EQ(engine.tombstones(), 0u);
+    EXPECT_EQ(engine.heap_size(), 500u);
+  }
   double last = -1.0;
   bool monotone = true;
   engine.run();
@@ -236,8 +240,7 @@ TEST(SimEngine, TombstoneCompactionKeepsSurvivorsAndOrder) {
   EXPECT_TRUE(monotone);
 }
 
-TEST(SimEngine, ExecutedCounterCountsOnlyFired) {
-  SimEngine engine;
+TEST_P(SimEngineTest, ExecutedCounterCountsOnlyFired) {
   const EventId id = engine.schedule_at(1.0, EventPriority::kControl, [] {});
   engine.schedule_at(2.0, EventPriority::kControl, [] {});
   engine.cancel(id);
@@ -245,8 +248,7 @@ TEST(SimEngine, ExecutedCounterCountsOnlyFired) {
   EXPECT_EQ(engine.events_executed(), 1u);
 }
 
-TEST(SimEngine, ManyEventsStressOrdering) {
-  SimEngine engine;
+TEST_P(SimEngineTest, ManyEventsStressOrdering) {
   double last = -1.0;
   bool monotone = true;
   for (int i = 0; i < 10000; ++i) {
@@ -260,6 +262,137 @@ TEST(SimEngine, ManyEventsStressOrdering) {
   engine.run();
   EXPECT_TRUE(monotone);
   EXPECT_EQ(engine.events_executed(), 10000u);
+}
+
+TEST_P(SimEngineTest, BackendsProduceIdenticalExecutionOrder) {
+  // Same churny schedule/cancel script on both backends; the sequence of
+  // fired ids must match element for element.
+  auto script = [](SimEngine& e) {
+    std::vector<int> fired;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 1000; ++i) {
+      const double t = static_cast<double>((i * 131) % 257);
+      const auto prio =
+          (i % 3 == 0) ? EventPriority::kCompletion : EventPriority::kArrival;
+      ids.push_back(e.schedule_at(t, prio, [&fired, i] { fired.push_back(i); }));
+    }
+    for (int i = 0; i < 1000; i += 4) e.cancel(ids[static_cast<std::size_t>(i)]);
+    e.run_until(100.0);
+    for (int i = 0; i < 100; ++i) {
+      const double t = 100.0 + static_cast<double>((i * 17) % 53);
+      e.schedule_at(t, EventPriority::kControl,
+                    [&fired, i] { fired.push_back(10000 + i); });
+    }
+    e.run();
+    return fired;
+  };
+  SimEngine tombstone{QueueBackend::kTombstone};
+  SimEngine indexed{QueueBackend::kIndexed};
+  EXPECT_EQ(script(tombstone), script(indexed));
+}
+
+// --- Typed events -----------------------------------------------------------
+
+struct TypedTarget {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> seen;
+  static void handler(SimEngine&, const EventPayload& payload) {
+    static_cast<TypedTarget*>(payload.target)
+        ->seen.emplace_back(payload.a, payload.b);
+  }
+};
+
+TEST_P(SimEngineTest, TypedEventsCarryTheirPayload) {
+  TypedTarget target;
+  engine.register_handler(EventKind::kProbe, &TypedTarget::handler);
+  EventPayload payload;
+  payload.target = &target;
+  payload.a = 7;
+  payload.b = 9;
+  engine.schedule_event(1.0, EventPriority::kControl, EventKind::kProbe,
+                        payload);
+  payload.a = 8;
+  engine.schedule_event(2.0, EventPriority::kControl, EventKind::kProbe,
+                        payload);
+  engine.run();
+  ASSERT_EQ(target.seen.size(), 2u);
+  EXPECT_EQ(target.seen[0], (std::pair<std::uint64_t, std::uint64_t>{7, 9}));
+  EXPECT_EQ(target.seen[1], (std::pair<std::uint64_t, std::uint64_t>{8, 9}));
+}
+
+TEST_P(SimEngineTest, TypedEventsInterleaveWithClosuresInKeyOrder) {
+  TypedTarget target;
+  engine.register_handler(EventKind::kProbe, &TypedTarget::handler);
+  std::vector<int> order;
+  engine.schedule_at(2.0, EventPriority::kControl, [&] { order.push_back(2); });
+  EventPayload payload;
+  payload.target = &target;
+  engine.schedule_event(1.0, EventPriority::kControl, EventKind::kProbe,
+                        payload);
+  engine.schedule_at(3.0, EventPriority::kControl, [&] { order.push_back(3); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 3}));
+  EXPECT_EQ(target.seen.size(), 1u);
+  EXPECT_EQ(engine.events_executed(), 3u);
+}
+
+TEST_P(SimEngineTest, UnregisteredKindThrows) {
+  EventPayload payload;
+  EXPECT_THROW(engine.schedule_event(1.0, EventPriority::kControl,
+                                     EventKind::kProbe, payload),
+               CheckError);
+}
+
+TEST_P(SimEngineTest, ConflictingHandlerRegistrationThrows) {
+  engine.register_handler(EventKind::kProbe, &TypedTarget::handler);
+  // Same function again is fine (idempotent re-registration)...
+  engine.register_handler(EventKind::kProbe, &TypedTarget::handler);
+  // ...a different function for the same kind is a wiring bug.
+  EXPECT_THROW(
+      engine.register_handler(EventKind::kProbe,
+                              [](SimEngine&, const EventPayload&) {}),
+      CheckError);
+}
+
+TEST_P(SimEngineTest, CancelledTypedEventNeverDispatches) {
+  TypedTarget target;
+  engine.register_handler(EventKind::kProbe, &TypedTarget::handler);
+  EventPayload payload;
+  payload.target = &target;
+  const EventId id = engine.schedule_event(1.0, EventPriority::kControl,
+                                           EventKind::kProbe, payload);
+  EXPECT_TRUE(engine.cancel(id));
+  engine.run();
+  EXPECT_TRUE(target.seen.empty());
+}
+
+TEST_P(SimEngineTest, RecordRingSurvivesManyOutstandingEvents) {
+  // Force repeated ring growth (way past the initial capacity) with all
+  // events outstanding at once, then drain; ids, order, and counters must
+  // survive the re-seating.
+  std::vector<int> fired;
+  for (int i = 0; i < 3000; ++i)
+    engine.schedule_at(static_cast<double>(i), EventPriority::kControl,
+                       [&fired, i] { fired.push_back(i); });
+  engine.run();
+  ASSERT_EQ(fired.size(), 3000u);
+  EXPECT_EQ(fired.front(), 0);
+  EXPECT_EQ(fired.back(), 2999);
+}
+
+// --- Backend selection ------------------------------------------------------
+
+TEST(SimEngineBackend, DefaultBackendIsOverridable) {
+  const QueueBackend original = SimEngine::default_backend();
+  SimEngine::set_default_backend(QueueBackend::kIndexed);
+  EXPECT_EQ(SimEngine().backend(), QueueBackend::kIndexed);
+  SimEngine::set_default_backend(QueueBackend::kTombstone);
+  EXPECT_EQ(SimEngine().backend(), QueueBackend::kTombstone);
+  SimEngine::set_default_backend(original);
+}
+
+TEST(SimEngineBackend, ToStringNamesBothBackends) {
+  EXPECT_EQ(to_string(QueueBackend::kTombstone), "tombstone");
+  EXPECT_EQ(to_string(QueueBackend::kIndexed), "indexed");
 }
 
 }  // namespace

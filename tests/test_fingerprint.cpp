@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/engine.hpp"
+
 namespace mbts {
 namespace {
 
@@ -62,6 +64,24 @@ TEST(Fingerprint, MatchesGoldenFile) {
   for (std::size_t i = 0; i < common; ++i)
     expect_line_matches(got[i], want[i], i);
   EXPECT_EQ(got.size(), want.size()) << "fingerprint gained or lost lines";
+}
+
+TEST(Fingerprint, BothQueueBackendsProduceIdenticalFingerprints) {
+  // The engine's two queue backends pop the same strict (t, priority, id)
+  // minimum, so the entire corpus — every seeded preset and economy run —
+  // must be bit-identical under either, and identical to the golden file.
+  const QueueBackend original = SimEngine::default_backend();
+  SimEngine::set_default_backend(QueueBackend::kTombstone);
+  const std::string tombstone = stats_fingerprint();
+  SimEngine::set_default_backend(QueueBackend::kIndexed);
+  const std::string indexed = stats_fingerprint();
+  SimEngine::set_default_backend(original);
+
+  const std::vector<std::string> t_lines = split_lines(tombstone);
+  const std::vector<std::string> i_lines = split_lines(indexed);
+  ASSERT_EQ(t_lines.size(), i_lines.size());
+  for (std::size_t i = 0; i < t_lines.size(); ++i)
+    expect_line_matches(i_lines[i], t_lines[i], i);
 }
 
 TEST(Fingerprint, CorpusCoversRequiredRuns) {

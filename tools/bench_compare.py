@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Report-only benchmark comparison for the nightly bench lane.
+
+Compares two google-benchmark JSON files (committed baseline vs a fresh
+run) benchmark-by-benchmark and prints a delta table. Regressions beyond
+the threshold are called out loudly, but the exit code is always 0: shared
+CI runners are too noisy to gate merges on wall-clock numbers, so this lane
+exists to leave a visible trail in the nightly logs, not to block.
+
+Usage: tools/bench_compare.py BASELINE.json CANDIDATE.json [--threshold PCT]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repetitions).
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = b
+    return data.get("context", {}), out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument(
+        "--threshold", type=float, default=10.0,
+        help="percent slowdown that counts as a regression (default 10)")
+    args = parser.parse_args()
+
+    base_ctx, base = load_benchmarks(args.baseline)
+    cand_ctx, cand = load_benchmarks(args.candidate)
+
+    for label, ctx in (("baseline", base_ctx), ("candidate", cand_ctx)):
+        build = ctx.get("mbts_build_type", "unknown")
+        print(f"{label}: mbts_build_type={build}")
+        if build != "release":
+            print(f"  warning: {label} numbers are not from a release build")
+
+    regressions = []
+    name_width = max((len(n) for n in base), default=4)
+    print(f"{'benchmark':<{name_width}}  {'baseline':>12}  {'candidate':>12}"
+          f"  {'delta':>8}")
+    for name in sorted(base):
+        b = base[name]
+        c = cand.get(name)
+        if c is None:
+            print(f"{name:<{name_width}}  {'(missing in candidate)':>12}")
+            continue
+        bt, ct = b["real_time"], c["real_time"]
+        unit = b.get("time_unit", "ns")
+        delta = (ct - bt) / bt * 100.0 if bt else 0.0
+        marker = ""
+        if delta > args.threshold:
+            marker = "  <-- REGRESSION"
+            regressions.append((name, delta))
+        print(f"{name:<{name_width}}  {bt:>10.0f}{unit}  {ct:>10.0f}{unit}"
+              f"  {delta:>+7.1f}%{marker}")
+    for name in sorted(set(cand) - set(base)):
+        print(f"{name:<{name_width}}  (new, no baseline)")
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed more than "
+              f"{args.threshold:.0f}% (report-only, not failing the job):")
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1f}%")
+    else:
+        print("\nno regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,17 +5,37 @@
 # their google-benchmark JSON into BENCH_dispatch.json at the repo root —
 # the perf trajectory record for the hot-path work.
 #
-# Usage: tools/bench_dispatch.sh [build_dir] (default: build)
+# The committed JSON must come from an optimized build: the default build
+# dir is a dedicated Release tree (build-bench), configured here if absent,
+# and the script refuses to write the output when the binaries report a
+# non-release "mbts_build_type" context (the stock "library_build_type" key
+# only describes how the google-benchmark *library* was compiled, which is
+# how a debug-build baseline once got committed).
+#
+# Usage: tools/bench_dispatch.sh [build_dir] (default: build-bench)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD="${1:-$ROOT/build}"
+BUILD="${1:-$ROOT/build-bench}"
 OUT="$ROOT/BENCH_dispatch.json"
 
+if [ ! -f "$BUILD/CMakeCache.txt" ]; then
+  cmake -S "$ROOT" -B "$BUILD" -DCMAKE_BUILD_TYPE=Release
+fi
 cmake --build "$BUILD" -j "$(nproc)" --target micro_schedule micro_event_queue
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
+
+# Refuses to bless results from an unoptimized or assert-laden binary.
+require_release() {
+  if ! grep -q '"mbts_build_type": "release"' "$1"; then
+    echo "error: $(basename "$1") was produced by a non-release build" >&2
+    grep -o '"mbts_build_type": "[^"]*"' "$1" >&2 || true
+    echo "rerun against a -DCMAKE_BUILD_TYPE=Release build dir" >&2
+    exit 1
+  fi
+}
 
 "$BUILD/bench/micro_schedule" \
   --benchmark_filter='BM_DispatchBacklog|BM_QuoteBacklog' \
@@ -23,6 +43,9 @@ trap 'rm -rf "$TMP"' EXIT
 "$BUILD/bench/micro_event_queue" \
   --benchmark_filter='BM_CancelHeavyChurn|BM_RunUntilStrided' \
   --benchmark_out="$TMP/event_queue.json" --benchmark_out_format=json
+
+require_release "$TMP/schedule.json"
+require_release "$TMP/event_queue.json"
 
 if command -v python3 >/dev/null; then
   python3 - "$TMP/schedule.json" "$TMP/event_queue.json" "$OUT" <<'EOF'

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Queue-backend sweep runner. Runs the BM_Backend* family of
+# bench/micro_event_queue — schedule-heavy, cancel-heavy, strided run_until,
+# and typed-event dispatch, each under both the tombstone and indexed queue
+# backends — and writes the google-benchmark JSON to BENCH_event_queue.json
+# at the repo root. Same Release-build gating as bench_dispatch.sh.
+#
+# Usage: tools/bench_event_queue.sh [build_dir] (default: build-bench)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build-bench}"
+OUT="$ROOT/BENCH_event_queue.json"
+
+if [ ! -f "$BUILD/CMakeCache.txt" ]; then
+  cmake -S "$ROOT" -B "$BUILD" -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "$BUILD" -j "$(nproc)" --target micro_event_queue
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+"$BUILD/bench/micro_event_queue" \
+  --benchmark_filter='BM_Backend' \
+  --benchmark_out="$TMP/event_queue.json" --benchmark_out_format=json
+
+if ! grep -q '"mbts_build_type": "release"' "$TMP/event_queue.json"; then
+  echo "error: results came from a non-release build" >&2
+  grep -o '"mbts_build_type": "[^"]*"' "$TMP/event_queue.json" >&2 || true
+  echo "rerun against a -DCMAKE_BUILD_TYPE=Release build dir" >&2
+  exit 1
+fi
+
+cp "$TMP/event_queue.json" "$OUT"
+echo "wrote $OUT"
