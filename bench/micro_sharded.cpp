@@ -1,0 +1,73 @@
+// Sharded-engine scaling microbenchmark: one seeded market run across a
+// shard-count sweep (1 = the single-engine reference path, no threads).
+//
+// The workload is quote-heavy — many small sites, so each negotiation fans
+// out wide and the parallel window has real work — and every shard count
+// produces bit-identical MarketStats (asserted here, cheaply, every
+// iteration). Wall-clock scaling therefore measures pure execution-engine
+// overhead/benefit, not behavioral drift. On a single-CPU host the sweep
+// records the synchronization *overhead* of sharding rather than a speedup;
+// see EXPERIMENTS.md ("Sharded scaling curve") before reading the numbers.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_main.hpp"
+#include "market/market.hpp"
+#include "util/rng.hpp"
+#include "workload/presets.hpp"
+
+namespace {
+
+using namespace mbts;
+
+constexpr std::size_t kSites = 16;
+constexpr std::size_t kJobs = 1200;
+
+MarketConfig scaling_config(std::size_t shards) {
+  MarketConfig config;
+  for (std::size_t i = 0; i < kSites; ++i) {
+    SiteAgentConfig site;
+    site.id = static_cast<SiteId>(i);
+    site.name = "site" + std::to_string(i);
+    site.scheduler.processors = 2 + i % 4;
+    site.scheduler.preemption = true;
+    site.scheduler.discount_rate = 0.01;
+    site.policy = PolicySpec::first_reward(0.3);
+    site.admission = SlackAdmissionConfig{60.0 * static_cast<double>(i % 5),
+                                          false};
+    config.sites.push_back(site);
+  }
+  config.pricing = PricingModel::kSecondPrice;
+  config.rng_seed = 42;
+  config.shards = shards;
+  return config;
+}
+
+void BM_ShardedScaling(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng = SeedSequence(42).stream(8);
+  const Trace trace = generate_trace(presets::admission_mix(3.0, kJobs), rng);
+  double reference_revenue = 0.0;
+  for (auto _ : state) {
+    Market market(scaling_config(shards));
+    market.inject(trace);
+    const MarketStats stats = market.run();
+    benchmark::DoNotOptimize(stats.total_revenue);
+    // Any shard count must reproduce the same run bit-for-bit; a drifting
+    // result makes the timing meaningless, so fail loudly.
+    if (reference_revenue == 0.0) reference_revenue = stats.total_revenue;
+    if (stats.total_revenue != reference_revenue)
+      state.SkipWithError("sharded run diverged from first iteration");
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(kJobs) *
+                          state.iterations());
+}
+// Real time, not CPU time: the work migrates to shard workers, and the
+// coordinator's own CPU time would under-count a sharded run.
+BENCHMARK(BM_ShardedScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+MBTS_BENCHMARK_MAIN()

@@ -25,6 +25,9 @@ int main(int argc, char** argv) {
   cli.add_flag("timeout-prob", "0.05", "quote response loss probability");
   cli.add_flag("mode", "kill", "crash mode: kill | checkpoint");
   cli.add_flag("no-rebid", "false", "disable re-bidding breached tasks");
+  cli.add_flag("shards", "1",
+               "worker threads for site engines (>= 2 runs the market "
+               "sharded; results are bit-identical for any value)");
   if (!cli.parse(argc, argv)) return 1;
 
   const bool checkpoint = cli.get_string("mode") == "checkpoint";
@@ -50,6 +53,7 @@ int main(int argc, char** argv) {
   for (const double rate : rates) {
     MarketConfig config;
     config.rng_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    config.shards = static_cast<std::size_t>(cli.get_int("shards"));
     config.pricing = PricingModel::kSecondPrice;
     config.sites.push_back(site(0, "big", 24, 300.0));
     config.sites.push_back(site(1, "mid", 12, 0.0));

@@ -19,6 +19,9 @@ int main(int argc, char** argv) {
   cli.add_flag("seed", "42", "master seed");
   cli.add_flag("strategy", "value",
                "client strategy: value | earliest | random");
+  cli.add_flag("shards", "1",
+               "worker threads for site engines (>= 2 runs the market "
+               "sharded; results are bit-identical for any value)");
   if (!cli.parse(argc, argv)) return 1;
 
   const auto strategy_name = cli.get_string("strategy");
@@ -34,6 +37,7 @@ int main(int argc, char** argv) {
   MarketConfig config;
   config.strategy = strategy;
   config.rng_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  config.shards = static_cast<std::size_t>(cli.get_int("shards"));
   auto site = [](SiteId id, const std::string& name, std::size_t procs,
                  PolicySpec policy, bool admission, double threshold) {
     SiteAgentConfig sc;

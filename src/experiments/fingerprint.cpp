@@ -51,7 +51,8 @@ std::string fingerprint_line(const std::string& label, const MarketStats& s) {
   return line;
 }
 
-MarketStats run_fingerprint_market(const FaultConfig& faults) {
+MarketStats run_fingerprint_market(const FaultConfig& faults,
+                                   std::size_t shards) {
   MarketConfig config;
   // Heterogeneous sites so the fingerprint covers real competition: every
   // site wins some contracts and every negotiation path (award, admission
@@ -74,6 +75,7 @@ MarketStats run_fingerprint_market(const FaultConfig& faults) {
   config.client_budgets[0] = ClientBudget{1500.0, 250.0};
   config.rng_seed = 42;
   config.faults = faults;
+  config.shards = shards;
 
   Market market(config);
   Xoshiro256 rng = SeedSequence(42).stream(8);

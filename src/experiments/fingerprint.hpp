@@ -25,8 +25,11 @@ std::string fingerprint_line(const std::string& label, const MarketStats& s);
 
 /// The canonical seeded market run behind the `market` fingerprint line.
 /// `faults` lets tests replay the identical run through the fault path
-/// (e.g. force_enable with all rates zero must not move a single bit).
-MarketStats run_fingerprint_market(const FaultConfig& faults = {});
+/// (e.g. force_enable with all rates zero must not move a single bit), and
+/// `shards` through the sharded path — both must reproduce the golden line
+/// bit-for-bit for any value.
+MarketStats run_fingerprint_market(const FaultConfig& faults = {},
+                                   std::size_t shards = 1);
 
 /// The full fingerprint: seeded Fig. 4-7 preset points plus the economy
 /// line. This is what the tool prints and the golden test pins.

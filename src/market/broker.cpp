@@ -151,11 +151,17 @@ void Broker::attempt(const Bid& bid, std::size_t round, bool is_rebid) {
 NegotiationResult Broker::negotiate_round(const Bid& bid) {
   NegotiationResult result;
   result.bid = bid;
-  result.quotes.reserve(sites_.size());
   if (trace_ != nullptr)
     trace_->record(trace_now(bid), TraceEventKind::kBid, kNoSite, bid.task.id,
                    static_cast<double>(sites_.size()));
-  for (SiteAgent* site : sites_) {
+  // Phase 1 (serial): decide per-site availability losses. Quote-timeout
+  // draws consume the injector's rng stream in site order whether or not
+  // the actual quote evaluations are later batched, so a parallel poller
+  // replays exactly the reference draw sequence.
+  result.quotes.resize(sites_.size());
+  poll_scratch_.clear();
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    SiteAgent* site = sites_[i];
     // A lost response is synthesized as an unavailable quote; a down site
     // already answers unavailable itself (and is not additionally lost, so
     // the timeout stream advances only for sites that were up to be polled).
@@ -164,13 +170,22 @@ NegotiationResult Broker::negotiate_round(const Bid& bid) {
       Quote lost;
       lost.site = site->id();
       lost.unavailable = true;
-      result.quotes.push_back(lost);
+      result.quotes[i] = lost;
       if (trace_ != nullptr)
         trace_->record(trace_now(bid), TraceEventKind::kQuoteTimeout,
                        site->id(), bid.task.id);
       continue;
     }
-    result.quotes.push_back(site->quote(bid));
+    poll_scratch_.push_back(i);
+  }
+  // Phase 2: evaluate the surviving polls — through the installed batch
+  // poller (sharded runs advance their shards to this bid's boundary here,
+  // then quote in parallel), or the default serial loop.
+  if (poller_) {
+    poller_(bid, poll_scratch_, result.quotes);
+  } else {
+    for (const std::size_t i : poll_scratch_)
+      result.quotes[i] = sites_[i]->quote(bid);
   }
 
   // Award best first; on a (rare) state-change refusal, fall back to the

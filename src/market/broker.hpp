@@ -112,6 +112,23 @@ class Broker {
   /// untraced one.
   void set_trace(TraceRecorder* trace) { trace_ = trace; }
 
+  /// Batch quote executor, the sharded market's hook. Fills `quotes[i] =
+  /// sites[i]->quote(bid)` for every i in `polled` (both vectors indexed by
+  /// broker site order). The broker has already decided availability and
+  /// quote-timeout losses — sites absent from `polled` keep their
+  /// synthesized quotes — so the poller's only job is evaluating the
+  /// listed sites, in any order or in parallel: quote() is observationally
+  /// pure and per-site, which is what makes the fan-out parallelizable at
+  /// all. Null restores the default serial loop.
+  using QuotePoller = std::function<void(
+      const Bid& bid, const std::vector<std::size_t>& polled,
+      std::vector<Quote>& quotes)>;
+  void set_quote_poller(QuotePoller poller) { poller_ = std::move(poller); }
+
+  /// Site list (broker order); the sharded market uses it to partition the
+  /// quote fan-out by shard.
+  const std::vector<SiteAgent*>& sites() const { return sites_; }
+
   /// Count of bids dropped because the client's budget was exhausted.
   std::size_t unaffordable_bids() const;
 
@@ -169,7 +186,9 @@ class Broker {
   RetryPolicy retry_;
   FaultInjector* injector_ = nullptr;
   TraceRecorder* trace_ = nullptr;
+  QuotePoller poller_;
   Xoshiro256 rng_;
+  std::vector<std::size_t> poll_scratch_;
   std::deque<RetrySlot> retry_slab_;
   std::vector<std::uint32_t> free_retries_;
   std::vector<NegotiationResult> history_;

@@ -1,16 +1,31 @@
 #include "market/market.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/check.hpp"
 
 namespace mbts {
 
-Market::Market(MarketConfig config) : config_(std::move(config)) {
+Market::Market(MarketConfig config)
+    : config_(std::move(config)),
+      engine_(config_.queue_backend.value_or(SimEngine::default_backend())) {
   MBTS_CHECK_MSG(!config_.sites.empty(), "market needs at least one site");
+  const QueueBackend backend =
+      config_.queue_backend.value_or(SimEngine::default_backend());
+  if (config_.shards >= 2) {
+    // One member engine per site, partitioned round-robin over the shard
+    // workers; the broker's engine_ stays the global synchronization point.
+    sharded_ = std::make_unique<ShardedEngine>(config_.shards,
+                                               config_.sites.size(), backend);
+    shard_polls_.resize(sharded_->shards());
+  }
   std::vector<SiteAgent*> raw;
-  for (const SiteAgentConfig& sc : config_.sites) {
-    sites_.push_back(std::make_unique<SiteAgent>(engine_, sc));
+  for (std::size_t i = 0; i < config_.sites.size(); ++i) {
+    SimEngine& site_engine =
+        sharded_ ? sharded_->member_engine(i) : engine_;
+    sites_.push_back(
+        std::make_unique<SiteAgent>(site_engine, config_.sites[i]));
     raw.push_back(sites_.back().get());
   }
   for (const auto& [client, budget] : config_.client_budgets)
@@ -24,6 +39,28 @@ Market::Market(MarketConfig config) : config_(std::move(config)) {
   broker_->enable_retries(engine_, config_.retry);
   engine_.register_handler(EventKind::kMarketBid, &Market::handle_bid);
   engine_.register_handler(EventKind::kMarketRebid, &Market::handle_rebid);
+  if (sharded_ != nullptr) {
+    // Negotiation epochs: the poller first advances every shard strictly
+    // before this bid's (t, kArrival) boundary, then fans the surviving
+    // quote evaluations out to the shard workers (disjoint output slots).
+    broker_->set_quote_poller([this](const Bid& bid,
+                                     const std::vector<std::size_t>& polled,
+                                     std::vector<Quote>& quotes) {
+      for (auto& list : shard_polls_) list.clear();
+      for (const std::size_t i : polled)
+        shard_polls_[sharded_->shard_of(i)].push_back(i);
+      poll_bid_ = &bid;
+      poll_quotes_ = &quotes;
+      const ShardedEngine::EpochJob job = [this](std::size_t shard) {
+        for (const std::size_t i : shard_polls_[shard])
+          (*poll_quotes_)[i] = sites_[i]->quote(*poll_bid_);
+      };
+      sharded_->advance_all(engine_.now(),
+                            static_cast<int>(EventPriority::kArrival), &job);
+      poll_bid_ = nullptr;
+      poll_quotes_ = nullptr;
+    });
+  }
 }
 
 void Market::handle_bid(SimEngine& engine, const EventPayload& payload) {
@@ -44,6 +81,11 @@ void Market::handle_rebid(SimEngine& engine, const EventPayload& payload) {
 }
 
 void Market::attach_telemetry(TraceRecorder* trace, MetricsRegistry* metrics) {
+  // Telemetry recorders are single-threaded; the sharded quote fan-out
+  // would write to them from several shard workers at once.
+  MBTS_CHECK_MSG(!sharded() || (trace == nullptr && metrics == nullptr),
+                 "telemetry is not supported in sharded mode (shards >= 2): "
+                 "recorders are single-threaded");
   trace_ = trace;
   broker_->set_trace(trace);
   for (const auto& site : sites_) site->attach_telemetry(trace, metrics);
@@ -114,7 +156,11 @@ MarketStats Market::run() {
         [this](SiteId site, const SiteOutage&) { on_site_down(site); },
         [this](SiteId site) { sites_[site]->recover(); });
   }
-  engine_.run();
+  if (sharded()) {
+    run_sharded_loop();
+  } else {
+    engine_.run();
+  }
   MarketStats stats;
   stats.bids = bids_;
   stats.rejected_everywhere = broker_->rejected_everywhere();
@@ -146,6 +192,44 @@ MarketStats Market::run() {
     }
   }
   return stats;
+}
+
+void Market::run_sharded_loop() {
+  sharded_->start();
+  double t = 0.0;
+  int priority = 0;
+  EventKind kind = EventKind::kClosure;
+  while (engine_.peek_next_event(&t, &priority, &kind)) {
+    // Negotiation events (bid, retry round, re-bid) advance the shards
+    // themselves, inside the broker's quote poller — one barrier per bid,
+    // with the quote evaluations riding on the advance command. Everything
+    // else (fault transitions mutating site state, closure events) gets its
+    // conservative window here, before the handler runs against quiescent
+    // shard state.
+    const bool negotiation = kind == EventKind::kMarketBid ||
+                             kind == EventKind::kBrokerRetry ||
+                             kind == EventKind::kMarketRebid;
+    if (!negotiation) sharded_->advance_all(t, priority);
+    engine_.step();
+  }
+  // The broker engine is empty; nothing can schedule further global events,
+  // so the members run to completion and the workers retire.
+  sharded_->drain_all();
+  sharded_->stop();
+  // Align every member clock with the global end of the run. Time-weighted
+  // statistics (utilization) are denominated in engine time, and the
+  // reference's single clock keeps integrating idle time until the last
+  // event anywhere in the economy — each member clock must end there too.
+  double t_end = engine_.now();
+  for (std::size_t i = 0; i < sites_.size(); ++i)
+    t_end = std::max(t_end, sharded_->member_engine(i).now());
+  for (std::size_t i = 0; i < sites_.size(); ++i)
+    sharded_->member_engine(i).run_until_before(
+        t_end, std::numeric_limits<int>::max());
+  // The broker clock too: engine().now() is the run's public end time
+  // (the oracle replays against it), and in the reference it ends at the
+  // last event anywhere — not at the last negotiation.
+  engine_.run_until_before(t_end, std::numeric_limits<int>::max());
 }
 
 }  // namespace mbts

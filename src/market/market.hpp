@@ -11,12 +11,14 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "market/broker.hpp"
 #include "market/site_agent.hpp"
 #include "sim/engine.hpp"
 #include "sim/fault.hpp"
+#include "sim/sharded_engine.hpp"
 #include "workload/trace.hpp"
 
 namespace mbts {
@@ -37,6 +39,18 @@ struct MarketConfig {
   FaultConfig faults;
   /// How the broker reacts to unavailability (only reachable with faults).
   RetryPolicy retry;
+  /// Parallel execution. 0/1 runs the whole economy on one engine (the
+  /// reference). >= 2 gives every site its own SimEngine, partitions the
+  /// sites over that many worker threads, and synchronizes them against
+  /// the broker's engine at conservative negotiation epochs — bit-identical
+  /// to the reference for any value (see DESIGN.md §8).
+  std::size_t shards = 1;
+  /// Event-queue backend for every engine this market builds (broker and
+  /// shards alike). Explicit per-market choice beats set_default_backend,
+  /// which beats the MBTS_QUEUE_BACKEND environment variable — the
+  /// precedence matters for sharded construction, where several engines
+  /// must agree. nullopt inherits the process default.
+  std::optional<QueueBackend> queue_backend;
 };
 
 /// Economy-level results after a run.
@@ -64,6 +78,11 @@ class Market {
   explicit Market(MarketConfig config);
 
   SimEngine& engine() { return engine_; }
+  /// The engine site i's events run on: its member engine when sharded,
+  /// otherwise the global engine.
+  SimEngine& site_engine(std::size_t i) {
+    return sharded_ != nullptr ? sharded_->member_engine(i) : engine_;
+  }
   const std::vector<std::unique_ptr<SiteAgent>>& sites() const {
     return sites_;
   }
@@ -85,6 +104,10 @@ class Market {
   /// The armed injector, or null when `config.faults` is disabled.
   const FaultInjector* fault_injector() const { return injector_.get(); }
 
+  /// True when this market runs site engines on shard workers (config
+  /// shards >= 2 with more than zero sites).
+  bool sharded() const { return sharded_ != nullptr; }
+
  private:
   // Typed-event handlers. payload.target is the market; payload.a indexes
   // injected_bids_ (kMarketBid) or rebid_slab_ (kMarketRebid).
@@ -94,7 +117,14 @@ class Market {
   /// Down-hook: crash the site, settle breaches, refund and re-bid them.
   void on_site_down(std::size_t site_index);
 
+  /// The sharded replacement for engine_.run(): alternates conservative
+  /// shard windows with single broker-engine events (see DESIGN.md §8).
+  void run_sharded_loop();
+
   MarketConfig config_;
+  /// Sharded mode only: per-site engines + shard workers; built before
+  /// engine_ so sites can be constructed against their member engines.
+  std::unique_ptr<ShardedEngine> sharded_;
   SimEngine engine_;
   ClientLedger ledger_;
   std::vector<std::unique_ptr<SiteAgent>> sites_;
@@ -110,6 +140,14 @@ class Market {
   std::vector<std::uint32_t> free_rebids_;
   std::size_t bids_ = 0;
   SimTime last_arrival_ = 0.0;
+
+  // Sharded quote fan-out scratch (valid only inside one negotiation
+  // epoch): the site indices each shard evaluates, and the bid/output the
+  // epoch job reads and writes. Written by the coordinator before the
+  // epoch barrier, read by the workers inside it.
+  std::vector<std::vector<std::size_t>> shard_polls_;
+  const Bid* poll_bid_ = nullptr;
+  std::vector<Quote>* poll_quotes_ = nullptr;
 };
 
 }  // namespace mbts

@@ -254,6 +254,7 @@ DiffReport run_market_diff(const Scenario& sc, const SelfTest& self_test) {
   if (sc.budgets)
     mc.client_budgets[0] = ClientBudget{2500.0, 800.0};
   mc.rng_seed = sc.seed;
+  mc.shards = sc.shards;
   if (sc.faults) {
     mc.faults.outage_rate = sc.outage_rate;
     mc.faults.mean_outage = sc.mean_outage;
@@ -264,6 +265,17 @@ DiffReport run_market_diff(const Scenario& sc, const SelfTest& self_test) {
   Market market(mc);
   EventOrderChecker checker;
   market.engine().set_observer(&checker);
+  // Sharded runs get one checker per member engine too: each shard worker
+  // executes its members serially and the epoch barrier orders every
+  // observer call against the coordinator, so per-engine checkers stay
+  // race-free.
+  std::vector<std::unique_ptr<EventOrderChecker>> site_checkers;
+  if (market.sharded()) {
+    for (std::size_t s = 0; s < sc.n_sites; ++s) {
+      site_checkers.push_back(std::make_unique<EventOrderChecker>());
+      market.site_engine(s).set_observer(site_checkers.back().get());
+    }
+  }
   market.inject(trace);
   const MarketStats stats = market.run();
 
@@ -305,6 +317,8 @@ DiffReport run_market_diff(const Scenario& sc, const SelfTest& self_test) {
     }
   }
   check_events(checker, report);
+  for (const auto& site_checker : site_checkers)
+    check_events(*site_checker, report);
   return report;
 }
 
@@ -442,6 +456,9 @@ Scenario generate_scenario(std::uint64_t sweep_seed, std::uint64_t index) {
     sc.outage_rate = 0.0;
     sc.quote_timeout_prob = 0.0;
   }
+  // Drawn last so the sharded knob leaves every earlier field of existing
+  // (sweep_seed, index) scenarios — and their pinned regressions — intact.
+  sc.shards = sc.market ? 1 + g.below(3) : 1;
   return sc;
 }
 
@@ -462,6 +479,12 @@ Scenario shrink(Scenario scenario,
        [](Scenario& s) {
          if (s.n_tasks <= 8) return false;
          s.n_tasks /= 2;
+         return true;
+       }},
+      {"run on a single shard",
+       [](Scenario& s) {
+         if (s.shards <= 1) return false;
+         s.shards = 1;
          return true;
        }},
       {"disable faults",
@@ -485,6 +508,7 @@ Scenario shrink(Scenario scenario,
          s.n_sites = 1;
          s.budgets = false;
          s.quote_timeout_prob = 0.0;
+         s.shards = 1;
          return true;
        }},
       {"disable budgets",
@@ -620,7 +644,7 @@ std::string to_replay_string(const Scenario& sc) {
      << " budgets=" << (sc.budgets ? 1 : 0)
      << " faults=" << (sc.faults ? 1 : 0) << " orate=" << sc.outage_rate
      << " outage=" << sc.mean_outage << " qtimeout=" << sc.quote_timeout_prob
-     << " crash=" << crash_name(sc.crash_mode);
+     << " crash=" << crash_name(sc.crash_mode) << " shards=" << sc.shards;
   return os.str();
 }
 
@@ -689,6 +713,9 @@ std::optional<Scenario> parse_replay(const std::string& text) {
                         {{"kill", CrashMode::kKill},
                          {"checkpoint", CrashMode::kCheckpoint}}))
           return std::nullopt;
+      } else if (key == "shards") {
+        // Absent in pre-sharding replay lines; the default (1) applies.
+        sc.shards = std::stoull(value);
       } else {
         return std::nullopt;
       }
@@ -759,6 +786,7 @@ std::string to_cpp_literal(const Scenario& sc) {
      << "    .quote_timeout_prob = " << sc.quote_timeout_prob << ",\n"
      << "    .crash_mode = CrashMode::k"
      << (sc.crash_mode == CrashMode::kKill ? "Kill" : "Checkpoint") << ",\n"
+     << "    .shards = " << sc.shards << ",\n"
      << "}";
   return os.str();
 }

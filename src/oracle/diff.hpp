@@ -68,6 +68,12 @@ struct Scenario {
   double mean_outage = 150.0;
   double quote_timeout_prob = 0.0;
   CrashMode crash_mode = CrashMode::kKill;
+
+  // Parallel execution (market=true only): >= 2 runs the optimized side
+  // through the sharded engine, which must stay bit-identical to the
+  // reference. Declared last so older designated-initializer literals and
+  // replay lines (no shards= key) stay valid.
+  std::size_t shards = 1;
 };
 
 /// Self-test perturbations applied to the ORACLE side, simulating the bug

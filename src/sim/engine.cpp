@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -31,23 +33,55 @@ std::string to_string(QueueBackend backend) {
   return "unknown";
 }
 
+std::optional<QueueBackend> parse_queue_backend(std::string_view name) {
+  // Trim surrounding whitespace, then compare case-insensitively: env vars
+  // arrive from shell scripts and CI YAML, where "Indexed" or a trailing
+  // newline are honest spellings of the same intent.
+  while (!name.empty() &&
+         std::isspace(static_cast<unsigned char>(name.front())))
+    name.remove_prefix(1);
+  while (!name.empty() && std::isspace(static_cast<unsigned char>(name.back())))
+    name.remove_suffix(1);
+  if (name.size() > 16) return std::nullopt;
+  std::string lowered(name);
+  for (char& c : lowered)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (lowered == "tombstone") return QueueBackend::kTombstone;
+  if (lowered == "indexed") return QueueBackend::kIndexed;
+  return std::nullopt;
+}
+
 QueueBackend SimEngine::default_backend() {
   int cached = g_default_backend.load(std::memory_order_relaxed);
   if (cached < 0) {
+    // Precedence: SimEngine(backend) beats set_default_backend beats the
+    // environment variable beats the tombstone fallback. The env var is
+    // resolved once per process; a blank value means "unset".
     QueueBackend resolved = QueueBackend::kTombstone;
     if (const char* env = std::getenv("MBTS_QUEUE_BACKEND")) {
-      const std::string_view name{env};
-      if (name == "indexed") {
-        resolved = QueueBackend::kIndexed;
-      } else {
-        MBTS_CHECK_MSG(name == "tombstone" || name.empty(),
-                       "MBTS_QUEUE_BACKEND must be 'tombstone' or 'indexed'");
-      }
+      const std::string_view raw{env};
+      const std::optional<QueueBackend> parsed = parse_queue_backend(raw);
+      const bool blank =
+          raw.find_first_not_of(" \t\r\n\f\v") == std::string_view::npos;
+      MBTS_CHECK_MSG(parsed.has_value() || blank,
+                     "MBTS_QUEUE_BACKEND must be 'tombstone' or 'indexed', "
+                     "got '" + std::string(raw) + "'");
+      if (parsed) resolved = *parsed;
     }
     cached = static_cast<int>(resolved);
     g_default_backend.store(cached, std::memory_order_relaxed);
   }
   return static_cast<QueueBackend>(cached);
+}
+
+void SimEngine::throw_sequence_exhausted() {
+  detail::check_fail("next_seq_ <= kSeqMask", __FILE__, __LINE__,
+                     "48-bit event-id space exhausted; sequence wrap would "
+                     "corrupt (priority, id) event ordering");
+}
+
+void SimEngine::reset_default_backend_for_test() {
+  g_default_backend.store(-1, std::memory_order_relaxed);
 }
 
 void SimEngine::set_default_backend(QueueBackend backend) {
@@ -139,6 +173,36 @@ double SimEngine::run() {
     execute(*next);
   }
   return now_;
+}
+
+double SimEngine::run_until_before(double t, int priority) {
+  MBTS_CHECK_MSG(std::isfinite(t), "boundary time must be finite (use run())");
+  MBTS_CHECK_MSG(t >= now_, "boundary lies in the past");
+  // Strictly-before semantics: an event at exactly (t, priority) is the
+  // boundary event itself and stays queued — it belongs to the coordinator,
+  // not this window.
+  while (const Event* next = peek_next()) {
+    if (next->t > t || (next->t == t && priority_of(*next) >= priority)) break;
+    execute(*next);
+  }
+  now_ = t;
+  return now_;
+}
+
+bool SimEngine::peek_next_event(double* t, int* priority, EventKind* kind) {
+  const Event* next = peek_next();
+  if (next == nullptr) return false;
+  if (t != nullptr) *t = next->t;
+  if (priority != nullptr) *priority = priority_of(*next);
+  if (kind != nullptr) *kind = record_of(id_of(*next)).kind;
+  return true;
+}
+
+bool SimEngine::step() {
+  const Event* next = peek_next();
+  if (next == nullptr) return false;
+  execute(*next);
+  return true;
 }
 
 double SimEngine::run_until(double t_end) {

@@ -44,7 +44,9 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -110,6 +112,12 @@ enum class QueueBackend : std::uint8_t {
 
 std::string to_string(QueueBackend backend);
 
+/// Parses a backend name as accepted by the MBTS_QUEUE_BACKEND environment
+/// variable. Tolerant of surrounding whitespace and letter case
+/// ("Indexed", "  TOMBSTONE\n"); returns nullopt for anything else,
+/// including the empty/blank string (callers decide the fallback).
+std::optional<QueueBackend> parse_queue_backend(std::string_view name);
+
 /// Observation hook over the engine's event lifecycle. A differential
 /// checker (src/oracle/event_checker.hpp) attaches one to replay the exact
 /// schedule/cancel/execute stream through a naive reference queue and assert
@@ -140,6 +148,9 @@ class SimEngine {
   /// set_default_backend overrides it programmatically (tests sweep both).
   static QueueBackend default_backend();
   static void set_default_backend(QueueBackend backend);
+  /// Test-only: forgets the cached env resolution so the next
+  /// default_backend() re-reads MBTS_QUEUE_BACKEND.
+  static void reset_default_backend_for_test();
 
   QueueBackend backend() const { return backend_; }
 
@@ -179,12 +190,45 @@ class SimEngine {
   /// The clock never runs backwards and no event with t > t_end executes.
   double run_until(double t_end);
 
+  /// Runs every event strictly before the (t, priority) boundary — i.e.
+  /// events with time < t, plus events at exactly t whose priority is lower
+  /// (runs-earlier) than `priority` — then advances now() to exactly t.
+  /// This is the conservative window primitive of the sharded engine: a
+  /// shard advanced to the boundary of a broker event has executed exactly
+  /// the prefix the reference single-engine run would have executed before
+  /// that event (cross-shard priorities are disjoint, so no tie straddles
+  /// the boundary). Requires t >= now() and finite.
+  double run_until_before(double t, int priority);
+
+  /// Peeks the next live event without executing it. Returns false when the
+  /// queue is drained; otherwise fills any non-null out-pointers with the
+  /// event's time, priority, and kind.
+  bool peek_next_event(double* t = nullptr, int* priority = nullptr,
+                       EventKind* kind = nullptr);
+
+  /// Executes exactly the next live event (the one peek_next_event reports).
+  /// Returns false when the queue is drained. run() is `while (step());`
+  /// plus inlining; step() exists so a coordinator can interleave per-event
+  /// execution with cross-engine synchronization.
+  bool step();
+
   bool empty() const { return live_count_ == 0; }
   std::size_t pending() const { return live_count_; }
 
   /// Attaches (or, with nullptr, detaches) a lifecycle observer. The
   /// observer is not owned and must outlive the engine or be detached first.
   void set_observer(EventObserver* observer) { observer_ = observer; }
+
+  /// Test-only: fast-forwards the event-id counter to `next` so tests can
+  /// pin the 48-bit id-exhaustion guard without scheduling 2^48 events.
+  /// Requires an idle engine (no outstanding events) and a non-decreasing
+  /// counter.
+  void set_next_sequence_for_test(std::uint64_t next) {
+    MBTS_CHECK_MSG(live_count_ == 0 && state_base_ == next_seq_,
+                   "sequence fast-forward requires an idle engine");
+    MBTS_CHECK_MSG(next >= next_seq_, "sequence counter cannot run backwards");
+    next_seq_ = state_base_ = next;
+  }
 
   /// Cancelled events still buried in the heap (always 0 on the indexed
   /// backend, which removes in place).
@@ -204,6 +248,9 @@ class SimEngine {
   };
   static constexpr unsigned kSeqBits = 48;
   static constexpr std::uint64_t kSeqMask = (std::uint64_t{1} << kSeqBits) - 1;
+  /// Cold failure path of the schedule_event id-exhaustion guard; out of
+  /// line so the inline hot path carries no string-building code.
+  [[noreturn]] static void throw_sequence_exhausted();
   static EventId id_of(const Event& ev) { return ev.key & kSeqMask; }
   static int priority_of(const Event& ev) {
     return static_cast<int>(ev.key >> kSeqBits);
@@ -374,8 +421,13 @@ inline EventId SimEngine::schedule_event(double t, EventPriority priority,
   MBTS_CHECK_MSG(handlers_[static_cast<std::size_t>(kind)] != nullptr,
                  "no handler registered for this EventKind");
   if (next_seq_ - state_base_ == records_.size()) grow_ring();
+  // Hard guard, not a DCHECK: one more id would collide with the packed
+  // priority bits and silently corrupt (priority, id) heap ordering — and
+  // sharded runs multiply per-process event counts, so exhaustion is a
+  // real (if distant) failure mode. The throw lives out of line so this
+  // hot inline path only pays one predictable branch.
+  if (next_seq_ > kSeqMask) [[unlikely]] throw_sequence_exhausted();
   const EventId id = next_seq_++;
-  MBTS_DCHECK(id <= kSeqMask);
   MBTS_DCHECK(static_cast<int>(priority) >= 0 &&
               static_cast<int>(priority) < (1 << 16));
   EventRecord& record = record_of(id);

@@ -1,0 +1,127 @@
+#include "sim/sharded_engine.hpp"
+
+#include <limits>
+#include <thread>
+
+#include "util/check.hpp"
+
+namespace mbts {
+
+ShardedEngine::ShardedEngine(std::size_t shards, std::size_t members,
+                             QueueBackend backend)
+    : shards_(shards) {
+  MBTS_CHECK_MSG(shards_ >= 1, "sharded engine needs at least one shard");
+  // More shards than members is legal (the extra workers just ack every
+  // epoch); capping keeps thread count proportional to real work.
+  if (members > 0) shards_ = std::min(shards_, members);
+  engines_.reserve(members);
+  for (std::size_t i = 0; i < members; ++i)
+    engines_.push_back(std::make_unique<SimEngine>(backend));
+  inboxes_.reserve(shards_);
+  for (std::size_t s = 0; s < shards_; ++s)
+    inboxes_.push_back(std::make_unique<SpscMailbox<Command>>());
+}
+
+ShardedEngine::~ShardedEngine() { stop(); }
+
+void ShardedEngine::start() {
+  MBTS_CHECK_MSG(!started_, "sharded engine already started");
+  started_ = true;
+  pool_ = std::make_unique<ThreadPool>(shards_);
+  workers_.reserve(shards_);
+  for (std::size_t s = 0; s < shards_; ++s)
+    workers_.push_back(pool_->submit([this, s] { worker_loop(s); }));
+}
+
+void ShardedEngine::worker_loop(std::size_t shard) {
+  bool poisoned = false;
+  for (;;) {
+    const Command command = inboxes_[shard]->pop();
+    if (command.kind == Command::Kind::kStop) return;
+    // A failed epoch (engine CHECK, job exception) must still acknowledge,
+    // or the coordinator would wait on the barrier forever; the first
+    // error is surrendered to the coordinator, which rethrows it. A
+    // poisoned shard skips all further work but keeps acking.
+    if (!poisoned) {
+      try {
+        for (std::size_t m = shard; m < engines_.size(); m += shards_) {
+          if (command.kind == Command::Kind::kDrain) {
+            engines_[m]->run();
+          } else {
+            engines_[m]->run_until_before(command.t, command.priority);
+          }
+        }
+        if (command.run_job && job_ != nullptr) (*job_)(shard);
+      } catch (...) {
+        poisoned = true;
+        std::lock_guard<std::mutex> lock(error_mutex_);
+        if (!error_) error_ = std::current_exception();
+      }
+    }
+    // Release our window's writes to the coordinator; notify only when we
+    // are the last shard (the coordinator parks on ack_cv_ after a bounded
+    // spin).
+    if (acks_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      { std::lock_guard<std::mutex> lock(ack_mutex_); }
+      ack_cv_.notify_one();
+    }
+  }
+}
+
+void ShardedEngine::broadcast_and_wait(const Command& command) {
+  MBTS_CHECK_MSG(started_ && !stopped_,
+                 "sharded engine is not running (call start())");
+  ++epoch_;
+  acks_.store(shards_, std::memory_order_relaxed);
+  for (auto& inbox : inboxes_) inbox->push(command);
+  // Spin briefly (hot path on multi-core hosts), then park.
+  for (int spin = 0; spin < 128; ++spin) {
+    if (acks_.load(std::memory_order_acquire) == 0) return;
+    std::this_thread::yield();
+  }
+  std::unique_lock<std::mutex> lock(ack_mutex_);
+  ack_cv_.wait(lock,
+               [this] { return acks_.load(std::memory_order_acquire) == 0; });
+}
+
+void ShardedEngine::rethrow_pending_error() {
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    error = error_;
+    error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ShardedEngine::advance_all(double t, int priority, const EpochJob* job) {
+  Command command;
+  command.kind = Command::Kind::kAdvance;
+  command.t = t;
+  command.priority = priority;
+  command.run_job = job != nullptr;
+  job_ = job;
+  broadcast_and_wait(command);
+  job_ = nullptr;
+  rethrow_pending_error();
+}
+
+void ShardedEngine::drain_all() {
+  Command command;
+  command.kind = Command::Kind::kDrain;
+  broadcast_and_wait(command);
+  rethrow_pending_error();
+}
+
+void ShardedEngine::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  Command command;
+  command.kind = Command::Kind::kStop;
+  for (auto& inbox : inboxes_) inbox->push(command);
+  for (auto& worker : workers_) worker.get();
+  workers_.clear();
+  pool_.reset();
+}
+
+}  // namespace mbts

@@ -1,0 +1,135 @@
+// Sharded multi-engine execution with conservative time-windowed sync.
+//
+// A ShardedEngine owns one SimEngine per *member* (the market layer makes
+// one member per site) and partitions members round-robin across a fixed
+// set of shard worker threads (one dedicated ThreadPool worker per shard).
+// A single coordinator thread (the caller) owns a separate "global" engine
+// — in the market this is the broker's engine, holding every cross-member
+// event: bid arrivals, retry rounds, re-bids, fault transitions.
+//
+// Execution alternates between two phases:
+//
+//  - Parallel window: the coordinator broadcasts an epoch command through
+//    per-shard SPSC mailboxes; every shard advances each of its member
+//    engines up to — but strictly before — the boundary (t, priority) of
+//    the next global event (SimEngine::run_until_before), optionally runs
+//    an epoch job (e.g. computing one site's quotes for the bid about to
+//    negotiate), and acknowledges. The coordinator blocks until all shards
+//    have acknowledged.
+//  - Serial sync point: with every shard parked in its mailbox wait, the
+//    coordinator executes exactly one global event. Its handler may freely
+//    read and mutate member state (quote, award, crash, recover) and
+//    schedule into member engines: the mailbox handshake's release/acquire
+//    pairs make all shard-side writes visible here, and all coordinator
+//    writes visible to the shards' next window.
+//
+// Determinism: member engines never talk to each other — they interact
+// only through global events — and the global/member event priorities are
+// disjoint (kFault/kArrival vs kCompletion/kDispatch/kControl), so the
+// (t, priority) boundary is never a tie across the shard seam. Each member
+// engine therefore executes exactly the subsequence of the reference
+// single-engine schedule that belongs to it, in the same order, with the
+// same clock readings, and a sharded run is bit-identical to the reference
+// for any shard count. See DESIGN.md §8 for the full argument.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "util/spsc.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mbts {
+
+class ShardedEngine {
+ public:
+  /// The per-shard work run inside an epoch after the member engines have
+  /// advanced to the boundary. Receives the shard index; runs concurrently
+  /// with other shards' jobs (never with the coordinator).
+  using EpochJob = std::function<void(std::size_t shard)>;
+
+  /// Creates `members` engines (all on `backend`) partitioned over
+  /// `shards` workers; member i belongs to shard i % shards. Workers are
+  /// not started yet: build the member objects (sites) against the engines
+  /// first, then call start().
+  ShardedEngine(std::size_t shards, std::size_t members, QueueBackend backend);
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  std::size_t shards() const { return shards_; }
+  std::size_t members() const { return engines_.size(); }
+  std::size_t shard_of(std::size_t member) const { return member % shards_; }
+  SimEngine& member_engine(std::size_t member) { return *engines_[member]; }
+
+  /// Spawns the shard workers (dedicated ThreadPool workers). Must be
+  /// called once, before the first epoch; until then the coordinator may
+  /// touch member engines freely (construction, injection).
+  void start();
+
+  /// One conservative window: every member engine advances strictly before
+  /// the (t, priority) boundary, then `job` (when non-null) runs once per
+  /// shard. Blocks until every shard has acknowledged; on return the
+  /// coordinator again owns all member state. Boundaries must be
+  /// non-decreasing across epochs.
+  void advance_all(double t, int priority, const EpochJob* job = nullptr);
+
+  /// Final phase: every member engine runs to completion (no boundary).
+  /// Blocks until done; typically followed by stop().
+  void drain_all();
+
+  /// Parks and joins the shard workers. Idempotent; the destructor calls
+  /// it. After stop() the coordinator owns all member state again.
+  void stop();
+
+  /// Epochs executed so far (observability; one per advance_all/drain_all).
+  std::uint64_t epochs() const { return epoch_; }
+
+ private:
+  struct Command {
+    enum class Kind : std::uint8_t { kAdvance, kDrain, kStop };
+    Kind kind = Kind::kAdvance;
+    double t = 0.0;
+    int priority = 0;
+    bool run_job = false;
+  };
+
+  void worker_loop(std::size_t shard);
+  void broadcast_and_wait(const Command& command);
+  /// Rethrows (once) the first exception any shard raised during an epoch.
+  void rethrow_pending_error();
+
+  std::size_t shards_;
+  std::vector<std::unique_ptr<SimEngine>> engines_;
+  // Mailboxes live behind unique_ptr so the vector never relocates a
+  // mutex/condvar while a worker waits on it.
+  std::vector<std::unique_ptr<SpscMailbox<Command>>> inboxes_;
+  // The epoch barrier: workers decrement with release order once their
+  // window is done; the coordinator spins-then-parks until zero, acquiring
+  // every shard's writes. Guarded by the mailbox for the forward direction.
+  std::atomic<std::size_t> acks_{0};
+  std::mutex ack_mutex_;
+  std::condition_variable ack_cv_;
+  // First exception raised by any shard during an epoch; rethrown to the
+  // coordinator at the end of that advance/drain call.
+  std::mutex error_mutex_;
+  std::exception_ptr error_;
+
+  const EpochJob* job_ = nullptr;  // valid only while an epoch is in flight
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::future<void>> workers_;
+  std::uint64_t epoch_ = 0;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace mbts

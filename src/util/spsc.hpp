@@ -1,0 +1,107 @@
+// Single-producer/single-consumer mailbox for shard coordination.
+//
+// A fixed-capacity ring of trivially-copyable messages with exactly one
+// producer thread and one consumer thread. push/pop synchronize through two
+// atomic cursors (acquire/release), so every write the producer made before
+// push() is visible to the consumer after pop() returns the message — the
+// happens-before edge the sharded engine's epoch protocol is built on.
+//
+// Blocking behaviour is spin-then-park: a short bounded spin (the common
+// case when both sides are hot) followed by a mutex/condvar wait, so an
+// idle side never burns a core. This keeps the mailbox usable on
+// single-core machines, where pure spinning would serialize every handoff
+// on the scheduler quantum.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+
+#include "util/check.hpp"
+
+namespace mbts {
+
+template <typename T, std::size_t kCapacity = 8>
+class SpscMailbox {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "mailbox messages must be PODs — they are memcpy'd through "
+                "the ring");
+  static_assert(kCapacity >= 2 && (kCapacity & (kCapacity - 1)) == 0,
+                "capacity must be a power of two");
+
+ public:
+  /// Producer side. Blocks (rare: the coordinator keeps at most one command
+  /// in flight per shard) until a slot frees up.
+  void push(const T& message) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (full(tail)) {
+      wait([&] { return !full(tail_.load(std::memory_order_relaxed)); });
+    }
+    slots_[tail & kMask] = message;
+    tail_.store(tail + 1, std::memory_order_release);
+    notify();
+  }
+
+  /// Consumer side. Blocks until a message arrives.
+  T pop() {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (empty(head)) {
+      wait([&] { return !empty(head_.load(std::memory_order_relaxed)); });
+    }
+    T message = slots_[head & kMask];
+    head_.store(head + 1, std::memory_order_release);
+    notify();
+    return message;
+  }
+
+  /// Consumer side, non-blocking. Returns false when the ring is empty.
+  bool try_pop(T* out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (empty(head)) return false;
+    *out = slots_[head & kMask];
+    head_.store(head + 1, std::memory_order_release);
+    notify();
+    return true;
+  }
+
+ private:
+  static constexpr std::size_t kMask = kCapacity - 1;
+  // A few hundred pause/yield iterations cover the hot handoff without
+  // holding a core hostage when the peer is descheduled (1-core hosts).
+  static constexpr int kSpins = 128;
+
+  bool empty(std::size_t head) const {
+    return head == tail_.load(std::memory_order_acquire);
+  }
+  bool full(std::size_t tail) const {
+    return tail - head_.load(std::memory_order_acquire) == kCapacity;
+  }
+
+  template <typename Ready>
+  void wait(const Ready& ready) {
+    for (int spin = 0; spin < kSpins; ++spin) {
+      if (ready()) return;
+      std::this_thread::yield();
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, ready);
+  }
+
+  void notify() {
+    // Take the lock so the notify cannot slip between a waiter's predicate
+    // check and its wait() — the classic lost-wakeup window.
+    { std::lock_guard<std::mutex> lock(mutex_); }
+    cv_.notify_one();
+  }
+
+  T slots_[kCapacity];
+  std::atomic<std::size_t> head_{0};  // consumer cursor
+  std::atomic<std::size_t> tail_{0};  // producer cursor
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+}  // namespace mbts

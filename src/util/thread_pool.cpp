@@ -31,18 +31,22 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  // Scoped, not just assigned: nested pools are legal (a worker may build
+  // and drive an inner pool), and if this thread is ever reused by another
+  // pool's machinery the marker must not leak past this pool's lifetime.
   current_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ and drained
+      if (queue_.empty()) break;  // stop_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
     }
     task();
   }
+  current_worker_pool = nullptr;
 }
 
 void ThreadPool::parallel_for(std::size_t n,
@@ -61,23 +65,33 @@ void ThreadPool::parallel_for(std::size_t n,
   std::vector<std::future<void>> futures;
   futures.reserve(chunks);
   std::size_t begin = 0;
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t count = base + (c < extra ? 1 : 0);
-    const std::size_t end = begin + count;
-    futures.push_back(submit([&fn, begin, end] {
-      // Every index runs even when a sibling throws; the block reports the
-      // first failure once the rest of its range has been attempted.
-      std::exception_ptr error;
-      for (std::size_t i = begin; i < end; ++i) {
-        try {
-          fn(i);
-        } catch (...) {
-          if (!error) error = std::current_exception();
+  try {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t count = base + (c < extra ? 1 : 0);
+      const std::size_t end = begin + count;
+      futures.push_back(submit([&fn, begin, end] {
+        // Every index runs even when a sibling throws; the block reports the
+        // first failure once the rest of its range has been attempted.
+        std::exception_ptr error;
+        for (std::size_t i = begin; i < end; ++i) {
+          try {
+            fn(i);
+          } catch (...) {
+            if (!error) error = std::current_exception();
+          }
         }
-      }
-      if (error) std::rethrow_exception(error);
-    }));
-    begin = end;
+        if (error) std::rethrow_exception(error);
+      }));
+      begin = end;
+    }
+  } catch (...) {
+    // A failed submit (allocation) must not leak in-flight blocks: their
+    // lambdas capture `fn` by reference, which dies with this frame, so
+    // wait for everything already queued before propagating.
+    for (auto& f : futures) {
+      if (f.valid()) f.wait();
+    }
+    throw;
   }
   MBTS_DCHECK(begin == n);
   std::exception_ptr first_error;

@@ -50,6 +50,10 @@ class ThreadPool {
   /// another throws; one exception is rethrown (first one wins).
   /// Must not be called from a worker of this same pool (MBTS_CHECK —
   /// blocking on your own pool's queue deadlocks once all workers do it).
+  /// Calling it on a *different* pool from a worker is fine: nested scoped
+  /// pools and cross-pool fan-out are supported and exception-safe (a
+  /// worker exception — or a failed submit — never leaves a queued block
+  /// holding a dangling reference to `fn`).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

@@ -51,6 +51,30 @@ TEST(Differential, FaultHeavySweepAgrees) {
   }
 }
 
+TEST(Differential, ShardedSweepAgrees) {
+  // Every market scenario of the sweep, forced through the sharded engine:
+  // the optimized side must stay bit-identical to the oracle no matter how
+  // many workers execute the sites.
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    Scenario sc = oracle::generate_scenario(31, i);
+    if (!sc.market) {
+      sc.market = true;
+      sc.n_sites = 3;
+    }
+    sc.shards = 1 + i % 3;
+    expect_agreement(sc, "sharded scenario " + std::to_string(i));
+  }
+}
+
+TEST(Differential, ReplayCodecAcceptsPreShardingLines) {
+  // Replay lines recorded before the shards knob existed have no shards=
+  // key; they must still parse, defaulting to the single-engine reference.
+  const auto decoded = oracle::parse_replay(
+      "seed=5 tasks=80 market=1 sites=2 procs=4");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->shards, 1u);
+}
+
 TEST(Differential, ReplayCodecRoundTrips) {
   for (std::uint64_t i = 0; i < 50; ++i) {
     const Scenario sc = oracle::generate_scenario(99, i);
@@ -159,6 +183,41 @@ const Scenario kRegressions[] = {
         .mean_outage = 150,
         .quote_timeout_prob = 0,
         .crash_mode = CrashMode::kKill,
+    },
+    // Sharded seam coverage: a contended two-site market with faults and
+    // quote timeouts, executed on two shard workers. Pins the conservative
+    // epoch boundary (completion-before-fault at equal t) and the serial
+    // Phase-1 timeout draws against the oracle.
+    oracle::Scenario{
+        .seed = 11ULL,
+        .n_tasks = 60,
+        .market = true,
+        .n_sites = 2,
+        .processors = 4,
+        .preemption = true,
+        .discount_rate = 0.01,
+        .mix_full_rebuild = false,
+        .policy = PolicySpec::Kind::kFirstReward,
+        .alpha = 0.5,
+        .use_slack_admission = true,
+        .threshold = 0,
+        .literal_eq8 = false,
+        .load_factor = 1.5,
+        .penalty = PenaltyModel::kUnbounded,
+        .penalty_value_scale = 1,
+        .uniform_decay = false,
+        .decay_skew = 5,
+        .estimate_error_sigma = 0,
+        .max_width = 1,
+        .strategy = ClientStrategy::kMaxExpectedValue,
+        .pricing = PricingModel::kSecondPrice,
+        .budgets = true,
+        .faults = true,
+        .outage_rate = 0.002,
+        .mean_outage = 150,
+        .quote_timeout_prob = 0.1,
+        .crash_mode = CrashMode::kKill,
+        .shards = 2,
     },
 };
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -393,6 +394,115 @@ TEST(SimEngineBackend, DefaultBackendIsOverridable) {
 TEST(SimEngineBackend, ToStringNamesBothBackends) {
   EXPECT_EQ(to_string(QueueBackend::kTombstone), "tombstone");
   EXPECT_EQ(to_string(QueueBackend::kIndexed), "indexed");
+}
+
+TEST(SimEngineBackend, ParseAcceptsCaseAndWhitespaceVariants) {
+  EXPECT_EQ(parse_queue_backend("tombstone"), QueueBackend::kTombstone);
+  EXPECT_EQ(parse_queue_backend("indexed"), QueueBackend::kIndexed);
+  EXPECT_EQ(parse_queue_backend("TOMBSTONE"), QueueBackend::kTombstone);
+  EXPECT_EQ(parse_queue_backend("  Indexed \n"), QueueBackend::kIndexed);
+  EXPECT_EQ(parse_queue_backend("\ttombstone\r\n"), QueueBackend::kTombstone);
+}
+
+TEST(SimEngineBackend, ParseRejectsEverythingElse) {
+  EXPECT_FALSE(parse_queue_backend("").has_value());
+  EXPECT_FALSE(parse_queue_backend("   ").has_value());
+  EXPECT_FALSE(parse_queue_backend("tombstones").has_value());
+  EXPECT_FALSE(parse_queue_backend("index").has_value());
+  EXPECT_FALSE(parse_queue_backend("tombstone indexed").has_value());
+  EXPECT_FALSE(parse_queue_backend(std::string(64, 'x')).has_value());
+}
+
+// Restores MBTS_QUEUE_BACKEND and the cached process default on exit, so
+// these tests cannot leak state into engine tests that run after them.
+class ScopedBackendEnv {
+ public:
+  ScopedBackendEnv() : original_(SimEngine::default_backend()) {
+    const char* env = std::getenv("MBTS_QUEUE_BACKEND");
+    if (env != nullptr) saved_ = env;
+    had_env_ = env != nullptr;
+  }
+  ~ScopedBackendEnv() {
+    if (had_env_) {
+      ::setenv("MBTS_QUEUE_BACKEND", saved_.c_str(), 1);
+    } else {
+      ::unsetenv("MBTS_QUEUE_BACKEND");
+    }
+    SimEngine::reset_default_backend_for_test();
+    SimEngine::set_default_backend(original_);
+  }
+
+ private:
+  QueueBackend original_;
+  std::string saved_;
+  bool had_env_ = false;
+};
+
+TEST(SimEngineBackend, EnvSelectsDefaultNormalized) {
+  ScopedBackendEnv guard;
+  ::setenv("MBTS_QUEUE_BACKEND", "  InDeXeD ", 1);
+  SimEngine::reset_default_backend_for_test();
+  EXPECT_EQ(SimEngine::default_backend(), QueueBackend::kIndexed);
+  EXPECT_EQ(SimEngine().backend(), QueueBackend::kIndexed);
+}
+
+TEST(SimEngineBackend, BlankEnvMeansUnset) {
+  ScopedBackendEnv guard;
+  ::setenv("MBTS_QUEUE_BACKEND", "   ", 1);
+  SimEngine::reset_default_backend_for_test();
+  EXPECT_EQ(SimEngine::default_backend(), QueueBackend::kTombstone);
+}
+
+TEST(SimEngineBackend, InvalidEnvFailsLoudly) {
+  // A typo'd backend must not silently fall back — the run would use the
+  // wrong queue and perf numbers would lie.
+  ScopedBackendEnv guard;
+  ::setenv("MBTS_QUEUE_BACKEND", "tombston", 1);
+  SimEngine::reset_default_backend_for_test();
+  EXPECT_THROW(SimEngine::default_backend(), CheckError);
+}
+
+TEST(SimEngineBackend, SetDefaultBackendBeatsEnv) {
+  ScopedBackendEnv guard;
+  ::setenv("MBTS_QUEUE_BACKEND", "indexed", 1);
+  SimEngine::reset_default_backend_for_test();
+  SimEngine::set_default_backend(QueueBackend::kTombstone);
+  EXPECT_EQ(SimEngine::default_backend(), QueueBackend::kTombstone);
+}
+
+TEST(SimEngineBackend, ExplicitConstructorBeatsEverything) {
+  ScopedBackendEnv guard;
+  ::setenv("MBTS_QUEUE_BACKEND", "indexed", 1);
+  SimEngine::reset_default_backend_for_test();
+  SimEngine engine{QueueBackend::kTombstone};
+  EXPECT_EQ(engine.backend(), QueueBackend::kTombstone);
+}
+
+TEST(SimEngineSequence, ExhaustionGuardThrowsInsteadOfWrapping) {
+  // Event ids live in 48 bits of the packed (priority, id) heap key. A
+  // wrapped id would re-enter the ordering space below live events and
+  // silently corrupt the execution order, so allocation past the last id
+  // must fail loudly instead.
+  SimEngine engine;
+  const std::uint64_t last = (std::uint64_t{1} << 48) - 1;
+  engine.set_next_sequence_for_test(last);
+  // The final id is still allocatable...
+  engine.schedule_at(1.0, EventPriority::kControl, [] {});
+  // ...and the first allocation past it throws rather than wrapping.
+  EXPECT_THROW(engine.schedule_at(2.0, EventPriority::kControl, [] {}),
+               CheckError);
+}
+
+TEST(SimEngineSequence, FastForwardRequiresIdleEngine) {
+  SimEngine engine;
+  engine.schedule_at(1.0, EventPriority::kControl, [] {});
+  EXPECT_THROW(engine.set_next_sequence_for_test(1 << 20), CheckError);
+}
+
+TEST(SimEngineSequence, FastForwardCannotRunBackwards) {
+  SimEngine engine;
+  engine.set_next_sequence_for_test(1 << 20);
+  EXPECT_THROW(engine.set_next_sequence_for_test(1 << 10), CheckError);
 }
 
 }  // namespace

@@ -118,6 +118,46 @@ TEST(ThreadPool, ParallelForFromOtherPoolWorkerIsAllowed) {
   EXPECT_EQ(count.load(), 10);
 }
 
+TEST(ThreadPool, NestedScopedPoolInsideWorkerCompletes) {
+  // A worker may build, drive, and destroy its own inner pool without
+  // deadlocking and without tripping the outer pool's re-entrancy check
+  // (the guard is per-pool, and inner workers are fresh threads).
+  ThreadPool outer(2);
+  std::atomic<int> count{0};
+  auto future = outer.submit([&count] {
+    ThreadPool inner(2);
+    inner.parallel_for(8, [&count](std::size_t) { ++count; });
+  });
+  EXPECT_NO_THROW(future.get());
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, NestedParallelForPropagatesInnerException) {
+  // An exception thrown two pool layers deep surfaces through both futures
+  // with its original type.
+  ThreadPool outer(2);
+  auto future = outer.submit([] {
+    ThreadPool inner(2);
+    inner.parallel_for(4, [](std::size_t i) {
+      if (i == 2) throw std::runtime_error("inner boom");
+    });
+  });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, PoolStaysUsableAfterReentrancyError) {
+  // The re-entrancy CheckError is thrown before any work is queued, so the
+  // pool must remain fully functional afterwards.
+  ThreadPool pool(2);
+  auto bad = pool.submit([&pool] {
+    pool.parallel_for(2, [](std::size_t) {});
+  });
+  EXPECT_THROW(bad.get(), CheckError);
+  std::atomic<int> count{0};
+  pool.parallel_for(10, [&count](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 10);
+}
+
 TEST(ThreadPool, DestructorDrainsQueue) {
   std::atomic<int> count{0};
   {

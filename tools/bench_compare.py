@@ -46,7 +46,10 @@ def main():
             print(f"  warning: {label} numbers are not from a release build")
 
     regressions = []
-    name_width = max((len(n) for n in base), default=4)
+    # Width over the union: a freshly-added benchmark (present only in the
+    # candidate, e.g. BM_ShardedScaling before its baseline lands) must not
+    # break the table layout — or the lane.
+    name_width = max((len(n) for n in set(base) | set(cand)), default=4)
     print(f"{'benchmark':<{name_width}}  {'baseline':>12}  {'candidate':>12}"
           f"  {'delta':>8}")
     for name in sorted(base):
@@ -64,8 +67,14 @@ def main():
             regressions.append((name, delta))
         print(f"{name:<{name_width}}  {bt:>10.0f}{unit}  {ct:>10.0f}{unit}"
               f"  {delta:>+7.1f}%{marker}")
+    # Candidate-only benchmarks are informational, never regressions: show
+    # their timing so the first nightly after adding one still has numbers.
     for name in sorted(set(cand) - set(base)):
-        print(f"{name:<{name_width}}  (new, no baseline)")
+        c = cand[name]
+        ct = c["real_time"]
+        unit = c.get("time_unit", "ns")
+        print(f"{name:<{name_width}}  {'(no baseline)':>14}  "
+              f"{ct:>10.0f}{unit}")
 
     if regressions:
         print(f"\n{len(regressions)} benchmark(s) regressed more than "
