@@ -94,6 +94,55 @@ void BM_DispatchBacklog(benchmark::State& state) {
 }
 BENCHMARK(BM_DispatchBacklog)->Unit(benchmark::kMillisecond)->Arg(1000)->Arg(10000);
 
+// The SoA-kernel headline: a standing backlog of n pending tasks drains
+// for a fixed window, so one iteration performs a few hundred full-queue
+// rescores at constant pending depth (unlike BM_DispatchBacklog, which
+// drains to empty and so can't reach 100k tasks in reasonable time).
+// arg1 toggles ScoreKernelMode: 0 = scalar AoS cache path, 1 = the batch
+// kernels (scheduler default) — committed side by side in
+// BENCH_dispatch.json so the kernel speedup is part of the perf record.
+void BM_DispatchBurst(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool kernels = state.range(1) != 0;
+  mbts::Xoshiro256 rng(23);
+  std::vector<mbts::Task> tasks(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    mbts::Task& t = tasks[i];
+    t.id = static_cast<mbts::TaskId>(i + 1);
+    t.arrival = 0.0;
+    t.runtime = rng.uniform(1.0, 10.0);
+    t.value = mbts::ValueFunction::unbounded(rng.uniform(10.0, 100.0),
+                                             rng.uniform(0.001, 0.05));
+  }
+  mbts::SchedulerConfig config;
+  config.processors = 64;
+  config.preemption = true;
+  config.discount_rate = 0.01;
+  config.score_kernels = kernels ? mbts::ScoreKernelMode::kExact
+                                 : mbts::ScoreKernelMode::kOff;
+  std::uint64_t dispatches = 0;
+  for (auto _ : state) {
+    mbts::SimEngine engine;
+    mbts::SiteScheduler site(
+        engine, config, mbts::make_policy(mbts::PolicySpec::first_reward(0.3)),
+        std::make_unique<mbts::AcceptAllAdmission>());
+    site.preload(tasks);
+    engine.run_until(5.0);
+    const auto stats = site.stats();
+    dispatches += stats.dispatches;
+    benchmark::DoNotOptimize(stats.total_yield);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(dispatches));
+  state.counters["pending"] = static_cast<double>(n);
+  state.counters["kernels"] = kernels ? 1.0 : 0.0;
+}
+BENCHMARK(BM_DispatchBurst)
+    ->Unit(benchmark::kMillisecond)
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Args({100000, 0})
+    ->Args({100000, 1});
+
 // Quote throughput against a standing backlog of n pending tasks: the
 // market-probe hot path. Each quote rescores the whole queue, repairs the
 // rank order, and runs the candidate-schedule projection; SlackAdmission
@@ -135,7 +184,11 @@ void BM_QuoteBacklog(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(quotes));
   state.counters["pending"] = static_cast<double>(site.pending_count());
 }
-BENCHMARK(BM_QuoteBacklog)->Unit(benchmark::kMicrosecond)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_QuoteBacklog)
+    ->Unit(benchmark::kMicrosecond)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000);
 
 }  // namespace
 

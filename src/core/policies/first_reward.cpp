@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/metrics.hpp"
+#include "core/score_kernels.hpp"
 #include "util/check.hpp"
 
 namespace mbts {
@@ -83,6 +84,32 @@ void FirstRewardPolicy::batch_priority_from_cache(
     const double cost = std::max(total - caches[i].b, 0.0) * rpts[i];
     out[i] = (caches[i].a - weight * cost) / caches[i].c;
   }
+}
+
+void FirstRewardPolicy::kernel_make_cache(const ScoreColumnsView& cols,
+                                          const MixView& mix,
+                                          KernelVariant variant, double* a,
+                                          double* b, double* c) const {
+  (void)variant;
+  kernels::first_reward_cache(cols, mix.now, mix.discount_rate, alpha_,
+                              basis_ == YieldBasis::kAtCompletion, a, b, c);
+}
+
+void FirstRewardPolicy::kernel_priority(const ScoreColumnsView& cols,
+                                        const double* a, const double* b,
+                                        const double* c, const MixView& mix,
+                                        KernelVariant variant,
+                                        double* out) const {
+  if (mix.any_bounded) {
+    // Eq. 4 opportunity cost walks the competitor list per task — no flat
+    // columnar form; same scalar fallback as batch_priority_from_cache.
+    for (std::size_t i = 0; i < cols.n; ++i)
+      out[i] = priority_from_cache({a[i], b[i], c[i]}, *cols.tasks[i],
+                                   cols.rpt[i], mix);
+    return;
+  }
+  kernels::first_reward_combine(cols, a, b, c, mix.total_live_decay, alpha_,
+                                variant, out);
 }
 
 }  // namespace mbts

@@ -38,6 +38,18 @@ class FirstRewardPolicy final : public SchedulingPolicy {
                                  std::size_t n, const MixView& mix,
                                  double* out) const override;
 
+  /// SoA kernels. The cache pass is always exact (under kFast only the
+  /// combine's final division switches to a reciprocal multiply); a
+  /// bounded mix drops the combine to the scalar Eq. 4 loop, like
+  /// batch_priority_from_cache.
+  bool kernelizable() const override { return true; }
+  void kernel_make_cache(const ScoreColumnsView& cols, const MixView& mix,
+                         KernelVariant variant, double* a, double* b,
+                         double* c) const override;
+  void kernel_priority(const ScoreColumnsView& cols, const double* a,
+                       const double* b, const double* c, const MixView& mix,
+                       KernelVariant variant, double* out) const override;
+
   double alpha() const { return alpha_; }
 
  private:

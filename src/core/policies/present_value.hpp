@@ -33,6 +33,16 @@ class PresentValuePolicy final : public SchedulingPolicy {
     for (std::size_t i = 0; i < n; ++i) out[i] = caches[i].a;
   }
 
+  // SoA kernels: the cached score lives in column a; the priority pass is
+  // a straight copy.
+  bool kernelizable() const override { return true; }
+  void kernel_make_cache(const ScoreColumnsView& cols, const MixView& mix,
+                         KernelVariant variant, double* a, double* b,
+                         double* c) const override;
+  void kernel_priority(const ScoreColumnsView& cols, const double* a,
+                       const double* b, const double* c, const MixView& mix,
+                       KernelVariant variant, double* out) const override;
+
  private:
   YieldBasis basis_;
 };

@@ -1,5 +1,8 @@
 #include "core/policies/swpt.hpp"
 
+#include <algorithm>
+
+#include "core/score_kernels.hpp"
 #include "util/check.hpp"
 
 namespace mbts {
@@ -12,6 +15,25 @@ double SwptPolicy::priority(const Task& task, double rpt,
   const double weight =
       task.value.decay_at_delay(task.delay_at_completion(mix.now));
   return weight / rpt;
+}
+
+void SwptPolicy::kernel_make_cache(const ScoreColumnsView& cols,
+                                   const MixView& mix, KernelVariant variant,
+                                   double* a, double* b, double* c) const {
+  (void)b;
+  (void)c;
+  kernels::swpt_scores(cols, mix.now, variant, a);
+}
+
+void SwptPolicy::kernel_priority(const ScoreColumnsView& cols, const double* a,
+                                 const double* b, const double* c,
+                                 const MixView& mix, KernelVariant variant,
+                                 double* out) const {
+  (void)b;
+  (void)c;
+  (void)mix;
+  (void)variant;
+  std::copy(a, a + cols.n, out);
 }
 
 }  // namespace mbts

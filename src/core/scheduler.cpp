@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/rank_sort.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
@@ -31,6 +32,8 @@ SiteScheduler::SiteScheduler(SimEngine& engine, SchedulerConfig config,
                  "discount rate must be non-negative");
   mix_.set_discount_rate(config_.discount_rate);
   policy_cacheable_ = policy_->cacheable();
+  kernel_enabled_ = policy_cacheable_ && policy_->kernelizable() &&
+                    config_.score_kernels != ScoreKernelMode::kOff;
   admission_reads_suffix_ = admission_->reads_ranked_suffix();
   engine_.register_handler(EventKind::kTaskCompletion,
                            &SiteScheduler::handle_completion);
@@ -137,6 +140,10 @@ void SiteScheduler::batch_fresh_scores(std::span<TaskState* const> tasks,
           policy_->priority(tasks[i]->task, tasks[i]->queue_rpt, mix);
     return;
   }
+  if (kernel_enabled_) {
+    kernel_fresh_scores(tasks, mix);
+    return;
+  }
   batch_caches_.resize(n);
   batch_tasks_.resize(n);
   batch_rpts_.resize(n);
@@ -197,44 +204,94 @@ void SiteScheduler::batch_fresh_scores(std::span<TaskState* const> tasks,
 #endif
 }
 
+void SiteScheduler::kernel_refresh_columns(const MixView& mix) {
+  const std::size_t m = columns_.size();
+  double* stamp = columns_.stamp_now();
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < m; ++i)
+    hits += static_cast<std::size_t>(stamp[i] == mix.now);
+  if (hits == m) return;  // quote burst at one instant: all columns warm
+  const ScoreColumnsView view = columns_.view();
+  double* a = columns_.cache_a();
+  double* b = columns_.cache_b();
+  double* c = columns_.cache_c();
+  if (hits == 0) {
+    // First scan at a new instant: one vector pass over every slot, then
+    // overwrite the piecewise slots the flat columns cannot describe with
+    // the scalar make_cache result (exact in every variant).
+    policy_->kernel_make_cache(view, mix, kernel_variant(), a, b, c);
+    if (columns_.nonlinear_count() > 0) {
+      for (std::size_t i = 0; i < m; ++i) {
+        if (view.linear[i]) continue;
+        const ScoreCache cache =
+            policy_->make_cache(*view.tasks[i], view.rpt[i], mix);
+        a[i] = cache.a;
+        b[i] = cache.b;
+        c[i] = cache.c;
+      }
+    }
+    std::fill(stamp, stamp + m, mix.now);
+  } else {
+    // Mid-instant arrivals: only the freshly-pushed slots are stale.
+    // Scalar make_cache per miss — exact, so under kFast a slot scored at
+    // a fresh instant and one refreshed here may differ by the documented
+    // ulp tolerance, deterministically (DESIGN.md §6).
+    for (std::size_t i = 0; i < m; ++i) {
+      if (stamp[i] == mix.now) continue;
+      const ScoreCache cache =
+          policy_->make_cache(*view.tasks[i], view.rpt[i], mix);
+      a[i] = cache.a;
+      b[i] = cache.b;
+      c[i] = cache.c;
+      stamp[i] = mix.now;
+    }
+  }
+}
+
+void SiteScheduler::kernel_fresh_scores(std::span<TaskState* const> tasks,
+                                        const MixView& mix) {
+  MBTS_PROF_SCOPE("scheduler/kernel_rescore");
+  const std::size_t n = tasks.size();
+  // Both call sites scan exactly the whole pending set (pending_ itself or
+  // rank_order_, a permutation of it), so per-slot scores computed once
+  // cover any scan order via the queue_pos gather below.
+  MBTS_DCHECK(columns_.size() == n);
+  kernel_refresh_columns(mix);
+  kernel_scores_.resize(n);
+  policy_->kernel_priority(columns_.view(), columns_.cache_a(),
+                           columns_.cache_b(), columns_.cache_c(), mix,
+                           kernel_variant(), kernel_scores_.data());
+  for (std::size_t i = 0; i < n; ++i)
+    batch_scores_[i] = kernel_scores_[tasks[i]->queue_pos];
+#ifndef NDEBUG
+  if (config_.score_kernels == ScoreKernelMode::kExact) {
+    // Bit-identity cross-check against the scalar path. Exhaustive up to
+    // 4096 pending; beyond that a strided sample keeps debug builds of the
+    // 100k-pending fingerprint/bench scenarios from going quadratic (the
+    // exhaustive check still runs in every normal-sized test).
+    const std::size_t stride = n <= 4096 ? 1 : 97;
+    for (std::size_t i = 0; i < n; i += stride)
+      MBTS_DCHECK(batch_scores_[i] == policy_->priority(
+                                          tasks[i]->task,
+                                          tasks[i]->queue_rpt, mix));
+    if (n > 0)
+      MBTS_DCHECK(batch_scores_[n - 1] == policy_->priority(
+                                              tasks[n - 1]->task,
+                                              tasks[n - 1]->queue_rpt, mix));
+  }
+#endif
+}
+
 bool SiteScheduler::rank_less(const Scored& a, const Scored& b) {
   if (a.score != b.score) return a.score > b.score;
   return a.ts->task.id < b.ts->task.id;
 }
 
 void SiteScheduler::adaptive_rank_sort() {
-  auto& v = scored_;
-  std::size_t inversions = 0;
-  for (std::size_t i = 1; i < v.size(); ++i)
-    if (rank_less(v[i], v[i - 1])) ++inversions;
-  if (inversions == 0) return;
-  // A handful of adjacent inversions means "one new arrival plus drift":
-  // insertion sort finishes in O(n + displacement). Anything messier (first
-  // quote at a new instant after scores moved arbitrarily) falls back to
-  // std::sort, also if the move budget trips mid-pass.
-  if (inversions <= 16) {
-    std::size_t moves = 0;
-    const std::size_t budget = 4 * v.size() + 256;
-    for (std::size_t i = 1; i < v.size(); ++i) {
-      if (!rank_less(v[i], v[i - 1])) continue;
-      const Scored x = v[i];
-      std::size_t j = i;
-      do {
-        v[j] = v[j - 1];
-        --j;
-        if (++moves > budget) {
-          // Re-seat the in-flight element so v is a permutation again
-          // before handing it to std::sort.
-          v[j] = x;
-          std::sort(v.begin(), v.end(), rank_less);
-          return;
-        }
-      } while (j > 0 && rank_less(x, v[j - 1]));
-      v[j] = x;
-    }
-    return;
-  }
-  std::sort(v.begin(), v.end(), rank_less);
+  // Shared warm-start implementation (core/rank_sort.hpp); the churn
+  // cross-check against std::sort lives in tests/test_rank_sort.cpp, and
+  // the call site DCHECKs the post-condition.
+  adaptive_sort(scored_, rank_less);
 }
 
 const MixView& SiteScheduler::mix_refresh() {
@@ -283,6 +340,9 @@ SiteScheduler::TaskState& SiteScheduler::acquire_state() {
 void SiteScheduler::push_pending(TaskState& ts) {
   ts.queue_pos = static_cast<std::uint32_t>(pending_.size());
   pending_.push_back(&ts);
+  // The SoA mirror gets the same slot: queue_rpt is already latched by
+  // every caller, and ts.task is stable storage (states_ is a deque).
+  if (kernel_enabled_) columns_.push(ts.task, ts.queue_rpt);
   // New arrivals join the rank cache at the back; the next quote's repair
   // pass walks them into place.
   rank_order_.push_back(&ts);
@@ -294,6 +354,8 @@ void SiteScheduler::erase_pending(TaskState& ts) {
   pending_[pos] = pending_.back();
   pending_[pos]->queue_pos = pos;
   pending_.pop_back();
+  // Same swap-with-back on the SoA mirror keeps slot i == pending_[i].
+  if (kernel_enabled_) columns_.swap_erase(pos);
   const auto it = std::find(rank_order_.begin(), rank_order_.end(), &ts);
   MBTS_DCHECK(it != rank_order_.end());
   rank_order_.erase(it);
@@ -328,6 +390,10 @@ AdmissionContext SiteScheduler::build_admission_context(
     scored_.push_back({ts, batch_scores_[i], ts->queue_rpt, false});
   }
   adaptive_rank_sort();
+  // The warm start is a cost optimization only — the admission projection
+  // (and the rank_order_ cache fed back below) require a fully sorted
+  // ranking whichever path the adaptive sort took.
+  MBTS_DCHECK(std::is_sorted(scored_.begin(), scored_.end(), rank_less));
   for (std::size_t i = 0; i < scored_.size(); ++i)
     rank_order_[i] = scored_[i].ts;
 

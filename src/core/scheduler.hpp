@@ -19,6 +19,7 @@
 #include "core/admission.hpp"
 #include "core/mix.hpp"
 #include "core/policy.hpp"
+#include "core/score_columns.hpp"
 #include "core/task.hpp"
 #include "sim/engine.hpp"
 #include "sim/fault.hpp"
@@ -40,6 +41,18 @@ class TraceRecorder;
 /// queue ages. Kept as an ablation of the paper's implicit design choice.
 enum class RescorePolicy { kFresh, kAtEnqueue };
 
+/// Whether the pending-queue rescore runs through the SoA batch kernels
+/// (ScoreColumns + SchedulingPolicy::kernel_*) instead of the per-task
+/// AoS ScoreCache path.
+///  - kOff: the PR-1 AoS path, kept as the differential baseline.
+///  - kExact (default): kernels with the scalar operation order — rankings
+///    are bit-identical to kOff (golden fingerprint + oracle pinned).
+///  - kFast: reciprocal-multiply kernels, deterministic but only
+///    ulp-accurate vs kExact (DESIGN.md §6); opt-in.
+/// Only engaged when the policy is kernelizable(); otherwise scoring falls
+/// back to the AoS path regardless of this setting.
+enum class ScoreKernelMode { kOff, kExact, kFast };
+
 struct SchedulerConfig {
   std::size_t processors = 16;
   bool preemption = true;
@@ -59,6 +72,8 @@ struct SchedulerConfig {
   /// observationally identical (bit-for-bit RunStats) to the default; tests
   /// assert exactly that.
   bool mix_full_rebuild = false;
+  /// SoA batch-scoring kernels on the rescore path (see ScoreKernelMode).
+  ScoreKernelMode score_kernels = ScoreKernelMode::kExact;
 };
 
 /// Final disposition of one submitted task. kFailed is terminal like
@@ -273,6 +288,24 @@ class SiteScheduler {
   /// per scan. Element-wise bit-identical to fresh_score.
   void batch_fresh_scores(std::span<TaskState* const> tasks,
                           const MixView& mix);
+  /// Kernel-path twin of batch_fresh_scores: refreshes the ScoreColumns
+  /// cache columns for `mix.now`, runs the policy's columnwise priority
+  /// kernel into kernel_scores_ (slot order == pending_ order), and
+  /// gathers into batch_scores_ via queue_pos. Bit-identical to the AoS
+  /// path under ScoreKernelMode::kExact; cross-checked in debug builds.
+  void kernel_fresh_scores(std::span<TaskState* const> tasks,
+                           const MixView& mix);
+  /// Rebuilds stale cache columns (stamp_now != mix.now): one vector
+  /// kernel_make_cache pass when everything is stale (the dispatch-at-a-
+  /// new-instant common case, with a scalar fixup for piecewise slots),
+  /// or a scalar per-slot pass when only a few slots missed (arrivals
+  /// landing mid-instant between quotes).
+  void kernel_refresh_columns(const MixView& mix);
+  KernelVariant kernel_variant() const {
+    return config_.score_kernels == ScoreKernelMode::kFast
+               ? KernelVariant::kFast
+               : KernelVariant::kExact;
+  }
   /// (score desc, id asc) — the total order admission ranks pending by.
   static bool rank_less(const Scored& a, const Scored& b);
   /// Sorts scored_ by rank_less. scored_ arrives in last quote's order, so
@@ -350,6 +383,10 @@ class SiteScheduler {
   std::vector<const Task*> miss_tasks_;
   std::vector<double> miss_rpts_;
   std::vector<ScoreCache> miss_caches_;
+  /// SoA mirror of pending_ (slot i == pending_[i]; see score_columns.hpp)
+  /// and the per-slot kernel output, maintained only when kernel_enabled_.
+  ScoreColumns columns_;
+  std::vector<double> kernel_scores_;
 
   // Telemetry (see set_telemetry). Metric instruments are resolved once at
   // attach time so hot-path hooks bump cached pointers, never do name
@@ -375,6 +412,9 @@ class SiteScheduler {
   bool dispatch_pending_ = false;
   /// policy_->cacheable(), latched at construction.
   bool policy_cacheable_ = false;
+  /// score_kernels != kOff && policy kernelizable+cacheable, latched at
+  /// construction: whether batch rescores run the SoA kernel path.
+  bool kernel_enabled_ = false;
   /// admission_->reads_ranked_suffix(), latched at construction.
   bool admission_reads_suffix_ = true;
   /// Any accepted task with width > 1 switches dispatch to the

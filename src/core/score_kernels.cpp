@@ -1,0 +1,231 @@
+// Portable kernel loops + the runtime AVX2 dispatcher.
+//
+// The portable loops are written as straight-line per-element code over
+// contiguous columns — no per-element branches beyond the clamp/floor
+// selects the scalar formulas themselves contain (which compile to
+// maxsd/cmp+blend, not branches). The yield-basis and variant switches are
+// hoisted out of the loops via template parameters.
+#include "core/score_kernels.hpp"
+
+namespace mbts::kernels {
+
+namespace {
+
+bool detect_avx2() {
+#if defined(MBTS_HAVE_AVX2)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+bool avx2_compiled() {
+#if defined(MBTS_HAVE_AVX2)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool avx2_active() {
+  static const bool active = detect_avx2();
+  return active;
+}
+
+namespace portable {
+
+namespace {
+
+// AtCompletion: yield anchored at now + rpt (YieldBasis::kAtCompletion);
+// Fast: multiply by the precomputed reciprocal instead of dividing.
+template <bool AtCompletion, bool Fast>
+void unit_gain_loop(const ScoreColumnsView& cols, double now, double* out) {
+  for (std::size_t i = 0; i < cols.n; ++i) {
+    const double completion = AtCompletion ? now + cols.rpt[i] : now;
+    const double d = detail::clamped_delay(completion, cols.anchor[i]);
+    const double y =
+        detail::linear_yield(d, cols.max_value[i], cols.rate[i],
+                             cols.neg_bound[i]);
+    out[i] = Fast ? y * cols.inv_rptw[i] : y / cols.rptw[i];
+  }
+}
+
+template <bool AtCompletion, bool Fast>
+void present_value_loop(const ScoreColumnsView& cols, double now,
+                        double discount_rate, double* out) {
+  for (std::size_t i = 0; i < cols.n; ++i) {
+    const double completion = AtCompletion ? now + cols.rpt[i] : now;
+    const double d = detail::clamped_delay(completion, cols.anchor[i]);
+    const double y =
+        detail::linear_yield(d, cols.max_value[i], cols.rate[i],
+                             cols.neg_bound[i]);
+    const double pv = y / (1.0 + discount_rate * cols.rpt[i]);
+    out[i] = Fast ? pv * cols.inv_rptw[i] : pv / cols.rptw[i];
+  }
+}
+
+template <bool Fast>
+void swpt_loop(const ScoreColumnsView& cols, double now, double* out) {
+  for (std::size_t i = 0; i < cols.n; ++i) {
+    const double d = detail::clamped_delay(now, cols.anchor[i]);
+    const double w = detail::linear_decay(d, cols.rate[i], cols.expire[i]);
+    out[i] = Fast ? w * cols.inv_rpt[i] : w / cols.rpt[i];
+  }
+}
+
+template <bool AtCompletion>
+void first_reward_cache_loop(const ScoreColumnsView& cols, double now,
+                             double discount_rate, double alpha, double* a,
+                             double* b, double* c) {
+  for (std::size_t i = 0; i < cols.n; ++i) {
+    const double completion = AtCompletion ? now + cols.rpt[i] : now;
+    const double d = detail::clamped_delay(completion, cols.anchor[i]);
+    const double y =
+        detail::linear_yield(d, cols.max_value[i], cols.rate[i],
+                             cols.neg_bound[i]);
+    const double pv = y / (1.0 + discount_rate * cols.rpt[i]);
+    a[i] = alpha * pv;
+    const double d0 = detail::clamped_delay(now, cols.anchor[i]);
+    b[i] = detail::linear_decay(d0, cols.rate[i], cols.expire[i]);
+    c[i] = cols.rptw[i];
+  }
+}
+
+template <bool Fast>
+void first_reward_combine_loop(const ScoreColumnsView& cols, const double* a,
+                               const double* b, const double* c, double total,
+                               double weight, double* out) {
+  for (std::size_t i = 0; i < cols.n; ++i) {
+    const double others = total - b[i];
+    // std::max(others, 0.0) spelled out: (others < 0) ? 0 : others.
+    const double cost = (others < 0.0 ? 0.0 : others) * cols.rpt[i];
+    const double num = a[i] - weight * cost;
+    out[i] = Fast ? num * cols.inv_rptw[i] : num / c[i];
+  }
+}
+
+}  // namespace
+
+void unit_gain_scores(const ScoreColumnsView& cols, double now,
+                      bool at_completion, KernelVariant variant, double* out) {
+  const bool fast = variant == KernelVariant::kFast;
+  if (at_completion) {
+    fast ? unit_gain_loop<true, true>(cols, now, out)
+         : unit_gain_loop<true, false>(cols, now, out);
+  } else {
+    fast ? unit_gain_loop<false, true>(cols, now, out)
+         : unit_gain_loop<false, false>(cols, now, out);
+  }
+}
+
+void present_value_scores(const ScoreColumnsView& cols, double now,
+                          double discount_rate, bool at_completion,
+                          KernelVariant variant, double* out) {
+  const bool fast = variant == KernelVariant::kFast;
+  if (at_completion) {
+    fast ? present_value_loop<true, true>(cols, now, discount_rate, out)
+         : present_value_loop<true, false>(cols, now, discount_rate, out);
+  } else {
+    fast ? present_value_loop<false, true>(cols, now, discount_rate, out)
+         : present_value_loop<false, false>(cols, now, discount_rate, out);
+  }
+}
+
+void swpt_scores(const ScoreColumnsView& cols, double now,
+                 KernelVariant variant, double* out) {
+  variant == KernelVariant::kFast ? swpt_loop<true>(cols, now, out)
+                                  : swpt_loop<false>(cols, now, out);
+}
+
+void first_reward_cache(const ScoreColumnsView& cols, double now,
+                        double discount_rate, double alpha, bool at_completion,
+                        double* a, double* b, double* c) {
+  at_completion
+      ? first_reward_cache_loop<true>(cols, now, discount_rate, alpha, a, b, c)
+      : first_reward_cache_loop<false>(cols, now, discount_rate, alpha, a, b,
+                                       c);
+}
+
+void first_reward_combine(const ScoreColumnsView& cols, const double* a,
+                          const double* b, const double* c,
+                          double total_live_decay, double alpha,
+                          KernelVariant variant, double* out) {
+  // Hoisted exactly like the scalar batch_priority_from_cache.
+  const double weight = 1.0 - alpha;
+  variant == KernelVariant::kFast
+      ? first_reward_combine_loop<true>(cols, a, b, c, total_live_decay,
+                                        weight, out)
+      : first_reward_combine_loop<false>(cols, a, b, c, total_live_decay,
+                                         weight, out);
+}
+
+}  // namespace portable
+
+void unit_gain_scores(const ScoreColumnsView& cols, double now,
+                      bool at_completion, KernelVariant variant, double* out) {
+#if defined(MBTS_HAVE_AVX2)
+  if (avx2_active()) {
+    avx2::unit_gain_scores(cols, now, at_completion, variant, out);
+    return;
+  }
+#endif
+  portable::unit_gain_scores(cols, now, at_completion, variant, out);
+}
+
+void present_value_scores(const ScoreColumnsView& cols, double now,
+                          double discount_rate, bool at_completion,
+                          KernelVariant variant, double* out) {
+#if defined(MBTS_HAVE_AVX2)
+  if (avx2_active()) {
+    avx2::present_value_scores(cols, now, discount_rate, at_completion,
+                               variant, out);
+    return;
+  }
+#endif
+  portable::present_value_scores(cols, now, discount_rate, at_completion,
+                                 variant, out);
+}
+
+void swpt_scores(const ScoreColumnsView& cols, double now,
+                 KernelVariant variant, double* out) {
+#if defined(MBTS_HAVE_AVX2)
+  if (avx2_active()) {
+    avx2::swpt_scores(cols, now, variant, out);
+    return;
+  }
+#endif
+  portable::swpt_scores(cols, now, variant, out);
+}
+
+void first_reward_cache(const ScoreColumnsView& cols, double now,
+                        double discount_rate, double alpha, bool at_completion,
+                        double* a, double* b, double* c) {
+#if defined(MBTS_HAVE_AVX2)
+  if (avx2_active()) {
+    avx2::first_reward_cache(cols, now, discount_rate, alpha, at_completion, a,
+                             b, c);
+    return;
+  }
+#endif
+  portable::first_reward_cache(cols, now, discount_rate, alpha, at_completion,
+                               a, b, c);
+}
+
+void first_reward_combine(const ScoreColumnsView& cols, const double* a,
+                          const double* b, const double* c,
+                          double total_live_decay, double alpha,
+                          KernelVariant variant, double* out) {
+#if defined(MBTS_HAVE_AVX2)
+  if (avx2_active()) {
+    avx2::first_reward_combine(cols, a, b, c, total_live_decay, alpha, variant,
+                               out);
+    return;
+  }
+#endif
+  portable::first_reward_combine(cols, a, b, c, total_live_decay, alpha,
+                                 variant, out);
+}
+
+}  // namespace mbts::kernels

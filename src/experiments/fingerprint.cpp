@@ -5,7 +5,9 @@
 #include <cstdio>
 #include <optional>
 
+#include "core/admission.hpp"
 #include "experiments/runner.hpp"
+#include "sim/engine.hpp"
 #include "workload/presets.hpp"
 
 namespace mbts {
@@ -84,6 +86,48 @@ MarketStats run_fingerprint_market(const FaultConfig& faults,
   market.inject(trace);
   return market.run();
 }
+
+namespace {
+
+/// 100k-pending dispatch burst: every task arrives at t=0, the site drains
+/// at 16 processors until t=5, and each completion rescores the whole
+/// backlog through the SoA kernels (the scheduler default). Pins the
+/// kernel path at the scale the EXPERIMENTS.md §"100k scaling" recipe
+/// measures — including the piecewise scalar-fixup lane (every 16th task
+/// is a two-segment profile). Unbounded penalties keep the mix on the
+/// Eq. 5 cost path, so the fingerprint isolates batched scoring rather
+/// than the inherently O(n) per-task Eq. 4 sum.
+RunStats run_highload_burst(const PolicySpec& policy) {
+  const std::size_t n = 100000;
+  Xoshiro256 rng(23);
+  std::vector<Task> tasks(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Task& t = tasks[i];
+    t.id = static_cast<TaskId>(i + 1);
+    t.arrival = 0.0;
+    t.runtime = rng.uniform(1.0, 10.0);
+    const double value = rng.uniform(10.0, 100.0);
+    const double decay = rng.uniform(0.001, 0.05);
+    if (i % 16 == 0) {
+      t.value = ValueFunction::piecewise(
+          value, {{rng.uniform(2.0, 8.0), decay}, {kInf, decay * 2.0}}, kInf);
+    } else {
+      t.value = ValueFunction::unbounded(value, decay);
+    }
+  }
+  SchedulerConfig config;
+  config.processors = 16;
+  config.preemption = true;
+  config.discount_rate = 0.01;
+  SimEngine engine;
+  SiteScheduler site(engine, config, make_policy(policy),
+                     std::make_unique<AcceptAllAdmission>());
+  site.preload(tasks);
+  engine.run_until(5.0);
+  return site.stats();
+}
+
+}  // namespace
 
 std::string stats_fingerprint() {
   const std::size_t jobs = 1500;
@@ -175,6 +219,17 @@ std::string stats_fingerprint() {
     faults.crash_mode = CrashMode::kKill;
     out += fingerprint_line("market_faults", run_fingerprint_market(faults));
   }
+  // 100k-pending dispatch bursts, one per kernelized policy: the SoA
+  // batch-scoring path at high load. Any reassociation, tie-break drift,
+  // or stale column slot shows up as a changed line here.
+  out += fingerprint_line("highload100k_fp",
+                          run_highload_burst(PolicySpec::first_price()));
+  out += fingerprint_line("highload100k_pv",
+                          run_highload_burst(PolicySpec::present_value()));
+  out += fingerprint_line("highload100k_swpt",
+                          run_highload_burst(PolicySpec::swpt()));
+  out += fingerprint_line("highload100k_fr0.3",
+                          run_highload_burst(PolicySpec::first_reward(0.3)));
   return out;
 }
 

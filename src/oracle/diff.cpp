@@ -143,6 +143,8 @@ SchedulerConfig sched_config(const Scenario& sc) {
   config.discount_rate = sc.discount_rate;
   config.drop_expired = false;
   config.mix_full_rebuild = sc.mix_full_rebuild;
+  config.score_kernels =
+      sc.kernels ? ScoreKernelMode::kExact : ScoreKernelMode::kOff;
   return config;
 }
 
@@ -459,6 +461,9 @@ Scenario generate_scenario(std::uint64_t sweep_seed, std::uint64_t index) {
   // Drawn last so the sharded knob leaves every earlier field of existing
   // (sweep_seed, index) scenarios — and their pinned regressions — intact.
   sc.shards = sc.market ? 1 + g.below(3) : 1;
+  // Same reasoning, drawn after shards: most sweeps exercise the default
+  // SoA kernel path, a quarter pin the AoS fallback against the oracle.
+  sc.kernels = !g.bernoulli(0.25);
   return sc;
 }
 
@@ -485,6 +490,15 @@ Scenario shrink(Scenario scenario,
        [](Scenario& s) {
          if (s.shards <= 1) return false;
          s.shards = 1;
+         return true;
+       }},
+      {"scalar scoring path (kernels off)",
+       [](Scenario& s) {
+         // If the divergence survives on the AoS path the bug is not in
+         // the SoA kernels; if it does not, the shrinker keeps kernels on
+         // and the reproducer stays pointed at them.
+         if (!s.kernels) return false;
+         s.kernels = false;
          return true;
        }},
       {"disable faults",
@@ -644,7 +658,8 @@ std::string to_replay_string(const Scenario& sc) {
      << " budgets=" << (sc.budgets ? 1 : 0)
      << " faults=" << (sc.faults ? 1 : 0) << " orate=" << sc.outage_rate
      << " outage=" << sc.mean_outage << " qtimeout=" << sc.quote_timeout_prob
-     << " crash=" << crash_name(sc.crash_mode) << " shards=" << sc.shards;
+     << " crash=" << crash_name(sc.crash_mode) << " shards=" << sc.shards
+     << " kernels=" << (sc.kernels ? 1 : 0);
   return os.str();
 }
 
@@ -716,6 +731,9 @@ std::optional<Scenario> parse_replay(const std::string& text) {
       } else if (key == "shards") {
         // Absent in pre-sharding replay lines; the default (1) applies.
         sc.shards = std::stoull(value);
+      } else if (key == "kernels") {
+        // Absent in pre-kernel replay lines; the default (on) applies.
+        sc.kernels = value != "0";
       } else {
         return std::nullopt;
       }
@@ -787,6 +805,7 @@ std::string to_cpp_literal(const Scenario& sc) {
      << "    .crash_mode = CrashMode::k"
      << (sc.crash_mode == CrashMode::kKill ? "Kill" : "Checkpoint") << ",\n"
      << "    .shards = " << sc.shards << ",\n"
+     << "    .kernels = " << (sc.kernels ? "true" : "false") << ",\n"
      << "}";
   return os.str();
 }

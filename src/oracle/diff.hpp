@@ -74,6 +74,13 @@ struct Scenario {
   // reference. Declared last so older designated-initializer literals and
   // replay lines (no shards= key) stay valid.
   std::size_t shards = 1;
+
+  // Dispatch-path scoring: true (the scheduler default) routes pending
+  // rescores through the SoA batch kernels (ScoreKernelMode::kExact),
+  // false forces the per-task AoS cache path. Both must agree with the
+  // oracle bit-for-bit. Declared after shards for the same
+  // literal/replay-compat reason.
+  bool kernels = true;
 };
 
 /// Self-test perturbations applied to the ORACLE side, simulating the bug

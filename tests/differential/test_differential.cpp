@@ -75,6 +75,15 @@ TEST(Differential, ReplayCodecAcceptsPreShardingLines) {
   EXPECT_EQ(decoded->shards, 1u);
 }
 
+TEST(Differential, ReplayCodecAcceptsPreKernelLines) {
+  // Replay lines recorded before the kernels knob existed have no kernels=
+  // key; they must still parse, defaulting to the scheduler's kernel path.
+  const auto decoded = oracle::parse_replay(
+      "seed=5 tasks=80 market=1 sites=2 procs=4 shards=2");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->kernels);
+}
+
 TEST(Differential, ReplayCodecRoundTrips) {
   for (std::uint64_t i = 0; i < 50; ++i) {
     const Scenario sc = oracle::generate_scenario(99, i);

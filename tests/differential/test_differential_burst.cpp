@@ -1,0 +1,68 @@
+// Pinned high-load differential burst: a 10k-task arrival wave onto two
+// processors (load factor 8) so the pending queue grows to ~10k entries
+// before the backlog drains. Every arrival rescores the whole backlog, so
+// this run drives the SoA score kernels (ScoreKernelMode::kExact) through
+// millions of batched elements and pins them bit-for-bit against the
+// O(n^2) oracle reference — the scale at which a reassociated reduction,
+// a stale column slot, or a bad swap_erase mirror would first surface.
+//
+// The oracle side is quadratic in the backlog, so this lives in its own
+// slow-labeled binary: tier-1 (plain ctest) and the nightly --all pass run
+// it; push-time CI and the default check.sh loop (-LE slow) skip it.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "oracle/diff.hpp"
+
+namespace mbts {
+namespace {
+
+using oracle::DiffReport;
+using oracle::Scenario;
+
+// Validated via: tools/diff_fuzz --replay "seed=77 tasks=10000 market=0
+//   procs=2 preempt=1 discount=0.01 policy=firstreward alpha=0.5
+//   admission=0 load=8 penalty=unbounded kernels=1"
+const Scenario kKernelBurst{
+    .seed = 77ULL,
+    .n_tasks = 10000,
+    .market = false,
+    .n_sites = 1,
+    .processors = 2,
+    .preemption = true,
+    .discount_rate = 0.01,
+    .mix_full_rebuild = false,
+    .policy = PolicySpec::Kind::kFirstReward,
+    .alpha = 0.5,
+    .use_slack_admission = false,
+    .threshold = 0,
+    .literal_eq8 = false,
+    .load_factor = 8,
+    .penalty = PenaltyModel::kUnbounded,
+    .penalty_value_scale = 1,
+    .uniform_decay = false,
+    .decay_skew = 5,
+    .estimate_error_sigma = 0,
+    .max_width = 1,
+    .strategy = ClientStrategy::kMaxExpectedValue,
+    .pricing = PricingModel::kBidPrice,
+    .budgets = false,
+    .faults = false,
+    .outage_rate = 0,
+    .mean_outage = 150,
+    .quote_timeout_prob = 0,
+    .crash_mode = CrashMode::kKill,
+    .shards = 1,
+    .kernels = true,
+};
+
+TEST(DifferentialBurst, TenThousandPendingKernelPathAgrees) {
+  const DiffReport report = oracle::run_diff(kKernelBurst);
+  EXPECT_FALSE(report.diverged)
+      << "10k-pending kernel burst diverged: " << report.detail
+      << "\n  replay: \"" << oracle::to_replay_string(kKernelBurst) << "\"";
+}
+
+}  // namespace
+}  // namespace mbts

@@ -38,7 +38,7 @@ require_release() {
 }
 
 "$BUILD/bench/micro_schedule" \
-  --benchmark_filter='BM_DispatchBacklog|BM_QuoteBacklog' \
+  --benchmark_filter='BM_DispatchBacklog|BM_DispatchBurst|BM_QuoteBacklog' \
   --benchmark_out="$TMP/schedule.json" --benchmark_out_format=json
 "$BUILD/bench/micro_event_queue" \
   --benchmark_filter='BM_CancelHeavyChurn|BM_RunUntilStrided' \

@@ -5,6 +5,7 @@
 //
 // Usage:
 //   diff_fuzz [--scenarios N] [--seed S] [--faults on|off]
+//             [--kernels on|off|mixed]
 //   diff_fuzz --replay "seed=... tasks=... ..."
 //   diff_fuzz --self-test [--seed S]
 //
@@ -26,6 +27,7 @@ using mbts::oracle::Scenario;
 using mbts::oracle::SelfTest;
 
 enum class FaultFilter { kMixed, kOn, kOff };
+enum class KernelFilter { kMixed, kOn, kOff };
 
 /// Forces the fault model on or off after generation, so one sweep can be
 /// pinned all-faulty or all-clean without changing any other draw.
@@ -44,6 +46,14 @@ void apply_fault_filter(Scenario& sc, FaultFilter filter) {
     sc.mean_outage = 150.0;
     sc.quote_timeout_prob = sc.market ? 0.1 : 0.0;
   }
+}
+
+/// Forces the SoA score-kernel toggle after generation — CI pins one sweep
+/// all-kernels-on so every fuzzed config also differentially tests the
+/// vectorized dispatch path.
+void apply_kernel_filter(Scenario& sc, KernelFilter filter) {
+  if (filter == KernelFilter::kOn) sc.kernels = true;
+  else if (filter == KernelFilter::kOff) sc.kernels = false;
 }
 
 void print_divergence(const Scenario& scenario, const DiffReport& report,
@@ -70,14 +80,18 @@ void print_divergence(const Scenario& scenario, const DiffReport& report,
             << mbts::oracle::to_cpp_literal(shrunk) << "\n";
 }
 
-int run_sweep(std::size_t scenarios, std::uint64_t seed, FaultFilter filter) {
+int run_sweep(std::size_t scenarios, std::uint64_t seed, FaultFilter filter,
+              KernelFilter kernel_filter) {
   std::size_t with_faults = 0;
   std::size_t with_market = 0;
+  std::size_t with_kernels = 0;
   for (std::size_t i = 0; i < scenarios; ++i) {
     Scenario sc = mbts::oracle::generate_scenario(seed, i);
     apply_fault_filter(sc, filter);
+    apply_kernel_filter(sc, kernel_filter);
     with_faults += sc.faults ? 1 : 0;
     with_market += sc.market ? 1 : 0;
+    with_kernels += sc.kernels ? 1 : 0;
     const DiffReport report = mbts::oracle::run_diff(sc);
     if (report.diverged) {
       std::cout << "scenario " << i << " of " << scenarios << " diverged\n";
@@ -89,7 +103,7 @@ int run_sweep(std::size_t scenarios, std::uint64_t seed, FaultFilter filter) {
   }
   std::cout << "OK: " << scenarios << " scenarios, zero divergences ("
             << with_faults << " with faults, " << with_market
-            << " market-mode)\n";
+            << " market-mode, " << with_kernels << " kernel-path)\n";
   return 0;
 }
 
@@ -175,6 +189,7 @@ int main(int argc, char** argv) {
   std::size_t scenarios = 200;
   std::uint64_t seed = 1;
   FaultFilter filter = FaultFilter::kMixed;
+  KernelFilter kernel_filter = KernelFilter::kMixed;
   std::string replay;
   bool self_test = false;
 
@@ -204,9 +219,19 @@ int main(int argc, char** argv) {
         std::cerr << "--faults takes on|off|mixed\n";
         return 2;
       }
+    } else if (arg == "--kernels") {
+      const std::string mode = next();
+      if (mode == "on") kernel_filter = KernelFilter::kOn;
+      else if (mode == "off") kernel_filter = KernelFilter::kOff;
+      else if (mode == "mixed") kernel_filter = KernelFilter::kMixed;
+      else {
+        std::cerr << "--kernels takes on|off|mixed\n";
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: diff_fuzz [--scenarios N] [--seed S] "
-                   "[--faults on|off|mixed] [--replay STR] [--self-test]\n";
+                   "[--faults on|off|mixed] [--kernels on|off|mixed] "
+                   "[--replay STR] [--self-test]\n";
       return 0;
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
@@ -216,5 +241,5 @@ int main(int argc, char** argv) {
 
   if (self_test) return run_self_test(seed);
   if (!replay.empty()) return run_replay(replay);
-  return run_sweep(scenarios, seed, filter);
+  return run_sweep(scenarios, seed, filter, kernel_filter);
 }
