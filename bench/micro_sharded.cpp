@@ -1,18 +1,29 @@
-// Sharded-engine scaling microbenchmark: one seeded market run across a
-// shard-count sweep (1 = the single-engine reference path, no threads).
+// Sharded-engine scaling study: one seeded 1024-site market run swept over
+// shards x epoch-batching x score-kernels (1 shard = the single-engine
+// reference path, no threads).
 //
-// The workload is quote-heavy — many small sites, so each negotiation fans
-// out wide and the parallel window has real work — and every shard count
-// produces bit-identical MarketStats (asserted here, cheaply, every
-// iteration). Wall-clock scaling therefore measures pure execution-engine
-// overhead/benefit, not behavioral drift. On a single-CPU host the sweep
-// records the synchronization *overhead* of sharding rather than a speedup;
-// see EXPERIMENTS.md ("Sharded scaling curve") before reading the numbers.
+// The trace is negotiation-dominated — every bid polls all up sites, so a
+// 4096-job run evaluates ~4.2M quotes across the 1024 member schedulers,
+// which is the sustained-load regime the sharded engine exists for (a
+// literal million-task trace at this fan-out would be ~10^9 quote
+// evaluations per iteration; EXPERIMENTS.md "Sharded batching at scale"
+// spells out the scaling arithmetic). Every iteration's MarketStats is
+// compared bit-for-bit against the single-engine reference fingerprint
+// computed once at startup: wall-clock deltas therefore measure pure
+// execution-engine cost, never behavioral drift.
+//
+// Counters: "barriers" is the number of coordinator broadcast/ack rounds,
+// "batched_epochs" the negotiation epochs executed inline between barriers
+// (zero with batching off). The barrier reduction is the deterministic
+// headline — it holds on any host — while wall-clock speedup additionally
+// needs real cores; on a 1-CPU container the sweep records synchronization
+// overhead instead (see EXPERIMENTS.md before reading the numbers).
 #include <benchmark/benchmark.h>
 
 #include <string>
 
 #include "bench_main.hpp"
+#include "experiments/fingerprint.hpp"
 #include "market/market.hpp"
 #include "util/rng.hpp"
 #include "workload/presets.hpp"
@@ -21,10 +32,10 @@ namespace {
 
 using namespace mbts;
 
-constexpr std::size_t kSites = 16;
-constexpr std::size_t kJobs = 1200;
+constexpr std::size_t kSites = 1024;
+constexpr std::size_t kJobs = 4096;
 
-MarketConfig scaling_config(std::size_t shards) {
+MarketConfig scaling_config(std::size_t shards, bool batching, bool kernels) {
   MarketConfig config;
   for (std::size_t i = 0; i < kSites; ++i) {
     SiteAgentConfig site;
@@ -33,6 +44,8 @@ MarketConfig scaling_config(std::size_t shards) {
     site.scheduler.processors = 2 + i % 4;
     site.scheduler.preemption = true;
     site.scheduler.discount_rate = 0.01;
+    site.scheduler.score_kernels =
+        kernels ? ScoreKernelMode::kExact : ScoreKernelMode::kOff;
     site.policy = PolicySpec::first_reward(0.3);
     site.admission = SlackAdmissionConfig{60.0 * static_cast<double>(i % 5),
                                           false};
@@ -41,31 +54,69 @@ MarketConfig scaling_config(std::size_t shards) {
   config.pricing = PricingModel::kSecondPrice;
   config.rng_seed = 42;
   config.shards = shards;
+  config.epoch_batching = batching;
   return config;
+}
+
+const Trace& scaling_trace() {
+  static const Trace trace = [] {
+    Xoshiro256 rng = SeedSequence(42).stream(8);
+    return generate_trace(presets::admission_mix(3.0, kJobs), rng);
+  }();
+  return trace;
+}
+
+/// Full bit-level identity of a run (economy line + per-site lines at
+/// %.17g), matching the representation the determinism tests compare.
+std::string identity(const MarketStats& stats) {
+  std::string out = fingerprint_line("market", stats);
+  for (std::size_t i = 0; i < stats.site_stats.size(); ++i)
+    out += fingerprint_line("site" + std::to_string(i), stats.site_stats[i]);
+  return out;
+}
+
+/// The single-engine reference identity, computed once per process.
+const std::string& reference_identity() {
+  static const std::string ref = [] {
+    Market market(scaling_config(1, true, true));
+    market.inject(scaling_trace());
+    return identity(market.run());
+  }();
+  return ref;
 }
 
 void BM_ShardedScaling(benchmark::State& state) {
   const auto shards = static_cast<std::size_t>(state.range(0));
-  Xoshiro256 rng = SeedSequence(42).stream(8);
-  const Trace trace = generate_trace(presets::admission_mix(3.0, kJobs), rng);
-  double reference_revenue = 0.0;
+  const bool batching = state.range(1) != 0;
+  const bool kernels = state.range(2) != 0;
+  const Trace& trace = scaling_trace();
+  const std::string& reference = reference_identity();
+  std::uint64_t barriers = 0;
+  std::uint64_t batched_epochs = 0;
   for (auto _ : state) {
-    Market market(scaling_config(shards));
+    Market market(scaling_config(shards, batching, kernels));
     market.inject(trace);
     const MarketStats stats = market.run();
     benchmark::DoNotOptimize(stats.total_revenue);
-    // Any shard count must reproduce the same run bit-for-bit; a drifting
-    // result makes the timing meaningless, so fail loudly.
-    if (reference_revenue == 0.0) reference_revenue = stats.total_revenue;
-    if (stats.total_revenue != reference_revenue)
-      state.SkipWithError("sharded run diverged from first iteration");
+    barriers = market.barriers();
+    batched_epochs = market.batched_epochs();
+    // Every combination must reproduce the single-engine reference run
+    // bit-for-bit; a drifting result makes the timing meaningless, so
+    // fail loudly.
+    if (identity(stats) != reference)
+      state.SkipWithError("sharded run diverged from the reference");
   }
+  state.counters["barriers"] = static_cast<double>(barriers);
+  state.counters["batched_epochs"] = static_cast<double>(batched_epochs);
   state.SetItemsProcessed(static_cast<std::int64_t>(kJobs) *
                           state.iterations());
 }
 // Real time, not CPU time: the work migrates to shard workers, and the
 // coordinator's own CPU time would under-count a sharded run.
-BENCHMARK(BM_ShardedScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
+BENCHMARK(BM_ShardedScaling)
+    ->ArgsProduct({{1, 2, 4, 8}, {0, 1}, {0, 1}})
+    ->ArgNames({"shards", "batching", "kernels"})
+    ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

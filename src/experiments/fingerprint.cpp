@@ -55,6 +55,13 @@ std::string fingerprint_line(const std::string& label, const MarketStats& s) {
 
 MarketStats run_fingerprint_market(const FaultConfig& faults,
                                    std::size_t shards) {
+  FingerprintMarketOptions options;
+  options.faults = faults;
+  options.shards = shards;
+  return run_fingerprint_market(options);
+}
+
+MarketStats run_fingerprint_market(const FingerprintMarketOptions& options) {
   MarketConfig config;
   // Heterogeneous sites so the fingerprint covers real competition: every
   // site wins some contracts and every negotiation path (award, admission
@@ -68,6 +75,8 @@ MarketStats run_fingerprint_market(const FaultConfig& faults,
     site.scheduler.processors = procs[i];
     site.scheduler.preemption = true;
     site.scheduler.discount_rate = 0.01;
+    site.scheduler.score_kernels =
+        options.kernels ? ScoreKernelMode::kExact : ScoreKernelMode::kOff;
     site.policy = PolicySpec::first_reward(0.3);
     site.admission = SlackAdmissionConfig{thresholds[i], false};
     config.sites.push_back(site);
@@ -76,8 +85,9 @@ MarketStats run_fingerprint_market(const FaultConfig& faults,
   config.pricing = PricingModel::kSecondPrice;
   config.client_budgets[0] = ClientBudget{1500.0, 250.0};
   config.rng_seed = 42;
-  config.faults = faults;
-  config.shards = shards;
+  config.faults = options.faults;
+  config.shards = options.shards;
+  config.epoch_batching = options.batching;
 
   Market market(config);
   Xoshiro256 rng = SeedSequence(42).stream(8);

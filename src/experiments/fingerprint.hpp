@@ -23,11 +23,25 @@ std::string fingerprint_line(const std::string& label, const RunStats& s);
 /// counters (trailing newline).
 std::string fingerprint_line(const std::string& label, const MarketStats& s);
 
+/// Execution knobs for run_fingerprint_market. None of them may move the
+/// output a single bit — the determinism matrix sweeps the cross-product
+/// and compares every combination against the same golden line.
+struct FingerprintMarketOptions {
+  /// Failure model; force_enable with all rates zero must be a no-op.
+  FaultConfig faults{};
+  /// >= 2 runs the economy through the sharded engine.
+  std::size_t shards = 1;
+  /// ScoreKernelMode::kExact (the scheduler default) vs kOff per site.
+  bool kernels = true;
+  /// MarketConfig::epoch_batching (observable only when sharded).
+  bool batching = true;
+};
+
 /// The canonical seeded market run behind the `market` fingerprint line.
-/// `faults` lets tests replay the identical run through the fault path
-/// (e.g. force_enable with all rates zero must not move a single bit), and
-/// `shards` through the sharded path — both must reproduce the golden line
-/// bit-for-bit for any value.
+/// Every option combination must reproduce the golden line bit-for-bit.
+MarketStats run_fingerprint_market(const FingerprintMarketOptions& options);
+
+/// Back-compatible shorthand for the fault/shard sweeps.
 MarketStats run_fingerprint_market(const FaultConfig& faults = {},
                                    std::size_t shards = 1);
 

@@ -46,6 +46,19 @@ Market::Market(MarketConfig config)
     broker_->set_quote_poller([this](const Bid& bid,
                                      const std::vector<std::size_t>& polled,
                                      std::vector<Quote>& quotes) {
+      if (inline_epoch_) {
+        // Batched negotiation run: the coordinator has owned every member
+        // engine since the last ack barrier, so it performs the epoch
+        // itself — advance each member strictly before this event's
+        // boundary, then evaluate the surviving quotes — serially, in the
+        // same per-member order the parallel window runs. No barrier.
+        const double t = engine_.now();
+        const int priority = static_cast<int>(EventPriority::kArrival);
+        for (std::size_t i = 0; i < sites_.size(); ++i)
+          sharded_->member_engine(i).run_until_before(t, priority);
+        for (const std::size_t i : polled) quotes[i] = sites_[i]->quote(bid);
+        return;
+      }
       for (auto& list : shard_polls_) list.clear();
       for (const std::size_t i : polled)
         shard_polls_[sharded_->shard_of(i)].push_back(i);
@@ -80,16 +93,17 @@ void Market::handle_rebid(SimEngine& engine, const EventPayload& payload) {
   self.free_rebids_.push_back(slot);
 }
 
-void Market::attach_telemetry(TraceRecorder* trace, MetricsRegistry* metrics) {
+bool Market::attach_telemetry(TraceRecorder* trace, MetricsRegistry* metrics) {
   // Telemetry recorders are single-threaded; the sharded quote fan-out
-  // would write to them from several shard workers at once.
-  MBTS_CHECK_MSG(!sharded() || (trace == nullptr && metrics == nullptr),
-                 "telemetry is not supported in sharded mode (shards >= 2): "
-                 "recorders are single-threaded");
+  // would write to them from several shard workers at once. Refusing is an
+  // error return, not a crash: a caller sweeping shard counts can probe and
+  // fall back to an unsharded telemetry run (DESIGN.md §8).
+  if (sharded() && (trace != nullptr || metrics != nullptr)) return false;
   trace_ = trace;
   broker_->set_trace(trace);
   for (const auto& site : sites_) site->attach_telemetry(trace, metrics);
   if (injector_ != nullptr) injector_->set_trace(trace);
+  return true;
 }
 
 void Market::inject(const Trace& trace, ClientId client) {
@@ -194,38 +208,87 @@ MarketStats Market::run() {
   return stats;
 }
 
+namespace {
+
+bool is_negotiation(EventKind kind) {
+  return kind == EventKind::kMarketBid || kind == EventKind::kBrokerRetry ||
+         kind == EventKind::kMarketRebid;
+}
+
+}  // namespace
+
 void Market::run_sharded_loop() {
   sharded_->start();
-  double t = 0.0;
-  int priority = 0;
-  EventKind kind = EventKind::kClosure;
-  while (engine_.peek_next_event(&t, &priority, &kind)) {
-    // Negotiation events (bid, retry round, re-bid) advance the shards
-    // themselves, inside the broker's quote poller — one barrier per bid,
-    // with the quote evaluations riding on the advance command. Everything
-    // else (fault transitions mutating site state, closure events) gets its
-    // conservative window here, before the handler runs against quiescent
-    // shard state.
-    const bool negotiation = kind == EventKind::kMarketBid ||
-                             kind == EventKind::kBrokerRetry ||
-                             kind == EventKind::kMarketRebid;
-    if (!negotiation) sharded_->advance_all(t, priority);
+  const bool batching = config_.epoch_batching;
+  while (engine_.peek_next_events(2, peek_) > 0) {
+    const PeekedEvent& next = peek_[0];
+    if (is_negotiation(next.kind)) {
+      // Negotiation events (bid, retry round, re-bid) advance the shards
+      // themselves, inside the broker's quote poller — one barrier per
+      // bid, with the quote evaluations riding on the advance command.
+      if (batching && peek_.size() == 2 && is_negotiation(peek_[1].kind)) {
+        // At least two negotiation events with nothing between them: run
+        // the whole batch inline. The ack barrier of the previous window
+        // handed the coordinator ownership of every member engine, so the
+        // poller can advance member clocks and serve quotes serially with
+        // no further synchronization. Re-peeking after each event keeps
+        // retries and re-bids scheduled mid-run in exact reference order;
+        // the run ends at the first non-negotiation event (fault, drain),
+        // which re-synchronizes the workers.
+        inline_epoch_ = true;
+        double t = 0.0;
+        int priority = 0;
+        EventKind kind = EventKind::kClosure;
+        do {
+          ++batched_epochs_;
+          engine_.step();
+        } while (engine_.peek_next_event(&t, &priority, &kind) &&
+                 is_negotiation(kind));
+        inline_epoch_ = false;
+      } else {
+        // Isolated negotiation: keep the parallel quote fan-out.
+        engine_.step();
+      }
+      continue;
+    }
+    if (batching && injector_ != nullptr &&
+        (next.kind == EventKind::kFaultDown ||
+         next.kind == EventKind::kFaultUp)) {
+      // A fault transition touches exactly one site (crash/recover, breach
+      // settlement, re-bid scheduling — all coordinator-side); only that
+      // site's member needs its conservative window, and the coordinator
+      // owns it, so no barrier. payload.a indexes the outage plan.
+      const SiteOutage& outage =
+          injector_->plan().outages[static_cast<std::size_t>(next.payload.a)];
+      sharded_->member_engine(outage.site)
+          .run_until_before(next.t, next.priority);
+      ++local_fault_epochs_;
+      engine_.step();
+      continue;
+    }
+    // Everything else (global fault handling with batching off, closure
+    // events) gets its conservative window here, before the handler runs
+    // against quiescent shard state.
+    sharded_->advance_all(next.t, next.priority);
     engine_.step();
   }
   // The broker engine is empty; nothing can schedule further global events,
-  // so the members run to completion and the workers retire.
+  // so the members run to completion and the workers retire. Align every
+  // member clock with the global end of the run while we are at it:
+  // time-weighted statistics (utilization) are denominated in engine time,
+  // and the reference's single clock keeps integrating idle time until the
+  // last event anywhere in the economy — each member clock must end there
+  // too. The drain must land before the alignment boundary is known (it is
+  // the members that run last), so this costs one drain barrier plus one
+  // single-step batch command.
   sharded_->drain_all();
-  sharded_->stop();
-  // Align every member clock with the global end of the run. Time-weighted
-  // statistics (utilization) are denominated in engine time, and the
-  // reference's single clock keeps integrating idle time until the last
-  // event anywhere in the economy — each member clock must end there too.
   double t_end = engine_.now();
   for (std::size_t i = 0; i < sites_.size(); ++i)
     t_end = std::max(t_end, sharded_->member_engine(i).now());
-  for (std::size_t i = 0; i < sites_.size(); ++i)
-    sharded_->member_engine(i).run_until_before(
-        t_end, std::numeric_limits<int>::max());
+  const ShardedEngine::BatchStep align{t_end,
+                                       std::numeric_limits<int>::max()};
+  sharded_->batch_all(&align, 1);
+  sharded_->stop();
   // The broker clock too: engine().now() is the run's public end time
   // (the oracle replays against it), and in the reference it ends at the
   // last event anywhere — not at the last negotiation.

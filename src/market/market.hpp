@@ -45,6 +45,16 @@ struct MarketConfig {
   /// the broker's engine at conservative negotiation epochs — bit-identical
   /// to the reference for any value (see DESIGN.md §8).
   std::size_t shards = 1;
+  /// Sharded mode only: batch consecutive negotiation epochs between shard
+  /// barriers. After an epoch's ack barrier the coordinator owns every
+  /// member engine, so it can execute a whole run of negotiation events
+  /// (bids, retries, re-bids) inline — advancing member clocks and serving
+  /// quotes serially, in exact reference order — and only synchronize the
+  /// workers again at the next non-negotiation event or drain. Single-site
+  /// fault transitions are likewise routed through just that site's member
+  /// engine. Bit-identical to batching off and to the single-engine
+  /// reference (DESIGN.md §8); off restores one barrier per global event.
+  bool epoch_batching = true;
   /// Event-queue backend for every engine this market builds (broker and
   /// shards alike). Explicit per-market choice beats set_default_backend,
   /// which beats the MBTS_QUEUE_BACKEND environment variable — the
@@ -93,7 +103,14 @@ class Market {
   /// every site agent, and (once built in run()) the fault injector. Either
   /// pointer may be null. Call before run(); attaching never changes market
   /// outcomes, only records them.
-  void attach_telemetry(TraceRecorder* trace, MetricsRegistry* metrics);
+  ///
+  /// Returns false — attaching nothing — when this market is sharded and
+  /// either pointer is non-null: the recorders are single-threaded and the
+  /// parallel quote fan-out would write to them from several shard workers
+  /// at once. Callers that need telemetry run with shards <= 1; callers
+  /// that need shards check the return value instead of crashing.
+  [[nodiscard]] bool attach_telemetry(TraceRecorder* trace,
+                                      MetricsRegistry* metrics);
 
   /// Schedules every task in the trace as a bid negotiation at its arrival.
   void inject(const Trace& trace, ClientId client = 0);
@@ -107,6 +124,18 @@ class Market {
   /// True when this market runs site engines on shard workers (config
   /// shards >= 2 with more than zero sites).
   bool sharded() const { return sharded_ != nullptr; }
+
+  /// Sharded-run synchronization counters (all zero when not sharded).
+  /// Barriers are ack rounds against the shard workers; batched epochs are
+  /// negotiation events the coordinator executed inline between barriers;
+  /// local faults are single-site outage transitions that skipped the
+  /// barrier. The bench asserts batching collapses barriers while the
+  /// outputs stay bit-identical.
+  std::uint64_t barriers() const {
+    return sharded_ != nullptr ? sharded_->barriers() : 0;
+  }
+  std::uint64_t batched_epochs() const { return batched_epochs_; }
+  std::uint64_t local_fault_epochs() const { return local_fault_epochs_; }
 
  private:
   // Typed-event handlers. payload.target is the market; payload.a indexes
@@ -148,6 +177,14 @@ class Market {
   std::vector<std::vector<std::size_t>> shard_polls_;
   const Bid* poll_bid_ = nullptr;
   std::vector<Quote>* poll_quotes_ = nullptr;
+  // True while the coordinator is executing a batched negotiation run: the
+  // quote poller then advances member clocks and evaluates quotes inline
+  // (it owns all member state) instead of broadcasting an epoch barrier.
+  bool inline_epoch_ = false;
+  std::uint64_t batched_epochs_ = 0;
+  std::uint64_t local_fault_epochs_ = 0;
+  // Lookahead scratch for the batching window decision.
+  std::vector<PeekedEvent> peek_;
 };
 
 }  // namespace mbts

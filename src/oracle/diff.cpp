@@ -257,6 +257,7 @@ DiffReport run_market_diff(const Scenario& sc, const SelfTest& self_test) {
     mc.client_budgets[0] = ClientBudget{2500.0, 800.0};
   mc.rng_seed = sc.seed;
   mc.shards = sc.shards;
+  mc.epoch_batching = sc.batching;
   if (sc.faults) {
     mc.faults.outage_rate = sc.outage_rate;
     mc.faults.mean_outage = sc.mean_outage;
@@ -464,6 +465,10 @@ Scenario generate_scenario(std::uint64_t sweep_seed, std::uint64_t index) {
   // Same reasoning, drawn after shards: most sweeps exercise the default
   // SoA kernel path, a quarter pin the AoS fallback against the oracle.
   sc.kernels = !g.bernoulli(0.25);
+  // Drawn jointly with shards/kernels (and after both): sharded scenarios
+  // mostly run the batched coordinator, a quarter pin the one-barrier-per-
+  // epoch protocol, and the batching x kernels cross shows up for free.
+  sc.batching = !g.bernoulli(0.25);
   return sc;
 }
 
@@ -484,6 +489,15 @@ Scenario shrink(Scenario scenario,
        [](Scenario& s) {
          if (s.n_tasks <= 8) return false;
          s.n_tasks /= 2;
+         return true;
+       }},
+      {"disable epoch batching",
+       [](Scenario& s) {
+         // Tried before dropping shards: if the divergence survives with
+         // one barrier per epoch the bug is not in the batched coordinator,
+         // and if it does not the reproducer keeps batching on.
+         if (s.shards <= 1 || !s.batching) return false;
+         s.batching = false;
          return true;
        }},
       {"run on a single shard",
@@ -523,6 +537,7 @@ Scenario shrink(Scenario scenario,
          s.budgets = false;
          s.quote_timeout_prob = 0.0;
          s.shards = 1;
+         s.batching = true;  // back to the default; meaningless unsharded
          return true;
        }},
       {"disable budgets",
@@ -659,7 +674,8 @@ std::string to_replay_string(const Scenario& sc) {
      << " faults=" << (sc.faults ? 1 : 0) << " orate=" << sc.outage_rate
      << " outage=" << sc.mean_outage << " qtimeout=" << sc.quote_timeout_prob
      << " crash=" << crash_name(sc.crash_mode) << " shards=" << sc.shards
-     << " kernels=" << (sc.kernels ? 1 : 0);
+     << " kernels=" << (sc.kernels ? 1 : 0)
+     << " batching=" << (sc.batching ? 1 : 0);
   return os.str();
 }
 
@@ -734,6 +750,9 @@ std::optional<Scenario> parse_replay(const std::string& text) {
       } else if (key == "kernels") {
         // Absent in pre-kernel replay lines; the default (on) applies.
         sc.kernels = value != "0";
+      } else if (key == "batching") {
+        // Absent in pre-batching replay lines; the default (on) applies.
+        sc.batching = value != "0";
       } else {
         return std::nullopt;
       }
@@ -806,6 +825,7 @@ std::string to_cpp_literal(const Scenario& sc) {
      << (sc.crash_mode == CrashMode::kKill ? "Kill" : "Checkpoint") << ",\n"
      << "    .shards = " << sc.shards << ",\n"
      << "    .kernels = " << (sc.kernels ? "true" : "false") << ",\n"
+     << "    .batching = " << (sc.batching ? "true" : "false") << ",\n"
      << "}";
   return os.str();
 }

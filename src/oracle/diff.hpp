@@ -81,6 +81,13 @@ struct Scenario {
   // oracle bit-for-bit. Declared after shards for the same
   // literal/replay-compat reason.
   bool kernels = true;
+
+  // Epoch batching (sharded scenarios only): true lets the coordinator run
+  // consecutive negotiation epochs inline between barriers and confine
+  // fault transitions to the owning shard. Drawn jointly with shards and
+  // kernels so the fuzzer covers the batching x kernels interaction.
+  // Declared last for the same literal/replay-compat reason.
+  bool batching = true;
 };
 
 /// Self-test perturbations applied to the ORACLE side, simulating the bug

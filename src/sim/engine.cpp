@@ -198,6 +198,41 @@ bool SimEngine::peek_next_event(double* t, int* priority, EventKind* kind) {
   return true;
 }
 
+std::size_t SimEngine::peek_next_events(std::size_t k,
+                                        std::vector<PeekedEvent>& out) {
+  out.clear();
+  if (k == 0 || peek_next() == nullptr) return 0;  // skims top tombstones
+  // Ordered traversal without disturbing the heap: a candidate frontier of
+  // heap slots, popped in sooner() order; visiting a slot admits its 4-ary
+  // children. Tombstones (tombstone backend) are expanded but not reported
+  // — their children may still hold sooner live events than the rest of
+  // the frontier. The frontier grows by at most three slots per visit.
+  const auto later = [this](std::size_t a, std::size_t b) {
+    return sooner(heap_[b], heap_[a]);
+  };
+  std::vector<std::size_t> frontier;
+  frontier.push_back(0);
+  while (!frontier.empty() && out.size() < k) {
+    std::pop_heap(frontier.begin(), frontier.end(), later);
+    const std::size_t pos = frontier.back();
+    frontier.pop_back();
+    const Event& ev = heap_[pos];
+    const EventId id = id_of(ev);
+    if (state_of(id) == EventState::kPending) {
+      const EventRecord& record = record_of(id);
+      out.push_back(
+          PeekedEvent{ev.t, priority_of(ev), record.kind, record.payload});
+    }
+    const std::size_t first_child = pos * 4 + 1;
+    const std::size_t last_child = std::min(first_child + 4, heap_.size());
+    for (std::size_t c = first_child; c < last_child; ++c) {
+      frontier.push_back(c);
+      std::push_heap(frontier.begin(), frontier.end(), later);
+    }
+  }
+  return out.size();
+}
+
 bool SimEngine::step() {
   const Event* next = peek_next();
   if (next == nullptr) return false;

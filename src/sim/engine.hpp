@@ -104,6 +104,16 @@ class SimEngine;
 /// dispatch is one indexed load and an indirect call.
 using EventHandler = void (*)(SimEngine&, const EventPayload&);
 
+/// Snapshot of one queued event as reported by peek_next_events: enough for
+/// a coordinator to classify the upcoming window (time, priority, kind) and
+/// to route it (payload) without executing anything.
+struct PeekedEvent {
+  double t = 0.0;
+  int priority = 0;
+  EventKind kind = EventKind::kClosure;
+  EventPayload payload;
+};
+
 /// Event-queue implementation backing a SimEngine (see file comment).
 enum class QueueBackend : std::uint8_t {
   kTombstone = 0,  // binary heap + lazy tombstone cancellation (default)
@@ -205,6 +215,16 @@ class SimEngine {
   /// event's time, priority, and kind.
   bool peek_next_event(double* t = nullptr, int* priority = nullptr,
                        EventKind* kind = nullptr);
+
+  /// Copies the next (up to) `k` live events — in exact execution order —
+  /// into `out` (cleared first) and returns how many were found. This is
+  /// the conservative-window lookahead of the sharded coordinator: it
+  /// classifies the upcoming event run (all-negotiation? fault-local?)
+  /// before deciding how to synchronize the shards. Non-mutating apart
+  /// from the same lazy tombstone skim peek_next_event performs; cost is
+  /// O(k log k) candidate-heap steps over the 4-ary heap, independent of
+  /// queue size.
+  std::size_t peek_next_events(std::size_t k, std::vector<PeekedEvent>& out);
 
   /// Executes exactly the next live event (the one peek_next_event reports).
   /// Returns false when the queue is drained. run() is `while (step());`

@@ -47,6 +47,15 @@ void ShardedEngine::worker_loop(std::size_t shard) {
         for (std::size_t m = shard; m < engines_.size(); m += shards_) {
           if (command.kind == Command::Kind::kDrain) {
             engines_[m]->run();
+          } else if (command.kind == Command::Kind::kBatch) {
+            // One barrier, many epochs: walk the member through every
+            // boundary in order (the inner loop keeps the member's heap
+            // hot instead of re-touching every member per boundary), then
+            // optionally drain it.
+            for (std::size_t s = 0; s < command.n_steps; ++s)
+              engines_[m]->run_until_before(command.steps[s].t,
+                                            command.steps[s].priority);
+            if (command.drain_after) engines_[m]->run();
           } else {
             engines_[m]->run_until_before(command.t, command.priority);
           }
@@ -71,7 +80,7 @@ void ShardedEngine::worker_loop(std::size_t shard) {
 void ShardedEngine::broadcast_and_wait(const Command& command) {
   MBTS_CHECK_MSG(started_ && !stopped_,
                  "sharded engine is not running (call start())");
-  ++epoch_;
+  ++barriers_;
   acks_.store(shards_, std::memory_order_relaxed);
   for (auto& inbox : inboxes_) inbox->push(command);
   // Spin briefly (hot path on multi-core hosts), then park.
@@ -100,15 +109,30 @@ void ShardedEngine::advance_all(double t, int priority, const EpochJob* job) {
   command.t = t;
   command.priority = priority;
   command.run_job = job != nullptr;
+  ++epoch_;
   job_ = job;
   broadcast_and_wait(command);
   job_ = nullptr;
   rethrow_pending_error();
 }
 
+void ShardedEngine::batch_all(const BatchStep* steps, std::size_t n,
+                              bool drain_after) {
+  MBTS_CHECK_MSG(steps != nullptr || n == 0, "null batch step list");
+  Command command;
+  command.kind = Command::Kind::kBatch;
+  command.steps = steps;
+  command.n_steps = n;
+  command.drain_after = drain_after;
+  epoch_ += n + static_cast<std::uint64_t>(drain_after);
+  broadcast_and_wait(command);
+  rethrow_pending_error();
+}
+
 void ShardedEngine::drain_all() {
   Command command;
   command.kind = Command::Kind::kDrain;
+  ++epoch_;
   broadcast_and_wait(command);
   rethrow_pending_error();
 }

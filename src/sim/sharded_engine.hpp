@@ -23,6 +23,14 @@
 //    pairs make all shard-side writes visible here, and all coordinator
 //    writes visible to the shards' next window.
 //
+// The ownership the barrier grants is open-ended: until the next
+// broadcast, the coordinator may execute any number of global events
+// inline — including advancing member engines itself — with no further
+// synchronization. The market's epoch-batching run loop exploits this to
+// collapse long negotiation runs to zero barriers, and batch_all() lets a
+// single barrier walk every member through a whole boundary list (see
+// DESIGN.md §8, "Epoch batching").
+//
 // Determinism: member engines never talk to each other — they interact
 // only through global events — and the global/member event priorities are
 // disjoint (kFault/kArrival vs kCompletion/kDispatch/kControl), so the
@@ -83,6 +91,22 @@ class ShardedEngine {
   /// non-decreasing across epochs.
   void advance_all(double t, int priority, const EpochJob* job = nullptr);
 
+  /// One boundary of a batched command (see batch_all).
+  struct BatchStep {
+    double t = 0.0;
+    int priority = 0;
+  };
+
+  /// Batched window: a single barrier carries a whole list of boundaries.
+  /// Every member engine advances through steps[0..n) in order (each a
+  /// run_until_before), then — when `drain_after` — runs to completion.
+  /// The steps must be non-decreasing boundaries and the array must stay
+  /// valid until this call returns (the command carries the pointer, not a
+  /// copy, so the mailbox payload stays a three-word POD). One barrier, one
+  /// ack round, however many epochs the list spans.
+  void batch_all(const BatchStep* steps, std::size_t n,
+                 bool drain_after = false);
+
   /// Final phase: every member engine runs to completion (no boundary).
   /// Blocks until done; typically followed by stop().
   void drain_all();
@@ -91,16 +115,29 @@ class ShardedEngine {
   /// it. After stop() the coordinator owns all member state again.
   void stop();
 
-  /// Epochs executed so far (observability; one per advance_all/drain_all).
+  /// Boundary advances executed so far (observability): one per
+  /// advance_all/drain_all, n (+1 with drain_after) per batch_all of n
+  /// steps.
   std::uint64_t epochs() const { return epoch_; }
+  /// Barrier rounds so far: every broadcast (advance, batch, or drain) costs
+  /// exactly one ack barrier, so this is the synchronization count the
+  /// epoch-batching work amortizes. A batch_all of n boundaries moves this
+  /// by one while a loop of advance_all calls would move it by n.
+  std::uint64_t barriers() const { return barriers_; }
 
  private:
   struct Command {
-    enum class Kind : std::uint8_t { kAdvance, kDrain, kStop };
+    enum class Kind : std::uint8_t { kAdvance, kBatch, kDrain, kStop };
     Kind kind = Kind::kAdvance;
     double t = 0.0;
     int priority = 0;
     bool run_job = false;
+    // kBatch only: boundary list, coordinator-owned for the duration of the
+    // barrier (same lifetime rule as job_). Kept inline so Command stays a
+    // trivially copyable mailbox payload.
+    const BatchStep* steps = nullptr;
+    std::size_t n_steps = 0;
+    bool drain_after = false;
   };
 
   void worker_loop(std::size_t shard);
@@ -128,6 +165,7 @@ class ShardedEngine {
   std::unique_ptr<ThreadPool> pool_;
   std::vector<std::future<void>> workers_;
   std::uint64_t epoch_ = 0;
+  std::uint64_t barriers_ = 0;
   bool started_ = false;
   bool stopped_ = false;
 };

@@ -6,6 +6,15 @@
 // push() is visible to the consumer after pop() returns the message — the
 // happens-before edge the sharded engine's epoch protocol is built on.
 //
+// Messages may carry pointers into producer-owned storage (the sharded
+// engine's batched commands point at their boundary list instead of copying
+// it): the push edge publishes the pointed-at bytes too. The producer must
+// not rewrite that storage until it has observed the consumer move past the
+// message — either through an out-of-band ack (the epoch barrier) or
+// through push()'s capacity wait, whose acquire load of the consumer cursor
+// orders a reuse at distance >= 2x capacity after the consumer's last read
+// (tests/test_sharded.cpp pins both patterns under TSan).
+//
 // Blocking behaviour is spin-then-park: a short bounded spin (the common
 // case when both sides are hot) followed by a mutex/condvar wait, so an
 // idle side never burns a core. This keeps the mailbox usable on

@@ -84,6 +84,17 @@ TEST(Differential, ReplayCodecAcceptsPreKernelLines) {
   EXPECT_TRUE(decoded->kernels);
 }
 
+TEST(Differential, ReplayCodecAcceptsPreBatchingLines) {
+  // Replay lines recorded before the epoch-batching knob existed have no
+  // batching= key; they must still parse, defaulting to the batched
+  // coordinator (the sharded default).
+  const auto decoded = oracle::parse_replay(
+      "seed=5 tasks=80 market=1 sites=2 procs=4 shards=2 kernels=0");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->batching);
+  EXPECT_FALSE(decoded->kernels);
+}
+
 TEST(Differential, ReplayCodecRoundTrips) {
   for (std::uint64_t i = 0; i < 50; ++i) {
     const Scenario sc = oracle::generate_scenario(99, i);

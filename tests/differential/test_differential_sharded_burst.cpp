@@ -1,0 +1,85 @@
+// Pinned high-load sharded differential burst: a 10k-task arrival wave
+// onto a three-site market (load factor 8 against the aggregate capacity)
+// run through the sharded engine with epoch batching on, so the pending
+// queues grow to ~10k entries while the coordinator executes long inline
+// negotiation runs between barriers. Every site's record stream is replayed
+// through the O(n^2) oracle reference and compared bit-for-bit — the scale
+// at which a mis-ordered inline epoch, a stale member-engine boundary, or
+// a batched-command handoff bug would first surface, with the SoA score
+// kernels active underneath (the batching x kernels interaction).
+//
+// The oracle side is quadratic in the backlog, so this lives in its own
+// slow-labeled binary next to test_differential_burst: tier-1 (plain
+// ctest) and the nightly --all pass run it; push-time CI and the default
+// check.sh loop (-LE slow) skip it.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "oracle/diff.hpp"
+
+namespace mbts {
+namespace {
+
+using oracle::DiffReport;
+using oracle::Scenario;
+
+// Validated via: tools/diff_fuzz --replay "seed=77 tasks=10000 market=1
+//   sites=3 procs=2 preempt=1 discount=0.01 policy=firstreward alpha=0.5
+//   admission=0 load=8 penalty=unbounded pricing=second shards=3
+//   kernels=1 batching=1"
+const Scenario kShardedBurst{
+    .seed = 77ULL,
+    .n_tasks = 10000,
+    .market = true,
+    .n_sites = 3,
+    .processors = 2,
+    .preemption = true,
+    .discount_rate = 0.01,
+    .mix_full_rebuild = false,
+    .policy = PolicySpec::Kind::kFirstReward,
+    .alpha = 0.5,
+    .use_slack_admission = false,
+    .threshold = 0,
+    .literal_eq8 = false,
+    .load_factor = 8,
+    .penalty = PenaltyModel::kUnbounded,
+    .penalty_value_scale = 1,
+    .uniform_decay = false,
+    .decay_skew = 5,
+    .estimate_error_sigma = 0,
+    .max_width = 1,
+    .strategy = ClientStrategy::kMaxExpectedValue,
+    .pricing = PricingModel::kSecondPrice,
+    .budgets = false,
+    .faults = false,
+    .outage_rate = 0,
+    .mean_outage = 150,
+    .quote_timeout_prob = 0,
+    .crash_mode = CrashMode::kKill,
+    .shards = 3,
+    .kernels = true,
+    .batching = true,
+};
+
+TEST(DifferentialShardedBurst, TenThousandPendingBatchedShardsAgree) {
+  const DiffReport report = oracle::run_diff(kShardedBurst);
+  EXPECT_FALSE(report.diverged)
+      << "10k-pending sharded batched burst diverged: " << report.detail
+      << "\n  replay: \"" << oracle::to_replay_string(kShardedBurst) << "\"";
+}
+
+// The same wave with batching off pins the one-barrier-per-epoch protocol
+// at scale, so a future divergence isolates to the batched coordinator by
+// comparing the two tests' outcomes.
+TEST(DifferentialShardedBurst, TenThousandPendingUnbatchedShardsAgree) {
+  Scenario unbatched = kShardedBurst;
+  unbatched.batching = false;
+  const DiffReport report = oracle::run_diff(unbatched);
+  EXPECT_FALSE(report.diverged)
+      << "10k-pending sharded unbatched burst diverged: " << report.detail
+      << "\n  replay: \"" << oracle::to_replay_string(unbatched) << "\"";
+}
+
+}  // namespace
+}  // namespace mbts

@@ -231,7 +231,7 @@ TEST(Determinism, MarketTraceIsByteIdenticalAcrossRuns) {
     config.faults.quote_timeout_prob = 0.05;
     Market market(config);
     MetricsRegistry metrics;
-    market.attach_telemetry(&recorder, &metrics);
+    EXPECT_TRUE(market.attach_telemetry(&recorder, &metrics));
     WorkloadSpec spec = presets::admission_mix(1.0, 500);
     spec.processors = 24;
     Xoshiro256 rng(5);
@@ -275,7 +275,9 @@ TEST(Determinism, MarketTelemetryDoesNotChangeOutcomes) {
     Market market(config);
     TraceRecorder recorder;
     MetricsRegistry metrics;
-    if (observed) market.attach_telemetry(&recorder, &metrics);
+    if (observed) {
+      EXPECT_TRUE(market.attach_telemetry(&recorder, &metrics));
+    }
     WorkloadSpec spec = presets::admission_mix(1.0, 400);
     spec.processors = 16;
     Xoshiro256 rng(5);

@@ -9,19 +9,27 @@
 // the golden-file test pins).
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "experiments/fingerprint.hpp"
 #include "market/market.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/sharded_engine.hpp"
 #include "util/check.hpp"
+#include "util/rng.hpp"
 #include "util/spsc.hpp"
+#include "workload/generator.hpp"
+#include "workload/presets.hpp"
 
 namespace mbts {
 namespace {
@@ -60,38 +68,65 @@ struct ShardCase {
   std::size_t shards;
   bool faults;
   QueueBackend backend;
+  bool kernels;
+  bool batching;
 };
+
+/// The full cross-product the acceptance matrix sweeps: shards x faults x
+/// queue backend x score-kernel mode x epoch batching. Every combination
+/// must reproduce the single-engine reference byte-for-byte.
+std::vector<ShardCase> full_shard_matrix() {
+  std::vector<ShardCase> cases;
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{4}})
+    for (const bool faults : {false, true})
+      for (const QueueBackend backend :
+           {QueueBackend::kTombstone, QueueBackend::kIndexed})
+        for (const bool kernels : {true, false})
+          for (const bool batching : {true, false})
+            cases.push_back(ShardCase{shards, faults, backend, kernels,
+                                      batching});
+  return cases;
+}
 
 class ShardedDeterminism : public ::testing::TestWithParam<ShardCase> {};
 
 TEST_P(ShardedDeterminism, MatchesSingleEngineBitForBit) {
   const ShardCase c = GetParam();
   ScopedDefaultBackend backend(c.backend);
-  const FaultConfig faults = c.faults ? chaos_faults() : FaultConfig{};
-  const std::string reference =
-      run_identity(run_fingerprint_market(faults, 1));
-  const std::string sharded =
-      run_identity(run_fingerprint_market(faults, c.shards));
-  EXPECT_EQ(sharded, reference)
+  // The reference is a pure function of (faults, kernels, backend); caching
+  // it keeps the 32-combo sweep from re-running the single-engine market
+  // once per batching/shard variation.
+  static std::map<std::tuple<bool, QueueBackend, bool>, std::string> refs;
+  const auto key = std::make_tuple(c.faults, c.backend, c.kernels);
+  auto it = refs.find(key);
+  if (it == refs.end()) {
+    FingerprintMarketOptions ref_options;
+    ref_options.faults = c.faults ? chaos_faults() : FaultConfig{};
+    ref_options.kernels = c.kernels;
+    it = refs.emplace(key, run_identity(run_fingerprint_market(ref_options)))
+             .first;
+  }
+  FingerprintMarketOptions options;
+  options.faults = c.faults ? chaos_faults() : FaultConfig{};
+  options.shards = c.shards;
+  options.kernels = c.kernels;
+  options.batching = c.batching;
+  const std::string sharded = run_identity(run_fingerprint_market(options));
+  EXPECT_EQ(sharded, it->second)
       << "shards=" << c.shards << " faults=" << c.faults
-      << " backend=" << to_string(c.backend);
+      << " backend=" << to_string(c.backend) << " kernels=" << c.kernels
+      << " batching=" << c.batching;
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    ShardsFaultsBackends, ShardedDeterminism,
-    ::testing::Values(
-        ShardCase{2, false, QueueBackend::kTombstone},
-        ShardCase{2, true, QueueBackend::kTombstone},
-        ShardCase{4, false, QueueBackend::kTombstone},
-        ShardCase{4, true, QueueBackend::kTombstone},
-        ShardCase{2, false, QueueBackend::kIndexed},
-        ShardCase{2, true, QueueBackend::kIndexed},
-        ShardCase{4, false, QueueBackend::kIndexed},
-        ShardCase{4, true, QueueBackend::kIndexed}),
+    ShardsFaultsBackendsKernelsBatching, ShardedDeterminism,
+    ::testing::ValuesIn(full_shard_matrix()),
     [](const ::testing::TestParamInfo<ShardCase>& info) {
       return "shards" + std::to_string(info.param.shards) +
              (info.param.faults ? "_faults_" : "_clean_") +
-             to_string(info.param.backend);
+             to_string(info.param.backend) +
+             (info.param.kernels ? "_kexact" : "_koff") +
+             (info.param.batching ? "_batched" : "_unbatched");
     });
 
 TEST(ShardedMarket, MoreShardsThanSitesClampsAndStillMatches) {
@@ -129,9 +164,15 @@ TEST(ShardedMarket, TelemetryIsRejectedInShardedMode) {
   config.shards = 2;
   Market market(config);
   TraceRecorder trace;
-  EXPECT_THROW(market.attach_telemetry(&trace, nullptr), CheckError);
+  MetricsRegistry metrics;
+  // Recorders are single-threaded, so a sharded market refuses to attach
+  // them — an error return, not a crash, so shard sweeps can probe and
+  // fall back to an unsharded telemetry run.
+  EXPECT_FALSE(market.attach_telemetry(&trace, nullptr));
+  EXPECT_FALSE(market.attach_telemetry(nullptr, &metrics));
+  EXPECT_FALSE(market.attach_telemetry(&trace, &metrics));
   // Null pointers are a no-op attach and stay legal.
-  EXPECT_NO_THROW(market.attach_telemetry(nullptr, nullptr));
+  EXPECT_TRUE(market.attach_telemetry(nullptr, nullptr));
 }
 
 TEST(ShardedEngineTest, AdvanceStopsStrictlyBeforeBoundary) {
@@ -197,6 +238,69 @@ TEST(ShardedEngineTest, PastBoundaryIsRejected) {
   engine.stop();
 }
 
+TEST(ShardedEngineTest, BatchCommandWalksBoundariesInOneBarrier) {
+  ShardedEngine engine(2, 3, QueueBackend::kTombstone);
+  int fired[3] = {0, 0, 0};
+  for (std::size_t m = 0; m < 3; ++m) {
+    for (double t : {1.0, 2.0, 3.0})
+      engine.member_engine(m).schedule_at(
+          t, EventPriority::kControl, [&fired, m] { ++fired[m]; });
+  }
+  engine.start();
+  // Two boundaries ride one command: a single ack round (one barrier) but
+  // two conservative windows (two epochs) per member.
+  const ShardedEngine::BatchStep steps[] = {
+      {1.5, 0}, {2.5, static_cast<int>(EventPriority::kControl)}};
+  engine.batch_all(steps, 2);
+  EXPECT_EQ(engine.barriers(), 1u);
+  EXPECT_EQ(engine.epochs(), 2u);
+  for (const int f : fired) EXPECT_EQ(f, 2);
+  // drain_after runs the members to completion behind the last boundary,
+  // still within the same single broadcast.
+  const ShardedEngine::BatchStep tail[] = {
+      {3.0, static_cast<int>(EventPriority::kControl)}};
+  engine.batch_all(tail, 1, /*drain_after=*/true);
+  EXPECT_EQ(engine.barriers(), 2u);
+  EXPECT_EQ(engine.epochs(), 4u);
+  for (const int f : fired) EXPECT_EQ(f, 3);
+  engine.stop();
+}
+
+TEST(ShardedEngineTest, BatchAdvanceInterleaveSoak) {
+  // Mixed advance/batch command stream across the mailboxes: pins the
+  // batched worker path (boundary walk + optional drain) against the
+  // plain-advance path under load; the TSan smoke lane runs this against
+  // the instrumented build.
+  ShardedEngine engine(3, 7, QueueBackend::kIndexed);
+  std::atomic<int> fired{0};
+  for (std::size_t m = 0; m < 7; ++m)
+    for (int k = 0; k < 64; ++k)
+      engine.member_engine(m).schedule_at(0.5 + static_cast<double>(k),
+                                          EventPriority::kControl,
+                                          [&fired] { ++fired; });
+  engine.start();
+  double t = 0.0;
+  std::vector<ShardedEngine::BatchStep> steps;
+  for (int round = 0; round < 2000; ++round) {
+    if (round % 3 == 0) {
+      t += 0.01;
+      engine.advance_all(t, 0);
+    } else {
+      steps.clear();
+      for (int s = 0; s < (round % 5) + 1; ++s) {
+        t += 0.003;
+        steps.push_back({t, s});
+      }
+      engine.batch_all(steps.data(), steps.size());
+    }
+  }
+  engine.drain_all();
+  engine.stop();
+  EXPECT_EQ(fired.load(), 7 * 64);
+  EXPECT_EQ(engine.barriers(), 2001u);
+  EXPECT_GT(engine.epochs(), engine.barriers());
+}
+
 // SPSC mailbox soak: one producer and one consumer hammer the ring far past
 // its capacity, through both the spin path (hot handoff) and the parked
 // path (capacity stalls). Run under TSan (-DMBTS_TSAN=ON; the CI smoke
@@ -215,6 +319,47 @@ TEST(SpscMailboxTest, SoakHandoffPreservesOrderAndLosesNothing) {
   EXPECT_TRUE(in_order);
 }
 
+// Batched-command soak: 100k commands with mixed batch sizes, each carrying
+// a pointer into producer-owned boundary storage the consumer dereferences
+// — the exact shape of the sharded engine's kBatch mailbox payload. The
+// steps pool holds twice the ring depth: to reuse a block the producer must
+// first observe (acquire, via push()'s capacity wait) a pop that the
+// consumer issued strictly after its last read of that block, mirroring the
+// coordinator's "steps stay valid until the barrier returns" rule. Under
+// TSan this pins the release/acquire pairing that makes the pointed-at
+// storage safe to read; run plain it pins order and content integrity.
+TEST(SpscMailboxTest, BatchedCommandSoakDeliversEveryBoundaryBlock) {
+  struct BatchCommand {
+    std::uint64_t seq = 0;
+    const double* steps = nullptr;
+    std::size_t n_steps = 0;
+  };
+  constexpr std::uint64_t kCommands = 100000;
+  constexpr std::size_t kRing = 8;
+  constexpr std::size_t kBlocks = 2 * kRing;
+  constexpr std::size_t kMaxBatch = 7;
+  SpscMailbox<BatchCommand, kRing> mailbox;
+  std::vector<std::array<double, kMaxBatch>> blocks(kBlocks);
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kCommands; ++i) {
+      auto& block = blocks[i % kBlocks];
+      const std::size_t n = i % kMaxBatch + 1;
+      for (std::size_t s = 0; s < n; ++s)
+        block[s] = static_cast<double>(i * kMaxBatch + s);
+      mailbox.push(BatchCommand{i, block.data(), n});
+    }
+  });
+  std::uint64_t bad = 0;
+  for (std::uint64_t i = 0; i < kCommands; ++i) {
+    const BatchCommand command = mailbox.pop();
+    if (command.seq != i || command.n_steps != i % kMaxBatch + 1) ++bad;
+    for (std::size_t s = 0; s < command.n_steps; ++s)
+      if (command.steps[s] != static_cast<double>(i * kMaxBatch + s)) ++bad;
+  }
+  producer.join();
+  EXPECT_EQ(bad, 0u);
+}
+
 TEST(SpscMailboxTest, TryPopOnEmptyReturnsFalse) {
   SpscMailbox<int, 2> mailbox;
   int out = 0;
@@ -226,13 +371,89 @@ TEST(SpscMailboxTest, TryPopOnEmptyReturnsFalse) {
 }
 
 // The full sharded market exercised under TSan: the chaos run drives every
-// cross-seam path (parallel quote windows, fault transitions against
-// quiescent shards, re-bids, drain). Kept small enough for the
-// instrumented build.
+// cross-seam path (parallel quote windows, batched negotiation runs, fault
+// transitions against quiescent shards, re-bids, drain). Kept small enough
+// for the instrumented build.
 TEST(ShardedMarket, ChaosRunExercisesMailboxExchange) {
   const MarketStats stats = run_fingerprint_market(chaos_faults(), 3);
   EXPECT_GT(stats.bids, 0u);
   EXPECT_GT(stats.total_revenue, 0.0);
+}
+
+/// A small heterogeneous economy with the Market object exposed, so tests
+/// can read the synchronization counters the fingerprint helpers hide.
+MarketConfig counter_market_config(std::size_t shards, bool batching,
+                                   const FaultConfig& faults) {
+  MarketConfig config;
+  for (std::size_t i = 0; i < 8; ++i) {
+    SiteAgentConfig site;
+    site.id = static_cast<SiteId>(i);
+    site.name = "site" + std::to_string(i);
+    site.scheduler.processors = 2 + i % 3;
+    site.scheduler.preemption = true;
+    site.scheduler.discount_rate = 0.01;
+    site.policy = PolicySpec::first_reward(0.3);
+    site.admission = SlackAdmissionConfig{90.0 + 30.0 * (i % 4), false};
+    config.sites.push_back(site);
+  }
+  config.pricing = PricingModel::kSecondPrice;
+  config.rng_seed = 42;
+  config.shards = shards;
+  config.epoch_batching = batching;
+  config.faults = faults;
+  return config;
+}
+
+std::string run_counter_market(std::size_t shards, bool batching,
+                               const FaultConfig& faults, Market** out) {
+  static std::deque<Market> markets;  // keep counters alive for the caller
+  markets.emplace_back(counter_market_config(shards, batching, faults));
+  Market& market = markets.back();
+  Xoshiro256 rng = SeedSequence(7).stream(3);
+  market.inject(generate_trace(presets::admission_mix(1.2, 400), rng));
+  const MarketStats stats = market.run();
+  if (out != nullptr) *out = &market;
+  return run_identity(stats);
+}
+
+TEST(ShardedMarket, EpochBatchingCollapsesBarriersBitIdentically) {
+  Market* batched = nullptr;
+  Market* unbatched = nullptr;
+  const std::string reference = run_counter_market(1, true, {}, nullptr);
+  const std::string on = run_counter_market(4, true, {}, &batched);
+  const std::string off = run_counter_market(4, false, {}, &unbatched);
+  EXPECT_EQ(on, reference);
+  EXPECT_EQ(off, reference);
+  // The bid stream is one long negotiation run: batching executes it inline
+  // between barriers, so the barrier count collapses (the acceptance bar is
+  // >= 5x; here it is orders of magnitude) while batching off pays roughly
+  // one barrier per negotiation event.
+  ASSERT_NE(batched, nullptr);
+  ASSERT_NE(unbatched, nullptr);
+  EXPECT_GT(batched->batched_epochs(), 0u);
+  EXPECT_GE(unbatched->barriers(), 5 * batched->barriers());
+  EXPECT_EQ(unbatched->batched_epochs(), 0u);
+}
+
+TEST(ShardedMarket, LocalFaultHandlingSkipsTheBarrierBitIdentically) {
+  FaultConfig faults;
+  faults.outage_rate = 0.004;
+  faults.mean_outage = 80.0;
+  faults.quote_timeout_prob = 0.05;
+  Market* batched = nullptr;
+  Market* unbatched = nullptr;
+  const std::string reference = run_counter_market(1, true, faults, nullptr);
+  const std::string on = run_counter_market(3, true, faults, &batched);
+  const std::string off = run_counter_market(3, false, faults, &unbatched);
+  EXPECT_EQ(on, reference);
+  EXPECT_EQ(off, reference);
+  // Outage transitions touch exactly one site; with batching on they
+  // advance only that member engine and skip the global barrier.
+  ASSERT_NE(batched, nullptr);
+  ASSERT_NE(unbatched, nullptr);
+  EXPECT_GT(batched->local_fault_epochs(), 0u);
+  EXPECT_EQ(unbatched->local_fault_epochs(), 0u);
+  EXPECT_GE(unbatched->barriers(), 5 * batched->barriers());
 }
 
 }  // namespace

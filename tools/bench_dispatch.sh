@@ -22,7 +22,7 @@ OUT="$ROOT/BENCH_dispatch.json"
 if [ ! -f "$BUILD/CMakeCache.txt" ]; then
   cmake -S "$ROOT" -B "$BUILD" -DCMAKE_BUILD_TYPE=Release
 fi
-cmake --build "$BUILD" -j "$(nproc)" --target micro_schedule micro_event_queue micro_sharded
+cmake --build "$BUILD" -j "$(nproc)" --target micro_schedule micro_event_queue
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
@@ -43,16 +43,12 @@ require_release() {
 "$BUILD/bench/micro_event_queue" \
   --benchmark_filter='BM_CancelHeavyChurn|BM_RunUntilStrided' \
   --benchmark_out="$TMP/event_queue.json" --benchmark_out_format=json
-"$BUILD/bench/micro_sharded" \
-  --benchmark_filter='BM_ShardedScaling' \
-  --benchmark_out="$TMP/sharded.json" --benchmark_out_format=json
 
 require_release "$TMP/schedule.json"
 require_release "$TMP/event_queue.json"
-require_release "$TMP/sharded.json"
 
 if command -v python3 >/dev/null; then
-  python3 - "$TMP/schedule.json" "$TMP/event_queue.json" "$TMP/sharded.json" \
+  python3 - "$TMP/schedule.json" "$TMP/event_queue.json" \
     "$OUT" <<'EOF'
 import json, sys
 first = json.load(open(sys.argv[1]))

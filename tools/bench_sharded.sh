@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Sharded scaling-study runner. Runs bench/micro_sharded's 1024-site sweep
+# (1/2/4/8 shards x epoch batching on/off x score kernels on/off, every
+# iteration bit-compared against the single-engine reference) and writes
+# the google-benchmark JSON to BENCH_sharded.json at the repo root — the
+# perf trajectory record for the sharded execution engine. The "barriers"
+# and "batched_epochs" counters in the output are deterministic, so the
+# epoch-batching barrier reduction is comparable across hosts even when
+# the wall-clock numbers are not.
+#
+# The committed JSON must come from an optimized build: the default build
+# dir is a dedicated Release tree (build-bench), configured here if absent,
+# and the script refuses to write the output when the binary reports a
+# non-release "mbts_build_type" context (the stock "library_build_type" key
+# only describes how the google-benchmark *library* was compiled).
+#
+# Usage: tools/bench_sharded.sh [build_dir] (default: build-bench)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build-bench}"
+OUT="$ROOT/BENCH_sharded.json"
+
+if [ ! -f "$BUILD/CMakeCache.txt" ]; then
+  cmake -S "$ROOT" -B "$BUILD" -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "$BUILD" -j "$(nproc)" --target micro_sharded
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# Refuses to bless results from an unoptimized or assert-laden binary.
+require_release() {
+  if ! grep -q '"mbts_build_type": "release"' "$1"; then
+    echo "error: $(basename "$1") was produced by a non-release build" >&2
+    grep -o '"mbts_build_type": "[^"]*"' "$1" >&2 || true
+    echo "rerun against a -DCMAKE_BUILD_TYPE=Release build dir" >&2
+    exit 1
+  fi
+}
+
+"$BUILD/bench/micro_sharded" \
+  --benchmark_filter='BM_ShardedScaling' \
+  --benchmark_out="$TMP/sharded.json" --benchmark_out_format=json
+
+require_release "$TMP/sharded.json"
+cp "$TMP/sharded.json" "$OUT"
+echo "wrote $OUT"

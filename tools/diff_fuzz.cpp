@@ -5,7 +5,7 @@
 //
 // Usage:
 //   diff_fuzz [--scenarios N] [--seed S] [--faults on|off]
-//             [--kernels on|off|mixed]
+//             [--kernels on|off|mixed] [--batching on|off|mixed]
 //   diff_fuzz --replay "seed=... tasks=... ..."
 //   diff_fuzz --self-test [--seed S]
 //
@@ -28,6 +28,7 @@ using mbts::oracle::SelfTest;
 
 enum class FaultFilter { kMixed, kOn, kOff };
 enum class KernelFilter { kMixed, kOn, kOff };
+enum class BatchingFilter { kMixed, kOn, kOff };
 
 /// Forces the fault model on or off after generation, so one sweep can be
 /// pinned all-faulty or all-clean without changing any other draw.
@@ -56,6 +57,14 @@ void apply_kernel_filter(Scenario& sc, KernelFilter filter) {
   else if (filter == KernelFilter::kOff) sc.kernels = false;
 }
 
+/// Forces the sharded coordinator's epoch batching after generation — only
+/// observable on sharded scenarios, where CI pins one sweep batching-on so
+/// every fuzzed sharded config also covers the inline negotiation runs.
+void apply_batching_filter(Scenario& sc, BatchingFilter filter) {
+  if (filter == BatchingFilter::kOn) sc.batching = true;
+  else if (filter == BatchingFilter::kOff) sc.batching = false;
+}
+
 void print_divergence(const Scenario& scenario, const DiffReport& report,
                       const SelfTest& self_test) {
   std::cout << "DIVERGENCE: " << report.detail << "\n"
@@ -81,17 +90,20 @@ void print_divergence(const Scenario& scenario, const DiffReport& report,
 }
 
 int run_sweep(std::size_t scenarios, std::uint64_t seed, FaultFilter filter,
-              KernelFilter kernel_filter) {
+              KernelFilter kernel_filter, BatchingFilter batching_filter) {
   std::size_t with_faults = 0;
   std::size_t with_market = 0;
   std::size_t with_kernels = 0;
+  std::size_t with_batching = 0;
   for (std::size_t i = 0; i < scenarios; ++i) {
     Scenario sc = mbts::oracle::generate_scenario(seed, i);
     apply_fault_filter(sc, filter);
     apply_kernel_filter(sc, kernel_filter);
+    apply_batching_filter(sc, batching_filter);
     with_faults += sc.faults ? 1 : 0;
     with_market += sc.market ? 1 : 0;
     with_kernels += sc.kernels ? 1 : 0;
+    with_batching += (sc.shards >= 2 && sc.batching) ? 1 : 0;
     const DiffReport report = mbts::oracle::run_diff(sc);
     if (report.diverged) {
       std::cout << "scenario " << i << " of " << scenarios << " diverged\n";
@@ -103,7 +115,8 @@ int run_sweep(std::size_t scenarios, std::uint64_t seed, FaultFilter filter,
   }
   std::cout << "OK: " << scenarios << " scenarios, zero divergences ("
             << with_faults << " with faults, " << with_market
-            << " market-mode, " << with_kernels << " kernel-path)\n";
+            << " market-mode, " << with_kernels << " kernel-path, "
+            << with_batching << " sharded-batched)\n";
   return 0;
 }
 
@@ -190,6 +203,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   FaultFilter filter = FaultFilter::kMixed;
   KernelFilter kernel_filter = KernelFilter::kMixed;
+  BatchingFilter batching_filter = BatchingFilter::kMixed;
   std::string replay;
   bool self_test = false;
 
@@ -228,10 +242,19 @@ int main(int argc, char** argv) {
         std::cerr << "--kernels takes on|off|mixed\n";
         return 2;
       }
+    } else if (arg == "--batching") {
+      const std::string mode = next();
+      if (mode == "on") batching_filter = BatchingFilter::kOn;
+      else if (mode == "off") batching_filter = BatchingFilter::kOff;
+      else if (mode == "mixed") batching_filter = BatchingFilter::kMixed;
+      else {
+        std::cerr << "--batching takes on|off|mixed\n";
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: diff_fuzz [--scenarios N] [--seed S] "
                    "[--faults on|off|mixed] [--kernels on|off|mixed] "
-                   "[--replay STR] [--self-test]\n";
+                   "[--batching on|off|mixed] [--replay STR] [--self-test]\n";
       return 0;
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
@@ -241,5 +264,5 @@ int main(int argc, char** argv) {
 
   if (self_test) return run_self_test(seed);
   if (!replay.empty()) return run_replay(replay);
-  return run_sweep(scenarios, seed, filter, kernel_filter);
+  return run_sweep(scenarios, seed, filter, kernel_filter, batching_filter);
 }
