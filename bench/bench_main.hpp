@@ -8,6 +8,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <thread>
+
 namespace mbts_bench {
 
 inline const char* build_type() {
@@ -22,10 +25,16 @@ inline const char* build_type() {
 
 }  // namespace mbts_bench
 
+// "mbts_nproc" records the host's core count next to the numbers: the
+// sharded sweeps scale with it, so tools/bench_compare.py warns when two
+// JSONs disagree on it instead of calling a host change a regression.
 #define MBTS_BENCHMARK_MAIN()                                          \
   int main(int argc, char** argv) {                                    \
     benchmark::AddCustomContext("mbts_build_type",                     \
                                 mbts_bench::build_type());             \
+    benchmark::AddCustomContext(                                       \
+        "mbts_nproc",                                                  \
+        std::to_string(std::thread::hardware_concurrency()));          \
     benchmark::Initialize(&argc, argv);                                \
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;  \
     benchmark::RunSpecifiedBenchmarks();                               \

@@ -25,10 +25,10 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) return 1;
 
   ExperimentOptions options;
-  options.num_jobs = static_cast<std::size_t>(cli.get_int("jobs"));
-  options.replications = static_cast<std::size_t>(cli.get_int("reps"));
-  options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
-  options.threads = static_cast<std::size_t>(cli.get_int("threads"));
+  options.num_jobs = static_cast<std::size_t>(cli.get_uint("jobs"));
+  options.replications = static_cast<std::size_t>(cli.get_uint("reps"));
+  options.seed = cli.get_uint("seed");
+  options.threads = static_cast<std::size_t>(cli.get_uint("threads"));
 
   const std::vector<double> loads{0.67, 1.0, 1.33, 2.0, 3.0};
   const TuneGrid grid;

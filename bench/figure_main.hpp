@@ -30,10 +30,10 @@ inline int run(int argc, const char* const* argv, const std::string& name,
   if (!cli.parse(argc, argv)) return 1;
 
   ExperimentOptions options;
-  options.num_jobs = static_cast<std::size_t>(cli.get_int("jobs"));
-  options.replications = static_cast<std::size_t>(cli.get_int("reps"));
-  options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
-  options.threads = static_cast<std::size_t>(cli.get_int("threads"));
+  options.num_jobs = static_cast<std::size_t>(cli.get_uint("jobs"));
+  options.replications = static_cast<std::size_t>(cli.get_uint("reps"));
+  options.seed = cli.get_uint("seed");
+  options.threads = static_cast<std::size_t>(cli.get_uint("threads"));
 
   const FigureResult figure = figure_fn(options);
   print_figure(figure, std::cout);

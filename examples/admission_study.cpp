@@ -5,11 +5,12 @@
 #include <iostream>
 
 #include "experiments/runner.hpp"
+#include "util/check.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "workload/presets.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace mbts;
 
   CliParser cli("admission_study",
@@ -23,10 +24,8 @@ int main(int argc, char** argv) {
   const double load = cli.get_double("load");
   const double alpha = cli.get_double("alpha");
   WorkloadSpec spec = presets::admission_mix(
-      load, static_cast<std::size_t>(cli.get_int("jobs")));
-  Xoshiro256 rng = SeedSequence(static_cast<std::uint64_t>(
-                                    cli.get_int("seed")))
-                       .stream(0xAD41);
+      load, static_cast<std::size_t>(cli.get_uint("jobs")));
+  Xoshiro256 rng = SeedSequence(cli.get_uint("seed")).stream(0xAD41);
   const Trace trace = generate_trace(spec, rng);
 
   SchedulerConfig config;
@@ -62,4 +61,13 @@ int main(int argc, char** argv) {
   std::cout << "load factor " << load << ", alpha " << alpha << "\n\n"
             << table.render();
   return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const mbts::CheckError& e) {
+    std::cerr << e.what() << "\nrun with --help for usage\n";
+    return 1;
+  }
 }

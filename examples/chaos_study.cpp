@@ -9,11 +9,12 @@
 #include <vector>
 
 #include "market/market.hpp"
+#include "util/check.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "workload/presets.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace mbts;
 
   CliParser cli("chaos_study",
@@ -52,8 +53,8 @@ int main(int argc, char** argv) {
                       "revenue", "agreed"});
   for (const double rate : rates) {
     MarketConfig config;
-    config.rng_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
-    config.shards = static_cast<std::size_t>(cli.get_int("shards"));
+    config.rng_seed = cli.get_uint("seed");
+    config.shards = static_cast<std::size_t>(cli.get_uint("shards"));
     config.pricing = PricingModel::kSecondPrice;
     config.sites.push_back(site(0, "big", 24, 300.0));
     config.sites.push_back(site(1, "mid", 12, 0.0));
@@ -68,7 +69,8 @@ int main(int argc, char** argv) {
 
     Market market(config);
     WorkloadSpec spec = presets::admission_mix(
-        cli.get_double("load"), static_cast<std::size_t>(cli.get_int("jobs")));
+        cli.get_double("load"),
+        static_cast<std::size_t>(cli.get_uint("jobs")));
     Xoshiro256 rng = SeedSequence(config.rng_seed).stream(0x7A5C);
     market.inject(generate_trace(spec, rng));
     const MarketStats stats = market.run();
@@ -90,4 +92,13 @@ int main(int argc, char** argv) {
             << "\nsame seed => bit-identical chaos; vary --seed to resample"
             << '\n';
   return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const mbts::CheckError& e) {
+    std::cerr << e.what() << "\nrun with --help for usage\n";
+    return 1;
+  }
 }

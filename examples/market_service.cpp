@@ -5,11 +5,12 @@
 #include <iostream>
 
 #include "market/market.hpp"
+#include "util/check.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "workload/presets.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace mbts;
 
   CliParser cli("market_service",
@@ -36,8 +37,8 @@ int main(int argc, char** argv) {
   // cost-only site with no admission control.
   MarketConfig config;
   config.strategy = strategy;
-  config.rng_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
-  config.shards = static_cast<std::size_t>(cli.get_int("shards"));
+  config.rng_seed = cli.get_uint("seed");
+  config.shards = static_cast<std::size_t>(cli.get_uint("shards"));
   auto site = [](SiteId id, const std::string& name, std::size_t procs,
                  PolicySpec policy, bool admission, double threshold) {
     SiteAgentConfig sc;
@@ -60,9 +61,9 @@ int main(int argc, char** argv) {
 
   Market market(config);
 
-  WorkloadSpec spec = presets::admission_mix(cli.get_double("load"),
-                                             static_cast<std::size_t>(
-                                                 cli.get_int("jobs")));
+  WorkloadSpec spec = presets::admission_mix(
+      cli.get_double("load"),
+      static_cast<std::size_t>(cli.get_uint("jobs")));
   // Load is calibrated against the preset's 16 processors; the three sites
   // jointly offer 42, so load 2.0 here is ~0.76 of market capacity.
   Xoshiro256 rng = SeedSequence(config.rng_seed).stream(0x7A5C);
@@ -96,4 +97,13 @@ int main(int argc, char** argv) {
             << stats.total_agreed - stats.total_revenue << ")\nclient strategy: "
             << to_string(strategy) << '\n';
   return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const mbts::CheckError& e) {
+    std::cerr << e.what() << "\nrun with --help for usage\n";
+    return 1;
+  }
 }

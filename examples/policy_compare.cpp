@@ -4,11 +4,12 @@
 #include <iostream>
 
 #include "experiments/runner.hpp"
+#include "util/check.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "workload/presets.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace mbts;
 
   CliParser cli("policy_compare",
@@ -28,7 +29,7 @@ int main(int argc, char** argv) {
   cli.add_flag("seed", "42", "master seed");
   if (!cli.parse(argc, argv)) return 1;
 
-  const auto jobs = static_cast<std::size_t>(cli.get_int("jobs"));
+  const auto jobs = static_cast<std::size_t>(cli.get_uint("jobs"));
   const double skew = cli.get_double("skew");
   const std::string preset = cli.get_string("preset");
   WorkloadSpec spec;
@@ -47,9 +48,7 @@ int main(int argc, char** argv) {
   if (const double cv = cli.get_double("runtime-cv"); cv > 0.0)
     spec.runtime = DistSpec::normal(spec.runtime.mean(),
                                     cv * spec.runtime.mean());
-  Xoshiro256 rng =
-      SeedSequence(static_cast<std::uint64_t>(cli.get_int("seed")))
-          .stream(0xC0);
+  Xoshiro256 rng = SeedSequence(cli.get_uint("seed")).stream(0xC0);
   const Trace trace = generate_trace(spec, rng);
   std::cout << "spec: " << spec.to_string() << "\n\n";
 
@@ -88,4 +87,13 @@ int main(int argc, char** argv) {
   }
   std::cout << table.render();
   return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const mbts::CheckError& e) {
+    std::cerr << e.what() << "\nrun with --help for usage\n";
+    return 1;
+  }
 }

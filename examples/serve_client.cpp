@@ -1,0 +1,153 @@
+// Load driver for mbts_serve: generates a seeded admission-mix bid stream
+// (the same preset the batch examples use), submits it over the line
+// protocol in request/response lockstep, and tallies the replies. With
+// --quit the final bid is followed by QUIT so the server session closes
+// cleanly; --stats dumps a STATS snapshot before disconnecting.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "workload/presets.hpp"
+
+namespace {
+
+int connect_to(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  MBTS_CHECK_MSG(fd >= 0, "socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  MBTS_CHECK_MSG(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+                 "invalid host address: " + host);
+  MBTS_CHECK_MSG(
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+      "cannot connect to " + host + ":" + std::to_string(port));
+  return fd;
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Blocking single-line read through a carry-over buffer.
+bool recv_line(int fd, std::string* buffer, std::string* line) {
+  for (;;) {
+    const std::size_t newline = buffer->find('\n');
+    if (newline != std::string::npos) {
+      *line = buffer->substr(0, newline);
+      buffer->erase(0, newline + 1);
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      return true;
+    }
+    char chunk[2048];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    buffer->append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::string format_double(double v) {
+  char out[64];
+  std::snprintf(out, sizeof(out), "%.17g", v);
+  return out;
+}
+
+}  // namespace
+
+static int run(int argc, char** argv) {
+  using namespace mbts;
+
+  CliParser cli("serve_client", "scripted load driver for mbts_serve");
+  cli.add_flag("host", "127.0.0.1", "server address");
+  cli.add_flag("port", "7421", "server port");
+  cli.add_flag("bids", "200", "bids to submit");
+  cli.add_flag("load", "2.0", "offered load for the admission-mix preset");
+  cli.add_flag("seed", "42", "trace generator seed");
+  cli.add_flag("stats", "false", "dump a STATS snapshot before closing");
+  cli.add_flag("quit", "true", "send QUIT after the last bid");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const std::uint64_t port = cli.get_uint("port");
+  MBTS_CHECK_MSG(port > 0 && port <= 65535,
+                 "--port must be in 1..65535");
+  const std::size_t bids = static_cast<std::size_t>(cli.get_uint("bids"));
+
+  // The bid *parameters* come from the seeded preset; arrival pacing is the
+  // server's job (it stamps admissions with its own clock).
+  WorkloadSpec spec = presets::admission_mix(cli.get_double("load"), bids);
+  Xoshiro256 rng = SeedSequence(cli.get_uint("seed")).stream(0x7A5C);
+  const Trace trace = generate_trace(spec, rng);
+
+  const int fd = connect_to(cli.get_string("host"),
+                            static_cast<std::uint16_t>(port));
+  std::string buffer, line;
+  std::size_t awarded = 0, rejected = 0, busy = 0, draining = 0, errors = 0;
+  for (const Task& task : trace.tasks) {
+    const std::string bid =
+        "BID " + format_double(task.runtime) + " " +
+        format_double(task.value.max_value()) + " " +
+        format_double(task.value.decay()) + " " +
+        (task.value.bounded() ? format_double(task.value.penalty_bound())
+                              : std::string("inf")) +
+        "\n";
+    if (!send_all(fd, bid) || !recv_line(fd, &buffer, &line)) {
+      std::cerr << "connection lost after " << awarded + rejected
+                << " resolved bids\n";
+      ::close(fd);
+      return 1;
+    }
+    if (line.rfind("AWARD", 0) == 0) ++awarded;
+    else if (line.rfind("REJECT", 0) == 0) ++rejected;
+    else if (line.rfind("BUSY", 0) == 0) ++busy;
+    else if (line.rfind("DRAINING", 0) == 0) ++draining;
+    else {
+      ++errors;
+      std::cerr << "unexpected reply: " << line << '\n';
+    }
+  }
+
+  if (cli.get_bool("stats")) {
+    if (send_all(fd, "STATS\n")) {
+      while (recv_line(fd, &buffer, &line)) {
+        if (line == "END" || line == "DRAINING") break;
+        std::cout << line << '\n';
+      }
+    }
+  }
+  if (cli.get_bool("quit") && send_all(fd, "QUIT\n"))
+    recv_line(fd, &buffer, &line);  // BYE
+  ::close(fd);
+
+  std::cout << "bids " << trace.tasks.size() << ": awarded " << awarded
+            << ", rejected " << rejected << ", busy " << busy << ", draining "
+            << draining << ", errors " << errors << '\n';
+  return errors == 0 ? 0 : 1;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const mbts::CheckError& e) {
+    std::cerr << e.what() << "\nrun with --help for usage\n";
+    return 1;
+  }
+}

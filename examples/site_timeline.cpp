@@ -10,6 +10,7 @@
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "sim/probe.hpp"
+#include "util/check.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "workload/presets.hpp"
@@ -33,7 +34,7 @@ std::string sparkline(const mbts::SampledSeries& series, std::size_t width) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace mbts;
 
   CliParser cli("site_timeline",
@@ -59,10 +60,8 @@ int main(int argc, char** argv) {
 
   const double load = cli.get_double("load");
   WorkloadSpec spec = presets::admission_mix(
-      load, static_cast<std::size_t>(cli.get_int("jobs")));
-  Xoshiro256 rng = SeedSequence(static_cast<std::uint64_t>(
-                                    cli.get_int("seed")))
-                       .stream(0x71);
+      load, static_cast<std::size_t>(cli.get_uint("jobs")));
+  Xoshiro256 rng = SeedSequence(cli.get_uint("seed")).stream(0x71);
   const Trace trace = generate_trace(spec, rng);
   const double probe_interval = spec.mean_gap() * 20.0;
 
@@ -139,4 +138,13 @@ int main(int argc, char** argv) {
   if (cli.get_bool("profile"))
     std::cout << '\n' << Profiler::instance().report();
   return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const mbts::CheckError& e) {
+    std::cerr << e.what() << "\nrun with --help for usage\n";
+    return 1;
+  }
 }

@@ -3,13 +3,14 @@
 // exactly what the experiments feed the scheduler.
 #include <iostream>
 
+#include "util/check.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "workload/presets.hpp"
 #include "workload/swf.hpp"
 #include "workload/trace.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace mbts;
 
   CliParser cli("trace_tool",
@@ -35,15 +36,13 @@ int main(int argc, char** argv) {
     trace = load_trace_csv(inspect);
   } else if (!swf.empty()) {
     SwfImportOptions options;
-    options.limit = static_cast<std::size_t>(cli.get_int("swf-limit"));
-    Xoshiro256 swf_rng = SeedSequence(static_cast<std::uint64_t>(
-                                          cli.get_int("seed")))
-                             .stream(0x5AF);
+    options.limit = static_cast<std::size_t>(cli.get_uint("swf-limit"));
+    Xoshiro256 swf_rng = SeedSequence(cli.get_uint("seed")).stream(0x5AF);
     trace = load_swf_file(swf, options, swf_rng);
     std::cout << "imported " << trace.size() << " jobs from " << swf
               << "\n\n";
   } else {
-    const auto jobs = static_cast<std::size_t>(cli.get_int("jobs"));
+    const auto jobs = static_cast<std::size_t>(cli.get_uint("jobs"));
     const double skew = cli.get_double("skew");
     const std::string preset = cli.get_string("preset");
     WorkloadSpec spec;
@@ -53,9 +52,7 @@ int main(int argc, char** argv) {
       spec = presets::decay_skew_mix(skew, PenaltyModel::kUnbounded, jobs);
     else
       spec = presets::admission_mix(cli.get_double("load"), jobs);
-    Xoshiro256 rng = SeedSequence(static_cast<std::uint64_t>(
-                                      cli.get_int("seed")))
-                         .stream(0x77);
+    Xoshiro256 rng = SeedSequence(cli.get_uint("seed")).stream(0x77);
     trace = generate_trace(spec, rng);
     std::cout << "spec: " << spec.to_string() << "\n\n";
   }
@@ -78,4 +75,13 @@ int main(int argc, char** argv) {
     std::cout << "\nwrote " << save << '\n';
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const mbts::CheckError& e) {
+    std::cerr << e.what() << "\nrun with --help for usage\n";
+    return 1;
+  }
 }

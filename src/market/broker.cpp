@@ -149,6 +149,17 @@ void Broker::attempt(const Bid& bid, std::size_t round, bool is_rebid) {
 }
 
 NegotiationResult Broker::negotiate_round(const Bid& bid) {
+  // Negotiations are strictly serialized: the round works through member
+  // scratch (poll_scratch_, the rng stream, the ledger) that a nested or
+  // concurrent round would corrupt. The serve layer honors this by feeding
+  // live bids through the engine thread one event at a time; this guard
+  // turns a future violation into a loud failure instead of silent drift.
+  MBTS_CHECK_MSG(!negotiating_, "re-entrant Broker negotiation");
+  negotiating_ = true;
+  struct Reset {
+    bool* flag;
+    ~Reset() { *flag = false; }
+  } reset{&negotiating_};
   NegotiationResult result;
   result.bid = bid;
   if (trace_ != nullptr)

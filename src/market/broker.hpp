@@ -189,6 +189,10 @@ class Broker {
   QuotePoller poller_;
   Xoshiro256 rng_;
   std::vector<std::size_t> poll_scratch_;
+  /// True while a negotiation round is running; guards the round's member
+  /// scratch against re-entrant or concurrent submission (see
+  /// negotiate_round).
+  bool negotiating_ = false;
   std::deque<RetrySlot> retry_slab_;
   std::vector<std::uint32_t> free_retries_;
   std::vector<NegotiationResult> history_;

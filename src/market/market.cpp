@@ -121,6 +121,23 @@ void Market::inject(const Trace& trace, ClientId client) {
   }
 }
 
+void Market::submit_bid(const Bid& bid) {
+  MBTS_CHECK_MSG(!sharded(),
+                 "submit_bid: live submission requires the single-engine "
+                 "market (shards <= 1)");
+  MBTS_CHECK_MSG(!config_.faults.enabled(),
+                 "submit_bid: live submission does not support the fault "
+                 "model (faults are armed in run())");
+  ++bids_;
+  last_arrival_ = std::max(last_arrival_, bid.task.arrival);
+  EventPayload payload;
+  payload.target = this;
+  payload.a = injected_bids_.size();
+  injected_bids_.push_back(bid);
+  engine_.schedule_event(bid.task.arrival, EventPriority::kArrival,
+                         EventKind::kMarketBid, payload);
+}
+
 void Market::on_site_down(std::size_t site_index) {
   SiteAgent& site = *sites_[site_index];
   const std::vector<Breach> breaches = site.fail(config_.faults.crash_mode);
@@ -175,6 +192,10 @@ MarketStats Market::run() {
   } else {
     engine_.run();
   }
+  return collect_stats();
+}
+
+MarketStats Market::collect_stats() {
   MarketStats stats;
   stats.bids = bids_;
   stats.rejected_everywhere = broker_->rejected_everywhere();

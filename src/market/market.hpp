@@ -115,8 +115,22 @@ class Market {
   /// Schedules every task in the trace as a bid negotiation at its arrival.
   void inject(const Trace& trace, ClientId client = 0);
 
+  /// Live-submission path for service mode: schedules one bid negotiation at
+  /// `bid.task.arrival`, exactly as inject() would. The caller owns the
+  /// engine pump (run_until_before/step) and finishes with collect_stats()
+  /// instead of run(). Restricted to the single-engine, fault-free
+  /// configuration — the serve layer pumps events incrementally, which the
+  /// sharded loop and the fault-arming preamble in run() do not support.
+  void submit_bid(const Bid& bid);
+
   /// Runs the engine until all work drains, then settles all contracts.
   MarketStats run();
+
+  /// Settles every site and assembles MarketStats from the current engine
+  /// state. run() calls this after draining; a live server calls it directly
+  /// once it has pumped the engine dry. Settling is idempotent per contract,
+  /// but the totals only mean "final" when no events remain.
+  MarketStats collect_stats();
 
   /// The armed injector, or null when `config.faults` is disabled.
   const FaultInjector* fault_injector() const { return injector_.get(); }

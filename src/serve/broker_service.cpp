@@ -1,0 +1,275 @@
+#include "serve/broker_service.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace mbts {
+namespace serve {
+
+namespace {
+constexpr const char* kLatencyHistogram = "serve/quote_latency_ms";
+}  // namespace
+
+BrokerService::BrokerService(ServeConfig config, PacingClock* clock)
+    : config_(std::move(config)), clock_(clock) {
+  MBTS_CHECK_MSG(clock_ != nullptr, "BrokerService needs a pacing clock");
+  MBTS_CHECK_MSG(config_.market.shards <= 1,
+                 "service mode requires the single-engine market");
+  MBTS_CHECK_MSG(!config_.market.faults.enabled(),
+                 "service mode does not support the fault model");
+  MBTS_CHECK_MSG(config_.queue_capacity > 0,
+                 "admission queue capacity must be positive");
+  market_ = std::make_unique<Market>(config_.market);
+  // Instrument registration is first-use; doing it here keeps the CSV
+  // column set stable from the first STATS call.
+  metrics_.histogram(kLatencyHistogram, 0.0, 1000.0, 64);
+}
+
+BrokerService::~BrokerService() {
+  if (started_ && !drained_) drain();
+}
+
+void BrokerService::start() {
+  MBTS_CHECK_MSG(!started_, "BrokerService already started");
+  started_ = true;
+  engine_thread_ = std::thread([this] { engine_loop(); });
+}
+
+BrokerService::SubmitStatus BrokerService::submit(
+    const Task& task, std::future<Outcome>* outcome, double* retry_after) {
+  MBTS_CHECK_MSG(outcome != nullptr, "submit needs an outcome future");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (draining_) {
+    ++rejected_draining_;
+    return SubmitStatus::kDraining;
+  }
+  if (queued_bids_ >= config_.queue_capacity) {
+    ++rejected_backpressure_;
+    if (retry_after != nullptr) *retry_after = config_.retry_after;
+    return SubmitStatus::kQueueFull;
+  }
+  Entry entry;
+  entry.kind = Entry::Kind::kBid;
+  entry.bid.client = 0;
+  entry.bid.task = task;
+  // The stamp and the id are the admission order: both assigned under mu_,
+  // both monotone, so the admitted stream replays through inject() as an
+  // arrival-ordered trace (bit-identity invariant 1).
+  last_stamp_ = std::max(last_stamp_, clock_->now());
+  entry.bid.task.arrival = last_stamp_;
+  entry.bid.task.id = next_task_id_++;
+  entry.enqueued = std::chrono::steady_clock::now();
+  *outcome = entry.outcome.get_future();
+  queue_.push_back(std::move(entry));
+  ++queued_bids_;
+  peak_queue_depth_ = std::max(peak_queue_depth_, queued_bids_);
+  ++admitted_count_;
+  cv_.notify_all();
+  return SubmitStatus::kQueued;
+}
+
+std::string BrokerService::stats_csv(const ExternalGauges& extra) {
+  std::future<std::string> text;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // A drain may have already stopped (or be stopping) the engine thread;
+    // an entry queued now would never be fulfilled. The empty string tells
+    // the caller to answer DRAINING.
+    if (draining_) return "";
+    MBTS_CHECK_MSG(started_,
+                   "stats_csv requires a running service "
+                   "(use final_metrics_csv after drain)");
+    Entry entry;
+    entry.kind = Entry::Kind::kStats;
+    entry.external = extra;
+    text = entry.text.get_future();
+    queue_.push_back(std::move(entry));
+    cv_.notify_all();
+  }
+  return text.get();
+}
+
+MarketStats BrokerService::drain(const ExternalGauges& extra) {
+  MBTS_CHECK_MSG(started_, "drain requires a started service");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!draining_) {
+      draining_ = true;
+      drain_extra_ = extra;
+    }
+  }
+  cv_.notify_all();
+  if (engine_thread_.joinable()) engine_thread_.join();
+  drained_ = true;
+  return final_stats_;
+}
+
+const Trace& BrokerService::admitted_trace() const {
+  MBTS_CHECK_MSG(drained_, "admitted_trace is valid after drain()");
+  return admitted_;
+}
+
+std::string BrokerService::final_metrics_csv() const {
+  MBTS_CHECK_MSG(drained_, "final_metrics_csv is valid after drain()");
+  std::ostringstream out;
+  metrics_.write_csv(out);
+  return out.str();
+}
+
+std::uint64_t BrokerService::admitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_count_;
+}
+
+std::uint64_t BrokerService::rejected_backpressure() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_backpressure_;
+}
+
+std::uint64_t BrokerService::rejected_draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_draining_;
+}
+
+bool BrokerService::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+void BrokerService::pump_strictly_before(double boundary) {
+  market_->engine().run_until_before(
+      boundary, static_cast<int>(EventPriority::kArrival));
+}
+
+void BrokerService::process_bid(Entry& entry) {
+  if (config_.process_stall.count() > 0)
+    std::this_thread::sleep_for(config_.process_stall);
+  const Task& task = entry.bid.task;
+  // Invariant 2: everything the batch run would have executed before this
+  // bid's (arrival, kArrival) slot runs first; then the bid event is the
+  // queue minimum (nothing else can occupy [boundary, (arrival, kArrival)]
+  // — stamps are monotone and retry/rebid events need faults), so step()
+  // executes exactly this negotiation.
+  pump_strictly_before(task.arrival);
+  const std::size_t history_before = market_->broker().history().size();
+  market_->submit_bid(entry.bid);
+  const bool stepped = market_->engine().step();
+  MBTS_CHECK_MSG(stepped &&
+                     market_->broker().history().size() == history_before + 1,
+                 "live bid did not negotiate as the next engine event");
+  const NegotiationResult& result = market_->broker().history().back();
+  MBTS_CHECK_MSG(result.bid.task.id == task.id,
+                 "negotiation history out of order");
+  Outcome outcome;
+  outcome.task = task.id;
+  outcome.awarded = result.awarded_site.has_value();
+  if (outcome.awarded) {
+    outcome.site = *result.awarded_site;
+    const SiteAgent* agent = nullptr;
+    for (const auto& site : market_->sites())
+      if (site->id() == outcome.site) agent = site.get();
+    MBTS_CHECK(agent != nullptr && !agent->contracts().empty());
+    const Contract& contract = agent->contracts().back();
+    MBTS_CHECK_MSG(contract.task == task.id, "contract out of order");
+    outcome.expected_completion = contract.agreed_completion;
+    outcome.agreed_price = contract.agreed_price;
+  }
+  admitted_.tasks.push_back(entry.bid.task);
+  const double latency_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - entry.enqueued)
+          .count();
+  metrics_.histogram(kLatencyHistogram, 0.0, 1000.0, 64).add(latency_ms);
+  entry.outcome.set_value(outcome);
+}
+
+std::string BrokerService::snapshot_metrics(const ExternalGauges& extra) {
+  std::uint64_t admitted = 0, bp = 0, draining = 0;
+  std::size_t depth = 0, peak = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    admitted = admitted_count_;
+    bp = rejected_backpressure_;
+    draining = rejected_draining_;
+    depth = queued_bids_;
+    peak = peak_queue_depth_;
+  }
+  // Counters are cumulative in the registry; members are the source of
+  // truth, so each snapshot adds only the delta since the last one.
+  metrics_.counter("serve/bids_admitted")
+      .add(admitted - last_counted_admitted_);
+  last_counted_admitted_ = admitted;
+  metrics_.counter("serve/bids_rejected_backpressure")
+      .add(bp - last_counted_bp_);
+  last_counted_bp_ = bp;
+  metrics_.counter("serve/bids_rejected_draining")
+      .add(draining - last_counted_draining_);
+  last_counted_draining_ = draining;
+  // Gauge max() records the peak; value() the current depth.
+  Gauge& queue_gauge = metrics_.gauge("serve/queue_depth");
+  queue_gauge.set(static_cast<double>(peak));
+  queue_gauge.set(static_cast<double>(depth));
+  metrics_.gauge("serve/engine_events_executed")
+      .set(static_cast<double>(market_->engine().events_executed()));
+  metrics_.gauge("serve/sim_now").set(market_->engine().now());
+  for (const auto& [name, value] : extra) metrics_.gauge(name).set(value);
+  std::ostringstream out;
+  metrics_.write_csv(out);
+  return out.str();
+}
+
+void BrokerService::engine_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    if (!queue_.empty()) {
+      Entry entry = std::move(queue_.front());
+      queue_.pop_front();
+      if (entry.kind == Entry::Kind::kBid) {
+        --queued_bids_;
+        lk.unlock();
+        process_bid(entry);
+      } else {
+        // "Stats as of now": pump everything due at the current sim time
+        // before snapshotting, so a test that advanced the clock observes
+        // the settlements that advance made due.
+        last_stamp_ = std::max(last_stamp_, clock_->now());
+        const double boundary = last_stamp_;
+        lk.unlock();
+        pump_strictly_before(boundary);
+        entry.text.set_value(snapshot_metrics(entry.external));
+      }
+      lk.lock();
+      continue;
+    }
+    if (draining_) break;
+    // Idle: pump events due by now. Folding the boundary into the stamp
+    // floor keeps every future stamp >= it (clock monotonicity orders the
+    // reads under mu_), so the pump never runs past a bid to come.
+    last_stamp_ = std::max(last_stamp_, clock_->now());
+    const double boundary = last_stamp_;
+    lk.unlock();
+    pump_strictly_before(boundary);
+    lk.lock();
+    if (!queue_.empty() || draining_) continue;
+    double next_t = 0.0;
+    const bool pending = market_->engine().peek_next_event(&next_t);
+    if (pending) {
+      clock_->wait_until(cv_, lk, next_t);
+    } else {
+      clock_->wait(cv_, lk);
+    }
+  }
+  // Graceful drain: the queue is empty and no submit can add to it. Run
+  // the engine dry — every open contract's completion executes — then
+  // assemble the final stats and metrics (invariant 3).
+  const ExternalGauges extra = drain_extra_;
+  lk.unlock();
+  market_->engine().run();
+  final_stats_ = market_->collect_stats();
+  snapshot_metrics(extra);
+}
+
+}  // namespace serve
+}  // namespace mbts

@@ -1,0 +1,184 @@
+// The live admission path of service mode (DESIGN.md §9).
+//
+// BrokerService wraps one single-engine, fault-free Market behind a bounded
+// admission queue and a dedicated engine thread, turning the batch economy
+// into a request/response broker:
+//
+//   session threads            engine thread (owns Market + SimEngine)
+//   --------------             ------------------------------------------
+//   submit(bid) ----------->   pop entry
+//     stamp arrival a           pump events strictly before (a, kArrival)
+//     assign task id            Market::submit_bid -> SimEngine::step()
+//     future<Outcome>           fulfill the promise from the negotiation
+//                              idle: pump to clock.now(), sleep until the
+//                              next event is due or a submit arrives
+//
+// Bit-identity contract: the drained service's MarketStats are bit-identical
+// to a batch Market::run() over admitted_trace() with the same MarketConfig.
+// Three invariants carry it:
+//   1. Arrival stamps and task ids are assigned under the queue mutex, both
+//      monotone, so queue order == arrival order == id order — exactly the
+//      stream inject() would schedule.
+//   2. The engine only ever executes events strictly before the stamp of
+//      the next bid (the pump boundary folds into the stamp floor), so each
+//      live bid executes against exactly the prefix the batch run would
+//      have executed before it.
+//   3. At drain the engine runs dry and collect_stats() assembles the same
+//      totals run() would. Nothing in the fingerprint depends on the final
+//      clock, which is the one place serve and batch histories differ.
+//
+// Thread safety: MetricsRegistry and Market are touched by the engine
+// thread only. Session threads see the queue, the counters under mu_, and
+// their futures. STATS requests ride the same queue as control entries so
+// even the metrics snapshot is engine-thread work.
+#pragma once
+
+#include <condition_variable>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "market/market.hpp"
+#include "obs/metrics.hpp"
+#include "serve/pacing_clock.hpp"
+#include "workload/trace.hpp"
+
+namespace mbts {
+namespace serve {
+
+struct ServeConfig {
+  /// The economy to serve. Must be single-engine (shards <= 1) and
+  /// fault-free — the live pump does not support the sharded loop or the
+  /// fault-arming preamble (Market::submit_bid checks).
+  MarketConfig market;
+  /// Bids queued but not yet negotiated before submit() rejects with
+  /// kQueueFull. Control entries (STATS) are exempt.
+  std::size_t queue_capacity = 256;
+  /// Retry-after hint (sim seconds) returned with a kQueueFull rejection.
+  double retry_after = 1.0;
+  /// Test hook: stall the engine thread this long before each negotiation,
+  /// so load tests can force the admission queue full deterministically.
+  std::chrono::milliseconds process_stall{0};
+};
+
+/// Final result of one live bid.
+struct Outcome {
+  TaskId task = kInvalidTask;
+  bool awarded = false;
+  SiteId site = 0;
+  double expected_completion = 0.0;
+  double agreed_price = 0.0;
+};
+
+class BrokerService {
+ public:
+  enum class SubmitStatus { kQueued, kQueueFull, kDraining };
+
+  /// External counters a caller (the TCP server) folds into STATS
+  /// snapshots; written as gauges named as given.
+  using ExternalGauges = std::vector<std::pair<std::string, double>>;
+
+  /// `clock` is not owned and must outlive the service.
+  BrokerService(ServeConfig config, PacingClock* clock);
+  ~BrokerService();
+
+  BrokerService(const BrokerService&) = delete;
+  BrokerService& operator=(const BrokerService&) = delete;
+
+  /// Spawns the engine thread. Entries submitted before start() simply
+  /// queue up (deterministic backpressure tests rely on this).
+  void start();
+
+  /// Admission: stamps the bid with the current sim time, assigns its task
+  /// id, and queues it for negotiation. On kQueued, `*outcome` is a future
+  /// the engine thread fulfills. On kQueueFull, `*retry_after` (if non-null)
+  /// carries the hint. On kDraining nothing is queued.
+  SubmitStatus submit(const Task& task, std::future<Outcome>* outcome,
+                      double* retry_after = nullptr);
+
+  /// Metrics snapshot as CSV, taken by the engine thread after pumping all
+  /// events due at the current sim time ("stats as of now"). `extra` is
+  /// written as gauges before the dump. Requires a started service; returns
+  /// "" once draining (callers answer DRAINING).
+  std::string stats_csv(const ExternalGauges& extra = {});
+
+  /// Graceful drain: stop admitting, let the engine thread negotiate every
+  /// queued bid, run the engine dry (settling all open contracts), snapshot
+  /// metrics, join the thread, and return the final stats. Idempotent;
+  /// subsequent submits return kDraining.
+  MarketStats drain(const ExternalGauges& extra = {});
+
+  /// The admitted bid stream, in negotiation order with the stamped
+  /// arrivals and assigned ids. Replaying it through a batch Market::run()
+  /// with the same MarketConfig reproduces drain()'s stats bit-for-bit.
+  /// Valid after drain().
+  const Trace& admitted_trace() const;
+
+  /// Final metrics CSV (same registry STATS dumps). Valid after drain().
+  std::string final_metrics_csv() const;
+
+  /// Counters (any thread).
+  std::uint64_t admitted() const;
+  std::uint64_t rejected_backpressure() const;
+  std::uint64_t rejected_draining() const;
+
+  bool draining() const;
+
+ private:
+  struct Entry {
+    enum class Kind { kBid, kStats } kind = Kind::kBid;
+    Bid bid;
+    std::promise<Outcome> outcome;
+    std::promise<std::string> text;
+    ExternalGauges external;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void engine_loop();
+  /// Executes one live negotiation (invariant 2 of the file comment).
+  void process_bid(Entry& entry);
+  /// Pumps every event strictly before (boundary, kArrival).
+  void pump_strictly_before(double boundary);
+  /// Engine thread: writes counters/gauges into the registry and dumps CSV.
+  std::string snapshot_metrics(const ExternalGauges& extra);
+
+  const ServeConfig config_;
+  PacingClock* const clock_;
+  std::unique_ptr<Market> market_;
+  // Engine-thread-only (after start): the registry and the admitted trace
+  // are also read by the caller after drain() joins the thread.
+  MetricsRegistry metrics_;
+  Trace admitted_;
+  std::uint64_t last_counted_admitted_ = 0;
+  std::uint64_t last_counted_bp_ = 0;
+  std::uint64_t last_counted_draining_ = 0;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Entry> queue_;
+  std::size_t queued_bids_ = 0;
+  std::size_t peak_queue_depth_ = 0;
+  bool draining_ = false;
+  ExternalGauges drain_extra_;
+  double last_stamp_ = 0.0;
+  TaskId next_task_id_ = 1;
+  std::uint64_t admitted_count_ = 0;
+  std::uint64_t rejected_backpressure_ = 0;
+  std::uint64_t rejected_draining_ = 0;
+
+  std::thread engine_thread_;
+  bool started_ = false;
+  bool drained_ = false;
+  MarketStats final_stats_;
+};
+
+}  // namespace serve
+}  // namespace mbts

@@ -1,0 +1,101 @@
+#include "serve/pacing_clock.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace mbts {
+
+WallPacingClock::WallPacingClock(double scale)
+    : epoch_(Clock::now()), scale_(scale) {
+  MBTS_CHECK_MSG(scale > 0.0, "pacing scale must be positive");
+}
+
+double WallPacingClock::now() {
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - epoch_).count();
+  const double t = elapsed * scale_;
+  std::lock_guard<std::mutex> lock(m_);
+  last_ = std::max(last_, t);
+  return last_;
+}
+
+void WallPacingClock::wait_until(std::condition_variable& cv,
+                                 std::unique_lock<std::mutex>& lk, double t) {
+  // Wake strictly *past* the deadline: the service pumps events strictly
+  // before its boundary, so waking at exactly t would leave the due event
+  // on the (t, >= kArrival) side of the boundary and spin. A fraction of a
+  // millisecond of pad is far below any pacing fidelity a wall clock can
+  // promise anyway.
+  const double wall_seconds = t / scale_ + 200e-6;
+  cv.wait_until(lk, epoch_ + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(wall_seconds)));
+}
+
+void WallPacingClock::wait(std::condition_variable& cv,
+                           std::unique_lock<std::mutex>& lk) {
+  cv.wait(lk);
+}
+
+double VirtualPacingClock::now() {
+  std::lock_guard<std::mutex> lock(m_);
+  return t_;
+}
+
+void VirtualPacingClock::advance(double dt) {
+  MBTS_CHECK_MSG(dt >= 0.0, "virtual clock cannot run backwards");
+  std::condition_variable* cv = nullptr;
+  std::mutex* mu = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    t_ += dt;
+    cv = waiter_cv_;
+    mu = waiter_mu_;
+  }
+  if (cv == nullptr) return;
+  // Mutex bridge: the waiter registered under m_ while still holding its
+  // own mutex, then released it inside cv.wait. Acquiring and releasing
+  // that mutex here orders this notify after the waiter is actually
+  // parked, so the wakeup cannot fall into the gap between its predicate
+  // check and the wait. Lock order is always service-mutex -> m_ on the
+  // waiter side and m_ -> (drop) -> service-mutex here, so no cycle.
+  { std::lock_guard<std::mutex> bridge(*mu); }
+  cv->notify_all();
+}
+
+void VirtualPacingClock::wait_impl(std::condition_variable& cv,
+                                   std::unique_lock<std::mutex>& lk,
+                                   double t) {
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    MBTS_CHECK_MSG(waiter_cv_ == nullptr || waiter_cv_ == &cv,
+                   "VirtualPacingClock supports a single waiter");
+    waiter_cv_ = &cv;
+    waiter_mu_ = lk.mutex();
+    // An advance() that slipped in after the caller's predicate check but
+    // before registration would otherwise be lost; with a deadline, the
+    // wait is already satisfied.
+    if (t >= 0.0 && t_ >= t) {
+      waiter_cv_ = nullptr;
+      waiter_mu_ = nullptr;
+      return;
+    }
+  }
+  cv.wait(lk);
+  std::lock_guard<std::mutex> lock(m_);
+  waiter_cv_ = nullptr;
+  waiter_mu_ = nullptr;
+}
+
+void VirtualPacingClock::wait_until(std::condition_variable& cv,
+                                    std::unique_lock<std::mutex>& lk,
+                                    double t) {
+  wait_impl(cv, lk, t);
+}
+
+void VirtualPacingClock::wait(std::condition_variable& cv,
+                              std::unique_lock<std::mutex>& lk) {
+  wait_impl(cv, lk, -1.0);
+}
+
+}  // namespace mbts

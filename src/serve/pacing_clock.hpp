@@ -1,0 +1,111 @@
+// Real-time pacing for the live broker (DESIGN.md §9).
+//
+// The discrete-event engine has no opinion about wall time: it executes the
+// next (t, priority, seq) minimum whenever asked. Service mode wants the
+// opposite — a completion at sim time t must settle when the wall clock
+// *reaches* t, and a bid that arrives now must be stamped with the current
+// sim time. A PacingClock is the mapping between the two: it reports the
+// current sim time and can block the engine thread until a given sim time is
+// due (or the service is poked for another reason).
+//
+// The clock is injectable. The production WallPacingClock maps monotonic
+// wall time onto sim time through a scale factor; the VirtualPacingClock is
+// driven by explicit advance() calls so tests run the whole serve stack at
+// simulated speed, deterministically, in microseconds of real time.
+//
+// Contract (what BrokerService relies on):
+//  - now() is monotone non-decreasing, including across threads whose calls
+//    are ordered by a mutex: if A's now() happens-before B's now(), then
+//    A's reading <= B's reading. The service stamps bid arrivals and pump
+//    boundaries under one mutex, and this property is what keeps every
+//    stamp >= every earlier boundary (so the engine never schedules into
+//    its own past).
+//  - wait_until(cv, lk, t) blocks the caller on `cv` (releasing `lk`, the
+//    service mutex) until roughly sim time t is due or the cv is notified.
+//    Spurious wakeups are allowed and expected: the caller re-checks its
+//    predicates and re-waits.
+//  - wait(cv, lk) blocks until the cv is notified (used when nothing is
+//    pending, so no sim deadline exists).
+#pragma once
+
+#include <condition_variable>
+#include <chrono>
+#include <mutex>
+
+namespace mbts {
+
+class PacingClock {
+ public:
+  virtual ~PacingClock() = default;
+
+  /// Current sim time (monotone; see file comment).
+  virtual double now() = 0;
+
+  /// Blocks on `cv` until sim time `t` is due or the cv is notified.
+  /// `lk` must hold the same mutex the notifier uses.
+  virtual void wait_until(std::condition_variable& cv,
+                          std::unique_lock<std::mutex>& lk, double t) = 0;
+
+  /// Blocks on `cv` until notified (no sim deadline pending).
+  virtual void wait(std::condition_variable& cv,
+                    std::unique_lock<std::mutex>& lk) = 0;
+};
+
+/// Production clock: sim time = scale * (monotonic wall seconds since
+/// construction). scale = 1 serves in real time; scale = 60 compresses a
+/// simulated minute into a wall second (useful for demos and smoke tests).
+class WallPacingClock : public PacingClock {
+ public:
+  explicit WallPacingClock(double scale = 1.0);
+
+  double now() override;
+  void wait_until(std::condition_variable& cv,
+                  std::unique_lock<std::mutex>& lk, double t) override;
+  void wait(std::condition_variable& cv,
+            std::unique_lock<std::mutex>& lk) override;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point epoch_;
+  const double scale_;
+  // steady_clock is monotone per thread; folding every reading through
+  // last_ makes the cross-thread monotonicity the service relies on a
+  // guarantee instead of a platform property.
+  std::mutex m_;
+  double last_ = 0.0;
+};
+
+/// Test clock: sim time moves only through advance(). A waiter blocked in
+/// wait/wait_until is woken by advance(), so a test can submit bids, move
+/// time past the expected completions, and observe settlement — all
+/// deterministically.
+class VirtualPacingClock : public PacingClock {
+ public:
+  double now() override;
+
+  /// Moves sim time forward by dt (>= 0) and wakes any registered waiter.
+  void advance(double dt);
+
+  void wait_until(std::condition_variable& cv,
+                  std::unique_lock<std::mutex>& lk, double t) override;
+  void wait(std::condition_variable& cv,
+            std::unique_lock<std::mutex>& lk) override;
+
+ private:
+  /// Registers the caller as the waiter, re-checks `t` against the clock
+  /// (an advance() between the caller's predicate check and registration
+  /// must not be lost), then waits once. t < 0 means "no deadline".
+  void wait_impl(std::condition_variable& cv, std::unique_lock<std::mutex>& lk,
+                 double t);
+
+  std::mutex m_;
+  double t_ = 0.0;
+  // At most one waiter: the service's engine thread. The waiter's cv and
+  // mutex are registered while it sleeps so advance() can perform the
+  // mutex-bridge notify (lock-unlock the waiter's mutex, then notify) that
+  // closes the classic lost-wakeup window.
+  std::condition_variable* waiter_cv_ = nullptr;
+  std::mutex* waiter_mu_ = nullptr;
+};
+
+}  // namespace mbts

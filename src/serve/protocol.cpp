@@ -1,0 +1,122 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+namespace mbts {
+namespace serve {
+
+namespace {
+
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    const std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+/// Full-token numeric parse, the load_swf discipline: strtod must consume
+/// the entire token or the field is malformed — "1.5x" is an error, not 1.5.
+bool parse_number(std::string_view token, double* out) {
+  const std::string buffer(token);  // strtod needs NUL termination
+  char* end = nullptr;
+  const double v = std::strtod(buffer.c_str(), &end);
+  if (end == buffer.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool field_error(std::string* error, std::size_t index, const char* name,
+                 std::string_view token, const char* what) {
+  *error = "field " + std::to_string(index) + " (" + name + "): " + what +
+           " '" + std::string(token) + "'";
+  return false;
+}
+
+}  // namespace
+
+bool parse_request(std::string_view line, Request* request,
+                   std::string* error) {
+  const std::vector<std::string_view> tokens = tokenize(line);
+  if (tokens.empty()) {
+    *error = "empty request";
+    return false;
+  }
+  const std::string_view verb = tokens[0];
+  if (verb == "PING") {
+    if (tokens.size() != 1) {
+      *error = "PING takes no arguments";
+      return false;
+    }
+    request->verb = Verb::kPing;
+    return true;
+  }
+  if (verb == "QUIT") {
+    if (tokens.size() != 1) {
+      *error = "QUIT takes no arguments";
+      return false;
+    }
+    request->verb = Verb::kQuit;
+    return true;
+  }
+  if (verb == "STATS" || verb == "METRICS") {
+    if (tokens.size() != 1) {
+      *error = std::string(verb) + " takes no arguments";
+      return false;
+    }
+    request->verb = Verb::kStats;
+    return true;
+  }
+  if (verb != "BID") {
+    *error = "unknown verb '" + std::string(verb) + "'";
+    return false;
+  }
+  if (tokens.size() != 5) {
+    *error = "BID takes exactly 4 fields (runtime value decay bound), got " +
+             std::to_string(tokens.size() - 1);
+    return false;
+  }
+  request->verb = Verb::kBid;
+  if (!parse_number(tokens[1], &request->runtime))
+    return field_error(error, 1, "runtime", tokens[1], "malformed number");
+  if (!(request->runtime > 0.0) || !std::isfinite(request->runtime))
+    return field_error(error, 1, "runtime", tokens[1],
+                       "must be a positive finite number, got");
+  if (!parse_number(tokens[2], &request->value))
+    return field_error(error, 2, "value", tokens[2], "malformed number");
+  if (!std::isfinite(request->value))
+    return field_error(error, 2, "value", tokens[2],
+                       "must be a finite number, got");
+  if (!parse_number(tokens[3], &request->decay))
+    return field_error(error, 3, "decay", tokens[3], "malformed number");
+  if (request->decay < 0.0 || !std::isfinite(request->decay))
+    return field_error(error, 3, "decay", tokens[3],
+                       "must be a non-negative finite number, got");
+  if (tokens[4] == "inf") {
+    request->bound = kInf;
+  } else {
+    if (!parse_number(tokens[4], &request->bound))
+      return field_error(error, 4, "bound", tokens[4],
+                         "malformed number (or 'inf')");
+    if (request->bound < 0.0 || !std::isfinite(request->bound))
+      return field_error(error, 4, "bound", tokens[4],
+                         "must be a non-negative number or 'inf', got");
+  }
+  return true;
+}
+
+Task bid_task(const Request& request) {
+  Task task;
+  task.runtime = request.runtime;
+  task.value = ValueFunction(request.value, request.decay, request.bound);
+  return task;
+}
+
+}  // namespace serve
+}  // namespace mbts

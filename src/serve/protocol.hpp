@@ -1,0 +1,68 @@
+// Wire protocol of the live broker (DESIGN.md §9).
+//
+// Line-oriented, human-typeable, no external deps. One request per line,
+// terminated by '\n' ('\r' tolerated); fields are whitespace-separated full
+// tokens. Grammar:
+//
+//   BID <runtime> <value> <decay> <bound>   negotiate one task
+//   STATS                                   dump the metrics registry as CSV
+//   METRICS                                 alias for STATS
+//   PING                                    liveness probe
+//   QUIT                                    close the session
+//
+// <runtime> > 0, <value> finite, <decay> >= 0 — all finite decimal numbers;
+// <bound> is a non-negative penalty bound or the literal "inf" for an
+// unbounded value function. Responses (one line each, except STATS which
+// streams CSV and terminates with "END"):
+//
+//   AWARD <task> <site> <completion> <price>   contract formed
+//   REJECT <task>                              every site declined
+//   BUSY <retry_after>                         admission queue full, retry
+//   DRAINING                                   server is shutting down
+//   TIMEOUT idle                               session evicted (then close)
+//   ERR <diagnostic>                           malformed request
+//   PONG                                       PING reply
+//   BYE                                        QUIT reply (then close)
+//
+// Numbers in responses print at %.17g, so a client that echoes a bid stream
+// back into the batch tooling reproduces it bit-for-bit.
+//
+// Parsing follows the importer's discipline (workload/swf.cpp, fixed in
+// PR 4): every numeric field is a full-token strtod with an end-pointer
+// check, and a malformed field is a loud per-field diagnostic — never a
+// half-parsed bid.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/task.hpp"
+
+namespace mbts {
+namespace serve {
+
+enum class Verb { kBid, kStats, kPing, kQuit };
+
+/// One parsed request line. For kBid the four fields mirror the paper's bid
+/// tuple (runtime_i, value_i, decay_i, bound_i); bound == kInf encodes an
+/// unbounded value function.
+struct Request {
+  Verb verb = Verb::kPing;
+  double runtime = 0.0;
+  double value = 0.0;
+  double decay = 0.0;
+  double bound = kInf;
+};
+
+/// Parses one request line (no trailing newline). Returns false and fills
+/// `error` with a "field K (<name>): ..." diagnostic on malformed input;
+/// the caller prepends its session line number.
+bool parse_request(std::string_view line, Request* request,
+                   std::string* error);
+
+/// Builds the Task a BID request negotiates: id/arrival are assigned by the
+/// admission queue, the value function from the parsed fields.
+Task bid_task(const Request& request);
+
+}  // namespace serve
+}  // namespace mbts

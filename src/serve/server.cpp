@@ -1,0 +1,225 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "serve/protocol.hpp"
+#include "util/check.hpp"
+
+namespace mbts {
+namespace serve {
+
+namespace {
+
+/// Sends the whole buffer; MSG_NOSIGNAL turns a dead peer into an error
+/// return instead of SIGPIPE. Returns false when the peer is gone.
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string format_double(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
+}  // namespace
+
+ServeServer::ServeServer(ServerConfig config, BrokerService* service)
+    : config_(std::move(config)), service_(service) {
+  MBTS_CHECK_MSG(service_ != nullptr, "ServeServer needs a BrokerService");
+}
+
+ServeServer::~ServeServer() {
+  if (started_) stop();
+}
+
+void ServeServer::start() {
+  MBTS_CHECK_MSG(!started_, "ServeServer already started");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  MBTS_CHECK_MSG(listen_fd_ >= 0, "socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  MBTS_CHECK_MSG(
+      ::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) == 1,
+      "invalid bind address: " + config_.bind_address);
+  MBTS_CHECK_MSG(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)) == 0,
+                 "bind failed on " + config_.bind_address + ":" +
+                     std::to_string(config_.port));
+  MBTS_CHECK_MSG(::listen(listen_fd_, 64) == 0, "listen failed");
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  MBTS_CHECK(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                           &len) == 0);
+  port_ = ntohs(bound.sin_port);
+  MBTS_CHECK_MSG(::pipe(wake_pipe_) == 0, "pipe failed");
+  sessions_ = std::make_unique<ThreadPool>(config_.session_threads);
+  started_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void ServeServer::stop() {
+  MBTS_CHECK_MSG(started_, "stop before start");
+  if (stopped_) return;
+  stopped_ = true;
+  stopping_.store(true);
+  // Wake the accept loop's poll; closing the listen socket alone is not a
+  // portable wakeup.
+  const char byte = 'x';
+  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  // Joining the pool waits for every live session to notice stopping_ (one
+  // poll slice at most) and close its connection.
+  sessions_.reset();
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+}
+
+BrokerService::ExternalGauges ServeServer::external_gauges() const {
+  return {
+      {"serve/sessions_opened", static_cast<double>(sessions_opened_.load())},
+      {"serve/sessions_idle_evicted",
+       static_cast<double>(idle_evicted_.load())},
+      {"serve/protocol_errors", static_cast<double>(protocol_errors_.load())},
+  };
+}
+
+void ServeServer::accept_loop() {
+  for (;;) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (stopping_.load()) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    ++sessions_opened_;
+    sessions_->submit([this, fd] { session(fd); });
+  }
+}
+
+void ServeServer::session(int fd) {
+  using Clock = std::chrono::steady_clock;
+  std::string buffer;
+  std::size_t line_no = 0;
+  Clock::time_point last_activity = Clock::now();
+  bool open = true;
+  while (open) {
+    if (stopping_.load()) break;
+    pollfd pfd{fd, POLLIN, 0};
+    // Short slices: each timeout re-checks shutdown and the idle deadline.
+    const int ready = ::poll(&pfd, 1, 200);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) {
+      if (config_.idle_timeout_s > 0.0 &&
+          std::chrono::duration<double>(Clock::now() - last_activity)
+                  .count() > config_.idle_timeout_s) {
+        ++idle_evicted_;
+        send_all(fd, "TIMEOUT idle\n");
+        break;
+      }
+      continue;
+    }
+    char chunk[2048];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;  // peer closed or hard error
+    }
+    last_activity = Clock::now();
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    if (buffer.size() > config_.max_line &&
+        buffer.find('\n') == std::string::npos) {
+      ++protocol_errors_;
+      send_all(fd, "ERR line too long\n");
+      break;
+    }
+    std::size_t newline;
+    while (open && (newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      ++line_no;
+      open = handle_line(fd, line, line_no);
+    }
+  }
+  ::close(fd);
+}
+
+bool ServeServer::handle_line(int fd, const std::string& line,
+                              std::size_t line_no) {
+  if (line.empty()) return true;  // blank lines are keepalive noise
+  Request request;
+  std::string error;
+  if (!parse_request(line, &request, &error)) {
+    ++protocol_errors_;
+    return send_all(fd,
+                    "ERR line " + std::to_string(line_no) + " " + error +
+                        "\n");
+  }
+  switch (request.verb) {
+    case Verb::kPing:
+      return send_all(fd, "PONG\n");
+    case Verb::kQuit:
+      send_all(fd, "BYE\n");
+      return false;
+    case Verb::kStats:
+      return send_all(fd, service_->stats_csv(external_gauges()) + "END\n");
+    case Verb::kBid:
+      break;
+  }
+  if (stopping_.load()) return send_all(fd, "DRAINING\n");
+  std::future<Outcome> outcome;
+  double retry_after = 0.0;
+  switch (service_->submit(bid_task(request), &outcome, &retry_after)) {
+    case BrokerService::SubmitStatus::kDraining:
+      return send_all(fd, "DRAINING\n");
+    case BrokerService::SubmitStatus::kQueueFull:
+      return send_all(fd, "BUSY " + format_double(retry_after) + "\n");
+    case BrokerService::SubmitStatus::kQueued:
+      break;
+  }
+  const Outcome result = outcome.get();
+  if (!result.awarded)
+    return send_all(fd, "REJECT " + std::to_string(result.task) + "\n");
+  return send_all(fd, "AWARD " + std::to_string(result.task) + " " +
+                          std::to_string(result.site) + " " +
+                          format_double(result.expected_completion) + " " +
+                          format_double(result.agreed_price) + "\n");
+}
+
+}  // namespace serve
+}  // namespace mbts

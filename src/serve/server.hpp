@@ -1,0 +1,91 @@
+// Loopback-grade TCP front end for the live broker (DESIGN.md §9).
+//
+// Hand-rolled over POSIX sockets — no external deps. One blocking accept
+// thread (woken for shutdown through a self-pipe) hands each connection to
+// a session task on the existing ThreadPool. Sessions are line-oriented
+// (serve/protocol.hpp), poll in short slices so they notice shutdown and
+// idle timeouts promptly, and block only on their own bid futures.
+//
+// The server owns no market state: every bid goes through BrokerService's
+// admission queue, and STATS snapshots are engine-thread work. The server's
+// own counters (sessions, evictions, protocol errors) ride into the
+// snapshot as external gauges.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "serve/broker_service.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mbts {
+namespace serve {
+
+struct ServerConfig {
+  /// Bind address; the default serves loopback only (this is a research
+  /// prototype, not a hardened daemon).
+  std::string bind_address = "127.0.0.1";
+  /// 0 picks an ephemeral port; port() reports the actual one.
+  std::uint16_t port = 0;
+  /// Session worker threads (concurrent connections beyond this queue).
+  std::size_t session_threads = 4;
+  /// Idle sessions are evicted after this many wall seconds (0 disables).
+  double idle_timeout_s = 60.0;
+  /// Requests longer than this are a protocol error (guards line assembly).
+  std::size_t max_line = 4096;
+};
+
+class ServeServer {
+ public:
+  /// `service` is not owned; start() must be called before connections and
+  /// the service must be running (started) for bids to resolve.
+  ServeServer(ServerConfig config, BrokerService* service);
+  ~ServeServer();
+
+  ServeServer(const ServeServer&) = delete;
+  ServeServer& operator=(const ServeServer&) = delete;
+
+  /// Binds, listens, and spawns the accept loop. Throws CheckError when the
+  /// socket cannot be set up.
+  void start();
+
+  /// The bound port (after start()).
+  std::uint16_t port() const { return port_; }
+
+  /// Graceful shutdown: stop accepting, tell live sessions to finish
+  /// (they answer DRAINING to further bids), join everything. Does NOT
+  /// drain the BrokerService — the caller does that once sessions are gone.
+  void stop();
+
+  std::uint64_t sessions_opened() const { return sessions_opened_; }
+  std::uint64_t sessions_idle_evicted() const { return idle_evicted_; }
+  std::uint64_t protocol_errors() const { return protocol_errors_; }
+
+  /// The server-side counters as STATS external gauges.
+  BrokerService::ExternalGauges external_gauges() const;
+
+ private:
+  void accept_loop();
+  void session(int fd);
+  /// Handles one request line; returns false when the session should close.
+  bool handle_line(int fd, const std::string& line, std::size_t line_no);
+
+  const ServerConfig config_;
+  BrokerService* const service_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+  std::thread accept_thread_;
+  std::unique_ptr<ThreadPool> sessions_;
+  std::atomic<std::uint64_t> sessions_opened_{0};
+  std::atomic<std::uint64_t> idle_evicted_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+};
+
+}  // namespace serve
+}  // namespace mbts

@@ -36,9 +36,21 @@ bool CliParser::parse(int argc, const char* const* argv) {
       has_value = true;
     }
     if (!flags_.count(body)) {
-      // --no-foo form for booleans.
+      // --no-foo negation, valid only for flags with a boolean default:
+      // --no-jobs must be an unknown-flag error, not jobs="false".
       if (body.rfind("no-", 0) == 0 && flags_.count(body.substr(3))) {
-        flags_[body.substr(3)].value = "false";
+        Flag& target = flags_[body.substr(3)];
+        if (!is_boolean(target)) {
+          std::cerr << "--" << body << ": flag --" << body.substr(3)
+                    << " is not a boolean and cannot be negated\n"
+                    << usage();
+          return false;
+        }
+        if (has_value) {
+          std::cerr << "--" << body << " does not take a value\n" << usage();
+          return false;
+        }
+        target.value = "false";
         continue;
       }
       std::cerr << "unknown flag --" << body << "\n" << usage();
@@ -47,15 +59,24 @@ bool CliParser::parse(int argc, const char* const* argv) {
     Flag& flag = flags_[body];
     if (has_value) {
       flag.value = value;
-    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0 &&
-               flag.default_value != "true" && flag.default_value != "false") {
-      flag.value = argv[++i];
-    } else {
+    } else if (is_boolean(flag)) {
       // Bare boolean flag.
       flag.value = "true";
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flag.value = argv[++i];
+    } else {
+      // A value-typed flag at end of argv (or followed by another --flag)
+      // used to fall into the boolean branch and silently become "true",
+      // which only exploded later inside get_int/get_double.
+      std::cerr << "flag --" << body << " requires a value\n" << usage();
+      return false;
     }
   }
   return true;
+}
+
+bool CliParser::is_boolean(const Flag& flag) {
+  return flag.default_value == "true" || flag.default_value == "false";
 }
 
 const CliParser::Flag& CliParser::find(const std::string& name) const {
@@ -83,6 +104,17 @@ std::int64_t CliParser::get_int(const std::string& name) const {
   auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
   MBTS_CHECK_MSG(ec == std::errc() && ptr == s.data() + s.size(),
                  "flag --" + name + " is not an integer: " + s);
+  return v;
+}
+
+std::uint64_t CliParser::get_uint(const std::string& name) const {
+  const std::string s = get_string(name);
+  std::uint64_t v = 0;
+  // from_chars<uint64_t> rejects a leading '-' outright, so --jobs=-1 is a
+  // loud usage error here instead of a 2^64 wraparound at the call site.
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  MBTS_CHECK_MSG(ec == std::errc() && ptr == s.data() + s.size(),
+                 "flag --" + name + " must be a non-negative integer: " + s);
   return v;
 }
 

@@ -29,6 +29,10 @@ class CliParser {
   std::string get_string(const std::string& name) const;
   double get_double(const std::string& name) const;
   std::int64_t get_int(const std::string& name) const;
+  /// Non-negative integer accessor for count-like flags (--jobs, --shards):
+  /// rejects negative and non-numeric values with a usage-style message
+  /// instead of letting a -1 wrap to ~2^64 in a size_t cast downstream.
+  std::uint64_t get_uint(const std::string& name) const;
   bool get_bool(const std::string& name) const;
 
   /// Positional arguments left after flag parsing.
@@ -44,6 +48,7 @@ class CliParser {
   };
 
   const Flag& find(const std::string& name) const;
+  static bool is_boolean(const Flag& flag);
 
   std::string program_;
   std::string description_;

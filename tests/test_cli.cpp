@@ -118,6 +118,111 @@ TEST(Cli, NegativeNumberAsValue) {
   EXPECT_EQ(cli.get_int("threshold"), -200);
 }
 
+// Regression: a value-typed flag at end of argv used to be silently set to
+// "true" (the bare-boolean branch) and only exploded later in get_int.
+TEST(Cli, ValueFlagAtEndOfArgvIsUsageError) {
+  CliParser cli("prog", "test");
+  cli.add_flag("jobs", "10", "jobs");
+  const auto argv = argv_of({"--jobs"});
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+// Regression: same footgun when the next token is another --flag.
+TEST(Cli, ValueFlagFollowedByFlagIsUsageError) {
+  CliParser cli("prog", "test");
+  cli.add_flag("jobs", "10", "jobs");
+  cli.add_flag("verbose", "false", "chatty");
+  const auto argv = argv_of({"--jobs", "--verbose"});
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+// Regression: --no-jobs used to set jobs="false"; the no- form is only
+// meaningful for flags with boolean defaults.
+TEST(Cli, NoPrefixRejectedForNonBoolean) {
+  CliParser cli("prog", "test");
+  cli.add_flag("jobs", "10", "jobs");
+  const auto argv = argv_of({"--no-jobs"});
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Cli, NoPrefixWithValueIsUsageError) {
+  CliParser cli("prog", "test");
+  cli.add_flag("preempt", "true", "preemption");
+  const auto argv = argv_of({"--no-preempt=yes"});
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+// Pinned: --flag= is an explicit empty value, not an error. get_string
+// returns "", and the numeric accessors reject it loudly.
+TEST(Cli, ExplicitEmptyValueIsKept) {
+  CliParser cli("prog", "test");
+  cli.add_flag("save", "default.csv", "output path");
+  cli.add_flag("jobs", "10", "jobs");
+  const auto argv = argv_of({"--save=", "--jobs="});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_string("save"), "");
+  EXPECT_THROW(cli.get_int("jobs"), CheckError);
+  EXPECT_THROW(cli.get_uint("jobs"), CheckError);
+}
+
+TEST(Cli, GetUintParsesNonNegative) {
+  CliParser cli("prog", "test");
+  cli.add_flag("jobs", "5000", "jobs");
+  const auto argv = argv_of({"--jobs=123"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_uint("jobs"), 123u);
+}
+
+// The motivating bug: --jobs=-1 cast through get_int became ~2^64.
+TEST(Cli, GetUintRejectsNegative) {
+  CliParser cli("prog", "test");
+  cli.add_flag("jobs", "5000", "jobs");
+  cli.add_flag("shards", "1", "shards");
+  const auto argv = argv_of({"--jobs=-1", "--shards=-3"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_THROW(cli.get_uint("jobs"), CheckError);
+  EXPECT_THROW(cli.get_uint("shards"), CheckError);
+}
+
+TEST(Cli, GetUintRejectsNonNumeric) {
+  CliParser cli("prog", "test");
+  cli.add_flag("jobs", "10", "jobs");
+  const auto argv = argv_of({"--jobs=12x"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_THROW(cli.get_uint("jobs"), CheckError);
+}
+
+// A value-typed flag may still consume a following non-flag token, even a
+// negative number (space form): only ---prefixed lookahead is refused.
+TEST(Cli, SpaceFormStillConsumesNegativeValue) {
+  CliParser cli("prog", "test");
+  cli.add_flag("threshold", "0", "slack threshold");
+  const auto argv = argv_of({"--threshold", "-200"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_int("threshold"), -200);
+}
+
+// A bare boolean at end of argv is still fine — only value-typed flags
+// require a value.
+TEST(Cli, BareBooleanAtEndOfArgvStillTrue) {
+  CliParser cli("prog", "test");
+  cli.add_flag("verbose", "false", "chatty");
+  const auto argv = argv_of({"--verbose"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(cli.get_bool("verbose"));
+}
+
+// Booleans never consume the next token, so "--verbose true" leaves "true"
+// as a positional (pinned, pre-existing behavior).
+TEST(Cli, BooleanDoesNotConsumeNextToken) {
+  CliParser cli("prog", "test");
+  cli.add_flag("verbose", "false", "chatty");
+  const auto argv = argv_of({"--verbose", "extra"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(cli.get_bool("verbose"));
+  EXPECT_EQ(cli.positional(), (std::vector<std::string>{"extra"}));
+}
+
 TEST(Cli, UsageListsFlagsAndDefaults) {
   CliParser cli("prog", "does things");
   cli.add_flag("jobs", "5000", "how many jobs");

@@ -1,0 +1,327 @@
+// Service-mode unit tests (DESIGN.md §9), all on the virtual pacing clock so
+// the whole serve stack runs deterministically in process, no sockets.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "experiments/fingerprint.hpp"
+#include "serve/broker_service.hpp"
+#include "serve/pacing_clock.hpp"
+#include "serve/protocol.hpp"
+#include "workload/presets.hpp"
+
+namespace mbts {
+namespace {
+
+using serve::BrokerService;
+using serve::Outcome;
+using serve::Request;
+using serve::ServeConfig;
+using serve::Verb;
+
+// ---------------------------------------------------------------- pacing --
+
+TEST(ServePacing, VirtualClockStartsAtZeroAndAdvances) {
+  VirtualPacingClock clock;
+  EXPECT_EQ(clock.now(), 0.0);
+  clock.advance(2.5);
+  clock.advance(1.5);
+  EXPECT_EQ(clock.now(), 4.0);
+}
+
+TEST(ServePacing, VirtualWaitPastDueReturnsImmediately) {
+  VirtualPacingClock clock;
+  clock.advance(10.0);
+  std::mutex mu;
+  std::condition_variable cv;
+  std::unique_lock<std::mutex> lk(mu);
+  clock.wait_until(cv, lk, 5.0);  // already due: must not block
+  EXPECT_TRUE(lk.owns_lock());
+}
+
+TEST(ServePacing, VirtualAdvanceWakesWaiter) {
+  VirtualPacingClock clock;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::atomic<bool> woke{false};
+  std::thread waiter([&] {
+    std::unique_lock<std::mutex> lk(mu);
+    while (clock.now() < 5.0) clock.wait_until(cv, lk, 5.0);
+    woke.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(woke.load());
+  clock.advance(5.0);
+  waiter.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(ServePacing, WallClockIsMonotoneAndScaled) {
+  WallPacingClock clock(1000.0);  // 1ms wall = 1 sim second
+  const double a = clock.now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double b = clock.now();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  EXPECT_GT(b, 0.0);  // 5ms at scale 1000 is well past zero
+}
+
+// -------------------------------------------------------------- protocol --
+
+TEST(ServeProtocol, ParsesControlVerbs) {
+  Request request;
+  std::string error;
+  EXPECT_TRUE(serve::parse_request("PING", &request, &error));
+  EXPECT_EQ(request.verb, Verb::kPing);
+  EXPECT_TRUE(serve::parse_request("QUIT", &request, &error));
+  EXPECT_EQ(request.verb, Verb::kQuit);
+  EXPECT_TRUE(serve::parse_request("STATS", &request, &error));
+  EXPECT_EQ(request.verb, Verb::kStats);
+  EXPECT_TRUE(serve::parse_request("METRICS", &request, &error));
+  EXPECT_EQ(request.verb, Verb::kStats);
+}
+
+TEST(ServeProtocol, ParsesBidWithBoundAndInf) {
+  Request request;
+  std::string error;
+  ASSERT_TRUE(
+      serve::parse_request("BID 120 50.5 0.25 300", &request, &error));
+  EXPECT_EQ(request.verb, Verb::kBid);
+  EXPECT_EQ(request.runtime, 120.0);
+  EXPECT_EQ(request.value, 50.5);
+  EXPECT_EQ(request.decay, 0.25);
+  EXPECT_EQ(request.bound, 300.0);
+  ASSERT_TRUE(serve::parse_request("  BID\t60 10 0 inf ", &request, &error));
+  EXPECT_EQ(request.bound, kInf);
+  const Task task = serve::bid_task(request);
+  EXPECT_EQ(task.runtime, 60.0);
+  EXPECT_EQ(task.value.max_value(), 10.0);
+  EXPECT_FALSE(task.value.bounded());
+}
+
+TEST(ServeProtocol, RejectsMalformedRequestsWithFieldDiagnostics) {
+  Request request;
+  std::string error;
+  EXPECT_FALSE(serve::parse_request("", &request, &error));
+  EXPECT_EQ(error, "empty request");
+  EXPECT_FALSE(serve::parse_request("FROB 1 2", &request, &error));
+  EXPECT_EQ(error, "unknown verb 'FROB'");
+  EXPECT_FALSE(serve::parse_request("BID 1 2 3", &request, &error));
+  EXPECT_NE(error.find("exactly 4 fields"), std::string::npos);
+  EXPECT_FALSE(serve::parse_request("PING now", &request, &error));
+  EXPECT_EQ(error, "PING takes no arguments");
+  // The load_swf discipline: partial-token parses are malformed, with the
+  // field index, name, and offending token in the diagnostic.
+  EXPECT_FALSE(serve::parse_request("BID 1.5x 10 0 inf", &request, &error));
+  EXPECT_EQ(error, "field 1 (runtime): malformed number '1.5x'");
+  EXPECT_FALSE(serve::parse_request("BID 10 abc 0 inf", &request, &error));
+  EXPECT_EQ(error, "field 2 (value): malformed number 'abc'");
+  EXPECT_FALSE(serve::parse_request("BID 10 5 -1 inf", &request, &error));
+  EXPECT_NE(error.find("field 3 (decay)"), std::string::npos);
+  EXPECT_FALSE(serve::parse_request("BID 10 5 0 huge", &request, &error));
+  EXPECT_NE(error.find("field 4 (bound)"), std::string::npos);
+  EXPECT_FALSE(serve::parse_request("BID 0 5 0 inf", &request, &error));
+  EXPECT_NE(error.find("positive finite"), std::string::npos);
+  EXPECT_FALSE(serve::parse_request("BID nan 5 0 inf", &request, &error));
+}
+
+// --------------------------------------------------------------- service --
+
+MarketConfig serve_market(std::uint64_t seed) {
+  // The Fig. 1 trio, same shape as examples/market_service.cpp.
+  MarketConfig config;
+  config.rng_seed = seed;
+  auto site = [](SiteId id, const std::string& name, std::size_t procs,
+                 PolicySpec policy, bool admission, double threshold) {
+    SiteAgentConfig sc;
+    sc.id = id;
+    sc.name = name;
+    sc.scheduler.processors = procs;
+    sc.scheduler.preemption = true;
+    sc.scheduler.discount_rate = 0.01;
+    sc.policy = policy;
+    sc.use_slack_admission = admission;
+    sc.admission.threshold = threshold;
+    return sc;
+  };
+  config.sites.push_back(site(0, "big-conservative", 24,
+                              PolicySpec::first_reward(0.2), true, 300.0));
+  config.sites.push_back(site(1, "mid-aggressive", 12,
+                              PolicySpec::first_reward(0.8), true, 0.0));
+  config.sites.push_back(
+      site(2, "small-cost-only", 6, PolicySpec::swpt(), false, 0.0));
+  return config;
+}
+
+Trace bid_stream(std::size_t jobs, std::uint64_t seed) {
+  WorkloadSpec spec = presets::admission_mix(2.0, jobs);
+  Xoshiro256 rng = SeedSequence(seed).stream(0x7A5C);
+  return generate_trace(spec, rng);
+}
+
+/// Pulls one column out of a metrics CSV row (columns are
+/// name,kind,count,value,...; `field` 3 is the value, 2 the count).
+double csv_value(const std::string& csv, const std::string& name,
+                 int field = 3) {
+  std::istringstream in(csv);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(name + ",", 0) != 0) continue;
+    std::size_t comma = 0;
+    for (int i = 0; i < field; ++i) comma = line.find(',', comma) + 1;
+    return std::strtod(line.c_str() + comma, nullptr);
+  }
+  ADD_FAILURE() << "no row " << name << " in:\n" << csv;
+  return -1.0;
+}
+
+TEST(ServeService, EndToEndMatchesBatchBitForBit) {
+  const Trace trace = bid_stream(120, 7);
+  VirtualPacingClock clock;
+  ServeConfig config;
+  config.market = serve_market(11);
+  BrokerService service(config, &clock);
+  service.start();
+
+  std::vector<std::future<Outcome>> outcomes;
+  for (const Task& task : trace.tasks) {
+    // Pace the clock along the generated arrivals: stamps follow the trace
+    // while settlements interleave with admissions, like live traffic.
+    if (task.arrival > clock.now()) clock.advance(task.arrival - clock.now());
+    std::future<Outcome> outcome;
+    ASSERT_EQ(service.submit(task, &outcome),
+              BrokerService::SubmitStatus::kQueued);
+    outcomes.push_back(std::move(outcome));
+  }
+  const MarketStats live = service.drain();
+  EXPECT_EQ(live.bids, trace.tasks.size());
+
+  std::size_t awarded = 0;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const Outcome outcome = outcomes[i].get();
+    EXPECT_EQ(outcome.task, static_cast<TaskId>(i + 1));
+    if (outcome.awarded) {
+      ++awarded;
+      EXPECT_GT(outcome.expected_completion, 0.0);
+    }
+  }
+  EXPECT_EQ(awarded, live.awarded);
+
+  // The acceptance bar: a batch Market::run() over the admitted stream with
+  // the same config reproduces the drained stats bit-for-bit.
+  Market batch(config.market);
+  batch.inject(service.admitted_trace());
+  EXPECT_EQ(fingerprint_line("serve", batch.run()),
+            fingerprint_line("serve", live));
+}
+
+TEST(ServeService, BackpressureRejectsWhenQueueFull) {
+  const Trace trace = bid_stream(8, 3);
+  VirtualPacingClock clock;
+  ServeConfig config;
+  config.market = serve_market(11);
+  config.queue_capacity = 2;
+  config.retry_after = 2.5;
+  BrokerService service(config, &clock);
+
+  // Not started yet, so the queue cannot drain: admission is deterministic.
+  std::vector<std::future<Outcome>> outcomes(3);
+  EXPECT_EQ(service.submit(trace.tasks[0], &outcomes[0]),
+            BrokerService::SubmitStatus::kQueued);
+  EXPECT_EQ(service.submit(trace.tasks[1], &outcomes[1]),
+            BrokerService::SubmitStatus::kQueued);
+  double retry_after = 0.0;
+  EXPECT_EQ(service.submit(trace.tasks[2], &outcomes[2], &retry_after),
+            BrokerService::SubmitStatus::kQueueFull);
+  EXPECT_EQ(retry_after, 2.5);
+  EXPECT_EQ(service.rejected_backpressure(), 1u);
+  EXPECT_EQ(service.admitted(), 2u);
+
+  service.start();
+  const std::string csv = service.stats_csv();
+  EXPECT_EQ(csv_value(csv, "serve/bids_rejected_backpressure"), 1.0);
+  EXPECT_EQ(csv_value(csv, "serve/bids_admitted"), 2.0);
+
+  const MarketStats stats = service.drain();
+  EXPECT_EQ(stats.bids, 2u);
+  EXPECT_TRUE(outcomes[0].valid());
+  outcomes[0].get();
+  outcomes[1].get();  // both admitted bids resolved, none lost
+}
+
+TEST(ServeService, GracefulDrainSettlesEverything) {
+  const Trace trace = bid_stream(40, 5);
+  VirtualPacingClock clock;
+  ServeConfig config;
+  config.market = serve_market(11);
+  BrokerService service(config, &clock);
+  service.start();
+  std::vector<std::future<Outcome>> outcomes;
+  for (const Task& task : trace.tasks) {
+    std::future<Outcome> outcome;
+    ASSERT_EQ(service.submit(task, &outcome),
+              BrokerService::SubmitStatus::kQueued);
+    outcomes.push_back(std::move(outcome));
+  }
+  // Drain without ever advancing the clock: every queued bid still
+  // negotiates and every open contract settles when the engine runs dry.
+  const MarketStats stats = service.drain();
+  EXPECT_EQ(stats.bids, 40u);
+  std::size_t awarded = 0;
+  for (auto& outcome : outcomes) awarded += outcome.get().awarded ? 1 : 0;
+  EXPECT_EQ(awarded, stats.awarded);
+  EXPECT_EQ(stats.awarded + stats.rejected_everywhere, stats.bids);
+}
+
+TEST(ServeService, DrainingRejectsNewBids) {
+  VirtualPacingClock clock;
+  ServeConfig config;
+  config.market = serve_market(11);
+  BrokerService service(config, &clock);
+  service.start();
+  service.drain();
+  std::future<Outcome> outcome;
+  EXPECT_EQ(service.submit(bid_stream(1, 1).tasks[0], &outcome),
+            BrokerService::SubmitStatus::kDraining);
+  EXPECT_EQ(service.rejected_draining(), 1u);
+  EXPECT_EQ(service.stats_csv(), "");  // callers answer DRAINING
+  EXPECT_NE(service.final_metrics_csv().find("serve/bids_rejected_draining"),
+            std::string::npos);
+}
+
+TEST(ServeService, AdvancingTheClockSettlesContracts) {
+  VirtualPacingClock clock;
+  ServeConfig config;
+  config.market = serve_market(11);
+  BrokerService service(config, &clock);
+  service.start();
+  std::future<Outcome> future;
+  ASSERT_EQ(service.submit(bid_stream(1, 9).tasks[0], &future),
+            BrokerService::SubmitStatus::kQueued);
+  const Outcome outcome = future.get();
+  ASSERT_TRUE(outcome.awarded);
+
+  const std::string before = service.stats_csv({{"extra/gauge", 7.0}});
+  EXPECT_EQ(csv_value(before, "extra/gauge"), 7.0);
+  const double events_before = csv_value(before, "serve/engine_events_executed");
+
+  // Move wall time past the agreed completion: the pacing layer must wake
+  // the engine and execute the settlement without any further submission.
+  clock.advance(outcome.expected_completion + 1.0);
+  const std::string after = service.stats_csv();
+  EXPECT_GT(csv_value(after, "serve/engine_events_executed"), events_before);
+  EXPECT_GE(csv_value(after, "serve/sim_now"), outcome.expected_completion);
+  EXPECT_EQ(csv_value(after, "serve/quote_latency_ms", 2), 1.0);  // count
+
+  const MarketStats stats = service.drain();
+  EXPECT_EQ(stats.awarded, 1u);
+  EXPECT_GT(stats.total_revenue, 0.0);
+}
+
+}  // namespace
+}  // namespace mbts

@@ -45,6 +45,23 @@ def main():
         if build != "release":
             print(f"  warning: {label} numbers are not from a release build")
 
+    # Core counts travel with the numbers (bench_main.hpp records
+    # "mbts_nproc"): the sharded sweeps scale with the host, so a delta
+    # between JSONs from different machines is a host change, not a
+    # regression.
+    base_nproc = base_ctx.get("mbts_nproc")
+    cand_nproc = cand_ctx.get("mbts_nproc")
+    if base_nproc is None or cand_nproc is None:
+        print("warning: mbts_nproc missing from "
+              + ", ".join(label for label, v in
+                          (("baseline", base_nproc), ("candidate", cand_nproc))
+                          if v is None)
+              + " — cannot tell whether both ran on comparable hosts")
+    elif base_nproc != cand_nproc:
+        print(f"warning: core counts differ (baseline {base_nproc} vs "
+              f"candidate {cand_nproc}); wall-clock deltas below mostly "
+              f"reflect the host, not the code")
+
     regressions = []
     # Width over the union: a freshly-added benchmark (present only in the
     # candidate, e.g. BM_ShardedScaling before its baseline lands) must not

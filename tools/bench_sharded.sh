@@ -14,6 +14,10 @@
 # non-release "mbts_build_type" context (the stock "library_build_type" key
 # only describes how the google-benchmark *library* was compiled).
 #
+# The binary also records the host core count as "mbts_nproc" context
+# (bench_main.hpp): the sharded sweep scales with it, and
+# tools/bench_compare.py warns when two JSONs come from different hosts.
+#
 # Usage: tools/bench_sharded.sh [build_dir] (default: build-bench)
 set -euo pipefail
 

@@ -1,0 +1,148 @@
+// mbts_serve: the live broker daemon (DESIGN.md §9).
+//
+// Serves the Figure-1 three-site economy over a line TCP protocol
+// (serve/protocol.hpp): clients connect, send `BID runtime value decay
+// bound`, and get AWARD/REJECT back from the real negotiation stack while
+// contracts settle as wall time advances through the pacing clock.
+//
+// On SIGTERM/SIGINT the server drains gracefully: stop accepting, settle
+// every open contract, print the final stats fingerprint, and — unless
+// --no-replay-check — replay the admitted bid stream through a batch
+// Market::run() with the same config and verify the stats are bit-identical
+// ("replay: MATCH"). A mismatch is an exit-1 bug, not a warning.
+#include <csignal>
+#include <fstream>
+#include <iostream>
+
+#include "experiments/fingerprint.hpp"
+#include "market/market.hpp"
+#include "serve/broker_service.hpp"
+#include "serve/pacing_clock.hpp"
+#include "serve/server.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+
+static mbts::MarketConfig default_market(std::uint64_t seed) {
+  using namespace mbts;
+  // The Figure-1 trio from examples/market_service.cpp: a large conservative
+  // site, a mid-size aggressive one, and a small cost-only site.
+  MarketConfig config;
+  config.rng_seed = seed;
+  auto site = [](SiteId id, const std::string& name, std::size_t procs,
+                 PolicySpec policy, bool admission, double threshold) {
+    SiteAgentConfig sc;
+    sc.id = id;
+    sc.name = name;
+    sc.scheduler.processors = procs;
+    sc.scheduler.preemption = true;
+    sc.scheduler.discount_rate = 0.01;
+    sc.policy = policy;
+    sc.use_slack_admission = admission;
+    sc.admission.threshold = threshold;
+    return sc;
+  };
+  config.sites.push_back(site(0, "big-conservative", 24,
+                              PolicySpec::first_reward(0.2), true, 300.0));
+  config.sites.push_back(site(1, "mid-aggressive", 12,
+                              PolicySpec::first_reward(0.8), true, 0.0));
+  config.sites.push_back(
+      site(2, "small-cost-only", 6, PolicySpec::swpt(), false, 0.0));
+  return config;
+}
+
+static int run(int argc, char** argv) {
+  using namespace mbts;
+
+  // Block the shutdown signals in every thread the process will spawn;
+  // main() collects them with sigwait so the drain runs on a normal stack
+  // instead of inside a handler.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGTERM);
+  sigaddset(&sigs, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  CliParser cli("mbts_serve",
+                "live broker server over the Fig. 1 three-site economy");
+  cli.add_flag("port", "0", "TCP port (0 picks an ephemeral one)");
+  cli.add_flag("bind", "127.0.0.1", "bind address");
+  cli.add_flag("scale", "60",
+               "sim seconds per wall second (pacing speed-up)");
+  cli.add_flag("queue-cap", "256", "admission queue capacity (backpressure)");
+  cli.add_flag("sessions", "4", "session worker threads");
+  cli.add_flag("idle-timeout", "60", "idle session eviction, wall seconds");
+  cli.add_flag("seed", "42", "market rng seed");
+  cli.add_flag("stats-out", "", "write the final metrics CSV here");
+  cli.add_flag("trace-out", "", "write the admitted bid stream CSV here");
+  cli.add_flag("replay-check", "true",
+               "verify drained stats against a batch replay of the "
+               "admitted stream");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const double scale = cli.get_double("scale");
+  MBTS_CHECK_MSG(scale > 0.0, "--scale must be positive");
+  const std::uint64_t port = cli.get_uint("port");
+  MBTS_CHECK_MSG(port <= 65535, "--port must fit in 16 bits");
+
+  serve::ServeConfig serve_config;
+  serve_config.market = default_market(cli.get_uint("seed"));
+  serve_config.queue_capacity =
+      static_cast<std::size_t>(cli.get_uint("queue-cap"));
+
+  WallPacingClock clock(scale);
+  serve::BrokerService service(serve_config, &clock);
+  service.start();
+
+  serve::ServerConfig server_config;
+  server_config.bind_address = cli.get_string("bind");
+  server_config.port = static_cast<std::uint16_t>(port);
+  server_config.session_threads =
+      static_cast<std::size_t>(cli.get_uint("sessions"));
+  server_config.idle_timeout_s = cli.get_double("idle-timeout");
+  serve::ServeServer server(server_config, &service);
+  server.start();
+
+  std::cout << "mbts_serve listening on port " << server.port() << std::endl;
+
+  int sig = 0;
+  sigwait(&sigs, &sig);
+  std::cout << "signal " << sig << ": draining\n";
+
+  server.stop();
+  const MarketStats stats = service.drain(server.external_gauges());
+  std::cout << "sessions " << server.sessions_opened() << ", admitted "
+            << service.admitted() << ", busy-rejected "
+            << service.rejected_backpressure() << ", drain-rejected "
+            << service.rejected_draining() << '\n';
+  std::cout << fingerprint_line("serve", stats);
+
+  if (!cli.get_string("stats-out").empty()) {
+    std::ofstream out(cli.get_string("stats-out"));
+    MBTS_CHECK_MSG(out.good(), "cannot write " + cli.get_string("stats-out"));
+    out << service.final_metrics_csv();
+  }
+  if (!cli.get_string("trace-out").empty())
+    save_trace_csv(service.admitted_trace(), cli.get_string("trace-out"));
+
+  if (cli.get_bool("replay-check")) {
+    Market replay(serve_config.market);
+    replay.inject(service.admitted_trace());
+    const std::string batch = fingerprint_line("serve", replay.run());
+    if (batch == fingerprint_line("serve", stats)) {
+      std::cout << "replay: MATCH\n";
+    } else {
+      std::cout << "replay: MISMATCH\nbatch was: " << batch;
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const mbts::CheckError& e) {
+    std::cerr << e.what() << "\nrun with --help for usage\n";
+    return 1;
+  }
+}

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# End-to-end smoke for service mode (the CI push lane runs this): start
+# mbts_serve on an ephemeral port, drive >= 100 bids through serve_client
+# over loopback, SIGTERM the server, and require a clean drain whose stats
+# are bit-identical to a batch replay of the admitted stream ("replay:
+# MATCH" — mbts_serve exits 1 itself on a mismatch).
+#
+# Usage: tools/serve_smoke.sh [build_dir] (default: build)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+BIDS="${SERVE_SMOKE_BIDS:-150}"
+
+cmake --build "$BUILD" -j "$(nproc)" --target mbts_serve_bin serve_client
+
+LOG="$(mktemp)"
+trap 'rm -f "$LOG"; [ -n "${SERVER_PID:-}" ] && kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+"$BUILD/tools/mbts_serve" --port=0 --scale=200 >"$LOG" 2>&1 &
+SERVER_PID=$!
+
+# The daemon prints its ephemeral port once the socket is live.
+PORT=""
+for _ in $(seq 50); do
+  PORT="$(sed -n 's/.*listening on port \([0-9]*\).*/\1/p' "$LOG")"
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$LOG" >&2; exit 1; }
+  sleep 0.1
+done
+[ -n "$PORT" ] || { echo "error: server never reported its port" >&2; cat "$LOG" >&2; exit 1; }
+
+"$BUILD/examples/serve_client" --port="$PORT" --bids="$BIDS" --stats=true
+
+kill -TERM "$SERVER_PID"
+STATUS=0
+wait "$SERVER_PID" || STATUS=$?
+SERVER_PID=""
+cat "$LOG"
+[ "$STATUS" -eq 0 ] || { echo "error: mbts_serve exited $STATUS" >&2; exit 1; }
+grep -q "replay: MATCH" "$LOG" || { echo "error: no replay verification in the drain output" >&2; exit 1; }
+echo "serve smoke OK ($BIDS bids, drain replay matched)"

@@ -15,7 +15,7 @@
 #include "util/check.hpp"
 #include "util/cli.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace mbts;
 
   CliParser cli("trace_view",
@@ -72,7 +72,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const auto limit = static_cast<std::size_t>(cli.get_int("limit"));
+  const auto limit = static_cast<std::size_t>(cli.get_uint("limit"));
   std::size_t shown = 0;
   if (cli.get_bool("jsonl")) {
     TraceRecorder out;
@@ -88,4 +88,13 @@ int main(int argc, char** argv) {
     if (limit != 0 && ++shown >= limit) break;
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const mbts::CheckError& e) {
+    std::cerr << e.what() << "\nrun with --help for usage\n";
+    return 1;
+  }
 }
