@@ -101,6 +101,11 @@ MarketStats BrokerService::drain(const ExternalGauges& extra) {
     }
   }
   cv_.notify_all();
+  // Concurrent drains serialize here: the first caller joins the engine
+  // thread and publishes final_stats_; the rest block until it has, then
+  // return the same stats. (Two unsynchronized join() calls on one thread
+  // would be UB, as would racing the final_stats_/drained_ writes.)
+  std::lock_guard<std::mutex> serial(drain_mu_);
   if (engine_thread_.joinable()) engine_thread_.join();
   drained_ = true;
   return final_stats_;
@@ -233,9 +238,24 @@ void BrokerService::engine_loop() {
       } else {
         // "Stats as of now": pump everything due at the current sim time
         // before snapshotting, so a test that advanced the clock observes
-        // the settlements that advance made due.
-        last_stamp_ = std::max(last_stamp_, clock_->now());
-        const double boundary = last_stamp_;
+        // the settlements that advance made due. Never pump past a bid
+        // already queued behind this entry, though: its arrival was stamped
+        // at enqueue time and may predate now() under a wall clock, and
+        // running events in [arrival, now) here would execute them before
+        // the bid — breaking invariant 2 and leaving process_bid's own
+        // boundary in the engine's past. Cap at the earliest queued bid's
+        // stamp, and fold now() into the stamp floor only when no bid is
+        // waiting.
+        double boundary = std::max(last_stamp_, clock_->now());
+        bool capped = false;
+        for (const Entry& waiting : queue_) {
+          if (waiting.kind == Entry::Kind::kBid) {
+            boundary = std::min(boundary, waiting.bid.task.arrival);
+            capped = true;
+            break;
+          }
+        }
+        if (!capped) last_stamp_ = boundary;
         lk.unlock();
         pump_strictly_before(boundary);
         entry.text.set_value(snapshot_metrics(entry.external));

@@ -20,9 +20,10 @@
 //      monotone, so queue order == arrival order == id order — exactly the
 //      stream inject() would schedule.
 //   2. The engine only ever executes events strictly before the stamp of
-//      the next bid (the pump boundary folds into the stamp floor), so each
-//      live bid executes against exactly the prefix the batch run would
-//      have executed before it.
+//      the next bid: idle pumps fold the boundary into the stamp floor with
+//      an empty queue, and stats pumps cap at the earliest queued bid's
+//      stamp, so each live bid executes against exactly the prefix the
+//      batch run would have executed before it.
 //   3. At drain the engine runs dry and collect_stats() assembles the same
 //      totals run() would. Nothing in the fingerprint depends on the final
 //      clock, which is the one place serve and batch histories differ.
@@ -112,8 +113,9 @@ class BrokerService {
 
   /// Graceful drain: stop admitting, let the engine thread negotiate every
   /// queued bid, run the engine dry (settling all open contracts), snapshot
-  /// metrics, join the thread, and return the final stats. Idempotent;
-  /// subsequent submits return kDraining.
+  /// metrics, join the thread, and return the final stats. Idempotent and
+  /// safe to call concurrently (callers serialize and all return the same
+  /// stats); subsequent submits return kDraining.
   MarketStats drain(const ExternalGauges& extra = {});
 
   /// The admitted bid stream, in negotiation order with the stamped
@@ -174,6 +176,8 @@ class BrokerService {
   std::uint64_t rejected_backpressure_ = 0;
   std::uint64_t rejected_draining_ = 0;
 
+  /// Serializes the join/collect step of drain() across concurrent callers.
+  std::mutex drain_mu_;
   std::thread engine_thread_;
   bool started_ = false;
   bool drained_ = false;

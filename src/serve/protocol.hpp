@@ -19,6 +19,7 @@
 //   REJECT <task>                              every site declined
 //   BUSY <retry_after>                         admission queue full, retry
 //   DRAINING                                   server is shutting down
+//                                              (also the STATS reply then)
 //   TIMEOUT idle                               session evicted (then close)
 //   ERR <diagnostic>                           malformed request
 //   PONG                                       PING reply

@@ -196,8 +196,13 @@ bool ServeServer::handle_line(int fd, const std::string& line,
     case Verb::kQuit:
       send_all(fd, "BYE\n");
       return false;
-    case Verb::kStats:
-      return send_all(fd, service_->stats_csv(external_gauges()) + "END\n");
+    case Verb::kStats: {
+      // stats_csv() answers "" once the service is draining; the protocol
+      // reply for that is DRAINING, not a bare END sentinel.
+      const std::string csv = service_->stats_csv(external_gauges());
+      if (csv.empty()) return send_all(fd, "DRAINING\n");
+      return send_all(fd, csv + "END\n");
+    }
     case Verb::kBid:
       break;
   }

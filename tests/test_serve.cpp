@@ -294,6 +294,71 @@ TEST(ServeService, DrainingRejectsNewBids) {
             std::string::npos);
 }
 
+TEST(ServeService, StatsDoesNotPumpPastQueuedBids) {
+  // Regression: a STATS entry popped ahead of a queued bid used to fold
+  // clock.now() into the pump boundary even when the bid's arrival stamp
+  // (assigned at enqueue time) was earlier. The pump then ran the engine
+  // past the bid, so the bid's own boundary lay in the engine's past — a
+  // CheckError on the engine thread, where it is uncaught and terminates
+  // the server. The stats pump must cap at the earliest queued bid's stamp.
+  const Trace trace = bid_stream(2, 13);
+  VirtualPacingClock clock;
+  ServeConfig config;
+  config.market = serve_market(11);
+  // Stall each negotiation so the STATS entry and the trailing bid both
+  // land in the queue while the engine is still busy with the first bid.
+  config.process_stall = std::chrono::milliseconds(100);
+  BrokerService service(config, &clock);
+
+  std::future<Outcome> first;
+  ASSERT_EQ(service.submit(trace.tasks[0], &first),
+            BrokerService::SubmitStatus::kQueued);
+  service.start();  // the engine pops the first bid and stalls
+
+  std::string csv;
+  std::thread stats([&] { csv = service.stats_csv(); });
+  // Give the STATS entry time to enqueue ahead of the second bid, then let
+  // the clock race far past both bids' stamps (both 0.0).
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::future<Outcome> second;
+  ASSERT_EQ(service.submit(trace.tasks[1], &second),
+            BrokerService::SubmitStatus::kQueued);
+  clock.advance(1.0e6);
+  stats.join();
+  EXPECT_NE(csv.find("serve/bids_admitted"), std::string::npos);
+  first.get();
+  second.get();  // pre-fix this point is never reached: std::terminate
+
+  const MarketStats live = service.drain();
+  EXPECT_EQ(live.bids, 2u);
+  Market batch(config.market);
+  batch.inject(service.admitted_trace());
+  EXPECT_EQ(fingerprint_line("serve", batch.run()),
+            fingerprint_line("serve", live));
+}
+
+TEST(ServeService, ConcurrentDrainsReturnTheSameStats) {
+  const Trace trace = bid_stream(20, 17);
+  VirtualPacingClock clock;
+  ServeConfig config;
+  config.market = serve_market(11);
+  BrokerService service(config, &clock);
+  service.start();
+  std::vector<std::future<Outcome>> outcomes(trace.tasks.size());
+  for (std::size_t i = 0; i < trace.tasks.size(); ++i)
+    ASSERT_EQ(service.submit(trace.tasks[i], &outcomes[i]),
+              BrokerService::SubmitStatus::kQueued);
+  // Two racing drains (e.g. SIGTERM handler vs. a supervising thread) must
+  // serialize on the engine join instead of double-joining the thread, and
+  // both must observe the same final stats.
+  MarketStats a, b;
+  std::thread racer([&] { a = service.drain(); });
+  b = service.drain();
+  racer.join();
+  EXPECT_EQ(a.bids, trace.tasks.size());
+  EXPECT_EQ(fingerprint_line("serve", a), fingerprint_line("serve", b));
+}
+
 TEST(ServeService, AdvancingTheClockSettlesContracts) {
   VirtualPacingClock clock;
   ServeConfig config;

@@ -247,6 +247,27 @@ TEST(ServeLoopback, IdleSessionsAreEvicted) {
   EXPECT_EQ(server.sessions_idle_evicted(), 1u);
 }
 
+TEST(ServeLoopback, StatsDuringDrainAnswersDraining) {
+  VirtualPacingClock clock;
+  ServeConfig serve_config;
+  serve_config.market = loopback_market();
+  BrokerService service(serve_config, &clock);
+  service.start();
+  ServeServer server(ServerConfig{}, &service);
+  server.start();
+
+  LineClient client(server.port());
+  EXPECT_EQ(client.roundtrip("PING"), "PONG");
+  // Drain the service while the session stays open: STATS can no longer be
+  // fulfilled and must answer DRAINING — not a bare END, which the protocol
+  // does not define and clients would misparse as an empty snapshot.
+  service.drain();
+  EXPECT_EQ(client.roundtrip("STATS"), "DRAINING");
+  EXPECT_EQ(client.roundtrip("BID 60 10 0.1 inf"), "DRAINING");
+  EXPECT_EQ(client.roundtrip("QUIT"), "BYE");
+  server.stop();
+}
+
 TEST(ServeLoopback, MalformedBidsGetLineAndFieldDiagnostics) {
   VirtualPacingClock clock;
   ServeConfig serve_config;
