@@ -1,0 +1,346 @@
+// Serve-path throughput: lockstep vs pipelined sessions against a real
+// ServeServer + BrokerService on a loopback ephemeral port.
+//
+// The driver is a single thread multiplexing all client connections with
+// poll(2) — on the small CI hosts this repo benches on (often 1 core),
+// thread-per-connection drivers measure the scheduler, not the server. Each
+// case drives a fixed total number of bids split across `conns`
+// connections; lockstep keeps one untagged bid in flight per connection
+// (the pre-tag wire behavior), pipelined keeps a 32-deep tagged window.
+// Reported: bids/sec (items_per_second) and client-observed p50/p99 quote
+// latency. The timed region is the drive phase only — server setup and the
+// drain are excluded via manual timing.
+//
+// The interesting comparison is at 64+ connections: pipelining amortizes
+// the per-bid syscall + wakeup round trips (reactor and engine pop runs,
+// replies coalesce into fewer segments), which is where the >= 2x over
+// lockstep comes from; negotiation work itself is identical.
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_main.hpp"
+#include "serve/broker_service.hpp"
+#include "serve/pacing_clock.hpp"
+#include "serve/preset.hpp"
+#include "serve/server.hpp"
+#include "workload/presets.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kTotalBids = 4096;
+
+/// Minimal one-site market: the bench measures the serve transport, so the
+/// negotiation behind it is made as cheap as possible — one quote per bid,
+/// no slack-admission pass. With the full Fig. 1 trio the market itself
+/// dominates every mode and the front-end comparison measures nothing.
+mbts::MarketConfig bench_market() {
+  mbts::MarketConfig config;
+  config.rng_seed = 11;
+  mbts::SiteAgentConfig site;
+  site.id = 0;
+  site.name = "bench";
+  site.scheduler.processors = 8;
+  site.policy = mbts::PolicySpec::swpt();
+  config.sites.push_back(site);
+  return config;
+}
+
+struct DriverConn {
+  int fd = -1;
+  std::string rbuf;
+  std::string wbuf;
+  std::size_t woff = 0;
+  std::size_t next = 0;     // next bid index to enqueue
+  std::size_t done = 0;     // replies received
+  std::size_t inflight = 0;
+  std::vector<Clock::time_point> sent;
+};
+
+int connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  return fd;
+}
+
+std::string bid_line(const mbts::Task& task, std::size_t tag_index,
+                     bool tagged) {
+  char bound[64] = "inf";
+  if (task.value.bounded())
+    std::snprintf(bound, sizeof(bound), "%.17g", task.value.penalty_bound());
+  char out[320];
+  if (tagged) {
+    std::snprintf(out, sizeof(out), "BID t%zu %.17g %.17g %.17g %s\n",
+                  tag_index, task.runtime, task.value.max_value(),
+                  task.value.decay(), bound);
+  } else {
+    std::snprintf(out, sizeof(out), "BID %.17g %.17g %.17g %s\n",
+                  task.runtime, task.value.max_value(), task.value.decay(),
+                  bound);
+  }
+  return out;
+}
+
+/// Fills the connection's window, then flushes what the socket will take.
+void pump_out(DriverConn& conn, const std::vector<mbts::Task>& bids,
+              std::size_t per_conn, std::size_t window, bool tagged) {
+  while (conn.inflight < window && conn.next < per_conn) {
+    conn.sent[conn.next] = Clock::now();
+    conn.wbuf += bid_line(bids[conn.next % bids.size()], conn.next, tagged);
+    ++conn.next;
+    ++conn.inflight;
+  }
+  while (conn.woff < conn.wbuf.size()) {
+    const ssize_t n = ::send(conn.fd, conn.wbuf.data() + conn.woff,
+                             conn.wbuf.size() - conn.woff, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.woff += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;  // EAGAIN: poll for POLLOUT
+  }
+  if (conn.woff == conn.wbuf.size()) {
+    conn.wbuf.clear();
+    conn.woff = 0;
+  }
+}
+
+/// Consumes complete reply lines; records latency per answered bid.
+void pump_in(DriverConn& conn, bool tagged,
+             std::vector<double>* latencies_ms) {
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t newline = conn.rbuf.find('\n', pos);
+    if (newline == std::string::npos) break;
+    const std::string line = conn.rbuf.substr(pos, newline - pos);
+    pos = newline + 1;
+    std::size_t index = conn.done;  // lockstep: replies arrive in order
+    if (tagged) {
+      const std::size_t a = line.find(" t");
+      index = a == std::string::npos
+                  ? conn.done
+                  : std::strtoul(line.c_str() + a + 2, nullptr, 10);
+    }
+    if (index < conn.sent.size())
+      latencies_ms->push_back(
+          std::chrono::duration<double, std::milli>(Clock::now() -
+                                                    conn.sent[index])
+              .count());
+    ++conn.done;
+    --conn.inflight;
+  }
+  if (pos > 0) conn.rbuf.erase(0, pos);
+}
+
+/// One full drive: `total` bids over `conns` connections with `window` in
+/// flight each (1 + untagged = lockstep). Returns the drive wall seconds.
+double drive(std::uint16_t port, const std::vector<mbts::Task>& bids,
+             std::size_t conns, std::size_t window,
+             std::vector<double>* latencies_ms) {
+  const bool tagged = window > 1;
+  const std::size_t per_conn = kTotalBids / conns;
+  std::vector<DriverConn> clients(conns);
+  for (DriverConn& conn : clients) {
+    conn.fd = connect_loopback(port);
+    if (conn.fd < 0) return -1.0;
+    conn.sent.resize(per_conn);
+  }
+
+  const auto begin = Clock::now();
+  std::size_t total_done = 0;
+  std::vector<pollfd> fds(conns);
+  while (total_done < per_conn * conns) {
+    for (std::size_t i = 0; i < conns; ++i) {
+      pump_out(clients[i], bids, per_conn, window, tagged);
+      fds[i].fd = clients[i].fd;
+      fds[i].events = 0;
+      if (clients[i].done < per_conn) fds[i].events |= POLLIN;
+      if (clients[i].woff < clients[i].wbuf.size())
+        fds[i].events |= POLLOUT;
+      fds[i].revents = 0;
+    }
+    if (::poll(fds.data(), fds.size(), 1000) < 0 && errno != EINTR)
+      return -1.0;
+    for (std::size_t i = 0; i < conns; ++i) {
+      if ((fds[i].revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
+      char chunk[16384];
+      const ssize_t n = ::recv(clients[i].fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        if (n < 0 && (errno == EAGAIN || errno == EINTR)) continue;
+        return -1.0;  // server dropped us: the bench config is wrong
+      }
+      const std::size_t before = clients[i].done;
+      clients[i].rbuf.append(chunk, static_cast<std::size_t>(n));
+      pump_in(clients[i], tagged, latencies_ms);
+      total_done += clients[i].done - before;
+    }
+  }
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - begin).count();
+  for (DriverConn& conn : clients) ::close(conn.fd);
+  return seconds;
+}
+
+void run_serve_case(benchmark::State& state, std::size_t window) {
+  using namespace mbts;
+  const std::size_t conns = static_cast<std::size_t>(state.range(0));
+
+  // Serve-rate workload: short runtimes (mean 0.1 sim-units) and urgent
+  // decay keep the live site backlog shallow at any bid rate the transport
+  // can reach. The batch presets (mean runtime 100) would put the live
+  // market far over capacity at these rates — every quote then walks a
+  // deep backlog and the engine, not the front end, is what gets measured.
+  const Trace trace = [&] {
+    WorkloadSpec spec;
+    spec.num_jobs = 512;
+    spec.runtime = DistSpec::exponential(0.1);
+    spec.uniform_decay = true;
+    spec.decay.low_mean = 2.0;
+    Xoshiro256 rng = SeedSequence(7).stream(0x7A5C);
+    return generate_trace(spec, rng);
+  }();
+
+  std::vector<double> latencies_ms;
+  for (auto _ : state) {
+    serve::ServeConfig serve_config;
+    serve_config.market = bench_market();
+    // Deep enough that nothing answers BUSY: the throughput number should
+    // count negotiations, not cheap rejections.
+    serve_config.queue_capacity = 8192;
+    WallPacingClock clock(200.0);
+    serve::BrokerService service(serve_config, &clock);
+    service.start();
+    serve::ServerConfig server_config;
+    server_config.session_threads = 2;
+    serve::ServeServer server(server_config, &service);
+    server.start();
+
+    latencies_ms.clear();
+    latencies_ms.reserve(kTotalBids);
+    const double seconds =
+        drive(server.port(), trace.tasks, conns, window, &latencies_ms);
+    if (seconds < 0.0) {
+      state.SkipWithError("drive failed (connection lost)");
+      server.stop();
+      service.drain();
+      return;
+    }
+    state.SetIterationTime(seconds);
+
+    server.stop();
+    service.drain();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kTotalBids));
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  if (!latencies_ms.empty()) {
+    state.counters["p50_ms"] = latencies_ms[latencies_ms.size() / 2];
+    state.counters["p99_ms"] = latencies_ms[latencies_ms.size() * 99 / 100];
+  }
+  state.counters["conns"] = static_cast<double>(conns);
+  state.counters["window"] = static_cast<double>(window);
+}
+
+void BM_ServeLockstep(benchmark::State& state) { run_serve_case(state, 1); }
+void BM_ServePipelined(benchmark::State& state) { run_serve_case(state, 32); }
+
+/// No-transport ceiling: the same workload submitted straight into the
+/// BrokerService with a 64-deep window. The distance between this and
+/// BM_ServePipelined is what the socket front end costs.
+void BM_EngineOnly(benchmark::State& state) {
+  using namespace mbts;
+  const std::size_t window = static_cast<std::size_t>(state.range(0));
+  const Trace trace = [&] {
+    WorkloadSpec spec;
+    spec.num_jobs = 512;
+    spec.runtime = DistSpec::exponential(0.1);
+    spec.uniform_decay = true;
+    spec.decay.low_mean = 2.0;
+    Xoshiro256 rng = SeedSequence(7).stream(0x7A5C);
+    return generate_trace(spec, rng);
+  }();
+  for (auto _ : state) {
+    serve::ServeConfig serve_config;
+    serve_config.market = bench_market();
+    serve_config.queue_capacity = 8192;
+    WallPacingClock clock(200.0);
+    serve::BrokerService service(serve_config, &clock);
+    service.start();
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t done = 0;
+    const auto on_done = [&](const serve::Outcome&) {
+      std::lock_guard<std::mutex> lock(mu);
+      ++done;
+      cv.notify_one();
+    };
+    const auto begin = Clock::now();
+    std::size_t next = 0;
+    while (next < kTotalBids) {
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return next - done < window; });
+      }
+      service.submit(trace.tasks[next % trace.tasks.size()], on_done);
+      ++next;
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return done == kTotalBids; });
+    }
+    state.SetIterationTime(
+        std::chrono::duration<double>(Clock::now() - begin).count());
+    service.drain();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kTotalBids));
+}
+BENCHMARK(BM_EngineOnly)
+    ->Arg(64)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK(BM_ServeLockstep)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(256)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ServePipelined)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(256)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+MBTS_BENCHMARK_MAIN()

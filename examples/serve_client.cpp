@@ -1,13 +1,17 @@
 // Load driver for mbts_serve: generates a seeded admission-mix bid stream
 // (the same preset the batch examples use), submits it over the line
-// protocol in request/response lockstep, and tallies the replies. With
-// --quit the final bid is followed by QUIT so the server session closes
-// cleanly; --stats dumps a STATS snapshot before disconnecting.
+// protocol, and tallies the replies. --pipeline 1 (the default) runs the
+// original request/response lockstep; --pipeline W with W > 1 switches to
+// tagged bids with a sliding window of W in flight, exercising the
+// pipelined protocol end to end. With --quit the final bid is followed by
+// QUIT so the server session closes cleanly; --stats dumps a STATS snapshot
+// before disconnecting.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -82,6 +86,9 @@ static int run(int argc, char** argv) {
   cli.add_flag("bids", "200", "bids to submit");
   cli.add_flag("load", "2.0", "offered load for the admission-mix preset");
   cli.add_flag("seed", "42", "trace generator seed");
+  cli.add_flag("pipeline", "1",
+               "bids in flight per connection (1 = untagged lockstep, "
+               "> 1 = tagged sliding window)");
   cli.add_flag("stats", "false", "dump a STATS snapshot before closing");
   cli.add_flag("quit", "true", "send QUIT after the last bid");
   if (!cli.parse(argc, argv)) return 1;
@@ -97,32 +104,54 @@ static int run(int argc, char** argv) {
   Xoshiro256 rng = SeedSequence(cli.get_uint("seed")).stream(0x7A5C);
   const Trace trace = generate_trace(spec, rng);
 
+  const std::size_t window =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   cli.get_uint("pipeline")));
+
   const int fd = connect_to(cli.get_string("host"),
                             static_cast<std::uint16_t>(port));
   std::string buffer, line;
   std::size_t awarded = 0, rejected = 0, busy = 0, draining = 0, errors = 0;
-  for (const Task& task : trace.tasks) {
+  std::size_t inflight = 0;
+  auto tally = [&](const std::string& reply) {
+    if (reply.rfind("AWARD", 0) == 0) ++awarded;
+    else if (reply.rfind("REJECT", 0) == 0) ++rejected;
+    else if (reply.rfind("BUSY", 0) == 0) ++busy;
+    else if (reply.rfind("DRAINING", 0) == 0) ++draining;
+    else {
+      ++errors;
+      std::cerr << "unexpected reply: " << reply << '\n';
+    }
+  };
+  auto fail = [&]() {
+    std::cerr << "connection lost after " << awarded + rejected
+              << " resolved bids\n";
+    ::close(fd);
+    return 1;
+  };
+  for (std::size_t i = 0; i < trace.tasks.size(); ++i) {
+    const Task& task = trace.tasks[i];
+    // Tagged form iff pipelining: the tag is just the bid's stream index.
     const std::string bid =
-        "BID " + format_double(task.runtime) + " " +
+        "BID " + (window > 1 ? "t" + std::to_string(i) + " " : std::string()) +
+        format_double(task.runtime) + " " +
         format_double(task.value.max_value()) + " " +
         format_double(task.value.decay()) + " " +
         (task.value.bounded() ? format_double(task.value.penalty_bound())
                               : std::string("inf")) +
         "\n";
-    if (!send_all(fd, bid) || !recv_line(fd, &buffer, &line)) {
-      std::cerr << "connection lost after " << awarded + rejected
-                << " resolved bids\n";
-      ::close(fd);
-      return 1;
+    if (!send_all(fd, bid)) return fail();
+    ++inflight;
+    while (inflight >= window) {
+      if (!recv_line(fd, &buffer, &line)) return fail();
+      tally(line);
+      --inflight;
     }
-    if (line.rfind("AWARD", 0) == 0) ++awarded;
-    else if (line.rfind("REJECT", 0) == 0) ++rejected;
-    else if (line.rfind("BUSY", 0) == 0) ++busy;
-    else if (line.rfind("DRAINING", 0) == 0) ++draining;
-    else {
-      ++errors;
-      std::cerr << "unexpected reply: " << line << '\n';
-    }
+  }
+  while (inflight > 0) {  // drain the window's tail
+    if (!recv_line(fd, &buffer, &line)) return fail();
+    tally(line);
+    --inflight;
   }
 
   if (cli.get_bool("stats")) {

@@ -23,8 +23,10 @@ BrokerService::BrokerService(ServeConfig config, PacingClock* clock)
                  "admission queue capacity must be positive");
   market_ = std::make_unique<Market>(config_.market);
   // Instrument registration is first-use; doing it here keeps the CSV
-  // column set stable from the first STATS call.
-  metrics_.histogram(kLatencyHistogram, 0.0, 1000.0, 64);
+  // column set stable from the first STATS call. Registry references are
+  // stable for its lifetime, so the hot path adds through the cached
+  // pointer instead of a name lookup per bid.
+  latency_hist_ = &metrics_.histogram(kLatencyHistogram, 0.0, 1000.0, 64);
 }
 
 BrokerService::~BrokerService() {
@@ -40,6 +42,27 @@ void BrokerService::start() {
 BrokerService::SubmitStatus BrokerService::submit(
     const Task& task, std::future<Outcome>* outcome, double* retry_after) {
   MBTS_CHECK_MSG(outcome != nullptr, "submit needs an outcome future");
+  Entry entry;
+  entry.outcome.emplace();
+  *outcome = entry.outcome->get_future();
+  const SubmitStatus status =
+      submit_entry(task, std::move(entry), retry_after);
+  if (status != SubmitStatus::kQueued) *outcome = {};
+  return status;
+}
+
+BrokerService::SubmitStatus BrokerService::submit(const Task& task,
+                                                  OutcomeCallback on_outcome,
+                                                  double* retry_after) {
+  MBTS_CHECK_MSG(on_outcome != nullptr, "submit needs an outcome callback");
+  Entry entry;
+  entry.on_outcome = std::move(on_outcome);
+  return submit_entry(task, std::move(entry), retry_after);
+}
+
+BrokerService::SubmitStatus BrokerService::submit_entry(const Task& task,
+                                                        Entry&& entry,
+                                                        double* retry_after) {
   std::lock_guard<std::mutex> lock(mu_);
   if (draining_) {
     ++rejected_draining_;
@@ -47,10 +70,15 @@ BrokerService::SubmitStatus BrokerService::submit(
   }
   if (queued_bids_ >= config_.queue_capacity) {
     ++rejected_backpressure_;
-    if (retry_after != nullptr) *retry_after = config_.retry_after;
+    // The hint scales with the whole live backlog — queued plus the popped
+    // run still negotiating — so backpressure grows with what the client
+    // is actually behind, not a constant.
+    if (retry_after != nullptr)
+      *retry_after = config_.retry_after *
+                     static_cast<double>(queued_bids_ + inflight_bids_) /
+                     static_cast<double>(config_.queue_capacity);
     return SubmitStatus::kQueueFull;
   }
-  Entry entry;
   entry.kind = Entry::Kind::kBid;
   entry.bid.client = 0;
   entry.bid.task = task;
@@ -61,7 +89,6 @@ BrokerService::SubmitStatus BrokerService::submit(
   entry.bid.task.arrival = last_stamp_;
   entry.bid.task.id = next_task_id_++;
   entry.enqueued = std::chrono::steady_clock::now();
-  *outcome = entry.outcome.get_future();
   queue_.push_back(std::move(entry));
   ++queued_bids_;
   peak_queue_depth_ = std::max(peak_queue_depth_, queued_bids_);
@@ -71,24 +98,36 @@ BrokerService::SubmitStatus BrokerService::submit(
 }
 
 std::string BrokerService::stats_csv(const ExternalGauges& extra) {
-  std::future<std::string> text;
+  // shared_ptr because std::function requires a copyable callable.
+  auto text = std::make_shared<std::promise<std::string>>();
+  std::future<std::string> got = text->get_future();
+  stats_csv_async(extra,
+                  [text](std::string csv) { text->set_value(std::move(csv)); });
+  return got.get();
+}
+
+void BrokerService::stats_csv_async(const ExternalGauges& extra,
+                                    std::function<void(std::string)> on_csv) {
+  MBTS_CHECK_MSG(on_csv != nullptr, "stats_csv_async needs a callback");
   {
     std::lock_guard<std::mutex> lock(mu_);
-    // A drain may have already stopped (or be stopping) the engine thread;
-    // an entry queued now would never be fulfilled. The empty string tells
-    // the caller to answer DRAINING.
-    if (draining_) return "";
-    MBTS_CHECK_MSG(started_,
-                   "stats_csv requires a running service "
-                   "(use final_metrics_csv after drain)");
-    Entry entry;
-    entry.kind = Entry::Kind::kStats;
-    entry.external = extra;
-    text = entry.text.get_future();
-    queue_.push_back(std::move(entry));
-    cv_.notify_all();
+    if (!draining_) {
+      MBTS_CHECK_MSG(started_,
+                     "stats_csv requires a running service "
+                     "(use final_metrics_csv after drain)");
+      Entry entry;
+      entry.kind = Entry::Kind::kStats;
+      entry.external = extra;
+      entry.on_text = std::move(on_csv);
+      queue_.push_back(std::move(entry));
+      cv_.notify_all();
+      return;
+    }
   }
-  return text.get();
+  // A drain may have already stopped (or be stopping) the engine thread; an
+  // entry queued now would never be fulfilled. The empty string tells the
+  // caller to answer DRAINING; the callback runs inline on this thread.
+  on_csv("");
 }
 
 MarketStats BrokerService::drain(const ExternalGauges& extra) {
@@ -126,6 +165,31 @@ std::string BrokerService::final_metrics_csv() const {
 std::uint64_t BrokerService::admitted() const {
   std::lock_guard<std::mutex> lock(mu_);
   return admitted_count_;
+}
+
+std::size_t BrokerService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_bids_;
+}
+
+std::size_t BrokerService::peak_queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_queue_depth_;
+}
+
+std::size_t BrokerService::inflight_bids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_bids_;
+}
+
+std::uint64_t BrokerService::admission_batches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admission_batches_;
+}
+
+std::uint64_t BrokerService::batched_bids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batched_bids_;
 }
 
 std::uint64_t BrokerService::rejected_backpressure() const {
@@ -186,13 +250,14 @@ void BrokerService::process_bid(Entry& entry) {
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - entry.enqueued)
           .count();
-  metrics_.histogram(kLatencyHistogram, 0.0, 1000.0, 64).add(latency_ms);
-  entry.outcome.set_value(outcome);
+  latency_hist_->add(latency_ms);
+  if (entry.outcome.has_value()) entry.outcome->set_value(outcome);
+  if (entry.on_outcome) entry.on_outcome(outcome);
 }
 
 std::string BrokerService::snapshot_metrics(const ExternalGauges& extra) {
-  std::uint64_t admitted = 0, bp = 0, draining = 0;
-  std::size_t depth = 0, peak = 0;
+  std::uint64_t admitted = 0, bp = 0, draining = 0, batches = 0, batched = 0;
+  std::size_t depth = 0, peak = 0, inflight = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     admitted = admitted_count_;
@@ -200,6 +265,9 @@ std::string BrokerService::snapshot_metrics(const ExternalGauges& extra) {
     draining = rejected_draining_;
     depth = queued_bids_;
     peak = peak_queue_depth_;
+    inflight = inflight_bids_;
+    batches = admission_batches_;
+    batched = batched_bids_;
   }
   // Counters are cumulative in the registry; members are the source of
   // truth, so each snapshot adds only the delta since the last one.
@@ -212,10 +280,17 @@ std::string BrokerService::snapshot_metrics(const ExternalGauges& extra) {
   metrics_.counter("serve/bids_rejected_draining")
       .add(draining - last_counted_draining_);
   last_counted_draining_ = draining;
-  // Gauge max() records the peak; value() the current depth.
-  Gauge& queue_gauge = metrics_.gauge("serve/queue_depth");
-  queue_gauge.set(static_cast<double>(peak));
-  queue_gauge.set(static_cast<double>(depth));
+  metrics_.counter("serve/admission_batches")
+      .add(batches - last_counted_batches_);
+  last_counted_batches_ = batches;
+  metrics_.counter("serve/batched_bids").add(batched - last_counted_batched_);
+  last_counted_batched_ = batched;
+  // Live depth and its high-water mark as separate gauges: the peak used to
+  // ride only in the depth gauge's max() column, which the CSV consumer
+  // never saw.
+  metrics_.gauge("serve/queue_depth").set(static_cast<double>(depth));
+  metrics_.gauge("serve/queue_depth_peak").set(static_cast<double>(peak));
+  metrics_.gauge("serve/inflight_bids").set(static_cast<double>(inflight));
   metrics_.gauge("serve/engine_events_executed")
       .set(static_cast<double>(market_->engine().events_executed()));
   metrics_.gauge("serve/sim_now").set(market_->engine().now());
@@ -227,15 +302,37 @@ std::string BrokerService::snapshot_metrics(const ExternalGauges& extra) {
 
 void BrokerService::engine_loop() {
   std::unique_lock<std::mutex> lk(mu_);
+  std::vector<Entry> run;  // reused batch buffer
   for (;;) {
     if (!queue_.empty()) {
+      if (queue_.front().kind == Entry::Kind::kBid) {
+        // Batched admission: pop the whole run of consecutive bids at the
+        // front in this one lock acquisition and negotiate them
+        // back-to-back. Queue order is preserved, each bid still pumps to
+        // its own stamp before negotiating, so the replay fingerprint is
+        // the same as the one-at-a-time loop's; what disappears is a
+        // lock/wakeup round trip per bid. Capacity frees at pop (the run
+        // is being negotiated, not queued); the in-flight count keeps the
+        // BUSY hint honest about it.
+        run.clear();
+        while (!queue_.empty() &&
+               queue_.front().kind == Entry::Kind::kBid) {
+          run.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+        }
+        queued_bids_ -= run.size();
+        inflight_bids_ += run.size();
+        ++admission_batches_;
+        batched_bids_ += run.size();
+        lk.unlock();
+        for (Entry& entry : run) process_bid(entry);
+        lk.lock();
+        inflight_bids_ -= run.size();
+        continue;
+      }
       Entry entry = std::move(queue_.front());
       queue_.pop_front();
-      if (entry.kind == Entry::Kind::kBid) {
-        --queued_bids_;
-        lk.unlock();
-        process_bid(entry);
-      } else {
+      {
         // "Stats as of now": pump everything due at the current sim time
         // before snapshotting, so a test that advanced the clock observes
         // the settlements that advance made due. Never pump past a bid
@@ -258,7 +355,7 @@ void BrokerService::engine_loop() {
         if (!capped) last_stamp_ = boundary;
         lk.unlock();
         pump_strictly_before(boundary);
-        entry.text.set_value(snapshot_metrics(entry.external));
+        entry.on_text(snapshot_metrics(entry.external));
       }
       lk.lock();
       continue;

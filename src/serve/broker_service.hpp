@@ -6,12 +6,22 @@
 //
 //   session threads            engine thread (owns Market + SimEngine)
 //   --------------             ------------------------------------------
-//   submit(bid) ----------->   pop entry
-//     stamp arrival a           pump events strictly before (a, kArrival)
-//     assign task id            Market::submit_bid -> SimEngine::step()
-//     future<Outcome>           fulfill the promise from the negotiation
+//   submit(bid) ----------->   pop a *run* of queued bids in one lock
+//     stamp arrival a           acquisition; for each, in queue order:
+//     assign task id             pump events strictly before (a, kArrival)
+//     callback or future          Market::submit_bid -> SimEngine::step()
+//                                fulfill callback/promise from the result
 //                              idle: pump to clock.now(), sleep until the
 //                              next event is due or a submit arrives
+//
+// Batched admission: the engine thread pops every consecutive bid at the
+// queue front under a single lock acquisition and negotiates the run
+// back-to-back. The per-bid work — pump to the bid's own stamp, submit,
+// step — is exactly what the one-at-a-time loop did, in the same stamp/id
+// order, so invariants 1-2 below are untouched; only the lock/wakeup
+// round trips between bids are gone. A STATS control entry never joins a
+// run (it is popped alone, and its pump still caps at the earliest queued
+// bid's stamp).
 //
 // Bit-identity contract: the drained service's MarketStats are bit-identical
 // to a batch Market::run() over admitted_trace() with the same MarketConfig.
@@ -38,6 +48,7 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -63,7 +74,12 @@ struct ServeConfig {
   /// Bids queued but not yet negotiated before submit() rejects with
   /// kQueueFull. Control entries (STATS) are exempt.
   std::size_t queue_capacity = 256;
-  /// Retry-after hint (sim seconds) returned with a kQueueFull rejection.
+  /// Base retry-after hint (sim seconds) for a kQueueFull rejection. The
+  /// returned hint scales with the actual backlog:
+  ///   hint = retry_after * (queued + in-flight) / queue_capacity
+  /// so a client rejected while a deep popped run is still negotiating is
+  /// told to back off proportionally longer than one rejected at the bare
+  /// capacity edge (where the ratio is 1 and the hint equals the base).
   double retry_after = 1.0;
   /// Test hook: stall the engine thread this long before each negotiation,
   /// so load tests can force the admission queue full deterministically.
@@ -98,11 +114,23 @@ class BrokerService {
   /// queue up (deterministic backpressure tests rely on this).
   void start();
 
+  /// Invoked on the engine thread once the bid's negotiation resolves (or,
+  /// for every still-queued bid, during the drain). Must not block: the
+  /// reactor front end posts the outcome to a completion queue and returns.
+  using OutcomeCallback = std::function<void(const Outcome&)>;
+
   /// Admission: stamps the bid with the current sim time, assigns its task
   /// id, and queues it for negotiation. On kQueued, `*outcome` is a future
   /// the engine thread fulfills. On kQueueFull, `*retry_after` (if non-null)
-  /// carries the hint. On kDraining nothing is queued.
+  /// carries the depth-scaled hint. On kDraining nothing is queued.
   SubmitStatus submit(const Task& task, std::future<Outcome>* outcome,
+                      double* retry_after = nullptr);
+
+  /// Callback flavor of submit(): on kQueued the engine thread invokes
+  /// `on_outcome` instead of parking a future — the pipelined front end's
+  /// path, where no thread may block per bid. On kQueueFull/kDraining the
+  /// callback is dropped unused (the caller answers BUSY/DRAINING itself).
+  SubmitStatus submit(const Task& task, OutcomeCallback on_outcome,
                       double* retry_after = nullptr);
 
   /// Metrics snapshot as CSV, taken by the engine thread after pumping all
@@ -110,6 +138,13 @@ class BrokerService {
   /// written as gauges before the dump. Requires a started service; returns
   /// "" once draining (callers answer DRAINING).
   std::string stats_csv(const ExternalGauges& extra = {});
+
+  /// Non-blocking flavor: the snapshot rides the queue and `on_csv` runs on
+  /// the engine thread with the CSV — except once draining, where it runs
+  /// inline on the caller with "" (callers answer DRAINING). The reactor
+  /// front end uses this so a STATS request never parks a reactor thread.
+  void stats_csv_async(const ExternalGauges& extra,
+                       std::function<void(std::string)> on_csv);
 
   /// Graceful drain: stop admitting, let the engine thread negotiate every
   /// queued bid, run the engine dry (settling all open contracts), snapshot
@@ -131,6 +166,17 @@ class BrokerService {
   std::uint64_t admitted() const;
   std::uint64_t rejected_backpressure() const;
   std::uint64_t rejected_draining() const;
+  /// Live backlog: bids queued but not yet popped for negotiation.
+  std::size_t queue_depth() const;
+  /// High-water mark of queue_depth() since start.
+  std::size_t peak_queue_depth() const;
+  /// Bids popped in the current run and not yet negotiated.
+  std::size_t inflight_bids() const;
+  /// Runs of consecutive bids popped in one lock acquisition, and the bids
+  /// they carried (batched admission telemetry; batches/bids gives the
+  /// mean run length).
+  std::uint64_t admission_batches() const;
+  std::uint64_t batched_bids() const;
 
   bool draining() const;
 
@@ -138,13 +184,18 @@ class BrokerService {
   struct Entry {
     enum class Kind { kBid, kStats } kind = Kind::kBid;
     Bid bid;
-    std::promise<Outcome> outcome;
-    std::promise<std::string> text;
+    /// Exactly one of the two outcome channels is armed per bid entry.
+    std::optional<std::promise<Outcome>> outcome;
+    OutcomeCallback on_outcome;
+    std::function<void(std::string)> on_text;
     ExternalGauges external;
     std::chrono::steady_clock::time_point enqueued;
   };
 
   void engine_loop();
+  /// Shared admission tail of both submit() flavors.
+  SubmitStatus submit_entry(const Task& task, Entry&& entry,
+                            double* retry_after);
   /// Executes one live negotiation (invariant 2 of the file comment).
   void process_bid(Entry& entry);
   /// Pumps every event strictly before (boundary, kArrival).
@@ -158,16 +209,24 @@ class BrokerService {
   // Engine-thread-only (after start): the registry and the admitted trace
   // are also read by the caller after drain() joins the thread.
   MetricsRegistry metrics_;
+  /// Cached &metrics_.histogram(...) — registry references are stable, so
+  /// the per-bid latency sample skips the by-name lookup.
+  Histogram* latency_hist_ = nullptr;
   Trace admitted_;
   std::uint64_t last_counted_admitted_ = 0;
   std::uint64_t last_counted_bp_ = 0;
   std::uint64_t last_counted_draining_ = 0;
+  std::uint64_t last_counted_batches_ = 0;
+  std::uint64_t last_counted_batched_ = 0;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Entry> queue_;
   std::size_t queued_bids_ = 0;
   std::size_t peak_queue_depth_ = 0;
+  std::size_t inflight_bids_ = 0;
+  std::uint64_t admission_batches_ = 0;
+  std::uint64_t batched_bids_ = 0;
   bool draining_ = false;
   ExternalGauges drain_extra_;
   double last_stamp_ = 0.0;

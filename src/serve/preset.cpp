@@ -1,0 +1,32 @@
+#include "serve/preset.hpp"
+
+namespace mbts {
+namespace serve {
+
+MarketConfig fig1_market(std::uint64_t seed) {
+  MarketConfig config;
+  config.rng_seed = seed;
+  auto site = [](SiteId id, const char* name, std::size_t procs,
+                 PolicySpec policy, bool admission, double threshold) {
+    SiteAgentConfig sc;
+    sc.id = id;
+    sc.name = name;
+    sc.scheduler.processors = procs;
+    sc.scheduler.preemption = true;
+    sc.scheduler.discount_rate = 0.01;
+    sc.policy = policy;
+    sc.use_slack_admission = admission;
+    sc.admission.threshold = threshold;
+    return sc;
+  };
+  config.sites.push_back(site(0, "big-conservative", 24,
+                              PolicySpec::first_reward(0.2), true, 300.0));
+  config.sites.push_back(site(1, "mid-aggressive", 12,
+                              PolicySpec::first_reward(0.8), true, 0.0));
+  config.sites.push_back(
+      site(2, "small-cost-only", 6, PolicySpec::swpt(), false, 0.0));
+  return config;
+}
+
+}  // namespace serve
+}  // namespace mbts

@@ -1,0 +1,24 @@
+// The canonical serve-mode economy (DESIGN.md §9).
+//
+// mbts_serve, the serve unit/loopback tests, and the serve bench all drive
+// the same Figure-1 three-site trio: a large conservative site with a high
+// slack threshold, a mid-size aggressive one, and a small cost-only site
+// with no admission control. Keeping the config in one place means a
+// fingerprint recorded by any of them replays in all of them.
+#pragma once
+
+#include <cstdint>
+
+#include "market/market.hpp"
+
+namespace mbts {
+namespace serve {
+
+/// The Fig. 1 trio (same shape as examples/market_service.cpp):
+/// big-conservative (24 procs, FirstReward(0.2), threshold 300),
+/// mid-aggressive (12 procs, FirstReward(0.8), threshold 0),
+/// small-cost-only (6 procs, SWPT, no admission control).
+MarketConfig fig1_market(std::uint64_t seed);
+
+}  // namespace serve
+}  // namespace mbts

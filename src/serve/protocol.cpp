@@ -77,35 +77,57 @@ bool parse_request(std::string_view line, Request* request,
     *error = "unknown verb '" + std::string(verb) + "'";
     return false;
   }
-  if (tokens.size() != 5) {
-    *error = "BID takes exactly 4 fields (runtime value decay bound), got " +
-             std::to_string(tokens.size() - 1);
+  // Field count picks the form: 4 arguments is the original untagged bid,
+  // 5 puts a client-chosen tag first (pipelined sessions match replies by
+  // it). Diagnostics number fields as they appear on the wire, so a tagged
+  // bid's runtime is field 2.
+  if (tokens.size() != 5 && tokens.size() != 6) {
+    *error =
+        "BID takes 4 fields (runtime value decay bound) or 5 with a "
+        "leading tag, got " +
+        std::to_string(tokens.size() - 1);
     return false;
   }
   request->verb = Verb::kBid;
-  if (!parse_number(tokens[1], &request->runtime))
-    return field_error(error, 1, "runtime", tokens[1], "malformed number");
+  request->tag.clear();
+  std::size_t base = 1;
+  if (tokens.size() == 6) {
+    const std::string_view tag = tokens[1];
+    if (tag.size() > kMaxTag)
+      return field_error(error, 1, "tag", tag, "longer than 64 chars,");
+    for (const char c : tag)
+      if (c < '!' || c > '~')
+        return field_error(error, 1, "tag", tag,
+                           "must be printable with no whitespace, got");
+    request->tag.assign(tag);
+    base = 2;
+  }
+  if (!parse_number(tokens[base], &request->runtime))
+    return field_error(error, base, "runtime", tokens[base],
+                       "malformed number");
   if (!(request->runtime > 0.0) || !std::isfinite(request->runtime))
-    return field_error(error, 1, "runtime", tokens[1],
+    return field_error(error, base, "runtime", tokens[base],
                        "must be a positive finite number, got");
-  if (!parse_number(tokens[2], &request->value))
-    return field_error(error, 2, "value", tokens[2], "malformed number");
+  if (!parse_number(tokens[base + 1], &request->value))
+    return field_error(error, base + 1, "value", tokens[base + 1],
+                       "malformed number");
   if (!std::isfinite(request->value))
-    return field_error(error, 2, "value", tokens[2],
+    return field_error(error, base + 1, "value", tokens[base + 1],
                        "must be a finite number, got");
-  if (!parse_number(tokens[3], &request->decay))
-    return field_error(error, 3, "decay", tokens[3], "malformed number");
+  if (!parse_number(tokens[base + 2], &request->decay))
+    return field_error(error, base + 2, "decay", tokens[base + 2],
+                       "malformed number");
   if (request->decay < 0.0 || !std::isfinite(request->decay))
-    return field_error(error, 3, "decay", tokens[3],
+    return field_error(error, base + 2, "decay", tokens[base + 2],
                        "must be a non-negative finite number, got");
-  if (tokens[4] == "inf") {
+  if (tokens[base + 3] == "inf") {
     request->bound = kInf;
   } else {
-    if (!parse_number(tokens[4], &request->bound))
-      return field_error(error, 4, "bound", tokens[4],
+    if (!parse_number(tokens[base + 3], &request->bound))
+      return field_error(error, base + 3, "bound", tokens[base + 3],
                          "malformed number (or 'inf')");
     if (request->bound < 0.0 || !std::isfinite(request->bound))
-      return field_error(error, 4, "bound", tokens[4],
+      return field_error(error, base + 3, "bound", tokens[base + 3],
                          "must be a non-negative number or 'inf', got");
   }
   return true;

@@ -4,26 +4,43 @@
 // terminated by '\n' ('\r' tolerated); fields are whitespace-separated full
 // tokens. Grammar:
 //
-//   BID <runtime> <value> <decay> <bound>   negotiate one task
+//   BID <runtime> <value> <decay> <bound>         negotiate one task
+//   BID <tag> <runtime> <value> <decay> <bound>   same, pipelined (tagged)
 //   STATS                                   dump the metrics registry as CSV
 //   METRICS                                 alias for STATS
 //   PING                                    liveness probe
 //   QUIT                                    close the session
 //
+// Field count disambiguates the two BID forms: four arguments is the
+// original untagged bid, five means the first is a client-chosen tag — a
+// printable token (no whitespace, at most kMaxTag chars) echoed back on the
+// response so a connection may keep many bids in flight and match replies
+// out of band. An untagged bid keeps the lockstep contract: the server
+// answers it before reading further requests from that connection, so a
+// pre-tag client sees exactly the original wire behavior. Reusing a tag
+// while it is still unanswered on the same connection is a protocol error;
+// an answered tag may be reused.
+//
 // <runtime> > 0, <value> finite, <decay> >= 0 — all finite decimal numbers;
 // <bound> is a non-negative penalty bound or the literal "inf" for an
 // unbounded value function. Responses (one line each, except STATS which
-// streams CSV and terminates with "END"):
+// streams CSV and terminates with "END"; <tag> appears iff the bid was
+// tagged):
 //
-//   AWARD <task> <site> <completion> <price>   contract formed
-//   REJECT <task>                              every site declined
-//   BUSY <retry_after>                         admission queue full, retry
-//   DRAINING                                   server is shutting down
-//                                              (also the STATS reply then)
-//   TIMEOUT idle                               session evicted (then close)
-//   ERR <diagnostic>                           malformed request
-//   PONG                                       PING reply
-//   BYE                                        QUIT reply (then close)
+//   AWARD [tag] <task> <site> <completion> <price>   contract formed
+//   REJECT [tag] <task>                          every site declined
+//   BUSY [tag] <retry_after>                     admission queue full, retry
+//   DRAINING [tag]                               server is shutting down
+//                                                (also the STATS reply then)
+//   TIMEOUT idle                                 session evicted (then close)
+//   ERR <diagnostic>                             malformed request
+//   PONG                                         PING reply
+//   BYE                                          QUIT reply (then close)
+//
+// Every queued bid — tagged or not — is answered exactly once; replies to a
+// connection arrive in its own submission order (the admission queue is
+// FIFO), but tagged replies may interleave with PONG and STATS traffic,
+// and a STATS block may be preceded (never interrupted) by tagged replies.
 //
 // Numbers in responses print at %.17g, so a client that echoes a bid stream
 // back into the batch tooling reproduces it bit-for-bit.
@@ -44,11 +61,16 @@ namespace serve {
 
 enum class Verb { kBid, kStats, kPing, kQuit };
 
-/// One parsed request line. For kBid the four fields mirror the paper's bid
-/// tuple (runtime_i, value_i, decay_i, bound_i); bound == kInf encodes an
-/// unbounded value function.
+/// Longest accepted bid tag (printable, whitespace-free token).
+inline constexpr std::size_t kMaxTag = 64;
+
+/// One parsed request line. For kBid the four numeric fields mirror the
+/// paper's bid tuple (runtime_i, value_i, decay_i, bound_i); bound == kInf
+/// encodes an unbounded value function; `tag` is empty for the untagged
+/// (lockstep) form.
 struct Request {
   Verb verb = Verb::kPing;
+  std::string tag;
   double runtime = 0.0;
   double value = 0.0;
   double decay = 0.0;

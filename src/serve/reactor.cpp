@@ -1,0 +1,184 @@
+#include "serve/reactor.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#define MBTS_HAVE_EPOLL 1
+#else
+#define MBTS_HAVE_EPOLL 0
+#endif
+
+#include "util/check.hpp"
+
+namespace mbts {
+namespace serve {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  MBTS_CHECK_MSG(flags >= 0, "fcntl(F_GETFL) failed");
+  MBTS_CHECK_MSG(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                 "fcntl(F_SETFL, O_NONBLOCK) failed");
+}
+
+}  // namespace
+
+Poller::Poller(PollerBackend backend) {
+  // Both pipe ends non-blocking: wake() must never block a full pipe (one
+  // pending byte is as good as fifty), and the drain reads until EAGAIN.
+  MBTS_CHECK_MSG(::pipe(wake_pipe_) == 0, "pipe failed");
+  set_nonblocking(wake_pipe_[0]);
+  set_nonblocking(wake_pipe_[1]);
+#if MBTS_HAVE_EPOLL
+  if (backend != PollerBackend::kPoll) {
+    epoll_fd_ = ::epoll_create1(0);
+    MBTS_CHECK_MSG(epoll_fd_ >= 0, "epoll_create1 failed");
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = wake_pipe_[0];
+    MBTS_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_pipe_[0], &ev) ==
+               0);
+    return;
+  }
+#else
+  MBTS_CHECK_MSG(backend != PollerBackend::kEpoll,
+                 "epoll backend is Linux-only");
+#endif
+  (void)backend;
+}
+
+Poller::~Poller() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+}
+
+Poller::Interest* Poller::find_interest(int fd) {
+  for (Interest& interest : interests_)
+    if (interest.fd == fd) return &interest;
+  return nullptr;
+}
+
+void Poller::add(int fd, bool want_read, bool want_write) {
+#if MBTS_HAVE_EPOLL
+  if (epoll_fd_ >= 0) {
+    epoll_event ev{};
+    ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    MBTS_CHECK_MSG(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0,
+                   "epoll_ctl(ADD) failed");
+    return;
+  }
+#endif
+  MBTS_CHECK_MSG(find_interest(fd) == nullptr, "fd already registered");
+  interests_.push_back({fd, want_read, want_write});
+}
+
+void Poller::modify(int fd, bool want_read, bool want_write) {
+#if MBTS_HAVE_EPOLL
+  if (epoll_fd_ >= 0) {
+    epoll_event ev{};
+    ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    MBTS_CHECK_MSG(::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0,
+                   "epoll_ctl(MOD) failed");
+    return;
+  }
+#endif
+  Interest* interest = find_interest(fd);
+  MBTS_CHECK_MSG(interest != nullptr, "modify of unregistered fd");
+  interest->want_read = want_read;
+  interest->want_write = want_write;
+}
+
+void Poller::remove(int fd) {
+#if MBTS_HAVE_EPOLL
+  if (epoll_fd_ >= 0) {
+    MBTS_CHECK_MSG(::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr) == 0,
+                   "epoll_ctl(DEL) failed");
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < interests_.size(); ++i) {
+    if (interests_[i].fd == fd) {
+      interests_[i] = interests_.back();
+      interests_.pop_back();
+      return;
+    }
+  }
+  MBTS_CHECK_MSG(false, "remove of unregistered fd");
+}
+
+int Poller::wait(int timeout_ms, std::vector<PollEvent>* events) {
+  events->clear();
+  bool woken = false;
+#if MBTS_HAVE_EPOLL
+  if (epoll_fd_ >= 0) {
+    epoll_event ready[256];
+    int n;
+    do {
+      n = ::epoll_wait(epoll_fd_, ready, 256, timeout_ms);
+    } while (n < 0 && errno == EINTR);
+    MBTS_CHECK_MSG(n >= 0, "epoll_wait failed");
+    for (int i = 0; i < n; ++i) {
+      if (ready[i].data.fd == wake_pipe_[0]) {
+        woken = true;
+        continue;
+      }
+      PollEvent event;
+      event.fd = ready[i].data.fd;
+      event.readable = (ready[i].events & EPOLLIN) != 0;
+      event.writable = (ready[i].events & EPOLLOUT) != 0;
+      event.error = (ready[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+      events->push_back(event);
+    }
+  } else
+#endif
+  {
+    std::vector<pollfd> fds;
+    fds.reserve(interests_.size() + 1);
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    for (const Interest& interest : interests_) {
+      short want = 0;
+      if (interest.want_read) want |= POLLIN;
+      if (interest.want_write) want |= POLLOUT;
+      fds.push_back({interest.fd, want, 0});
+    }
+    int n;
+    do {
+      n = ::poll(fds.data(), fds.size(), timeout_ms);
+    } while (n < 0 && errno == EINTR);
+    MBTS_CHECK_MSG(n >= 0, "poll failed");
+    woken = (fds[0].revents & POLLIN) != 0;
+    for (std::size_t i = 1; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      PollEvent event;
+      event.fd = fds[i].fd;
+      event.readable = (fds[i].revents & POLLIN) != 0;
+      event.writable = (fds[i].revents & POLLOUT) != 0;
+      event.error = (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+      events->push_back(event);
+    }
+  }
+  if (woken) {
+    char drain[64];
+    while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+    }
+  }
+  return static_cast<int>(events->size());
+}
+
+void Poller::wake() {
+  const char byte = 'w';
+  // EAGAIN means a wakeup is already pending — exactly as good.
+  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+}
+
+}  // namespace serve
+}  // namespace mbts

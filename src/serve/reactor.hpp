@@ -1,0 +1,72 @@
+// Readiness multiplexer for the serve front end (DESIGN.md §9).
+//
+// A Poller watches a set of non-blocking fds for read/write readiness. The
+// primary backend is epoll (level-triggered); a portable poll(2) backend is
+// always compiled and selectable at runtime, both so non-Linux builds work
+// and so the fallback path stays tested on Linux CI. Both backends carry a
+// self-pipe wakeup: wake() is callable from any thread (the engine thread
+// posts completions, the acceptor hands over connections) and makes a
+// blocked wait() return promptly without being reported as an fd event.
+//
+// One Poller belongs to one reactor thread; only wake() is thread-safe.
+#pragma once
+
+#include <vector>
+
+namespace mbts {
+namespace serve {
+
+struct PollEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  /// EPOLLERR/EPOLLHUP (POLLERR/POLLHUP/POLLNVAL): the owner should tear
+  /// the connection down.
+  bool error = false;
+};
+
+enum class PollerBackend {
+  kAuto,   ///< epoll on Linux, poll elsewhere
+  kEpoll,  ///< Linux only; CHECKs elsewhere
+  kPoll,
+};
+
+class Poller {
+ public:
+  explicit Poller(PollerBackend backend = PollerBackend::kAuto);
+  ~Poller();
+
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  void add(int fd, bool want_read, bool want_write);
+  void modify(int fd, bool want_read, bool want_write);
+  /// The fd must currently be registered. Call before closing it.
+  void remove(int fd);
+
+  /// Blocks until an fd is ready, `timeout_ms` elapses (-1 = no timeout),
+  /// or wake() is called; appends ready fds to `events` (cleared first) and
+  /// returns the count. Wakeups drain the self-pipe and report no event.
+  int wait(int timeout_ms, std::vector<PollEvent>* events);
+
+  /// Thread-safe: makes a concurrent (or the next) wait() return promptly.
+  void wake();
+
+  bool using_epoll() const { return epoll_fd_ >= 0; }
+
+ private:
+  int epoll_fd_ = -1;  // < 0: poll backend
+  int wake_pipe_[2] = {-1, -1};
+  // poll backend interest list (fd -> events), rebuilt into a pollfd array
+  // per wait; linear ops are fine for the fallback path.
+  struct Interest {
+    int fd;
+    bool want_read;
+    bool want_write;
+  };
+  std::vector<Interest> interests_;
+  Interest* find_interest(int fd);
+};
+
+}  // namespace serve
+}  // namespace mbts

@@ -3,14 +3,19 @@
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
-#include <poll.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 
 #include "serve/protocol.hpp"
 #include "util/check.hpp"
@@ -20,20 +25,11 @@ namespace serve {
 
 namespace {
 
-/// Sends the whole buffer; MSG_NOSIGNAL turns a dead peer into an error
-/// return instead of SIGPIPE. Returns false when the peer is gone.
-bool send_all(int fd, const std::string& data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n =
-        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  MBTS_CHECK_MSG(flags >= 0, "fcntl(F_GETFL) failed");
+  MBTS_CHECK_MSG(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                 "fcntl(F_SETFL, O_NONBLOCK) failed");
 }
 
 std::string format_double(double v) {
@@ -42,7 +38,109 @@ std::string format_double(double v) {
   return buffer;
 }
 
+/// The one-line reply for a resolved bid; `tag` is echoed when non-empty.
+/// Built on the engine thread so the reactor only ships bytes.
+std::string format_outcome(const std::string& tag, const Outcome& outcome) {
+  const std::string prefix = tag.empty() ? "" : tag + " ";
+  if (!outcome.awarded)
+    return "REJECT " + prefix + std::to_string(outcome.task) + "\n";
+  return "AWARD " + prefix + std::to_string(outcome.task) + " " +
+         std::to_string(outcome.site) + " " +
+         format_double(outcome.expected_completion) + " " +
+         format_double(outcome.agreed_price) + "\n";
+}
+
 }  // namespace
+
+/// A reply produced off the reactor thread (engine completions, async STATS)
+/// addressed by connection id — never by pointer, so a session that died
+/// first just drops its reply.
+struct ServeServer::Completion {
+  std::uint64_t conn = 0;
+  std::string text;
+  /// Non-empty: the tagged bid this answers (cleared from the in-flight set).
+  std::string tag;
+  /// An untagged bid or STATS was answered: resume parsing the connection.
+  bool end_lockstep = false;
+};
+
+/// The cross-thread mailbox of one reactor. Engine-thread callbacks hold it
+/// by shared_ptr; once the reactor tears down it nulls `poller` under the
+/// lock and late posts become no-ops, so completions arriving after stop()
+/// (the service drains afterwards) touch nothing freed.
+struct ServeServer::Inbox {
+  std::mutex mu;
+  std::vector<Completion> items;
+  std::vector<int> adopted_fds;
+  Poller* poller = nullptr;
+
+  void post(Completion&& completion) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (poller == nullptr) return;  // reactor already gone; drop the reply
+    // Wake only on the empty->nonempty edge: the reactor drains the whole
+    // inbox per pass, so completions stacking up behind the first need no
+    // further self-pipe writes. Under a batched admission run this
+    // collapses one wake syscall per bid into ~one per drain cycle.
+    const bool was_idle = items.empty() && adopted_fds.empty();
+    items.push_back(std::move(completion));
+    if (was_idle) poller->wake();
+  }
+
+  /// Hands a freshly accepted fd to this reactor; closes it when the
+  /// reactor is already gone.
+  void post_fd(int fd) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (poller != nullptr) {
+        const bool was_idle = items.empty() && adopted_fds.empty();
+        adopted_fds.push_back(fd);
+        if (was_idle) poller->wake();
+        return;
+      }
+    }
+    ::close(fd);
+  }
+};
+
+struct ServeServer::Conn {
+  int fd = -1;
+  std::uint64_t id = 0;
+  /// Read assembly: unparsed bytes are [rpos, rbuf.size()).
+  std::string rbuf;
+  std::size_t rpos = 0;
+  /// Bounded write queue: unsent bytes are [woff, wbuf.size()).
+  std::string wbuf;
+  std::size_t woff = 0;
+  std::size_t line_no = 0;
+  std::chrono::steady_clock::time_point last_activity;
+  /// Tags submitted and not yet answered (pipelined bids).
+  std::unordered_set<std::string> inflight_tags;
+  /// An untagged bid or STATS awaits its reply: parsing is stalled and,
+  /// once a spare line of input is buffered, reads pause too — the kernel
+  /// socket buffer backpressures a lockstep client that runs ahead.
+  bool lockstep_wait = false;
+  /// QUIT seen with tags still in flight: BYE goes out after the last one.
+  bool quit_pending = false;
+  /// Farewell queued: flush the write queue, then close.
+  bool closing = false;
+  /// Mirror of the interests registered with the poller.
+  bool want_read = true;
+  bool want_write = false;
+  /// Inside a drain_inbox burst: replies accumulate and flush once at the
+  /// end of the pass (one send(2) per connection per burst).
+  bool corked = false;
+};
+
+struct ServeServer::Reactor {
+  explicit Reactor(PollerBackend backend) : poller(backend) {}
+
+  std::size_t index = 0;
+  Poller poller;
+  std::shared_ptr<Inbox> inbox;
+  std::unordered_map<int, std::unique_ptr<Conn>> conns;  // keyed by fd
+  std::unordered_map<std::uint64_t, Conn*> by_id;
+  std::thread thread;
+};
 
 ServeServer::ServeServer(ServerConfig config, BrokerService* service)
     : config_(std::move(config)), service_(service) {
@@ -69,16 +167,32 @@ void ServeServer::start() {
                         sizeof(addr)) == 0,
                  "bind failed on " + config_.bind_address + ":" +
                      std::to_string(config_.port));
-  MBTS_CHECK_MSG(::listen(listen_fd_, 64) == 0, "listen failed");
+  MBTS_CHECK_MSG(::listen(listen_fd_, 256) == 0, "listen failed");
   sockaddr_in bound{};
   socklen_t len = sizeof(bound);
   MBTS_CHECK(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
                            &len) == 0);
   port_ = ntohs(bound.sin_port);
-  MBTS_CHECK_MSG(::pipe(wake_pipe_) == 0, "pipe failed");
-  sessions_ = std::make_unique<ThreadPool>(config_.session_threads);
+  set_nonblocking(listen_fd_);
+
+  const std::size_t threads = std::max<std::size_t>(1, config_.session_threads);
+  const PollerBackend backend = config_.force_poll_backend
+                                    ? PollerBackend::kPoll
+                                    : PollerBackend::kAuto;
+  for (std::size_t i = 0; i < threads; ++i) {
+    auto reactor = std::make_unique<Reactor>(backend);
+    reactor->index = i;
+    reactor->inbox = std::make_shared<Inbox>();
+    reactor->inbox->poller = &reactor->poller;
+    reactors_.push_back(std::move(reactor));
+  }
+  // Reactor 0 doubles as the acceptor; new connections are dealt round-robin.
+  reactors_[0]->poller.add(listen_fd_, true, false);
   started_ = true;
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  for (auto& reactor : reactors_) {
+    Reactor* raw = reactor.get();
+    reactor->thread = std::thread([this, raw] { reactor_loop(*raw); });
+  }
 }
 
 void ServeServer::stop() {
@@ -86,18 +200,17 @@ void ServeServer::stop() {
   if (stopped_) return;
   stopped_ = true;
   stopping_.store(true);
-  // Wake the accept loop's poll; closing the listen socket alone is not a
-  // portable wakeup.
-  const char byte = 'x';
-  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
-  accept_thread_.join();
+  for (auto& reactor : reactors_) {
+    std::lock_guard<std::mutex> lock(reactor->inbox->mu);
+    if (reactor->inbox->poller != nullptr) reactor->inbox->poller->wake();
+  }
+  for (auto& reactor : reactors_) reactor->thread.join();
+  // Inboxes outlive the reactors via the callbacks' shared_ptrs; their
+  // poller pointers were nulled by the loop teardown, so late engine
+  // completions post into the void instead of a freed Poller.
+  reactors_.clear();
   ::close(listen_fd_);
   listen_fd_ = -1;
-  // Joining the pool waits for every live session to notice stopping_ (one
-  // poll slice at most) and close its connection.
-  sessions_.reset();
-  ::close(wake_pipe_[0]);
-  ::close(wake_pipe_[1]);
 }
 
 BrokerService::ExternalGauges ServeServer::external_gauges() const {
@@ -106,124 +219,375 @@ BrokerService::ExternalGauges ServeServer::external_gauges() const {
       {"serve/sessions_idle_evicted",
        static_cast<double>(idle_evicted_.load())},
       {"serve/protocol_errors", static_cast<double>(protocol_errors_.load())},
+      {"serve/sessions_overflow_evicted",
+       static_cast<double>(overflow_evicted_.load())},
+      {"serve/write_backpressure_events",
+       static_cast<double>(write_backpressure_.load())},
   };
 }
 
-void ServeServer::accept_loop() {
-  for (;;) {
-    pollfd fds[2];
-    fds[0] = {listen_fd_, POLLIN, 0};
-    fds[1] = {wake_pipe_[0], POLLIN, 0};
-    const int ready = ::poll(fds, 2, -1);
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    if (stopping_.load()) break;
-    if ((fds[0].revents & POLLIN) == 0) continue;
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) continue;
-    ++sessions_opened_;
-    sessions_->submit([this, fd] { session(fd); });
-  }
-}
-
-void ServeServer::session(int fd) {
-  using Clock = std::chrono::steady_clock;
-  std::string buffer;
-  std::size_t line_no = 0;
-  Clock::time_point last_activity = Clock::now();
-  bool open = true;
-  while (open) {
-    if (stopping_.load()) break;
-    pollfd pfd{fd, POLLIN, 0};
+void ServeServer::reactor_loop(Reactor& reactor) {
+  std::vector<PollEvent> events;
+  while (!stopping_.load()) {
     // Short slices: each timeout re-checks shutdown and the idle deadline.
-    const int ready = ::poll(&pfd, 1, 200);
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    if (ready == 0) {
-      if (config_.idle_timeout_s > 0.0 &&
-          std::chrono::duration<double>(Clock::now() - last_activity)
-                  .count() > config_.idle_timeout_s) {
-        ++idle_evicted_;
-        send_all(fd, "TIMEOUT idle\n");
-        break;
+    reactor.poller.wait(200, &events);
+    if (stopping_.load()) break;
+    drain_inbox(reactor);
+    for (const PollEvent& event : events) {
+      if (event.fd == listen_fd_) {
+        accept_ready(reactor);
+        continue;
       }
-      continue;
+      auto it = reactor.conns.find(event.fd);
+      if (it == reactor.conns.end()) continue;  // destroyed earlier in batch
+      Conn& conn = *it->second;
+      if (event.error) {
+        destroy(reactor, conn);
+        continue;
+      }
+      if (event.readable) on_readable(reactor, conn);  // may destroy conn
+      if (event.writable) {
+        auto again = reactor.conns.find(event.fd);
+        if (again != reactor.conns.end()) on_writable(reactor, *again->second);
+      }
     }
-    char chunk[2048];
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      break;  // peer closed or hard error
-    }
-    last_activity = Clock::now();
-    buffer.append(chunk, static_cast<std::size_t>(n));
-    if (buffer.size() > config_.max_line &&
-        buffer.find('\n') == std::string::npos) {
-      ++protocol_errors_;
-      send_all(fd, "ERR line too long\n");
-      break;
-    }
-    std::size_t newline;
-    while (open && (newline = buffer.find('\n')) != std::string::npos) {
-      std::string line = buffer.substr(0, newline);
-      buffer.erase(0, newline + 1);
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      ++line_no;
-      open = handle_line(fd, line, line_no);
-    }
+    sweep_idle(reactor);
   }
-  ::close(fd);
+  // Teardown: detach from the inbox first so concurrent posts become no-ops,
+  // then close everything this reactor owns.
+  {
+    std::lock_guard<std::mutex> lock(reactor.inbox->mu);
+    reactor.inbox->poller = nullptr;
+    reactor.inbox->items.clear();
+    for (const int fd : reactor.inbox->adopted_fds) ::close(fd);
+    reactor.inbox->adopted_fds.clear();
+  }
+  for (const auto& entry : reactor.conns) ::close(entry.first);
+  reactor.by_id.clear();
+  reactor.conns.clear();
 }
 
-bool ServeServer::handle_line(int fd, const std::string& line,
-                              std::size_t line_no) {
+void ServeServer::accept_ready(Reactor& reactor) {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;  // EAGAIN: drained the backlog
+    }
+    set_nonblocking(fd);
+    // Replies are single small lines; without TCP_NODELAY a lockstep client
+    // would eat Nagle-delayed round trips.
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (config_.sndbuf > 0)
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &config_.sndbuf,
+                   sizeof(config_.sndbuf));
+    ++sessions_opened_;
+    Reactor& target = *reactors_[next_reactor_++ % reactors_.size()];
+    if (&target == &reactor)
+      adopt_fd(reactor, fd);
+    else
+      target.inbox->post_fd(fd);
+  }
+}
+
+void ServeServer::adopt_fd(Reactor& reactor, int fd) {
+  auto conn = std::make_unique<Conn>();
+  conn->fd = fd;
+  conn->id = next_conn_id_.fetch_add(1);
+  conn->last_activity = std::chrono::steady_clock::now();
+  reactor.poller.add(fd, true, false);
+  reactor.by_id[conn->id] = conn.get();
+  reactor.conns[fd] = std::move(conn);
+}
+
+void ServeServer::drain_inbox(Reactor& reactor) {
+  std::vector<Completion> items;
+  std::vector<int> adopted;
+  {
+    std::lock_guard<std::mutex> lock(reactor.inbox->mu);
+    items.swap(reactor.inbox->items);
+    adopted.swap(reactor.inbox->adopted_fds);
+  }
+  for (const int fd : adopted) adopt_fd(reactor, fd);
+  // Cork while applying: a batched admission run posts a burst of
+  // completions for the same few connections, and sending each reply
+  // individually costs a send(2) per bid. Replies accumulate in the write
+  // buffers here and every touched connection flushes once below.
+  std::vector<std::uint64_t> corked;
+  for (Completion& completion : items) {
+    auto it = reactor.by_id.find(completion.conn);
+    if (it != reactor.by_id.end() && !it->second->corked) {
+      it->second->corked = true;
+      corked.push_back(completion.conn);
+    }
+    apply_completion(reactor, completion);
+  }
+  for (const std::uint64_t id : corked) {
+    auto it = reactor.by_id.find(id);
+    if (it == reactor.by_id.end()) continue;  // destroyed while corked
+    Conn& conn = *it->second;
+    conn.corked = false;
+    if (conn.woff < conn.wbuf.size() || conn.closing) flush(reactor, conn);
+  }
+}
+
+void ServeServer::apply_completion(Reactor& reactor, Completion& completion) {
+  auto it = reactor.by_id.find(completion.conn);
+  if (it == reactor.by_id.end()) return;  // session died before its reply
+  Conn& conn = *it->second;
+  if (!completion.tag.empty()) conn.inflight_tags.erase(completion.tag);
+  if (completion.end_lockstep) conn.lockstep_wait = false;
+  if (!queue_reply(reactor, conn, completion.text)) return;
+  if (conn.quit_pending && conn.inflight_tags.empty()) {
+    conn.quit_pending = false;
+    send_farewell(reactor, conn, "BYE\n");
+    return;
+  }
+  if (completion.end_lockstep)
+    parse_input(reactor, conn);  // resume any input queued behind the wait
+  else
+    update_read_interest(reactor, conn);
+}
+
+void ServeServer::on_readable(Reactor& reactor, Conn& conn) {
+  const int fd = conn.fd;
+  for (;;) {
+    char chunk[16384];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      destroy(reactor, conn);
+      return;
+    }
+    if (n == 0) {  // peer closed
+      destroy(reactor, conn);
+      return;
+    }
+    conn.last_activity = std::chrono::steady_clock::now();
+    conn.rbuf.append(chunk, static_cast<std::size_t>(n));
+    parse_input(reactor, conn);  // may destroy conn
+    if (reactor.conns.find(fd) == reactor.conns.end()) return;
+    if (!conn.want_read) return;  // paused (stalled backlog) or closing
+    if (static_cast<std::size_t>(n) < sizeof(chunk)) break;  // drained
+  }
+}
+
+void ServeServer::on_writable(Reactor& reactor, Conn& conn) {
+  flush(reactor, conn);
+}
+
+void ServeServer::parse_input(Reactor& reactor, Conn& conn) {
+  const int fd = conn.fd;
+  while (!conn.closing && !conn.quit_pending && !conn.lockstep_wait) {
+    const std::size_t newline = conn.rbuf.find('\n', conn.rpos);
+    if (newline == std::string::npos) break;
+    std::string line = conn.rbuf.substr(conn.rpos, newline - conn.rpos);
+    conn.rpos = newline + 1;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    ++conn.line_no;
+    if (!handle_request(reactor, conn, line)) break;
+  }
+  if (reactor.conns.find(fd) == reactor.conns.end()) return;  // destroyed
+  if (conn.rpos > 0) {
+    conn.rbuf.erase(0, conn.rpos);
+    conn.rpos = 0;
+  }
+  // An unterminated request longer than max_line is a protocol error; the
+  // loop above left no newline behind when parsing is active, so size alone
+  // decides. (A *stalled* connection may legitimately buffer more — bounded
+  // by the read pause below, not by eviction.)
+  if (!conn.closing && !conn.quit_pending && !conn.lockstep_wait &&
+      conn.rbuf.size() > config_.max_line) {
+    ++protocol_errors_;
+    if (!send_farewell(reactor, conn, "ERR line too long\n")) return;
+  }
+  update_read_interest(reactor, conn);
+}
+
+bool ServeServer::handle_request(Reactor& reactor, Conn& conn,
+                                 const std::string& line) {
   if (line.empty()) return true;  // blank lines are keepalive noise
   Request request;
   std::string error;
   if (!parse_request(line, &request, &error)) {
     ++protocol_errors_;
-    return send_all(fd,
-                    "ERR line " + std::to_string(line_no) + " " + error +
-                        "\n");
+    return queue_reply(reactor, conn, "ERR line " +
+                                          std::to_string(conn.line_no) + " " +
+                                          error + "\n");
   }
   switch (request.verb) {
     case Verb::kPing:
-      return send_all(fd, "PONG\n");
+      return queue_reply(reactor, conn, "PONG\n");
     case Verb::kQuit:
-      send_all(fd, "BYE\n");
+      if (conn.inflight_tags.empty()) {
+        send_farewell(reactor, conn, "BYE\n");
+      } else {
+        conn.quit_pending = true;
+      }
       return false;
     case Verb::kStats: {
-      // stats_csv() answers "" once the service is draining; the protocol
-      // reply for that is DRAINING, not a bare END sentinel.
-      const std::string csv = service_->stats_csv(external_gauges());
-      if (csv.empty()) return send_all(fd, "DRAINING\n");
-      return send_all(fd, csv + "END\n");
+      // The snapshot is engine-thread work; park the connection (lockstep)
+      // until the CSV comes back so the block is never interrupted.
+      conn.lockstep_wait = true;
+      std::shared_ptr<Inbox> inbox = reactor.inbox;
+      const std::uint64_t id = conn.id;
+      service_->stats_csv_async(external_gauges(), [inbox, id](
+                                                       std::string csv) {
+        Completion completion;
+        completion.conn = id;
+        completion.text = csv.empty() ? "DRAINING\n" : csv + "END\n";
+        completion.end_lockstep = true;
+        inbox->post(std::move(completion));
+      });
+      return true;
     }
     case Verb::kBid:
       break;
   }
-  if (stopping_.load()) return send_all(fd, "DRAINING\n");
-  std::future<Outcome> outcome;
+  const bool tagged = !request.tag.empty();
+  if (tagged && conn.inflight_tags.count(request.tag) != 0) {
+    ++protocol_errors_;
+    return queue_reply(reactor, conn, "ERR line " +
+                                          std::to_string(conn.line_no) +
+                                          " duplicate tag '" + request.tag +
+                                          "' still in flight\n");
+  }
+  std::shared_ptr<Inbox> inbox = reactor.inbox;
+  const std::uint64_t id = conn.id;
+  const std::string tag = request.tag;
   double retry_after = 0.0;
-  switch (service_->submit(bid_task(request), &outcome, &retry_after)) {
+  const BrokerService::SubmitStatus status = service_->submit(
+      bid_task(request),
+      [inbox, id, tag](const Outcome& outcome) {
+        Completion completion;
+        completion.conn = id;
+        completion.tag = tag;
+        completion.end_lockstep = tag.empty();
+        completion.text = format_outcome(tag, outcome);
+        inbox->post(std::move(completion));
+      },
+      &retry_after);
+  switch (status) {
     case BrokerService::SubmitStatus::kDraining:
-      return send_all(fd, "DRAINING\n");
+      return queue_reply(reactor, conn,
+                         tagged ? "DRAINING " + tag + "\n" : "DRAINING\n");
     case BrokerService::SubmitStatus::kQueueFull:
-      return send_all(fd, "BUSY " + format_double(retry_after) + "\n");
+      return queue_reply(reactor, conn,
+                         "BUSY " + (tagged ? tag + " " : std::string()) +
+                             format_double(retry_after) + "\n");
     case BrokerService::SubmitStatus::kQueued:
       break;
   }
-  const Outcome result = outcome.get();
-  if (!result.awarded)
-    return send_all(fd, "REJECT " + std::to_string(result.task) + "\n");
-  return send_all(fd, "AWARD " + std::to_string(result.task) + " " +
-                          std::to_string(result.site) + " " +
-                          format_double(result.expected_completion) + " " +
-                          format_double(result.agreed_price) + "\n");
+  if (tagged)
+    conn.inflight_tags.insert(tag);
+  else
+    conn.lockstep_wait = true;
+  return true;
+}
+
+bool ServeServer::queue_reply(Reactor& reactor, Conn& conn,
+                              const std::string& text) {
+  if (conn.wbuf.size() - conn.woff + text.size() > config_.max_write_buffer) {
+    // A consumer this far behind never catches up inside the cap; evict
+    // rather than buffer without bound.
+    ++overflow_evicted_;
+    destroy(reactor, conn);
+    return false;
+  }
+  conn.wbuf.append(text);
+  // Corked (inside a drain_inbox burst): the reply rides the single flush
+  // at the end of the drain pass instead of paying a send(2) now.
+  if (conn.corked) return true;
+  return flush(reactor, conn);
+}
+
+bool ServeServer::send_farewell(Reactor& reactor, Conn& conn,
+                                const std::string& text) {
+  conn.closing = true;
+  return queue_reply(reactor, conn, text);
+}
+
+bool ServeServer::flush(Reactor& reactor, Conn& conn) {
+  while (conn.woff < conn.wbuf.size()) {
+    // MSG_NOSIGNAL turns a dead peer into an error return, not SIGPIPE.
+    const ssize_t n = ::send(conn.fd, conn.wbuf.data() + conn.woff,
+                             conn.wbuf.size() - conn.woff, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.woff += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      ++write_backpressure_;
+      if (conn.woff > (64u << 10)) {
+        conn.wbuf.erase(0, conn.woff);
+        conn.woff = 0;
+      }
+      if (!conn.want_write) {
+        conn.want_write = true;
+        reactor.poller.modify(conn.fd, conn.want_read, true);
+      }
+      return true;
+    }
+    destroy(reactor, conn);
+    return false;
+  }
+  conn.wbuf.clear();
+  conn.woff = 0;
+  if (conn.closing) {
+    destroy(reactor, conn);
+    return false;
+  }
+  if (conn.want_write) {
+    conn.want_write = false;
+    reactor.poller.modify(conn.fd, conn.want_read, false);
+  }
+  return true;
+}
+
+void ServeServer::update_read_interest(Reactor& reactor, Conn& conn) {
+  // While a lockstep reply is pending, keep reading only until a spare
+  // line's worth of input is buffered; past that, deregister read interest
+  // and let TCP backpressure the client.
+  const bool backlog = conn.rbuf.size() - conn.rpos > config_.max_line;
+  const bool want = !conn.closing && !conn.quit_pending &&
+                    !(conn.lockstep_wait && backlog);
+  if (want != conn.want_read) {
+    conn.want_read = want;
+    reactor.poller.modify(conn.fd, want, conn.want_write);
+  }
+}
+
+void ServeServer::destroy(Reactor& reactor, Conn& conn) {
+  const int fd = conn.fd;
+  const std::uint64_t id = conn.id;
+  reactor.poller.remove(fd);
+  ::close(fd);
+  reactor.by_id.erase(id);
+  reactor.conns.erase(fd);  // frees conn
+}
+
+void ServeServer::sweep_idle(Reactor& reactor) {
+  if (config_.idle_timeout_s <= 0.0) return;
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<std::uint64_t> victims;
+  for (const auto& entry : reactor.conns) {
+    const Conn& conn = *entry.second;
+    if (conn.lockstep_wait || conn.quit_pending || conn.closing) continue;
+    if (!conn.inflight_tags.empty()) continue;  // a bid is still in flight
+    if (std::chrono::duration<double>(now - conn.last_activity).count() >
+        config_.idle_timeout_s) {
+      victims.push_back(conn.id);
+    }
+  }
+  for (const std::uint64_t id : victims) {
+    auto it = reactor.by_id.find(id);
+    if (it == reactor.by_id.end()) continue;
+    ++idle_evicted_;
+    send_farewell(reactor, *it->second, "TIMEOUT idle\n");
+  }
 }
 
 }  // namespace serve

@@ -1,24 +1,38 @@
-// Loopback-grade TCP front end for the live broker (DESIGN.md §9).
+// Reactor TCP front end for the live broker (DESIGN.md §9).
 //
-// Hand-rolled over POSIX sockets — no external deps. One blocking accept
-// thread (woken for shutdown through a self-pipe) hands each connection to
-// a session task on the existing ThreadPool. Sessions are line-oriented
-// (serve/protocol.hpp), poll in short slices so they notice shutdown and
-// idle timeouts promptly, and block only on their own bid futures.
+// Hand-rolled over POSIX sockets — no external deps. `session_threads`
+// reactor threads each run an epoll (fallback: poll) loop over non-blocking
+// sockets; accepted connections are dealt round-robin and owned by exactly
+// one reactor thread, so per-connection state needs no locks. Reads
+// assemble lines into a per-connection buffer, writes drain a bounded
+// per-connection queue (a slow consumer is evicted, never allowed to pin
+// memory), and bid outcomes resolved on the engine thread come back through
+// a completion inbox + wakeup pipe. Nothing here ever blocks on a bid:
+// thousands of connections — lockstep or pipelined — share the reactors.
+//
+// Session semantics: an untagged BID keeps the original lockstep contract
+// (no further requests are parsed on that connection until it is answered —
+// reads pause once a line's worth of input is already buffered, so the
+// kernel socket buffer backpressures a client that runs ahead). Tagged bids
+// pipeline: many may be in flight per connection, replies are matched by
+// tag, and QUIT defers its BYE until every in-flight tag has been answered.
 //
 // The server owns no market state: every bid goes through BrokerService's
-// admission queue, and STATS snapshots are engine-thread work. The server's
-// own counters (sessions, evictions, protocol errors) ride into the
-// snapshot as external gauges.
+// admission queue, and STATS snapshots are engine-thread work (requested
+// asynchronously — a pending snapshot parks no reactor). The server's own
+// counters (sessions, evictions, protocol errors, write backpressure) ride
+// into the snapshot as external gauges.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "serve/broker_service.hpp"
-#include "util/thread_pool.hpp"
+#include "serve/reactor.hpp"
 
 namespace mbts {
 namespace serve {
@@ -29,62 +43,109 @@ struct ServerConfig {
   std::string bind_address = "127.0.0.1";
   /// 0 picks an ephemeral port; port() reports the actual one.
   std::uint16_t port = 0;
-  /// Session worker threads (concurrent connections beyond this queue).
+  /// Reactor threads; each owns a share of the connections (>= 1).
   std::size_t session_threads = 4;
   /// Idle sessions are evicted after this many wall seconds (0 disables).
+  /// Sessions with a bid in flight are never idle-evicted.
   double idle_timeout_s = 60.0;
   /// Requests longer than this are a protocol error (guards line assembly).
   std::size_t max_line = 4096;
+  /// Per-connection pending-output cap; a consumer this far behind is
+  /// evicted instead of growing the buffer without bound.
+  std::size_t max_write_buffer = 4u << 20;
+  /// > 0: SO_SNDBUF for accepted sockets (0 keeps the kernel default).
+  /// Shrinking it forces the partial-write path early — ops tuning and a
+  /// test hook for the bounded write queue.
+  int sndbuf = 0;
+  /// Test hook: use the portable poll(2) backend even where epoll exists.
+  bool force_poll_backend = false;
 };
 
 class ServeServer {
  public:
   /// `service` is not owned; start() must be called before connections and
-  /// the service must be running (started) for bids to resolve.
+  /// the service must be running (started) for bids to resolve. The server
+  /// must stay alive until the service has drained (engine-thread
+  /// completion callbacks post into the server's inboxes).
   ServeServer(ServerConfig config, BrokerService* service);
   ~ServeServer();
 
   ServeServer(const ServeServer&) = delete;
   ServeServer& operator=(const ServeServer&) = delete;
 
-  /// Binds, listens, and spawns the accept loop. Throws CheckError when the
-  /// socket cannot be set up.
+  /// Binds, listens, and spawns the reactor threads. Throws CheckError when
+  /// the socket cannot be set up.
   void start();
 
   /// The bound port (after start()).
   std::uint16_t port() const { return port_; }
 
-  /// Graceful shutdown: stop accepting, tell live sessions to finish
-  /// (they answer DRAINING to further bids), join everything. Does NOT
-  /// drain the BrokerService — the caller does that once sessions are gone.
+  /// Shutdown: stop accepting, close every session, join the reactors.
+  /// Does NOT drain the BrokerService — the caller does that next; bids
+  /// already admitted still negotiate there (their replies have nowhere to
+  /// go and are dropped).
   void stop();
 
   std::uint64_t sessions_opened() const { return sessions_opened_; }
   std::uint64_t sessions_idle_evicted() const { return idle_evicted_; }
   std::uint64_t protocol_errors() const { return protocol_errors_; }
+  /// Sessions evicted for exceeding max_write_buffer.
+  std::uint64_t sessions_overflow_evicted() const {
+    return overflow_evicted_;
+  }
+  /// Times a reply hit a full socket buffer and had to wait for EPOLLOUT
+  /// (each is a partial write absorbed by the bounded queue).
+  std::uint64_t write_backpressure_events() const {
+    return write_backpressure_;
+  }
 
   /// The server-side counters as STATS external gauges.
   BrokerService::ExternalGauges external_gauges() const;
 
  private:
-  void accept_loop();
-  void session(int fd);
-  /// Handles one request line; returns false when the session should close.
-  bool handle_line(int fd, const std::string& line, std::size_t line_no);
+  struct Conn;
+  struct Completion;
+  struct Inbox;
+  struct Reactor;
+
+  void reactor_loop(Reactor& reactor);
+  void accept_ready(Reactor& reactor);
+  void adopt_fd(Reactor& reactor, int fd);
+  void drain_inbox(Reactor& reactor);
+  void apply_completion(Reactor& reactor, Completion& completion);
+  void on_readable(Reactor& reactor, Conn& conn);
+  void on_writable(Reactor& reactor, Conn& conn);
+  /// Parses and handles every complete line the connection's lockstep
+  /// state allows. May destroy the connection.
+  void parse_input(Reactor& reactor, Conn& conn);
+  /// Returns false when the connection was destroyed (or is closing).
+  bool handle_request(Reactor& reactor, Conn& conn, const std::string& line);
+  /// Appends to the connection's write queue and flushes opportunistically.
+  /// Returns false when the connection was destroyed (overflow/dead peer).
+  bool queue_reply(Reactor& reactor, Conn& conn, const std::string& text);
+  /// queue_reply + close once drained (BYE / TIMEOUT / fatal ERR).
+  bool send_farewell(Reactor& reactor, Conn& conn, const std::string& text);
+  /// Returns false when the connection was destroyed.
+  bool flush(Reactor& reactor, Conn& conn);
+  void update_read_interest(Reactor& reactor, Conn& conn);
+  void destroy(Reactor& reactor, Conn& conn);
+  void sweep_idle(Reactor& reactor);
 
   const ServerConfig config_;
   BrokerService* const service_;
   int listen_fd_ = -1;
-  int wake_pipe_[2] = {-1, -1};
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
   bool started_ = false;
   bool stopped_ = false;
-  std::thread accept_thread_;
-  std::unique_ptr<ThreadPool> sessions_;
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+  std::size_t next_reactor_ = 0;  // acceptor-thread only (round robin)
+  std::atomic<std::uint64_t> next_conn_id_{1};
   std::atomic<std::uint64_t> sessions_opened_{0};
   std::atomic<std::uint64_t> idle_evicted_{0};
   std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> overflow_evicted_{0};
+  std::atomic<std::uint64_t> write_backpressure_{0};
 };
 
 }  // namespace serve

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <mutex>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "experiments/fingerprint.hpp"
 #include "serve/broker_service.hpp"
 #include "serve/pacing_clock.hpp"
+#include "serve/preset.hpp"
 #include "serve/protocol.hpp"
 #include "workload/presets.hpp"
 
@@ -104,6 +106,55 @@ TEST(ServeProtocol, ParsesBidWithBoundAndInf) {
   EXPECT_FALSE(task.value.bounded());
 }
 
+TEST(ServeProtocol, ParsesTaggedBid) {
+  Request request;
+  std::string error;
+  // Five arguments: the first is the client-chosen tag of the pipelined
+  // form; the numeric fields follow unchanged.
+  ASSERT_TRUE(
+      serve::parse_request("BID t42 120 50.5 0.25 300", &request, &error));
+  EXPECT_EQ(request.verb, Verb::kBid);
+  EXPECT_EQ(request.tag, "t42");
+  EXPECT_EQ(request.runtime, 120.0);
+  EXPECT_EQ(request.value, 50.5);
+  EXPECT_EQ(request.bound, 300.0);
+  // The untagged form must leave the tag empty (lockstep sessions key off
+  // that), including after a Request is reused across parses.
+  ASSERT_TRUE(serve::parse_request("BID 60 10 0 inf", &request, &error));
+  EXPECT_TRUE(request.tag.empty());
+  // Tags are arbitrary printable tokens, not just t<N>.
+  ASSERT_TRUE(serve::parse_request("BID job/7#a 60 10 0 inf", &request,
+                                   &error));
+  EXPECT_EQ(request.tag, "job/7#a");
+}
+
+TEST(ServeProtocol, RejectsBadTagsAndKeepsWireFieldNumbers) {
+  Request request;
+  std::string error;
+  // Oversized tag.
+  const std::string long_tag(serve::kMaxTag + 1, 'x');
+  EXPECT_FALSE(serve::parse_request("BID " + long_tag + " 60 10 0 inf",
+                                    &request, &error));
+  EXPECT_NE(error.find("field 1 (tag)"), std::string::npos);
+  // A non-printable byte inside the tag.
+  EXPECT_FALSE(
+      serve::parse_request(std::string("BID a\x01") + "b 60 10 0 inf",
+                           &request, &error));
+  EXPECT_NE(error.find("field 1 (tag)"), std::string::npos);
+  // Diagnostics in the tagged form number fields by wire position: the
+  // runtime of a tagged bid is field 2, its bound field 5.
+  EXPECT_FALSE(
+      serve::parse_request("BID t1 1.5x 10 0 inf", &request, &error));
+  EXPECT_EQ(error, "field 2 (runtime): malformed number '1.5x'");
+  EXPECT_FALSE(
+      serve::parse_request("BID t1 60 10 0 huge", &request, &error));
+  EXPECT_NE(error.find("field 5 (bound)"), std::string::npos);
+  // ...while untagged diagnostics are byte-identical to the original wire
+  // behavior (a pre-tag client sees no change).
+  EXPECT_FALSE(serve::parse_request("BID 1.5x 10 0 inf", &request, &error));
+  EXPECT_EQ(error, "field 1 (runtime): malformed number '1.5x'");
+}
+
 TEST(ServeProtocol, RejectsMalformedRequestsWithFieldDiagnostics) {
   Request request;
   std::string error;
@@ -112,7 +163,8 @@ TEST(ServeProtocol, RejectsMalformedRequestsWithFieldDiagnostics) {
   EXPECT_FALSE(serve::parse_request("FROB 1 2", &request, &error));
   EXPECT_EQ(error, "unknown verb 'FROB'");
   EXPECT_FALSE(serve::parse_request("BID 1 2 3", &request, &error));
-  EXPECT_NE(error.find("exactly 4 fields"), std::string::npos);
+  EXPECT_NE(error.find("4 fields"), std::string::npos);
+  EXPECT_NE(error.find("5 with a leading tag"), std::string::npos);
   EXPECT_FALSE(serve::parse_request("PING now", &request, &error));
   EXPECT_EQ(error, "PING takes no arguments");
   // The load_swf discipline: partial-token parses are malformed, with the
@@ -133,29 +185,8 @@ TEST(ServeProtocol, RejectsMalformedRequestsWithFieldDiagnostics) {
 // --------------------------------------------------------------- service --
 
 MarketConfig serve_market(std::uint64_t seed) {
-  // The Fig. 1 trio, same shape as examples/market_service.cpp.
-  MarketConfig config;
-  config.rng_seed = seed;
-  auto site = [](SiteId id, const std::string& name, std::size_t procs,
-                 PolicySpec policy, bool admission, double threshold) {
-    SiteAgentConfig sc;
-    sc.id = id;
-    sc.name = name;
-    sc.scheduler.processors = procs;
-    sc.scheduler.preemption = true;
-    sc.scheduler.discount_rate = 0.01;
-    sc.policy = policy;
-    sc.use_slack_admission = admission;
-    sc.admission.threshold = threshold;
-    return sc;
-  };
-  config.sites.push_back(site(0, "big-conservative", 24,
-                              PolicySpec::first_reward(0.2), true, 300.0));
-  config.sites.push_back(site(1, "mid-aggressive", 12,
-                              PolicySpec::first_reward(0.8), true, 0.0));
-  config.sites.push_back(
-      site(2, "small-cost-only", 6, PolicySpec::swpt(), false, 0.0));
-  return config;
+  // The Fig. 1 trio, shared with mbts_serve and the serve bench.
+  return serve::fig1_market(seed);
 }
 
 Trace bid_stream(std::size_t jobs, std::uint64_t seed) {
@@ -335,6 +366,113 @@ TEST(ServeService, StatsDoesNotPumpPastQueuedBids) {
   batch.inject(service.admitted_trace());
   EXPECT_EQ(fingerprint_line("serve", batch.run()),
             fingerprint_line("serve", live));
+}
+
+TEST(ServeService, CallbackSubmitMatchesBatchBitForBit) {
+  // The pipelined front end's admission path: outcomes delivered through
+  // completion callbacks instead of futures must preserve the replay
+  // contract and answer every bid exactly once.
+  const Trace trace = bid_stream(120, 7);
+  VirtualPacingClock clock;
+  ServeConfig config;
+  config.market = serve_market(11);
+  BrokerService service(config, &clock);
+  service.start();
+
+  std::mutex mu;
+  std::vector<Outcome> outcomes;
+  for (const Task& task : trace.tasks) {
+    if (task.arrival > clock.now()) clock.advance(task.arrival - clock.now());
+    ASSERT_EQ(service.submit(task,
+                             [&](const Outcome& outcome) {
+                               std::lock_guard<std::mutex> lock(mu);
+                               outcomes.push_back(outcome);
+                             }),
+              BrokerService::SubmitStatus::kQueued);
+  }
+  const MarketStats live = service.drain();
+  EXPECT_EQ(live.bids, trace.tasks.size());
+
+  // drain() joined the engine thread, so every callback has run.
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(outcomes.size(), trace.tasks.size());
+  std::size_t awarded = 0;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    // Callbacks fire in negotiation order == admission order.
+    EXPECT_EQ(outcomes[i].task, static_cast<TaskId>(i + 1));
+    awarded += outcomes[i].awarded ? 1 : 0;
+  }
+  EXPECT_EQ(awarded, live.awarded);
+
+  Market batch(config.market);
+  batch.inject(service.admitted_trace());
+  EXPECT_EQ(fingerprint_line("serve", batch.run()),
+            fingerprint_line("serve", live));
+}
+
+TEST(ServeService, BusyHintScalesWithBacklogAndRunsAreBatched) {
+  const Trace trace = bid_stream(8, 3);
+  VirtualPacingClock clock;
+  ServeConfig config;
+  config.market = serve_market(11);
+  config.queue_capacity = 4;
+  config.retry_after = 2.0;
+  // Stall each negotiation so the popped run stays in flight long enough to
+  // refill the queue behind it deterministically.
+  config.process_stall = std::chrono::milliseconds(300);
+  BrokerService service(config, &clock);
+
+  // Three bids queue before start; the engine pops them as ONE run.
+  std::vector<std::future<Outcome>> outcomes(7);
+  for (int i = 0; i < 3; ++i)
+    ASSERT_EQ(service.submit(trace.tasks[i], &outcomes[i]),
+              BrokerService::SubmitStatus::kQueued);
+  EXPECT_EQ(service.queue_depth(), 3u);
+  service.start();
+
+  // Wait for the pop: depth drops to 0 while all three are in flight.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while ((service.queue_depth() != 0 || service.inflight_bids() != 3) &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_EQ(service.queue_depth(), 0u);
+  ASSERT_EQ(service.inflight_bids(), 3u);
+
+  // Refill the queue to capacity while the run still negotiates (each of
+  // its 3 bids stalls 300ms; these submits take microseconds)...
+  for (int i = 3; i < 7; ++i)
+    ASSERT_EQ(service.submit(trace.tasks[i], &outcomes[i]),
+              BrokerService::SubmitStatus::kQueued);
+  // ...and overflow it: the BUSY hint must scale with the whole backlog,
+  // queued AND in-flight: 2.0 * (4 + 3) / 4.
+  double retry_after = 0.0;
+  std::future<Outcome> rejected;
+  EXPECT_EQ(service.submit(trace.tasks[7], &rejected, &retry_after),
+            BrokerService::SubmitStatus::kQueueFull);
+  EXPECT_DOUBLE_EQ(retry_after, 3.5);
+  EXPECT_EQ(service.peak_queue_depth(), 4u);
+
+  const MarketStats stats = service.drain();
+  EXPECT_EQ(stats.bids, 7u);
+  for (auto& outcome : outcomes) outcome.get();  // all answered, none lost
+
+  // Batched-admission telemetry: the first run is deterministically the 3
+  // pre-start bids in one pop; the refill arrived while it was in flight,
+  // so the 7 bids took far fewer than 7 lock acquisitions.
+  EXPECT_EQ(service.batched_bids(), 7u);
+  EXPECT_GE(service.admission_batches(), 2u);
+  EXPECT_LE(service.admission_batches(), 5u);
+
+  // The live depth/peak/batching counters ride into the metrics snapshot.
+  const std::string csv = service.final_metrics_csv();
+  EXPECT_EQ(csv_value(csv, "serve/queue_depth"), 0.0);
+  EXPECT_EQ(csv_value(csv, "serve/queue_depth_peak"), 4.0);
+  EXPECT_EQ(csv_value(csv, "serve/inflight_bids"), 0.0);
+  EXPECT_EQ(csv_value(csv, "serve/batched_bids"),
+            static_cast<double>(service.batched_bids()));
+  EXPECT_EQ(csv_value(csv, "serve/admission_batches"),
+            static_cast<double>(service.admission_batches()));
 }
 
 TEST(ServeService, ConcurrentDrainsReturnTheSameStats) {

@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -16,6 +17,7 @@
 #include "experiments/fingerprint.hpp"
 #include "serve/broker_service.hpp"
 #include "serve/pacing_clock.hpp"
+#include "serve/preset.hpp"
 #include "serve/server.hpp"
 #include "workload/presets.hpp"
 
@@ -27,12 +29,17 @@ using serve::ServeConfig;
 using serve::ServeServer;
 using serve::ServerConfig;
 
-/// Minimal blocking line client over the wire protocol.
+/// Minimal blocking line client over the wire protocol. `rcvbuf` > 0
+/// shrinks SO_RCVBUF before connecting (it must be set pre-handshake to
+/// stick), so a test can play a slow consumer that backs the server's
+/// writes up.
 class LineClient {
  public:
-  explicit LineClient(std::uint16_t port) {
+  explicit LineClient(std::uint16_t port, int rcvbuf = 0) {
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     EXPECT_GE(fd_, 0);
+    if (rcvbuf > 0)
+      ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(port);
@@ -45,8 +52,11 @@ class LineClient {
     if (fd_ >= 0) ::close(fd_);
   }
 
-  bool send_line(const std::string& line) {
-    const std::string data = line + "\n";
+  bool send_line(const std::string& line) { return send_raw(line + "\n"); }
+
+  /// Ships bytes verbatim — no newline appended, so a test can split one
+  /// request across many sends (short reads on the server side).
+  bool send_raw(const std::string& data) {
     std::size_t sent = 0;
     while (sent < data.size()) {
       const ssize_t n =
@@ -91,30 +101,7 @@ class LineClient {
   std::string buffer_;
 };
 
-MarketConfig loopback_market() {
-  MarketConfig config;
-  config.rng_seed = 11;
-  auto site = [](SiteId id, const std::string& name, std::size_t procs,
-                 PolicySpec policy, bool admission, double threshold) {
-    SiteAgentConfig sc;
-    sc.id = id;
-    sc.name = name;
-    sc.scheduler.processors = procs;
-    sc.scheduler.preemption = true;
-    sc.scheduler.discount_rate = 0.01;
-    sc.policy = policy;
-    sc.use_slack_admission = admission;
-    sc.admission.threshold = threshold;
-    return sc;
-  };
-  config.sites.push_back(site(0, "big-conservative", 24,
-                              PolicySpec::first_reward(0.2), true, 300.0));
-  config.sites.push_back(site(1, "mid-aggressive", 12,
-                              PolicySpec::first_reward(0.8), true, 0.0));
-  config.sites.push_back(
-      site(2, "small-cost-only", 6, PolicySpec::swpt(), false, 0.0));
-  return config;
-}
+MarketConfig loopback_market() { return serve::fig1_market(11); }
 
 std::string bid_line(const Task& task) {
   char out[256];
@@ -304,6 +291,228 @@ TEST(ServeLoopback, MalformedBidsGetLineAndFieldDiagnostics) {
   }
   EXPECT_TRUE(saw_errors_gauge);
   EXPECT_TRUE(saw_end);
+}
+
+TEST(ServeLoopback, LockstepRoundTripsStayUnderTheNagleFloor) {
+  // TCP_NODELAY guard: a lockstep session is exactly the small-write
+  // request/response pattern Nagle + delayed ACK punishes with ~40ms
+  // stalls. With the option set on accepted sockets, loopback round trips
+  // are sub-millisecond; the bound below is ~25x slack for loaded CI yet
+  // far under the delayed-ACK floor a regression would reintroduce.
+  VirtualPacingClock clock;
+  ServeConfig serve_config;
+  serve_config.market = loopback_market();
+  BrokerService service(serve_config, &clock);
+  service.start();
+  ServeServer server(ServerConfig{}, &service);
+  server.start();
+
+  LineClient client(server.port());
+  constexpr int kRoundTrips = 60;
+  const auto begin = std::chrono::steady_clock::now();
+  for (int i = 0; i < kRoundTrips; ++i)
+    ASSERT_EQ(client.roundtrip("PING"), "PONG");
+  const double avg_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - begin)
+          .count() /
+      kRoundTrips;
+  EXPECT_LT(avg_ms, 25.0) << "lockstep round trips look Nagle-delayed";
+  server.stop();
+  service.drain();
+}
+
+TEST(ServeLoopback, ShortReadsReassembleAcrossArbitrarySplits) {
+  VirtualPacingClock clock;
+  ServeConfig serve_config;
+  serve_config.market = loopback_market();
+  BrokerService service(serve_config, &clock);
+  service.start();
+  ServeServer server(ServerConfig{}, &service);
+  server.start();
+
+  LineClient client(server.port());
+  // One bid trickled byte-cluster by byte-cluster, split mid-verb and
+  // mid-token: the server must reassemble it into a single request.
+  const char* pieces[] = {"BI", "D 6", "0 1", "0 0", ".1 in", "f\n"};
+  for (const char* piece : pieces) {
+    ASSERT_TRUE(client.send_raw(piece));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  std::string reply;
+  ASSERT_TRUE(client.recv_line(&reply));
+  EXPECT_TRUE(reply.rfind("AWARD", 0) == 0 || reply.rfind("REJECT", 0) == 0)
+      << reply;
+
+  // The flip side: several requests in one segment all get answered.
+  ASSERT_TRUE(client.send_raw("PING\nPING\nPING\n"));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(client.recv_line(&reply));
+    EXPECT_EQ(reply, "PONG");
+  }
+  EXPECT_EQ(server.protocol_errors(), 0u);
+  server.stop();
+  service.drain();
+}
+
+TEST(ServeLoopback, PartialWritesSurviveABackedUpClient) {
+  VirtualPacingClock clock;
+  ServeConfig serve_config;
+  serve_config.market = loopback_market();
+  serve_config.queue_capacity = 4096;
+  BrokerService service(serve_config, &clock);
+  service.start();
+  ServerConfig server_config;
+  server_config.sndbuf = 4096;  // tiny kernel buffer: EAGAIN comes early
+  ServeServer server(server_config, &service);
+  server.start();
+
+  // A tiny receive window plus a client that submits everything before
+  // reading anything: replies must back up into the server's bounded write
+  // queue, hit EAGAIN, and drain losslessly once the client catches up.
+  constexpr std::size_t kBids = 2000;
+  LineClient client(server.port(), /*rcvbuf=*/2048);
+  for (std::size_t i = 0; i < kBids; ++i)
+    ASSERT_TRUE(client.send_line("BID t" + std::to_string(i) +
+                                 " 60 10 0.1 inf"));
+  // Replies are corked per drain pass, so EAGAIN only fires once the
+  // accumulated backlog overruns the kernel buffers — hold off reading
+  // until the server has actually reported a backed-up write.
+  for (int spins = 0;
+       spins < 500 && server.write_backpressure_events() == 0; ++spins)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  std::vector<int> answers(kBids, 0);
+  std::string reply;
+  for (std::size_t i = 0; i < kBids; ++i) {
+    ASSERT_TRUE(client.recv_line(&reply)) << "after " << i << " replies";
+    // Reply shapes: AWARD <tag> ... | REJECT <tag> ... | BUSY <tag> ...
+    const std::size_t space = reply.find(' ');
+    ASSERT_NE(space, std::string::npos) << reply;
+    const std::string verdict = reply.substr(0, space);
+    ASSERT_TRUE(verdict == "AWARD" || verdict == "REJECT" ||
+                verdict == "BUSY")
+        << reply;
+    std::size_t end = reply.find(' ', space + 2);
+    if (end == std::string::npos) end = reply.size();
+    const std::string tag = reply.substr(space + 1, end - space - 1);
+    ASSERT_EQ(tag[0], 't') << reply;
+    const std::size_t index = std::stoul(tag.substr(1));
+    ASSERT_LT(index, kBids);
+    ++answers[index];
+  }
+  for (std::size_t i = 0; i < kBids; ++i)
+    EXPECT_EQ(answers[i], 1) << "tag t" << i;
+  // The tiny window must actually have backed writes up at least once —
+  // otherwise this test is not exercising the partial-write path.
+  EXPECT_GT(server.write_backpressure_events(), 0u);
+  EXPECT_EQ(server.sessions_overflow_evicted(), 0u);
+  EXPECT_EQ(client.roundtrip("QUIT"), "BYE");
+  server.stop();
+  service.drain();
+}
+
+TEST(ServeLoopback, TaggedRepliesInterleaveWithControlTraffic) {
+  VirtualPacingClock clock;
+  ServeConfig serve_config;
+  serve_config.market = loopback_market();
+  // Stall negotiations so tagged replies are still pending while PINGs fly.
+  serve_config.process_stall = std::chrono::milliseconds(50);
+  BrokerService service(serve_config, &clock);
+  service.start();
+  ServeServer server(ServerConfig{}, &service);
+  server.start();
+
+  LineClient client(server.port());
+  ASSERT_TRUE(client.send_line("BID a 60 10 0.1 inf"));
+  ASSERT_TRUE(client.send_line("PING"));
+  ASSERT_TRUE(client.send_line("BID b 45 8 0.05 inf"));
+  ASSERT_TRUE(client.send_line("PING"));
+  // Control replies overtake the stalled negotiations; the tagged replies
+  // then land in submission order (the admission queue is FIFO).
+  std::string reply;
+  ASSERT_TRUE(client.recv_line(&reply));
+  EXPECT_EQ(reply, "PONG");
+  ASSERT_TRUE(client.recv_line(&reply));
+  EXPECT_EQ(reply, "PONG");
+  ASSERT_TRUE(client.recv_line(&reply));
+  EXPECT_TRUE(reply.find(" a ") != std::string::npos ||
+              reply.rfind("REJECT a", 0) == 0)
+      << reply;
+  ASSERT_TRUE(client.recv_line(&reply));
+  EXPECT_TRUE(reply.find(" b ") != std::string::npos ||
+              reply.rfind("REJECT b", 0) == 0)
+      << reply;
+
+  // QUIT with a tag still in flight: BYE waits for the answer.
+  ASSERT_TRUE(client.send_line("BID c 30 5 0 inf"));
+  ASSERT_TRUE(client.send_line("QUIT"));
+  ASSERT_TRUE(client.recv_line(&reply));
+  EXPECT_TRUE(reply.find(" c ") != std::string::npos ||
+              reply.rfind("REJECT c", 0) == 0)
+      << reply;
+  ASSERT_TRUE(client.recv_line(&reply));
+  EXPECT_EQ(reply, "BYE");
+  EXPECT_FALSE(client.recv_line(&reply));  // connection closed
+
+  server.stop();
+  service.drain();
+}
+
+TEST(ServeLoopback, DuplicateInFlightTagIsAProtocolError) {
+  VirtualPacingClock clock;
+  ServeConfig serve_config;
+  serve_config.market = loopback_market();
+  serve_config.process_stall = std::chrono::milliseconds(50);
+  BrokerService service(serve_config, &clock);
+  service.start();
+  ServeServer server(ServerConfig{}, &service);
+  server.start();
+
+  LineClient client(server.port());
+  ASSERT_TRUE(client.send_line("BID job 60 10 0.1 inf"));
+  ASSERT_TRUE(client.send_line("BID job 45 8 0.05 inf"));
+  std::string reply;
+  // The reuse is refused immediately, before the first bid even resolves.
+  ASSERT_TRUE(client.recv_line(&reply));
+  EXPECT_EQ(reply, "ERR line 2 duplicate tag 'job' still in flight");
+  ASSERT_TRUE(client.recv_line(&reply));
+  EXPECT_TRUE(reply.find(" job ") != std::string::npos ||
+              reply.rfind("REJECT job", 0) == 0)
+      << reply;
+  // Once answered, the tag is free again.
+  ASSERT_TRUE(client.send_line("BID job 30 5 0 inf"));
+  ASSERT_TRUE(client.recv_line(&reply));
+  EXPECT_TRUE(reply.rfind("AWARD job", 0) == 0 ||
+              reply.rfind("REJECT job", 0) == 0)
+      << reply;
+  EXPECT_EQ(server.protocol_errors(), 1u);
+  server.stop();
+  service.drain();
+}
+
+TEST(ServeLoopback, OverlongLineFloodIsEvicted) {
+  VirtualPacingClock clock;
+  ServeConfig serve_config;
+  serve_config.market = loopback_market();
+  BrokerService service(serve_config, &clock);
+  service.start();
+  ServerConfig server_config;
+  server_config.max_line = 256;
+  ServeServer server(server_config, &service);
+  server.start();
+
+  LineClient client(server.port());
+  // A newline-free flood well past max_line: the session is told off and
+  // closed instead of buffering without bound. (Sized to one segment so the
+  // server has read it all before closing — no RST racing the ERR reply.)
+  ASSERT_TRUE(client.send_raw(std::string(600, 'x')));
+  std::string reply;
+  ASSERT_TRUE(client.recv_line(&reply));
+  EXPECT_EQ(reply, "ERR line too long");
+  EXPECT_FALSE(client.recv_line(&reply));  // connection closed
+  EXPECT_EQ(server.protocol_errors(), 1u);
+  server.stop();
+  service.drain();
 }
 
 }  // namespace

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Serve-path throughput benchmark runner. Runs bench/micro_serve — lockstep
+# vs pipelined sessions at 1/8/64/256 connections against a real reactor
+# server on loopback, plus the no-transport engine ceiling — and writes the
+# google-benchmark JSON to BENCH_serve.json at the repo root. Counters per
+# case: items_per_second (sustained bids/sec), p50_ms/p99_ms (client-side
+# quote latency), conns, window.
+#
+# The committed JSON must come from an optimized build: the default build
+# dir is a dedicated Release tree (build-bench), configured here if absent,
+# and the script refuses to write the output when the binary reports a
+# non-release "mbts_build_type" context.
+#
+# Usage: tools/bench_serve.sh [build_dir] (default: build-bench)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build-bench}"
+OUT="$ROOT/BENCH_serve.json"
+
+if [ ! -f "$BUILD/CMakeCache.txt" ]; then
+  cmake -S "$ROOT" -B "$BUILD" -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "$BUILD" -j "$(nproc)" --target micro_serve
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# Refuses to bless results from an unoptimized or assert-laden binary.
+require_release() {
+  if ! grep -q '"mbts_build_type": "release"' "$1"; then
+    echo "error: $(basename "$1") was produced by a non-release build" >&2
+    grep -o '"mbts_build_type": "[^"]*"' "$1" >&2 || true
+    echo "rerun against a -DCMAKE_BUILD_TYPE=Release build dir" >&2
+    exit 1
+  fi
+}
+
+# min_time well above one drive (a few tens of ms) so every case gets at
+# least a couple of full measurement iterations.
+"$BUILD/bench/micro_serve" \
+  --benchmark_filter='BM_ServeLockstep|BM_ServePipelined|BM_EngineOnly' \
+  --benchmark_min_time=0.2 \
+  --benchmark_out="$TMP/serve.json" --benchmark_out_format=json
+
+require_release "$TMP/serve.json"
+cp "$TMP/serve.json" "$OUT"
+echo "wrote $OUT"
+
+# Headline check (informational): pipelined vs lockstep at 64 connections.
+if command -v python3 >/dev/null; then
+  python3 - "$OUT" <<'EOF'
+import json, sys
+data = json.load(open(sys.argv[1]))
+rate = {}
+for b in data["benchmarks"]:
+    name = b["name"].split("/manual_time")[0]
+    rate[name] = b.get("items_per_second", 0.0)
+lock = rate.get("BM_ServeLockstep/64", 0.0)
+pipe = rate.get("BM_ServePipelined/64", 0.0)
+if lock > 0:
+    print(f"64-conn: lockstep {lock/1e3:.1f}k bids/s, "
+          f"pipelined {pipe/1e3:.1f}k bids/s ({pipe/lock:.2f}x)")
+EOF
+fi

@@ -18,37 +18,10 @@
 #include "market/market.hpp"
 #include "serve/broker_service.hpp"
 #include "serve/pacing_clock.hpp"
+#include "serve/preset.hpp"
 #include "serve/server.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
-
-static mbts::MarketConfig default_market(std::uint64_t seed) {
-  using namespace mbts;
-  // The Figure-1 trio from examples/market_service.cpp: a large conservative
-  // site, a mid-size aggressive one, and a small cost-only site.
-  MarketConfig config;
-  config.rng_seed = seed;
-  auto site = [](SiteId id, const std::string& name, std::size_t procs,
-                 PolicySpec policy, bool admission, double threshold) {
-    SiteAgentConfig sc;
-    sc.id = id;
-    sc.name = name;
-    sc.scheduler.processors = procs;
-    sc.scheduler.preemption = true;
-    sc.scheduler.discount_rate = 0.01;
-    sc.policy = policy;
-    sc.use_slack_admission = admission;
-    sc.admission.threshold = threshold;
-    return sc;
-  };
-  config.sites.push_back(site(0, "big-conservative", 24,
-                              PolicySpec::first_reward(0.2), true, 300.0));
-  config.sites.push_back(site(1, "mid-aggressive", 12,
-                              PolicySpec::first_reward(0.8), true, 0.0));
-  config.sites.push_back(
-      site(2, "small-cost-only", 6, PolicySpec::swpt(), false, 0.0));
-  return config;
-}
 
 static int run(int argc, char** argv) {
   using namespace mbts;
@@ -85,7 +58,7 @@ static int run(int argc, char** argv) {
   MBTS_CHECK_MSG(port <= 65535, "--port must fit in 16 bits");
 
   serve::ServeConfig serve_config;
-  serve_config.market = default_market(cli.get_uint("seed"));
+  serve_config.market = serve::fig1_market(cli.get_uint("seed"));
   serve_config.queue_capacity =
       static_cast<std::size_t>(cli.get_uint("queue-cap"));
 

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # End-to-end smoke for service mode (the CI push lane runs this): start
 # mbts_serve on an ephemeral port, drive >= 100 bids through serve_client
-# over loopback, SIGTERM the server, and require a clean drain whose stats
-# are bit-identical to a batch replay of the admitted stream ("replay:
-# MATCH" — mbts_serve exits 1 itself on a mismatch).
+# over loopback — one lockstep session and one pipelined (tagged, 32-deep
+# window) session — SIGTERM the server, and require a clean drain whose
+# stats are bit-identical to a batch replay of the admitted stream
+# ("replay: MATCH" — mbts_serve exits 1 itself on a mismatch).
 #
 # Usage: tools/serve_smoke.sh [build_dir] (default: build)
 set -euo pipefail
@@ -31,6 +32,9 @@ done
 [ -n "$PORT" ] || { echo "error: server never reported its port" >&2; cat "$LOG" >&2; exit 1; }
 
 "$BUILD/examples/serve_client" --port="$PORT" --bids="$BIDS" --stats=true
+# Same bid count again over a pipelined session: the drain replay below
+# then covers tagged out-of-order traffic too, not just lockstep.
+"$BUILD/examples/serve_client" --port="$PORT" --bids="$BIDS" --pipeline=32
 
 kill -TERM "$SERVER_PID"
 STATUS=0
@@ -39,4 +43,4 @@ SERVER_PID=""
 cat "$LOG"
 [ "$STATUS" -eq 0 ] || { echo "error: mbts_serve exited $STATUS" >&2; exit 1; }
 grep -q "replay: MATCH" "$LOG" || { echo "error: no replay verification in the drain output" >&2; exit 1; }
-echo "serve smoke OK ($BIDS bids, drain replay matched)"
+echo "serve smoke OK ($BIDS lockstep + $BIDS pipelined bids, drain replay matched)"
